@@ -1,0 +1,74 @@
+// Language front-end throughput: parse + analyze + plan-build cost for
+// queries of growing complexity. Registration is off the per-event hot
+// path, but monitoring deployments register/delete queries continuously
+// ("processing continues until the query is deleted by the user", §3), so
+// compilation must stay in the microsecond range.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace sase {
+namespace bench {
+namespace {
+
+const char* kQueries[] = {
+    // 0: trivial single-event filter
+    "EVENT SHELF_READING s WHERE s.AreaId = 1 RETURN s.TagId",
+    // 1: the paper's Q1
+    "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+    "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 12 hours "
+    "RETURN x.TagId, x.ProductName, z.AreaId, _retrieveLocation(z.AreaId)",
+    // 2: wide pattern with many predicates and aggregates
+    "FROM retail EVENT SEQ(SHELF_READING a, COUNTER_READING b, "
+    "EXIT_READING c, !(BACKROOM_READING d), LOAD_READING e) "
+    "WHERE a.TagId = b.TagId AND a.TagId = c.TagId AND a.TagId = d.TagId "
+    "AND a.TagId = e.TagId AND a.AreaId < 3 AND b.AreaId >= 1 AND "
+    "c.ProductName != 'x' AND a.Timestamp < c.Timestamp WITHIN 2 hours "
+    "RETURN a.TagId, COUNT(*) AS N, AVG(c.Timestamp - a.Timestamp) AS Span, "
+    "MIN(a.AreaId), MAX(c.AreaId) INTO wide_feed",
+};
+
+void BM_Language_Parse(benchmark::State& state) {
+  const char* text = kQueries[state.range(0)];
+  for (auto _ : state) {
+    auto parsed = Parser::Parse(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Language_ParseAnalyze(benchmark::State& state) {
+  const char* text = kQueries[state.range(0)];
+  Analyzer analyzer(&BenchCatalog(), TimeConfig{});
+  for (auto _ : state) {
+    auto analyzed = analyzer.Analyze(Parser::Parse(text).value());
+    benchmark::DoNotOptimize(analyzed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Language_FullRegistration(benchmark::State& state) {
+  const char* text = kQueries[state.range(0)];
+  Analyzer analyzer(&BenchCatalog(), TimeConfig{});
+  FunctionRegistry functions;
+  functions.RegisterCommon();
+  for (auto _ : state) {
+    auto plan = Planner::Build(analyzer.Analyze(Parser::Parse(text).value()).value(),
+                               PlanOptions{}, &BenchCatalog(), &functions, nullptr);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_Language_Parse)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Language_ParseAnalyze)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Language_FullRegistration)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace sase
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+#ifndef SASE_BENCH_BENCH_UTIL_H_
+#define SASE_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "engine/planner.h"
+#include "engine/query_engine.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+#include "rfid/workload.h"
+
+namespace sase {
+namespace bench {
+
+/// Shared retail catalog for all benchmarks.
+inline const Catalog& BenchCatalog() {
+  static const Catalog catalog = Catalog::RetailDemo();
+  return catalog;
+}
+
+/// Builds (and caches, keyed by a config signature) a synthetic stream so
+/// repeated benchmark iterations reuse the same events.
+inline const std::vector<EventPtr>& CachedStream(const SyntheticConfig& config,
+                                                 const std::string& key) {
+  static std::map<std::string, std::vector<EventPtr>>* cache =
+      new std::map<std::string, std::vector<EventPtr>>();
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    SyntheticStreamGenerator generator(&BenchCatalog(), config);
+    it = cache->emplace(key, generator.Generate()).first;
+  }
+  return it->second;
+}
+
+/// Compiles `text` into an executable plan counting its outputs.
+struct BenchPlan {
+  std::unique_ptr<QueryPlan> plan;
+  uint64_t outputs = 0;
+  FunctionRegistry functions;
+
+  BenchPlan(const std::string& text, PlanOptions options) {
+    auto parsed = Parser::Parse(text);
+    Analyzer analyzer(&BenchCatalog(), TimeConfig{});
+    auto analyzed = analyzer.Analyze(std::move(parsed).value());
+    functions.RegisterCommon();
+    plan = Planner::Build(std::move(analyzed).value(), options, &BenchCatalog(),
+                          &functions, [this](const OutputRecord&) { ++outputs; });
+  }
+
+  void Run(const std::vector<EventPtr>& events) {
+    for (const auto& event : events) plan->OnEvent(event);
+    plan->OnFlush();
+  }
+};
+
+}  // namespace bench
+}  // namespace sase
+
+#endif  // SASE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,33 @@
+#include "cleaning/anomaly_filter.h"
+
+#include <cctype>
+
+namespace sase {
+namespace {
+
+bool AllHex(const std::string& s) {
+  for (char c : s) {
+    if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void AnomalyFilter::OnReading(const RawReading& reading) {
+  ++stats_.readings_in;
+  if (!AllHex(reading.tag_id) || reading.tag_id.size() > config_.tag_id_length ||
+      reading.reader_id < 0 ||
+      (!config_.valid_readers.empty() &&
+       config_.valid_readers.count(reading.reader_id) == 0)) {
+    ++stats_.dropped_spurious;
+    return;
+  }
+  if (reading.tag_id.size() < config_.tag_id_length) {
+    ++stats_.dropped_truncated;
+    return;
+  }
+  next_->OnReading(reading);
+}
+
+}  // namespace sase

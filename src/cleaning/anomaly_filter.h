@@ -1,0 +1,46 @@
+#ifndef SASE_CLEANING_ANOMALY_FILTER_H_
+#define SASE_CLEANING_ANOMALY_FILTER_H_
+
+#include <cstdint>
+#include <set>
+
+#include "cleaning/reading.h"
+
+namespace sase {
+
+/// Anomaly Filtering Layer: "removes spurious readings and readings that
+/// contain truncated ids" (§3).
+///
+/// A reading is dropped when
+///   - its tag id is shorter than the deployment's EPC length (truncated),
+///   - its tag id contains non-hex characters or is overlong (spurious),
+///   - its reader id is not one of the registered readers (spurious).
+class AnomalyFilter : public ReadingSink {
+ public:
+  struct Config {
+    size_t tag_id_length = 24;  // EPC Class 1 Gen 1 = 96 bits = 24 hex chars
+    std::set<int> valid_readers;  // empty = accept any reader id >= 0
+  };
+  struct Stats {
+    uint64_t readings_in = 0;
+    uint64_t dropped_truncated = 0;
+    uint64_t dropped_spurious = 0;
+  };
+
+  AnomalyFilter(Config config, ReadingSink* next)
+      : config_(std::move(config)), next_(next) {}
+
+  void OnReading(const RawReading& reading) override;
+  void OnFlush() override { next_->OnFlush(); }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Config config_;
+  ReadingSink* next_;  // not owned
+  Stats stats_;
+};
+
+}  // namespace sase
+
+#endif  // SASE_CLEANING_ANOMALY_FILTER_H_

@@ -1,0 +1,28 @@
+#include "cleaning/deduplication.h"
+
+namespace sase {
+
+void Deduplication::OnReading(const RawReading& reading) {
+  ++stats_.readings_in;
+  auto area_it = config_.reader_to_area.find(reading.reader_id);
+  if (area_it == config_.reader_to_area.end()) {
+    ++stats_.dropped_unmapped_reader;
+    return;
+  }
+  int area = area_it->second;
+
+  auto& per_tag = last_emit_[reading.tag_id];
+  auto it = per_tag.find(area);
+  if (it != per_tag.end() && reading.raw_time - it->second <= config_.horizon &&
+      reading.raw_time >= it->second) {
+    ++stats_.dropped_duplicates;
+    return;
+  }
+  per_tag[area] = reading.raw_time;
+
+  RawReading out = reading;
+  out.reader_id = area;  // downstream sees logical areas
+  next_->OnReading(out);
+}
+
+}  // namespace sase

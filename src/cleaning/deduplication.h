@@ -1,0 +1,57 @@
+#ifndef SASE_CLEANING_DEDUPLICATION_H_
+#define SASE_CLEANING_DEDUPLICATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "cleaning/reading.h"
+
+namespace sase {
+
+/// Deduplication Layer: "removes duplicates, which can be caused either by
+/// a redundant setup, where two readers monitor the same logical area, or
+/// when an item resides in overlapping read ranges of two separate
+/// readers" (§3).
+///
+/// Readers are mapped to logical areas; a reading is a duplicate when the
+/// same (tag, area) pair was already reported within `horizon` logical time
+/// units. The default horizon of 0 suppresses only simultaneous duplicates
+/// (same tick via a redundant reader); shelf-presence polling at later
+/// ticks passes through.
+class Deduplication : public ReadingSink {
+ public:
+  struct Config {
+    std::map<int, int> reader_to_area;  // reader id -> logical area id
+    int64_t horizon = 0;
+  };
+  struct Stats {
+    uint64_t readings_in = 0;
+    uint64_t dropped_duplicates = 0;
+    uint64_t dropped_unmapped_reader = 0;
+  };
+
+  Deduplication(Config config, ReadingSink* next)
+      : config_(std::move(config)), next_(next) {}
+
+  /// The emitted reading has `reader_id` rewritten to the *logical area*
+  /// id, collapsing redundant readers — downstream layers reason about
+  /// areas, matching Figure 2's "each reader occupies only one logical
+  /// area".
+  void OnReading(const RawReading& reading) override;
+  void OnFlush() override { next_->OnFlush(); }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Config config_;
+  ReadingSink* next_;  // not owned
+  // (tag, area) -> last emission time.
+  std::unordered_map<std::string, std::unordered_map<int, int64_t>> last_emit_;
+  Stats stats_;
+};
+
+}  // namespace sase
+
+#endif  // SASE_CLEANING_DEDUPLICATION_H_

@@ -1,0 +1,64 @@
+#include "cleaning/event_generation.h"
+
+#include "util/logging.h"
+
+namespace sase {
+
+EventGeneration::EventGeneration(Config config, const Catalog* catalog,
+                                 OnsResolver ons, StreamSource* source)
+    : config_(std::move(config)), catalog_(catalog), ons_(std::move(ons)),
+      source_(source) {
+  for (const auto& [area, type_name] : config_.area_to_event_type) {
+    auto type_id = catalog_->FindType(type_name);
+    if (type_id.ok()) {
+      area_to_type_[area] = type_id.value();
+    } else {
+      SASE_LOG_WARN << "event generation: unknown event type '" << type_name
+                    << "' for area " << area << "; readings there are dropped";
+    }
+  }
+}
+
+void EventGeneration::OnReading(const RawReading& reading) {
+  ++stats_.readings_in;
+  auto type_it = area_to_type_.find(reading.reader_id);
+  if (type_it == area_to_type_.end()) {
+    ++stats_.dropped_unmapped_area;
+    return;
+  }
+
+  std::string product_name = "UNKNOWN";
+  if (ons_) {
+    auto info = ons_(reading.tag_id);
+    if (info.has_value()) {
+      product_name = info->product_name;
+    } else if (config_.drop_unknown_tags) {
+      ++stats_.dropped_unknown_tag;
+      return;
+    }
+  }
+
+  const EventSchema& schema = catalog_->schema(type_it->second);
+  std::vector<Value> values(schema.attribute_count());
+  AttrIndex tag_attr = schema.FindAttribute("TagId");
+  AttrIndex area_attr = schema.FindAttribute("AreaId");
+  AttrIndex product_attr = schema.FindAttribute("ProductName");
+  if (tag_attr < 0 || area_attr < 0 || product_attr < 0) {
+    ++stats_.build_errors;
+    return;
+  }
+  values[static_cast<size_t>(tag_attr)] = Value(reading.tag_id);
+  values[static_cast<size_t>(area_attr)] = Value(static_cast<int64_t>(reading.reader_id));
+  values[static_cast<size_t>(product_attr)] = Value(product_name);
+  // Container pairing (loading/unloading zones): only event types whose
+  // schema declares ContainerId receive it.
+  AttrIndex container_attr = schema.FindAttribute("ContainerId");
+  if (container_attr >= 0 && !reading.container_id.empty()) {
+    values[static_cast<size_t>(container_attr)] = Value(reading.container_id);
+  }
+
+  source_->Publish(type_it->second, reading.raw_time, std::move(values));
+  ++stats_.events_out;
+}
+
+}  // namespace sase

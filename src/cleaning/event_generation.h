@@ -1,0 +1,73 @@
+#ifndef SASE_CLEANING_EVENT_GENERATION_H_
+#define SASE_CLEANING_EVENT_GENERATION_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cleaning/reading.h"
+#include "core/catalog.h"
+#include "core/stream.h"
+
+namespace sase {
+
+/// Product metadata resolved during event generation. "In an actual
+/// real-world system, attributes (e.g., product name, expiration date) can
+/// be retrieved from a tag's user-memory bank or from an Object Name
+/// Service (ONS). In our system, we simulate an ONS with a local database
+/// storing product metadata" (§3) — see db/ons.h for that database.
+struct ProductInfo {
+  std::string product_name;
+  std::string expiration_date;
+  bool saleable = true;
+};
+
+/// Callback resolving a tag id to product metadata (typically bound to
+/// Ons::Lookup). Returning nullopt marks the tag unknown.
+using OnsResolver = std::function<std::optional<ProductInfo>(const std::string&)>;
+
+/// Event Generation Layer: "generates events according to a pre-defined
+/// schema" (§3). Each cleaned reading (tag, logical area, tick) becomes a
+/// typed event: the area's kind picks the event type (SHELF_READING,
+/// COUNTER_READING, EXIT_READING, ...), and the ONS provides ProductName.
+class EventGeneration : public ReadingSink {
+ public:
+  struct Config {
+    /// Logical area id -> event type name. Areas absent here are dropped.
+    std::map<int, std::string> area_to_event_type;
+    /// Drop readings whose tag the ONS does not know (default keeps them
+    /// with ProductName = "UNKNOWN").
+    bool drop_unknown_tags = false;
+  };
+  struct Stats {
+    uint64_t readings_in = 0;
+    uint64_t events_out = 0;
+    uint64_t dropped_unknown_tag = 0;
+    uint64_t dropped_unmapped_area = 0;
+    uint64_t build_errors = 0;
+  };
+
+  /// Events are published through `source` (which assigns sequence numbers
+  /// and enforces stream order).
+  EventGeneration(Config config, const Catalog* catalog, OnsResolver ons,
+                  StreamSource* source);
+
+  void OnReading(const RawReading& reading) override;
+  void OnFlush() override { source_->Flush(); }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Config config_;
+  const Catalog* catalog_;
+  OnsResolver ons_;
+  StreamSource* source_;  // not owned
+  // Resolved event type ids per area, cached at construction.
+  std::map<int, EventTypeId> area_to_type_;
+  Stats stats_;
+};
+
+}  // namespace sase
+
+#endif  // SASE_CLEANING_EVENT_GENERATION_H_

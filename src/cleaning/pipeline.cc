@@ -1,0 +1,43 @@
+#include "cleaning/pipeline.h"
+
+#include <sstream>
+
+namespace sase {
+
+CleaningPipeline::CleaningPipeline(Config config, const Catalog* catalog,
+                                   OnsResolver ons, EventSink* output) {
+  // Built back-to-front so each layer can point at its successor.
+  source_ = std::make_unique<StreamSource>(output);
+  generation_ = std::make_unique<EventGeneration>(
+      std::move(config.generation), catalog, std::move(ons), source_.get());
+  dedup_ = std::make_unique<Deduplication>(std::move(config.dedup),
+                                           generation_.get());
+  time_ = std::make_unique<TimeConversion>(config.time, dedup_.get());
+  smoothing_ = std::make_unique<TemporalSmoothing>(config.smoothing, time_.get());
+  anomaly_ = std::make_unique<AnomalyFilter>(std::move(config.anomaly),
+                                             smoothing_.get());
+}
+
+std::string CleaningPipeline::StatsReport() const {
+  std::ostringstream out;
+  const auto& a = anomaly_->stats();
+  out << "AnomalyFilter: in=" << a.readings_in
+      << " spurious=" << a.dropped_spurious
+      << " truncated=" << a.dropped_truncated << "\n";
+  const auto& s = smoothing_->stats();
+  out << "TemporalSmoothing: in=" << s.readings_in
+      << " filled=" << s.readings_filled << "\n";
+  const auto& t = time_->stats();
+  out << "TimeConversion: in=" << t.readings_in << "\n";
+  const auto& d = dedup_->stats();
+  out << "Deduplication: in=" << d.readings_in
+      << " duplicates=" << d.dropped_duplicates
+      << " unmapped=" << d.dropped_unmapped_reader << "\n";
+  const auto& g = generation_->stats();
+  out << "EventGeneration: in=" << g.readings_in << " events=" << g.events_out
+      << " unknown_tags=" << g.dropped_unknown_tag
+      << " unmapped_areas=" << g.dropped_unmapped_area;
+  return out.str();
+}
+
+}  // namespace sase

@@ -1,0 +1,17 @@
+#include "cleaning/reading.h"
+
+#include <sstream>
+
+namespace sase {
+
+std::string RawReading::ToString() const {
+  std::ostringstream out;
+  out << "reading{tag=" << tag_id << ", reader=" << reader_id
+      << ", t=" << raw_time;
+  if (!container_id.empty()) out << ", container=" << container_id;
+  if (synthesized) out << ", synthesized";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace sase

@@ -1,0 +1,41 @@
+#ifndef SASE_CLEANING_READING_H_
+#define SASE_CLEANING_READING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/time_util.h"
+
+namespace sase {
+
+/// One raw RFID reading as delivered by a reader: "Each raw RFID reading
+/// consists of the TagId and ReaderId" (§3). `raw_time` is the device's
+/// clock in raw units (the Time Conversion Layer maps it to logical ticks);
+/// `synthesized` marks readings created by the Temporal Smoothing Layer.
+///
+/// `container_id` is non-empty when the read range also covered the tag of
+/// the container the item sits in (loading/unloading zones pair item tags
+/// with container tags — the source of the paper's Containment Update
+/// rule, §3).
+struct RawReading {
+  std::string tag_id;
+  int reader_id = -1;
+  int64_t raw_time = 0;
+  bool synthesized = false;
+  std::string container_id;
+
+  std::string ToString() const;
+};
+
+/// Consumer interface for raw readings; each cleaning sub-layer is a
+/// ReadingSink chained to the next.
+class ReadingSink {
+ public:
+  virtual ~ReadingSink() = default;
+  virtual void OnReading(const RawReading& reading) = 0;
+  virtual void OnFlush() {}
+};
+
+}  // namespace sase
+
+#endif  // SASE_CLEANING_READING_H_

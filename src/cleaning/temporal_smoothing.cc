@@ -1,0 +1,29 @@
+#include "cleaning/temporal_smoothing.h"
+
+namespace sase {
+
+void TemporalSmoothing::OnReading(const RawReading& reading) {
+  ++stats_.readings_in;
+  Key key{reading.tag_id, reading.reader_id};
+  auto it = last_seen_.find(key);
+  if (it != last_seen_.end()) {
+    int64_t gap = reading.raw_time - it->second;
+    if (gap > config_.sampling_interval && gap <= config_.window) {
+      // Fill the missed scans between the two observations.
+      for (int64_t t = it->second + config_.sampling_interval;
+           t < reading.raw_time; t += config_.sampling_interval) {
+        RawReading filled = reading;
+        filled.raw_time = t;
+        filled.synthesized = true;
+        ++stats_.readings_filled;
+        next_->OnReading(filled);
+      }
+    }
+    it->second = reading.raw_time;
+  } else {
+    last_seen_.emplace(std::move(key), reading.raw_time);
+  }
+  next_->OnReading(reading);
+}
+
+}  // namespace sase

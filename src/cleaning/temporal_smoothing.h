@@ -1,0 +1,62 @@
+#ifndef SASE_CLEANING_TEMPORAL_SMOOTHING_H_
+#define SASE_CLEANING_TEMPORAL_SMOOTHING_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "cleaning/reading.h"
+
+namespace sase {
+
+/// Temporal Smoothing Layer: "the system decides whether an object was
+/// present at time t based not only on the reading at time t, but also on
+/// the readings of this object in a window of size w before t. Using this
+/// heuristic, a new reading may be created" (§3).
+///
+/// RFID readers are lossy: a tag sitting on a shelf is read at t0 and t2
+/// but missed at t1. If consecutive readings of the same (tag, reader)
+/// pair are at most `window` raw units apart, the gap is filled with
+/// synthesized readings at the reader's sampling interval, so downstream
+/// layers see continuous presence.
+class TemporalSmoothing : public ReadingSink {
+ public:
+  struct Config {
+    int64_t window = 5;            // max gap (raw time units) to bridge
+    int64_t sampling_interval = 1; // reader scan period (raw time units)
+  };
+  struct Stats {
+    uint64_t readings_in = 0;
+    uint64_t readings_filled = 0;
+  };
+
+  TemporalSmoothing(Config config, ReadingSink* next)
+      : config_(config), next_(next) {}
+
+  void OnReading(const RawReading& reading) override;
+  void OnFlush() override { next_->OnFlush(); }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Key {
+    std::string tag_id;
+    int reader_id;
+    bool operator==(const Key& other) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      return std::hash<std::string>()(key.tag_id) ^
+             (std::hash<int>()(key.reader_id) * 0x9E3779B9u);
+    }
+  };
+
+  Config config_;
+  ReadingSink* next_;  // not owned
+  std::unordered_map<Key, int64_t, KeyHash> last_seen_;
+  Stats stats_;
+};
+
+}  // namespace sase
+
+#endif  // SASE_CLEANING_TEMPORAL_SMOOTHING_H_

@@ -1,0 +1,4 @@
+#include "cleaning/time_conversion.h"
+
+// Header-only implementation; this translation unit anchors the module in
+// the build so its interface is compiled standalone.

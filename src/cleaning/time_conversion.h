@@ -1,0 +1,49 @@
+#ifndef SASE_CLEANING_TIME_CONVERSION_H_
+#define SASE_CLEANING_TIME_CONVERSION_H_
+
+#include <cstdint>
+
+#include "cleaning/reading.h"
+
+namespace sase {
+
+/// Time Conversion Layer: "a timestamp is appended to each reading based on
+/// a logical time unit that is set as a system configuration parameter"
+/// (§3).
+///
+/// Device clocks tick in raw units (the simulator uses milliseconds);
+/// queries reason in logical ticks. The conversion is
+///   tick = (raw_time - epoch) / raw_units_per_tick.
+class TimeConversion : public ReadingSink {
+ public:
+  struct Config {
+    int64_t epoch = 0;               // raw time corresponding to tick 0
+    int64_t raw_units_per_tick = 1;  // logical time unit length
+  };
+  struct Stats {
+    uint64_t readings_in = 0;
+  };
+
+  TimeConversion(Config config, ReadingSink* next)
+      : config_(config), next_(next) {}
+
+  void OnReading(const RawReading& reading) override {
+    ++stats_.readings_in;
+    RawReading converted = reading;
+    converted.raw_time =
+        (reading.raw_time - config_.epoch) / config_.raw_units_per_tick;
+    next_->OnReading(converted);
+  }
+  void OnFlush() override { next_->OnFlush(); }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Config config_;
+  ReadingSink* next_;  // not owned
+  Stats stats_;
+};
+
+}  // namespace sase
+
+#endif  // SASE_CLEANING_TIME_CONVERSION_H_

@@ -1,0 +1,73 @@
+#include "core/catalog.h"
+
+#include "util/string_util.h"
+
+namespace sase {
+
+Result<EventTypeId> Catalog::RegisterType(const std::string& name,
+                                          std::vector<Attribute> attributes) {
+  std::string key = ToUpper(name);
+  if (by_name_.count(key) > 0) {
+    return Status::AlreadyExists("event type already registered: " + name);
+  }
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    for (size_t j = i + 1; j < attributes.size(); ++j) {
+      if (EqualsIgnoreCase(attributes[i].name, attributes[j].name)) {
+        return Status::InvalidArgument("duplicate attribute '" +
+                                       attributes[i].name + "' in type " + name);
+      }
+    }
+    if (EqualsIgnoreCase(attributes[i].name, "Timestamp") ||
+        EqualsIgnoreCase(attributes[i].name, "ts")) {
+      return Status::InvalidArgument(
+          "attribute name '" + attributes[i].name +
+          "' collides with the virtual timestamp attribute");
+    }
+  }
+  EventTypeId id = static_cast<EventTypeId>(schemas_.size());
+  schemas_.emplace_back(name, std::move(attributes));
+  by_name_.emplace(std::move(key), id);
+  return id;
+}
+
+Result<EventTypeId> Catalog::FindType(const std::string& name) const {
+  auto it = by_name_.find(ToUpper(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("unknown event type: " + name);
+  }
+  return it->second;
+}
+
+bool Catalog::HasType(const std::string& name) const {
+  return by_name_.count(ToUpper(name)) > 0;
+}
+
+const EventSchema& Catalog::schema(EventTypeId id) const {
+  return schemas_.at(static_cast<size_t>(id));
+}
+
+Catalog Catalog::RetailDemo() {
+  Catalog catalog;
+  std::vector<Attribute> reading_attrs = {
+      {"TagId", ValueType::kString},
+      {"AreaId", ValueType::kInt},
+      {"ProductName", ValueType::kString},
+  };
+  std::vector<Attribute> container_attrs = {
+      {"TagId", ValueType::kString},
+      {"AreaId", ValueType::kInt},
+      {"ProductName", ValueType::kString},
+      {"ContainerId", ValueType::kString},
+  };
+  // Registration of the demo types cannot fail (names are unique), so the
+  // results are intentionally discarded.
+  (void)catalog.RegisterType("SHELF_READING", reading_attrs);
+  (void)catalog.RegisterType("COUNTER_READING", reading_attrs);
+  (void)catalog.RegisterType("EXIT_READING", reading_attrs);
+  (void)catalog.RegisterType("BACKROOM_READING", reading_attrs);
+  (void)catalog.RegisterType("LOAD_READING", container_attrs);
+  (void)catalog.RegisterType("UNLOAD_READING", container_attrs);
+  return catalog;
+}
+
+}  // namespace sase

@@ -1,0 +1,52 @@
+#ifndef SASE_CORE_CATALOG_H_
+#define SASE_CORE_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace sase {
+
+/// Registry of event types known to a SASE deployment.
+///
+/// The paper's Event Generation Layer "generates events according to a
+/// pre-defined schema"; the Catalog is that pre-defined schema set. Queries
+/// are analyzed against it, the cleaning layer emits events conforming to
+/// it, and the engine dispatches on the compact EventTypeId it assigns.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers a new event type. Type names are case-insensitive and must
+  /// be unique; attribute names must be unique within the schema.
+  Result<EventTypeId> RegisterType(const std::string& name,
+                                   std::vector<Attribute> attributes);
+
+  /// Looks up a type id by (case-insensitive) name.
+  Result<EventTypeId> FindType(const std::string& name) const;
+
+  bool HasType(const std::string& name) const;
+
+  /// Schema for a registered id. Precondition: id is valid.
+  const EventSchema& schema(EventTypeId id) const;
+
+  size_t type_count() const { return schemas_.size(); }
+
+  /// Registers the retail-store demo schema used throughout the paper:
+  ///   SHELF_READING, COUNTER_READING, EXIT_READING, BACKROOM_READING
+  /// each with (TagId STRING, AreaId INT, ProductName STRING), and
+  ///   LOAD_READING / UNLOAD_READING with an extra ContainerId STRING
+  /// for the warehouse containment workloads.
+  static Catalog RetailDemo();
+
+ private:
+  std::vector<EventSchema> schemas_;
+  std::unordered_map<std::string, EventTypeId> by_name_;  // uppercased name
+};
+
+}  // namespace sase
+
+#endif  // SASE_CORE_CATALOG_H_

@@ -1,0 +1,73 @@
+#include "core/event.h"
+
+#include <sstream>
+
+namespace sase {
+
+const Value& Event::attribute(AttrIndex index) const {
+  if (index == kTimestampAttr) {
+    // The timestamp is materialized lazily per call; a thread_local scratch
+    // Value avoids allocating in the common int case.
+    thread_local Value ts_value;
+    ts_value = Value(timestamp_);
+    return ts_value;
+  }
+  return values_.at(static_cast<size_t>(index));
+}
+
+std::string Event::ToString(const Catalog& catalog) const {
+  const EventSchema& schema = catalog.schema(type_);
+  std::ostringstream out;
+  out << schema.name() << "@" << timestamp_ << "{";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << schema.attributes()[i].name << "=" << values_[i].ToString();
+  }
+  out << "}";
+  return out.str();
+}
+
+EventBuilder::EventBuilder(const Catalog& catalog, const std::string& type_name)
+    : catalog_(catalog) {
+  auto id = catalog.FindType(type_name);
+  if (!id.ok()) {
+    error_ = id.status();
+    return;
+  }
+  type_ = id.value();
+  values_.resize(catalog.schema(type_).attribute_count());
+}
+
+EventBuilder& EventBuilder::Set(const std::string& name, Value value) {
+  if (!error_.ok()) return *this;
+  const EventSchema& schema = catalog_.schema(type_);
+  AttrIndex index = schema.FindAttribute(name);
+  if (index == kInvalidAttr) {
+    error_ = Status::InvalidArgument("unknown attribute '" + name + "' for type " +
+                                     schema.name());
+    return *this;
+  }
+  if (index == kTimestampAttr) {
+    error_ = Status::InvalidArgument("the timestamp is set via Build(), not Set()");
+    return *this;
+  }
+  ValueType expected = schema.attribute_type(index);
+  ValueType actual = value.type();
+  bool numeric_ok = (expected == ValueType::kInt || expected == ValueType::kDouble) &&
+                    (actual == ValueType::kInt || actual == ValueType::kDouble);
+  if (actual != ValueType::kNull && actual != expected && !numeric_ok) {
+    error_ = Status::InvalidArgument(
+        "attribute '" + name + "' of " + schema.name() + " expects " +
+        ValueTypeName(expected) + ", got " + ValueTypeName(actual));
+    return *this;
+  }
+  values_[static_cast<size_t>(index)] = std::move(value);
+  return *this;
+}
+
+Result<EventPtr> EventBuilder::Build(Timestamp timestamp, SequenceNumber seq) {
+  if (!error_.ok()) return error_;
+  return EventPtr(std::make_shared<Event>(type_, timestamp, seq, values_));
+}
+
+}  // namespace sase

@@ -1,0 +1,82 @@
+#ifndef SASE_CORE_EVENT_H_
+#define SASE_CORE_EVENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/schema.h"
+#include "core/value.h"
+#include "util/time_util.h"
+
+namespace sase {
+
+/// Monotone arrival sequence number assigned by the stream source; used to
+/// break timestamp ties deterministically.
+using SequenceNumber = uint64_t;
+
+/// An event instance: a typed tuple with a logical timestamp.
+///
+/// Events are immutable once published into a stream. Operators share them
+/// via shared_ptr<const Event>; a match holds pointers to its constituent
+/// events rather than copies.
+class Event {
+ public:
+  Event(EventTypeId type, Timestamp timestamp, SequenceNumber seq,
+        std::vector<Value> values)
+      : type_(type), timestamp_(timestamp), seq_(seq),
+        values_(std::move(values)) {}
+
+  EventTypeId type() const { return type_; }
+  Timestamp timestamp() const { return timestamp_; }
+  SequenceNumber seq() const { return seq_; }
+
+  /// Attribute access by schema position; kTimestampAttr yields the
+  /// timestamp as an INT value.
+  const Value& attribute(AttrIndex index) const;
+  size_t attribute_count() const { return values_.size(); }
+
+  /// Renders "TYPE@ts{attr=value, ...}" using the catalog for names.
+  std::string ToString(const Catalog& catalog) const;
+
+ private:
+  EventTypeId type_;
+  Timestamp timestamp_;
+  SequenceNumber seq_;
+  std::vector<Value> values_;
+};
+
+using EventPtr = std::shared_ptr<const Event>;
+
+/// Convenience builder for tests, examples and the event generation layer.
+///
+///   EventBuilder b(catalog, "SHELF_READING");
+///   EventPtr e = b.Set("TagId", "TAG1").Set("AreaId", 2).Build(ts, seq);
+class EventBuilder {
+ public:
+  EventBuilder(const Catalog& catalog, const std::string& type_name);
+
+  /// Sets an attribute by (case-insensitive) name. Unknown names or type
+  /// mismatches are recorded and reported by Build().
+  EventBuilder& Set(const std::string& name, Value value);
+
+  /// Finalizes the event. Unset attributes are NULL.
+  Result<EventPtr> Build(Timestamp timestamp, SequenceNumber seq);
+
+ private:
+  const Catalog& catalog_;
+  EventTypeId type_ = kInvalidEventType;
+  std::vector<Value> values_;
+  Status error_ = Status::Ok();
+};
+
+/// Returns true if `a` precedes `b` in stream order (timestamp, then seq).
+inline bool EarlierThan(const Event& a, const Event& b) {
+  if (a.timestamp() != b.timestamp()) return a.timestamp() < b.timestamp();
+  return a.seq() < b.seq();
+}
+
+}  // namespace sase
+
+#endif  // SASE_CORE_EVENT_H_

@@ -1,0 +1,49 @@
+#include "core/schema.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace sase {
+
+namespace {
+const std::string kTimestampName = "Timestamp";
+}
+
+EventSchema::EventSchema(std::string name, std::vector<Attribute> attributes)
+    : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+AttrIndex EventSchema::FindAttribute(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (EqualsIgnoreCase(attributes_[i].name, name)) {
+      return static_cast<AttrIndex>(i);
+    }
+  }
+  if (EqualsIgnoreCase(name, "Timestamp") || EqualsIgnoreCase(name, "ts")) {
+    return kTimestampAttr;
+  }
+  return kInvalidAttr;
+}
+
+ValueType EventSchema::attribute_type(AttrIndex index) const {
+  if (index == kTimestampAttr) return ValueType::kInt;
+  return attributes_.at(static_cast<size_t>(index)).type;
+}
+
+const std::string& EventSchema::attribute_name(AttrIndex index) const {
+  if (index == kTimestampAttr) return kTimestampName;
+  return attributes_.at(static_cast<size_t>(index)).name;
+}
+
+std::string EventSchema::ToString() const {
+  std::ostringstream out;
+  out << name_ << "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << attributes_[i].name << " " << ValueTypeName(attributes_[i].type);
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace sase

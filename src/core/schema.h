@@ -1,0 +1,66 @@
+#ifndef SASE_CORE_SCHEMA_H_
+#define SASE_CORE_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+#include "util/status.h"
+
+namespace sase {
+
+/// Identifier of a registered event type; assigned by the Catalog.
+using EventTypeId = int32_t;
+inline constexpr EventTypeId kInvalidEventType = -1;
+
+/// One named, typed attribute in an event schema.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// Index of an attribute within its schema. kTimestampAttr is the virtual
+/// attribute every event exposes (its logical timestamp); the SASE language
+/// addresses it as `x.Timestamp` / `x.ts`.
+using AttrIndex = int32_t;
+inline constexpr AttrIndex kInvalidAttr = -1;
+inline constexpr AttrIndex kTimestampAttr = -2;
+
+/// Schema of one event type, e.g.
+///   SHELF_READING(TagId STRING, AreaId INT, ProductName STRING).
+///
+/// Attribute lookup is case-insensitive: the paper's own examples spell the
+/// same attribute `TagId` in Q1 and `id`-style lowercase in Q2, so being
+/// strict here would reject the paper's queries.
+class EventSchema {
+ public:
+  EventSchema() = default;
+  EventSchema(std::string name, std::vector<Attribute> attributes);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  size_t attribute_count() const { return attributes_.size(); }
+
+  /// Returns the positional index for `name`, kTimestampAttr for the
+  /// virtual timestamp attribute, or kInvalidAttr when absent.
+  AttrIndex FindAttribute(const std::string& name) const;
+
+  /// Declared type of the attribute at `index` (kInt for the timestamp).
+  ValueType attribute_type(AttrIndex index) const;
+
+  /// Attribute name at `index` ("Timestamp" for the virtual attribute).
+  const std::string& attribute_name(AttrIndex index) const;
+
+  /// "TYPE(attr TYPE, ...)" rendering for logs and error messages.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace sase
+
+#endif  // SASE_CORE_SCHEMA_H_

@@ -1,0 +1,38 @@
+#include "core/stream.h"
+
+namespace sase {
+
+EventPtr StreamSource::Publish(EventTypeId type, Timestamp timestamp,
+                               std::vector<Value> values) {
+  if (timestamp < last_timestamp_) {
+    timestamp = last_timestamp_;
+    ++clamped_count_;
+  }
+  last_timestamp_ = timestamp;
+  auto event =
+      std::make_shared<Event>(type, timestamp, next_seq_++, std::move(values));
+  sink_->OnEvent(event);
+  return event;
+}
+
+void StreamSource::Publish(const EventPtr& event) {
+  Timestamp timestamp = event->timestamp();
+  if (timestamp < last_timestamp_) {
+    timestamp = last_timestamp_;
+    ++clamped_count_;
+  }
+  last_timestamp_ = timestamp;
+  auto copy = std::make_shared<Event>(event->type(), timestamp, next_seq_++,
+                                      [&] {
+                                        std::vector<Value> values;
+                                        values.reserve(event->attribute_count());
+                                        for (size_t i = 0; i < event->attribute_count(); ++i) {
+                                          values.push_back(
+                                              event->attribute(static_cast<AttrIndex>(i)));
+                                        }
+                                        return values;
+                                      }());
+  sink_->OnEvent(copy);
+}
+
+}  // namespace sase

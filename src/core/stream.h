@@ -1,0 +1,111 @@
+#ifndef SASE_CORE_STREAM_H_
+#define SASE_CORE_STREAM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+
+namespace sase {
+
+/// Consumer of an event stream. The engine, the archiver and the report
+/// channels all implement this; the cleaning pipeline and the simulator
+/// produce into it. Push-based, single-threaded per stream, matching the
+/// paper's pipelined dataflow.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Delivers one event. Events arrive in non-decreasing (timestamp, seq)
+  /// order within a stream.
+  virtual void OnEvent(const EventPtr& event) = 0;
+
+  /// Signals end-of-stream; optional for unbounded streams.
+  virtual void OnFlush() {}
+};
+
+/// Adapts a lambda to an EventSink.
+class CallbackSink : public EventSink {
+ public:
+  explicit CallbackSink(std::function<void(const EventPtr&)> fn)
+      : fn_(std::move(fn)) {}
+  void OnEvent(const EventPtr& event) override { fn_(event); }
+
+ private:
+  std::function<void(const EventPtr&)> fn_;
+};
+
+/// Collects every delivered event; the workhorse of tests.
+class VectorSink : public EventSink {
+ public:
+  void OnEvent(const EventPtr& event) override { events_.push_back(event); }
+  void OnFlush() override { flushed_ = true; }
+
+  const std::vector<EventPtr>& events() const { return events_; }
+  bool flushed() const { return flushed_; }
+  void Clear() {
+    events_.clear();
+    flushed_ = false;
+  }
+
+ private:
+  std::vector<EventPtr> events_;
+  bool flushed_ = false;
+};
+
+/// Fan-out node: forwards each event to every subscriber in subscription
+/// order. This is the "event stream" wire between the cleaning layer and
+/// the processing layer in Figure 1 (the processor and the archiver both
+/// listen to it).
+class StreamBus : public EventSink {
+ public:
+  void Subscribe(EventSink* sink) { sinks_.push_back(sink); }
+
+  void OnEvent(const EventPtr& event) override {
+    for (EventSink* sink : sinks_) sink->OnEvent(event);
+  }
+  void OnFlush() override {
+    for (EventSink* sink : sinks_) sink->OnFlush();
+  }
+
+  size_t subscriber_count() const { return sinks_.size(); }
+
+ private:
+  std::vector<EventSink*> sinks_;  // not owned
+};
+
+/// Assigns sequence numbers and enforces non-decreasing timestamps before
+/// handing events to a downstream sink. Sources (simulator, generators,
+/// tests) push through one of these so that stream order is a checked
+/// invariant rather than a convention.
+class StreamSource {
+ public:
+  explicit StreamSource(EventSink* sink) : sink_(sink) {}
+
+  /// Publishes an event built from a type/timestamp/values triple.
+  /// Timestamps must be non-decreasing; violations are clamped forward and
+  /// counted (the cleaning layer's Time Conversion guarantees order in the
+  /// full system, but raw test inputs may be sloppy).
+  EventPtr Publish(EventTypeId type, Timestamp timestamp,
+                   std::vector<Value> values);
+
+  /// Publishes a pre-built event, reassigning its sequence number.
+  void Publish(const EventPtr& event);
+
+  void Flush() { sink_->OnFlush(); }
+
+  SequenceNumber next_seq() const { return next_seq_; }
+  int64_t clamped_count() const { return clamped_count_; }
+
+ private:
+  EventSink* sink_;  // not owned
+  SequenceNumber next_seq_ = 0;
+  Timestamp last_timestamp_ = 0;
+  int64_t clamped_count_ = 0;
+};
+
+}  // namespace sase
+
+#endif  // SASE_CORE_STREAM_H_

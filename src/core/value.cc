@@ -1,0 +1,106 @@
+#include "core/value.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace sase {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return "INT";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kString: return "STRING";
+    case ValueType::kBool: return "BOOL";
+  }
+  return "UNKNOWN";
+}
+
+ValueType Value::type() const {
+  switch (rep_.index()) {
+    case 0: return ValueType::kNull;
+    case 1: return ValueType::kInt;
+    case 2: return ValueType::kDouble;
+    case 3: return ValueType::kString;
+    case 4: return ValueType::kBool;
+  }
+  return ValueType::kNull;
+}
+
+Result<double> Value::ToNumeric() const {
+  switch (type()) {
+    case ValueType::kInt: return static_cast<double>(AsInt());
+    case ValueType::kDouble: return AsDouble();
+    default:
+      return Status::InvalidArgument(std::string("value is not numeric: ") +
+                                     ToString());
+  }
+}
+
+bool Value::Equals(const Value& other) const {
+  ValueType a = type(), b = other.type();
+  if (a == b) return rep_ == other.rep_;
+  // Cross numeric comparison.
+  if ((a == ValueType::kInt || a == ValueType::kDouble) &&
+      (b == ValueType::kInt || b == ValueType::kDouble)) {
+    return ToNumeric().value() == other.ToNumeric().value();
+  }
+  return false;
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  ValueType a = type(), b = other.type();
+  if ((a == ValueType::kInt || a == ValueType::kDouble) &&
+      (b == ValueType::kInt || b == ValueType::kDouble)) {
+    double lhs = ToNumeric().value();
+    double rhs = other.ToNumeric().value();
+    if (lhs < rhs) return -1;
+    if (lhs > rhs) return 1;
+    return 0;
+  }
+  if (a == ValueType::kString && b == ValueType::kString) {
+    int c = AsString().compare(other.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (a == ValueType::kBool && b == ValueType::kBool) {
+    return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+  }
+  if (a == ValueType::kNull && b == ValueType::kNull) return 0;
+  return Status::InvalidArgument(std::string("cannot compare ") +
+                                 ValueTypeName(a) + " with " + ValueTypeName(b));
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9E3779B97F4A7C15ULL;
+    case ValueType::kInt:
+      // Hash ints through double so 1 and 1.0 collide, matching Equals.
+      return std::hash<double>()(static_cast<double>(AsInt()));
+    case ValueType::kDouble:
+      return std::hash<double>()(AsDouble());
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+    case ValueType::kBool:
+      return std::hash<bool>()(AsBool());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream out;
+      out << AsDouble();
+      return out.str();
+    }
+    case ValueType::kString: return AsString();
+    case ValueType::kBool: return AsBool() ? "TRUE" : "FALSE";
+  }
+  return "NULL";
+}
+
+}  // namespace sase

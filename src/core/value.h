@@ -1,0 +1,74 @@
+#ifndef SASE_CORE_VALUE_H_
+#define SASE_CORE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/status.h"
+
+namespace sase {
+
+/// Attribute type tags for event schemas and database columns.
+enum class ValueType { kNull = 0, kInt, kDouble, kString, kBool };
+
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically typed attribute value.
+///
+/// Values appear on events (attribute vectors), in predicate evaluation, in
+/// RETURN-clause outputs and in database rows, so the representation is a
+/// small variant with value semantics. Numeric comparisons coerce between
+/// int and double; all other cross-type comparisons are errors surfaced at
+/// evaluation time (the analyzer rejects most of them statically).
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  Value(int64_t v) : rep_(v) {}                   // NOLINT(runtime/explicit)
+  Value(int v) : rep_(static_cast<int64_t>(v)) {} // NOLINT(runtime/explicit)
+  Value(double v) : rep_(v) {}                    // NOLINT(runtime/explicit)
+  Value(bool v) : rep_(v) {}                      // NOLINT(runtime/explicit)
+  Value(std::string v) : rep_(std::move(v)) {}    // NOLINT(runtime/explicit)
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  ValueType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+
+  /// Typed accessors; callers must check type() first (std::get throws on
+  /// mismatch, which the engine treats as an internal error).
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  bool AsBool() const { return std::get<bool>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Numeric view: int and double both convert; other types are errors.
+  Result<double> ToNumeric() const;
+
+  /// Strict equality used for partitioning and GROUP-style semantics:
+  /// null == null, numerics compare by value across int/double.
+  bool Equals(const Value& other) const;
+
+  /// Three-way comparison for ordered types. Returns
+  /// negative/zero/positive, or an error for incomparable types.
+  Result<int> Compare(const Value& other) const;
+
+  /// Hash consistent with Equals (numeric values hash by double value).
+  size_t Hash() const;
+
+  /// Human-readable rendering ("NULL", 42, 3.5, "abc", TRUE).
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return Equals(other); }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, bool> rep_;
+};
+
+/// Hash functor so Value can key unordered containers (PAIS partitions).
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace sase
+
+#endif  // SASE_CORE_VALUE_H_

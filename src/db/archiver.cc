@@ -1,0 +1,184 @@
+#include "db/archiver.h"
+
+#include "db/track_trace.h"
+
+namespace sase {
+namespace db {
+namespace {
+
+Table* EnsureTable(Database* database, const std::string& name,
+                   std::vector<Column> columns, const std::string& index_col) {
+  Table* table = database->GetTable(name);
+  if (table == nullptr) {
+    auto created = database->CreateTable(name, std::move(columns));
+    table = created.value();
+  }
+  (void)table->CreateIndex(index_col);
+  return table;
+}
+
+}  // namespace
+
+Archiver::Archiver(Database* database) : database_(database) {
+  location_ = EnsureTable(database, "location_history",
+                          {{"TagId", ValueType::kString},
+                           {"AreaId", ValueType::kInt},
+                           {"TimeIn", ValueType::kInt},
+                           {"TimeOut", ValueType::kInt}},
+                          "TagId");
+  containment_ = EnsureTable(database, "containment_history",
+                             {{"TagId", ValueType::kString},
+                              {"ContainerId", ValueType::kString},
+                              {"TimeIn", ValueType::kInt},
+                              {"TimeOut", ValueType::kInt}},
+                             "TagId");
+  areas_ = EnsureTable(database, "area_directory",
+                       {{"AreaId", ValueType::kInt},
+                        {"Description", ValueType::kString}},
+                       "AreaId");
+}
+
+Status Archiver::UpdateHistory(Table* table, const std::string& tag_id,
+                               const Value& new_value, Timestamp timestamp) {
+  // Column layout is shared: 0=TagId, 1=value (AreaId/ContainerId),
+  // 2=TimeIn, 3=TimeOut.
+  auto ids = table->Lookup(0, Value(tag_id));
+  if (!ids.ok()) return ids.status();
+  for (RowId id : ids.value()) {
+    const Row* row = table->Get(id);
+    if (row == nullptr || !(*row)[3].is_null()) continue;  // not current
+    if ((*row)[1].Equals(new_value)) {
+      return Status::Ok();  // already current at this location/container
+    }
+    SASE_RETURN_IF_ERROR(table->Update(id, 3, Value(timestamp)));
+  }
+  auto inserted =
+      table->Insert({Value(tag_id), new_value, Value(timestamp), Value()});
+  if (!inserted.ok()) return inserted.status();
+  return Status::Ok();
+}
+
+Status Archiver::UpdateLocation(const std::string& tag_id, int64_t area_id,
+                                Timestamp timestamp) {
+  ++location_updates_;
+  return UpdateHistory(location_, tag_id, Value(area_id), timestamp);
+}
+
+Status Archiver::UpdateContainment(const std::string& tag_id,
+                                   const std::string& container_id,
+                                   Timestamp timestamp) {
+  ++containment_updates_;
+  return UpdateHistory(containment_, tag_id, Value(container_id), timestamp);
+}
+
+Status Archiver::CloseContainment(const std::string& tag_id,
+                                  Timestamp timestamp) {
+  auto ids = containment_->Lookup(0, Value(tag_id));
+  if (!ids.ok()) return ids.status();
+  for (RowId id : ids.value()) {
+    const Row* row = containment_->Get(id);
+    if (row == nullptr || !(*row)[3].is_null()) continue;
+    SASE_RETURN_IF_ERROR(containment_->Update(id, 3, Value(timestamp)));
+  }
+  return Status::Ok();
+}
+
+std::string Archiver::RetrieveLocation(int64_t area_id) const {
+  auto ids = areas_->Lookup(0, Value(area_id));
+  if (ids.ok() && !ids.value().empty()) {
+    const Row* row = areas_->Get(ids.value().front());
+    if (row != nullptr && !(*row)[1].is_null()) return (*row)[1].AsString();
+  }
+  return "area " + std::to_string(area_id);
+}
+
+Status Archiver::DescribeArea(int64_t area_id, const std::string& description) {
+  auto ids = areas_->Lookup(0, Value(area_id));
+  if (ids.ok() && !ids.value().empty()) {
+    return areas_->Update(ids.value().front(), 1, Value(description));
+  }
+  auto inserted = areas_->Insert({Value(area_id), Value(description)});
+  if (!inserted.ok()) return inserted.status();
+  return Status::Ok();
+}
+
+Status Archiver::RegisterFunctions(FunctionRegistry* registry) {
+  SASE_RETURN_IF_ERROR(registry->Register(
+      "_updateLocation", 3,
+      [this](const std::vector<Value>& args) -> Result<Value> {
+        if (args[0].type() != ValueType::kString ||
+            args[1].type() != ValueType::kInt ||
+            args[2].type() != ValueType::kInt) {
+          return Status::InvalidArgument(
+              "_updateLocation expects (STRING tag, INT area, INT timestamp)");
+        }
+        Status status =
+            UpdateLocation(args[0].AsString(), args[1].AsInt(), args[2].AsInt());
+        if (!status.ok()) return status;
+        return Value(true);
+      }));
+  SASE_RETURN_IF_ERROR(registry->Register(
+      "_updateContainment", 3,
+      [this](const std::vector<Value>& args) -> Result<Value> {
+        if (args[0].type() != ValueType::kString ||
+            args[1].type() != ValueType::kString ||
+            args[2].type() != ValueType::kInt) {
+          return Status::InvalidArgument(
+              "_updateContainment expects (STRING tag, STRING container, "
+              "INT timestamp)");
+        }
+        Status status = UpdateContainment(args[0].AsString(), args[1].AsString(),
+                                          args[2].AsInt());
+        if (!status.ok()) return status;
+        return Value(true);
+      }));
+  SASE_RETURN_IF_ERROR(registry->Register(
+      "_retrieveLocation", 1,
+      [this](const std::vector<Value>& args) -> Result<Value> {
+        if (args[0].type() != ValueType::kInt) {
+          return Status::InvalidArgument("_retrieveLocation expects (INT area)");
+        }
+        return Value(RetrieveLocation(args[0].AsInt()));
+      }));
+  SASE_RETURN_IF_ERROR(registry->Register(
+      "_closeContainment", 2,
+      [this](const std::vector<Value>& args) -> Result<Value> {
+        if (args[0].type() != ValueType::kString ||
+            args[1].type() != ValueType::kInt) {
+          return Status::InvalidArgument(
+              "_closeContainment expects (STRING tag, INT timestamp)");
+        }
+        Status status = CloseContainment(args[0].AsString(), args[1].AsInt());
+        if (!status.ok()) return status;
+        return Value(true);
+      }));
+  SASE_RETURN_IF_ERROR(registry->Register(
+      "_currentLocation", 1,
+      [this](const std::vector<Value>& args) -> Result<Value> {
+        if (args[0].type() != ValueType::kString) {
+          return Status::InvalidArgument("_currentLocation expects (STRING tag)");
+        }
+        TrackTrace trace(database_);
+        auto stay = trace.CurrentLocation(args[0].AsString());
+        if (!stay.has_value()) return Value();
+        return stay->where;
+      }));
+  SASE_RETURN_IF_ERROR(registry->Register(
+      "_movementHistory", 1,
+      [this](const std::vector<Value>& args) -> Result<Value> {
+        if (args[0].type() != ValueType::kString) {
+          return Status::InvalidArgument("_movementHistory expects (STRING tag)");
+        }
+        TrackTrace trace(database_);
+        std::string out;
+        for (const auto& entry : trace.MovementHistory(args[0].AsString())) {
+          if (!out.empty()) out += "; ";
+          out += entry.ToString();
+        }
+        return Value(std::move(out));
+      }));
+  return Status::Ok();
+}
+
+}  // namespace db
+}  // namespace sase

@@ -1,0 +1,95 @@
+#ifndef SASE_DB_ARCHIVER_H_
+#define SASE_DB_ARCHIVER_H_
+
+#include <string>
+
+#include "db/database.h"
+#include "engine/function_registry.h"
+#include "util/time_util.h"
+
+namespace sase {
+namespace db {
+
+/// The Event Database's archival rules and the built-in functions that
+/// expose them to the SASE language.
+///
+/// "Our system supports two important rules: Location Update and
+/// Containment Update. For location update, a tag's location information is
+/// updated when we observe this tag in a different location with a
+/// different timestamp. For containment updates, readings from unloading
+/// and loading zones are aggregated into a containment relationship" (§3).
+///
+/// Schema (durations encoded as [TimeIn, TimeOut), TimeOut NULL = current):
+///   location_history(TagId STRING, AreaId INT, TimeIn INT, TimeOut INT)
+///   containment_history(TagId STRING, ContainerId STRING, TimeIn INT,
+///                       TimeOut INT)
+///   area_directory(AreaId INT, Description STRING)
+/// `location_history` and `containment_history` are indexed on TagId;
+/// `area_directory` on AreaId.
+class Archiver {
+ public:
+  /// Creates the archival tables (idempotent) and their indexes.
+  explicit Archiver(Database* database);
+
+  /// Q2's `_updateLocation(TagId, AreaId, Timestamp)`: "first sets the
+  /// TimeOut attribute of the current location using the y.Timestamp value,
+  /// and then creates a tuple for the new location with the TimeIn
+  /// attribute also set to the value of y.Timestamp." A no-op when the tag
+  /// is already current in `area_id`.
+  Status UpdateLocation(const std::string& tag_id, int64_t area_id,
+                        Timestamp timestamp);
+
+  /// Containment Update: closes the current containment (if different) and
+  /// opens a new one.
+  Status UpdateContainment(const std::string& tag_id,
+                           const std::string& container_id,
+                           Timestamp timestamp);
+
+  /// Closes the current containment without opening a new one — the
+  /// unloading half of "readings from unloading and loading zones are
+  /// aggregated into a containment relationship" (§3). No-op when the tag
+  /// is not currently contained.
+  Status CloseContainment(const std::string& tag_id, Timestamp timestamp);
+
+  /// `_retrieveLocation(AreaId)`: textual description of an area ("e.g.,
+  /// the leftmost door on the south side of the store"). Unknown areas
+  /// yield "area <id>".
+  std::string RetrieveLocation(int64_t area_id) const;
+
+  /// Registers/overwrites an area description.
+  Status DescribeArea(int64_t area_id, const std::string& description);
+
+  /// Installs the database built-ins into `registry` so RETURN clauses can
+  /// call them. The Archiver must outlive the registry's users.
+  ///   _updateLocation(tag, area, ts)      archival rule (Q2)
+  ///   _updateContainment(tag, cont, ts)   archival rule
+  ///   _closeContainment(tag, ts)          archival rule (unloading)
+  ///   _retrieveLocation(area)             area description lookup (Q1)
+  ///   _currentLocation(tag)               current AreaId or NULL
+  ///   _movementHistory(tag)               rendered movement history — the
+  ///       misplaced-inventory demo "triggers an Event Database lookup for
+  ///       the movement history of the item" (§4)
+  Status RegisterFunctions(FunctionRegistry* registry);
+
+  Database* database() { return database_; }
+
+  uint64_t location_updates() const { return location_updates_; }
+  uint64_t containment_updates() const { return containment_updates_; }
+
+ private:
+  /// Shared close-and-reopen logic for the two history tables.
+  Status UpdateHistory(Table* table, const std::string& tag_id,
+                       const Value& new_value, Timestamp timestamp);
+
+  Database* database_;
+  Table* location_;
+  Table* containment_;
+  Table* areas_;
+  uint64_t location_updates_ = 0;
+  uint64_t containment_updates_ = 0;
+};
+
+}  // namespace db
+}  // namespace sase
+
+#endif  // SASE_DB_ARCHIVER_H_

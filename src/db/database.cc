@@ -1,0 +1,56 @@
+#include "db/database.h"
+
+#include "util/string_util.h"
+
+namespace sase {
+namespace db {
+
+Result<Table*> Database::CreateTable(const std::string& name,
+                                     std::vector<Column> columns) {
+  std::string key = ToUpper(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("table " + name + " needs at least one column");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      if (EqualsIgnoreCase(columns[i].name, columns[j].name)) {
+        return Status::InvalidArgument("duplicate column '" + columns[i].name +
+                                       "' in table " + name);
+      }
+    }
+  }
+  auto table = std::make_unique<Table>(name, std::move(columns));
+  Table* ptr = table.get();
+  tables_.emplace(std::move(key), std::move(table));
+  return ptr;
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(ToUpper(name)) == 0) {
+    return Status::NotFound("no table named " + name);
+  }
+  return Status::Ok();
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = tables_.find(ToUpper(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToUpper(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+}  // namespace db
+}  // namespace sase

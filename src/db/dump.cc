@@ -1,0 +1,189 @@
+#include "db/dump.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace sase {
+namespace db {
+namespace {
+
+std::string EscapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '|': out += "\\p"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c); break;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 1 >= s.size()) return Status::ParseError("dangling escape in dump");
+    switch (s[++i]) {
+      case '\\': out.push_back('\\'); break;
+      case 'p': out.push_back('|'); break;
+      case 'n': out.push_back('\n'); break;
+      default: return Status::ParseError("unknown escape in dump");
+    }
+  }
+  return out;
+}
+
+std::string EncodeValue(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull: return "N";
+    case ValueType::kInt: return "I:" + std::to_string(value.AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream out;
+      out.precision(17);
+      out << "D:" << value.AsDouble();
+      return out.str();
+    }
+    case ValueType::kString: return "S:" + EscapeString(value.AsString());
+    case ValueType::kBool: return value.AsBool() ? "B:1" : "B:0";
+  }
+  return "N";
+}
+
+Result<Value> DecodeValue(const std::string& text) {
+  if (text == "N") return Value();
+  if (text.size() < 2 || text[1] != ':') {
+    return Status::ParseError("bad value encoding: '" + text + "'");
+  }
+  std::string body = text.substr(2);
+  switch (text[0]) {
+    case 'I': return Value(static_cast<int64_t>(std::strtoll(body.c_str(), nullptr, 10)));
+    case 'D': return Value(std::strtod(body.c_str(), nullptr));
+    case 'B': return Value(body == "1");
+    case 'S': {
+      auto unescaped = UnescapeString(body);
+      if (!unescaped.ok()) return unescaped.status();
+      return Value(std::move(unescaped).value());
+    }
+    default:
+      return Status::ParseError("bad value tag: '" + text + "'");
+  }
+}
+
+Result<ValueType> TypeFromName(const std::string& name) {
+  if (name == "INT") return ValueType::kInt;
+  if (name == "DOUBLE") return ValueType::kDouble;
+  if (name == "STRING") return ValueType::kString;
+  if (name == "BOOL") return ValueType::kBool;
+  return Status::ParseError("unknown column type in dump: " + name);
+}
+
+}  // namespace
+
+Status Dump(const Database& database, std::ostream* out) {
+  for (const std::string& name : database.TableNames()) {
+    const Table* table = database.GetTable(name);
+    *out << "TABLE " << name << "\n";
+    const auto& columns = table->columns();
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i > 0) *out << "|";
+      *out << EscapeString(columns[i].name) << ":" << ValueTypeName(columns[i].type);
+    }
+    *out << "\n";
+    std::vector<std::string> indexed;
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (table->HasIndex(static_cast<int>(i))) indexed.push_back(columns[i].name);
+    }
+    if (!indexed.empty()) *out << "INDEX " << Join(indexed, ",") << "\n";
+    table->Scan([&](RowId, const Row& row) {
+      *out << "ROW ";
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) *out << "|";
+        *out << EncodeValue(row[i]);
+      }
+      *out << "\n";
+      return true;
+    });
+    *out << "END\n";
+  }
+  return out->good() ? Status::Ok() : Status::Internal("write failed");
+}
+
+Status DumpToFile(const Database& database, const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  return Dump(database, &file);
+}
+
+Result<std::unique_ptr<Database>> Load(std::istream* in) {
+  auto database = std::make_unique<Database>();
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.empty()) continue;
+    if (!StartsWith(line, "TABLE ")) {
+      return Status::ParseError("expected TABLE header, got: " + line);
+    }
+    std::string name = line.substr(6);
+
+    if (!std::getline(*in, line)) {
+      return Status::ParseError("missing schema line for table " + name);
+    }
+    std::vector<Column> columns;
+    for (const std::string& field : Split(line, '|')) {
+      size_t colon = field.rfind(':');
+      if (colon == std::string::npos) {
+        return Status::ParseError("bad schema field: " + field);
+      }
+      auto col_name = UnescapeString(field.substr(0, colon));
+      if (!col_name.ok()) return col_name.status();
+      auto type = TypeFromName(field.substr(colon + 1));
+      if (!type.ok()) return type.status();
+      columns.push_back({std::move(col_name).value(), type.value()});
+    }
+    auto table = database->CreateTable(name, std::move(columns));
+    if (!table.ok()) return table.status();
+
+    while (std::getline(*in, line)) {
+      if (line == "END") break;
+      if (StartsWith(line, "INDEX ")) {
+        for (const std::string& col : Split(line.substr(6), ',')) {
+          SASE_RETURN_IF_ERROR(table.value()->CreateIndex(col));
+        }
+        continue;
+      }
+      if (!StartsWith(line, "ROW ")) {
+        return Status::ParseError("expected ROW/INDEX/END, got: " + line);
+      }
+      Row row;
+      for (const std::string& field : Split(line.substr(4), '|')) {
+        auto value = DecodeValue(field);
+        if (!value.ok()) return value.status();
+        row.push_back(std::move(value).value());
+      }
+      auto inserted = table.value()->Insert(std::move(row));
+      if (!inserted.ok()) return inserted.status();
+    }
+  }
+  return database;
+}
+
+Result<std::unique_ptr<Database>> LoadFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  return Load(&file);
+}
+
+}  // namespace db
+}  // namespace sase

@@ -1,0 +1,35 @@
+#ifndef SASE_DB_DUMP_H_
+#define SASE_DB_DUMP_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "db/database.h"
+
+namespace sase {
+namespace db {
+
+/// Text serialization of a Database — the persistence face of the Event
+/// Database substitution (the paper's MySQL survives restarts; an in-memory
+/// engine needs explicit dump/load to support the same "pre-populated with
+/// data collected in advance" workflow of §4).
+///
+/// Format (line oriented, UTF-8):
+///   TABLE <name>
+///   <col>:<TYPE>|<col>:<TYPE>|...
+///   INDEX <col>[,<col>...]          -- optional, restored on load
+///   ROW <v>|<v>|...                 -- values: N, I:<int>, D:<double>,
+///                                      S:<escaped>, B:0/1
+///   END
+/// Strings escape '\' '|' and newline as \\ \p \n.
+Status Dump(const Database& database, std::ostream* out);
+Status DumpToFile(const Database& database, const std::string& path);
+
+Result<std::unique_ptr<Database>> Load(std::istream* in);
+Result<std::unique_ptr<Database>> LoadFromFile(const std::string& path);
+
+}  // namespace db
+}  // namespace sase
+
+#endif  // SASE_DB_DUMP_H_

@@ -1,0 +1,55 @@
+#include "db/ons.h"
+
+#include "util/logging.h"
+
+namespace sase {
+namespace db {
+
+Ons::Ons(Database* database) {
+  table_ = database->GetTable("products");
+  if (table_ == nullptr) {
+    auto created = database->CreateTable(
+        "products", {{"TagId", ValueType::kString},
+                     {"ProductName", ValueType::kString},
+                     {"ExpirationDate", ValueType::kString},
+                     {"Saleable", ValueType::kBool}});
+    // Creation can only fail on a duplicate name, which the lookup above
+    // excludes.
+    table_ = created.value();
+  }
+  (void)table_->CreateIndex("TagId");
+}
+
+Status Ons::RegisterProduct(const std::string& tag_id, const ProductInfo& info) {
+  // Replace any existing registration for the tag.
+  auto existing = table_->Lookup(0, Value(tag_id));
+  if (existing.ok()) {
+    for (RowId id : existing.value()) table_->Erase(id);
+  }
+  auto inserted = table_->Insert({Value(tag_id), Value(info.product_name),
+                                  Value(info.expiration_date),
+                                  Value(info.saleable)});
+  if (!inserted.ok()) return inserted.status();
+  return Status::Ok();
+}
+
+std::optional<ProductInfo> Ons::Lookup(const std::string& tag_id) const {
+  auto ids = table_->Lookup(0, Value(tag_id));
+  if (!ids.ok() || ids.value().empty()) return std::nullopt;
+  const Row* row = table_->Get(ids.value().front());
+  if (row == nullptr) return std::nullopt;
+  ProductInfo info;
+  info.product_name = (*row)[1].is_null() ? "" : (*row)[1].AsString();
+  info.expiration_date = (*row)[2].is_null() ? "" : (*row)[2].AsString();
+  info.saleable = (*row)[3].is_null() ? true : (*row)[3].AsBool();
+  return info;
+}
+
+OnsResolver Ons::Resolver() const {
+  return [this](const std::string& tag_id) { return Lookup(tag_id); };
+}
+
+size_t Ons::product_count() const { return table_->row_count(); }
+
+}  // namespace db
+}  // namespace sase

@@ -1,0 +1,46 @@
+#ifndef SASE_DB_ONS_H_
+#define SASE_DB_ONS_H_
+
+#include <optional>
+#include <string>
+
+#include "cleaning/event_generation.h"
+#include "db/database.h"
+
+namespace sase {
+namespace db {
+
+/// Simulated Object Name Service. "In an actual real-world system,
+/// attributes (e.g., product name, expiration date) can be retrieved from a
+/// tag's user-memory bank or from an Object Name Service (ONS). In our
+/// system, we simulate an ONS with a local database storing product
+/// metadata associated with each item" (§3).
+///
+/// The metadata lives in a `products` table of the given Database
+/// (TagId STRING, ProductName STRING, ExpirationDate STRING,
+/// Saleable BOOL) with a hash index on TagId, so the Event Generation
+/// Layer's per-reading lookups are point queries.
+class Ons {
+ public:
+  /// Creates (or reuses) the `products` table in `database`.
+  explicit Ons(Database* database);
+
+  /// Registers or replaces the metadata for a tag.
+  Status RegisterProduct(const std::string& tag_id, const ProductInfo& info);
+
+  /// Point lookup by tag id; nullopt for unknown tags.
+  std::optional<ProductInfo> Lookup(const std::string& tag_id) const;
+
+  /// Adapter for the Event Generation Layer.
+  OnsResolver Resolver() const;
+
+  size_t product_count() const;
+
+ private:
+  Table* table_;  // owned by the database
+};
+
+}  // namespace db
+}  // namespace sase
+
+#endif  // SASE_DB_ONS_H_

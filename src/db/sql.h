@@ -1,0 +1,80 @@
+#ifndef SASE_DB_SQL_H_
+#define SASE_DB_SQL_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "db/table.h"
+
+namespace sase {
+namespace db {
+
+/// Comparison operator in a SQL WHERE condition.
+enum class SqlOp { kEq, kNeq, kLt, kLe, kGt, kGe };
+
+const char* SqlOpName(SqlOp op);
+
+/// One conjunct of a WHERE clause: `column op literal` (or
+/// `column IS [NOT] NULL` encoded as kEq/kNeq against a NULL value).
+struct SqlCondition {
+  std::string column;
+  SqlOp op = SqlOp::kEq;
+  Value value;
+};
+
+/// SELECT cols FROM table [WHERE conds] [ORDER BY col [ASC|DESC]] [LIMIT n]
+struct SelectStatement {
+  std::vector<std::string> columns;  // empty = '*'
+  std::string table;
+  std::vector<SqlCondition> where;
+  std::string order_by;  // empty = RowId order
+  bool descending = false;
+  int64_t limit = -1;  // -1 = unlimited
+};
+
+/// INSERT INTO table [(cols)] VALUES (v, ...)
+struct InsertStatement {
+  std::string table;
+  std::vector<std::string> columns;  // empty = schema order
+  std::vector<Value> values;
+};
+
+/// UPDATE table SET col = v [, ...] [WHERE conds]
+struct UpdateStatement {
+  std::string table;
+  std::vector<std::pair<std::string, Value>> assignments;
+  std::vector<SqlCondition> where;
+};
+
+/// DELETE FROM table [WHERE conds]
+struct DeleteStatement {
+  std::string table;
+  std::vector<SqlCondition> where;
+};
+
+/// CREATE TABLE table (col TYPE, ...)
+struct CreateTableStatement {
+  std::string table;
+  std::vector<Column> columns;
+};
+
+using SqlStatement = std::variant<SelectStatement, InsertStatement,
+                                  UpdateStatement, DeleteStatement,
+                                  CreateTableStatement>;
+
+/// Result of executing a statement: a relation for SELECT, affected-row
+/// counts for mutations.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  int64_t affected = 0;
+
+  /// Plain-text table rendering (the "Database Report" window's format).
+  std::string ToString() const;
+};
+
+}  // namespace db
+}  // namespace sase
+
+#endif  // SASE_DB_SQL_H_

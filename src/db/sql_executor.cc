@@ -1,0 +1,266 @@
+#include "db/sql_executor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "db/sql_parser.h"
+
+namespace sase {
+namespace db {
+namespace {
+
+/// Evaluates one condition against a row value.
+bool ConditionHolds(const SqlCondition& condition, const Value& value) {
+  if (condition.value.is_null()) {
+    // IS NULL / IS NOT NULL semantics.
+    bool is_null = value.is_null();
+    return condition.op == SqlOp::kEq ? is_null : !is_null;
+  }
+  if (value.is_null()) return false;
+  if (condition.op == SqlOp::kEq) return value.Equals(condition.value);
+  if (condition.op == SqlOp::kNeq) return !value.Equals(condition.value);
+  auto cmp = value.Compare(condition.value);
+  if (!cmp.ok()) return false;
+  switch (condition.op) {
+    case SqlOp::kLt: return cmp.value() < 0;
+    case SqlOp::kLe: return cmp.value() <= 0;
+    case SqlOp::kGt: return cmp.value() > 0;
+    case SqlOp::kGe: return cmp.value() >= 0;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+std::string ResultSet::ToString() const {
+  std::ostringstream out;
+  if (columns.empty()) {
+    out << "(" << affected << " rows affected)";
+    return out.str();
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out << " | ";
+    out << columns[i];
+  }
+  out << "\n";
+  for (const Row& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << " | ";
+      out << row[i].ToString();
+    }
+    out << "\n";
+  }
+  out << "(" << rows.size() << " rows)";
+  return out.str();
+}
+
+Result<ResultSet> SqlExecutor::Execute(const std::string& text) {
+  auto statement = SqlParser::Parse(text);
+  if (!statement.ok()) return statement.status();
+  return Execute(statement.value());
+}
+
+Result<ResultSet> SqlExecutor::Execute(const SqlStatement& statement) {
+  ++statements_executed_;
+  return std::visit(
+      [this](const auto& stmt) -> Result<ResultSet> {
+        using T = std::decay_t<decltype(stmt)>;
+        if constexpr (std::is_same_v<T, SelectStatement>) {
+          return ExecuteSelect(stmt);
+        } else if constexpr (std::is_same_v<T, InsertStatement>) {
+          return ExecuteInsert(stmt);
+        } else if constexpr (std::is_same_v<T, UpdateStatement>) {
+          return ExecuteUpdate(stmt);
+        } else if constexpr (std::is_same_v<T, DeleteStatement>) {
+          return ExecuteDelete(stmt);
+        } else {
+          return ExecuteCreate(stmt);
+        }
+      },
+      statement);
+}
+
+Result<std::vector<RowId>> SqlExecutor::CollectMatches(
+    Table* table, const std::vector<SqlCondition>& conditions) {
+  // Resolve column indices once and validate names.
+  std::vector<int> cols(conditions.size());
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    cols[i] = table->FindColumn(conditions[i].column);
+    if (cols[i] < 0) {
+      return Status::NotFound("no column '" + conditions[i].column +
+                              "' in table " + table->name());
+    }
+  }
+
+  // Pick an indexed equality condition as the access path if one exists.
+  int driver = -1;
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    if (conditions[i].op == SqlOp::kEq && !conditions[i].value.is_null() &&
+        table->HasIndex(cols[i])) {
+      driver = static_cast<int>(i);
+      break;
+    }
+  }
+
+  std::vector<RowId> matches;
+  auto residual_check = [&](RowId id, const Row& row) {
+    ++rows_examined_;
+    for (size_t i = 0; i < conditions.size(); ++i) {
+      if (static_cast<int>(i) == driver) continue;
+      if (!ConditionHolds(conditions[i], row[static_cast<size_t>(cols[i])])) {
+        return;
+      }
+    }
+    matches.push_back(id);
+  };
+
+  if (driver >= 0) {
+    ++index_lookups_;
+    auto ids = table->Lookup(cols[static_cast<size_t>(driver)],
+                             conditions[static_cast<size_t>(driver)].value);
+    if (!ids.ok()) return ids.status();
+    for (RowId id : ids.value()) {
+      const Row* row = table->Get(id);
+      if (row != nullptr) residual_check(id, *row);
+    }
+  } else {
+    table->Scan([&](RowId id, const Row& row) {
+      residual_check(id, row);
+      return true;
+    });
+  }
+  return matches;
+}
+
+Result<ResultSet> SqlExecutor::ExecuteSelect(const SelectStatement& stmt) {
+  Table* table = database_->GetTable(stmt.table);
+  if (table == nullptr) return Status::NotFound("no table named " + stmt.table);
+
+  // Projection columns.
+  std::vector<int> projection;
+  ResultSet result;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < table->columns().size(); ++i) {
+      projection.push_back(static_cast<int>(i));
+      result.columns.push_back(table->columns()[i].name);
+    }
+  } else {
+    for (const std::string& name : stmt.columns) {
+      int col = table->FindColumn(name);
+      if (col < 0) {
+        return Status::NotFound("no column '" + name + "' in table " +
+                                stmt.table);
+      }
+      projection.push_back(col);
+      result.columns.push_back(table->columns()[static_cast<size_t>(col)].name);
+    }
+  }
+
+  auto matches = CollectMatches(table, stmt.where);
+  if (!matches.ok()) return matches.status();
+  std::vector<RowId> ids = std::move(matches).value();
+
+  if (!stmt.order_by.empty()) {
+    int order_col = table->FindColumn(stmt.order_by);
+    if (order_col < 0) {
+      return Status::NotFound("no column '" + stmt.order_by + "' in table " +
+                              stmt.table);
+    }
+    std::stable_sort(ids.begin(), ids.end(), [&](RowId a, RowId b) {
+      const Value& va = (*table->Get(a))[static_cast<size_t>(order_col)];
+      const Value& vb = (*table->Get(b))[static_cast<size_t>(order_col)];
+      auto cmp = va.Compare(vb);
+      int c = cmp.ok() ? cmp.value() : 0;
+      return stmt.descending ? c > 0 : c < 0;
+    });
+  }
+
+  int64_t limit = stmt.limit < 0 ? static_cast<int64_t>(ids.size()) : stmt.limit;
+  for (RowId id : ids) {
+    if (static_cast<int64_t>(result.rows.size()) >= limit) break;
+    const Row& row = *table->Get(id);
+    Row projected;
+    projected.reserve(projection.size());
+    for (int col : projection) projected.push_back(row[static_cast<size_t>(col)]);
+    result.rows.push_back(std::move(projected));
+  }
+  return result;
+}
+
+Result<ResultSet> SqlExecutor::ExecuteInsert(const InsertStatement& stmt) {
+  Table* table = database_->GetTable(stmt.table);
+  if (table == nullptr) return Status::NotFound("no table named " + stmt.table);
+
+  Row row(table->columns().size());
+  if (stmt.columns.empty()) {
+    if (stmt.values.size() != row.size()) {
+      return Status::InvalidArgument("INSERT expects " +
+                                     std::to_string(row.size()) + " values");
+    }
+    row = stmt.values;
+  } else {
+    if (stmt.columns.size() != stmt.values.size()) {
+      return Status::InvalidArgument("INSERT column/value count mismatch");
+    }
+    for (size_t i = 0; i < stmt.columns.size(); ++i) {
+      int col = table->FindColumn(stmt.columns[i]);
+      if (col < 0) {
+        return Status::NotFound("no column '" + stmt.columns[i] + "' in table " +
+                                stmt.table);
+      }
+      row[static_cast<size_t>(col)] = stmt.values[i];
+    }
+  }
+  auto id = table->Insert(std::move(row));
+  if (!id.ok()) return id.status();
+  ResultSet result;
+  result.affected = 1;
+  return result;
+}
+
+Result<ResultSet> SqlExecutor::ExecuteUpdate(const UpdateStatement& stmt) {
+  Table* table = database_->GetTable(stmt.table);
+  if (table == nullptr) return Status::NotFound("no table named " + stmt.table);
+
+  std::vector<std::pair<int, Value>> sets;
+  for (const auto& [name, value] : stmt.assignments) {
+    int col = table->FindColumn(name);
+    if (col < 0) {
+      return Status::NotFound("no column '" + name + "' in table " + stmt.table);
+    }
+    sets.emplace_back(col, value);
+  }
+
+  auto matches = CollectMatches(table, stmt.where);
+  if (!matches.ok()) return matches.status();
+  for (RowId id : matches.value()) {
+    for (const auto& [col, value] : sets) {
+      SASE_RETURN_IF_ERROR(table->Update(id, col, value));
+    }
+  }
+  ResultSet result;
+  result.affected = static_cast<int64_t>(matches.value().size());
+  return result;
+}
+
+Result<ResultSet> SqlExecutor::ExecuteDelete(const DeleteStatement& stmt) {
+  Table* table = database_->GetTable(stmt.table);
+  if (table == nullptr) return Status::NotFound("no table named " + stmt.table);
+  auto matches = CollectMatches(table, stmt.where);
+  if (!matches.ok()) return matches.status();
+  for (RowId id : matches.value()) table->Erase(id);
+  ResultSet result;
+  result.affected = static_cast<int64_t>(matches.value().size());
+  return result;
+}
+
+Result<ResultSet> SqlExecutor::ExecuteCreate(const CreateTableStatement& stmt) {
+  auto table = database_->CreateTable(stmt.table, stmt.columns);
+  if (!table.ok()) return table.status();
+  ResultSet result;
+  result.affected = 0;
+  return result;
+}
+
+}  // namespace db
+}  // namespace sase

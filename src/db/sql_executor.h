@@ -1,0 +1,51 @@
+#ifndef SASE_DB_SQL_EXECUTOR_H_
+#define SASE_DB_SQL_EXECUTOR_H_
+
+#include <string>
+
+#include "db/database.h"
+#include "db/sql.h"
+
+namespace sase {
+namespace db {
+
+/// Executes parsed SQL statements against a Database.
+///
+/// SELECT uses an index when the WHERE clause contains an equality
+/// condition on an indexed column (the track-and-trace access path);
+/// otherwise it scans. Mutations maintain indexes through the Table API.
+class SqlExecutor {
+ public:
+  explicit SqlExecutor(Database* database) : database_(database) {}
+
+  /// Parses and executes `text` in one call.
+  Result<ResultSet> Execute(const std::string& text);
+
+  Result<ResultSet> Execute(const SqlStatement& statement);
+
+  /// Statements executed so far (for the Database Report channel).
+  uint64_t statements_executed() const { return statements_executed_; }
+  uint64_t rows_examined() const { return rows_examined_; }
+  uint64_t index_lookups() const { return index_lookups_; }
+
+ private:
+  Result<ResultSet> ExecuteSelect(const SelectStatement& stmt);
+  Result<ResultSet> ExecuteInsert(const InsertStatement& stmt);
+  Result<ResultSet> ExecuteUpdate(const UpdateStatement& stmt);
+  Result<ResultSet> ExecuteDelete(const DeleteStatement& stmt);
+  Result<ResultSet> ExecuteCreate(const CreateTableStatement& stmt);
+
+  /// Collects the RowIds satisfying `conditions`, via index when possible.
+  Result<std::vector<RowId>> CollectMatches(
+      Table* table, const std::vector<SqlCondition>& conditions);
+
+  Database* database_;
+  uint64_t statements_executed_ = 0;
+  uint64_t rows_examined_ = 0;
+  uint64_t index_lookups_ = 0;
+};
+
+}  // namespace db
+}  // namespace sase
+
+#endif  // SASE_DB_SQL_EXECUTOR_H_

@@ -1,0 +1,301 @@
+#include "db/sql_parser.h"
+
+#include "query/lexer.h"
+#include "util/string_util.h"
+
+namespace sase {
+namespace db {
+
+const char* SqlOpName(SqlOp op) {
+  switch (op) {
+    case SqlOp::kEq: return "=";
+    case SqlOp::kNeq: return "!=";
+    case SqlOp::kLt: return "<";
+    case SqlOp::kLe: return "<=";
+    case SqlOp::kGt: return ">";
+    case SqlOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool SqlParser::CheckWord(const char* word) const {
+  const Token& token = Current();
+  return token.kind == TokenKind::kIdentifier &&
+         EqualsIgnoreCase(token.text, word);
+}
+
+bool SqlParser::MatchKind(TokenKind kind) {
+  if (!CheckKind(kind)) return false;
+  ++pos_;
+  return true;
+}
+
+bool SqlParser::MatchWord(const char* word) {
+  if (!CheckWord(word)) return false;
+  ++pos_;
+  return true;
+}
+
+Status SqlParser::ExpectKind(TokenKind kind, const std::string& context) {
+  if (MatchKind(kind)) return Status::Ok();
+  return ErrorAtCurrent("expected " + std::string(TokenKindName(kind)) + " " +
+                        context);
+}
+
+Status SqlParser::ExpectWord(const char* word, const std::string& context) {
+  if (MatchWord(word)) return Status::Ok();
+  return ErrorAtCurrent("expected " + std::string(word) + " " + context);
+}
+
+Status SqlParser::ErrorAtCurrent(const std::string& message) const {
+  const Token& token = Current();
+  return Status::ParseError("SQL: " + message + ", found " + token.Describe() +
+                            " at line " + std::to_string(token.line) +
+                            ", column " + std::to_string(token.column));
+}
+
+Result<std::string> SqlParser::ParseIdentifier(const std::string& what) {
+  if (!CheckKind(TokenKind::kIdentifier)) {
+    return ErrorAtCurrent("expected " + what);
+  }
+  std::string name = Current().text;
+  ++pos_;
+  return name;
+}
+
+Result<Value> SqlParser::ParseLiteral() {
+  const Token& token = Current();
+  bool negative = false;
+  if (token.kind == TokenKind::kMinus) {
+    negative = true;
+    ++pos_;
+  }
+  const Token& lit = Current();
+  switch (lit.kind) {
+    case TokenKind::kInteger:
+      ++pos_;
+      return Value(negative ? -lit.int_value : lit.int_value);
+    case TokenKind::kFloat:
+      ++pos_;
+      return Value(negative ? -lit.float_value : lit.float_value);
+    case TokenKind::kString:
+      if (negative) return ErrorAtCurrent("cannot negate a string literal");
+      ++pos_;
+      return Value(lit.text);
+    case TokenKind::kTrue:
+      ++pos_;
+      return Value(true);
+    case TokenKind::kFalse:
+      ++pos_;
+      return Value(false);
+    case TokenKind::kNull:
+      ++pos_;
+      return Value();
+    default:
+      return ErrorAtCurrent("expected a literal");
+  }
+}
+
+Status SqlParser::ParseWhere(std::vector<SqlCondition>* conditions) {
+  while (true) {
+    SqlCondition condition;
+    auto column = ParseIdentifier("column name in WHERE");
+    if (!column.ok()) return column.status();
+    condition.column = std::move(column).value();
+
+    // IS [NOT] NULL.
+    if (MatchWord("IS")) {
+      bool negated = MatchKind(TokenKind::kNot);
+      SASE_RETURN_IF_ERROR(ExpectKind(TokenKind::kNull, "after IS"));
+      condition.op = negated ? SqlOp::kNeq : SqlOp::kEq;
+      condition.value = Value();
+    } else {
+      if (MatchKind(TokenKind::kEq)) {
+        condition.op = SqlOp::kEq;
+      } else if (MatchKind(TokenKind::kNeq)) {
+        condition.op = SqlOp::kNeq;
+      } else if (MatchKind(TokenKind::kLt)) {
+        condition.op = SqlOp::kLt;
+      } else if (MatchKind(TokenKind::kLe)) {
+        condition.op = SqlOp::kLe;
+      } else if (MatchKind(TokenKind::kGt)) {
+        condition.op = SqlOp::kGt;
+      } else if (MatchKind(TokenKind::kGe)) {
+        condition.op = SqlOp::kGe;
+      } else {
+        return ErrorAtCurrent("expected a comparison operator");
+      }
+      auto value = ParseLiteral();
+      if (!value.ok()) return value.status();
+      condition.value = std::move(value).value();
+    }
+    conditions->push_back(std::move(condition));
+    if (!MatchKind(TokenKind::kAnd)) return Status::Ok();
+  }
+}
+
+Result<SqlStatement> SqlParser::Parse(const std::string& text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  SqlParser parser(std::move(tokens).value());
+  auto statement = parser.ParseStatement();
+  if (!statement.ok()) return statement;
+  if (!parser.CheckKind(TokenKind::kEnd)) {
+    return parser.ErrorAtCurrent("trailing input after statement");
+  }
+  return statement;
+}
+
+Result<SqlStatement> SqlParser::ParseStatement() {
+  if (MatchWord("SELECT")) return ParseSelect();
+  if (MatchWord("INSERT")) return ParseInsert();
+  if (MatchWord("UPDATE")) return ParseUpdate();
+  if (MatchWord("DELETE")) return ParseDelete();
+  if (MatchWord("CREATE")) return ParseCreate();
+  return ErrorAtCurrent("expected SELECT, INSERT, UPDATE, DELETE or CREATE");
+}
+
+Result<SqlStatement> SqlParser::ParseSelect() {
+  SelectStatement stmt;
+  if (!MatchKind(TokenKind::kStar)) {
+    while (true) {
+      auto column = ParseIdentifier("column name");
+      if (!column.ok()) return column.status();
+      stmt.columns.push_back(std::move(column).value());
+      if (!MatchKind(TokenKind::kComma)) break;
+    }
+  }
+  SASE_RETURN_IF_ERROR(ExpectKind(TokenKind::kFrom, "after select list"));
+  auto table = ParseIdentifier("table name");
+  if (!table.ok()) return table.status();
+  stmt.table = std::move(table).value();
+
+  if (MatchKind(TokenKind::kWhere)) {
+    SASE_RETURN_IF_ERROR(ParseWhere(&stmt.where));
+  }
+  if (MatchWord("ORDER")) {
+    SASE_RETURN_IF_ERROR(ExpectWord("BY", "after ORDER"));
+    auto column = ParseIdentifier("ORDER BY column");
+    if (!column.ok()) return column.status();
+    stmt.order_by = std::move(column).value();
+    if (MatchWord("DESC")) {
+      stmt.descending = true;
+    } else {
+      (void)MatchWord("ASC");
+    }
+  }
+  if (MatchWord("LIMIT")) {
+    if (!CheckKind(TokenKind::kInteger)) {
+      return ErrorAtCurrent("expected row count after LIMIT");
+    }
+    stmt.limit = Current().int_value;
+    ++pos_;
+  }
+  return SqlStatement(std::move(stmt));
+}
+
+Result<SqlStatement> SqlParser::ParseInsert() {
+  InsertStatement stmt;
+  SASE_RETURN_IF_ERROR(ExpectKind(TokenKind::kInto, "after INSERT"));
+  auto table = ParseIdentifier("table name");
+  if (!table.ok()) return table.status();
+  stmt.table = std::move(table).value();
+
+  if (MatchKind(TokenKind::kLParen)) {
+    while (true) {
+      auto column = ParseIdentifier("column name");
+      if (!column.ok()) return column.status();
+      stmt.columns.push_back(std::move(column).value());
+      if (!MatchKind(TokenKind::kComma)) break;
+    }
+    SASE_RETURN_IF_ERROR(ExpectKind(TokenKind::kRParen, "to close column list"));
+  }
+  SASE_RETURN_IF_ERROR(ExpectWord("VALUES", "in INSERT"));
+  SASE_RETURN_IF_ERROR(ExpectKind(TokenKind::kLParen, "after VALUES"));
+  while (true) {
+    auto value = ParseLiteral();
+    if (!value.ok()) return value.status();
+    stmt.values.push_back(std::move(value).value());
+    if (!MatchKind(TokenKind::kComma)) break;
+  }
+  SASE_RETURN_IF_ERROR(ExpectKind(TokenKind::kRParen, "to close VALUES"));
+  return SqlStatement(std::move(stmt));
+}
+
+Result<SqlStatement> SqlParser::ParseUpdate() {
+  UpdateStatement stmt;
+  auto table = ParseIdentifier("table name");
+  if (!table.ok()) return table.status();
+  stmt.table = std::move(table).value();
+  SASE_RETURN_IF_ERROR(ExpectWord("SET", "in UPDATE"));
+  while (true) {
+    auto column = ParseIdentifier("column name");
+    if (!column.ok()) return column.status();
+    SASE_RETURN_IF_ERROR(ExpectKind(TokenKind::kEq, "in assignment"));
+    auto value = ParseLiteral();
+    if (!value.ok()) return value.status();
+    stmt.assignments.emplace_back(std::move(column).value(),
+                                  std::move(value).value());
+    if (!MatchKind(TokenKind::kComma)) break;
+  }
+  if (MatchKind(TokenKind::kWhere)) {
+    SASE_RETURN_IF_ERROR(ParseWhere(&stmt.where));
+  }
+  return SqlStatement(std::move(stmt));
+}
+
+Result<SqlStatement> SqlParser::ParseDelete() {
+  DeleteStatement stmt;
+  SASE_RETURN_IF_ERROR(ExpectKind(TokenKind::kFrom, "after DELETE"));
+  auto table = ParseIdentifier("table name");
+  if (!table.ok()) return table.status();
+  stmt.table = std::move(table).value();
+  if (MatchKind(TokenKind::kWhere)) {
+    SASE_RETURN_IF_ERROR(ParseWhere(&stmt.where));
+  }
+  return SqlStatement(std::move(stmt));
+}
+
+Result<SqlStatement> SqlParser::ParseCreate() {
+  CreateTableStatement stmt;
+  SASE_RETURN_IF_ERROR(ExpectWord("TABLE", "after CREATE"));
+  auto table = ParseIdentifier("table name");
+  if (!table.ok()) return table.status();
+  stmt.table = std::move(table).value();
+  SASE_RETURN_IF_ERROR(ExpectKind(TokenKind::kLParen, "to open column list"));
+  while (true) {
+    Column column;
+    auto name = ParseIdentifier("column name");
+    if (!name.ok()) return name.status();
+    column.name = std::move(name).value();
+    auto type = ParseIdentifier("column type");
+    if (!type.ok()) return type.status();
+    const std::string& type_name = type.value();
+    if (EqualsIgnoreCase(type_name, "INT") ||
+        EqualsIgnoreCase(type_name, "INTEGER") ||
+        EqualsIgnoreCase(type_name, "BIGINT")) {
+      column.type = ValueType::kInt;
+    } else if (EqualsIgnoreCase(type_name, "DOUBLE") ||
+               EqualsIgnoreCase(type_name, "FLOAT") ||
+               EqualsIgnoreCase(type_name, "REAL")) {
+      column.type = ValueType::kDouble;
+    } else if (EqualsIgnoreCase(type_name, "STRING") ||
+               EqualsIgnoreCase(type_name, "TEXT") ||
+               EqualsIgnoreCase(type_name, "VARCHAR")) {
+      column.type = ValueType::kString;
+    } else if (EqualsIgnoreCase(type_name, "BOOL") ||
+               EqualsIgnoreCase(type_name, "BOOLEAN")) {
+      column.type = ValueType::kBool;
+    } else {
+      return Status::ParseError("SQL: unknown column type '" + type_name + "'");
+    }
+    stmt.columns.push_back(std::move(column));
+    if (!MatchKind(TokenKind::kComma)) break;
+  }
+  SASE_RETURN_IF_ERROR(ExpectKind(TokenKind::kRParen, "to close column list"));
+  return SqlStatement(std::move(stmt));
+}
+
+}  // namespace db
+}  // namespace sase

@@ -1,0 +1,62 @@
+#ifndef SASE_DB_SQL_PARSER_H_
+#define SASE_DB_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "db/sql.h"
+#include "query/token.h"
+#include "util/status.h"
+
+namespace sase {
+namespace db {
+
+/// Parser for the SQL subset served by the Event Database. The paper's UI
+/// lets users "issue ... ad hoc queries on the event database"; this subset
+/// covers the demo's track-and-trace and reporting statements:
+///
+///   SELECT col[, col...] | * FROM table
+///     [WHERE col OP literal [AND ...]]
+///     [ORDER BY col [ASC|DESC]] [LIMIT n]
+///   INSERT INTO table [(col, ...)] VALUES (literal, ...)
+///   UPDATE table SET col = literal [, ...] [WHERE ...]
+///   DELETE FROM table [WHERE ...]
+///   CREATE TABLE table (col TYPE [, ...])   -- TYPE in INT|DOUBLE|STRING|BOOL
+///
+/// Conditions support `IS NULL` / `IS NOT NULL`. The lexer is shared with
+/// the SASE event language (SQL keywords outside SASE's set arrive as
+/// identifiers and are matched case-insensitively here).
+class SqlParser {
+ public:
+  static Result<SqlStatement> Parse(const std::string& text);
+
+ private:
+  explicit SqlParser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Current() const { return tokens_[pos_]; }
+  bool CheckKind(TokenKind kind) const { return Current().kind == kind; }
+  bool CheckWord(const char* word) const;
+  bool MatchKind(TokenKind kind);
+  bool MatchWord(const char* word);
+  Status ExpectKind(TokenKind kind, const std::string& context);
+  Status ExpectWord(const char* word, const std::string& context);
+  Status ErrorAtCurrent(const std::string& message) const;
+  Result<std::string> ParseIdentifier(const std::string& what);
+  Result<Value> ParseLiteral();
+  Status ParseWhere(std::vector<SqlCondition>* conditions);
+
+  Result<SqlStatement> ParseStatement();
+  Result<SqlStatement> ParseSelect();
+  Result<SqlStatement> ParseInsert();
+  Result<SqlStatement> ParseUpdate();
+  Result<SqlStatement> ParseDelete();
+  Result<SqlStatement> ParseCreate();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace db
+}  // namespace sase
+
+#endif  // SASE_DB_SQL_PARSER_H_

@@ -1,0 +1,136 @@
+#include "db/table.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace sase {
+namespace db {
+
+Table::Table(std::string name, std::vector<Column> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {}
+
+int Table::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Table::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "table " + name_ + " expects " + std::to_string(columns_.size()) +
+        " values, got " + std::to_string(row.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    ValueType expected = columns_[i].type;
+    ValueType actual = row[i].type();
+    bool numeric_ok =
+        (expected == ValueType::kInt || expected == ValueType::kDouble) &&
+        (actual == ValueType::kInt || actual == ValueType::kDouble);
+    if (actual != expected && !numeric_ok) {
+      return Status::InvalidArgument("column " + columns_[i].name + " of " +
+                                     name_ + " expects " +
+                                     ValueTypeName(expected) + ", got " +
+                                     ValueTypeName(actual));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<RowId> Table::Insert(Row row) {
+  SASE_RETURN_IF_ERROR(ValidateRow(row));
+  RowId id = next_id_++;
+  for (const auto& [column, index] : indexes_) {
+    (void)index;
+    IndexInsert(column, row[static_cast<size_t>(column)], id);
+  }
+  rows_.emplace(id, std::move(row));
+  return id;
+}
+
+const Row* Table::Get(RowId id) const {
+  auto it = rows_.find(id);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+Status Table::Update(RowId id, int column, Value value) {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return Status::NotFound("row " + std::to_string(id) + " not in " + name_);
+  }
+  if (column < 0 || static_cast<size_t>(column) >= columns_.size()) {
+    return Status::InvalidArgument("bad column index");
+  }
+  Row probe = it->second;
+  probe[static_cast<size_t>(column)] = value;
+  SASE_RETURN_IF_ERROR(ValidateRow(probe));
+  if (HasIndex(column)) {
+    IndexErase(column, it->second[static_cast<size_t>(column)], id);
+    IndexInsert(column, value, id);
+  }
+  it->second[static_cast<size_t>(column)] = std::move(value);
+  return Status::Ok();
+}
+
+bool Table::Erase(RowId id) {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) return false;
+  for (const auto& [column, index] : indexes_) {
+    (void)index;
+    IndexErase(column, it->second[static_cast<size_t>(column)], id);
+  }
+  rows_.erase(it);
+  return true;
+}
+
+void Table::Scan(const std::function<bool(RowId, const Row&)>& fn) const {
+  for (const auto& [id, row] : rows_) {
+    if (!fn(id, row)) return;
+  }
+}
+
+Status Table::CreateIndex(const std::string& column) {
+  int col = FindColumn(column);
+  if (col < 0) {
+    return Status::NotFound("no column '" + column + "' in " + name_);
+  }
+  if (HasIndex(col)) return Status::Ok();
+  auto& index = indexes_[col];
+  for (const auto& [id, row] : rows_) {
+    index[row[static_cast<size_t>(col)]].push_back(id);
+  }
+  return Status::Ok();
+}
+
+bool Table::HasIndex(int column) const { return indexes_.count(column) > 0; }
+
+Result<std::vector<RowId>> Table::Lookup(int column, const Value& value) const {
+  auto it = indexes_.find(column);
+  if (it == indexes_.end()) {
+    return Status::InvalidArgument("no index on column " + std::to_string(column) +
+                                   " of " + name_);
+  }
+  auto rows = it->second.find(value);
+  if (rows == it->second.end()) return std::vector<RowId>{};
+  return rows->second;
+}
+
+void Table::IndexInsert(int column, const Value& value, RowId id) {
+  auto& ids = indexes_[column][value];
+  ids.insert(std::upper_bound(ids.begin(), ids.end(), id), id);
+}
+
+void Table::IndexErase(int column, const Value& value, RowId id) {
+  auto it = indexes_[column].find(value);
+  if (it == indexes_[column].end()) return;
+  auto& ids = it->second;
+  auto pos = std::lower_bound(ids.begin(), ids.end(), id);
+  if (pos != ids.end() && *pos == id) ids.erase(pos);
+  if (ids.empty()) indexes_[column].erase(it);
+}
+
+}  // namespace db
+}  // namespace sase

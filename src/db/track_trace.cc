@@ -1,0 +1,100 @@
+#include "db/track_trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sase {
+namespace db {
+
+std::string MovementEntry::ToString() const {
+  std::ostringstream out;
+  out << (kind == Kind::kLocation ? "location " : "container ")
+      << stay.where.ToString() << " [" << stay.time_in << ", ";
+  if (stay.current()) {
+    out << "now)";
+  } else {
+    out << stay.time_out << ")";
+  }
+  return out.str();
+}
+
+TrackTrace::TrackTrace(Database* database)
+    : location_(database->GetTable("location_history")),
+      containment_(database->GetTable("containment_history")) {}
+
+std::vector<Stay> TrackTrace::History(const Table* table,
+                                      const std::string& tag_id) const {
+  std::vector<Stay> stays;
+  if (table == nullptr) return stays;
+  auto ids = table->Lookup(0, Value(tag_id));
+  if (!ids.ok()) return stays;
+  for (RowId id : ids.value()) {
+    const Row* row = table->Get(id);
+    if (row == nullptr) continue;
+    Stay stay;
+    stay.where = (*row)[1];
+    stay.time_in = (*row)[2].is_null() ? 0 : (*row)[2].AsInt();
+    stay.time_out = (*row)[3].is_null() ? -1 : (*row)[3].AsInt();
+    stays.push_back(std::move(stay));
+  }
+  std::stable_sort(stays.begin(), stays.end(),
+                   [](const Stay& a, const Stay& b) { return a.time_in < b.time_in; });
+  return stays;
+}
+
+std::optional<Stay> TrackTrace::CurrentLocation(const std::string& tag_id) const {
+  for (const Stay& stay : History(location_, tag_id)) {
+    if (stay.current()) return stay;
+  }
+  return std::nullopt;
+}
+
+std::optional<Stay> TrackTrace::CurrentContainment(
+    const std::string& tag_id) const {
+  for (const Stay& stay : History(containment_, tag_id)) {
+    if (stay.current()) return stay;
+  }
+  return std::nullopt;
+}
+
+std::vector<Stay> TrackTrace::LocationHistory(const std::string& tag_id) const {
+  return History(location_, tag_id);
+}
+
+std::vector<Stay> TrackTrace::ContainmentHistory(
+    const std::string& tag_id) const {
+  return History(containment_, tag_id);
+}
+
+std::vector<MovementEntry> TrackTrace::MovementHistory(
+    const std::string& tag_id) const {
+  std::vector<MovementEntry> entries;
+  for (const Stay& stay : History(location_, tag_id)) {
+    entries.push_back({MovementEntry::Kind::kLocation, stay});
+  }
+  for (const Stay& stay : History(containment_, tag_id)) {
+    entries.push_back({MovementEntry::Kind::kContainment, stay});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const MovementEntry& a, const MovementEntry& b) {
+                     return a.stay.time_in < b.stay.time_in;
+                   });
+  return entries;
+}
+
+std::vector<std::string> TrackTrace::TagsInArea(int64_t area_id) const {
+  std::vector<std::string> tags;
+  if (location_ == nullptr) return tags;
+  location_->Scan([&](RowId, const Row& row) {
+    if (row[3].is_null() && !row[1].is_null() && row[1].Equals(Value(area_id)) &&
+        !row[0].is_null()) {
+      tags.push_back(row[0].AsString());
+    }
+    return true;
+  });
+  std::sort(tags.begin(), tags.end());
+  return tags;
+}
+
+}  // namespace db
+}  // namespace sase

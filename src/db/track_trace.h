@@ -1,0 +1,69 @@
+#ifndef SASE_DB_TRACK_TRACE_H_
+#define SASE_DB_TRACK_TRACE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "util/time_util.h"
+
+namespace sase {
+namespace db {
+
+/// One stay of a tag in a location or container; TimeOut of -1 encodes
+/// "still there" (NULL in the table).
+struct Stay {
+  Value where;  // AreaId (INT) or ContainerId (STRING)
+  Timestamp time_in = 0;
+  Timestamp time_out = -1;
+
+  bool current() const { return time_out < 0; }
+};
+
+/// A combined movement-history entry for display: location and containment
+/// changes merged in time order ("Movement history: find the location and
+/// containment changes of an item", §4).
+struct MovementEntry {
+  enum class Kind { kLocation, kContainment } kind = Kind::kLocation;
+  Stay stay;
+
+  std::string ToString() const;
+};
+
+/// The demo's track-and-trace queries over the archival schema
+/// (see db/archiver.h). Both run as indexed point lookups on TagId.
+class TrackTrace {
+ public:
+  explicit TrackTrace(Database* database);
+
+  /// "Current location: find the current location of an item."
+  std::optional<Stay> CurrentLocation(const std::string& tag_id) const;
+
+  /// Current container of an item, if any.
+  std::optional<Stay> CurrentContainment(const std::string& tag_id) const;
+
+  /// All location stays of an item in TimeIn order.
+  std::vector<Stay> LocationHistory(const std::string& tag_id) const;
+
+  /// All containment stays of an item in TimeIn order.
+  std::vector<Stay> ContainmentHistory(const std::string& tag_id) const;
+
+  /// "Movement history: find the location and containment changes of an
+  /// item" — both histories merged in time order.
+  std::vector<MovementEntry> MovementHistory(const std::string& tag_id) const;
+
+  /// All tags currently in the given area (inventory view). Scans.
+  std::vector<std::string> TagsInArea(int64_t area_id) const;
+
+ private:
+  std::vector<Stay> History(const Table* table, const std::string& tag_id) const;
+
+  const Table* location_;
+  const Table* containment_;
+};
+
+}  // namespace db
+}  // namespace sase
+
+#endif  // SASE_DB_TRACK_TRACE_H_

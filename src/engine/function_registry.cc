@@ -1,0 +1,85 @@
+#include "engine/function_registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace sase {
+
+Status FunctionRegistry::Register(const std::string& name, int arity,
+                                  BuiltinFunction fn) {
+  std::string key = ToLower(name);
+  if (functions_.count(key) > 0) {
+    return Status::AlreadyExists("function already registered: " + name);
+  }
+  functions_.emplace(std::move(key), Entry{arity, std::move(fn)});
+  return Status::Ok();
+}
+
+bool FunctionRegistry::Has(const std::string& name) const {
+  return functions_.count(ToLower(name)) > 0;
+}
+
+Result<Value> FunctionRegistry::Invoke(const std::string& name,
+                                       const std::vector<Value>& args) const {
+  auto it = functions_.find(ToLower(name));
+  if (it == functions_.end()) {
+    return Status::NotFound("unknown function: " + name);
+  }
+  const Entry& entry = it->second;
+  if (entry.arity >= 0 && static_cast<size_t>(entry.arity) != args.size()) {
+    return Status::InvalidArgument(
+        name + " expects " + std::to_string(entry.arity) + " arguments, got " +
+        std::to_string(args.size()));
+  }
+  return entry.fn(args);
+}
+
+std::vector<std::string> FunctionRegistry::FunctionNames() const {
+  std::vector<std::string> names;
+  names.reserve(functions_.size());
+  for (const auto& [name, entry] : functions_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void FunctionRegistry::RegisterCommon() {
+  (void)Register("_concat", -1, [](const std::vector<Value>& args) -> Result<Value> {
+    std::string out;
+    for (const auto& arg : args) out += arg.ToString();
+    return Value(std::move(out));
+  });
+  (void)Register("_abs", 1, [](const std::vector<Value>& args) -> Result<Value> {
+    const Value& v = args[0];
+    if (v.type() == ValueType::kInt) return Value(std::abs(v.AsInt()));
+    if (v.type() == ValueType::kDouble) return Value(std::fabs(v.AsDouble()));
+    return Status::InvalidArgument("_abs expects a numeric argument");
+  });
+  (void)Register("_length", 1, [](const std::vector<Value>& args) -> Result<Value> {
+    if (args[0].type() != ValueType::kString) {
+      return Status::InvalidArgument("_length expects a string argument");
+    }
+    return Value(static_cast<int64_t>(args[0].AsString().size()));
+  });
+  (void)Register("_upper", 1, [](const std::vector<Value>& args) -> Result<Value> {
+    if (args[0].type() != ValueType::kString) {
+      return Status::InvalidArgument("_upper expects a string argument");
+    }
+    return Value(ToUpper(args[0].AsString()));
+  });
+  (void)Register("_lower", 1, [](const std::vector<Value>& args) -> Result<Value> {
+    if (args[0].type() != ValueType::kString) {
+      return Status::InvalidArgument("_lower expects a string argument");
+    }
+    return Value(ToLower(args[0].AsString()));
+  });
+  (void)Register("_if", 3, [](const std::vector<Value>& args) -> Result<Value> {
+    if (args[0].type() != ValueType::kBool) {
+      return Status::InvalidArgument("_if expects a boolean condition");
+    }
+    return args[0].AsBool() ? args[1] : args[2];
+  });
+}
+
+}  // namespace sase

@@ -1,0 +1,62 @@
+#ifndef SASE_ENGINE_FUNCTION_REGISTRY_H_
+#define SASE_ENGINE_FUNCTION_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/value.h"
+#include "util/status.h"
+
+namespace sase {
+
+/// Signature of a SASE built-in or user function callable from WHERE and
+/// RETURN clauses.
+using BuiltinFunction =
+    std::function<Result<Value>(const std::vector<Value>& args)>;
+
+/// Registry of functions callable from queries.
+///
+/// "Our language provides a set of built-in functions (all starting with
+/// '_') for common database operations and can be extended to accommodate
+/// other user functions." The database module registers
+/// `_retrieveLocation`, `_updateLocation`, `_updateContainment`, ...;
+/// RegisterCommon() adds pure helpers that need no database.
+class FunctionRegistry {
+ public:
+  FunctionRegistry() = default;
+
+  /// Registers `fn` under (case-insensitive) `name`. `arity` of -1 accepts
+  /// any argument count; otherwise Invoke checks it before dispatch.
+  Status Register(const std::string& name, int arity, BuiltinFunction fn);
+
+  bool Has(const std::string& name) const;
+
+  /// Calls the named function. Unknown names and arity mismatches are
+  /// InvalidArgument errors surfaced to the query.
+  Result<Value> Invoke(const std::string& name,
+                       const std::vector<Value>& args) const;
+
+  /// Names of all registered functions (sorted), for diagnostics.
+  std::vector<std::string> FunctionNames() const;
+
+  /// Registers database-independent helpers:
+  ///   _concat(a, b, ...)  string concatenation
+  ///   _abs(x)             absolute value
+  ///   _length(s)          string length
+  ///   _upper(s), _lower(s)
+  ///   _if(cond, a, b)     conditional
+  void RegisterCommon();
+
+ private:
+  struct Entry {
+    int arity;
+    BuiltinFunction fn;
+  };
+  std::unordered_map<std::string, Entry> functions_;  // key: lowercased name
+};
+
+}  // namespace sase
+
+#endif  // SASE_ENGINE_FUNCTION_REGISTRY_H_

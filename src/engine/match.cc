@@ -1,0 +1,53 @@
+#include "engine/match.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace sase {
+
+std::string Match::ToString(const Catalog& catalog) const {
+  std::ostringstream out;
+  out << "match[" << first_ts << ".." << last_ts << "]{";
+  bool first = true;
+  for (const auto& event : bindings) {
+    if (event == nullptr) continue;
+    if (!first) out << "; ";
+    first = false;
+    out << event->ToString(catalog);
+  }
+  out << "}";
+  return out.str();
+}
+
+std::vector<SequenceNumber> Match::Key() const {
+  std::vector<SequenceNumber> key;
+  key.reserve(bindings.size());
+  for (const auto& event : bindings) {
+    // Slot order is stable, so a flat list of seqs (with a sentinel for
+    // negated slots) identifies the match uniquely.
+    key.push_back(event == nullptr ? static_cast<SequenceNumber>(-1)
+                                   : event->seq());
+  }
+  return key;
+}
+
+std::string OutputRecord::ToString() const {
+  std::ostringstream out;
+  out << (stream.empty() ? "out" : stream) << "@" << timestamp << "{";
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << names[i] << "=" << values[i].ToString();
+  }
+  out << "}";
+  return out.str();
+}
+
+Value OutputRecord::Get(const std::string& name) const {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (EqualsIgnoreCase(names[i], name)) return values[i];
+  }
+  return Value();
+}
+
+}  // namespace sase

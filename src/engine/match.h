@@ -1,0 +1,55 @@
+#ifndef SASE_ENGINE_MATCH_H_
+#define SASE_ENGINE_MATCH_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/event.h"
+#include "core/value.h"
+
+namespace sase {
+
+/// A composite event produced by the event matching block (EVENT + WHERE +
+/// WITHIN): one constituent event per pattern variable.
+///
+/// `bindings` is indexed by pattern slot; negated slots stay nullptr (a
+/// match is precisely the *absence* of those events). The timestamps of the
+/// first/last positive constituents are cached for window checks.
+struct Match {
+  std::vector<EventPtr> bindings;
+  Timestamp first_ts = 0;
+  Timestamp last_ts = 0;
+
+  /// Renders the positive constituents for debugging/tests.
+  std::string ToString(const Catalog& catalog) const;
+
+  /// Canonical identity: the sequence numbers of bound events. Used by
+  /// tests to compare engine output against the reference matcher.
+  std::vector<SequenceNumber> Key() const;
+};
+
+using MatchCallback = std::function<void(const Match&)>;
+
+/// Final output of a query: the composite event after the RETURN clause.
+/// Attribute names come from aliases (or the expression text), the stream
+/// name from INTO, and the timestamp from the last constituent event.
+struct OutputRecord {
+  std::string stream;
+  Timestamp timestamp = 0;
+  std::vector<std::string> names;
+  std::vector<Value> values;
+
+  /// "stream@ts{name=value, ...}".
+  std::string ToString() const;
+
+  /// Value lookup by (case-insensitive) column name; NULL when absent.
+  Value Get(const std::string& name) const;
+};
+
+using OutputCallback = std::function<void(const OutputRecord&)>;
+
+}  // namespace sase
+
+#endif  // SASE_ENGINE_MATCH_H_

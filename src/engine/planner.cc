@@ -1,0 +1,103 @@
+#include "engine/planner.h"
+
+#include <sstream>
+
+namespace sase {
+
+std::string PlanOptions::ToString() const {
+  std::ostringstream out;
+  out << "push_window=" << (push_window ? "on" : "off")
+      << " push_predicates=" << (push_predicates ? "on" : "off")
+      << " partitioning=" << (use_partitioning ? "on" : "off");
+  return out.str();
+}
+
+QueryPlan::QueryPlan(AnalyzedQuery query, PlanOptions options,
+                     const Catalog* catalog, const FunctionRegistry* functions,
+                     OutputCallback callback)
+    : query_(std::move(query)), options_(options),
+      nfa_(Nfa::Compile(query_, options.push_predicates,
+                        options.use_partitioning)) {
+  Ticks scan_window = options_.push_window ? query_.window_ticks : -1;
+  scan_ = std::make_unique<SequenceScan>(&nfa_, scan_window, functions,
+                                         query_.slot_count());
+
+  // Residual predicates: the analyzer's residuals, plus whatever the
+  // disabled optimizations hand back.
+  std::vector<ExprPtr> residuals = query_.residual_predicates;
+  if (!options_.push_predicates) {
+    for (const auto& filters : query_.edge_filters) {
+      residuals.insert(residuals.end(), filters.begin(), filters.end());
+    }
+  }
+  if (!options_.use_partitioning) {
+    residuals.insert(residuals.end(), query_.partition_subsumed.begin(),
+                     query_.partition_subsumed.end());
+  }
+  selection_ = std::make_unique<Selection>(std::move(residuals), functions);
+
+  window_ = std::make_unique<WindowFilter>(query_.window_ticks);
+
+  std::vector<NegationSpec> specs = query_.negations;
+  if (!options_.use_partitioning) {
+    for (auto& spec : specs) {
+      spec.cross_preds.insert(spec.cross_preds.end(),
+                              spec.subsumed_cross.begin(),
+                              spec.subsumed_cross.end());
+      spec.partition_attr = kInvalidAttr;
+    }
+  }
+  negation_ = std::make_unique<Negation>(std::move(specs),
+                                         query_.positive_slots,
+                                         query_.window_ticks,
+                                         options_.use_partitioning, functions);
+
+  transformation_ = std::make_unique<Transformation>(&query_, catalog,
+                                                     functions,
+                                                     std::move(callback));
+
+  scan_->set_downstream(selection_.get());
+  selection_->set_downstream(window_.get());
+  window_->set_downstream(negation_.get());
+  negation_->set_downstream(transformation_.get());
+}
+
+void QueryPlan::OnEvent(const EventPtr& event) {
+  // Negation buffers must observe the event before any match produced from
+  // it is checked; see engine/negation.h for the watermark argument.
+  negation_->OnEvent(event);
+  scan_->OnEvent(event);
+}
+
+void QueryPlan::OnFlush() { scan_->OnFlush(); }
+
+uint64_t QueryPlan::eval_error_count() const {
+  return scan_->stats().eval_errors + selection_->stats().eval_errors +
+         negation_->stats().eval_errors + transformation_->stats().eval_errors;
+}
+
+std::string QueryPlan::Explain(const Catalog& catalog) const {
+  std::ostringstream out;
+  out << "=== plan (" << options_.ToString() << ") ===\n";
+  out << query_.Explain() << "\n";
+  out << "--- NFA ---\n" << nfa_.ToString(catalog) << "\n";
+  out << "--- operators ---\n";
+  const Operator* ops[] = {scan_.get(), selection_.get(), window_.get(),
+                           negation_.get(), transformation_.get()};
+  for (const Operator* op : ops) {
+    out << op->name() << ": in=" << op->matches_in()
+        << " out=" << op->matches_out() << "\n";
+  }
+  return out.str();
+}
+
+std::unique_ptr<QueryPlan> Planner::Build(AnalyzedQuery query,
+                                          PlanOptions options,
+                                          const Catalog* catalog,
+                                          const FunctionRegistry* functions,
+                                          OutputCallback callback) {
+  return std::make_unique<QueryPlan>(std::move(query), options, catalog,
+                                     functions, std::move(callback));
+}
+
+}  // namespace sase

@@ -1,0 +1,95 @@
+#ifndef SASE_ENGINE_PLANNER_H_
+#define SASE_ENGINE_PLANNER_H_
+
+#include <memory>
+#include <string>
+
+#include "engine/negation.h"
+#include "engine/selection.h"
+#include "engine/sequence_scan.h"
+#include "engine/transformation.h"
+#include "engine/window_filter.h"
+#include "nfa/nfa.h"
+#include "query/analyzer.h"
+
+namespace sase {
+
+/// Plan-level optimization switches. The defaults are the paper's
+/// optimized plan; the ablation benches flip them individually to measure
+/// what each pushdown contributes.
+struct PlanOptions {
+  /// Push WITHIN into SequenceScan (stack pruning + bounded construction).
+  bool push_window = true;
+  /// Evaluate single-variable predicates on NFA edges instead of Selection.
+  bool push_predicates = true;
+  /// Partition stacks and negation buffers by the equivalence-class key.
+  bool use_partitioning = true;
+
+  std::string ToString() const;
+};
+
+/// An executable query: the operator pipeline
+///   SequenceScan -> Selection -> WindowFilter -> Negation -> Transformation
+/// wired per the paper's dataflow ("native sequence operators ... pipelining
+/// the event sequences to subsequent operators such as selection, window,
+/// negation"). The plan owns the analyzed query and all operators.
+class QueryPlan {
+ public:
+  QueryPlan(AnalyzedQuery query, PlanOptions options, const Catalog* catalog,
+            const FunctionRegistry* functions, OutputCallback callback);
+
+  /// Feeds one stream event through the plan (negation buffers first, then
+  /// the sequence scan; resulting matches flow synchronously to the top).
+  void OnEvent(const EventPtr& event);
+
+  /// Signals end-of-stream; releases matches deferred by tail negation.
+  void OnFlush();
+
+  const AnalyzedQuery& query() const { return query_; }
+  const PlanOptions& options() const { return options_; }
+  const Nfa& nfa() const { return nfa_; }
+
+  const SequenceScan& sequence_scan() const { return *scan_; }
+  const Selection& selection() const { return *selection_; }
+  const WindowFilter& window_filter() const { return *window_; }
+  const Negation& negation() const { return *negation_; }
+  const Transformation& transformation() const { return *transformation_; }
+
+  /// Records produced by the RETURN clause so far.
+  uint64_t output_count() const { return transformation_->stats().records_emitted; }
+
+  /// Total evaluation errors across all operators (0 on a healthy run).
+  uint64_t eval_error_count() const;
+
+  /// Multi-line description: analysis summary, NFA, options, operator
+  /// in/out counters.
+  std::string Explain(const Catalog& catalog) const;
+
+ private:
+  AnalyzedQuery query_;
+  PlanOptions options_;
+  Nfa nfa_;
+  std::unique_ptr<SequenceScan> scan_;
+  std::unique_ptr<Selection> selection_;
+  std::unique_ptr<WindowFilter> window_;
+  std::unique_ptr<Negation> negation_;
+  std::unique_ptr<Transformation> transformation_;
+};
+
+/// Builds executable plans from analyzed queries.
+class Planner {
+ public:
+  /// Compiles `query` under `options`. When an optimization is disabled the
+  /// planner rehomes the affected predicates (pushed-down edge filters and
+  /// partition-subsumed equivalence tests become Selection residuals) so
+  /// every configuration computes identical results.
+  static std::unique_ptr<QueryPlan> Build(AnalyzedQuery query,
+                                          PlanOptions options,
+                                          const Catalog* catalog,
+                                          const FunctionRegistry* functions,
+                                          OutputCallback callback);
+};
+
+}  // namespace sase
+
+#endif  // SASE_ENGINE_PLANNER_H_

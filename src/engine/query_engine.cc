@@ -1,0 +1,89 @@
+#include "engine/query_engine.h"
+
+#include <sstream>
+
+#include "query/analyzer.h"
+#include "util/string_util.h"
+
+namespace sase {
+
+QueryEngine::QueryEngine(const Catalog* catalog, TimeConfig time_config)
+    : catalog_(catalog), time_config_(time_config) {
+  functions_.RegisterCommon();
+}
+
+Result<QueryId> QueryEngine::Register(const std::string& text,
+                                      OutputCallback callback,
+                                      PlanOptions options) {
+  auto parsed = Parser::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  return Register(std::move(parsed).value(), std::move(callback), options);
+}
+
+Result<QueryId> QueryEngine::Register(ParsedQuery parsed,
+                                      OutputCallback callback,
+                                      PlanOptions options) {
+  std::string stream = ToLower(parsed.from_stream);
+  Analyzer analyzer(catalog_, time_config_);
+  auto analyzed = analyzer.Analyze(std::move(parsed));
+  if (!analyzed.ok()) return analyzed.status();
+  auto plan = Planner::Build(std::move(analyzed).value(), options, catalog_,
+                             &functions_, std::move(callback));
+  QueryId id = next_id_++;
+  plans_.emplace(id, Entry{std::move(plan), std::move(stream)});
+  return id;
+}
+
+Status QueryEngine::Unregister(QueryId id) {
+  if (plans_.erase(id) == 0) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+const QueryPlan* QueryEngine::plan(QueryId id) const {
+  auto it = plans_.find(id);
+  return it == plans_.end() ? nullptr : it->second.plan.get();
+}
+
+void QueryEngine::OnEvent(const EventPtr& event) {
+  ++events_processed_;
+  for (auto& [id, entry] : plans_) {
+    if (entry.stream.empty()) entry.plan->OnEvent(event);
+  }
+}
+
+void QueryEngine::OnStreamEvent(const std::string& stream,
+                                const EventPtr& event) {
+  ++events_processed_;
+  std::string key = ToLower(stream);
+  for (auto& [id, entry] : plans_) {
+    if (entry.stream == key) entry.plan->OnEvent(event);
+  }
+}
+
+void QueryEngine::OnFlush() {
+  for (auto& [id, entry] : plans_) {
+    entry.plan->OnFlush();
+  }
+}
+
+std::string QueryEngine::StatsReport() const {
+  std::ostringstream out;
+  out << "queries=" << plans_.size() << " events=" << events_processed_ << "\n";
+  for (const auto& [id, entry] : plans_) {
+    const QueryPlan& plan = *entry.plan;
+    out << "#" << id << " [" << (entry.stream.empty() ? "default" : entry.stream)
+        << "] " << plan.options().ToString()
+        << " scanned=" << plan.sequence_scan().stats().events_seen
+        << " sequences=" << plan.sequence_scan().matches_out()
+        << " selected=" << plan.selection().matches_out()
+        << " windowed=" << plan.window_filter().matches_out()
+        << " survived_negation=" << plan.negation().matches_out()
+        << " outputs=" << plan.output_count()
+        << " errors=" << plan.eval_error_count() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sase

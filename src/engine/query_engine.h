@@ -1,0 +1,94 @@
+#ifndef SASE_ENGINE_QUERY_ENGINE_H_
+#define SASE_ENGINE_QUERY_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/catalog.h"
+#include "core/stream.h"
+#include "engine/planner.h"
+#include "query/parser.h"
+#include "util/time_util.h"
+
+namespace sase {
+
+/// Handle identifying a registered continuous query.
+using QueryId = int64_t;
+
+/// The Complex Event Processor (Figure 1, §3): hosts continuous
+/// long-running queries over the event stream.
+///
+/// "For each monitoring task ... the user writes a query and registers it
+/// as a continuous query with the complex event processor. The event
+/// processor immediately starts executing the query ... and returns a
+/// result (e.g., a notification) to the user every time the query is
+/// satisfied. Such processing continues until the query is deleted by the
+/// user." Archiving rules are registered the same way — their RETURN
+/// clauses call `_updateLocation` / `_updateContainment`, and hybrid
+/// stream+database queries call retrieval functions such as
+/// `_retrieveLocation`.
+///
+/// The engine is an EventSink: subscribe it to the cleaning pipeline's
+/// output bus (or feed it directly in tests).
+class QueryEngine : public EventSink {
+ public:
+  explicit QueryEngine(const Catalog* catalog, TimeConfig time_config = {});
+
+  /// The function registry shared by every query; database modules install
+  /// their built-ins here before queries are registered.
+  FunctionRegistry* functions() { return &functions_; }
+  const Catalog& catalog() const { return *catalog_; }
+  const TimeConfig& time_config() const { return time_config_; }
+
+  /// Parses, analyzes and compiles `text`, then starts executing it against
+  /// the stream. Every output record is delivered to `callback`.
+  Result<QueryId> Register(const std::string& text, OutputCallback callback,
+                           PlanOptions options = {});
+
+  /// Registers an already-parsed query (used by tests that build ASTs).
+  Result<QueryId> Register(ParsedQuery parsed, OutputCallback callback,
+                           PlanOptions options = {});
+
+  /// Deletes a continuous query; subsequent events no longer feed it.
+  Status Unregister(QueryId id);
+
+  /// Delivers an event to the named input stream: only queries registered
+  /// with `FROM <stream>` (case-insensitive) receive it. The unnamed
+  /// OnEvent() below feeds the default stream — queries without a FROM
+  /// clause ("If it is omitted, the query refers to a default system
+  /// input", §2.1.1).
+  void OnStreamEvent(const std::string& stream, const EventPtr& event);
+
+  /// Access to a live plan (stats, explain); nullptr if unknown.
+  const QueryPlan* plan(QueryId id) const;
+
+  size_t query_count() const { return plans_.size(); }
+  uint64_t events_processed() const { return events_processed_; }
+
+  /// One line per registered query: id, input stream, plan options and the
+  /// operator in/out counters — the processor-level view the demo UI's
+  /// status panes summarize.
+  std::string StatsReport() const;
+
+  // EventSink:
+  void OnEvent(const EventPtr& event) override;
+  void OnFlush() override;
+
+ private:
+  struct Entry {
+    std::unique_ptr<QueryPlan> plan;
+    std::string stream;  // lowercased FROM name; empty = default input
+  };
+
+  const Catalog* catalog_;
+  TimeConfig time_config_;
+  FunctionRegistry functions_;
+  std::map<QueryId, Entry> plans_;
+  QueryId next_id_ = 1;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace sase
+
+#endif  // SASE_ENGINE_QUERY_ENGINE_H_

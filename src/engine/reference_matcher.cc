@@ -1,0 +1,173 @@
+#include "engine/reference_matcher.h"
+
+#include <algorithm>
+
+namespace sase {
+
+ReferenceMatcher::ReferenceMatcher(const AnalyzedQuery* query,
+                                   const FunctionRegistry* functions)
+    : query_(query), functions_(functions) {
+  // Re-split the original WHERE clause rather than trusting the analyzer's
+  // classification: the oracle must not share the code under test.
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(query_->parsed.where, &conjuncts);
+
+  negation_checks_.reserve(query_->negations.size());
+  for (const auto& spec : query_->negations) {
+    negation_checks_.push_back(NegationCheck{&spec, {}});
+  }
+
+  for (const auto& conjunct : conjuncts) {
+    std::set<int> slots;
+    conjunct->CollectSlots(&slots);
+    const NegationSpec* owner = nullptr;
+    for (int slot : slots) {
+      if (query_->vars[static_cast<size_t>(slot)].negated) {
+        for (auto& check : negation_checks_) {
+          if (check.spec->slot == slot) {
+            owner = check.spec;
+            check.predicates.push_back(conjunct);
+            break;
+          }
+        }
+        break;
+      }
+    }
+    if (owner == nullptr) positive_conjuncts_.push_back(conjunct);
+  }
+}
+
+Result<std::vector<Match>> ReferenceMatcher::FindMatches(
+    const std::vector<EventPtr>& events) const {
+  std::vector<Match> out;
+  std::vector<EventPtr> bindings(query_->slot_count());
+  Status status = Recurse(events, 0, 0, &bindings, &out);
+  if (!status.ok()) return status;
+  return out;
+}
+
+Status ReferenceMatcher::Recurse(const std::vector<EventPtr>& events,
+                                 size_t positive_index, size_t start,
+                                 std::vector<EventPtr>* bindings,
+                                 std::vector<Match>* out) const {
+  const auto& positives = query_->positive_slots;
+  if (positive_index == positives.size()) {
+    // Full positive binding: window, predicates, then negation.
+    const EventPtr& first = (*bindings)[static_cast<size_t>(positives.front())];
+    const EventPtr& last = (*bindings)[static_cast<size_t>(positives.back())];
+    if (query_->window_ticks >= 0 &&
+        last->timestamp() - first->timestamp() > query_->window_ticks) {
+      return Status::Ok();
+    }
+    auto preds = CheckPositivePredicates(*bindings);
+    if (!preds.ok()) return preds.status();
+    if (!preds.value()) return Status::Ok();
+    for (const auto& check : negation_checks_) {
+      auto violated = ViolatesNegation(check, events, bindings);
+      if (!violated.ok()) return violated.status();
+      if (violated.value()) return Status::Ok();
+    }
+    Match match;
+    match.bindings = *bindings;
+    match.first_ts = first->timestamp();
+    match.last_ts = last->timestamp();
+    out->push_back(std::move(match));
+    return Status::Ok();
+  }
+
+  int slot = positives[positive_index];
+  EventTypeId wanted = query_->vars[static_cast<size_t>(slot)].type_id;
+  Timestamp prev_ts = 0;
+  bool has_prev = positive_index > 0;
+  if (has_prev) {
+    prev_ts = (*bindings)[static_cast<size_t>(positives[positive_index - 1])]
+                  ->timestamp();
+  }
+  Timestamp first_ts = 0;
+  if (positive_index > 0) {
+    first_ts =
+        (*bindings)[static_cast<size_t>(positives.front())]->timestamp();
+  }
+
+  for (size_t i = start; i < events.size(); ++i) {
+    const EventPtr& event = events[i];
+    // Window pruning: events are in stream order, so once this component
+    // exceeds first.ts + W every later event does too.
+    if (positive_index > 0 && query_->window_ticks >= 0 &&
+        event->timestamp() - first_ts > query_->window_ticks) {
+      break;
+    }
+    if (event->type() != wanted) continue;
+    if (has_prev && event->timestamp() <= prev_ts) continue;  // strict order
+    (*bindings)[static_cast<size_t>(slot)] = event;
+    SASE_RETURN_IF_ERROR(Recurse(events, positive_index + 1, i + 1, bindings, out));
+    (*bindings)[static_cast<size_t>(slot)] = nullptr;
+  }
+  return Status::Ok();
+}
+
+Result<bool> ReferenceMatcher::CheckPositivePredicates(
+    const std::vector<EventPtr>& bindings) const {
+  EvalContext ctx{&bindings, functions_};
+  for (const auto& conjunct : positive_conjuncts_) {
+    auto result = EvalPredicate(*conjunct, ctx);
+    if (!result.ok()) return result.status();
+    if (!result.value()) return false;
+  }
+  return true;
+}
+
+Result<bool> ReferenceMatcher::ViolatesNegation(
+    const NegationCheck& check, const std::vector<EventPtr>& events,
+    std::vector<EventPtr>* bindings) const {
+  const NegationSpec& spec = *check.spec;
+  const auto& positives = query_->positive_slots;
+  const EventPtr& first = (*bindings)[static_cast<size_t>(positives.front())];
+  const EventPtr& last = (*bindings)[static_cast<size_t>(positives.back())];
+
+  Timestamp lo, hi;
+  bool lo_inclusive = false, hi_inclusive = false;
+  if (spec.prev_positive >= 0) {
+    lo = (*bindings)[static_cast<size_t>(
+                         positives[static_cast<size_t>(spec.prev_positive)])]
+             ->timestamp();
+  } else {
+    lo = last->timestamp() - query_->window_ticks;
+    lo_inclusive = true;
+  }
+  if (spec.next_positive >= 0) {
+    hi = (*bindings)[static_cast<size_t>(
+                         positives[static_cast<size_t>(spec.next_positive)])]
+             ->timestamp();
+  } else {
+    hi = first->timestamp() + query_->window_ticks;
+    hi_inclusive = true;
+  }
+
+  for (const EventPtr& candidate : events) {
+    if (candidate->type() != spec.type_id) continue;
+    Timestamp t = candidate->timestamp();
+    bool above = lo_inclusive ? t >= lo : t > lo;
+    bool below = hi_inclusive ? t <= hi : t < hi;
+    if (!above || !below) continue;
+    (*bindings)[static_cast<size_t>(spec.slot)] = candidate;
+    EvalContext ctx{bindings, functions_};
+    bool all_pass = true;
+    for (const auto& pred : check.predicates) {
+      auto result = EvalPredicate(*pred, ctx);
+      if (!result.ok()) {
+        (*bindings)[static_cast<size_t>(spec.slot)] = nullptr;
+        return result.status();
+      }
+      if (!result.value()) {
+        all_pass = false;
+        break;
+      }
+    }
+    (*bindings)[static_cast<size_t>(spec.slot)] = nullptr;
+    if (all_pass) return true;
+  }
+  return false;
+}
+
+}  // namespace sase

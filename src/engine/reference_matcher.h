@@ -1,0 +1,58 @@
+#ifndef SASE_ENGINE_REFERENCE_MATCHER_H_
+#define SASE_ENGINE_REFERENCE_MATCHER_H_
+
+#include <vector>
+
+#include "engine/function_registry.h"
+#include "engine/match.h"
+#include "query/analyzer.h"
+
+namespace sase {
+
+/// Brute-force oracle for the event matching block (EVENT + WHERE +
+/// WITHIN): enumerates every combination of buffered events that satisfies
+/// the pattern and checks predicates, windows and negation directly from
+/// their definitions.
+///
+/// This is deliberately an *independent implementation* of the SASE
+/// semantics — no NFA, no stacks, no pushdown — used two ways:
+///  1. as the correctness oracle in property tests (engine output must
+///     equal reference output on randomized streams), and
+///  2. as the naive baseline in the benchmarks, standing in for the
+///     non-incremental evaluation the paper's optimized operators beat.
+///
+/// Complexity is O(n^k) in the worst case (n events, k positive
+/// components), window-pruned. Use on bounded streams only.
+class ReferenceMatcher {
+ public:
+  /// `query` and `functions` must outlive the matcher.
+  ReferenceMatcher(const AnalyzedQuery* query, const FunctionRegistry* functions);
+
+  /// Returns all matches over `events` (which must be in stream order),
+  /// in lexicographic order of constituent positions. Evaluation errors
+  /// abort with a status (the oracle is strict where the engine is lenient).
+  Result<std::vector<Match>> FindMatches(const std::vector<EventPtr>& events) const;
+
+ private:
+  struct NegationCheck {
+    const NegationSpec* spec;
+    std::vector<ExprPtr> predicates;  // every WHERE conjunct touching it
+  };
+
+  Status Recurse(const std::vector<EventPtr>& events, size_t positive_index,
+                 size_t start, std::vector<EventPtr>* bindings,
+                 std::vector<Match>* out) const;
+  Result<bool> CheckPositivePredicates(const std::vector<EventPtr>& bindings) const;
+  Result<bool> ViolatesNegation(const NegationCheck& check,
+                                const std::vector<EventPtr>& events,
+                                std::vector<EventPtr>* bindings) const;
+
+  const AnalyzedQuery* query_;
+  const FunctionRegistry* functions_;
+  std::vector<ExprPtr> positive_conjuncts_;
+  std::vector<NegationCheck> negation_checks_;
+};
+
+}  // namespace sase
+
+#endif  // SASE_ENGINE_REFERENCE_MATCHER_H_

@@ -1,0 +1,24 @@
+#include "engine/selection.h"
+
+#include "util/logging.h"
+
+namespace sase {
+
+void Selection::OnMatch(const Match& match) {
+  CountIn();
+  EvalContext ctx{&match.bindings, functions_};
+  for (const auto& predicate : predicates_) {
+    auto result = EvalPredicate(*predicate, ctx);
+    if (!result.ok()) {
+      if (stats_.eval_errors == 0) {
+        SASE_LOG_WARN << "selection error: " << result.status().ToString();
+      }
+      ++stats_.eval_errors;
+      return;
+    }
+    if (!result.value()) return;
+  }
+  Emit(match);
+}
+
+}  // namespace sase

@@ -1,0 +1,39 @@
+#ifndef SASE_ENGINE_SELECTION_H_
+#define SASE_ENGINE_SELECTION_H_
+
+#include <vector>
+
+#include "engine/function_registry.h"
+#include "engine/operator.h"
+#include "query/expr.h"
+
+namespace sase {
+
+/// Relational selection over composite events: evaluates the WHERE
+/// conjuncts that were not pushed into the sequence operator (cross-
+/// variable predicates outside the partition class, plus everything the
+/// planner demoted when running with pushdown disabled).
+class Selection : public Operator {
+ public:
+  struct Stats {
+    uint64_t eval_errors = 0;
+  };
+
+  Selection(std::vector<ExprPtr> predicates, const FunctionRegistry* functions)
+      : predicates_(std::move(predicates)), functions_(functions) {}
+
+  const char* name() const override { return "Selection"; }
+  void OnMatch(const Match& match) override;
+
+  const Stats& stats() const { return stats_; }
+  size_t predicate_count() const { return predicates_.size(); }
+
+ private:
+  std::vector<ExprPtr> predicates_;
+  const FunctionRegistry* functions_;
+  Stats stats_;
+};
+
+}  // namespace sase
+
+#endif  // SASE_ENGINE_SELECTION_H_

@@ -1,0 +1,216 @@
+#include "engine/sequence_scan.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace sase {
+
+SequenceScan::SequenceScan(const Nfa* nfa, Ticks window,
+                           const FunctionRegistry* functions, size_t slot_count)
+    : nfa_(nfa), window_(window), functions_(functions) {
+  scratch_.resize(slot_count);
+  unpartitioned_.stacks.resize(nfa_->edge_count());
+}
+
+void SequenceScan::OnMatch(const Match& match) {
+  // SequenceScan is the plan source; nothing feeds matches into it in a
+  // normal plan. Forward defensively so a miswired plan stays visible.
+  CountIn();
+  Emit(match);
+}
+
+void SequenceScan::OnEvent(const EventPtr& event) {
+  ++stats_.events_seen;
+  const std::vector<int>& states = nfa_->StatesForType(event->type());
+  if (!states.empty()) {
+    if (!nfa_->partitioned()) {
+      if (window_ >= 0) {
+        stats_.instances_pruned +=
+            PruneStacks(&unpartitioned_, event->timestamp() - window_);
+      }
+      // Descending state order: a state's push must observe the previous
+      // stack as it was before this event touched it.
+      for (auto it = states.rbegin(); it != states.rend(); ++it) {
+        Process(&unpartitioned_, *it, event);
+      }
+    } else {
+      // PAIS: each candidate state may key the event by a different
+      // attribute (x.K1 = y.K2 partitions type-A events by K1 and type-B
+      // events by K2), so the partition is resolved per state.
+      for (auto it = states.rbegin(); it != states.rend(); ++it) {
+        int state = *it;
+        const NfaEdge& edge = nfa_->edge(static_cast<size_t>(state));
+        const Value& key = event->attribute(edge.partition_attr);
+        auto [part_it, inserted] = partitions_.try_emplace(key);
+        if (inserted) {
+          ++stats_.partitions_created;
+          part_it->second.stacks.resize(nfa_->edge_count());
+        }
+        Partition* partition = &part_it->second;
+        if (window_ >= 0) {
+          stats_.instances_pruned +=
+              PruneStacks(partition, event->timestamp() - window_);
+        }
+        Process(partition, state, event);
+      }
+    }
+  }
+  if (window_ >= 0 && ++events_since_sweep_ >= kSweepInterval) {
+    SweepPartitions(event->timestamp());
+    events_since_sweep_ = 0;
+  }
+}
+
+bool SequenceScan::EdgeFiltersPass(const NfaEdge& edge, const EventPtr& event) {
+  if (edge.filters.empty()) return true;
+  scratch_[static_cast<size_t>(edge.slot)] = event;
+  EvalContext ctx{&scratch_, functions_};
+  bool pass = true;
+  for (const auto& filter : edge.filters) {
+    auto result = EvalPredicate(*filter, ctx);
+    if (!result.ok()) {
+      // Evaluation errors fail the predicate; the query keeps running. The
+      // count is surfaced through stats so tests can assert clean runs.
+      if (stats_.eval_errors == 0) {
+        SASE_LOG_WARN << "edge filter error: " << result.status().ToString();
+      }
+      ++stats_.eval_errors;
+      pass = false;
+      break;
+    }
+    if (!result.value()) {
+      pass = false;
+      break;
+    }
+  }
+  scratch_[static_cast<size_t>(edge.slot)] = nullptr;
+  return pass;
+}
+
+void SequenceScan::Process(Partition* partition, int state,
+                           const EventPtr& event) {
+  const NfaEdge& edge = nfa_->edge(static_cast<size_t>(state));
+  if (!EdgeFiltersPass(edge, event)) return;
+
+  uint64_t prev_abs = kNoPrev;
+  if (state > 0) {
+    // Newest instance in the previous stack with a strictly smaller
+    // timestamp. Stacks are time-sorted, so binary search the boundary.
+    const Stack& prev = partition->stacks[static_cast<size_t>(state) - 1];
+    if (prev.items.empty()) return;
+    auto it = std::lower_bound(
+        prev.items.begin(), prev.items.end(), event->timestamp(),
+        [](const Instance& inst, Timestamp ts) {
+          return inst.event->timestamp() < ts;
+        });
+    if (it == prev.items.begin()) return;  // no predecessor precedes event
+    prev_abs = prev.base + static_cast<uint64_t>(it - prev.items.begin()) - 1;
+  }
+
+  Stack& stack = partition->stacks[static_cast<size_t>(state)];
+  stack.items.push_back(Instance{event, prev_abs});
+  ++stats_.instances_pushed;
+  ++stats_.instances_alive;
+  stats_.peak_instances = std::max(stats_.peak_instances, stats_.instances_alive);
+
+  if (static_cast<size_t>(state) + 1 == nfa_->edge_count() ||
+      nfa_->edge_count() == 1) {
+    // Reached the accepting state: construct every sequence ending here.
+    Construct(partition, stack.items.back());
+  }
+}
+
+void SequenceScan::Construct(Partition* partition, const Instance& final_instance) {
+  const int last_level = static_cast<int>(nfa_->edge_count()) - 1;
+  const NfaEdge& last_edge = nfa_->edge(static_cast<size_t>(last_level));
+  scratch_[static_cast<size_t>(last_edge.slot)] = final_instance.event;
+
+  if (last_level == 0) {
+    EmitCurrent();
+  } else {
+    Timestamp window_lo = window_ >= 0
+                              ? final_instance.event->timestamp() - window_
+                              : std::numeric_limits<Timestamp>::min();
+    ConstructLevel(partition, last_level - 1, final_instance.prev_abs, window_lo);
+  }
+  scratch_[static_cast<size_t>(last_edge.slot)] = nullptr;
+}
+
+void SequenceScan::ConstructLevel(Partition* partition, int level,
+                                  uint64_t max_abs, Timestamp window_lo) {
+  if (max_abs == kNoPrev) return;
+  const Stack& stack = partition->stacks[static_cast<size_t>(level)];
+  if (stack.items.empty() || max_abs < stack.base) return;
+  uint64_t hi = std::min(max_abs, stack.size_abs() - 1);
+  const NfaEdge& edge = nfa_->edge(static_cast<size_t>(level));
+
+  for (uint64_t abs = hi;; --abs) {
+    const Instance& inst = stack.at_abs(abs);
+    // Stacks are time-sorted: once below the window's lower bound, every
+    // remaining (older) instance is below it too.
+    if (inst.event->timestamp() < window_lo) break;
+    scratch_[static_cast<size_t>(edge.slot)] = inst.event;
+    if (level == 0) {
+      EmitCurrent();
+    } else {
+      ConstructLevel(partition, level - 1, inst.prev_abs, window_lo);
+    }
+    scratch_[static_cast<size_t>(edge.slot)] = nullptr;
+    if (abs == stack.base) break;
+  }
+}
+
+void SequenceScan::EmitCurrent() {
+  Match match;
+  match.bindings = scratch_;
+  const NfaEdge& first_edge = nfa_->edge(0);
+  const NfaEdge& last_edge = nfa_->edge(nfa_->edge_count() - 1);
+  match.first_ts =
+      scratch_[static_cast<size_t>(first_edge.slot)]->timestamp();
+  match.last_ts = scratch_[static_cast<size_t>(last_edge.slot)]->timestamp();
+  ++stats_.matches_emitted;
+  Emit(match);
+}
+
+uint64_t SequenceScan::PruneStacks(Partition* partition, Timestamp lower_bound) {
+  uint64_t pruned = 0;
+  for (Stack& stack : partition->stacks) {
+    size_t drop = 0;
+    while (drop < stack.items.size() &&
+           stack.items[drop].event->timestamp() < lower_bound) {
+      ++drop;
+    }
+    if (drop > 0) {
+      stack.items.erase(stack.items.begin(),
+                        stack.items.begin() + static_cast<ptrdiff_t>(drop));
+      stack.base += drop;
+      pruned += drop;
+    }
+  }
+  stats_.instances_alive -= pruned;
+  return pruned;
+}
+
+void SequenceScan::SweepPartitions(Timestamp now) {
+  if (!nfa_->partitioned() || window_ < 0) return;
+  Timestamp lower = now - window_;
+  for (auto it = partitions_.begin(); it != partitions_.end();) {
+    stats_.instances_pruned += PruneStacks(&it->second, lower);
+    bool empty = true;
+    for (const Stack& stack : it->second.stacks) {
+      if (!stack.items.empty()) {
+        empty = false;
+        break;
+      }
+    }
+    if (empty) {
+      it = partitions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace sase

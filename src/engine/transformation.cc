@@ -1,0 +1,214 @@
+#include "engine/transformation.h"
+
+#include "util/logging.h"
+
+namespace sase {
+namespace {
+
+/// Collects every AggregateExpr node in the tree (pre-order).
+void CollectAggregates(const Expr& expr, std::vector<const AggregateExpr*>* out) {
+  switch (expr.kind()) {
+    case ExprKind::kAggregate:
+      out->push_back(static_cast<const AggregateExpr*>(&expr));
+      return;
+    case ExprKind::kBinary: {
+      const auto& node = static_cast<const BinaryExpr&>(expr);
+      CollectAggregates(*node.left(), out);
+      CollectAggregates(*node.right(), out);
+      return;
+    }
+    case ExprKind::kUnary:
+      CollectAggregates(*static_cast<const UnaryExpr&>(expr).operand(), out);
+      return;
+    case ExprKind::kCall:
+      for (const auto& arg : static_cast<const CallExpr&>(expr).args()) {
+        CollectAggregates(*arg, out);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+Transformation::Transformation(const AnalyzedQuery* query,
+                               const Catalog* catalog,
+                               const FunctionRegistry* functions,
+                               OutputCallback callback)
+    : query_(query), catalog_(catalog), functions_(functions),
+      callback_(std::move(callback)) {
+  const auto& items = query_->parsed.return_items;
+  if (items.empty()) {
+    // Default projection: every attribute of every positive variable.
+    for (int slot : query_->positive_slots) {
+      const VarInfo& var = query_->vars[static_cast<size_t>(slot)];
+      const EventSchema& schema = catalog_->schema(var.type_id);
+      for (const auto& attr : schema.attributes()) {
+        column_names_.push_back(var.name + "_" + attr.name);
+      }
+      column_names_.push_back(var.name + "_Timestamp");
+    }
+  } else {
+    for (const auto& item : items) {
+      column_names_.push_back(item.alias.empty() ? item.expr->ToString()
+                                                 : item.alias);
+      std::vector<const AggregateExpr*> aggs;
+      CollectAggregates(*item.expr, &aggs);
+      for (const auto* node : aggs) {
+        AggregateState state;
+        state.node = node;
+        aggregates_.push_back(state);
+      }
+    }
+  }
+}
+
+Result<Value> Transformation::Fold(AggregateState* state, const EvalContext& ctx) {
+  const AggregateExpr& node = *state->node;
+  Value v;
+  if (node.arg() != nullptr) {
+    auto result = node.arg()->Eval(ctx);
+    if (!result.ok()) return result.status();
+    v = std::move(result).value();
+  }
+  switch (node.agg()) {
+    case AggregateKind::kCount:
+      // COUNT(*) counts matches; COUNT(e) counts non-NULL values.
+      if (node.arg() == nullptr || !v.is_null()) ++state->count;
+      return Value(state->count);
+    case AggregateKind::kSum:
+    case AggregateKind::kAvg: {
+      if (!v.is_null()) {
+        auto num = v.ToNumeric();
+        if (!num.ok()) return num.status();
+        state->sum += num.value();
+        if (v.type() == ValueType::kInt) {
+          state->int_sum += v.AsInt();
+        } else {
+          state->all_int = false;
+        }
+        ++state->count;
+      }
+      if (node.agg() == AggregateKind::kSum) {
+        if (state->count == 0) return Value();
+        return state->all_int ? Value(state->int_sum) : Value(state->sum);
+      }
+      if (state->count == 0) return Value();
+      return Value(state->sum / static_cast<double>(state->count));
+    }
+    case AggregateKind::kMin:
+    case AggregateKind::kMax: {
+      if (!v.is_null()) {
+        Value& best =
+            node.agg() == AggregateKind::kMin ? state->min : state->max;
+        if (best.is_null()) {
+          best = v;
+        } else {
+          auto cmp = v.Compare(best);
+          if (!cmp.ok()) return cmp.status();
+          bool better = node.agg() == AggregateKind::kMin ? cmp.value() < 0
+                                                          : cmp.value() > 0;
+          if (better) best = v;
+        }
+      }
+      return node.agg() == AggregateKind::kMin ? state->min : state->max;
+    }
+  }
+  return Status::Internal("unhandled aggregate kind");
+}
+
+Result<Value> Transformation::EvalItem(const Expr& expr, const EvalContext& ctx) {
+  if (!expr.ContainsAggregate()) return expr.Eval(ctx);
+  switch (expr.kind()) {
+    case ExprKind::kAggregate: {
+      for (auto& state : aggregates_) {
+        if (state.node == &expr) return Fold(&state, ctx);
+      }
+      return Status::Internal("aggregate state not found for " + expr.ToString());
+    }
+    case ExprKind::kBinary: {
+      const auto& node = static_cast<const BinaryExpr&>(expr);
+      auto lhs = EvalItem(*node.left(), ctx);
+      if (!lhs.ok()) return lhs.status();
+      auto rhs = EvalItem(*node.right(), ctx);
+      if (!rhs.ok()) return rhs.status();
+      // Rebuild a transient literal expression pair and reuse the binary
+      // evaluation path via a temporary tree would allocate; instead apply
+      // the operation through a scratch BinaryExpr on literals.
+      BinaryExpr scratch(node.op(),
+                         std::make_shared<LiteralExpr>(std::move(lhs).value()),
+                         std::make_shared<LiteralExpr>(std::move(rhs).value()));
+      return scratch.Eval(ctx);
+    }
+    case ExprKind::kUnary: {
+      const auto& node = static_cast<const UnaryExpr&>(expr);
+      auto operand = EvalItem(*node.operand(), ctx);
+      if (!operand.ok()) return operand.status();
+      UnaryExpr scratch(node.op(),
+                        std::make_shared<LiteralExpr>(std::move(operand).value()));
+      return scratch.Eval(ctx);
+    }
+    case ExprKind::kCall: {
+      const auto& node = static_cast<const CallExpr&>(expr);
+      std::vector<Value> args;
+      args.reserve(node.args().size());
+      for (const auto& arg : node.args()) {
+        auto v = EvalItem(*arg, ctx);
+        if (!v.ok()) return v.status();
+        args.push_back(std::move(v).value());
+      }
+      if (ctx.functions == nullptr) {
+        return Status::InvalidArgument("no function registry for " + node.name());
+      }
+      return ctx.functions->Invoke(node.name(), args);
+    }
+    default:
+      return expr.Eval(ctx);
+  }
+}
+
+void Transformation::OnMatch(const Match& match) {
+  CountIn();
+  OutputRecord record;
+  record.stream = query_->parsed.output_name.empty() ? "out"
+                                                     : query_->parsed.output_name;
+  record.timestamp = match.last_ts;
+  record.names = column_names_;
+
+  EvalContext ctx{&match.bindings, functions_};
+  const auto& items = query_->parsed.return_items;
+  if (items.empty()) {
+    for (int slot : query_->positive_slots) {
+      const EventPtr& event = match.bindings[static_cast<size_t>(slot)];
+      const EventSchema& schema =
+          catalog_->schema(query_->vars[static_cast<size_t>(slot)].type_id);
+      for (size_t i = 0; i < schema.attribute_count(); ++i) {
+        record.values.push_back(event->attribute(static_cast<AttrIndex>(i)));
+      }
+      record.values.push_back(Value(event->timestamp()));
+    }
+  } else {
+    record.values.reserve(items.size());
+    for (const auto& item : items) {
+      auto value = EvalItem(*item.expr, ctx);
+      if (!value.ok()) {
+        if (stats_.eval_errors == 0) {
+          SASE_LOG_WARN << "RETURN evaluation error: "
+                        << value.status().ToString();
+        }
+        ++stats_.eval_errors;
+        record.values.push_back(Value());
+        continue;
+      }
+      record.values.push_back(std::move(value).value());
+    }
+  }
+
+  ++stats_.records_emitted;
+  Emit(match);  // keep the match flowing for operators stacked above (none
+                // in standard plans) and for the out-count statistics
+  if (callback_) callback_(record);
+}
+
+}  // namespace sase

@@ -1,0 +1,37 @@
+#ifndef SASE_ENGINE_WINDOW_FILTER_H_
+#define SASE_ENGINE_WINDOW_FILTER_H_
+
+#include "engine/operator.h"
+#include "util/time_util.h"
+
+namespace sase {
+
+/// Enforces the WITHIN clause over composite events:
+/// `last.ts - first.ts <= W`.
+///
+/// In the default plan the window is pushed into SequenceScan and this
+/// operator sees only conforming matches (it still verifies — the check is
+/// two comparisons). With `PlanOptions::push_window = false` it is the sole
+/// enforcement point, which the window-scaling ablation (bench E1) uses to
+/// measure what the pushdown buys.
+class WindowFilter : public Operator {
+ public:
+  explicit WindowFilter(Ticks window) : window_(window) {}
+
+  const char* name() const override { return "WindowFilter"; }
+
+  void OnMatch(const Match& match) override {
+    CountIn();
+    if (window_ >= 0 && match.last_ts - match.first_ts > window_) return;
+    Emit(match);
+  }
+
+  Ticks window() const { return window_; }
+
+ private:
+  Ticks window_;
+};
+
+}  // namespace sase
+
+#endif  // SASE_ENGINE_WINDOW_FILTER_H_

@@ -1,0 +1,63 @@
+#include "nfa/nfa.h"
+
+#include <sstream>
+
+namespace sase {
+
+const std::vector<int> Nfa::kNoStates;
+
+Nfa Nfa::Compile(const AnalyzedQuery& query, bool push_edge_filters,
+                 bool use_partitioning) {
+  Nfa nfa;
+  const size_t positives = query.positive_slots.size();
+  nfa.edges_.reserve(positives);
+  for (size_t i = 0; i < positives; ++i) {
+    NfaEdge edge;
+    edge.slot = query.positive_slots[i];
+    edge.type = query.vars[static_cast<size_t>(edge.slot)].type_id;
+    if (push_edge_filters) {
+      edge.filters = query.edge_filters[i];
+    }
+    if (use_partitioning && query.partitioned()) {
+      edge.partition_attr = query.partition_attrs[i];
+    }
+    nfa.edges_.push_back(std::move(edge));
+  }
+  nfa.partitioned_ = use_partitioning && query.partitioned();
+
+  for (size_t i = 0; i < nfa.edges_.size(); ++i) {
+    EventTypeId type = nfa.edges_[i].type;
+    if (static_cast<size_t>(type) >= nfa.states_by_type_.size()) {
+      nfa.states_by_type_.resize(static_cast<size_t>(type) + 1);
+    }
+    nfa.states_by_type_[static_cast<size_t>(type)].push_back(static_cast<int>(i));
+  }
+  return nfa;
+}
+
+const std::vector<int>& Nfa::StatesForType(EventTypeId type) const {
+  if (type < 0 || static_cast<size_t>(type) >= states_by_type_.size()) {
+    return kNoStates;
+  }
+  return states_by_type_[static_cast<size_t>(type)];
+}
+
+std::string Nfa::ToString(const Catalog& catalog) const {
+  std::ostringstream out;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const NfaEdge& edge = edges_[i];
+    out << "S" << i << " --" << catalog.schema(edge.type).name();
+    if (edge.partition_attr != kInvalidAttr) {
+      out << "[key=" << catalog.schema(edge.type).attribute_name(edge.partition_attr)
+          << "]";
+    }
+    for (const auto& filter : edge.filters) {
+      out << " if " << filter->ToString();
+    }
+    out << "--> S" << i + 1 << "\n";
+  }
+  out << "accepting: S" << edges_.size();
+  return out.str();
+}
+
+}  // namespace sase

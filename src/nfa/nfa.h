@@ -1,0 +1,65 @@
+#ifndef SASE_NFA_NFA_H_
+#define SASE_NFA_NFA_H_
+
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+#include "query/analyzer.h"
+
+namespace sase {
+
+/// One NFA transition: state i --(type, filters)--> state i+1.
+///
+/// `slot` is the binding slot of the pattern variable this edge binds;
+/// `filters` are the single-variable predicates pushed onto the edge (empty
+/// when predicate pushdown is disabled).
+struct NfaEdge {
+  EventTypeId type = kInvalidEventType;
+  int slot = -1;
+  AttrIndex partition_attr = kInvalidAttr;  // PAIS key attr; kInvalidAttr = none
+  std::vector<ExprPtr> filters;
+};
+
+/// The NFA compiled from the positive components of a SEQ pattern.
+///
+/// The paper's sequence operators are "based on a Non-deterministic Finite
+/// Automata based model which can read query-specific event sequences
+/// efficiently from continuously arriving events". The structure here is a
+/// left-deep chain: state 0 is the start, state `edge_count()` is
+/// accepting, and edge i consumes the i-th positive pattern component.
+/// Non-determinism arises because a single event may simultaneously extend
+/// many partial runs; the runtime tracks those runs in Active Instance
+/// Stacks (see engine/sequence_scan.h) rather than cloning automata.
+class Nfa {
+ public:
+  /// Compiles the positive components of `query`. When `push_edge_filters`
+  /// is false, edges carry type constraints only. When `use_partitioning`
+  /// is false, edges carry no partition attribute.
+  static Nfa Compile(const AnalyzedQuery& query, bool push_edge_filters,
+                     bool use_partitioning);
+
+  size_t edge_count() const { return edges_.size(); }
+  size_t state_count() const { return edges_.size() + 1; }
+  const NfaEdge& edge(size_t i) const { return edges_[i]; }
+  bool partitioned() const { return partitioned_; }
+
+  /// States whose outgoing edge consumes events of `type` (an event can
+  /// feed several edges when a pattern repeats a type, as in Q2's
+  /// SEQ(SHELF_READING x, SHELF_READING y)).
+  const std::vector<int>& StatesForType(EventTypeId type) const;
+
+  /// Graphviz-ish rendering for explain output and tests.
+  std::string ToString(const Catalog& catalog) const;
+
+ private:
+  std::vector<NfaEdge> edges_;
+  bool partitioned_ = false;
+  // type id -> list of source states; dense vector indexed by type.
+  std::vector<std::vector<int>> states_by_type_;
+  static const std::vector<int> kNoStates;
+};
+
+}  // namespace sase
+
+#endif  // SASE_NFA_NFA_H_

@@ -1,0 +1,565 @@
+#include "query/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace sase {
+namespace {
+
+/// Union-find over (slot, attr) pairs used to discover the equivalence
+/// classes induced by `x.A = y.B`-style conjuncts.
+class UnionFind {
+ public:
+  int Find(int x) {
+    EnsureSize(x);
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[static_cast<size_t>(a)] = b;
+  }
+
+ private:
+  void EnsureSize(int x) {
+    while (parent_.size() <= static_cast<size_t>(x)) {
+      parent_.push_back(static_cast<int>(parent_.size()));
+    }
+  }
+  std::vector<int> parent_;
+};
+
+/// Recursively resolves every VarAttrExpr in `expr` against the variable
+/// table, and rejects constructs that are invalid in the given clause.
+Status ResolveExpr(const ExprPtr& expr, const Catalog& catalog,
+                   const std::vector<VarInfo>& vars, bool allow_aggregates) {
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      return Status::Ok();
+    case ExprKind::kVarAttr: {
+      auto* node = static_cast<VarAttrExpr*>(expr.get());
+      int slot = -1;
+      for (size_t i = 0; i < vars.size(); ++i) {
+        if (vars[i].name == node->var()) {
+          slot = static_cast<int>(i);
+          break;
+        }
+      }
+      if (slot < 0) {
+        return Status::SemanticError("unknown pattern variable '" + node->var() +
+                                     "' in " + node->ToString());
+      }
+      const EventSchema& schema = catalog.schema(vars[static_cast<size_t>(slot)].type_id);
+      AttrIndex attr = schema.FindAttribute(node->attr());
+      if (attr == kInvalidAttr) {
+        return Status::SemanticError("event type " + schema.name() +
+                                     " has no attribute '" + node->attr() + "'");
+      }
+      node->Resolve(slot, attr, schema.attribute_type(attr));
+      return Status::Ok();
+    }
+    case ExprKind::kBinary: {
+      auto* node = static_cast<BinaryExpr*>(expr.get());
+      SASE_RETURN_IF_ERROR(ResolveExpr(node->left(), catalog, vars, allow_aggregates));
+      return ResolveExpr(node->right(), catalog, vars, allow_aggregates);
+    }
+    case ExprKind::kUnary: {
+      auto* node = static_cast<UnaryExpr*>(expr.get());
+      return ResolveExpr(node->operand(), catalog, vars, allow_aggregates);
+    }
+    case ExprKind::kCall: {
+      auto* node = static_cast<CallExpr*>(expr.get());
+      for (const auto& arg : node->args()) {
+        SASE_RETURN_IF_ERROR(ResolveExpr(arg, catalog, vars, allow_aggregates));
+      }
+      return Status::Ok();
+    }
+    case ExprKind::kAggregate: {
+      if (!allow_aggregates) {
+        return Status::SemanticError("aggregate " + expr->ToString() +
+                                     " is not allowed in the WHERE clause");
+      }
+      auto* node = static_cast<AggregateExpr*>(expr.get());
+      if (node->arg() != nullptr) {
+        SASE_RETURN_IF_ERROR(ResolveExpr(node->arg(), catalog, vars,
+                                         /*allow_aggregates=*/false));
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+/// Best-effort static type of an expression; nullopt when unknown (e.g.
+/// function calls).
+std::optional<ValueType> StaticType(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value().type();
+    case ExprKind::kVarAttr:
+      return static_cast<const VarAttrExpr&>(expr).value_type();
+    case ExprKind::kBinary: {
+      const auto& node = static_cast<const BinaryExpr&>(expr);
+      switch (node.op()) {
+        case BinaryOp::kEq: case BinaryOp::kNeq: case BinaryOp::kLt:
+        case BinaryOp::kLe: case BinaryOp::kGt: case BinaryOp::kGe:
+        case BinaryOp::kAnd: case BinaryOp::kOr:
+          return ValueType::kBool;
+        default: {
+          auto l = StaticType(*node.left());
+          auto r = StaticType(*node.right());
+          if (l == ValueType::kDouble || r == ValueType::kDouble) {
+            return ValueType::kDouble;
+          }
+          if (l == ValueType::kString && node.op() == BinaryOp::kAdd) {
+            return ValueType::kString;
+          }
+          if (l == ValueType::kInt && r == ValueType::kInt) return ValueType::kInt;
+          return std::nullopt;
+        }
+      }
+    }
+    case ExprKind::kUnary: {
+      const auto& node = static_cast<const UnaryExpr&>(expr);
+      if (node.op() == UnaryOp::kNot) return ValueType::kBool;
+      return StaticType(*node.operand());
+    }
+    case ExprKind::kCall:
+      return std::nullopt;
+    case ExprKind::kAggregate: {
+      const auto& node = static_cast<const AggregateExpr&>(expr);
+      if (node.agg() == AggregateKind::kCount) return ValueType::kInt;
+      if (node.agg() == AggregateKind::kAvg) return ValueType::kDouble;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Checks comparisons for statically incompatible operand types.
+Status TypeCheck(const Expr& expr) {
+  if (expr.kind() == ExprKind::kBinary) {
+    const auto& node = static_cast<const BinaryExpr&>(expr);
+    SASE_RETURN_IF_ERROR(TypeCheck(*node.left()));
+    SASE_RETURN_IF_ERROR(TypeCheck(*node.right()));
+    auto l = StaticType(*node.left());
+    auto r = StaticType(*node.right());
+    if (!l.has_value() || !r.has_value()) return Status::Ok();
+    bool l_num = *l == ValueType::kInt || *l == ValueType::kDouble;
+    bool r_num = *r == ValueType::kInt || *r == ValueType::kDouble;
+    switch (node.op()) {
+      case BinaryOp::kEq: case BinaryOp::kNeq: case BinaryOp::kLt:
+      case BinaryOp::kLe: case BinaryOp::kGt: case BinaryOp::kGe:
+        if (*l == ValueType::kNull || *r == ValueType::kNull) return Status::Ok();
+        if (*l != *r && !(l_num && r_num)) {
+          return Status::SemanticError("cannot compare " +
+                                       std::string(ValueTypeName(*l)) + " with " +
+                                       ValueTypeName(*r) + " in " + node.ToString());
+        }
+        return Status::Ok();
+      case BinaryOp::kAnd: case BinaryOp::kOr:
+        if (*l != ValueType::kBool || *r != ValueType::kBool) {
+          return Status::SemanticError("logical operator expects BOOL operands in " +
+                                       node.ToString());
+        }
+        return Status::Ok();
+      default:
+        if (node.op() == BinaryOp::kAdd && *l == ValueType::kString &&
+            *r == ValueType::kString) {
+          return Status::Ok();
+        }
+        if (!l_num || !r_num) {
+          return Status::SemanticError("arithmetic expects numeric operands in " +
+                                       node.ToString());
+        }
+        return Status::Ok();
+    }
+  }
+  if (expr.kind() == ExprKind::kUnary) {
+    return TypeCheck(*static_cast<const UnaryExpr&>(expr).operand());
+  }
+  if (expr.kind() == ExprKind::kCall) {
+    for (const auto& arg : static_cast<const CallExpr&>(expr).args()) {
+      SASE_RETURN_IF_ERROR(TypeCheck(*arg));
+    }
+  }
+  if (expr.kind() == ExprKind::kAggregate) {
+    const auto& node = static_cast<const AggregateExpr&>(expr);
+    if (node.arg() != nullptr) return TypeCheck(*node.arg());
+  }
+  return Status::Ok();
+}
+
+/// True if `expr` is `a.X = b.Y` with both sides variable attributes of
+/// *different* slots; fills the endpoints.
+bool IsVarEquality(const Expr& expr, int* slot_a, AttrIndex* attr_a,
+                   int* slot_b, AttrIndex* attr_b) {
+  if (expr.kind() != ExprKind::kBinary) return false;
+  const auto& node = static_cast<const BinaryExpr&>(expr);
+  if (node.op() != BinaryOp::kEq) return false;
+  if (node.left()->kind() != ExprKind::kVarAttr ||
+      node.right()->kind() != ExprKind::kVarAttr) {
+    return false;
+  }
+  const auto& lhs = static_cast<const VarAttrExpr&>(*node.left());
+  const auto& rhs = static_cast<const VarAttrExpr&>(*node.right());
+  if (lhs.slot() == rhs.slot()) return false;
+  if (lhs.attr_index() == kTimestampAttr || rhs.attr_index() == kTimestampAttr) {
+    return false;  // timestamps are handled by the sequence order itself
+  }
+  *slot_a = lhs.slot();
+  *attr_a = lhs.attr_index();
+  *slot_b = rhs.slot();
+  *attr_b = rhs.attr_index();
+  return true;
+}
+
+}  // namespace
+
+std::string AnalyzedQuery::Explain() const {
+  std::ostringstream out;
+  out << "pattern:";
+  for (const auto& comp : parsed.pattern) {
+    out << " " << (comp.negated ? "!" : "") << comp.type_name << "(" << comp.variable
+        << ")";
+  }
+  out << "\nwindow: ";
+  if (window_ticks < 0) {
+    out << "none";
+  } else {
+    out << window_ticks << " ticks";
+  }
+  out << "\npartitioned: " << (partitioned() ? "yes" : "no");
+  if (partitioned()) {
+    out << " [key:";
+    for (size_t i = 0; i < partition_attrs.size(); ++i) {
+      int slot = positive_slots[i];
+      out << " " << vars[static_cast<size_t>(slot)].name << "#"
+          << partition_attrs[i];
+    }
+    out << "]";
+  }
+  out << "\npredicates:";
+  if (classification.empty()) out << " (none)";
+  for (const auto& [text, cls] : classification) {
+    const char* name = "";
+    switch (cls) {
+      case PredicateClass::kEdgeFilter: name = "edge-filter"; break;
+      case PredicateClass::kNegationFilter: name = "negation-filter"; break;
+      case PredicateClass::kNegationCross: name = "negation-cross"; break;
+      case PredicateClass::kPartition: name = "partition"; break;
+      case PredicateClass::kResidual: name = "residual"; break;
+    }
+    out << "\n  " << text << " -> " << name;
+  }
+  out << "\nnegations: " << negations.size();
+  out << "\naggregates: " << (has_aggregates ? "yes" : "no");
+  return out.str();
+}
+
+Result<AnalyzedQuery> Analyzer::Analyze(ParsedQuery query) const {
+  AnalyzedQuery out;
+
+  // --- Resolve pattern components against the catalog. ---
+  for (auto& comp : query.pattern) {
+    auto type_id = catalog_->FindType(comp.type_name);
+    if (!type_id.ok()) return type_id.status();
+    comp.type_id = type_id.value();
+  }
+
+  out.vars.resize(query.pattern.size());
+  int positive_index = 0;
+  for (size_t slot = 0; slot < query.pattern.size(); ++slot) {
+    const auto& comp = query.pattern[slot];
+    VarInfo& info = out.vars[slot];
+    info.name = comp.variable;
+    info.type_id = comp.type_id;
+    info.negated = comp.negated;
+    if (!comp.negated) {
+      info.positive_index = positive_index++;
+      out.positive_slots.push_back(static_cast<int>(slot));
+    }
+  }
+
+  // --- Window. ---
+  if (query.window.present) {
+    if (query.window.unit.empty()) {
+      out.window_ticks = query.window.count;
+    } else {
+      auto ticks =
+          DurationToTicks(query.window.count, query.window.unit, time_config_);
+      if (!ticks.ok()) return ticks.status();
+      out.window_ticks = ticks.value();
+    }
+    if (out.window_ticks <= 0) {
+      return Status::SemanticError("window must be positive");
+    }
+  }
+
+  // Head/tail negation needs a window to bound the non-occurrence interval.
+  for (size_t slot = 0; slot < query.pattern.size(); ++slot) {
+    if (!query.pattern[slot].negated) continue;
+    bool at_head = true, at_tail = true;
+    for (size_t j = 0; j < slot; ++j) {
+      if (!query.pattern[j].negated) at_head = false;
+    }
+    for (size_t j = slot + 1; j < query.pattern.size(); ++j) {
+      if (!query.pattern[j].negated) at_tail = false;
+    }
+    if ((at_head || at_tail) && out.window_ticks < 0) {
+      return Status::SemanticError(
+          "negation at the pattern " + std::string(at_head ? "head" : "tail") +
+          " requires a WITHIN window to bound the non-occurrence interval");
+    }
+  }
+
+  // --- Resolve WHERE and RETURN expressions. ---
+  if (query.where != nullptr) {
+    SASE_RETURN_IF_ERROR(ResolveExpr(query.where, *catalog_, out.vars,
+                                     /*allow_aggregates=*/false));
+    SASE_RETURN_IF_ERROR(TypeCheck(*query.where));
+    auto where_type = StaticType(*query.where);
+    if (where_type.has_value() && *where_type != ValueType::kBool) {
+      return Status::SemanticError("WHERE clause must be a boolean expression");
+    }
+  }
+  for (auto& item : query.return_items) {
+    SASE_RETURN_IF_ERROR(ResolveExpr(item.expr, *catalog_, out.vars,
+                                     /*allow_aggregates=*/true));
+    SASE_RETURN_IF_ERROR(TypeCheck(*item.expr));
+    if (item.expr->ContainsAggregate()) out.has_aggregates = true;
+    // RETURN may not reference negated variables: a match contains no event
+    // for them.
+    std::set<int> slots;
+    item.expr->CollectSlots(&slots);
+    for (int slot : slots) {
+      if (out.vars[static_cast<size_t>(slot)].negated) {
+        return Status::SemanticError(
+            "RETURN item " + item.expr->ToString() +
+            " references negated variable '" +
+            out.vars[static_cast<size_t>(slot)].name + "'");
+      }
+    }
+  }
+
+  // --- Classify WHERE conjuncts. ---
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(query.where, &conjuncts);
+
+  const size_t positive_count = out.positive_slots.size();
+  out.edge_filters.assign(positive_count, {});
+
+  // slot -> index among negations (filled lazily below).
+  std::map<int, size_t> negation_of_slot;
+  for (size_t slot = 0; slot < query.pattern.size(); ++slot) {
+    if (!query.pattern[slot].negated) continue;
+    NegationSpec spec;
+    spec.slot = static_cast<int>(slot);
+    spec.type_id = query.pattern[slot].type_id;
+    // Find the neighbouring positive components.
+    spec.prev_positive = -1;
+    for (int j = static_cast<int>(slot) - 1; j >= 0; --j) {
+      if (!query.pattern[static_cast<size_t>(j)].negated) {
+        spec.prev_positive = out.vars[static_cast<size_t>(j)].positive_index;
+        break;
+      }
+    }
+    spec.next_positive = -1;
+    for (size_t j = slot + 1; j < query.pattern.size(); ++j) {
+      if (!query.pattern[j].negated) {
+        spec.next_positive = out.vars[j].positive_index;
+        break;
+      }
+    }
+    negation_of_slot[static_cast<int>(slot)] = out.negations.size();
+    out.negations.push_back(std::move(spec));
+  }
+
+  // Union-find over (slot, attr) nodes for partition detection. Node ids
+  // are dense: slot * (max_attrs + 1) + attr (attr >= 0 only).
+  size_t max_attrs = 1;
+  for (const auto& comp : query.pattern) {
+    max_attrs = std::max(max_attrs, catalog_->schema(comp.type_id).attribute_count());
+  }
+  auto node_id = [max_attrs](int slot, AttrIndex attr) {
+    return slot * static_cast<int>(max_attrs + 1) + attr;
+  };
+  UnionFind uf;
+  struct EqEdge {
+    ExprPtr conjunct;
+    int slot_a, slot_b;
+    AttrIndex attr_a, attr_b;
+  };
+  std::vector<EqEdge> eq_edges;
+
+  // First pass: classify everything except the equality conjuncts, which
+  // may later be subsumed by partitioning.
+  struct PendingConjunct {
+    ExprPtr expr;
+    PredicateClass cls;
+    int target = -1;  // positive index or negation index, depending on cls
+  };
+  std::vector<PendingConjunct> pending;
+
+  for (const auto& conjunct : conjuncts) {
+    std::set<int> slots;
+    conjunct->CollectSlots(&slots);
+
+    int negated_count = 0;
+    int negated_slot = -1;
+    for (int slot : slots) {
+      if (out.vars[static_cast<size_t>(slot)].negated) {
+        ++negated_count;
+        negated_slot = slot;
+      }
+    }
+    if (negated_count > 1) {
+      return Status::SemanticError(
+          "predicate " + conjunct->ToString() +
+          " references more than one negated variable; joins across "
+          "non-occurrences are not supported");
+    }
+
+    int sa, sb;
+    AttrIndex aa, ab;
+    if (IsVarEquality(*conjunct, &sa, &aa, &sb, &ab)) {
+      uf.Union(node_id(sa, aa), node_id(sb, ab));
+      eq_edges.push_back({conjunct, sa, sb, aa, ab});
+      continue;  // classified after partition detection
+    }
+
+    PendingConjunct p;
+    p.expr = conjunct;
+    if (slots.empty()) {
+      p.cls = PredicateClass::kResidual;
+    } else if (negated_count == 1 && slots.size() == 1) {
+      p.cls = PredicateClass::kNegationFilter;
+      p.target = static_cast<int>(negation_of_slot[negated_slot]);
+    } else if (negated_count == 1) {
+      p.cls = PredicateClass::kNegationCross;
+      p.target = static_cast<int>(negation_of_slot[negated_slot]);
+    } else if (slots.size() == 1) {
+      p.cls = PredicateClass::kEdgeFilter;
+      p.target = out.vars[static_cast<size_t>(*slots.begin())].positive_index;
+    } else {
+      p.cls = PredicateClass::kResidual;
+    }
+    pending.push_back(std::move(p));
+  }
+
+  // --- Partition detection: find an equivalence class with one attribute
+  // per positive variable. ---
+  // class root -> (slot -> attr)
+  std::map<int, std::map<int, AttrIndex>> classes;
+  for (const auto& edge : eq_edges) {
+    for (const auto& [slot, attr] :
+         {std::pair<int, AttrIndex>{edge.slot_a, edge.attr_a},
+          std::pair<int, AttrIndex>{edge.slot_b, edge.attr_b}}) {
+      int root = uf.Find(node_id(slot, attr));
+      auto& members = classes[root];
+      if (members.count(slot) == 0) members[slot] = attr;
+    }
+  }
+
+  int partition_root = -1;
+  for (const auto& [root, members] : classes) {
+    bool covers_all = true;
+    for (int slot : out.positive_slots) {
+      if (members.count(slot) == 0) {
+        covers_all = false;
+        break;
+      }
+    }
+    if (covers_all) {
+      partition_root = root;
+      break;
+    }
+  }
+
+  if (partition_root >= 0) {
+    const auto& members = classes[partition_root];
+    out.partition_attrs.resize(positive_count);
+    for (size_t i = 0; i < positive_count; ++i) {
+      out.partition_attrs[i] = members.at(out.positive_slots[i]);
+    }
+    // Negated variables in the same class get partitioned negation checks,
+    // keyed off the first positive component's attribute.
+    for (auto& spec : out.negations) {
+      auto it = members.find(spec.slot);
+      if (it != members.end()) {
+        spec.partition_attr = it->second;
+        spec.key_slot = out.positive_slots[0];
+        spec.key_attr = out.partition_attrs[0];
+      }
+    }
+  }
+
+  // Classify the equality conjuncts now that the partition class is known.
+  for (const auto& edge : eq_edges) {
+    int root = uf.Find(node_id(edge.slot_a, edge.attr_a));
+    bool subsumed = partition_root >= 0 && root == partition_root;
+    bool involves_negated = out.vars[static_cast<size_t>(edge.slot_a)].negated ||
+                            out.vars[static_cast<size_t>(edge.slot_b)].negated;
+    if (subsumed) {
+      out.classification.emplace_back(edge.conjunct->ToString(),
+                                      PredicateClass::kPartition);
+      if (involves_negated) {
+        int negated_slot = out.vars[static_cast<size_t>(edge.slot_a)].negated
+                               ? edge.slot_a
+                               : edge.slot_b;
+        out.negations[negation_of_slot[negated_slot]].subsumed_cross.push_back(
+            edge.conjunct);
+      } else {
+        out.partition_subsumed.push_back(edge.conjunct);
+      }
+      continue;  // enforced by the partition key (incl. negation key check)
+    }
+    PendingConjunct p;
+    p.expr = edge.conjunct;
+    if (involves_negated) {
+      int negated_slot = out.vars[static_cast<size_t>(edge.slot_a)].negated
+                             ? edge.slot_a
+                             : edge.slot_b;
+      p.cls = PredicateClass::kNegationCross;
+      p.target = static_cast<int>(negation_of_slot[negated_slot]);
+    } else {
+      p.cls = PredicateClass::kResidual;
+    }
+    pending.push_back(std::move(p));
+  }
+
+  // --- Distribute the classified conjuncts. ---
+  for (auto& p : pending) {
+    out.classification.emplace_back(p.expr->ToString(), p.cls);
+    switch (p.cls) {
+      case PredicateClass::kEdgeFilter:
+        out.edge_filters[static_cast<size_t>(p.target)].push_back(p.expr);
+        break;
+      case PredicateClass::kNegationFilter:
+        out.negations[static_cast<size_t>(p.target)].filters.push_back(p.expr);
+        break;
+      case PredicateClass::kNegationCross:
+        out.negations[static_cast<size_t>(p.target)].cross_preds.push_back(p.expr);
+        break;
+      case PredicateClass::kPartition:
+        break;  // not reachable: partition conjuncts classified above
+      case PredicateClass::kResidual:
+        out.residual_predicates.push_back(p.expr);
+        break;
+    }
+  }
+
+  out.parsed = std::move(query);
+  return out;
+}
+
+}  // namespace sase

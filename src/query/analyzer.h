@@ -1,0 +1,118 @@
+#ifndef SASE_QUERY_ANALYZER_H_
+#define SASE_QUERY_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "query/ast.h"
+#include "util/time_util.h"
+
+namespace sase {
+
+/// Where a WHERE conjunct ended up after classification. Exposed for tests
+/// and for the plan explain output.
+enum class PredicateClass {
+  kEdgeFilter,      // single positive variable → NFA edge
+  kNegationFilter,  // single negated variable → negation check
+  kNegationCross,   // one negated + positive variables → negation check
+  kPartition,       // equivalence test subsumed by value partitioning
+  kResidual,        // everything else → Selection operator
+};
+
+/// Description of one negated pattern component after analysis.
+///
+/// `prev_positive` / `next_positive` are indices into the *positive
+/// ordering* (not pattern slots); -1 means the negation sits at the pattern
+/// head / tail respectively, in which case the WITHIN window bounds the
+/// non-occurrence interval.
+struct NegationSpec {
+  int slot = -1;
+  EventTypeId type_id = kInvalidEventType;
+  int prev_positive = -1;
+  int next_positive = -1;
+  std::vector<ExprPtr> filters;      // reference only the negated variable
+  std::vector<ExprPtr> cross_preds;  // reference the negated + positive vars
+  /// When the negated variable participates in the partition equivalence
+  /// class: its attribute, and the positive slot/attribute to take the key
+  /// value from. kInvalidAttr when not partitioned.
+  AttrIndex partition_attr = kInvalidAttr;
+  int key_slot = -1;
+  AttrIndex key_attr = kInvalidAttr;
+  /// Equality conjuncts subsumed by the partitioned negation check; the
+  /// planner re-adds them to cross_preds when partitioning is disabled.
+  std::vector<ExprPtr> subsumed_cross;
+};
+
+/// Per-variable metadata, indexed by pattern slot.
+struct VarInfo {
+  std::string name;
+  EventTypeId type_id = kInvalidEventType;
+  bool negated = false;
+  int positive_index = -1;  // position among positive components, or -1
+};
+
+/// A fully resolved, classified query ready for planning.
+///
+/// The analyzer implements the paper's predicate classification: it decides
+/// which predicates can be pushed into the sequence operator (single-
+/// variable "edge" filters and the equivalence tests that become the PAIS
+/// partition key) and which remain for the relational operators above it.
+struct AnalyzedQuery {
+  ParsedQuery parsed;  // pattern/expressions resolved in place
+
+  std::vector<VarInfo> vars;        // indexed by slot
+  std::vector<int> positive_slots;  // slot of i-th positive component
+
+  /// Window in ticks; -1 when the query has no WITHIN clause.
+  Ticks window_ticks = -1;
+
+  /// Edge filters per positive component (aligned with positive_slots).
+  std::vector<std::vector<ExprPtr>> edge_filters;
+
+  /// Value-partition key: attribute per positive component (aligned with
+  /// positive_slots); empty when no covering equivalence class exists.
+  std::vector<AttrIndex> partition_attrs;
+
+  std::vector<NegationSpec> negations;
+
+  /// Cross-variable predicates not absorbed by partitioning; evaluated by
+  /// the Selection operator.
+  std::vector<ExprPtr> residual_predicates;
+
+  /// Positive-variable equality conjuncts subsumed by the partition key.
+  /// When a plan runs with partitioning disabled these must be evaluated as
+  /// residual predicates instead.
+  std::vector<ExprPtr> partition_subsumed;
+
+  bool has_aggregates = false;
+
+  /// Classification journal: (conjunct text, class) in WHERE order.
+  std::vector<std::pair<std::string, PredicateClass>> classification;
+
+  size_t slot_count() const { return vars.size(); }
+  bool partitioned() const { return !partition_attrs.empty(); }
+
+  /// Human-readable analysis summary (used by `ExplainPlan`).
+  std::string Explain() const;
+};
+
+/// Resolves and validates a parsed query against a catalog.
+class Analyzer {
+ public:
+  Analyzer(const Catalog* catalog, TimeConfig time_config)
+      : catalog_(catalog), time_config_(time_config) {}
+
+  /// Performs name resolution, type checking, predicate classification and
+  /// partition-key detection. On success the returned AnalyzedQuery owns a
+  /// copy of the AST with every VarAttrExpr resolved.
+  Result<AnalyzedQuery> Analyze(ParsedQuery query) const;
+
+ private:
+  const Catalog* catalog_;
+  TimeConfig time_config_;
+};
+
+}  // namespace sase
+
+#endif  // SASE_QUERY_ANALYZER_H_

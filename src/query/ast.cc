@@ -1,0 +1,50 @@
+#include "query/ast.h"
+
+#include <sstream>
+
+namespace sase {
+
+std::string ParsedQuery::ToString() const {
+  std::ostringstream out;
+  if (!from_stream.empty()) out << "FROM " << from_stream << "\n";
+  out << "EVENT ";
+  if (pattern.size() == 1 && !pattern[0].negated) {
+    out << pattern[0].type_name << " " << pattern[0].variable;
+  } else {
+    out << "SEQ(";
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      if (i > 0) out << ", ";
+      if (pattern[i].negated) {
+        out << "!(" << pattern[i].type_name << " " << pattern[i].variable << ")";
+      } else {
+        out << pattern[i].type_name << " " << pattern[i].variable;
+      }
+    }
+    out << ")";
+  }
+  if (where != nullptr) out << "\nWHERE " << where->ToString();
+  if (window.present) {
+    out << "\nWITHIN " << window.count;
+    if (!window.unit.empty()) out << " " << window.unit;
+  }
+  if (!return_items.empty()) {
+    out << "\nRETURN ";
+    for (size_t i = 0; i < return_items.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << return_items[i].expr->ToString();
+      if (!return_items[i].alias.empty()) out << " AS " << return_items[i].alias;
+    }
+    if (!output_name.empty()) out << " INTO " << output_name;
+  }
+  return out.str();
+}
+
+size_t ParsedQuery::positive_count() const {
+  size_t n = 0;
+  for (const auto& c : pattern) {
+    if (!c.negated) ++n;
+  }
+  return n;
+}
+
+}  // namespace sase

@@ -1,0 +1,61 @@
+#ifndef SASE_QUERY_AST_H_
+#define SASE_QUERY_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "query/expr.h"
+
+namespace sase {
+
+/// One component of a SEQ pattern: an event type bound to a variable,
+/// optionally negated. In `SEQ(SHELF_READING x, !(COUNTER_READING y),
+/// EXIT_READING z)` the middle component has negated == true.
+struct PatternComponent {
+  std::string type_name;
+  std::string variable;
+  bool negated = false;
+
+  // Filled by the analyzer.
+  EventTypeId type_id = kInvalidEventType;
+};
+
+/// One projection in the RETURN clause: an expression with an optional
+/// output name (`x.TagId AS Tag`).
+struct ReturnItem {
+  ExprPtr expr;
+  std::string alias;
+};
+
+/// Raw window specification as written: `WITHIN 12 hours` keeps
+/// (12, "hours"); `WITHIN 500` keeps (500, ""). The analyzer converts it to
+/// ticks under the deployment's TimeConfig.
+struct WindowSpec {
+  bool present = false;
+  int64_t count = 0;
+  std::string unit;
+};
+
+/// Abstract syntax of one SASE query:
+///   [FROM s] EVENT <pattern> [WHERE q] [WITHIN w] [RETURN items [INTO name]]
+struct ParsedQuery {
+  std::string from_stream;                 // empty → default input
+  std::vector<PatternComponent> pattern;   // at least one component
+  ExprPtr where;                           // may be null
+  WindowSpec window;
+  std::vector<ReturnItem> return_items;    // empty → return all variables
+  std::string output_name;                 // INTO <name>; empty → anonymous
+
+  std::string text;  // original source text, kept for diagnostics
+
+  /// Unparses the query back to (canonicalized) SASE syntax.
+  std::string ToString() const;
+
+  /// Count of positive (non-negated) components.
+  size_t positive_count() const;
+};
+
+}  // namespace sase
+
+#endif  // SASE_QUERY_AST_H_

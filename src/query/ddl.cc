@@ -1,0 +1,103 @@
+#include "query/ddl.h"
+
+#include <vector>
+
+#include "query/lexer.h"
+#include "util/string_util.h"
+
+namespace sase {
+namespace {
+
+Result<ValueType> TypeFromName(const std::string& name) {
+  if (EqualsIgnoreCase(name, "INT") || EqualsIgnoreCase(name, "INTEGER") ||
+      EqualsIgnoreCase(name, "BIGINT")) {
+    return ValueType::kInt;
+  }
+  if (EqualsIgnoreCase(name, "DOUBLE") || EqualsIgnoreCase(name, "FLOAT") ||
+      EqualsIgnoreCase(name, "REAL")) {
+    return ValueType::kDouble;
+  }
+  if (EqualsIgnoreCase(name, "STRING") || EqualsIgnoreCase(name, "TEXT") ||
+      EqualsIgnoreCase(name, "VARCHAR")) {
+    return ValueType::kString;
+  }
+  if (EqualsIgnoreCase(name, "BOOL") || EqualsIgnoreCase(name, "BOOLEAN")) {
+    return ValueType::kBool;
+  }
+  return Status::ParseError("unknown attribute type: '" + name + "'");
+}
+
+}  // namespace
+
+Result<int> DeclareEventTypes(Catalog* catalog, const std::string& text) {
+  // The shared lexer has no ';' token; statement separators are stripped
+  // up front (they are pure decoration in this grammar).
+  std::string stripped = text;
+  for (char& c : stripped) {
+    if (c == ';') c = ' ';
+  }
+  Lexer lexer(stripped);
+  auto tokens_or = lexer.Tokenize();
+  if (!tokens_or.ok()) return tokens_or.status();
+  const std::vector<Token>& tokens = tokens_or.value();
+
+  size_t pos = 0;
+  int declared = 0;
+  auto error_at = [&tokens, &pos](const std::string& message) {
+    const Token& token = tokens[pos];
+    return Status::ParseError(message + ", found " + token.Describe() +
+                              " at line " + std::to_string(token.line));
+  };
+
+  while (tokens[pos].kind != TokenKind::kEnd) {
+    if (tokens[pos].kind != TokenKind::kEvent) {
+      return error_at("expected EVENT to begin a declaration");
+    }
+    ++pos;
+    if (tokens[pos].kind != TokenKind::kIdentifier ||
+        !EqualsIgnoreCase(tokens[pos].text, "TYPE")) {
+      return error_at("expected TYPE after EVENT");
+    }
+    ++pos;
+    if (tokens[pos].kind != TokenKind::kIdentifier) {
+      return error_at("expected event type name");
+    }
+    std::string name = tokens[pos].text;
+    ++pos;
+    if (tokens[pos].kind != TokenKind::kLParen) {
+      return error_at("expected '(' after type name");
+    }
+    ++pos;
+
+    std::vector<Attribute> attributes;
+    while (true) {
+      if (tokens[pos].kind != TokenKind::kIdentifier) {
+        return error_at("expected attribute name");
+      }
+      std::string attr_name = tokens[pos].text;
+      ++pos;
+      if (tokens[pos].kind != TokenKind::kIdentifier) {
+        return error_at("expected attribute type after '" + attr_name + "'");
+      }
+      auto type = TypeFromName(tokens[pos].text);
+      if (!type.ok()) return type.status();
+      ++pos;
+      attributes.push_back({std::move(attr_name), type.value()});
+      if (tokens[pos].kind == TokenKind::kComma) {
+        ++pos;
+        continue;
+      }
+      break;
+    }
+    if (tokens[pos].kind != TokenKind::kRParen) {
+      return error_at("expected ')' to close attribute list");
+    }
+    ++pos;
+    auto registered = catalog->RegisterType(name, std::move(attributes));
+    if (!registered.ok()) return registered.status();
+    ++declared;
+  }
+  return declared;
+}
+
+}  // namespace sase

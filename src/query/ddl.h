@@ -1,0 +1,31 @@
+#ifndef SASE_QUERY_DDL_H_
+#define SASE_QUERY_DDL_H_
+
+#include <string>
+
+#include "core/catalog.h"
+#include "util/status.h"
+
+namespace sase {
+
+/// Textual event-type declarations — the deployment-facing face of the
+/// paper's "pre-defined schema" (§3): instead of registering types through
+/// C++ calls, a deployment can ship a schema file.
+///
+/// Syntax (keywords case-insensitive, `--` comments allowed):
+///
+///   EVENT TYPE SHELF_READING (TagId STRING, AreaId INT, ProductName STRING);
+///   EVENT TYPE COUNTER_READING (TagId STRING, AreaId INT);
+///
+/// Types: INT | DOUBLE | STRING | BOOL (with the same aliases as the SQL
+/// layer: INTEGER/BIGINT, FLOAT/REAL, TEXT/VARCHAR, BOOLEAN). Trailing
+/// semicolons are optional; multiple declarations may appear in one call.
+///
+/// Returns the number of types registered. Fails atomically per
+/// declaration: a bad declaration stops parsing, but earlier ones stay
+/// registered (the count tells how many).
+Result<int> DeclareEventTypes(Catalog* catalog, const std::string& text);
+
+}  // namespace sase
+
+#endif  // SASE_QUERY_DDL_H_

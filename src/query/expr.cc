@@ -1,0 +1,255 @@
+#include "query/expr.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "engine/function_registry.h"
+
+namespace sase {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNeq: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+const char* AggregateKindName(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCount: return "COUNT";
+    case AggregateKind::kSum: return "SUM";
+    case AggregateKind::kAvg: return "AVG";
+    case AggregateKind::kMin: return "MIN";
+    case AggregateKind::kMax: return "MAX";
+  }
+  return "?";
+}
+
+bool Expr::ContainsAggregate() const { return kind_ == ExprKind::kAggregate; }
+
+Result<Value> LiteralExpr::Eval(const EvalContext& ctx) const {
+  (void)ctx;
+  return value_;
+}
+
+std::string LiteralExpr::ToString() const {
+  if (value_.type() == ValueType::kString) return "'" + value_.AsString() + "'";
+  return value_.ToString();
+}
+
+Result<Value> VarAttrExpr::Eval(const EvalContext& ctx) const {
+  if (slot_ < 0) {
+    return Status::Internal("unresolved variable reference: " + ToString());
+  }
+  if (ctx.bindings == nullptr ||
+      static_cast<size_t>(slot_) >= ctx.bindings->size() ||
+      (*ctx.bindings)[static_cast<size_t>(slot_)] == nullptr) {
+    return Status::Internal("variable '" + var_ + "' is not bound");
+  }
+  return (*ctx.bindings)[static_cast<size_t>(slot_)]->attribute(attr_index_);
+}
+
+std::string VarAttrExpr::ToString() const { return var_ + "." + attr_; }
+
+namespace {
+
+Result<Value> EvalComparison(BinaryOp op, const Value& lhs, const Value& rhs) {
+  // NULL never satisfies a comparison (and never fails != asymmetrically):
+  // any comparison with NULL is FALSE.
+  if (lhs.is_null() || rhs.is_null()) return Value(false);
+  if (op == BinaryOp::kEq) return Value(lhs.Equals(rhs));
+  if (op == BinaryOp::kNeq) return Value(!lhs.Equals(rhs));
+  auto cmp = lhs.Compare(rhs);
+  if (!cmp.ok()) return cmp.status();
+  int c = cmp.value();
+  switch (op) {
+    case BinaryOp::kLt: return Value(c < 0);
+    case BinaryOp::kLe: return Value(c <= 0);
+    case BinaryOp::kGt: return Value(c > 0);
+    case BinaryOp::kGe: return Value(c >= 0);
+    default: return Status::Internal("not a comparison op");
+  }
+}
+
+Result<Value> EvalArithmetic(BinaryOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Value();
+  // String concatenation via '+'.
+  if (op == BinaryOp::kAdd && lhs.type() == ValueType::kString &&
+      rhs.type() == ValueType::kString) {
+    return Value(lhs.AsString() + rhs.AsString());
+  }
+  auto ln = lhs.ToNumeric();
+  if (!ln.ok()) return ln.status();
+  auto rn = rhs.ToNumeric();
+  if (!rn.ok()) return rn.status();
+  bool both_int =
+      lhs.type() == ValueType::kInt && rhs.type() == ValueType::kInt;
+  double l = ln.value(), r = rn.value();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return both_int ? Value(lhs.AsInt() + rhs.AsInt()) : Value(l + r);
+    case BinaryOp::kSub:
+      return both_int ? Value(lhs.AsInt() - rhs.AsInt()) : Value(l - r);
+    case BinaryOp::kMul:
+      return both_int ? Value(lhs.AsInt() * rhs.AsInt()) : Value(l * r);
+    case BinaryOp::kDiv:
+      if (r == 0) return Status::InvalidArgument("division by zero");
+      return both_int ? Value(lhs.AsInt() / rhs.AsInt()) : Value(l / r);
+    case BinaryOp::kMod:
+      if (r == 0) return Status::InvalidArgument("modulo by zero");
+      if (both_int) return Value(lhs.AsInt() % rhs.AsInt());
+      return Value(std::fmod(l, r));
+    default:
+      return Status::Internal("not an arithmetic op");
+  }
+}
+
+Result<bool> AsBoolOperand(const Value& v) {
+  if (v.is_null()) return false;
+  if (v.type() != ValueType::kBool) {
+    return Status::InvalidArgument("logical operator expects BOOL, got " +
+                                   std::string(ValueTypeName(v.type())));
+  }
+  return v.AsBool();
+}
+
+}  // namespace
+
+Result<Value> BinaryExpr::Eval(const EvalContext& ctx) const {
+  // Short-circuit the logical connectives.
+  if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+    auto lv = left_->Eval(ctx);
+    if (!lv.ok()) return lv.status();
+    auto lb = AsBoolOperand(lv.value());
+    if (!lb.ok()) return lb.status();
+    if (op_ == BinaryOp::kAnd && !lb.value()) return Value(false);
+    if (op_ == BinaryOp::kOr && lb.value()) return Value(true);
+    auto rv = right_->Eval(ctx);
+    if (!rv.ok()) return rv.status();
+    auto rb = AsBoolOperand(rv.value());
+    if (!rb.ok()) return rb.status();
+    return Value(rb.value());
+  }
+
+  auto lv = left_->Eval(ctx);
+  if (!lv.ok()) return lv.status();
+  auto rv = right_->Eval(ctx);
+  if (!rv.ok()) return rv.status();
+
+  switch (op_) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNeq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return EvalComparison(op_, lv.value(), rv.value());
+    default:
+      return EvalArithmetic(op_, lv.value(), rv.value());
+  }
+}
+
+std::string BinaryExpr::ToString() const {
+  std::ostringstream out;
+  out << "(" << left_->ToString() << " " << BinaryOpName(op_) << " "
+      << right_->ToString() << ")";
+  return out.str();
+}
+
+Result<Value> UnaryExpr::Eval(const EvalContext& ctx) const {
+  auto v = operand_->Eval(ctx);
+  if (!v.ok()) return v.status();
+  if (op_ == UnaryOp::kNot) {
+    auto b = AsBoolOperand(v.value());
+    if (!b.ok()) return b.status();
+    return Value(!b.value());
+  }
+  // Unary minus.
+  const Value& val = v.value();
+  if (val.type() == ValueType::kInt) return Value(-val.AsInt());
+  if (val.type() == ValueType::kDouble) return Value(-val.AsDouble());
+  return Status::InvalidArgument("unary '-' expects a numeric operand");
+}
+
+std::string UnaryExpr::ToString() const {
+  return std::string(op_ == UnaryOp::kNot ? "NOT " : "-") + operand_->ToString();
+}
+
+Result<Value> CallExpr::Eval(const EvalContext& ctx) const {
+  if (ctx.functions == nullptr) {
+    return Status::InvalidArgument("no function registry available for call to " +
+                                   name_);
+  }
+  std::vector<Value> arg_values;
+  arg_values.reserve(args_.size());
+  for (const auto& arg : args_) {
+    auto v = arg->Eval(ctx);
+    if (!v.ok()) return v.status();
+    arg_values.push_back(std::move(v).value());
+  }
+  return ctx.functions->Invoke(name_, arg_values);
+}
+
+std::string CallExpr::ToString() const {
+  std::ostringstream out;
+  out << name_ << "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << args_[i]->ToString();
+  }
+  out << ")";
+  return out.str();
+}
+
+Result<Value> AggregateExpr::Eval(const EvalContext& ctx) const {
+  (void)ctx;
+  return Status::Internal(
+      "aggregate " + ToString() +
+      " has no per-match value; it must be computed by Transformation");
+}
+
+std::string AggregateExpr::ToString() const {
+  std::ostringstream out;
+  out << AggregateKindName(agg_) << "(" << (arg_ ? arg_->ToString() : "*") << ")";
+  return out.str();
+}
+
+void FlattenConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* conjuncts) {
+  if (expr == nullptr) return;
+  if (expr->kind() == ExprKind::kBinary) {
+    auto* bin = static_cast<BinaryExpr*>(expr.get());
+    if (bin->op() == BinaryOp::kAnd) {
+      FlattenConjuncts(bin->left(), conjuncts);
+      FlattenConjuncts(bin->right(), conjuncts);
+      return;
+    }
+  }
+  conjuncts->push_back(expr);
+}
+
+Result<bool> EvalPredicate(const Expr& expr, const EvalContext& ctx) {
+  auto v = expr.Eval(ctx);
+  if (!v.ok()) return v.status();
+  const Value& val = v.value();
+  if (val.is_null()) return false;
+  if (val.type() != ValueType::kBool) {
+    return Status::InvalidArgument("predicate must evaluate to BOOL, got " +
+                                   std::string(ValueTypeName(val.type())) +
+                                   " from " + expr.ToString());
+  }
+  return val.AsBool();
+}
+
+}  // namespace sase

@@ -1,0 +1,240 @@
+#ifndef SASE_QUERY_EXPR_H_
+#define SASE_QUERY_EXPR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+#include "core/value.h"
+#include "util/status.h"
+
+namespace sase {
+
+class FunctionRegistry;
+
+/// Evaluation context for an expression: one event binding per pattern
+/// variable slot (positive and negated components each own a slot). Slots
+/// for unbound variables hold nullptr; referencing one is an evaluation
+/// error, which the analyzer prevents for well-formed queries.
+struct EvalContext {
+  const std::vector<EventPtr>* bindings = nullptr;
+  const FunctionRegistry* functions = nullptr;
+};
+
+enum class ExprKind {
+  kLiteral,    // 42, 'abc', TRUE
+  kVarAttr,    // x.TagId
+  kBinary,     // a = b, a + b, a AND b
+  kUnary,      // -a, NOT a
+  kCall,       // _retrieveLocation(z.AreaId)
+  kAggregate,  // COUNT(*), SUM(x.Qty) — only valid in RETURN items
+};
+
+enum class BinaryOp {
+  kEq, kNeq, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAnd, kOr,
+};
+
+enum class UnaryOp { kNeg, kNot };
+
+enum class AggregateKind { kCount, kSum, kAvg, kMin, kMax };
+
+const char* BinaryOpName(BinaryOp op);
+const char* AggregateKindName(AggregateKind kind);
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Base class of the expression tree used by WHERE and RETURN clauses.
+///
+/// Expressions are built by the parser with symbolic variable/attribute
+/// names and then *resolved in place* by the analyzer, which fills variable
+/// slots and attribute indices. Eval() is only legal on resolved trees.
+class Expr {
+ public:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+
+  /// Evaluates the resolved expression under `ctx`.
+  virtual Result<Value> Eval(const EvalContext& ctx) const = 0;
+
+  /// Unparses the expression for plan explain output and tests.
+  virtual std::string ToString() const = 0;
+
+  /// Adds every variable slot referenced by this subtree to `slots`.
+  virtual void CollectSlots(std::set<int>* slots) const = 0;
+
+  /// True if any node in the subtree is an aggregate.
+  virtual bool ContainsAggregate() const;
+
+ private:
+  ExprKind kind_;
+};
+
+/// A constant literal.
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value value)
+      : Expr(ExprKind::kLiteral), value_(std::move(value)) {}
+
+  const Value& value() const { return value_; }
+
+  Result<Value> Eval(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+  void CollectSlots(std::set<int>* slots) const override { (void)slots; }
+
+ private:
+  Value value_;
+};
+
+/// `x.TagId`: attribute access on a pattern variable.
+class VarAttrExpr : public Expr {
+ public:
+  VarAttrExpr(std::string var, std::string attr)
+      : Expr(ExprKind::kVarAttr), var_(std::move(var)), attr_(std::move(attr)) {}
+
+  const std::string& var() const { return var_; }
+  const std::string& attr() const { return attr_; }
+
+  /// Filled by the analyzer.
+  void Resolve(int slot, AttrIndex attr_index, ValueType type) {
+    slot_ = slot;
+    attr_index_ = attr_index;
+    value_type_ = type;
+  }
+  bool resolved() const { return slot_ >= 0; }
+  int slot() const { return slot_; }
+  AttrIndex attr_index() const { return attr_index_; }
+  ValueType value_type() const { return value_type_; }
+
+  Result<Value> Eval(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+  void CollectSlots(std::set<int>* slots) const override {
+    if (slot_ >= 0) slots->insert(slot_);
+  }
+
+ private:
+  std::string var_;
+  std::string attr_;
+  int slot_ = -1;
+  AttrIndex attr_index_ = kInvalidAttr;
+  ValueType value_type_ = ValueType::kNull;
+};
+
+/// Binary operator node. Comparison of incomparable types is a runtime
+/// error; comparisons involving NULL evaluate to FALSE (SQL-ish semantics
+/// without three-valued logic).
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kBinary), op_(op), left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  BinaryOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+  Result<Value> Eval(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+  void CollectSlots(std::set<int>* slots) const override {
+    left_->CollectSlots(slots);
+    right_->CollectSlots(slots);
+  }
+  bool ContainsAggregate() const override {
+    return left_->ContainsAggregate() || right_->ContainsAggregate();
+  }
+
+ private:
+  BinaryOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// Unary minus / NOT.
+class UnaryExpr : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr operand)
+      : Expr(ExprKind::kUnary), op_(op), operand_(std::move(operand)) {}
+
+  UnaryOp op() const { return op_; }
+  const ExprPtr& operand() const { return operand_; }
+
+  Result<Value> Eval(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+  void CollectSlots(std::set<int>* slots) const override {
+    operand_->CollectSlots(slots);
+  }
+  bool ContainsAggregate() const override { return operand_->ContainsAggregate(); }
+
+ private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+/// Function invocation, e.g. `_retrieveLocation(z.AreaId)`. Built-in
+/// database functions start with '_' by the paper's convention; the
+/// registry also accepts user functions.
+class CallExpr : public Expr {
+ public:
+  CallExpr(std::string name, std::vector<ExprPtr> args)
+      : Expr(ExprKind::kCall), name_(std::move(name)), args_(std::move(args)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+
+  Result<Value> Eval(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+  void CollectSlots(std::set<int>* slots) const override {
+    for (const auto& a : args_) a->CollectSlots(slots);
+  }
+  bool ContainsAggregate() const override {
+    for (const auto& a : args_) {
+      if (a->ContainsAggregate()) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::string name_;
+  std::vector<ExprPtr> args_;
+};
+
+/// Aggregate over the stream of composite events produced by the match
+/// block: COUNT(*), SUM(e), AVG(e), MIN(e), MAX(e). The Transformation
+/// operator maintains the running state; Eval() on the node itself is an
+/// error (it has no per-match value).
+class AggregateExpr : public Expr {
+ public:
+  AggregateExpr(AggregateKind agg, ExprPtr arg /* null for COUNT(*) */)
+      : Expr(ExprKind::kAggregate), agg_(agg), arg_(std::move(arg)) {}
+
+  AggregateKind agg() const { return agg_; }
+  const ExprPtr& arg() const { return arg_; }
+
+  Result<Value> Eval(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+  void CollectSlots(std::set<int>* slots) const override {
+    if (arg_) arg_->CollectSlots(slots);
+  }
+  bool ContainsAggregate() const override { return true; }
+
+ private:
+  AggregateKind agg_;
+  ExprPtr arg_;
+};
+
+/// Splits a WHERE tree into top-level AND conjuncts (in evaluation order).
+void FlattenConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* conjuncts);
+
+/// Evaluates `expr` and coerces to a predicate outcome: TRUE passes,
+/// FALSE/NULL fail. Non-bool results are errors.
+Result<bool> EvalPredicate(const Expr& expr, const EvalContext& ctx);
+
+}  // namespace sase
+
+#endif  // SASE_QUERY_EXPR_H_

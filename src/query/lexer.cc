@@ -1,0 +1,213 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace sase {
+namespace {
+
+const std::unordered_map<std::string, TokenKind>& KeywordTable() {
+  static const auto* table = new std::unordered_map<std::string, TokenKind>{
+      {"FROM", TokenKind::kFrom},     {"EVENT", TokenKind::kEvent},
+      {"WHERE", TokenKind::kWhere},   {"WITHIN", TokenKind::kWithin},
+      {"RETURN", TokenKind::kReturn}, {"SEQ", TokenKind::kSeq},
+      {"ANY", TokenKind::kAny},       {"AND", TokenKind::kAnd},
+      {"OR", TokenKind::kOr},         {"NOT", TokenKind::kNot},
+      {"AS", TokenKind::kAs},         {"INTO", TokenKind::kInto},
+      {"TRUE", TokenKind::kTrue},     {"FALSE", TokenKind::kFalse},
+      {"NULL", TokenKind::kNull},
+  };
+  return *table;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string input) : input_(std::move(input)) {}
+
+char Lexer::Peek(size_t offset) const {
+  if (pos_ + offset >= input_.size()) return '\0';
+  return input_[pos_ + offset];
+}
+
+char Lexer::Advance() {
+  char c = input_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::Match(char expected) {
+  if (AtEnd() || Peek() != expected) return false;
+  Advance();
+  return true;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '-' && Peek(1) == '-') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::MakeToken(TokenKind kind, std::string text) {
+  Token token;
+  token.kind = kind;
+  token.text = std::move(text);
+  token.line = token_line_;
+  token.column = token_column_;
+  return token;
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    SkipWhitespaceAndComments();
+    token_line_ = line_;
+    token_column_ = column_;
+    if (AtEnd()) {
+      tokens.push_back(MakeToken(TokenKind::kEnd, ""));
+      return tokens;
+    }
+    auto token = NextToken();
+    if (!token.ok()) return token.status();
+    tokens.push_back(std::move(token).value());
+  }
+}
+
+Result<Token> Lexer::NextToken() {
+  char c = Peek();
+  if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber();
+  if (IsIdentStart(c)) return LexIdentifierOrKeyword();
+  if (c == '\'' || c == '"') return LexString(c);
+
+  // UTF-8 logical connectives used in the paper: ∧ (E2 88 A7), ∨ (E2 88 A8),
+  // ¬ (C2 AC).
+  if (static_cast<unsigned char>(c) == 0xE2 &&
+      static_cast<unsigned char>(Peek(1)) == 0x88) {
+    unsigned char third = static_cast<unsigned char>(Peek(2));
+    if (third == 0xA7 || third == 0xA8) {
+      Advance(); Advance(); Advance();
+      return MakeToken(third == 0xA7 ? TokenKind::kAnd : TokenKind::kOr,
+                       third == 0xA7 ? "∧" : "∨");
+    }
+  }
+  if (static_cast<unsigned char>(c) == 0xC2 &&
+      static_cast<unsigned char>(Peek(1)) == 0xAC) {
+    Advance(); Advance();
+    return MakeToken(TokenKind::kNot, "¬");
+  }
+
+  Advance();
+  switch (c) {
+    case '(': return MakeToken(TokenKind::kLParen, "(");
+    case ')': return MakeToken(TokenKind::kRParen, ")");
+    case ',': return MakeToken(TokenKind::kComma, ",");
+    case '.': return MakeToken(TokenKind::kDot, ".");
+    case '*': return MakeToken(TokenKind::kStar, "*");
+    case '+': return MakeToken(TokenKind::kPlus, "+");
+    case '-': return MakeToken(TokenKind::kMinus, "-");
+    case '/': return MakeToken(TokenKind::kSlash, "/");
+    case '%': return MakeToken(TokenKind::kPercent, "%");
+    case '=': return MakeToken(TokenKind::kEq, "=");
+    case '!':
+      if (Match('=')) return MakeToken(TokenKind::kNeq, "!=");
+      return MakeToken(TokenKind::kBang, "!");
+    case '<':
+      if (Match('=')) return MakeToken(TokenKind::kLe, "<=");
+      if (Match('>')) return MakeToken(TokenKind::kNeq, "<>");
+      return MakeToken(TokenKind::kLt, "<");
+    case '>':
+      if (Match('=')) return MakeToken(TokenKind::kGe, ">=");
+      return MakeToken(TokenKind::kGt, ">");
+    case '&':
+      if (Match('&')) return MakeToken(TokenKind::kAnd, "&&");
+      break;
+    case '|':
+      if (Match('|')) return MakeToken(TokenKind::kOr, "||");
+      break;
+    default:
+      break;
+  }
+  return Status::ParseError("unexpected character '" + std::string(1, c) +
+                            "' at line " + std::to_string(token_line_) +
+                            ", column " + std::to_string(token_column_));
+}
+
+Result<Token> Lexer::LexNumber() {
+  std::string text;
+  bool is_float = false;
+  while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+    text.push_back(Advance());
+  }
+  if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+    is_float = true;
+    text.push_back(Advance());  // '.'
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      text.push_back(Advance());
+    }
+  }
+  Token token = MakeToken(is_float ? TokenKind::kFloat : TokenKind::kInteger, text);
+  if (is_float) {
+    token.float_value = std::strtod(text.c_str(), nullptr);
+  } else {
+    token.int_value = std::strtoll(text.c_str(), nullptr, 10);
+  }
+  return token;
+}
+
+Result<Token> Lexer::LexString(char quote) {
+  Advance();  // opening quote
+  std::string text;
+  while (!AtEnd() && Peek() != quote) {
+    char c = Advance();
+    if (c == '\\' && !AtEnd()) {
+      char next = Advance();
+      switch (next) {
+        case 'n': text.push_back('\n'); break;
+        case 't': text.push_back('\t'); break;
+        case '\\': text.push_back('\\'); break;
+        case '\'': text.push_back('\''); break;
+        case '"': text.push_back('"'); break;
+        default: text.push_back(next); break;
+      }
+    } else {
+      text.push_back(c);
+    }
+  }
+  if (AtEnd()) {
+    return Status::ParseError("unterminated string literal at line " +
+                              std::to_string(token_line_));
+  }
+  Advance();  // closing quote
+  return MakeToken(TokenKind::kString, text);
+}
+
+Token Lexer::LexIdentifierOrKeyword() {
+  std::string text;
+  while (!AtEnd() && IsIdentBody(Peek())) text.push_back(Advance());
+  auto it = KeywordTable().find(ToUpper(text));
+  if (it != KeywordTable().end()) return MakeToken(it->second, text);
+  return MakeToken(TokenKind::kIdentifier, text);
+}
+
+}  // namespace sase

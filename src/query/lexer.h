@@ -1,0 +1,52 @@
+#ifndef SASE_QUERY_LEXER_H_
+#define SASE_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/token.h"
+#include "util/status.h"
+
+namespace sase {
+
+/// Hand-written lexer for the SASE event language.
+///
+/// Handles:
+///  - case-insensitive keywords,
+///  - identifiers that may start with '_' (built-in functions such as
+///    `_retrieveLocation` start with an underscore by convention),
+///  - integer/float/string literals (single or double quoted),
+///  - the paper's `∧` (U+2227) and `¬` (U+00AC) connectives, `&&`/`||`,
+///  - `--` line comments.
+class Lexer {
+ public:
+  explicit Lexer(std::string input);
+
+  /// Tokenizes the whole input. On error returns ParseError with
+  /// line/column context.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek(size_t offset = 0) const;
+  char Advance();
+  bool Match(char expected);
+  void SkipWhitespaceAndComments();
+
+  Result<Token> NextToken();
+  Token MakeToken(TokenKind kind, std::string text);
+  Result<Token> LexNumber();
+  Result<Token> LexString(char quote);
+  Token LexIdentifierOrKeyword();
+
+  std::string input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int token_line_ = 1;
+  int token_column_ = 1;
+};
+
+}  // namespace sase
+
+#endif  // SASE_QUERY_LEXER_H_

@@ -1,0 +1,409 @@
+#include "query/parser.h"
+
+#include <unordered_map>
+
+#include "query/lexer.h"
+#include "util/string_util.h"
+
+namespace sase {
+namespace {
+
+/// Aggregate function names recognized in call position.
+bool LookupAggregate(const std::string& name, AggregateKind* kind) {
+  static const std::unordered_map<std::string, AggregateKind> kAggregates = {
+      {"COUNT", AggregateKind::kCount}, {"SUM", AggregateKind::kSum},
+      {"AVG", AggregateKind::kAvg},     {"MIN", AggregateKind::kMin},
+      {"MAX", AggregateKind::kMax},
+  };
+  auto it = kAggregates.find(ToUpper(name));
+  if (it == kAggregates.end()) return false;
+  *kind = it->second;
+  return true;
+}
+
+}  // namespace
+
+bool Parser::MatchToken(TokenKind kind) {
+  if (!Check(kind)) return false;
+  ++pos_;
+  return true;
+}
+
+Status Parser::Expect(TokenKind kind, const std::string& context) {
+  if (MatchToken(kind)) return Status::Ok();
+  return ErrorAtCurrent("expected " + std::string(TokenKindName(kind)) + " " +
+                        context);
+}
+
+Status Parser::ErrorAtCurrent(const std::string& message) const {
+  const Token& token = Current();
+  return Status::ParseError(message + ", found " + token.Describe() +
+                            " at line " + std::to_string(token.line) +
+                            ", column " + std::to_string(token.column));
+}
+
+Result<ParsedQuery> Parser::Parse(const std::string& text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  auto query = parser.ParseQuery();
+  if (!query.ok()) return query.status();
+  ParsedQuery result = std::move(query).value();
+  result.text = text;
+  return result;
+}
+
+Result<ExprPtr> Parser::ParseExpression(const std::string& text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  auto expr = parser.ParseExpr();
+  if (!expr.ok()) return expr.status();
+  if (!parser.Check(TokenKind::kEnd)) {
+    return parser.ErrorAtCurrent("trailing input after expression");
+  }
+  return expr;
+}
+
+Result<ParsedQuery> Parser::ParseQuery() {
+  ParsedQuery query;
+
+  if (MatchToken(TokenKind::kFrom)) {
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorAtCurrent("expected stream name after FROM");
+    }
+    query.from_stream = Current().text;
+    ++pos_;
+  }
+
+  SASE_RETURN_IF_ERROR(Expect(TokenKind::kEvent, "to begin the event pattern"));
+  SASE_RETURN_IF_ERROR(ParsePattern(&query));
+
+  if (MatchToken(TokenKind::kWhere)) {
+    auto where = ParseExpr();
+    if (!where.ok()) return where.status();
+    query.where = std::move(where).value();
+  }
+
+  if (MatchToken(TokenKind::kWithin)) {
+    SASE_RETURN_IF_ERROR(ParseWindow(&query));
+  }
+
+  if (MatchToken(TokenKind::kReturn)) {
+    SASE_RETURN_IF_ERROR(ParseReturn(&query));
+  }
+
+  if (!Check(TokenKind::kEnd)) {
+    return ErrorAtCurrent("unexpected trailing input after query");
+  }
+  return query;
+}
+
+Status Parser::ParsePattern(ParsedQuery* query) {
+  if (MatchToken(TokenKind::kSeq)) {
+    SASE_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after SEQ"));
+    SASE_RETURN_IF_ERROR(ParseComponent(query));
+    while (MatchToken(TokenKind::kComma)) {
+      SASE_RETURN_IF_ERROR(ParseComponent(query));
+    }
+    SASE_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "to close SEQ pattern"));
+  } else {
+    // Single-event pattern: `EVENT SHELF_READING x`. ANY is accepted as a
+    // synonym prefix for readability: `EVENT ANY(SHELF_READING x)`.
+    if (MatchToken(TokenKind::kAny)) {
+      SASE_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after ANY"));
+      SASE_RETURN_IF_ERROR(ParseComponent(query));
+      SASE_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "to close ANY pattern"));
+    } else {
+      SASE_RETURN_IF_ERROR(ParseComponent(query));
+    }
+  }
+
+  // Structural validation that does not need the catalog.
+  if (query->positive_count() == 0) {
+    return Status::ParseError(
+        "pattern must contain at least one non-negated component");
+  }
+  std::vector<std::string> seen;
+  for (const auto& comp : query->pattern) {
+    for (const auto& name : seen) {
+      if (EqualsIgnoreCase(name, comp.variable)) {
+        return Status::ParseError("duplicate pattern variable '" +
+                                  comp.variable + "'");
+      }
+    }
+    seen.push_back(comp.variable);
+  }
+  return Status::Ok();
+}
+
+Status Parser::ParseComponent(ParsedQuery* query) {
+  PatternComponent comp;
+  if (MatchToken(TokenKind::kBang)) {
+    comp.negated = true;
+    SASE_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after '!'"));
+  }
+  if (!Check(TokenKind::kIdentifier)) {
+    return ErrorAtCurrent("expected event type name in pattern");
+  }
+  comp.type_name = Current().text;
+  ++pos_;
+  if (!Check(TokenKind::kIdentifier)) {
+    return ErrorAtCurrent("expected variable name after event type '" +
+                          comp.type_name + "'");
+  }
+  comp.variable = Current().text;
+  ++pos_;
+  if (comp.negated) {
+    SASE_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "to close negated component"));
+  }
+  query->pattern.push_back(std::move(comp));
+  return Status::Ok();
+}
+
+Status Parser::ParseWindow(ParsedQuery* query) {
+  if (!Check(TokenKind::kInteger)) {
+    return ErrorAtCurrent("expected window length after WITHIN");
+  }
+  query->window.present = true;
+  query->window.count = Current().int_value;
+  ++pos_;
+  if (Check(TokenKind::kIdentifier)) {
+    query->window.unit = Current().text;
+    ++pos_;
+  }
+  return Status::Ok();
+}
+
+Status Parser::ParseReturn(ParsedQuery* query) {
+  while (true) {
+    ReturnItem item;
+    auto expr = ParseExpr();
+    if (!expr.ok()) return expr.status();
+    item.expr = std::move(expr).value();
+    if (MatchToken(TokenKind::kAs)) {
+      if (!Check(TokenKind::kIdentifier)) {
+        return ErrorAtCurrent("expected alias after AS");
+      }
+      item.alias = Current().text;
+      ++pos_;
+    }
+    query->return_items.push_back(std::move(item));
+    if (!MatchToken(TokenKind::kComma)) break;
+  }
+  if (MatchToken(TokenKind::kInto)) {
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorAtCurrent("expected output stream name after INTO");
+    }
+    query->output_name = Current().text;
+    ++pos_;
+  }
+  return Status::Ok();
+}
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  auto left = ParseAnd();
+  if (!left.ok()) return left;
+  ExprPtr expr = std::move(left).value();
+  while (MatchToken(TokenKind::kOr)) {
+    auto right = ParseAnd();
+    if (!right.ok()) return right;
+    expr = std::make_shared<BinaryExpr>(BinaryOp::kOr, expr,
+                                        std::move(right).value());
+  }
+  return expr;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  auto left = ParseNot();
+  if (!left.ok()) return left;
+  ExprPtr expr = std::move(left).value();
+  while (MatchToken(TokenKind::kAnd)) {
+    auto right = ParseNot();
+    if (!right.ok()) return right;
+    expr = std::make_shared<BinaryExpr>(BinaryOp::kAnd, expr,
+                                        std::move(right).value());
+  }
+  return expr;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchToken(TokenKind::kNot)) {
+    auto operand = ParseNot();
+    if (!operand.ok()) return operand;
+    return ExprPtr(
+        std::make_shared<UnaryExpr>(UnaryOp::kNot, std::move(operand).value()));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  auto left = ParseAdditive();
+  if (!left.ok()) return left;
+  ExprPtr expr = std::move(left).value();
+
+  BinaryOp op;
+  if (MatchToken(TokenKind::kEq)) {
+    op = BinaryOp::kEq;
+  } else if (MatchToken(TokenKind::kNeq)) {
+    op = BinaryOp::kNeq;
+  } else if (MatchToken(TokenKind::kLt)) {
+    op = BinaryOp::kLt;
+  } else if (MatchToken(TokenKind::kLe)) {
+    op = BinaryOp::kLe;
+  } else if (MatchToken(TokenKind::kGt)) {
+    op = BinaryOp::kGt;
+  } else if (MatchToken(TokenKind::kGe)) {
+    op = BinaryOp::kGe;
+  } else {
+    return expr;
+  }
+  auto right = ParseAdditive();
+  if (!right.ok()) return right;
+  return ExprPtr(
+      std::make_shared<BinaryExpr>(op, expr, std::move(right).value()));
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  auto left = ParseMultiplicative();
+  if (!left.ok()) return left;
+  ExprPtr expr = std::move(left).value();
+  while (true) {
+    BinaryOp op;
+    if (MatchToken(TokenKind::kPlus)) {
+      op = BinaryOp::kAdd;
+    } else if (MatchToken(TokenKind::kMinus)) {
+      op = BinaryOp::kSub;
+    } else {
+      return expr;
+    }
+    auto right = ParseMultiplicative();
+    if (!right.ok()) return right;
+    expr = std::make_shared<BinaryExpr>(op, expr, std::move(right).value());
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  auto left = ParseUnary();
+  if (!left.ok()) return left;
+  ExprPtr expr = std::move(left).value();
+  while (true) {
+    BinaryOp op;
+    if (MatchToken(TokenKind::kStar)) {
+      op = BinaryOp::kMul;
+    } else if (MatchToken(TokenKind::kSlash)) {
+      op = BinaryOp::kDiv;
+    } else if (MatchToken(TokenKind::kPercent)) {
+      op = BinaryOp::kMod;
+    } else {
+      return expr;
+    }
+    auto right = ParseUnary();
+    if (!right.ok()) return right;
+    expr = std::make_shared<BinaryExpr>(op, expr, std::move(right).value());
+  }
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (MatchToken(TokenKind::kMinus)) {
+    auto operand = ParseUnary();
+    if (!operand.ok()) return operand;
+    return ExprPtr(
+        std::make_shared<UnaryExpr>(UnaryOp::kNeg, std::move(operand).value()));
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  if (Check(TokenKind::kInteger)) {
+    int64_t v = Current().int_value;
+    ++pos_;
+    return ExprPtr(std::make_shared<LiteralExpr>(Value(v)));
+  }
+  if (Check(TokenKind::kFloat)) {
+    double v = Current().float_value;
+    ++pos_;
+    return ExprPtr(std::make_shared<LiteralExpr>(Value(v)));
+  }
+  if (Check(TokenKind::kString)) {
+    std::string v = Current().text;
+    ++pos_;
+    return ExprPtr(std::make_shared<LiteralExpr>(Value(std::move(v))));
+  }
+  if (MatchToken(TokenKind::kTrue)) {
+    return ExprPtr(std::make_shared<LiteralExpr>(Value(true)));
+  }
+  if (MatchToken(TokenKind::kFalse)) {
+    return ExprPtr(std::make_shared<LiteralExpr>(Value(false)));
+  }
+  if (MatchToken(TokenKind::kNull)) {
+    return ExprPtr(std::make_shared<LiteralExpr>(Value()));
+  }
+  if (MatchToken(TokenKind::kLParen)) {
+    auto inner = ParseExpr();
+    if (!inner.ok()) return inner;
+    SASE_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "to close parenthesized expression"));
+    return inner;
+  }
+
+  if (Check(TokenKind::kIdentifier)) {
+    std::string name = Current().text;
+    ++pos_;
+
+    // Function call or aggregate.
+    if (MatchToken(TokenKind::kLParen)) {
+      AggregateKind agg_kind = AggregateKind::kCount;
+      bool is_aggregate = LookupAggregate(name, &agg_kind);
+
+      // COUNT(*) — and only COUNT — accepts the star form.
+      if (is_aggregate && agg_kind == AggregateKind::kCount &&
+          MatchToken(TokenKind::kStar)) {
+        SASE_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "to close COUNT(*)"));
+        return ExprPtr(
+            std::make_shared<AggregateExpr>(AggregateKind::kCount, nullptr));
+      }
+
+      std::vector<ExprPtr> args;
+      if (!Check(TokenKind::kRParen)) {
+        while (true) {
+          auto arg = ParseExpr();
+          if (!arg.ok()) return arg;
+          args.push_back(std::move(arg).value());
+          if (!MatchToken(TokenKind::kComma)) break;
+        }
+      }
+      SASE_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "to close argument list"));
+
+      if (is_aggregate) {
+        if (args.size() != 1) {
+          return Status::ParseError(ToUpper(name) +
+                                    " expects exactly one argument");
+        }
+        return ExprPtr(
+            std::make_shared<AggregateExpr>(agg_kind, std::move(args[0])));
+      }
+      return ExprPtr(std::make_shared<CallExpr>(name, std::move(args)));
+    }
+
+    // Variable attribute access.
+    if (MatchToken(TokenKind::kDot)) {
+      if (!Check(TokenKind::kIdentifier)) {
+        return ErrorAtCurrent("expected attribute name after '" + name + ".'");
+      }
+      std::string attr = Current().text;
+      ++pos_;
+      return ExprPtr(std::make_shared<VarAttrExpr>(name, attr));
+    }
+
+    return ErrorAtCurrent("bare identifier '" + name +
+                          "' — expected 'var.attribute' or a function call");
+  }
+
+  return ErrorAtCurrent("expected an expression");
+}
+
+}  // namespace sase

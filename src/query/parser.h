@@ -1,0 +1,77 @@
+#ifndef SASE_QUERY_PARSER_H_
+#define SASE_QUERY_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+#include "query/token.h"
+#include "util/status.h"
+
+namespace sase {
+
+/// Recursive-descent parser for the SASE event language.
+///
+/// Grammar (keywords case-insensitive):
+///
+///   query       := [FROM ident] EVENT pattern [WHERE expr]
+///                  [WITHIN duration] [RETURN items [INTO ident]]
+///   pattern     := SEQ '(' component (',' component)* ')' | component
+///   component   := type_name var | '!' '(' type_name var ')'
+///   duration    := INTEGER [ident]          -- "12 hours", "500"
+///   items       := item (',' item)*
+///   item        := expr [AS ident]
+///   expr        := or ;  or := and (OR and)* ;  and := not (AND not)*
+///   not         := [NOT] cmp
+///   cmp         := add [('='|'!='|'<>'|'<'|'<='|'>'|'>=') add]
+///   add         := mul (('+'|'-') mul)* ;  mul := unary (('*'|'/'|'%') unary)*
+///   unary       := ['-'] primary
+///   primary     := literal | TRUE | FALSE | NULL | ident '.' ident
+///                | ident '(' [expr (',' expr)*] ')'     -- call / aggregate
+///                | COUNT '(' '*' ')' | '(' expr ')'
+///
+/// Aggregate names (COUNT, SUM, AVG, MIN, MAX) are recognized in call
+/// position and produce AggregateExpr nodes; all other calls are
+/// CallExpr looked up in the FunctionRegistry at run time.
+class Parser {
+ public:
+  /// Parses one complete query. The returned AST is unresolved; pass it to
+  /// Analyzer::Analyze before execution.
+  static Result<ParsedQuery> Parse(const std::string& text);
+
+  /// Parses a standalone expression (used by tests and the DB layer).
+  static Result<ExprPtr> ParseExpression(const std::string& text);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Current() const { return tokens_[pos_]; }
+  const Token& Previous() const { return tokens_[pos_ - 1]; }
+  bool Check(TokenKind kind) const { return Current().kind == kind; }
+  bool MatchToken(TokenKind kind);
+  Status Expect(TokenKind kind, const std::string& context);
+  Status ErrorAtCurrent(const std::string& message) const;
+
+  Result<ParsedQuery> ParseQuery();
+  Status ParsePattern(ParsedQuery* query);
+  Status ParseComponent(ParsedQuery* query);
+  Status ParseWindow(ParsedQuery* query);
+  Status ParseReturn(ParsedQuery* query);
+
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sase
+
+#endif  // SASE_QUERY_PARSER_H_

@@ -1,0 +1,56 @@
+#include "query/token.h"
+
+namespace sase {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kInteger: return "integer";
+    case TokenKind::kFloat: return "float";
+    case TokenKind::kString: return "string";
+    case TokenKind::kFrom: return "FROM";
+    case TokenKind::kEvent: return "EVENT";
+    case TokenKind::kWhere: return "WHERE";
+    case TokenKind::kWithin: return "WITHIN";
+    case TokenKind::kReturn: return "RETURN";
+    case TokenKind::kSeq: return "SEQ";
+    case TokenKind::kAny: return "ANY";
+    case TokenKind::kAnd: return "AND";
+    case TokenKind::kOr: return "OR";
+    case TokenKind::kNot: return "NOT";
+    case TokenKind::kAs: return "AS";
+    case TokenKind::kInto: return "INTO";
+    case TokenKind::kTrue: return "TRUE";
+    case TokenKind::kFalse: return "FALSE";
+    case TokenKind::kNull: return "NULL";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNeq: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+  }
+  return "unknown";
+}
+
+std::string Token::Describe() const {
+  std::string out = TokenKindName(kind);
+  if (kind == TokenKind::kIdentifier || kind == TokenKind::kInteger ||
+      kind == TokenKind::kFloat || kind == TokenKind::kString) {
+    out += " '" + text + "'";
+  }
+  return out;
+}
+
+}  // namespace sase

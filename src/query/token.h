@@ -1,0 +1,47 @@
+#ifndef SASE_QUERY_TOKEN_H_
+#define SASE_QUERY_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sase {
+
+/// Token kinds of the SASE event language.
+///
+/// Keywords are recognized case-insensitively. The logical-and connective
+/// accepts the paper's own spelling `∧` (U+2227) in addition to `AND` and
+/// `&&`.
+enum class TokenKind {
+  kEnd = 0,
+  // Literals and identifiers.
+  kIdentifier,   // SHELF_READING, x, TagId, _retrieveLocation
+  kInteger,      // 12
+  kFloat,        // 3.5
+  kString,       // 'abc' or "abc"
+  // Keywords.
+  kFrom, kEvent, kWhere, kWithin, kReturn, kSeq, kAny,
+  kAnd, kOr, kNot, kAs, kInto, kTrue, kFalse, kNull,
+  // Punctuation and operators.
+  kLParen, kRParen, kComma, kDot, kBang, kStar,
+  kEq, kNeq, kLt, kLe, kGt, kGe,
+  kPlus, kMinus, kSlash, kPercent,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+/// A lexed token with its source location (1-based line/column) for error
+/// messages that point at the offending text.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // raw text (string literals are unquoted)
+  int64_t int_value = 0;  // valid when kind == kInteger
+  double float_value = 0; // valid when kind == kFloat
+  int line = 1;
+  int column = 1;
+
+  std::string Describe() const;
+};
+
+}  // namespace sase
+
+#endif  // SASE_QUERY_TOKEN_H_

@@ -1,0 +1,48 @@
+#include "rfid/reader.h"
+
+namespace sase {
+
+void Reader::Scan(int64_t raw_time, const std::vector<const TagInfo*>& present,
+                  Random* rng, std::vector<RawReading>* out) const {
+  std::vector<PresentTag> wrapped;
+  wrapped.reserve(present.size());
+  for (const TagInfo* tag : present) wrapped.push_back(PresentTag{tag, ""});
+  Scan(raw_time, wrapped, rng, out);
+}
+
+void Reader::Scan(int64_t raw_time, const std::vector<PresentTag>& present,
+                  Random* rng, std::vector<RawReading>* out) const {
+  for (const PresentTag& item : present) {
+    const TagInfo* tag = item.tag;
+    if (rng->Bernoulli(noise_.miss_rate)) continue;  // lossy read
+
+    RawReading reading;
+    reading.reader_id = spec_.id;
+    reading.raw_time = raw_time;
+    reading.container_id = item.container;
+    if (rng->Bernoulli(noise_.truncation_rate)) {
+      // Truncated id: the reader saw only a prefix of the EPC.
+      size_t keep = static_cast<size_t>(rng->Uniform(4, static_cast<int64_t>(kEpcLength) - 1));
+      reading.tag_id = tag->epc.substr(0, keep);
+    } else {
+      reading.tag_id = tag->epc;
+    }
+    out->push_back(reading);
+
+    if (rng->Bernoulli(noise_.duplicate_rate)) {
+      out->push_back(out->back());  // overlapping-range duplicate
+    }
+  }
+
+  if (rng->Bernoulli(noise_.spurious_rate)) {
+    // Phantom read: garbage id that no tag owns (includes a non-hex char so
+    // the Anomaly Filter can always identify it).
+    RawReading phantom;
+    phantom.reader_id = spec_.id;
+    phantom.raw_time = raw_time;
+    phantom.tag_id = "Z" + rng->HexString(static_cast<int>(kEpcLength) - 1);
+    out->push_back(phantom);
+  }
+}
+
+}  // namespace sase

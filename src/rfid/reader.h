@@ -1,0 +1,63 @@
+#ifndef SASE_RFID_READER_H_
+#define SASE_RFID_READER_H_
+
+#include <vector>
+
+#include "cleaning/reading.h"
+#include "rfid/store_layout.h"
+#include "rfid/tag.h"
+#include "util/random.h"
+
+namespace sase {
+
+/// Imperfection model of a physical RFID reader. "RFID readings are known
+/// to be inaccurate and lossy" (§3); these rates drive the error modes
+/// each cleaning sub-layer exists to repair:
+///   miss_rate       -> repaired by Temporal Smoothing
+///   truncation_rate -> dropped by Anomaly Filtering
+///   spurious_rate   -> dropped by Anomaly Filtering
+///   duplicate_rate  -> collapsed by Deduplication
+struct NoiseModel {
+  double miss_rate = 0.05;        // tag present but not read this scan
+  double truncation_rate = 0.01;  // reading emitted with a truncated id
+  double spurious_rate = 0.005;   // phantom reading with a garbage id
+  double duplicate_rate = 0.02;   // extra copy of a reading in the same scan
+
+  /// A perfect reader; useful for deterministic tests.
+  static NoiseModel Perfect() { return NoiseModel{0, 0, 0, 0}; }
+};
+
+/// A tag visible to a reader during one scan; `container` is the id of the
+/// container whose tag shares the read range (empty when none) — the
+/// pairing that feeds the Containment Update rule.
+struct PresentTag {
+  const TagInfo* tag = nullptr;
+  std::string container;
+};
+
+/// A simulated reader ("Mercury 4 Agile RFID Reader from ThingMagic" in the
+/// paper's demo, §3). Each Scan() models one polling round: every tag in
+/// the reader's range yields a reading, subject to the noise model.
+class Reader {
+ public:
+  Reader(ReaderSpec spec, NoiseModel noise) : spec_(spec), noise_(noise) {}
+
+  const ReaderSpec& spec() const { return spec_; }
+
+  /// Scans the given tags at `raw_time`, appending readings to `out`.
+  /// `rng` drives the noise; pass a deterministic seed for reproducibility.
+  void Scan(int64_t raw_time, const std::vector<PresentTag>& present,
+            Random* rng, std::vector<RawReading>* out) const;
+
+  /// Convenience overload for container-less populations.
+  void Scan(int64_t raw_time, const std::vector<const TagInfo*>& present,
+            Random* rng, std::vector<RawReading>* out) const;
+
+ private:
+  ReaderSpec spec_;
+  NoiseModel noise_;
+};
+
+}  // namespace sase
+
+#endif  // SASE_RFID_READER_H_

@@ -1,0 +1,108 @@
+#ifndef SASE_RFID_SIMULATOR_H_
+#define SASE_RFID_SIMULATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cleaning/reading.h"
+#include "rfid/reader.h"
+#include "rfid/store_layout.h"
+#include "rfid/tag.h"
+#include "util/random.h"
+
+namespace sase {
+
+/// What a scripted action does to an item.
+enum class ActionKind {
+  kPlace,            // item appears in an area (stocking, entering the store)
+  kMove,             // item moves to another area (pick up, misplace, ...)
+  kRemove,           // item leaves the store (walked out the exit)
+  kAssignContainer,  // item is put into a container (loading zones)
+  kClearContainer,   // item is taken out of its container
+};
+
+/// One scheduled action: at tick `at_tick`, apply `kind` to item `epc`
+/// (target `area_id` for place/move, `container_id` for container ops).
+struct ScriptedAction {
+  int64_t at_tick = 0;
+  ActionKind kind = ActionKind::kPlace;
+  std::string epc;
+  int area_id = -1;
+  std::string container_id;
+};
+
+/// Discrete-event simulation of the demo's physical layer: a store layout,
+/// readers polling once per tick, and items moved around by scripted
+/// actions ("the actual behavior (e.g. shoplifting or misplaced inventory)
+/// is simulated live in our retail store", §4).
+///
+/// Raw readings (with reader noise applied) are pushed to the attached
+/// ReadingSink — normally the CleaningPipeline.
+class RetailSimulator {
+ public:
+  /// `raw_units_per_tick` sets the device-clock granularity (the Time
+  /// Conversion Layer divides it back out).
+  RetailSimulator(StoreLayout layout, NoiseModel noise, uint64_t seed,
+                  int64_t raw_units_per_tick = 1000);
+
+  const StoreLayout& layout() const { return layout_; }
+  int64_t now() const { return tick_; }
+  int64_t raw_units_per_tick() const { return raw_units_per_tick_; }
+
+  void set_sink(ReadingSink* sink) { sink_ = sink; }
+
+  /// Registers an item (not yet placed anywhere).
+  void AddItem(TagInfo tag);
+  bool HasItem(const std::string& epc) const;
+  /// Current area of the item, or -1 if absent/removed.
+  int ItemArea(const std::string& epc) const;
+  size_t item_count() const { return items_.size(); }
+
+  /// Immediate (unscripted) state changes.
+  void Place(const std::string& epc, int area_id);
+  void Move(const std::string& epc, int area_id);
+  void Remove(const std::string& epc);
+  void AssignContainer(const std::string& epc, const std::string& container_id);
+  void ClearContainer(const std::string& epc);
+  /// Container the item currently sits in ("" when none/unknown).
+  std::string ItemContainer(const std::string& epc) const;
+
+  /// Queues an action for execution when the simulation reaches its tick.
+  void Schedule(ScriptedAction action);
+  void Schedule(int64_t at_tick, ActionKind kind, const std::string& epc,
+                int area_id = -1);
+
+  /// Advances one tick: applies due actions, then every reader scans its
+  /// area and the resulting readings are pushed to the sink.
+  void Step();
+
+  /// Runs until (and including) `until_tick`.
+  void RunUntil(int64_t until_tick);
+
+  uint64_t readings_emitted() const { return readings_emitted_; }
+
+ private:
+  struct Item {
+    TagInfo tag;
+    int area_id = -1;  // -1 = not in the store
+    std::string container_id;
+  };
+
+  void ApplyDueActions();
+
+  StoreLayout layout_;
+  std::vector<Reader> readers_;
+  Random rng_;
+  int64_t raw_units_per_tick_;
+  ReadingSink* sink_ = nullptr;  // not owned
+
+  std::map<std::string, Item> items_;  // keyed by EPC
+  std::multimap<int64_t, ScriptedAction> script_;
+  int64_t tick_ = 0;
+  uint64_t readings_emitted_ = 0;
+};
+
+}  // namespace sase
+
+#endif  // SASE_RFID_SIMULATOR_H_

@@ -1,0 +1,86 @@
+#include "rfid/store_layout.h"
+
+namespace sase {
+
+const char* AreaKindName(AreaKind kind) {
+  switch (kind) {
+    case AreaKind::kShelf: return "shelf";
+    case AreaKind::kCounter: return "counter";
+    case AreaKind::kExit: return "exit";
+    case AreaKind::kBackroom: return "backroom";
+    case AreaKind::kLoadingZone: return "loading-zone";
+  }
+  return "unknown";
+}
+
+const char* EventTypeForAreaKind(AreaKind kind) {
+  switch (kind) {
+    case AreaKind::kShelf: return "SHELF_READING";
+    case AreaKind::kCounter: return "COUNTER_READING";
+    case AreaKind::kExit: return "EXIT_READING";
+    case AreaKind::kBackroom: return "BACKROOM_READING";
+    case AreaKind::kLoadingZone: return "LOAD_READING";
+  }
+  return "SHELF_READING";
+}
+
+int StoreLayout::AddArea(std::string name, AreaKind kind) {
+  Area area;
+  area.id = static_cast<int>(areas_.size());
+  area.name = std::move(name);
+  area.kind = kind;
+  areas_.push_back(std::move(area));
+  return areas_.back().id;
+}
+
+int StoreLayout::AddReader(int area_id) {
+  ReaderSpec reader;
+  reader.id = static_cast<int>(readers_.size());
+  reader.area_id = area_id;
+  readers_.push_back(reader);
+  return readers_.back().id;
+}
+
+std::map<int, int> StoreLayout::ReaderToArea() const {
+  std::map<int, int> mapping;
+  for (const auto& reader : readers_) mapping[reader.id] = reader.area_id;
+  return mapping;
+}
+
+std::map<int, std::string> StoreLayout::AreaToEventType() const {
+  std::map<int, std::string> mapping;
+  for (const auto& area : areas_) {
+    mapping[area.id] = EventTypeForAreaKind(area.kind);
+  }
+  return mapping;
+}
+
+int StoreLayout::FindAreaByKind(AreaKind kind) const {
+  for (const auto& area : areas_) {
+    if (area.kind == kind) return area.id;
+  }
+  return -1;
+}
+
+std::vector<int> StoreLayout::AreasByKind(AreaKind kind) const {
+  std::vector<int> ids;
+  for (const auto& area : areas_) {
+    if (area.kind == kind) ids.push_back(area.id);
+  }
+  return ids;
+}
+
+StoreLayout StoreLayout::RetailDemo() {
+  StoreLayout layout;
+  int shelf1 = layout.AddArea("Shelf 1", AreaKind::kShelf);
+  int shelf2 = layout.AddArea("Shelf 2", AreaKind::kShelf);
+  int counter = layout.AddArea("Check-out Counter", AreaKind::kCounter);
+  int exit = layout.AddArea("Store Exit", AreaKind::kExit);
+  layout.AddReader(shelf1);
+  layout.AddReader(shelf2);
+  layout.AddReader(counter);
+  layout.AddReader(exit);
+  return layout;
+}
+
+}  // namespace sase

@@ -1,0 +1,69 @@
+#ifndef SASE_RFID_STORE_LAYOUT_H_
+#define SASE_RFID_STORE_LAYOUT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sase {
+
+/// Kind of a logical area; determines the event type generated for
+/// readings observed there.
+enum class AreaKind { kShelf, kCounter, kExit, kBackroom, kLoadingZone };
+
+const char* AreaKindName(AreaKind kind);
+
+/// Event type name produced for readings in an area of this kind.
+const char* EventTypeForAreaKind(AreaKind kind);
+
+/// A logical area of the store (Figure 2: "Each reader occupies only one
+/// logical area").
+struct Area {
+  int id = -1;
+  std::string name;
+  AreaKind kind = AreaKind::kShelf;
+};
+
+/// One physical reader (antenna) watching one logical area. Multiple
+/// readers may watch the same area (a "redundant setup" — the
+/// Deduplication layer collapses them).
+struct ReaderSpec {
+  int id = -1;
+  int area_id = -1;
+};
+
+/// The physical arrangement of areas and readers.
+class StoreLayout {
+ public:
+  StoreLayout() = default;
+
+  int AddArea(std::string name, AreaKind kind);
+  int AddReader(int area_id);
+
+  const std::vector<Area>& areas() const { return areas_; }
+  const std::vector<ReaderSpec>& readers() const { return readers_; }
+  const Area& area(int id) const { return areas_.at(static_cast<size_t>(id)); }
+
+  /// reader id -> logical area id (the Deduplication layer's mapping).
+  std::map<int, int> ReaderToArea() const;
+
+  /// logical area id -> event type name (the Event Generation mapping).
+  std::map<int, std::string> AreaToEventType() const;
+
+  /// First area of the given kind, or -1.
+  int FindAreaByKind(AreaKind kind) const;
+  std::vector<int> AreasByKind(AreaKind kind) const;
+
+  /// Figure 2's demo store: "four readers (antennas), with one reader in
+  /// each of the following locations: the store exit, two shelves, and
+  /// check-out counter."
+  static StoreLayout RetailDemo();
+
+ private:
+  std::vector<Area> areas_;
+  std::vector<ReaderSpec> readers_;
+};
+
+}  // namespace sase
+
+#endif  // SASE_RFID_STORE_LAYOUT_H_

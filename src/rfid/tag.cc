@@ -1,0 +1,18 @@
+#include "rfid/tag.h"
+
+#include <cstdio>
+
+namespace sase {
+
+std::string MakeEpc(int64_t item_number) {
+  char buf[kEpcLength + 1];
+  std::snprintf(buf, sizeof(buf), "ABC%021llX",
+                static_cast<unsigned long long>(item_number));
+  return std::string(buf, kEpcLength);
+}
+
+std::string RandomEpc(Random* rng) {
+  return rng->HexString(static_cast<int>(kEpcLength));
+}
+
+}  // namespace sase

@@ -1,0 +1,31 @@
+#ifndef SASE_RFID_TAG_H_
+#define SASE_RFID_TAG_H_
+
+#include <string>
+
+#include "util/random.h"
+
+namespace sase {
+
+/// An EPC Class 1 Gen 1 tag attached to one product ("Individual objects
+/// are tagged with EPC Class1 Generation 1 tags from Alien Technology",
+/// §3). The 96-bit EPC is modeled as 24 hex characters.
+struct TagInfo {
+  std::string epc;
+  std::string product_name;
+  std::string expiration_date;
+  bool saleable = true;
+};
+
+inline constexpr size_t kEpcLength = 24;
+
+/// Deterministically derives a well-formed EPC from an item number, so
+/// tests and workloads can reconstruct ids without bookkeeping.
+std::string MakeEpc(int64_t item_number);
+
+/// Generates a random (but well-formed) EPC.
+std::string RandomEpc(Random* rng);
+
+}  // namespace sase
+
+#endif  // SASE_RFID_TAG_H_

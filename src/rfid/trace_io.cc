@@ -1,0 +1,114 @@
+#include "rfid/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace sase {
+namespace {
+
+constexpr const char* kHeader = "raw_time,reader_id,tag_id,container_id,synthesized";
+
+bool IdSafe(const std::string& id) {
+  return id.find(',') == std::string::npos && id.find('\n') == std::string::npos;
+}
+
+void WriteReading(const RawReading& reading, std::ostream* out) {
+  *out << reading.raw_time << "," << reading.reader_id << "," << reading.tag_id
+       << "," << reading.container_id << "," << (reading.synthesized ? 1 : 0)
+       << "\n";
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::ostream* out) : out_(out) {
+  *out_ << kHeader << "\n";
+}
+
+void TraceRecorder::OnReading(const RawReading& reading) {
+  if (!IdSafe(reading.tag_id) || !IdSafe(reading.container_id)) {
+    ++rejected_;
+    return;
+  }
+  WriteReading(reading, out_);
+  ++recorded_;
+}
+
+Result<std::vector<RawReading>> LoadTrace(std::istream* in) {
+  std::vector<RawReading> readings;
+  std::string line;
+  bool first = true;
+  int line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (line == kHeader) continue;  // header is optional
+    }
+    auto fields = Split(line, ',');
+    if (fields.size() != 5) {
+      return Status::ParseError("trace line " + std::to_string(line_no) +
+                                ": expected 5 fields, got " +
+                                std::to_string(fields.size()));
+    }
+    RawReading reading;
+    char* end = nullptr;
+    reading.raw_time = std::strtoll(fields[0].c_str(), &end, 10);
+    if (end == fields[0].c_str() || *end != '\0') {
+      return Status::ParseError("trace line " + std::to_string(line_no) +
+                                ": bad raw_time '" + fields[0] + "'");
+    }
+    reading.reader_id = static_cast<int>(std::strtol(fields[1].c_str(), &end, 10));
+    if (end == fields[1].c_str() || *end != '\0') {
+      return Status::ParseError("trace line " + std::to_string(line_no) +
+                                ": bad reader_id '" + fields[1] + "'");
+    }
+    reading.tag_id = fields[2];
+    reading.container_id = fields[3];
+    if (fields[4] != "0" && fields[4] != "1") {
+      return Status::ParseError("trace line " + std::to_string(line_no) +
+                                ": bad synthesized flag '" + fields[4] + "'");
+    }
+    reading.synthesized = fields[4] == "1";
+    readings.push_back(std::move(reading));
+  }
+  return readings;
+}
+
+Result<std::vector<RawReading>> LoadTraceFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open trace: " + path);
+  }
+  return LoadTrace(&file);
+}
+
+Status SaveTrace(const std::vector<RawReading>& readings, std::ostream* out) {
+  *out << kHeader << "\n";
+  for (const RawReading& reading : readings) {
+    if (!IdSafe(reading.tag_id) || !IdSafe(reading.container_id)) {
+      return Status::InvalidArgument("reading id contains ',' or newline: " +
+                                     reading.ToString());
+    }
+    WriteReading(reading, out);
+  }
+  return out->good() ? Status::Ok() : Status::Internal("trace write failed");
+}
+
+Status SaveTraceToFile(const std::vector<RawReading>& readings,
+                       const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::InvalidArgument("cannot open trace for writing: " + path);
+  }
+  return SaveTrace(readings, &file);
+}
+
+void ReplayTrace(const std::vector<RawReading>& readings, ReadingSink* sink) {
+  for (const RawReading& reading : readings) sink->OnReading(reading);
+  sink->OnFlush();
+}
+
+}  // namespace sase

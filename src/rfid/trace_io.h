@@ -1,0 +1,55 @@
+#ifndef SASE_RFID_TRACE_IO_H_
+#define SASE_RFID_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cleaning/reading.h"
+
+namespace sase {
+
+/// Reader-trace capture and replay.
+///
+/// The demo runs against live readers; for regression tests, benchmarks
+/// and offline debugging a deployment wants to record the raw reading
+/// stream once and replay it deterministically. The format is CSV:
+///
+///   raw_time,reader_id,tag_id,container_id,synthesized
+///
+/// with container_id possibly empty and synthesized 0/1. Tag and container
+/// ids are EPC-style hex/alnum strings, so no quoting is needed; a reading
+/// whose ids contain commas or newlines is rejected at write time.
+
+/// Sink that appends every reading to a CSV stream (header written on
+/// construction). The stream must outlive the recorder.
+class TraceRecorder : public ReadingSink {
+ public:
+  explicit TraceRecorder(std::ostream* out);
+
+  void OnReading(const RawReading& reading) override;
+
+  uint64_t recorded() const { return recorded_; }
+  uint64_t rejected() const { return rejected_; }
+
+ private:
+  std::ostream* out_;
+  uint64_t recorded_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+/// Parses a CSV trace; fails on malformed lines.
+Result<std::vector<RawReading>> LoadTrace(std::istream* in);
+Result<std::vector<RawReading>> LoadTraceFromFile(const std::string& path);
+
+/// Writes a batch of readings as CSV.
+Status SaveTrace(const std::vector<RawReading>& readings, std::ostream* out);
+Status SaveTraceToFile(const std::vector<RawReading>& readings,
+                       const std::string& path);
+
+/// Replays a trace into a sink (in stored order) and flushes it.
+void ReplayTrace(const std::vector<RawReading>& readings, ReadingSink* sink);
+
+}  // namespace sase
+
+#endif  // SASE_RFID_TRACE_IO_H_

@@ -1,0 +1,208 @@
+#include "rfid/workload.h"
+
+#include <algorithm>
+
+#include "rfid/tag.h"
+
+namespace sase {
+
+int64_t ScenarioScripter::Purchase(const std::string& epc, int shelf,
+                                   int counter, int exit, int64_t start,
+                                   int64_t shelf_dwell, int64_t counter_dwell,
+                                   int64_t exit_dwell) {
+  simulator_->Schedule(start, ActionKind::kPlace, epc, shelf);
+  int64_t t = start + shelf_dwell;
+  simulator_->Schedule(t, ActionKind::kMove, epc, counter);
+  t += counter_dwell;
+  simulator_->Schedule(t, ActionKind::kMove, epc, exit);
+  t += exit_dwell;
+  simulator_->Schedule(t, ActionKind::kRemove, epc);
+  return t;
+}
+
+int64_t ScenarioScripter::Shoplift(const std::string& epc, int shelf, int exit,
+                                   int64_t start, int64_t shelf_dwell,
+                                   int64_t exit_dwell) {
+  simulator_->Schedule(start, ActionKind::kPlace, epc, shelf);
+  int64_t t = start + shelf_dwell;
+  simulator_->Schedule(t, ActionKind::kMove, epc, exit);
+  t += exit_dwell;
+  simulator_->Schedule(t, ActionKind::kRemove, epc);
+  return t;
+}
+
+int64_t ScenarioScripter::Misplace(const std::string& epc, int shelf_from,
+                                   int shelf_to, int64_t start, int64_t dwell) {
+  simulator_->Schedule(start, ActionKind::kPlace, epc, shelf_from);
+  int64_t t = start + dwell;
+  simulator_->Schedule(t, ActionKind::kMove, epc, shelf_to);
+  return t;
+}
+
+int64_t ScenarioScripter::Restock(const std::string& epc, int shelf,
+                                  int64_t start) {
+  simulator_->Schedule(start, ActionKind::kPlace, epc, shelf);
+  return start;
+}
+
+int64_t ScenarioScripter::WarehouseArrival(const std::string& epc,
+                                           const std::string& container,
+                                           int loading_zone, int backroom,
+                                           int shelf, int64_t start,
+                                           int64_t stage_dwell) {
+  ScriptedAction load;
+  load.at_tick = start;
+  load.kind = ActionKind::kAssignContainer;
+  load.epc = epc;
+  load.container_id = container;
+  simulator_->Schedule(load);
+  simulator_->Schedule(start, ActionKind::kPlace, epc, loading_zone);
+
+  int64_t t = start + stage_dwell;
+  simulator_->Schedule(t, ActionKind::kClearContainer, epc);  // unloaded
+  simulator_->Schedule(t, ActionKind::kMove, epc, backroom);
+  t += stage_dwell;
+  simulator_->Schedule(t, ActionKind::kMove, epc, shelf);
+  return t;
+}
+
+SyntheticStreamGenerator::SyntheticStreamGenerator(const Catalog* catalog,
+                                                   SyntheticConfig config)
+    : catalog_(catalog), config_(std::move(config)), rng_(config_.seed) {
+  for (const auto& [name, weight] : config_.type_weights) {
+    auto id = catalog_->FindType(name);
+    // Unknown types are a programming error in the experiment setup; fail
+    // loudly by skipping them (the weight table would then be empty).
+    if (id.ok()) {
+      type_ids_.push_back(id.value());
+      weights_.push_back(weight);
+    }
+  }
+}
+
+EventPtr SyntheticStreamGenerator::MakeEvent(SequenceNumber seq) {
+  size_t pick = rng_.Weighted(weights_);
+  EventTypeId type = type_ids_[pick];
+  const EventSchema& schema = catalog_->schema(type);
+
+  int64_t tag_number = config_.zipf_s > 0
+                           ? rng_.Zipf(config_.tag_count, config_.zipf_s)
+                           : rng_.Uniform(0, config_.tag_count - 1);
+  std::string tag = MakeEpc(tag_number);
+  int64_t area = rng_.Uniform(0, config_.area_count - 1);
+
+  std::vector<Value> values(schema.attribute_count());
+  AttrIndex tag_attr = schema.FindAttribute("TagId");
+  AttrIndex area_attr = schema.FindAttribute("AreaId");
+  AttrIndex product_attr = schema.FindAttribute("ProductName");
+  if (tag_attr >= 0) values[static_cast<size_t>(tag_attr)] = Value(tag);
+  if (area_attr >= 0) values[static_cast<size_t>(area_attr)] = Value(area);
+  if (product_attr >= 0) {
+    values[static_cast<size_t>(product_attr)] =
+        Value("Product-" + std::to_string(tag_number % 50));
+  }
+
+  now_ += config_.mean_tick_gap <= 1.0 ? 1 : rng_.GeometricGap(config_.mean_tick_gap);
+  return std::make_shared<Event>(type, now_, seq, std::move(values));
+}
+
+std::vector<EventPtr> SyntheticStreamGenerator::Generate() {
+  std::vector<EventPtr> events;
+  events.reserve(static_cast<size_t>(config_.event_count));
+  for (int64_t i = 0; i < config_.event_count; ++i) {
+    events.push_back(MakeEvent(static_cast<SequenceNumber>(i)));
+  }
+  return events;
+}
+
+int64_t SyntheticStreamGenerator::GenerateInto(EventSink* sink) {
+  for (int64_t i = 0; i < config_.event_count; ++i) {
+    sink->OnEvent(MakeEvent(static_cast<SequenceNumber>(i)));
+  }
+  return config_.event_count;
+}
+
+std::vector<EventPtr> WarehouseHistoryGenerator::Generate() {
+  struct PendingEvent {
+    Timestamp ts;
+    std::string type;
+    std::string tag;
+    int64_t area;
+    std::string container;  // empty = no container attribute
+  };
+  std::vector<PendingEvent> timeline;
+
+  // Area numbering convention for the warehouse history: area 100 is the
+  // loading zone, 101 the backroom, 0..shelf_count-1 the shelves.
+  constexpr int64_t kLoadingZone = 100;
+  constexpr int64_t kBackroom = 101;
+
+  for (int64_t item = 0; item < config_.item_count; ++item) {
+    std::string tag = MakeEpc(item);
+    std::string container =
+        "CONT" + std::to_string(rng_.Uniform(0, config_.container_count - 1));
+    Timestamp t = rng_.Uniform(0, config_.mean_stage_ticks);
+
+    timeline.push_back({t, "LOAD_READING", tag, kLoadingZone, container});
+    t += rng_.GeometricGap(static_cast<double>(config_.mean_stage_ticks));
+
+    // Occasionally the item is moved to a different container mid-transit.
+    if (rng_.Bernoulli(0.2)) {
+      container =
+          "CONT" + std::to_string(rng_.Uniform(0, config_.container_count - 1));
+      timeline.push_back({t, "LOAD_READING", tag, kLoadingZone, container});
+      t += rng_.GeometricGap(static_cast<double>(config_.mean_stage_ticks));
+    }
+
+    timeline.push_back({t, "UNLOAD_READING", tag, kLoadingZone, container});
+    t += rng_.GeometricGap(static_cast<double>(config_.mean_stage_ticks));
+
+    timeline.push_back({t, "BACKROOM_READING", tag, kBackroom, ""});
+    t += rng_.GeometricGap(static_cast<double>(config_.mean_stage_ticks));
+
+    // Stocked on a shelf; some items are later moved to another shelf.
+    int64_t shelf = rng_.Uniform(0, config_.shelf_count - 1);
+    timeline.push_back({t, "SHELF_READING", tag, shelf, ""});
+    if (rng_.Bernoulli(0.3)) {
+      t += rng_.GeometricGap(static_cast<double>(config_.mean_stage_ticks));
+      int64_t shelf2 = rng_.Uniform(0, config_.shelf_count - 1);
+      timeline.push_back({t, "SHELF_READING", tag, shelf2, ""});
+    }
+  }
+
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const PendingEvent& a, const PendingEvent& b) {
+                     return a.ts < b.ts;
+                   });
+
+  std::vector<EventPtr> events;
+  events.reserve(timeline.size());
+  SequenceNumber seq = 0;
+  for (const auto& pending : timeline) {
+    auto type = catalog_->FindType(pending.type);
+    if (!type.ok()) continue;
+    const EventSchema& schema = catalog_->schema(type.value());
+    std::vector<Value> values(schema.attribute_count());
+    AttrIndex tag_attr = schema.FindAttribute("TagId");
+    AttrIndex area_attr = schema.FindAttribute("AreaId");
+    AttrIndex product_attr = schema.FindAttribute("ProductName");
+    AttrIndex cont_attr = schema.FindAttribute("ContainerId");
+    if (tag_attr >= 0) values[static_cast<size_t>(tag_attr)] = Value(pending.tag);
+    if (area_attr >= 0) values[static_cast<size_t>(area_attr)] = Value(pending.area);
+    if (product_attr >= 0) {
+      values[static_cast<size_t>(product_attr)] = Value("Product-" + pending.tag.substr(20));
+    }
+    if (cont_attr >= 0 && !pending.container.empty()) {
+      values[static_cast<size_t>(cont_attr)] = Value(pending.container);
+    }
+    events.push_back(
+        std::make_shared<Event>(type.value(), pending.ts, seq++, std::move(values)));
+  }
+  return events;
+}
+
+WarehouseHistoryGenerator::WarehouseHistoryGenerator(const Catalog* catalog,
+                                                     WarehouseConfig config)
+    : catalog_(catalog), config_(config), rng_(config_.seed) {}
+
+}  // namespace sase

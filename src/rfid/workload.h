@@ -1,0 +1,133 @@
+#ifndef SASE_RFID_WORKLOAD_H_
+#define SASE_RFID_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/event.h"
+#include "core/stream.h"
+#include "rfid/simulator.h"
+#include "util/random.h"
+
+namespace sase {
+
+/// High-level behaviour scripts for the retail demo. Each method schedules
+/// the primitive place/move/remove actions that make one shopper behaviour
+/// unfold on the simulator, and returns the tick after the behaviour
+/// completes (convenient for chaining).
+///
+/// These are the behaviours of §4's live demonstration: honest purchases,
+/// shoplifting (shelf -> exit, skipping the counter) and misplaced
+/// inventory (item appearing on the wrong shelf).
+class ScenarioScripter {
+ public:
+  explicit ScenarioScripter(RetailSimulator* simulator)
+      : simulator_(simulator) {}
+
+  /// Item sits on `shelf` from `start`, then is carried through the
+  /// counter and the exit. Dwell times are in ticks.
+  int64_t Purchase(const std::string& epc, int shelf, int counter, int exit,
+                   int64_t start, int64_t shelf_dwell = 3,
+                   int64_t counter_dwell = 2, int64_t exit_dwell = 1);
+
+  /// Item sits on `shelf`, then goes straight out the exit — Q1's
+  /// shoplifting pattern.
+  int64_t Shoplift(const std::string& epc, int shelf, int exit, int64_t start,
+                   int64_t shelf_dwell = 3, int64_t exit_dwell = 1);
+
+  /// Item is moved from `shelf_from` to `shelf_to` (misplaced inventory).
+  int64_t Misplace(const std::string& epc, int shelf_from, int shelf_to,
+                   int64_t start, int64_t dwell = 3);
+
+  /// Item is stocked onto a shelf and stays.
+  int64_t Restock(const std::string& epc, int shelf, int64_t start);
+
+  /// Warehouse arrival: the item shows up at the loading zone inside
+  /// `container` (LOAD_READING events carry the ContainerId), is unloaded,
+  /// parked in the backroom, and finally stocked on `shelf`. Returns the
+  /// stocking tick.
+  int64_t WarehouseArrival(const std::string& epc, const std::string& container,
+                           int loading_zone, int backroom, int shelf,
+                           int64_t start, int64_t stage_dwell = 2);
+
+ private:
+  RetailSimulator* simulator_;
+};
+
+/// Configuration for the synthetic event-stream generator used by the
+/// engine benchmarks and property tests. Events are generated directly at
+/// the event level (bypassing readers and cleaning) so experiments control
+/// the stream precisely.
+struct SyntheticConfig {
+  uint64_t seed = 1;
+  int64_t event_count = 10000;
+  /// Number of distinct tags; keys are drawn uniformly (or Zipf-skewed).
+  int64_t tag_count = 100;
+  double zipf_s = 0.0;  // 0 = uniform tag popularity
+  int64_t area_count = 4;
+  /// Mean gap between consecutive events in ticks (geometric); 1.0 packs
+  /// one event per tick on average.
+  double mean_tick_gap = 1.0;
+  /// Mix of event types by weight; defaults to the retail trio
+  /// SHELF/COUNTER/EXIT at 50/25/25.
+  std::vector<std::pair<std::string, double>> type_weights = {
+      {"SHELF_READING", 0.50},
+      {"COUNTER_READING", 0.25},
+      {"EXIT_READING", 0.25},
+  };
+};
+
+/// Generates reproducible synthetic event streams against a catalog.
+class SyntheticStreamGenerator {
+ public:
+  SyntheticStreamGenerator(const Catalog* catalog, SyntheticConfig config);
+
+  /// Generates the whole stream as a batch (events in stream order).
+  std::vector<EventPtr> Generate();
+
+  /// Streams events into `sink` one by one; returns the count delivered.
+  int64_t GenerateInto(EventSink* sink);
+
+ private:
+  EventPtr MakeEvent(SequenceNumber seq);
+
+  const Catalog* catalog_;
+  SyntheticConfig config_;
+  Random rng_;
+  std::vector<EventTypeId> type_ids_;
+  std::vector<double> weights_;
+  Timestamp now_ = 0;
+};
+
+/// Generates a warehouse/retail movement history for the track-and-trace
+/// experiments: "We pre-populate our Event Database with RFID data that
+/// simulates typical warehouse and retail store workloads, such as
+/// loading/unloading items, stocking shelves, and changing containments"
+/// (§4). Each item's life cycle is
+///   LOAD (into a container at a loading zone) -> UNLOAD -> BACKROOM ->
+///   SHELF [-> SHELF...] with occasional container changes.
+struct WarehouseConfig {
+  uint64_t seed = 7;
+  int64_t item_count = 200;
+  int64_t container_count = 20;
+  int64_t shelf_count = 4;
+  int64_t mean_stage_ticks = 5;  // mean dwell per life-cycle stage
+};
+
+class WarehouseHistoryGenerator {
+ public:
+  WarehouseHistoryGenerator(const Catalog* catalog, WarehouseConfig config);
+
+  /// Generates the full history in stream order.
+  std::vector<EventPtr> Generate();
+
+ private:
+  const Catalog* catalog_;
+  WarehouseConfig config_;
+  Random rng_;
+};
+
+}  // namespace sase
+
+#endif  // SASE_RFID_WORKLOAD_H_

@@ -1,0 +1,161 @@
+#include "system/console.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace sase {
+namespace {
+
+/// Splits "<head> <rest...>" at the first whitespace run.
+std::pair<std::string, std::string> SplitHead(const std::string& line) {
+  std::string_view trimmed = Trim(line);
+  size_t space = trimmed.find_first_of(" \t");
+  if (space == std::string_view::npos) {
+    return {std::string(trimmed), ""};
+  }
+  return {std::string(trimmed.substr(0, space)),
+          std::string(Trim(trimmed.substr(space + 1)))};
+}
+
+constexpr const char* kHelp =
+    "commands:\n"
+    "  register <name> <query>  register a monitoring query\n"
+    "  rule <name> <query>      register an archiving rule\n"
+    "  sql <statement>          ad-hoc SQL over the event database\n"
+    "  trace <tag>              movement history of an item\n"
+    "  inventory <area-id>      tags currently in an area\n"
+    "  run <ticks>              advance the simulation\n"
+    "  stats                    engine + cleaning statistics\n"
+    "  window <channel>         dump a UI report channel\n"
+    "  queries                  list registered queries\n"
+    "  help                     this summary";
+
+}  // namespace
+
+std::string Console::Execute(const std::string& line) {
+  auto [command, args] = SplitHead(line);
+  if (command.empty() || command[0] == '#') return "";
+  if (EqualsIgnoreCase(command, "register")) return CmdRegister(args, false);
+  if (EqualsIgnoreCase(command, "rule")) return CmdRegister(args, true);
+  if (EqualsIgnoreCase(command, "sql")) return CmdSql(args);
+  if (EqualsIgnoreCase(command, "trace")) return CmdTrace(args);
+  if (EqualsIgnoreCase(command, "inventory")) return CmdInventory(args);
+  if (EqualsIgnoreCase(command, "run")) return CmdRun(args);
+  if (EqualsIgnoreCase(command, "stats")) return CmdStats();
+  if (EqualsIgnoreCase(command, "window")) return CmdWindow(args);
+  if (EqualsIgnoreCase(command, "queries")) return CmdQueries();
+  if (EqualsIgnoreCase(command, "help")) return kHelp;
+  return "error: unknown command '" + command + "' (try 'help')";
+}
+
+std::string Console::ExecuteScript(const std::string& script) {
+  std::ostringstream out;
+  std::istringstream in(script);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string result = Execute(line);
+    if (!result.empty()) out << result << "\n";
+  }
+  return out.str();
+}
+
+std::string Console::CmdRegister(const std::string& args, bool archiving) {
+  auto [name, query] = SplitHead(args);
+  if (name.empty() || query.empty()) {
+    return "error: usage: register <name> <query>";
+  }
+  Result<QueryId> id =
+      archiving ? system_->RegisterArchivingRule(name, query)
+                : system_->RegisterMonitoringQuery(
+                      name, query,
+                      [this, name = name](const OutputRecord& record) {
+                        alerts_.push_back("[" + name + "] " + record.ToString());
+                      });
+  if (!id.ok()) return "error: " + id.status().ToString();
+  queries_.emplace_back(name, id.value());
+  return (archiving ? "rule '" : "query '") + name + "' registered as #" +
+         std::to_string(id.value());
+}
+
+std::string Console::CmdSql(const std::string& args) {
+  if (args.empty()) return "error: usage: sql <statement>";
+  auto result = system_->ExecuteSql(args);
+  if (!result.ok()) return "error: " + result.status().ToString();
+  return result.value().ToString();
+}
+
+std::string Console::CmdTrace(const std::string& args) {
+  if (args.empty()) return "error: usage: trace <tag>";
+  auto trace = system_->track_trace();
+  auto history = trace.MovementHistory(args);
+  if (history.empty()) return "no history for " + args;
+  std::ostringstream out;
+  out << "movement history of " << args << ":";
+  for (const auto& entry : history) {
+    out << "\n  " << entry.ToString();
+  }
+  auto current = trace.CurrentLocation(args);
+  if (current.has_value()) {
+    out << "\ncurrent: "
+        << system_->archiver().RetrieveLocation(current->where.AsInt());
+  }
+  return out.str();
+}
+
+std::string Console::CmdInventory(const std::string& args) {
+  char* end = nullptr;
+  long area = std::strtol(args.c_str(), &end, 10);
+  if (args.empty() || end == args.c_str() || *end != '\0') {
+    return "error: usage: inventory <area-id>";
+  }
+  auto tags = system_->track_trace().TagsInArea(area);
+  std::ostringstream out;
+  out << tags.size() << " item(s) in "
+      << system_->archiver().RetrieveLocation(area);
+  for (const auto& tag : tags) out << "\n  " << tag;
+  return out.str();
+}
+
+std::string Console::CmdRun(const std::string& args) {
+  char* end = nullptr;
+  long ticks = std::strtol(args.c_str(), &end, 10);
+  if (args.empty() || end == args.c_str() || *end != '\0' || ticks < 0) {
+    return "error: usage: run <ticks>";
+  }
+  int64_t until = system_->simulator().now() + ticks;
+  system_->RunUntil(until - 1);
+  return "simulated to tick " + std::to_string(system_->simulator().now());
+}
+
+std::string Console::CmdStats() {
+  std::ostringstream out;
+  out << system_->engine().StatsReport();
+  out << system_->cleaning().StatsReport();
+  return out.str();
+}
+
+std::string Console::CmdWindow(const std::string& args) {
+  if (args.empty()) return "error: usage: window <channel name>";
+  const ReportChannel* channel = system_->reports().Find(args);
+  if (channel == nullptr) {
+    std::string names;
+    for (const auto& name : system_->reports().ChannelNames()) {
+      names += "\n  " + name;
+    }
+    return "error: no channel '" + args + "'; available:" + names;
+  }
+  return channel->ToString();
+}
+
+std::string Console::CmdQueries() {
+  if (queries_.empty()) return "(no queries registered)";
+  std::ostringstream out;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (i > 0) out << "\n";
+    out << "#" << queries_[i].second << " " << queries_[i].first;
+  }
+  return out.str();
+}
+
+}  // namespace sase

@@ -1,0 +1,60 @@
+#ifndef SASE_SYSTEM_CONSOLE_H_
+#define SASE_SYSTEM_CONSOLE_H_
+
+#include <string>
+#include <vector>
+
+#include "system/sase_system.h"
+
+namespace sase {
+
+/// Text command surface over a SaseSystem — the stand-in for the demo UI's
+/// interactive controls ("SASE has a UI that allows the user to issue both
+/// continuous queries over the RFID stream and ad hoc queries on the event
+/// database", §3). Each Execute() call takes one command line and returns
+/// the text the UI would display.
+///
+/// Commands:
+///   register <name> <sase query...>   register a monitoring query
+///   rule <name> <sase query...>       register an archiving rule
+///   sql <statement...>                ad-hoc SQL over the event database
+///   trace <tag>                       movement history + current location
+///   inventory <area-id>               tags currently in an area
+///   run <ticks>                       advance the simulation
+///   stats                             engine + cleaning statistics
+///   window <channel name...>          dump a UI report channel
+///   queries                           list registered queries
+///   help                              command summary
+class Console {
+ public:
+  explicit Console(SaseSystem* system) : system_(system) {}
+
+  /// Executes one command line; never throws, errors come back as text
+  /// prefixed with "error:".
+  std::string Execute(const std::string& line);
+
+  /// Executes a script (one command per line, '#' comments); returns the
+  /// concatenated outputs.
+  std::string ExecuteScript(const std::string& script);
+
+  /// Alerts received from queries registered through this console.
+  const std::vector<std::string>& alerts() const { return alerts_; }
+
+ private:
+  std::string CmdRegister(const std::string& args, bool archiving);
+  std::string CmdSql(const std::string& args);
+  std::string CmdTrace(const std::string& args);
+  std::string CmdInventory(const std::string& args);
+  std::string CmdRun(const std::string& args);
+  std::string CmdStats();
+  std::string CmdWindow(const std::string& args);
+  std::string CmdQueries();
+
+  SaseSystem* system_;
+  std::vector<std::pair<std::string, QueryId>> queries_;
+  std::vector<std::string> alerts_;
+};
+
+}  // namespace sase
+
+#endif  // SASE_SYSTEM_CONSOLE_H_

@@ -1,0 +1,150 @@
+#include "system/sase_system.h"
+
+namespace sase {
+namespace {
+
+/// Sink appending every cleaned event to the `events` archive table.
+class RawEventArchiver : public EventSink {
+ public:
+  RawEventArchiver(db::Database* database, const Catalog* catalog)
+      : catalog_(catalog) {
+    table_ = database->GetTable("events");
+    if (table_ == nullptr) {
+      table_ = database
+                   ->CreateTable("events", {{"Type", ValueType::kString},
+                                            {"TagId", ValueType::kString},
+                                            {"AreaId", ValueType::kInt},
+                                            {"ProductName", ValueType::kString},
+                                            {"Timestamp", ValueType::kInt}})
+                   .value();
+    }
+    (void)table_->CreateIndex("TagId");
+  }
+
+  void OnEvent(const EventPtr& event) override {
+    const EventSchema& schema = catalog_->schema(event->type());
+    AttrIndex tag = schema.FindAttribute("TagId");
+    AttrIndex area = schema.FindAttribute("AreaId");
+    AttrIndex product = schema.FindAttribute("ProductName");
+    (void)table_->Insert({Value(schema.name()),
+                          tag >= 0 ? event->attribute(tag) : Value(),
+                          area >= 0 ? event->attribute(area) : Value(),
+                          product >= 0 ? event->attribute(product) : Value(),
+                          Value(event->timestamp())});
+  }
+
+ private:
+  const Catalog* catalog_;
+  db::Table* table_;
+};
+
+}  // namespace
+
+SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config)
+    : catalog_(Catalog::RetailDemo()), config_(config), sql_(&database_) {
+  ons_ = std::make_unique<db::Ons>(&database_);
+  archiver_ = std::make_unique<db::Archiver>(&database_);
+  reports_ = ReportBoard(config_.echo_reports);
+
+  // Seed the area directory from the layout so _retrieveLocation returns
+  // meaningful descriptions.
+  for (const Area& area : layout.areas()) {
+    (void)archiver_->DescribeArea(area.id, area.name);
+  }
+
+  engine_ = std::make_unique<QueryEngine>(&catalog_, config_.time_config);
+  (void)archiver_->RegisterFunctions(engine_->functions());
+
+  // UI channel: cleaned events ("Cleaning and Association Layer Output").
+  event_logger_ = std::make_unique<CallbackSink>(
+      [this](const EventPtr& event) { LogEvent(event); });
+
+  event_bus_.Subscribe(engine_.get());
+  event_bus_.Subscribe(event_logger_.get());
+  if (config_.archive_raw_events) {
+    event_archiver_ = std::make_unique<RawEventArchiver>(&database_, &catalog_);
+    event_bus_.Subscribe(event_archiver_.get());
+  }
+
+  // Cleaning pipeline configured from the layout.
+  CleaningPipeline::Config cleaning_config;
+  for (const ReaderSpec& reader : layout.readers()) {
+    cleaning_config.anomaly.valid_readers.insert(reader.id);
+  }
+  cleaning_config.smoothing.window =
+      config_.smoothing_window_ticks * config_.raw_units_per_tick;
+  cleaning_config.smoothing.sampling_interval = config_.raw_units_per_tick;
+  cleaning_config.time.raw_units_per_tick = config_.raw_units_per_tick;
+  cleaning_config.dedup.reader_to_area = layout.ReaderToArea();
+  cleaning_config.generation.area_to_event_type = layout.AreaToEventType();
+  cleaning_ = std::make_unique<CleaningPipeline>(
+      std::move(cleaning_config), &catalog_, ons_->Resolver(), &event_bus_);
+
+  simulator_ = std::make_unique<RetailSimulator>(
+      std::move(layout), config_.noise, config_.seed, config_.raw_units_per_tick);
+  simulator_->set_sink(cleaning_.get());
+}
+
+void SaseSystem::LogEvent(const EventPtr& event) {
+  reports_.Channel(ReportBoard::kCleaningOutput).Append(event->ToString(catalog_));
+}
+
+void SaseSystem::AddProduct(const TagInfo& tag) {
+  ProductInfo info;
+  info.product_name = tag.product_name;
+  info.expiration_date = tag.expiration_date;
+  info.saleable = tag.saleable;
+  (void)ons_->RegisterProduct(tag.epc, info);
+  simulator_->AddItem(tag);
+}
+
+Result<QueryId> SaseSystem::RegisterMonitoringQuery(const std::string& name,
+                                                    const std::string& text,
+                                                    OutputCallback callback) {
+  auto id = engine_->Register(
+      text,
+      [this, name, callback](const OutputRecord& record) {
+        reports_.Channel(ReportBoard::kStreamOutput).Append(record.ToString());
+        reports_.Channel(ReportBoard::kMessageResults)
+            .Append("[" + name + "] " + record.ToString());
+        if (callback) callback(record);
+      });
+  if (id.ok()) {
+    reports_.Channel(ReportBoard::kPresentQueries).Append(name + ":\n" + text);
+  }
+  return id;
+}
+
+Result<QueryId> SaseSystem::RegisterArchivingRule(const std::string& name,
+                                                  const std::string& text) {
+  auto id = engine_->Register(text, [](const OutputRecord&) {
+    // Archiving rules act through their _update* side effects; the record
+    // itself is not user-facing.
+  });
+  if (id.ok()) {
+    reports_.Channel(ReportBoard::kPresentQueries)
+        .Append(name + " (archiving):\n" + text);
+  }
+  return id;
+}
+
+Result<db::ResultSet> SaseSystem::ExecuteSql(const std::string& text) {
+  auto result = sql_.Execute(text);
+  auto& channel = reports_.Channel(ReportBoard::kDatabaseReport);
+  channel.Append("> " + text);
+  channel.Append(result.ok() ? result.value().ToString()
+                             : result.status().ToString());
+  return result;
+}
+
+void SaseSystem::RunUntil(int64_t until_tick) {
+  simulator_->RunUntil(until_tick);
+}
+
+void SaseSystem::Flush() {
+  cleaning_->OnFlush();
+  // CleaningPipeline::OnFlush flushes its StreamSource, which calls
+  // EventSink::OnFlush on the bus; the bus fans that out to the engine.
+}
+
+}  // namespace sase

@@ -1,0 +1,113 @@
+#ifndef SASE_SYSTEM_SASE_SYSTEM_H_
+#define SASE_SYSTEM_SASE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "cleaning/pipeline.h"
+#include "core/catalog.h"
+#include "core/stream.h"
+#include "db/archiver.h"
+#include "db/database.h"
+#include "db/ons.h"
+#include "db/sql_executor.h"
+#include "db/track_trace.h"
+#include "engine/query_engine.h"
+#include "rfid/simulator.h"
+#include "rfid/workload.h"
+#include "system/report.h"
+
+namespace sase {
+
+/// System-wide configuration knobs.
+struct SystemConfig {
+  NoiseModel noise;                    // reader imperfection model
+  TimeConfig time_config;              // logical tick length
+  uint64_t seed = 42;                  // simulator noise seed
+  int64_t raw_units_per_tick = 1000;   // device clock granularity (ms/tick)
+  int64_t smoothing_window_ticks = 3;  // temporal smoothing reach
+  bool archive_raw_events = true;      // keep an events table for ad-hoc SQL
+  bool echo_reports = false;           // print UI channels to stdout
+};
+
+/// The complete SASE system of Figure 1, assembled:
+///
+///   RFID devices (RetailSimulator)
+///     -> Cleaning and Association (CleaningPipeline, ONS-backed)
+///       -> event stream (StreamBus)
+///         -> Complex Event Processor (QueryEngine)  -> user notifications
+///         -> Event Database (db::Database via archiving rules)
+///   + User Interface stand-in (ReportBoard channels)
+///   + ad-hoc SQL over the Event Database (SqlExecutor)
+///
+/// See examples/retail_monitoring.cc for the full §4 demo scenario built on
+/// this class.
+class SaseSystem {
+ public:
+  explicit SaseSystem(StoreLayout layout, SystemConfig config = {});
+
+  // --- component access ---
+  const Catalog& catalog() const { return catalog_; }
+  RetailSimulator& simulator() { return *simulator_; }
+  CleaningPipeline& cleaning() { return *cleaning_; }
+  QueryEngine& engine() { return *engine_; }
+  db::Database& database() { return database_; }
+  db::Ons& ons() { return *ons_; }
+  db::Archiver& archiver() { return *archiver_; }
+  ReportBoard& reports() { return reports_; }
+  StreamBus& event_bus() { return event_bus_; }
+
+  /// Track-and-trace view over the Event Database.
+  db::TrackTrace track_trace() { return db::TrackTrace(&database_); }
+
+  // --- high-level operations (what the demo UI exposes) ---
+
+  /// Registers a product with the ONS and creates the tagged item in the
+  /// simulator.
+  void AddProduct(const TagInfo& tag);
+
+  /// Registers a monitoring query: results go to the "Stream Processor
+  /// Output" and "Message Results" channels and to `callback` if given.
+  Result<QueryId> RegisterMonitoringQuery(const std::string& name,
+                                          const std::string& text,
+                                          OutputCallback callback = nullptr);
+
+  /// Registers a data-transformation (archiving) rule; its RETURN clause
+  /// is expected to call `_updateLocation` / `_updateContainment`.
+  Result<QueryId> RegisterArchivingRule(const std::string& name,
+                                        const std::string& text);
+
+  /// Ad-hoc SQL against the Event Database; statement and result are
+  /// logged to the "Database Report" channel.
+  Result<db::ResultSet> ExecuteSql(const std::string& text);
+
+  /// Advances the simulation to `until_tick` (readers poll every tick).
+  void RunUntil(int64_t until_tick);
+
+  /// Ends the stream: flushes the pipeline and the engine (releases
+  /// tail-negation deferrals).
+  void Flush();
+
+ private:
+  void LogEvent(const EventPtr& event);
+
+  Catalog catalog_;
+  SystemConfig config_;
+  db::Database database_;
+  std::unique_ptr<db::Ons> ons_;
+  std::unique_ptr<db::Archiver> archiver_;
+  db::SqlExecutor sql_;
+
+  ReportBoard reports_;
+
+  StreamBus event_bus_;
+  std::unique_ptr<QueryEngine> engine_;
+  std::unique_ptr<CallbackSink> event_logger_;
+  std::unique_ptr<EventSink> event_archiver_;
+  std::unique_ptr<CleaningPipeline> cleaning_;
+  std::unique_ptr<RetailSimulator> simulator_;
+};
+
+}  // namespace sase
+
+#endif  // SASE_SYSTEM_SASE_SYSTEM_H_

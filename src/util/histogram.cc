@@ -1,0 +1,102 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace sase {
+namespace {
+
+// 64 buckets: bucket i covers [2^(i-1), 2^i), bucket 0 covers {0}.
+constexpr size_t kBucketCount = 64;
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(kBucketCount, 0) {}
+
+size_t Histogram::BucketFor(int64_t value) {
+  if (value <= 0) return 0;
+  size_t bucket = 1;
+  uint64_t v = static_cast<uint64_t>(value);
+  while (v > 1 && bucket < kBucketCount - 1) {
+    v >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+int64_t Histogram::BucketLower(size_t bucket) {
+  if (bucket == 0) return 0;
+  return int64_t{1} << (bucket - 1);
+}
+
+void Histogram::Record(int64_t value) {
+  value = std::max<int64_t>(value, 0);
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += static_cast<double>(value);
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
+  double rank = q / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] == 0) continue;
+    uint64_t next = seen + buckets_[i];
+    if (static_cast<double>(next) >= rank) {
+      // Interpolate within the bucket's value range.
+      double lo = static_cast<double>(BucketLower(i));
+      double hi = i == 0 ? 0.0 : lo * 2.0 - 1.0;
+      double fraction = buckets_[i] == 0
+                            ? 0.0
+                            : (rank - static_cast<double>(seen)) /
+                                  static_cast<double>(buckets_[i]);
+      double value = lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0);
+      return std::clamp(value, static_cast<double>(min_), static_cast<double>(max_));
+    }
+    seen = next;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream out;
+  out << "count=" << count_ << " min=" << min() << " p50=" << Percentile(50)
+      << " p99=" << Percentile(99) << " max=" << max() << " mean=" << mean();
+  return out.str();
+}
+
+}  // namespace sase

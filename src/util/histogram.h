@@ -1,0 +1,50 @@
+#ifndef SASE_UTIL_HISTOGRAM_H_
+#define SASE_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sase {
+
+/// Log-bucketed latency/size histogram in the style of storage-engine
+/// statistics: cheap to record (one increment), summarizable as
+/// min/mean/percentiles. Used by the end-to-end benchmarks to report the
+/// paper's "low latency" claim and by tests to assert distribution shapes.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one sample (negative values clamp to 0).
+  void Record(int64_t value);
+
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const;
+
+  /// Approximate percentile (q in [0,100]); interpolates within the
+  /// matched bucket. Exact for values seen at bucket boundaries.
+  double Percentile(double q) const;
+  double Median() const { return Percentile(50); }
+
+  /// "count=N min=a p50=b p99=c max=d mean=e".
+  std::string ToString() const;
+
+ private:
+  static size_t BucketFor(int64_t value);
+  static int64_t BucketLower(size_t bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace sase
+
+#endif  // SASE_UTIL_HISTOGRAM_H_

@@ -1,0 +1,25 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace sase {
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (level >= LogLevel::kWarn) ++warning_count_;
+  if (level < min_level_) return;
+  const char* tag = "INFO";
+  switch (level) {
+    case LogLevel::kDebug: tag = "DEBUG"; break;
+    case LogLevel::kInfo: tag = "INFO"; break;
+    case LogLevel::kWarn: tag = "WARN"; break;
+    case LogLevel::kError: tag = "ERROR"; break;
+  }
+  std::fprintf(stderr, "[sase %s] %s\n", tag, message.c_str());
+}
+
+}  // namespace sase

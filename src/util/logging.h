@@ -1,0 +1,65 @@
+#ifndef SASE_UTIL_LOGGING_H_
+#define SASE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sase {
+
+/// Severity levels for the library logger. kDebug messages are compiled in
+/// but suppressed unless the level is lowered at runtime.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal process-wide logger. SASE is a library, so logging is off the
+/// hot path: operators never log per event; only setup, teardown and
+/// anomalies are logged.
+class Logger {
+ public:
+  /// Returns the process-wide logger instance.
+  static Logger& Get();
+
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  /// Emits one line to stderr if `level` is at or above the minimum.
+  void Log(LogLevel level, const std::string& message);
+
+  /// Number of messages emitted at kWarn or above; used by tests to assert
+  /// that clean runs stay clean.
+  int warning_count() const { return warning_count_; }
+  void ResetCounters() { warning_count_ = 0; }
+
+ private:
+  LogLevel min_level_ = LogLevel::kInfo;
+  int warning_count_ = 0;
+};
+
+namespace log_internal {
+
+/// Stream-style log statement collector: builds the message then hands it
+/// to the logger on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Get().Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace sase
+
+#define SASE_LOG_DEBUG ::sase::log_internal::LogMessage(::sase::LogLevel::kDebug)
+#define SASE_LOG_INFO ::sase::log_internal::LogMessage(::sase::LogLevel::kInfo)
+#define SASE_LOG_WARN ::sase::log_internal::LogMessage(::sase::LogLevel::kWarn)
+#define SASE_LOG_ERROR ::sase::log_internal::LogMessage(::sase::LogLevel::kError)
+
+#endif  // SASE_UTIL_LOGGING_H_

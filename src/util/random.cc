@@ -1,0 +1,72 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sase {
+
+int64_t Random::Uniform(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Random::NextDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Random::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return NextDouble() < p;
+}
+
+int64_t Random::GeometricGap(double mean) {
+  if (mean <= 1.0) return 1;
+  // Geometric distribution over {1, 2, ...} with the requested mean.
+  std::geometric_distribution<int64_t> dist(1.0 / mean);
+  return dist(engine_) + 1;
+}
+
+int64_t Random::Zipf(int64_t n, double s) {
+  if (n <= 1) return 0;
+  // Rejection-inversion would be faster; a simple CDF walk is fine for the
+  // generator sizes used in benches (n <= ~100k, built once per run).
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(static_cast<size_t>(n));
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[static_cast<size_t>(i)] = sum;
+    }
+    for (auto& v : zipf_cdf_) v /= sum;
+  }
+  double u = NextDouble();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<int64_t>(it - zipf_cdf_.begin());
+}
+
+std::string Random::HexString(int length) {
+  static const char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    out.push_back(kHex[Uniform(0, 15)]);
+  }
+  return out;
+}
+
+size_t Random::Weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double u = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+}  // namespace sase

@@ -1,0 +1,126 @@
+#ifndef SASE_UTIL_STATUS_H_
+#define SASE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sase {
+
+/// Error categories used across the library. Mirrors the style of embedded
+/// storage engines: a small closed set of codes plus a human message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kSemanticError,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Lightweight status object returned by fallible operations.
+///
+/// A default-constructed Status is OK and carries no allocation. Error
+/// statuses carry a code and a message describing what went wrong, suitable
+/// for surfacing to the user of the SASE language (e.g. parse errors point
+/// at the offending token).
+class Status {
+ public:
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status SemanticError(std::string msg) {
+    return Status(StatusCode::kSemanticError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kParseError: return "ParseError";
+      case StatusCode::kSemanticError: return "SemanticError";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kUnimplemented: return "Unimplemented";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Result<T> is either a value or an error Status. The accessors assert on
+/// misuse in debug builds via the underlying std::variant.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {}   // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace sase
+
+/// Propagates a non-OK Status from the current function, RocksDB-style.
+#define SASE_RETURN_IF_ERROR(expr)             \
+  do {                                         \
+    ::sase::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // SASE_UTIL_STATUS_H_

@@ -1,0 +1,33 @@
+#ifndef SASE_UTIL_STRING_UTIL_H_
+#define SASE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sase {
+
+/// Case-insensitive equality for SASE / SQL keywords.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Uppercases ASCII characters; non-ASCII bytes pass through unchanged.
+std::string ToUpper(std::string_view s);
+
+/// Lowercases ASCII characters; non-ASCII bytes pass through unchanged.
+std::string ToLower(std::string_view s);
+
+/// Splits on a single character delimiter; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins the elements with `sep` between them.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace sase
+
+#endif  // SASE_UTIL_STRING_UTIL_H_

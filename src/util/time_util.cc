@@ -1,0 +1,73 @@
+#include "util/time_util.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace sase {
+namespace {
+
+// Seconds per supported duration unit; lookup is case-insensitive and
+// accepts both singular and plural spellings.
+Result<int64_t> UnitSeconds(std::string_view unit) {
+  if (EqualsIgnoreCase(unit, "second") || EqualsIgnoreCase(unit, "seconds") ||
+      EqualsIgnoreCase(unit, "sec") || EqualsIgnoreCase(unit, "secs")) {
+    return int64_t{1};
+  }
+  if (EqualsIgnoreCase(unit, "minute") || EqualsIgnoreCase(unit, "minutes") ||
+      EqualsIgnoreCase(unit, "min") || EqualsIgnoreCase(unit, "mins")) {
+    return int64_t{60};
+  }
+  if (EqualsIgnoreCase(unit, "hour") || EqualsIgnoreCase(unit, "hours")) {
+    return int64_t{3600};
+  }
+  if (EqualsIgnoreCase(unit, "day") || EqualsIgnoreCase(unit, "days")) {
+    return int64_t{86400};
+  }
+  return Status::ParseError("unknown duration unit: '" + std::string(unit) + "'");
+}
+
+}  // namespace
+
+Result<Ticks> DurationToTicks(int64_t count, const std::string& unit,
+                              const TimeConfig& config) {
+  if (count < 0) {
+    return Status::InvalidArgument("duration must be non-negative");
+  }
+  auto secs = UnitSeconds(unit);
+  if (!secs.ok()) return secs.status();
+  return count * secs.value() * config.ticks_per_second;
+}
+
+Result<Ticks> ParseDuration(const std::string& text, const TimeConfig& config) {
+  std::string_view body = Trim(text);
+  if (body.empty()) return Status::ParseError("empty duration");
+  size_t i = 0;
+  while (i < body.size() && (std::isdigit(static_cast<unsigned char>(body[i])))) ++i;
+  if (i == 0) return Status::ParseError("duration must start with a number: '" + text + "'");
+  int64_t count = std::strtoll(std::string(body.substr(0, i)).c_str(), nullptr, 10);
+  std::string_view unit = Trim(body.substr(i));
+  if (unit.empty()) return count;  // bare tick count
+  return DurationToTicks(count, std::string(unit), config);
+}
+
+std::string FormatDuration(Ticks ticks, const TimeConfig& config) {
+  std::ostringstream out;
+  int64_t tps = config.ticks_per_second > 0 ? config.ticks_per_second : 1;
+  int64_t seconds = ticks / tps;
+  if (seconds >= 86400 && seconds % 86400 == 0) {
+    out << seconds / 86400 << " days";
+  } else if (seconds >= 3600 && seconds % 3600 == 0) {
+    out << seconds / 3600 << " hours";
+  } else if (seconds >= 60 && seconds % 60 == 0) {
+    out << seconds / 60 << " minutes";
+  } else if (ticks % tps == 0) {
+    out << seconds << " seconds";
+  } else {
+    out << ticks << " ticks";
+  }
+  return out.str();
+}
+
+}  // namespace sase

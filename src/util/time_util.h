@@ -1,0 +1,41 @@
+#ifndef SASE_UTIL_TIME_UTIL_H_
+#define SASE_UTIL_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace sase {
+
+/// SASE timestamps are logical time units ("ticks"). The paper's Time
+/// Conversion Layer appends "a timestamp ... based on a logical time unit
+/// that is set as a system configuration parameter"; the language's WITHIN
+/// clause accepts wall-clock durations (e.g. "12 hours") that are converted
+/// to ticks using the configured tick length.
+using Timestamp = int64_t;
+
+/// Duration expressed in logical ticks.
+using Ticks = int64_t;
+
+/// How many ticks one second corresponds to. The demo setup samples readers
+/// once per second, so the default maps 1 tick = 1 second.
+struct TimeConfig {
+  int64_t ticks_per_second = 1;
+};
+
+/// Parses a SASE duration literal: "<number> <unit>" where unit is one of
+/// seconds/minutes/hours/days (singular or plural, case-insensitive), or a
+/// bare number meaning ticks. Examples: "12 hours", "30 seconds", "500".
+Result<Ticks> ParseDuration(const std::string& text, const TimeConfig& config);
+
+/// Converts a count of `unit` into ticks. `unit` as in ParseDuration.
+Result<Ticks> DurationToTicks(int64_t count, const std::string& unit,
+                              const TimeConfig& config);
+
+/// Renders ticks as a human-readable duration under `config`.
+std::string FormatDuration(Ticks ticks, const TimeConfig& config);
+
+}  // namespace sase
+
+#endif  // SASE_UTIL_TIME_UTIL_H_

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "engine/query_engine.h"
+#include "test_util.h"
+
+namespace sase {
+namespace {
+
+using testing::StreamBuilder;
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  /// Runs `query` over `events` and returns the records.
+  std::vector<OutputRecord> Run(const std::string& query,
+                                const std::vector<EventPtr>& events) {
+    QueryEngine engine(&catalog_);
+    std::vector<OutputRecord> records;
+    auto id = engine.Register(
+        query, [&records](const OutputRecord& r) { records.push_back(r); });
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    for (const auto& event : events) engine.OnEvent(event);
+    engine.OnFlush();
+    return records;
+  }
+
+  Catalog catalog_ = Catalog::RetailDemo();
+};
+
+TEST_F(AggregateTest, CountStarIsRunning) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A").Add("SHELF_READING", 2, "B")
+        .Add("SHELF_READING", 3, "C");
+  auto records = Run("EVENT SHELF_READING s RETURN COUNT(*) AS N",
+                     stream.events());
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].Get("N").AsInt(), 1);
+  EXPECT_EQ(records[1].Get("N").AsInt(), 2);
+  EXPECT_EQ(records[2].Get("N").AsInt(), 3);
+}
+
+TEST_F(AggregateTest, SumOverIntStaysInt) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A", 2).Add("SHELF_READING", 2, "B", 5);
+  auto records = Run("EVENT SHELF_READING s RETURN SUM(s.AreaId) AS Total",
+                     stream.events());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].Get("Total").type(), ValueType::kInt);
+  EXPECT_EQ(records[0].Get("Total").AsInt(), 2);
+  EXPECT_EQ(records[1].Get("Total").AsInt(), 7);
+}
+
+TEST_F(AggregateTest, AvgIsDouble) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A", 1).Add("SHELF_READING", 2, "B", 2);
+  auto records = Run("EVENT SHELF_READING s RETURN AVG(s.AreaId) AS M",
+                     stream.events());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_DOUBLE_EQ(records[0].Get("M").AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(records[1].Get("M").AsDouble(), 1.5);
+}
+
+TEST_F(AggregateTest, MinAndMaxTrackExtremes) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A", 5)
+        .Add("SHELF_READING", 2, "B", 1)
+        .Add("SHELF_READING", 3, "C", 9);
+  auto records = Run(
+      "EVENT SHELF_READING s RETURN MIN(s.AreaId) AS Lo, MAX(s.AreaId) AS Hi",
+      stream.events());
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[2].Get("Lo").AsInt(), 1);
+  EXPECT_EQ(records[2].Get("Hi").AsInt(), 9);
+  EXPECT_EQ(records[0].Get("Lo").AsInt(), 5);
+}
+
+TEST_F(AggregateTest, MinMaxOverStrings) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "M").Add("SHELF_READING", 2, "A")
+        .Add("SHELF_READING", 3, "Z");
+  auto records = Run(
+      "EVENT SHELF_READING s RETURN MIN(s.TagId) AS Lo, MAX(s.TagId) AS Hi",
+      stream.events());
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[2].Get("Lo").AsString(), "A");
+  EXPECT_EQ(records[2].Get("Hi").AsString(), "Z");
+}
+
+TEST_F(AggregateTest, AggregateInArithmeticExpression) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A", 4).Add("SHELF_READING", 2, "B", 8);
+  auto records = Run(
+      "EVENT SHELF_READING s RETURN SUM(s.AreaId) / COUNT(*) AS Mean",
+      stream.events());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].Get("Mean").AsInt(), 4);
+  EXPECT_EQ(records[1].Get("Mean").AsInt(), 6);
+}
+
+TEST_F(AggregateTest, MixedAggregateAndPlainItems) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A").Add("SHELF_READING", 2, "B");
+  auto records = Run(
+      "EVENT SHELF_READING s RETURN s.TagId AS Tag, COUNT(*) AS N",
+      stream.events());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].Get("Tag").AsString(), "A");
+  EXPECT_EQ(records[0].Get("N").AsInt(), 1);
+  EXPECT_EQ(records[1].Get("Tag").AsString(), "B");
+  EXPECT_EQ(records[1].Get("N").AsInt(), 2);
+}
+
+TEST_F(AggregateTest, AggregatesOverCompositeMatches) {
+  // Aggregates run over the composite-event stream, i.e. matches of the
+  // whole SEQ pattern, not raw events.
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A")
+        .Add("EXIT_READING", 2, "A")
+        .Add("SHELF_READING", 3, "B")
+        .Add("EXIT_READING", 4, "B");
+  auto records = Run(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId "
+      "RETURN COUNT(*) AS Matches",
+      stream.events());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].Get("Matches").AsInt(), 2);
+}
+
+TEST_F(AggregateTest, CountExpressionSkipsNull) {
+  // ProductName is NULL when unset; COUNT(expr) must skip NULLs.
+  StreamBuilder with_null(&catalog_);
+  // StreamBuilder always sets ProductName, so build events manually.
+  EventBuilder b1(catalog_, "SHELF_READING");
+  auto e1 = b1.Set("TagId", "A").Build(1, 0).value();  // ProductName NULL
+  EventBuilder b2(catalog_, "SHELF_READING");
+  auto e2 = b2.Set("TagId", "B").Set("ProductName", "Soap").Build(2, 1).value();
+  auto records = Run("EVENT SHELF_READING s RETURN COUNT(s.ProductName) AS N",
+                     {e1, e2});
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].Get("N").AsInt(), 0);
+  EXPECT_EQ(records[1].Get("N").AsInt(), 1);
+}
+
+}  // namespace
+}  // namespace sase

@@ -1,0 +1,218 @@
+#include "query/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace sase {
+namespace {
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  AnalyzedQuery MustAnalyze(const std::string& text) {
+    auto parsed = Parser::Parse(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    Analyzer analyzer(&catalog_, time_config_);
+    auto analyzed = analyzer.Analyze(std::move(parsed).value());
+    EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    return std::move(analyzed).value();
+  }
+
+  Status AnalyzeError(const std::string& text) {
+    auto parsed = Parser::Parse(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    Analyzer analyzer(&catalog_, time_config_);
+    auto analyzed = analyzer.Analyze(std::move(parsed).value());
+    EXPECT_FALSE(analyzed.ok()) << "expected analysis failure for: " << text;
+    return analyzed.status();
+  }
+
+  Catalog catalog_ = Catalog::RetailDemo();
+  TimeConfig time_config_;
+};
+
+TEST_F(AnalyzerTest, ResolvesTypesAndSlots) {
+  AnalyzedQuery q = MustAnalyze(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId");
+  ASSERT_EQ(q.vars.size(), 2u);
+  EXPECT_EQ(q.vars[0].name, "x");
+  EXPECT_EQ(q.vars[1].name, "z");
+  EXPECT_FALSE(q.vars[0].negated);
+  EXPECT_EQ(q.positive_slots, (std::vector<int>{0, 1}));
+  EXPECT_EQ(q.vars[0].type_id, catalog_.FindType("SHELF_READING").value());
+}
+
+TEST_F(AnalyzerTest, WindowConvertedToTicks) {
+  AnalyzedQuery q = MustAnalyze("EVENT SHELF_READING x WITHIN 12 hours");
+  EXPECT_EQ(q.window_ticks, 12 * 3600);
+  AnalyzedQuery bare = MustAnalyze("EVENT SHELF_READING x WITHIN 500");
+  EXPECT_EQ(bare.window_ticks, 500);
+  AnalyzedQuery none = MustAnalyze("EVENT SHELF_READING x");
+  EXPECT_EQ(none.window_ticks, -1);
+}
+
+TEST_F(AnalyzerTest, EdgeFilterClassification) {
+  AnalyzedQuery q = MustAnalyze(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.AreaId = 1 AND "
+      "z.AreaId = 3");
+  ASSERT_EQ(q.edge_filters.size(), 2u);
+  EXPECT_EQ(q.edge_filters[0].size(), 1u);
+  EXPECT_EQ(q.edge_filters[1].size(), 1u);
+  EXPECT_TRUE(q.residual_predicates.empty());
+  EXPECT_FALSE(q.partitioned());
+}
+
+TEST_F(AnalyzerTest, PartitionDetectionAcrossAllPositives) {
+  // Q1-style equivalence chain: x.TagId = y.TagId AND x.TagId = z.TagId
+  // (y negated). All three variables join the class; the partition covers
+  // the positives and keys the negation.
+  AnalyzedQuery q = MustAnalyze(
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+      "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 100");
+  EXPECT_TRUE(q.partitioned());
+  ASSERT_EQ(q.partition_attrs.size(), 2u);  // two positives
+  ASSERT_EQ(q.negations.size(), 1u);
+  EXPECT_NE(q.negations[0].partition_attr, kInvalidAttr);
+  EXPECT_EQ(q.negations[0].subsumed_cross.size(), 1u);
+  EXPECT_TRUE(q.negations[0].cross_preds.empty());
+  EXPECT_TRUE(q.residual_predicates.empty());
+  EXPECT_EQ(q.partition_subsumed.size(), 1u);  // x.TagId = z.TagId
+}
+
+TEST_F(AnalyzerTest, NoPartitionWhenChainIncomplete) {
+  AnalyzedQuery q = MustAnalyze(
+      "EVENT SEQ(SHELF_READING x, COUNTER_READING y, EXIT_READING z) "
+      "WHERE x.TagId = y.TagId");
+  EXPECT_FALSE(q.partitioned());
+  EXPECT_EQ(q.residual_predicates.size(), 1u);
+}
+
+TEST_F(AnalyzerTest, InequalityJoinStaysResidual) {
+  AnalyzedQuery q = MustAnalyze(
+      "EVENT SEQ(SHELF_READING x, SHELF_READING y) "
+      "WHERE x.TagId = y.TagId AND x.AreaId != y.AreaId WITHIN 10");
+  EXPECT_TRUE(q.partitioned());  // TagId chain covers both
+  EXPECT_EQ(q.residual_predicates.size(), 1u);  // the != predicate
+  EXPECT_EQ(q.residual_predicates[0]->ToString(), "(x.AreaId != y.AreaId)");
+}
+
+TEST_F(AnalyzerTest, TimestampEqualityNotAPartitionKey) {
+  AnalyzedQuery q = MustAnalyze(
+      "EVENT SEQ(SHELF_READING x, SHELF_READING y) "
+      "WHERE x.Timestamp = y.Timestamp");
+  EXPECT_FALSE(q.partitioned());
+}
+
+TEST_F(AnalyzerTest, NegationFiltersAndCrossPredicates) {
+  AnalyzedQuery q = MustAnalyze(
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+      "WHERE y.AreaId = 2 AND y.ProductName = x.ProductName WITHIN 50");
+  ASSERT_EQ(q.negations.size(), 1u);
+  const NegationSpec& spec = q.negations[0];
+  EXPECT_EQ(spec.filters.size(), 1u);      // y.AreaId = 2
+  // y.ProductName = x.ProductName is an equality, but the class does not
+  // cover all positives (z missing), so it stays a cross predicate.
+  EXPECT_EQ(spec.cross_preds.size(), 1u);
+  EXPECT_EQ(spec.prev_positive, 0);
+  EXPECT_EQ(spec.next_positive, 1);
+}
+
+TEST_F(AnalyzerTest, HeadAndTailNegationPositions) {
+  AnalyzedQuery q = MustAnalyze(
+      "EVENT SEQ(!(COUNTER_READING a), SHELF_READING x, !(EXIT_READING b)) "
+      "WITHIN 100");
+  ASSERT_EQ(q.negations.size(), 2u);
+  EXPECT_EQ(q.negations[0].prev_positive, -1);  // head
+  EXPECT_EQ(q.negations[0].next_positive, 0);
+  EXPECT_EQ(q.negations[1].prev_positive, 0);
+  EXPECT_EQ(q.negations[1].next_positive, -1);  // tail
+}
+
+TEST_F(AnalyzerTest, ClassificationJournal) {
+  AnalyzedQuery q = MustAnalyze(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+      "WHERE x.TagId = z.TagId AND x.AreaId = 1 AND x.Timestamp < z.Timestamp");
+  ASSERT_EQ(q.classification.size(), 3u);
+  int partition = 0, edge = 0, residual = 0;
+  for (const auto& [text, cls] : q.classification) {
+    if (cls == PredicateClass::kPartition) ++partition;
+    if (cls == PredicateClass::kEdgeFilter) ++edge;
+    if (cls == PredicateClass::kResidual) ++residual;
+  }
+  EXPECT_EQ(partition, 1);
+  EXPECT_EQ(edge, 1);
+  EXPECT_EQ(residual, 1);
+}
+
+TEST_F(AnalyzerTest, ExplainMentionsKeyFacts) {
+  AnalyzedQuery q = MustAnalyze(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId "
+      "WITHIN 60");
+  std::string explain = q.Explain();
+  EXPECT_NE(explain.find("partitioned: yes"), std::string::npos);
+  EXPECT_NE(explain.find("window: 60 ticks"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, ErrorUnknownEventType) {
+  Status status = AnalyzeError("EVENT NO_SUCH_TYPE x");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(AnalyzerTest, ErrorUnknownVariable) {
+  Status status =
+      AnalyzeError("EVENT SHELF_READING x WHERE q.TagId = 'T'");
+  EXPECT_EQ(status.code(), StatusCode::kSemanticError);
+}
+
+TEST_F(AnalyzerTest, ErrorUnknownAttribute) {
+  Status status = AnalyzeError("EVENT SHELF_READING x WHERE x.Bogus = 1");
+  EXPECT_EQ(status.code(), StatusCode::kSemanticError);
+}
+
+TEST_F(AnalyzerTest, ErrorTypeMismatchComparison) {
+  Status status =
+      AnalyzeError("EVENT SHELF_READING x WHERE x.TagId = 5");
+  EXPECT_EQ(status.code(), StatusCode::kSemanticError);
+}
+
+TEST_F(AnalyzerTest, ErrorNonBooleanWhere) {
+  Status status = AnalyzeError("EVENT SHELF_READING x WHERE x.AreaId + 1");
+  EXPECT_EQ(status.code(), StatusCode::kSemanticError);
+}
+
+TEST_F(AnalyzerTest, ErrorAggregateInWhere) {
+  Status status =
+      AnalyzeError("EVENT SHELF_READING x WHERE COUNT(*) > 3");
+  EXPECT_NE(status.message().find("aggregate"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, ErrorReturnReferencesNegatedVariable) {
+  Status status = AnalyzeError(
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+      "WITHIN 10 RETURN y.TagId");
+  EXPECT_NE(status.message().find("negated"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, ErrorPredicateOverTwoNegatedVariables) {
+  Status status = AnalyzeError(
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), !(EXIT_READING w), "
+      "SHELF_READING z) WHERE y.TagId = w.TagId WITHIN 10");
+  EXPECT_NE(status.message().find("negated"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, ErrorHeadTailNegationWithoutWindow) {
+  Status status = AnalyzeError(
+      "EVENT SEQ(!(COUNTER_READING y), SHELF_READING x)");
+  EXPECT_NE(status.message().find("WITHIN"), std::string::npos);
+  Status tail = AnalyzeError(
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y))");
+  EXPECT_NE(tail.message().find("WITHIN"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, ErrorNonPositiveWindow) {
+  Status status = AnalyzeError("EVENT SHELF_READING x WITHIN 0");
+  EXPECT_NE(status.message().find("positive"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sase

@@ -1,0 +1,119 @@
+#include "db/archiver.h"
+
+#include <gtest/gtest.h>
+
+#include "db/track_trace.h"
+
+namespace sase {
+namespace db {
+namespace {
+
+class ArchiverTest : public ::testing::Test {
+ protected:
+  Database database_;
+  Archiver archiver_{&database_};
+};
+
+TEST_F(ArchiverTest, CreatesSchema) {
+  EXPECT_NE(database_.GetTable("location_history"), nullptr);
+  EXPECT_NE(database_.GetTable("containment_history"), nullptr);
+  EXPECT_NE(database_.GetTable("area_directory"), nullptr);
+}
+
+TEST_F(ArchiverTest, FirstLocationOpensStay) {
+  ASSERT_TRUE(archiver_.UpdateLocation("T1", 3, 100).ok());
+  Table* table = database_.GetTable("location_history");
+  EXPECT_EQ(table->row_count(), 1u);
+  const Row* row = table->Get(1);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[0].AsString(), "T1");
+  EXPECT_EQ((*row)[1].AsInt(), 3);
+  EXPECT_EQ((*row)[2].AsInt(), 100);
+  EXPECT_TRUE((*row)[3].is_null());  // TimeOut open
+}
+
+TEST_F(ArchiverTest, LocationChangeClosesAndOpens) {
+  // The paper: "_updateLocation first sets the TimeOut attribute of the
+  // current location ... then creates a tuple for the new location with the
+  // TimeIn attribute also set to the value of y.Timestamp."
+  ASSERT_TRUE(archiver_.UpdateLocation("T1", 3, 100).ok());
+  ASSERT_TRUE(archiver_.UpdateLocation("T1", 5, 200).ok());
+  TrackTrace trace(&database_);
+  auto history = trace.LocationHistory("T1");
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].where.AsInt(), 3);
+  EXPECT_EQ(history[0].time_in, 100);
+  EXPECT_EQ(history[0].time_out, 200);  // closed at the move's timestamp
+  EXPECT_EQ(history[1].where.AsInt(), 5);
+  EXPECT_EQ(history[1].time_in, 200);
+  EXPECT_TRUE(history[1].current());
+}
+
+TEST_F(ArchiverTest, SameLocationIsNoOp) {
+  ASSERT_TRUE(archiver_.UpdateLocation("T1", 3, 100).ok());
+  ASSERT_TRUE(archiver_.UpdateLocation("T1", 3, 150).ok());
+  EXPECT_EQ(database_.GetTable("location_history")->row_count(), 1u);
+}
+
+TEST_F(ArchiverTest, IndependentTags) {
+  ASSERT_TRUE(archiver_.UpdateLocation("T1", 1, 10).ok());
+  ASSERT_TRUE(archiver_.UpdateLocation("T2", 2, 20).ok());
+  ASSERT_TRUE(archiver_.UpdateLocation("T1", 3, 30).ok());
+  TrackTrace trace(&database_);
+  EXPECT_EQ(trace.CurrentLocation("T1")->where.AsInt(), 3);
+  EXPECT_EQ(trace.CurrentLocation("T2")->where.AsInt(), 2);
+}
+
+TEST_F(ArchiverTest, ContainmentUpdates) {
+  ASSERT_TRUE(archiver_.UpdateContainment("T1", "BOX1", 10).ok());
+  ASSERT_TRUE(archiver_.UpdateContainment("T1", "BOX2", 50).ok());
+  TrackTrace trace(&database_);
+  auto history = trace.ContainmentHistory("T1");
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].where.AsString(), "BOX1");
+  EXPECT_EQ(history[0].time_out, 50);
+  EXPECT_EQ(history[1].where.AsString(), "BOX2");
+  EXPECT_TRUE(history[1].current());
+  EXPECT_EQ(archiver_.containment_updates(), 2u);
+}
+
+TEST_F(ArchiverTest, RetrieveLocationDescription) {
+  ASSERT_TRUE(archiver_.DescribeArea(4, "the leftmost door").ok());
+  EXPECT_EQ(archiver_.RetrieveLocation(4), "the leftmost door");
+  EXPECT_EQ(archiver_.RetrieveLocation(9), "area 9");  // unknown -> fallback
+  // Re-describing overwrites.
+  ASSERT_TRUE(archiver_.DescribeArea(4, "the rightmost door").ok());
+  EXPECT_EQ(archiver_.RetrieveLocation(4), "the rightmost door");
+}
+
+TEST_F(ArchiverTest, RegisteredFunctions) {
+  FunctionRegistry registry;
+  ASSERT_TRUE(archiver_.RegisterFunctions(&registry).ok());
+  ASSERT_TRUE(archiver_.DescribeArea(2, "south exit").ok());
+
+  auto loc = registry.Invoke("_retrieveLocation", {Value(2)});
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc.value().AsString(), "south exit");
+
+  auto update =
+      registry.Invoke("_updateLocation", {Value("T1"), Value(7), Value(10)});
+  ASSERT_TRUE(update.ok());
+  TrackTrace trace(&database_);
+  EXPECT_EQ(trace.CurrentLocation("T1")->where.AsInt(), 7);
+
+  auto contain = registry.Invoke("_updateContainment",
+                                 {Value("T1"), Value("BOX"), Value(12)});
+  ASSERT_TRUE(contain.ok());
+  EXPECT_EQ(trace.CurrentContainment("T1")->where.AsString(), "BOX");
+
+  // Names are case-insensitive like all registry functions.
+  EXPECT_TRUE(registry.Has("_RETRIEVELOCATION"));
+  // Arity and types validated.
+  EXPECT_FALSE(registry.Invoke("_retrieveLocation", {}).ok());
+  EXPECT_FALSE(registry.Invoke("_updateLocation",
+                               {Value(1), Value(2), Value(3)}).ok());
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace sase

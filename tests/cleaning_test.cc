@@ -1,0 +1,238 @@
+#include "cleaning/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "rfid/tag.h"
+
+namespace sase {
+namespace {
+
+/// ReadingSink that records everything it receives.
+class ReadingCollector : public ReadingSink {
+ public:
+  void OnReading(const RawReading& reading) override {
+    readings.push_back(reading);
+  }
+  void OnFlush() override { flushed = true; }
+  std::vector<RawReading> readings;
+  bool flushed = false;
+};
+
+RawReading MakeReading(const std::string& tag, int reader, int64_t t,
+                       bool synthesized = false) {
+  RawReading reading;
+  reading.tag_id = tag;
+  reading.reader_id = reader;
+  reading.raw_time = t;
+  reading.synthesized = synthesized;
+  return reading;
+}
+
+std::string GoodTag(int n) { return MakeEpc(n); }
+
+TEST(AnomalyFilterTest, PassesWellFormedReadings) {
+  ReadingCollector collector;
+  AnomalyFilter filter({.tag_id_length = 24, .valid_readers = {0, 1}}, &collector);
+  filter.OnReading(MakeReading(GoodTag(1), 0, 5));
+  EXPECT_EQ(collector.readings.size(), 1u);
+  EXPECT_EQ(filter.stats().readings_in, 1u);
+}
+
+TEST(AnomalyFilterTest, DropsTruncatedIds) {
+  ReadingCollector collector;
+  AnomalyFilter filter({.tag_id_length = 24, .valid_readers = {}}, &collector);
+  filter.OnReading(MakeReading(GoodTag(1).substr(0, 10), 0, 5));
+  EXPECT_TRUE(collector.readings.empty());
+  EXPECT_EQ(filter.stats().dropped_truncated, 1u);
+}
+
+TEST(AnomalyFilterTest, DropsSpuriousIds) {
+  ReadingCollector collector;
+  AnomalyFilter filter({.tag_id_length = 24, .valid_readers = {0}}, &collector);
+  filter.OnReading(MakeReading("Z" + GoodTag(1).substr(1), 0, 5));  // non-hex
+  filter.OnReading(MakeReading(GoodTag(1) + "FF", 0, 5));           // overlong
+  filter.OnReading(MakeReading(GoodTag(1), 9, 5));                  // bad reader
+  EXPECT_TRUE(collector.readings.empty());
+  EXPECT_EQ(filter.stats().dropped_spurious, 3u);
+}
+
+TEST(TemporalSmoothingTest, FillsGapsWithinWindow) {
+  ReadingCollector collector;
+  TemporalSmoothing smoothing({.window = 5, .sampling_interval = 1}, &collector);
+  smoothing.OnReading(MakeReading(GoodTag(1), 0, 10));
+  smoothing.OnReading(MakeReading(GoodTag(1), 0, 13));  // missed 11, 12
+  ASSERT_EQ(collector.readings.size(), 4u);
+  EXPECT_EQ(collector.readings[0].raw_time, 10);
+  EXPECT_EQ(collector.readings[1].raw_time, 11);
+  EXPECT_TRUE(collector.readings[1].synthesized);
+  EXPECT_EQ(collector.readings[2].raw_time, 12);
+  EXPECT_TRUE(collector.readings[2].synthesized);
+  EXPECT_EQ(collector.readings[3].raw_time, 13);
+  EXPECT_FALSE(collector.readings[3].synthesized);
+  EXPECT_EQ(smoothing.stats().readings_filled, 2u);
+}
+
+TEST(TemporalSmoothingTest, DoesNotBridgeBeyondWindow) {
+  ReadingCollector collector;
+  TemporalSmoothing smoothing({.window = 3, .sampling_interval = 1}, &collector);
+  smoothing.OnReading(MakeReading(GoodTag(1), 0, 10));
+  smoothing.OnReading(MakeReading(GoodTag(1), 0, 20));  // gap 10 > window 3
+  EXPECT_EQ(collector.readings.size(), 2u);
+  EXPECT_EQ(smoothing.stats().readings_filled, 0u);
+}
+
+TEST(TemporalSmoothingTest, TracksTagReaderPairsIndependently) {
+  ReadingCollector collector;
+  TemporalSmoothing smoothing({.window = 5, .sampling_interval = 1}, &collector);
+  smoothing.OnReading(MakeReading(GoodTag(1), 0, 10));
+  smoothing.OnReading(MakeReading(GoodTag(1), 1, 12));  // other reader: no gap fill
+  smoothing.OnReading(MakeReading(GoodTag(2), 0, 12));  // other tag: no gap fill
+  EXPECT_EQ(smoothing.stats().readings_filled, 0u);
+}
+
+TEST(TimeConversionTest, ConvertsRawUnitsToTicks) {
+  ReadingCollector collector;
+  TimeConversion conversion({.epoch = 1000, .raw_units_per_tick = 100},
+                            &collector);
+  conversion.OnReading(MakeReading(GoodTag(1), 0, 1500));
+  ASSERT_EQ(collector.readings.size(), 1u);
+  EXPECT_EQ(collector.readings[0].raw_time, 5);
+}
+
+TEST(DeduplicationTest, DropsSameTickDuplicatesAcrossReaders) {
+  ReadingCollector collector;
+  // Readers 0 and 1 watch the same logical area 7 (redundant setup).
+  Deduplication dedup({.reader_to_area = {{0, 7}, {1, 7}}, .horizon = 0},
+                      &collector);
+  dedup.OnReading(MakeReading(GoodTag(1), 0, 5));
+  dedup.OnReading(MakeReading(GoodTag(1), 1, 5));  // duplicate via reader 1
+  ASSERT_EQ(collector.readings.size(), 1u);
+  EXPECT_EQ(collector.readings[0].reader_id, 7);  // rewritten to the area
+  EXPECT_EQ(dedup.stats().dropped_duplicates, 1u);
+}
+
+TEST(DeduplicationTest, LaterReadingsPassAfterHorizon) {
+  ReadingCollector collector;
+  Deduplication dedup({.reader_to_area = {{0, 7}}, .horizon = 2}, &collector);
+  dedup.OnReading(MakeReading(GoodTag(1), 0, 5));
+  dedup.OnReading(MakeReading(GoodTag(1), 0, 6));  // within horizon: dropped
+  dedup.OnReading(MakeReading(GoodTag(1), 0, 9));  // beyond horizon: passes
+  EXPECT_EQ(collector.readings.size(), 2u);
+}
+
+TEST(DeduplicationTest, UnmappedReaderDropped) {
+  ReadingCollector collector;
+  Deduplication dedup({.reader_to_area = {{0, 7}}, .horizon = 0}, &collector);
+  dedup.OnReading(MakeReading(GoodTag(1), 5, 5));
+  EXPECT_TRUE(collector.readings.empty());
+  EXPECT_EQ(dedup.stats().dropped_unmapped_reader, 1u);
+}
+
+TEST(EventGenerationTest, ProducesTypedEventsWithOnsMetadata) {
+  Catalog catalog = Catalog::RetailDemo();
+  VectorSink sink;
+  StreamSource source(&sink);
+  OnsResolver ons = [](const std::string& tag) -> std::optional<ProductInfo> {
+    if (tag == MakeEpc(1)) return ProductInfo{"Razor", "2026-12", true};
+    return std::nullopt;
+  };
+  EventGeneration generation({.area_to_event_type = {{0, "SHELF_READING"}}},
+                             &catalog, ons, &source);
+  generation.OnReading(MakeReading(MakeEpc(1), 0, 9));
+  ASSERT_EQ(sink.events().size(), 1u);
+  const EventPtr& event = sink.events()[0];
+  EXPECT_EQ(event->type(), catalog.FindType("SHELF_READING").value());
+  EXPECT_EQ(event->timestamp(), 9);
+  EXPECT_EQ(event->attribute(0).AsString(), MakeEpc(1));
+  EXPECT_EQ(event->attribute(2).AsString(), "Razor");
+}
+
+TEST(EventGenerationTest, UnknownTagPolicy) {
+  Catalog catalog = Catalog::RetailDemo();
+  VectorSink sink;
+  StreamSource source(&sink);
+  OnsResolver no_ons = [](const std::string&) { return std::nullopt; };
+  {
+    EventGeneration keep({.area_to_event_type = {{0, "SHELF_READING"}}},
+                         &catalog, no_ons, &source);
+    keep.OnReading(MakeReading(MakeEpc(5), 0, 1));
+    ASSERT_EQ(sink.events().size(), 1u);
+    EXPECT_EQ(sink.events()[0]->attribute(2).AsString(), "UNKNOWN");
+  }
+  sink.Clear();
+  {
+    EventGeneration drop({.area_to_event_type = {{0, "SHELF_READING"}},
+                          .drop_unknown_tags = true},
+                         &catalog, no_ons, &source);
+    drop.OnReading(MakeReading(MakeEpc(5), 0, 2));
+    EXPECT_TRUE(sink.events().empty());
+    EXPECT_EQ(drop.stats().dropped_unknown_tag, 1u);
+  }
+}
+
+TEST(EventGenerationTest, UnmappedAreaDropped) {
+  Catalog catalog = Catalog::RetailDemo();
+  VectorSink sink;
+  StreamSource source(&sink);
+  EventGeneration generation({.area_to_event_type = {{0, "SHELF_READING"}}},
+                             &catalog, nullptr, &source);
+  generation.OnReading(MakeReading(MakeEpc(1), 3, 1));
+  EXPECT_TRUE(sink.events().empty());
+  EXPECT_EQ(generation.stats().dropped_unmapped_area, 1u);
+}
+
+TEST(PipelineTest, EndToEndCleaning) {
+  Catalog catalog = Catalog::RetailDemo();
+  VectorSink sink;
+  CleaningPipeline::Config config;
+  config.anomaly.valid_readers = {0, 1};
+  config.smoothing.window = 3;
+  config.smoothing.sampling_interval = 1;
+  config.time.raw_units_per_tick = 1;
+  config.dedup.reader_to_area = {{0, 0}, {1, 0}};  // redundant readers
+  config.generation.area_to_event_type = {{0, "SHELF_READING"}};
+  CleaningPipeline pipeline(config, &catalog, nullptr, &sink);
+
+  pipeline.OnReading(MakeReading(GoodTag(1), 0, 1));
+  pipeline.OnReading(MakeReading("BAD!", 0, 1));           // spurious
+  pipeline.OnReading(MakeReading(GoodTag(1), 1, 1));       // duplicate
+  pipeline.OnReading(MakeReading(GoodTag(1), 0, 3));       // gap -> fill t=2
+  pipeline.OnFlush();
+
+  // Events: t=1 (original), t=2 (smoothed fill), t=3.
+  ASSERT_EQ(sink.events().size(), 3u);
+  EXPECT_TRUE(sink.flushed());
+  EXPECT_EQ(pipeline.anomaly_filter().stats().dropped_spurious, 1u);
+  EXPECT_EQ(pipeline.deduplication().stats().dropped_duplicates, 1u);
+  EXPECT_EQ(pipeline.smoothing().stats().readings_filled, 1u);
+  EXPECT_EQ(pipeline.event_generation().stats().events_out, 3u);
+
+  std::string report = pipeline.StatsReport();
+  EXPECT_NE(report.find("AnomalyFilter"), std::string::npos);
+  EXPECT_NE(report.find("EventGeneration"), std::string::npos);
+}
+
+TEST(PipelineTest, EventStreamOrderInvariantHolds) {
+  // Smoothing emits retroactive readings; the terminal StreamSource must
+  // still deliver a non-decreasing event stream.
+  Catalog catalog = Catalog::RetailDemo();
+  VectorSink sink;
+  CleaningPipeline::Config config;
+  config.smoothing.window = 4;
+  config.smoothing.sampling_interval = 1;
+  config.dedup.reader_to_area = {{0, 0}, {1, 1}};
+  config.generation.area_to_event_type = {{0, "SHELF_READING"},
+                                          {1, "EXIT_READING"}};
+  CleaningPipeline pipeline(config, &catalog, nullptr, &sink);
+  pipeline.OnReading(MakeReading(GoodTag(1), 0, 1));
+  pipeline.OnReading(MakeReading(GoodTag(2), 1, 4));
+  pipeline.OnReading(MakeReading(GoodTag(1), 0, 4));  // fills 2,3 retroactively
+  Timestamp last = 0;
+  for (const auto& event : sink.events()) {
+    EXPECT_GE(event->timestamp(), last);
+    last = event->timestamp();
+  }
+}
+
+}  // namespace
+}  // namespace sase

@@ -1,0 +1,108 @@
+#include "system/console.h"
+
+#include <gtest/gtest.h>
+
+#include "rfid/tag.h"
+
+namespace sase {
+namespace {
+
+class ConsoleTest : public ::testing::Test {
+ protected:
+  static SystemConfig PerfectConfig() {
+    SystemConfig config;
+    config.noise = NoiseModel::Perfect();
+    return config;
+  }
+
+  ConsoleTest()
+      : system_(StoreLayout::RetailDemo(), PerfectConfig()), console_(&system_) {}
+
+  SaseSystem system_;
+  Console console_;
+};
+
+TEST_F(ConsoleTest, HelpAndUnknownCommands) {
+  EXPECT_NE(console_.Execute("help").find("register"), std::string::npos);
+  EXPECT_NE(console_.Execute("bogus").find("error: unknown command"),
+            std::string::npos);
+  EXPECT_EQ(console_.Execute(""), "");
+  EXPECT_EQ(console_.Execute("# a comment"), "");
+}
+
+TEST_F(ConsoleTest, RegisterQueryAndListIt) {
+  std::string out = console_.Execute(
+      "register shelf-watch EVENT SHELF_READING s RETURN s.TagId");
+  EXPECT_NE(out.find("registered"), std::string::npos);
+  EXPECT_NE(console_.Execute("queries").find("shelf-watch"), std::string::npos);
+  // Bad query surfaces the parse error.
+  EXPECT_NE(console_.Execute("register broken EVENT").find("error:"),
+            std::string::npos);
+  EXPECT_NE(console_.Execute("register").find("usage"), std::string::npos);
+}
+
+TEST_F(ConsoleTest, EndToEndScriptedSession) {
+  system_.AddProduct({MakeEpc(1), "Razor", "", true});
+  ScenarioScripter scripter(&system_.simulator());
+  scripter.Shoplift(MakeEpc(1), 0, 3, /*start=*/1);
+
+  std::string transcript = console_.ExecuteScript(R"(
+# demo session
+register shoplifting EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 100 RETURN x.TagId
+rule location EVENT ANY(SHELF_READING s) RETURN _updateLocation(s.TagId, s.AreaId, s.Timestamp)
+run 15
+stats
+queries
+)");
+  system_.Flush();
+
+  EXPECT_NE(transcript.find("query 'shoplifting' registered"), std::string::npos);
+  EXPECT_NE(transcript.find("rule 'location' registered"), std::string::npos);
+  EXPECT_NE(transcript.find("simulated to tick"), std::string::npos);
+  EXPECT_NE(transcript.find("queries=2"), std::string::npos);
+  // All-matches semantics: each of the 3 shelf readings pairs with the
+  // exit reading, so the theft raises 3 alerts, all for the stolen tag.
+  ASSERT_EQ(console_.alerts().size(), 3u);
+  for (const auto& alert : console_.alerts()) {
+    EXPECT_NE(alert.find("[shoplifting]"), std::string::npos);
+    EXPECT_NE(alert.find(MakeEpc(1)), std::string::npos);
+  }
+}
+
+TEST_F(ConsoleTest, SqlCommand) {
+  EXPECT_NE(console_.Execute("sql SELECT * FROM products").find("(0 rows)"),
+            std::string::npos);
+  EXPECT_NE(console_.Execute("sql SELECT broken FROM nowhere").find("error:"),
+            std::string::npos);
+  EXPECT_NE(console_.Execute("sql").find("usage"), std::string::npos);
+}
+
+TEST_F(ConsoleTest, TraceAndInventoryCommands) {
+  ASSERT_TRUE(system_.archiver().UpdateLocation(MakeEpc(2), 1, 5).ok());
+  std::string trace = console_.Execute("trace " + MakeEpc(2));
+  EXPECT_NE(trace.find("movement history"), std::string::npos);
+  EXPECT_NE(trace.find("current: Shelf 2"), std::string::npos);
+  EXPECT_NE(console_.Execute("trace NOPE").find("no history"), std::string::npos);
+
+  std::string inventory = console_.Execute("inventory 1");
+  EXPECT_NE(inventory.find("1 item(s) in Shelf 2"), std::string::npos);
+  EXPECT_NE(console_.Execute("inventory xyz").find("usage"), std::string::npos);
+}
+
+TEST_F(ConsoleTest, WindowCommand) {
+  (void)console_.Execute("register w EVENT SHELF_READING s RETURN s.TagId");
+  std::string window = console_.Execute("window Present Queries");
+  EXPECT_NE(window.find("SHELF_READING"), std::string::npos);
+  std::string missing = console_.Execute("window No Such Channel");
+  EXPECT_NE(missing.find("error: no channel"), std::string::npos);
+  EXPECT_NE(missing.find("Present Queries"), std::string::npos);  // listed
+}
+
+TEST_F(ConsoleTest, RunValidation) {
+  EXPECT_NE(console_.Execute("run").find("usage"), std::string::npos);
+  EXPECT_NE(console_.Execute("run -3").find("usage"), std::string::npos);
+  EXPECT_NE(console_.Execute("run ten").find("usage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sase

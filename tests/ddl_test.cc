@@ -1,0 +1,103 @@
+#include "query/ddl.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/query_engine.h"
+#include "test_util.h"
+
+namespace sase {
+namespace {
+
+TEST(DdlTest, DeclaresSingleType) {
+  Catalog catalog;
+  auto count = DeclareEventTypes(
+      &catalog, "EVENT TYPE SENSOR_READING (DeviceId STRING, Reading DOUBLE)");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count.value(), 1);
+  auto id = catalog.FindType("SENSOR_READING");
+  ASSERT_TRUE(id.ok());
+  const EventSchema& schema = catalog.schema(id.value());
+  EXPECT_EQ(schema.attribute_count(), 2u);
+  EXPECT_EQ(schema.attribute_type(1), ValueType::kDouble);
+}
+
+TEST(DdlTest, DeclaresMultipleTypesWithSemicolonsAndComments) {
+  Catalog catalog;
+  auto count = DeclareEventTypes(&catalog, R"(
+    -- the retail demo schema
+    EVENT TYPE SHELF_READING (TagId STRING, AreaId INT, ProductName STRING);
+    EVENT TYPE COUNTER_READING (TagId STRING, AreaId INT);
+    event type EXIT_READING (TagId string, AreaId integer)
+  )");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count.value(), 3);
+  EXPECT_TRUE(catalog.HasType("exit_reading"));
+}
+
+TEST(DdlTest, TypeAliases) {
+  Catalog catalog;
+  auto count = DeclareEventTypes(
+      &catalog,
+      "EVENT TYPE T (A BIGINT, B REAL, C VARCHAR, D BOOLEAN, E TEXT, F FLOAT)");
+  ASSERT_TRUE(count.ok());
+  const EventSchema& schema = catalog.schema(catalog.FindType("T").value());
+  EXPECT_EQ(schema.attribute_type(0), ValueType::kInt);
+  EXPECT_EQ(schema.attribute_type(1), ValueType::kDouble);
+  EXPECT_EQ(schema.attribute_type(2), ValueType::kString);
+  EXPECT_EQ(schema.attribute_type(3), ValueType::kBool);
+  EXPECT_EQ(schema.attribute_type(4), ValueType::kString);
+  EXPECT_EQ(schema.attribute_type(5), ValueType::kDouble);
+}
+
+TEST(DdlTest, Errors) {
+  Catalog catalog;
+  EXPECT_FALSE(DeclareEventTypes(&catalog, "TYPE T (A INT)").ok());
+  EXPECT_FALSE(DeclareEventTypes(&catalog, "EVENT T (A INT)").ok());
+  EXPECT_FALSE(DeclareEventTypes(&catalog, "EVENT TYPE T A INT").ok());
+  EXPECT_FALSE(DeclareEventTypes(&catalog, "EVENT TYPE T (A FANCY)").ok());
+  EXPECT_FALSE(DeclareEventTypes(&catalog, "EVENT TYPE T (A INT").ok());
+  EXPECT_FALSE(DeclareEventTypes(&catalog, "EVENT TYPE T ()").ok());
+  // Duplicate type -> error from the catalog; earlier declarations stick.
+  auto first = DeclareEventTypes(&catalog, "EVENT TYPE U (A INT)");
+  ASSERT_TRUE(first.ok());
+  auto dup = DeclareEventTypes(&catalog, "EVENT TYPE u (B INT)");
+  EXPECT_FALSE(dup.ok());
+  EXPECT_TRUE(catalog.HasType("U"));
+}
+
+TEST(DdlTest, DeclaredTypesWorkEndToEnd) {
+  // A schema declared textually drives a full query round trip.
+  Catalog catalog;
+  ASSERT_TRUE(DeclareEventTypes(&catalog, R"(
+    EVENT TYPE TEMP_READING (SensorId STRING, Celsius DOUBLE);
+    EVENT TYPE ALARM_ACK (SensorId STRING)
+  )").ok());
+
+  QueryEngine engine(&catalog);
+  int alerts = 0;
+  auto id = engine.Register(
+      "EVENT SEQ(TEMP_READING a, !(ALARM_ACK k), TEMP_READING b) "
+      "WHERE a.SensorId = k.SensorId AND a.SensorId = b.SensorId AND "
+      "a.Celsius > 90.0 AND b.Celsius > 90.0 WITHIN 100 "
+      "RETURN a.SensorId",
+      [&alerts](const OutputRecord&) { ++alerts; });
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  auto push = [&](const char* type, Timestamp ts, const char* sensor,
+                  double celsius) {
+    EventBuilder builder(catalog, type);
+    builder.Set("SensorId", sensor);
+    if (std::string(type) == "TEMP_READING") builder.Set("Celsius", celsius);
+    engine.OnEvent(builder.Build(ts, static_cast<SequenceNumber>(ts)).value());
+  };
+  push("TEMP_READING", 1, "S1", 95.0);
+  push("TEMP_READING", 5, "S1", 97.0);   // two unacked overheats -> alert
+  push("TEMP_READING", 10, "S2", 95.0);
+  push("ALARM_ACK", 12, "S2", 0);
+  push("TEMP_READING", 15, "S2", 99.0);  // acked in between -> no alert
+  engine.OnFlush();
+  EXPECT_EQ(alerts, 1);
+}
+
+}  // namespace
+}  // namespace sase

@@ -1,0 +1,136 @@
+#include "db/dump.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "db/archiver.h"
+#include "db/sql_executor.h"
+#include "db/track_trace.h"
+
+namespace sase {
+namespace db {
+namespace {
+
+std::unique_ptr<Database> RoundTrip(const Database& database) {
+  std::ostringstream out;
+  EXPECT_TRUE(Dump(database, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = Load(&in);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  return std::move(loaded).value();
+}
+
+TEST(DumpTest, EmptyDatabase) {
+  Database database;
+  auto loaded = RoundTrip(database);
+  EXPECT_EQ(loaded->table_count(), 0u);
+}
+
+TEST(DumpTest, PreservesSchemaRowsAndValues) {
+  Database database;
+  Table* table = database
+                     .CreateTable("t", {{"S", ValueType::kString},
+                                        {"I", ValueType::kInt},
+                                        {"D", ValueType::kDouble},
+                                        {"B", ValueType::kBool}})
+                     .value();
+  ASSERT_TRUE(table->Insert({Value("plain"), Value(42), Value(2.5), Value(true)}).ok());
+  ASSERT_TRUE(table->Insert({Value(), Value(), Value(), Value()}).ok());  // NULLs
+  ASSERT_TRUE(
+      table->Insert({Value("pipe| back\\slash\nnewline"), Value(-7), Value(0.125),
+                     Value(false)})
+          .ok());
+
+  auto loaded = RoundTrip(database);
+  Table* copy = loaded->GetTable("t");
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->row_count(), 3u);
+  EXPECT_EQ(copy->columns()[0].name, "S");
+  EXPECT_EQ(copy->columns()[2].type, ValueType::kDouble);
+
+  std::vector<Row> rows;
+  copy->Scan([&](RowId, const Row& row) {
+    rows.push_back(row);
+    return true;
+  });
+  EXPECT_EQ(rows[0][0].AsString(), "plain");
+  EXPECT_EQ(rows[0][1].AsInt(), 42);
+  EXPECT_TRUE(rows[1][0].is_null());
+  EXPECT_EQ(rows[2][0].AsString(), "pipe| back\\slash\nnewline");
+  EXPECT_EQ(rows[2][1].AsInt(), -7);
+  EXPECT_DOUBLE_EQ(rows[2][2].AsDouble(), 0.125);
+  EXPECT_FALSE(rows[2][3].AsBool());
+}
+
+TEST(DumpTest, RestoresIndexes) {
+  Database database;
+  Table* table =
+      database.CreateTable("t", {{"K", ValueType::kString}, {"V", ValueType::kInt}})
+          .value();
+  ASSERT_TRUE(table->CreateIndex("K").ok());
+  ASSERT_TRUE(table->Insert({Value("a"), Value(1)}).ok());
+  ASSERT_TRUE(table->Insert({Value("a"), Value(2)}).ok());
+
+  auto loaded = RoundTrip(database);
+  Table* copy = loaded->GetTable("t");
+  ASSERT_TRUE(copy->HasIndex(0));
+  auto hits = copy->Lookup(0, Value("a"));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value().size(), 2u);
+}
+
+TEST(DumpTest, ArchiveSurvivesRoundTripWithWorkingQueries) {
+  // The §4 workflow: pre-populate, persist, reload, run track-and-trace.
+  Database database;
+  Archiver archiver(&database);
+  ASSERT_TRUE(archiver.UpdateLocation("T1", 1, 10).ok());
+  ASSERT_TRUE(archiver.UpdateLocation("T1", 2, 20).ok());
+  ASSERT_TRUE(archiver.UpdateContainment("T1", "BOX", 15).ok());
+  ASSERT_TRUE(archiver.DescribeArea(2, "shelf two").ok());
+
+  auto loaded = RoundTrip(database);
+  TrackTrace trace(loaded.get());
+  auto current = trace.CurrentLocation("T1");
+  ASSERT_TRUE(current.has_value());
+  EXPECT_EQ(current->where.AsInt(), 2);
+  EXPECT_EQ(trace.MovementHistory("T1").size(), 3u);
+
+  // SQL works over the restored database, including the index access path.
+  SqlExecutor executor(loaded.get());
+  auto result = executor.Execute(
+      "SELECT AreaId FROM location_history WHERE TagId = 'T1' AND TimeOut IS NULL");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().rows.size(), 1u);
+  EXPECT_EQ(result.value().rows[0][0].AsInt(), 2);
+  EXPECT_GT(executor.index_lookups(), 0u);
+}
+
+TEST(DumpTest, FileRoundTrip) {
+  Database database;
+  Table* table = database.CreateTable("t", {{"A", ValueType::kInt}}).value();
+  ASSERT_TRUE(table->Insert({Value(7)}).ok());
+  std::string path = ::testing::TempDir() + "/sase_dump_test.db";
+  ASSERT_TRUE(DumpToFile(database, path).ok());
+  auto loaded = LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->GetTable("t")->row_count(), 1u);
+  EXPECT_FALSE(LoadFromFile("/nonexistent/nope.db").ok());
+}
+
+TEST(DumpTest, MalformedInputsRejected) {
+  auto load = [](const std::string& text) {
+    std::istringstream in(text);
+    return Load(&in);
+  };
+  EXPECT_FALSE(load("GARBAGE\n").ok());
+  EXPECT_FALSE(load("TABLE t\n").ok());                       // missing schema
+  EXPECT_FALSE(load("TABLE t\nA:FANCY\nEND\n").ok());         // bad type
+  EXPECT_FALSE(load("TABLE t\nA:INT\nROW X:1\nEND\n").ok());  // bad value tag
+  EXPECT_FALSE(load("TABLE t\nA:INT\nBOGUS\nEND\n").ok());    // bad row line
+  EXPECT_FALSE(load("TABLE t\nA:INT\nROW I:1|I:2\nEND\n").ok());  // arity
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace sase

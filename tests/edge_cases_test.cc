@@ -1,0 +1,223 @@
+// Edge-case battery for the matcher: degenerate windows, timestamp bursts,
+// repeated types, stacked negations, empty streams — each checked against
+// the brute-force oracle or a hand-derived expectation.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace sase {
+namespace {
+
+using testing::RunEngine;
+using testing::RunReference;
+using testing::StreamBuilder;
+
+class EdgeCasesTest : public ::testing::Test {
+ protected:
+  Catalog catalog_ = Catalog::RetailDemo();
+};
+
+TEST_F(EdgeCasesTest, WindowOfOneTick) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A")
+        .Add("EXIT_READING", 2, "A")    // span 1: in
+        .Add("SHELF_READING", 5, "B")
+        .Add("EXIT_READING", 7, "B");   // span 2: out
+  auto out = RunEngine(
+      catalog_,
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId "
+      "WITHIN 1",
+      stream.events());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(EdgeCasesTest, SameTimestampBurst) {
+  // 30 events all at tick 5 — strict ordering admits no sequences at all;
+  // then one later event completes pairs with every earlier shelf event.
+  StreamBuilder stream(&catalog_);
+  for (int i = 0; i < 30; ++i) {
+    stream.Add(i % 2 == 0 ? "SHELF_READING" : "EXIT_READING", 5, "T");
+  }
+  const char* query =
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId";
+  EXPECT_TRUE(RunEngine(catalog_, query, stream.events()).empty());
+
+  stream.Add("EXIT_READING", 6, "T");
+  auto out = RunEngine(catalog_, query, stream.events());
+  EXPECT_EQ(out.size(), 15u);  // all 15 shelf events pair with the late exit
+  EXPECT_EQ(out, RunReference(catalog_, query, stream.events()));
+}
+
+TEST_F(EdgeCasesTest, TripleRepeatedType) {
+  StreamBuilder stream(&catalog_);
+  for (int i = 1; i <= 6; ++i) stream.Add("SHELF_READING", i, "T");
+  const char* query =
+      "EVENT SEQ(SHELF_READING a, SHELF_READING b, SHELF_READING c) "
+      "WHERE a.TagId = b.TagId AND a.TagId = c.TagId WITHIN 100";
+  auto out = RunEngine(catalog_, query, stream.events());
+  EXPECT_EQ(out.size(), 20u);  // C(6,3)
+  EXPECT_EQ(out, RunReference(catalog_, query, stream.events()));
+}
+
+TEST_F(EdgeCasesTest, TwoNegationsBetweenTheSamePositives) {
+  const char* query =
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), "
+      "!(BACKROOM_READING w), EXIT_READING z) "
+      "WHERE x.TagId = y.TagId AND x.TagId = w.TagId AND x.TagId = z.TagId "
+      "WITHIN 100";
+  {
+    StreamBuilder stream(&catalog_);
+    stream.Add("SHELF_READING", 1, "T").Add("EXIT_READING", 9, "T");
+    EXPECT_EQ(RunEngine(catalog_, query, stream.events()).size(), 1u);
+  }
+  {
+    StreamBuilder stream(&catalog_);
+    stream.Add("SHELF_READING", 1, "T")
+          .Add("BACKROOM_READING", 4, "T")  // second negation violated
+          .Add("EXIT_READING", 9, "T");
+    EXPECT_TRUE(RunEngine(catalog_, query, stream.events()).empty());
+  }
+  {
+    StreamBuilder stream(&catalog_);
+    stream.Add("SHELF_READING", 1, "T")
+          .Add("COUNTER_READING", 4, "T")  // first negation violated
+          .Add("EXIT_READING", 9, "T");
+    EXPECT_TRUE(RunEngine(catalog_, query, stream.events()).empty());
+  }
+}
+
+TEST_F(EdgeCasesTest, NegationFilterWithArithmetic) {
+  // Only counters in an adjacent area (x.AreaId + 1) suppress.
+  const char* query =
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+      "WHERE x.TagId = z.TagId AND y.AreaId = x.AreaId + 1 WITHIN 50";
+  StreamBuilder suppressed(&catalog_);
+  suppressed.Add("SHELF_READING", 1, "T", 2)
+            .Add("COUNTER_READING", 3, "OTHER", 3)  // area 3 == 2 + 1
+            .Add("EXIT_READING", 5, "T", 9);
+  EXPECT_TRUE(RunEngine(catalog_, query, suppressed.events()).empty());
+  EXPECT_EQ(RunReference(catalog_, query, suppressed.events()).size(), 0u);
+
+  StreamBuilder passing(&catalog_);
+  passing.Add("SHELF_READING", 1, "T", 2)
+         .Add("COUNTER_READING", 3, "OTHER", 7)  // wrong area
+         .Add("EXIT_READING", 5, "T", 9);
+  EXPECT_EQ(RunEngine(catalog_, query, passing.events()).size(), 1u);
+}
+
+TEST_F(EdgeCasesTest, EmptyStreamAndFlushOnly) {
+  std::vector<EventPtr> empty;
+  EXPECT_TRUE(RunEngine(catalog_,
+                        "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y)) "
+                        "WHERE x.TagId = y.TagId WITHIN 10",
+                        empty)
+                  .empty());
+}
+
+TEST_F(EdgeCasesTest, StreamOfIrrelevantTypesOnly) {
+  StreamBuilder stream(&catalog_);
+  for (int i = 1; i <= 50; ++i) stream.Add("BACKROOM_READING", i, "T");
+  auto out = RunEngine(catalog_,
+                       "EVENT SEQ(SHELF_READING x, EXIT_READING z) WITHIN 10",
+                       stream.events());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(EdgeCasesTest, LargeTimestampJumps) {
+  // Gaps far larger than the window must fully drain the stacks.
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "T")
+        .Add("EXIT_READING", 1000000, "T")
+        .Add("SHELF_READING", 2000000, "T")
+        .Add("EXIT_READING", 2000005, "T");
+  const char* query =
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId "
+      "WITHIN 10";
+  auto out = RunEngine(catalog_, query, stream.events());
+  EXPECT_EQ(out.size(), 1u);  // only the final pair is within the window
+  EXPECT_EQ(out, RunReference(catalog_, query, stream.events()));
+}
+
+TEST_F(EdgeCasesTest, ManyPartitionsExpireUnderSweep) {
+  // >4096 events with unique tags force the periodic partition sweep; the
+  // plan must stay correct and memory-bounded.
+  StreamBuilder stream(&catalog_);
+  for (int i = 0; i < 6000; ++i) {
+    stream.Add(i % 2 == 0 ? "SHELF_READING" : "EXIT_READING", i + 1,
+               "UNIQUE" + std::to_string(i));
+  }
+  auto out = RunEngine(catalog_,
+                       "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+                       "WHERE x.TagId = z.TagId WITHIN 100",
+                       stream.events());
+  EXPECT_TRUE(out.empty());  // every tag appears exactly once
+}
+
+TEST_F(EdgeCasesTest, WindowLargerThanStreamEqualsNoWindow) {
+  StreamBuilder stream(&catalog_);
+  Random rng(5);
+  Timestamp ts = 0;
+  for (int i = 0; i < 60; ++i) {
+    ts += rng.Uniform(1, 3);
+    stream.Add(i % 2 == 0 ? "SHELF_READING" : "EXIT_READING", ts,
+               "T" + std::to_string(rng.Uniform(0, 2)));
+  }
+  std::string keyed =
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId";
+  auto unwindowed = RunEngine(catalog_, keyed, stream.events());
+  auto huge_window =
+      RunEngine(catalog_, keyed + " WITHIN 1000000", stream.events());
+  EXPECT_EQ(unwindowed, huge_window);
+}
+
+TEST_F(EdgeCasesTest, SingleEventPatternWithHeadNegation) {
+  // Negation directly before a single positive: exit with no prior shelf
+  // sighting of the same tag in the window — a "ghost exit" detector.
+  const char* query =
+      "EVENT SEQ(!(SHELF_READING y), EXIT_READING z) "
+      "WHERE y.TagId = z.TagId WITHIN 5";
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "SEEN")
+        .Add("EXIT_READING", 3, "SEEN")      // shelf@1 in [-2,3): suppressed
+        .Add("EXIT_READING", 4, "GHOST");    // never shelved: alert
+  auto out = RunEngine(catalog_, query, stream.events());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].find("GHOST"), std::string::npos);
+  EXPECT_EQ(out, RunReference(catalog_, query, stream.events()));
+}
+
+TEST_F(EdgeCasesTest, AllOptionCombinationsOnPathologicalStream) {
+  // Heavy duplicate-timestamp, few-tag stream designed to stress the
+  // back-pointer logic; cross-check all 8 plan configurations.
+  StreamBuilder stream(&catalog_);
+  Random rng(77);
+  Timestamp ts = 1;
+  for (int i = 0; i < 90; ++i) {
+    if (rng.Bernoulli(0.5)) ts += 1;  // 50% duplicate timestamps
+    int pick = static_cast<int>(rng.Uniform(0, 2));
+    const char* type = pick == 0 ? "SHELF_READING"
+                                 : (pick == 1 ? "COUNTER_READING" : "EXIT_READING");
+    stream.Add(type, ts, "T" + std::to_string(rng.Uniform(0, 1)));
+  }
+  const char* query =
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+      "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 20";
+  auto expected = RunReference(catalog_, query, stream.events());
+  for (bool w : {true, false}) {
+    for (bool p : {true, false}) {
+      for (bool k : {true, false}) {
+        PlanOptions options;
+        options.push_window = w;
+        options.push_predicates = p;
+        options.use_partitioning = k;
+        EXPECT_EQ(RunEngine(catalog_, query, stream.events(), options), expected)
+            << options.ToString();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sase

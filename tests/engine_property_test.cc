@@ -1,0 +1,148 @@
+// Property tests: on randomized streams, the optimized engine must produce
+// exactly the brute-force ReferenceMatcher's match set, under every
+// combination of plan optimizations. This is the core correctness guarantee
+// for the paper's optimizations — pushdowns must never change semantics.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace sase {
+namespace {
+
+using testing::RunEngine;
+using testing::RunReference;
+using testing::StreamBuilder;
+
+struct PropertyCase {
+  const char* name;
+  const char* query;
+  int types;        // how many of SHELF/COUNTER/EXIT/BACKROOM to draw from
+  int tag_count;
+  int event_count;
+};
+
+const PropertyCase kCases[] = {
+    {"Pair",
+     "EVENT SEQ(SHELF_READING a, EXIT_READING b) WHERE a.TagId = b.TagId "
+     "WITHIN 30",
+     2, 4, 150},
+    {"PairNoWindow",
+     "EVENT SEQ(SHELF_READING a, EXIT_READING b) WHERE a.TagId = b.TagId", 2,
+     3, 80},
+    {"Triple",
+     "EVENT SEQ(SHELF_READING a, COUNTER_READING b, EXIT_READING c) "
+     "WHERE a.TagId = b.TagId AND a.TagId = c.TagId WITHIN 40",
+     3, 5, 150},
+    {"TripleUnkeyed",
+     "EVENT SEQ(SHELF_READING a, COUNTER_READING b, EXIT_READING c) WITHIN 12",
+     3, 3, 90},
+    {"RepeatedType",
+     "EVENT SEQ(SHELF_READING a, SHELF_READING b) "
+     "WHERE a.TagId = b.TagId AND a.AreaId != b.AreaId WITHIN 25",
+     1, 4, 120},
+    {"MiddleNegation",
+     "EVENT SEQ(SHELF_READING a, !(COUNTER_READING n), EXIT_READING b) "
+     "WHERE a.TagId = n.TagId AND a.TagId = b.TagId WITHIN 50",
+     3, 4, 150},
+    {"NegationUnkeyed",
+     "EVENT SEQ(SHELF_READING a, !(COUNTER_READING n), EXIT_READING b) "
+     "WITHIN 15",
+     3, 3, 90},
+    {"HeadNegation",
+     "EVENT SEQ(!(COUNTER_READING n), EXIT_READING b) "
+     "WHERE n.TagId = b.TagId WITHIN 20",
+     3, 4, 140},
+    {"TailNegation",
+     "EVENT SEQ(SHELF_READING a, !(COUNTER_READING n)) "
+     "WHERE a.TagId = n.TagId WITHIN 20",
+     3, 4, 140},
+    {"MixedPredicates",
+     "EVENT SEQ(SHELF_READING a, EXIT_READING b) "
+     "WHERE a.TagId = b.TagId AND a.AreaId < 3 AND b.AreaId >= 1 AND "
+     "a.AreaId != b.AreaId WITHIN 35",
+     2, 4, 150},
+    {"ArithmeticPredicate",
+     "EVENT SEQ(SHELF_READING a, EXIT_READING b) "
+     "WHERE a.AreaId + 1 = b.AreaId WITHIN 30",
+     2, 3, 120},
+    {"FourPositives",
+     "EVENT SEQ(SHELF_READING a, COUNTER_READING b, EXIT_READING c, "
+     "BACKROOM_READING d) WHERE a.TagId = b.TagId AND a.TagId = c.TagId AND "
+     "a.TagId = d.TagId WITHIN 60",
+     4, 4, 160},
+    {"DoubleNegation",
+     "EVENT SEQ(SHELF_READING a, !(COUNTER_READING n), EXIT_READING b, "
+     "!(BACKROOM_READING m)) WHERE a.TagId = n.TagId AND a.TagId = b.TagId "
+     "AND a.TagId = m.TagId WITHIN 40",
+     4, 3, 130},
+    {"NegationWithFilterOnly",
+     "EVENT SEQ(SHELF_READING a, !(COUNTER_READING n), EXIT_READING b) "
+     "WHERE n.AreaId = 2 WITHIN 25",
+     3, 3, 100},
+};
+
+class EnginePropertyTest
+    : public ::testing::TestWithParam<std::tuple<PropertyCase, uint64_t>> {};
+
+std::vector<EventPtr> RandomStream(const Catalog& catalog,
+                                   const PropertyCase& pcase, uint64_t seed) {
+  static const char* kTypes[] = {"SHELF_READING", "COUNTER_READING",
+                                 "EXIT_READING", "BACKROOM_READING"};
+  Random rng(seed);
+  StreamBuilder stream(&catalog);
+  Timestamp ts = 0;
+  for (int i = 0; i < pcase.event_count; ++i) {
+    // Occasionally repeat timestamps to exercise the strict-order rule.
+    if (!rng.Bernoulli(0.2)) ts += rng.Uniform(1, 3);
+    const char* type;
+    if (pcase.types == 1) {
+      type = "SHELF_READING";
+    } else {
+      type = kTypes[rng.Uniform(0, pcase.types - 1)];
+    }
+    stream.Add(type, ts, "T" + std::to_string(rng.Uniform(0, pcase.tag_count - 1)),
+               rng.Uniform(0, 4));
+  }
+  return stream.events();
+}
+
+TEST_P(EnginePropertyTest, EngineMatchesReferenceUnderAllPlanOptions) {
+  const auto& [pcase, seed] = GetParam();
+  Catalog catalog = Catalog::RetailDemo();
+  auto events = RandomStream(catalog, pcase, seed);
+
+  auto expected = RunReference(catalog, pcase.query, events);
+
+  for (bool push_window : {true, false}) {
+    for (bool push_predicates : {true, false}) {
+      for (bool use_partitioning : {true, false}) {
+        PlanOptions options;
+        options.push_window = push_window;
+        options.push_predicates = push_predicates;
+        options.use_partitioning = use_partitioning;
+        auto actual = RunEngine(catalog, pcase.query, events, options);
+        ASSERT_EQ(actual, expected)
+            << pcase.name << " seed=" << seed << " options "
+            << options.ToString() << ": engine=" << actual.size()
+            << " reference=" << expected.size();
+      }
+    }
+  }
+}
+
+std::string CaseName(
+    const ::testing::TestParamInfo<std::tuple<PropertyCase, uint64_t>>& info) {
+  return std::string(std::get<0>(info.param).name) + "_seed" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomStreams, EnginePropertyTest,
+    ::testing::Combine(::testing::ValuesIn(kCases),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)),
+    CaseName);
+
+}  // namespace
+}  // namespace sase

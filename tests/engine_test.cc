@@ -1,0 +1,223 @@
+#include "engine/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "db/archiver.h"
+#include "db/database.h"
+#include "db/track_trace.h"
+#include "test_util.h"
+
+namespace sase {
+namespace {
+
+using testing::StreamBuilder;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  Catalog catalog_ = Catalog::RetailDemo();
+};
+
+TEST_F(EngineTest, RegisterRejectsBadQueries) {
+  QueryEngine engine(&catalog_);
+  EXPECT_FALSE(engine.Register("EVENT", nullptr).ok());            // parse error
+  EXPECT_FALSE(engine.Register("EVENT NO_TYPE x", nullptr).ok());  // semantic
+  EXPECT_EQ(engine.query_count(), 0u);
+}
+
+TEST_F(EngineTest, Q1EndToEndWithDatabaseLookup) {
+  // The full paper Q1, including the _retrieveLocation hybrid lookup.
+  db::Database database;
+  db::Archiver archiver(&database);
+  ASSERT_TRUE(archiver.DescribeArea(4, "the leftmost door on the south side").ok());
+
+  QueryEngine engine(&catalog_);
+  ASSERT_TRUE(archiver.RegisterFunctions(engine.functions()).ok());
+
+  std::vector<OutputRecord> alerts;
+  auto id = engine.Register(
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+      "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 12 hours "
+      "RETURN x.TagId, x.ProductName, z.AreaId, _retrieveLocation(z.AreaId)",
+      [&alerts](const OutputRecord& record) { alerts.push_back(record); });
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 100, "LIFTED", 1, "Razor")
+        .Add("SHELF_READING", 110, "PAID", 1, "Soap")
+        .Add("COUNTER_READING", 150, "PAID", 3, "Soap")
+        .Add("EXIT_READING", 200, "LIFTED", 4, "Razor")
+        .Add("EXIT_READING", 210, "PAID", 4, "Soap");
+  for (const auto& event : stream.events()) engine.OnEvent(event);
+  engine.OnFlush();
+
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].Get("x.TagId").AsString(), "LIFTED");
+  EXPECT_EQ(alerts[0].Get("x.ProductName").AsString(), "Razor");
+  EXPECT_EQ(alerts[0].Get("z.AreaId").AsInt(), 4);
+  EXPECT_EQ(alerts[0].Get("_retrieveLocation(z.AreaId)").AsString(),
+            "the leftmost door on the south side");
+}
+
+TEST_F(EngineTest, Q2ArchivingRuleUpdatesDatabase) {
+  db::Database database;
+  db::Archiver archiver(&database);
+  QueryEngine engine(&catalog_);
+  ASSERT_TRUE(archiver.RegisterFunctions(engine.functions()).ok());
+
+  auto id = engine.Register(
+      "EVENT SEQ(SHELF_READING x, SHELF_READING y) "
+      "WHERE x.TagId = y.TagId AND x.AreaId != y.AreaId WITHIN 1 hour "
+      "RETURN _updateLocation(y.TagId, y.AreaId, y.Timestamp)",
+      nullptr);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 10, "ITEM", 1)
+        .Add("SHELF_READING", 20, "ITEM", 2);  // moved shelf 1 -> 2
+  for (const auto& event : stream.events()) engine.OnEvent(event);
+  engine.OnFlush();
+
+  db::TrackTrace trace(&database);
+  auto current = trace.CurrentLocation("ITEM");
+  ASSERT_TRUE(current.has_value());
+  EXPECT_EQ(current->where.AsInt(), 2);
+  EXPECT_EQ(current->time_in, 20);
+  EXPECT_EQ(archiver.location_updates(), 1u);
+}
+
+TEST_F(EngineTest, MultipleQueriesShareTheStream) {
+  QueryEngine engine(&catalog_);
+  int shelf_count = 0, exit_count = 0;
+  ASSERT_TRUE(engine.Register("EVENT SHELF_READING s",
+                              [&](const OutputRecord&) { ++shelf_count; })
+                  .ok());
+  ASSERT_TRUE(engine.Register("EVENT EXIT_READING e",
+                              [&](const OutputRecord&) { ++exit_count; })
+                  .ok());
+  EXPECT_EQ(engine.query_count(), 2u);
+
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A").Add("SHELF_READING", 2, "B")
+        .Add("EXIT_READING", 3, "A");
+  for (const auto& event : stream.events()) engine.OnEvent(event);
+  engine.OnFlush();
+  EXPECT_EQ(shelf_count, 2);
+  EXPECT_EQ(exit_count, 1);
+  EXPECT_EQ(engine.events_processed(), 3u);
+}
+
+TEST_F(EngineTest, UnregisterStopsDelivery) {
+  QueryEngine engine(&catalog_);
+  int count = 0;
+  auto id = engine.Register("EVENT SHELF_READING s",
+                            [&](const OutputRecord&) { ++count; });
+  ASSERT_TRUE(id.ok());
+
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A").Add("SHELF_READING", 2, "B");
+  engine.OnEvent(stream.events()[0]);
+  ASSERT_TRUE(engine.Unregister(id.value()).ok());
+  engine.OnEvent(stream.events()[1]);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(engine.query_count(), 0u);
+  EXPECT_FALSE(engine.Unregister(id.value()).ok());  // already gone
+  EXPECT_EQ(engine.plan(id.value()), nullptr);
+}
+
+TEST_F(EngineTest, WindowUnitsUseTimeConfig) {
+  // With 10 ticks per second, "1 minute" is 600 ticks.
+  TimeConfig config{.ticks_per_second = 10};
+  QueryEngine engine(&catalog_, config);
+  int count = 0;
+  auto id = engine.Register(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId "
+      "WITHIN 1 minutes",
+      [&](const OutputRecord&) { ++count; });
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 0, "T").Add("EXIT_READING", 600, "T")
+        .Add("SHELF_READING", 1000, "U").Add("EXIT_READING", 1700, "U");
+  for (const auto& event : stream.events()) engine.OnEvent(event);
+  engine.OnFlush();
+  EXPECT_EQ(count, 1);  // U's span (700) exceeds the 600-tick minute
+}
+
+TEST_F(EngineTest, RepeatedTypePatternQ2Style) {
+  QueryEngine engine(&catalog_);
+  int count = 0;
+  auto id = engine.Register(
+      "EVENT SEQ(SHELF_READING x, SHELF_READING y) "
+      "WHERE x.TagId = y.TagId AND x.AreaId != y.AreaId WITHIN 100",
+      [&](const OutputRecord&) { ++count; });
+  ASSERT_TRUE(id.ok());
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "I", 1)
+        .Add("SHELF_READING", 2, "I", 1)   // same area: no match with @1
+        .Add("SHELF_READING", 3, "I", 2);  // differs from both @1 and @2
+  for (const auto& event : stream.events()) engine.OnEvent(event);
+  engine.OnFlush();
+  EXPECT_EQ(count, 2);  // (1,3) and (2,3)
+}
+
+TEST_F(EngineTest, FromClauseRoutesNamedStreams) {
+  QueryEngine engine(&catalog_);
+  int default_count = 0, named_count = 0;
+  ASSERT_TRUE(engine.Register("EVENT SHELF_READING s",
+                              [&](const OutputRecord&) { ++default_count; })
+                  .ok());
+  ASSERT_TRUE(engine.Register("FROM warehouse EVENT SHELF_READING s",
+                              [&](const OutputRecord&) { ++named_count; })
+                  .ok());
+
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A").Add("SHELF_READING", 2, "B");
+  engine.OnEvent(stream.events()[0]);                      // default input
+  engine.OnStreamEvent("Warehouse", stream.events()[1]);   // case-insensitive
+  engine.OnFlush();
+  EXPECT_EQ(default_count, 1);
+  EXPECT_EQ(named_count, 1);
+}
+
+TEST_F(EngineTest, TrackTraceFunctionsCallableFromQueries) {
+  db::Database database;
+  db::Archiver archiver(&database);
+  ASSERT_TRUE(archiver.UpdateLocation("MOVED", 1, 5).ok());
+  ASSERT_TRUE(archiver.UpdateLocation("MOVED", 2, 8).ok());
+
+  QueryEngine engine(&catalog_);
+  ASSERT_TRUE(archiver.RegisterFunctions(engine.functions()).ok());
+  std::vector<OutputRecord> records;
+  auto id = engine.Register(
+      "EVENT EXIT_READING e RETURN _currentLocation(e.TagId) AS Area, "
+      "_movementHistory(e.TagId) AS History",
+      [&records](const OutputRecord& r) { records.push_back(r); });
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  StreamBuilder stream(&catalog_);
+  stream.Add("EXIT_READING", 10, "MOVED").Add("EXIT_READING", 11, "NEVER_SEEN");
+  for (const auto& event : stream.events()) engine.OnEvent(event);
+  engine.OnFlush();
+
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].Get("Area").AsInt(), 2);
+  EXPECT_NE(records[0].Get("History").AsString().find("location 1 [5, 8)"),
+            std::string::npos);
+  EXPECT_TRUE(records[1].Get("Area").is_null());  // unknown tag -> NULL
+  EXPECT_EQ(records[1].Get("History").AsString(), "");
+}
+
+TEST_F(EngineTest, OutputStreamNaming) {
+  QueryEngine engine(&catalog_);
+  std::string stream_name;
+  auto id = engine.Register(
+      "EVENT SHELF_READING s RETURN s.TagId INTO shelf_alerts",
+      [&](const OutputRecord& record) { stream_name = record.stream; });
+  ASSERT_TRUE(id.ok());
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A");
+  engine.OnEvent(stream.events()[0]);
+  EXPECT_EQ(stream_name, "shelf_alerts");
+}
+
+}  // namespace
+}  // namespace sase

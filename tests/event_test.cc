@@ -1,0 +1,88 @@
+#include "core/event.h"
+
+#include <gtest/gtest.h>
+
+namespace sase {
+namespace {
+
+class EventTest : public ::testing::Test {
+ protected:
+  Catalog catalog_ = Catalog::RetailDemo();
+};
+
+TEST_F(EventTest, BuilderSetsAttributes) {
+  EventBuilder builder(catalog_, "SHELF_READING");
+  auto event = builder.Set("TagId", "T1").Set("AreaId", 3).Build(10, 0);
+  ASSERT_TRUE(event.ok()) << event.status().ToString();
+  const EventPtr& e = event.value();
+  EXPECT_EQ(e->timestamp(), 10);
+  EXPECT_EQ(e->seq(), 0u);
+  EXPECT_EQ(e->attribute(0).AsString(), "T1");
+  EXPECT_EQ(e->attribute(1).AsInt(), 3);
+  EXPECT_TRUE(e->attribute(2).is_null());  // ProductName unset
+}
+
+TEST_F(EventTest, BuilderIsCaseInsensitive) {
+  EventBuilder builder(catalog_, "shelf_reading");
+  auto event = builder.Set("tagid", "T").Build(0, 0);
+  EXPECT_TRUE(event.ok());
+}
+
+TEST_F(EventTest, BuilderRejectsUnknownType) {
+  EventBuilder builder(catalog_, "NO_SUCH_TYPE");
+  auto event = builder.Build(0, 0);
+  EXPECT_FALSE(event.ok());
+  EXPECT_EQ(event.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EventTest, BuilderRejectsUnknownAttribute) {
+  EventBuilder builder(catalog_, "SHELF_READING");
+  auto event = builder.Set("Nope", 1).Build(0, 0);
+  EXPECT_FALSE(event.ok());
+}
+
+TEST_F(EventTest, BuilderRejectsTypeMismatch) {
+  EventBuilder builder(catalog_, "SHELF_READING");
+  auto event = builder.Set("TagId", 42).Build(0, 0);  // STRING attr, INT value
+  EXPECT_FALSE(event.ok());
+}
+
+TEST_F(EventTest, BuilderRejectsTimestampViaSet) {
+  EventBuilder builder(catalog_, "SHELF_READING");
+  auto event = builder.Set("Timestamp", 1).Build(0, 0);
+  EXPECT_FALSE(event.ok());
+}
+
+TEST_F(EventTest, TimestampVirtualAttribute) {
+  EventBuilder builder(catalog_, "EXIT_READING");
+  auto event = builder.Set("TagId", "T").Build(77, 5);
+  ASSERT_TRUE(event.ok());
+  EXPECT_EQ(event.value()->attribute(kTimestampAttr).AsInt(), 77);
+}
+
+TEST_F(EventTest, ToStringIncludesTypeAndAttributes) {
+  EventBuilder builder(catalog_, "SHELF_READING");
+  auto event =
+      builder.Set("TagId", "T9").Set("AreaId", 1).Set("ProductName", "Soap")
+          .Build(5, 0);
+  ASSERT_TRUE(event.ok());
+  std::string s = event.value()->ToString(catalog_);
+  EXPECT_NE(s.find("SHELF_READING@5"), std::string::npos);
+  EXPECT_NE(s.find("TagId=T9"), std::string::npos);
+  EXPECT_NE(s.find("ProductName=Soap"), std::string::npos);
+}
+
+TEST_F(EventTest, EarlierThanOrdersByTimestampThenSeq) {
+  EventBuilder b1(catalog_, "SHELF_READING");
+  auto e1 = b1.Set("TagId", "A").Build(5, 0).value();
+  EventBuilder b2(catalog_, "SHELF_READING");
+  auto e2 = b2.Set("TagId", "B").Build(5, 1).value();
+  EventBuilder b3(catalog_, "SHELF_READING");
+  auto e3 = b3.Set("TagId", "C").Build(6, 2).value();
+  EXPECT_TRUE(EarlierThan(*e1, *e2));   // same ts, lower seq
+  EXPECT_FALSE(EarlierThan(*e2, *e1));
+  EXPECT_TRUE(EarlierThan(*e2, *e3));   // lower ts
+}
+
+}  // namespace
+}  // namespace sase

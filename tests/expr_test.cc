@@ -1,0 +1,167 @@
+#include "query/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/function_registry.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+
+namespace sase {
+namespace {
+
+/// Evaluates a constant expression (no variables) through the parser.
+Result<Value> EvalConst(const std::string& text,
+                        const FunctionRegistry* functions = nullptr) {
+  auto expr = Parser::ParseExpression(text);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  std::vector<EventPtr> no_bindings;
+  EvalContext ctx{&no_bindings, functions};
+  return expr.value()->Eval(ctx);
+}
+
+Value MustEval(const std::string& text) {
+  auto result = EvalConst(text);
+  EXPECT_TRUE(result.ok()) << text << " -> " << result.status().ToString();
+  return result.ok() ? result.value() : Value();
+}
+
+TEST(ExprTest, IntegerArithmetic) {
+  EXPECT_EQ(MustEval("1 + 2 * 3").AsInt(), 7);
+  EXPECT_EQ(MustEval("10 - 4 - 3").AsInt(), 3);    // left associative
+  EXPECT_EQ(MustEval("7 / 2").AsInt(), 3);         // integer division
+  EXPECT_EQ(MustEval("7 % 3").AsInt(), 1);
+  EXPECT_EQ(MustEval("-(3 + 4)").AsInt(), -7);
+  EXPECT_EQ(MustEval("2 * (3 + 4)").AsInt(), 14);
+}
+
+TEST(ExprTest, MixedNumericPromotesToDouble) {
+  Value v = MustEval("1 + 2.5");
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.5);
+  EXPECT_DOUBLE_EQ(MustEval("7.0 / 2").AsDouble(), 3.5);
+}
+
+TEST(ExprTest, DivisionAndModuloByZeroAreErrors) {
+  EXPECT_FALSE(EvalConst("1 / 0").ok());
+  EXPECT_FALSE(EvalConst("1 % 0").ok());
+  EXPECT_FALSE(EvalConst("1.0 / 0.0").ok());
+}
+
+TEST(ExprTest, StringConcatenationViaPlus) {
+  EXPECT_EQ(MustEval("'ab' + 'cd'").AsString(), "abcd");
+  EXPECT_FALSE(EvalConst("'ab' - 'cd'").ok());
+}
+
+TEST(ExprTest, Comparisons) {
+  EXPECT_TRUE(MustEval("1 < 2").AsBool());
+  EXPECT_TRUE(MustEval("2 <= 2").AsBool());
+  EXPECT_FALSE(MustEval("2 > 2").AsBool());
+  EXPECT_TRUE(MustEval("2 >= 2").AsBool());
+  EXPECT_TRUE(MustEval("1 = 1.0").AsBool());   // cross-numeric equality
+  EXPECT_TRUE(MustEval("'a' != 'b'").AsBool());
+  EXPECT_TRUE(MustEval("'a' < 'b'").AsBool());
+  EXPECT_FALSE(EvalConst("'a' < 1").ok());     // incomparable
+}
+
+TEST(ExprTest, NullComparisonsAreFalse) {
+  EXPECT_FALSE(MustEval("NULL = NULL").AsBool());
+  EXPECT_FALSE(MustEval("NULL != 1").AsBool());
+  EXPECT_FALSE(MustEval("NULL < 1").AsBool());
+}
+
+TEST(ExprTest, LogicalOperatorsShortCircuit) {
+  EXPECT_TRUE(MustEval("TRUE OR FALSE").AsBool());
+  EXPECT_FALSE(MustEval("TRUE AND FALSE").AsBool());
+  EXPECT_TRUE(MustEval("NOT FALSE").AsBool());
+  // Short circuit: the division by zero on the right is never evaluated.
+  EXPECT_FALSE(MustEval("FALSE AND 1 / 0 = 1").AsBool());
+  EXPECT_TRUE(MustEval("TRUE OR 1 / 0 = 1").AsBool());
+  // Without short circuit, the error surfaces.
+  EXPECT_FALSE(EvalConst("TRUE AND 1 / 0 = 1").ok());
+}
+
+TEST(ExprTest, LogicalOperatorsRequireBool) {
+  EXPECT_FALSE(EvalConst("1 AND TRUE").ok());
+  EXPECT_FALSE(EvalConst("NOT 3").ok());
+}
+
+TEST(ExprTest, UnaryMinusRequiresNumeric) {
+  EXPECT_FALSE(EvalConst("-'abc'").ok());
+  EXPECT_DOUBLE_EQ(MustEval("-2.5").AsDouble(), -2.5);
+}
+
+TEST(ExprTest, FunctionCalls) {
+  FunctionRegistry functions;
+  functions.RegisterCommon();
+  auto v = EvalConst("_concat('x', 1 + 2)", &functions);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().AsString(), "x3");
+  // No registry available -> clean error.
+  EXPECT_FALSE(EvalConst("_concat('x')").ok());
+}
+
+TEST(ExprTest, EvalPredicateCoercion) {
+  auto expr = Parser::ParseExpression("1 < 2").value();
+  std::vector<EventPtr> no_bindings;
+  EvalContext ctx{&no_bindings, nullptr};
+  EXPECT_TRUE(EvalPredicate(*expr, ctx).value());
+
+  // Non-boolean predicate is an error.
+  auto arith = Parser::ParseExpression("1 + 2").value();
+  EXPECT_FALSE(EvalPredicate(*arith, ctx).ok());
+
+  // NULL-valued predicate fails (doesn't pass).
+  auto null_expr = Parser::ParseExpression("NULL").value();
+  EXPECT_FALSE(EvalPredicate(*null_expr, ctx).value());
+}
+
+TEST(ExprTest, FlattenConjuncts) {
+  auto expr =
+      Parser::ParseExpression("1 = 1 AND 2 = 2 AND (3 = 3 OR 4 = 4)").value();
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(expr, &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(conjuncts[2]->ToString(), "((3 = 3) OR (4 = 4))");
+  // Null expression -> empty.
+  std::vector<ExprPtr> none;
+  FlattenConjuncts(nullptr, &none);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(ExprTest, UnboundVariableIsInternalError) {
+  auto expr = Parser::ParseExpression("x.TagId = 'T'").value();
+  std::vector<EventPtr> no_bindings;
+  EvalContext ctx{&no_bindings, nullptr};
+  auto result = expr->Eval(ctx);
+  EXPECT_FALSE(result.ok());  // unresolved variable reference
+}
+
+TEST(ExprTest, CollectSlotsAfterResolution) {
+  Catalog catalog = Catalog::RetailDemo();
+  auto parsed = Parser::Parse(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+      "WHERE x.TagId = z.TagId AND x.AreaId < 3");
+  Analyzer analyzer(&catalog, TimeConfig{});
+  AnalyzedQuery query = analyzer.Analyze(std::move(parsed).value()).value();
+  std::set<int> slots;
+  query.parsed.where->CollectSlots(&slots);
+  EXPECT_EQ(slots, (std::set<int>{0, 1}));
+}
+
+TEST(ExprTest, AggregateEvalOutsideTransformationFails) {
+  auto parsed = Parser::ParseExpression("COUNT(*)");
+  ASSERT_TRUE(parsed.ok());
+  std::vector<EventPtr> no_bindings;
+  EvalContext ctx{&no_bindings, nullptr};
+  EXPECT_FALSE(parsed.value()->Eval(ctx).ok());
+}
+
+TEST(ExprTest, ContainsAggregateDetection) {
+  EXPECT_TRUE(Parser::ParseExpression("SUM(x.A) / COUNT(*)").value()->ContainsAggregate());
+  EXPECT_TRUE(Parser::ParseExpression("_f(MAX(x.A))").value()->ContainsAggregate());
+  EXPECT_TRUE(Parser::ParseExpression("-MIN(x.A)").value()->ContainsAggregate());
+  EXPECT_FALSE(Parser::ParseExpression("x.A + 1").value()->ContainsAggregate());
+}
+
+}  // namespace
+}  // namespace sase

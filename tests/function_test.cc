@@ -1,0 +1,83 @@
+#include "engine/function_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace sase {
+namespace {
+
+TEST(FunctionRegistryTest, RegisterAndInvoke) {
+  FunctionRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("double", 1,
+                            [](const std::vector<Value>& args) -> Result<Value> {
+                              return Value(args[0].AsInt() * 2);
+                            })
+                  .ok());
+  EXPECT_TRUE(registry.Has("double"));
+  EXPECT_TRUE(registry.Has("DOUBLE"));  // case-insensitive
+  auto result = registry.Invoke("Double", {Value(21)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().AsInt(), 42);
+}
+
+TEST(FunctionRegistryTest, DuplicateRegistrationRejected) {
+  FunctionRegistry registry;
+  auto fn = [](const std::vector<Value>&) -> Result<Value> { return Value(1); };
+  ASSERT_TRUE(registry.Register("f", 0, fn).ok());
+  EXPECT_FALSE(registry.Register("F", 0, fn).ok());
+}
+
+TEST(FunctionRegistryTest, UnknownFunction) {
+  FunctionRegistry registry;
+  auto result = registry.Invoke("nothere", {});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FunctionRegistryTest, ArityEnforced) {
+  FunctionRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("two", 2,
+                            [](const std::vector<Value>&) -> Result<Value> {
+                              return Value(0);
+                            })
+                  .ok());
+  EXPECT_FALSE(registry.Invoke("two", {Value(1)}).ok());
+  EXPECT_TRUE(registry.Invoke("two", {Value(1), Value(2)}).ok());
+}
+
+TEST(FunctionRegistryTest, VariadicArity) {
+  FunctionRegistry registry;
+  registry.RegisterCommon();
+  EXPECT_EQ(registry.Invoke("_concat", {}).value().AsString(), "");
+  EXPECT_EQ(
+      registry.Invoke("_concat", {Value("a"), Value(1), Value(true)}).value().AsString(),
+      "a1TRUE");
+}
+
+TEST(FunctionRegistryTest, CommonFunctions) {
+  FunctionRegistry registry;
+  registry.RegisterCommon();
+  EXPECT_EQ(registry.Invoke("_abs", {Value(-5)}).value().AsInt(), 5);
+  EXPECT_DOUBLE_EQ(registry.Invoke("_abs", {Value(-2.5)}).value().AsDouble(), 2.5);
+  EXPECT_FALSE(registry.Invoke("_abs", {Value("x")}).ok());
+  EXPECT_EQ(registry.Invoke("_length", {Value("abcd")}).value().AsInt(), 4);
+  EXPECT_EQ(registry.Invoke("_upper", {Value("aBc")}).value().AsString(), "ABC");
+  EXPECT_EQ(registry.Invoke("_lower", {Value("aBc")}).value().AsString(), "abc");
+  EXPECT_EQ(
+      registry.Invoke("_if", {Value(true), Value(1), Value(2)}).value().AsInt(), 1);
+  EXPECT_EQ(
+      registry.Invoke("_if", {Value(false), Value(1), Value(2)}).value().AsInt(), 2);
+  EXPECT_FALSE(registry.Invoke("_if", {Value(1), Value(1), Value(2)}).ok());
+}
+
+TEST(FunctionRegistryTest, FunctionNamesSorted) {
+  FunctionRegistry registry;
+  registry.RegisterCommon();
+  auto names = registry.FunctionNames();
+  EXPECT_GE(names.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+}  // namespace
+}  // namespace sase

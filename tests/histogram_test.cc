@@ -1,0 +1,103 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace sase {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+  EXPECT_NEAR(h.Percentile(50), 42.0, 42.0 * 0.5);  // within the bucket
+}
+
+TEST(HistogramTest, MinMeanMaxExact) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(HistogramTest, PercentilesAreMonotone) {
+  Histogram h;
+  Random rng(3);
+  for (int i = 0; i < 10000; ++i) h.Record(rng.Uniform(0, 100000));
+  double last = -1;
+  for (double q : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    double v = h.Percentile(q);
+    EXPECT_GE(v, last) << "q=" << q;
+    last = v;
+  }
+  EXPECT_LE(h.Percentile(100), static_cast<double>(h.max()));
+  EXPECT_GE(h.Percentile(0), static_cast<double>(h.min()));
+}
+
+TEST(HistogramTest, PercentileApproximationBounded) {
+  // Log-bucketing guarantees at most 2x relative error above 1.
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(1000);
+  double p50 = h.Percentile(50);
+  EXPECT_GE(p50, 512.0);
+  EXPECT_LE(p50, 2000.0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 50; ++i) a.Record(10);
+  for (int i = 0; i < 50; ++i) b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_DOUBLE_EQ(a.mean(), 505.0);
+  // Merging an empty histogram is a no-op.
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 100u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, ToStringMentionsFields) {
+  Histogram h;
+  h.Record(1);
+  h.Record(100);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("count=2"), std::string::npos);
+  EXPECT_NE(s.find("min=1"), std::string::npos);
+  EXPECT_NE(s.find("max=100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sase

@@ -1,0 +1,128 @@
+#include "query/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace sase {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Tokenize();
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return std::move(tokens).value();
+}
+
+std::vector<TokenKind> Kinds(const std::vector<Token>& tokens) {
+  std::vector<TokenKind> kinds;
+  for (const auto& token : tokens) kinds.push_back(token.kind);
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = MustTokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = MustTokenize("EVENT event Event SEQ seq where WITHIN return");
+  auto kinds = Kinds(tokens);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kEvent, TokenKind::kEvent, TokenKind::kEvent,
+                       TokenKind::kSeq, TokenKind::kSeq, TokenKind::kWhere,
+                       TokenKind::kWithin, TokenKind::kReturn, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, IdentifiersIncludingUnderscorePrefix) {
+  auto tokens = MustTokenize("_retrieveLocation SHELF_READING x");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "_retrieveLocation");
+  EXPECT_EQ(tokens[1].text, "SHELF_READING");
+  EXPECT_EQ(tokens[2].text, "x");
+}
+
+TEST(LexerTest, NumberLiterals) {
+  auto tokens = MustTokenize("12 3.5 0 12.0");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 12);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.5);
+  EXPECT_EQ(tokens[2].int_value, 0);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 12.0);
+}
+
+TEST(LexerTest, StringLiteralsBothQuotes) {
+  auto tokens = MustTokenize("'abc' \"def\" 'with \\'escape\\''");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "abc");
+  EXPECT_EQ(tokens[1].text, "def");
+  EXPECT_EQ(tokens[2].text, "with 'escape'");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  Lexer lexer("'oops");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto kinds = Kinds(MustTokenize("( ) , . ! = != <> < <= > >= + - * / %"));
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kLParen, TokenKind::kRParen, TokenKind::kComma,
+                       TokenKind::kDot, TokenKind::kBang, TokenKind::kEq,
+                       TokenKind::kNeq, TokenKind::kNeq, TokenKind::kLt,
+                       TokenKind::kLe, TokenKind::kGt, TokenKind::kGe,
+                       TokenKind::kPlus, TokenKind::kMinus, TokenKind::kStar,
+                       TokenKind::kSlash, TokenKind::kPercent, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, PaperUnicodeConnectives) {
+  // Q1's WHERE clause uses the mathematical AND: x.TagId = y.TagId ∧ ...
+  auto kinds = Kinds(MustTokenize("a.b = c.d \xE2\x88\xA7 e.f = g.h"));
+  int and_count = 0;
+  for (auto kind : kinds) {
+    if (kind == TokenKind::kAnd) ++and_count;
+  }
+  EXPECT_EQ(and_count, 1);
+
+  auto or_tokens = MustTokenize("\xE2\x88\xA8");
+  EXPECT_EQ(or_tokens[0].kind, TokenKind::kOr);
+  auto not_tokens = MustTokenize("\xC2\xAC");
+  EXPECT_EQ(not_tokens[0].kind, TokenKind::kNot);
+}
+
+TEST(LexerTest, AsciiConnectives) {
+  auto kinds = Kinds(MustTokenize("a.b && c.d || NOT e.f AND g.h OR i.j"));
+  int ands = 0, ors = 0, nots = 0;
+  for (auto kind : kinds) {
+    if (kind == TokenKind::kAnd) ++ands;
+    if (kind == TokenKind::kOr) ++ors;
+    if (kind == TokenKind::kNot) ++nots;
+  }
+  EXPECT_EQ(ands, 2);
+  EXPECT_EQ(ors, 2);
+  EXPECT_EQ(nots, 1);
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  auto tokens = MustTokenize("EVENT -- this is a comment\n SEQ");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEvent);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kSeq);
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  auto tokens = MustTokenize("EVENT\n  SEQ");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(LexerTest, RejectsStrayCharacters) {
+  Lexer lexer("EVENT @ SEQ");
+  auto tokens = lexer.Tokenize();
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("line 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sase

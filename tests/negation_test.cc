@@ -1,0 +1,203 @@
+#include "engine/negation.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace sase {
+namespace {
+
+using testing::RunEngine;
+using testing::RunReference;
+using testing::StreamBuilder;
+
+class NegationTest : public ::testing::Test {
+ protected:
+  Catalog catalog_ = Catalog::RetailDemo();
+};
+
+// The paper's Q1 shoplifting pattern (no RETURN so outputs identify
+// matches).
+const char* kShoplifting =
+    "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+    "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 100";
+
+TEST_F(NegationTest, ShopliftingDetected) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "STOLEN")
+        .Add("EXIT_READING", 5, "STOLEN");
+  auto out = RunEngine(catalog_, kShoplifting, stream.events());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(NegationTest, CheckoutSuppressesAlert) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "PAID")
+        .Add("COUNTER_READING", 3, "PAID")
+        .Add("EXIT_READING", 5, "PAID");
+  auto out = RunEngine(catalog_, kShoplifting, stream.events());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(NegationTest, OtherTagsCheckoutDoesNotSuppress) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "STOLEN")
+        .Add("COUNTER_READING", 3, "INNOCENT")  // different tag
+        .Add("EXIT_READING", 5, "STOLEN");
+  auto out = RunEngine(catalog_, kShoplifting, stream.events());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(NegationTest, CounterOutsideIntervalDoesNotSuppress) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("COUNTER_READING", 1, "T")  // before the shelf reading
+        .Add("SHELF_READING", 2, "T")
+        .Add("EXIT_READING", 5, "T")
+        .Add("COUNTER_READING", 7, "T");  // after the exit reading
+  auto out = RunEngine(catalog_, kShoplifting, stream.events());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(NegationTest, CounterAtBoundaryTimestampsExcluded) {
+  // Negation interval is strictly between the neighbours' timestamps.
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 2, "T")
+        .Add("COUNTER_READING", 2, "T")  // same tick as shelf: not "after"
+        .Add("EXIT_READING", 5, "T")
+        .Add("COUNTER_READING", 5, "T");  // same tick as exit (arrives later)
+  auto out = RunEngine(catalog_, kShoplifting, stream.events());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(NegationTest, NegationFilterOnNegatedVariable) {
+  // Only counter readings in area 7 suppress.
+  const char* query =
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+      "WHERE x.TagId = z.TagId AND y.AreaId = 7 WITHIN 100";
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "T")
+        .Add("COUNTER_READING", 2, "IGNORED", /*area=*/3)  // wrong area
+        .Add("EXIT_READING", 5, "T");
+  EXPECT_EQ(RunEngine(catalog_, query, stream.events()).size(), 1u);
+
+  StreamBuilder stream2(&catalog_);
+  stream2.Add("SHELF_READING", 1, "T")
+         .Add("COUNTER_READING", 2, "ANY", /*area=*/7)  // right area
+         .Add("EXIT_READING", 5, "T");
+  EXPECT_TRUE(RunEngine(catalog_, query, stream2.events()).empty());
+}
+
+TEST_F(NegationTest, TailNegationDefersUntilWindowCloses) {
+  // SEQ(SHELF x, !(COUNTER y)): alert only if no checkout follows within
+  // the window.
+  const char* query =
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y)) "
+      "WHERE x.TagId = y.TagId WITHIN 10";
+  {
+    // Checkout arrives inside the window: suppressed.
+    StreamBuilder stream(&catalog_);
+    stream.Add("SHELF_READING", 1, "T")
+          .Add("COUNTER_READING", 5, "T")
+          .Add("SHELF_READING", 50, "OTHER");  // watermark pusher
+    EXPECT_EQ(RunEngine(catalog_, query, stream.events()).size(), 1u)
+        << "only the watermark-pushing shelf event should match";
+  }
+  {
+    // No checkout: the shelf event matches once the window passes.
+    StreamBuilder stream(&catalog_);
+    stream.Add("SHELF_READING", 1, "T")
+          .Add("COUNTER_READING", 20, "T")  // outside window
+          .Add("SHELF_READING", 50, "OTHER");
+    EXPECT_EQ(RunEngine(catalog_, query, stream.events()).size(), 2u);
+  }
+}
+
+TEST_F(NegationTest, TailNegationReleasedAtFlush) {
+  const char* query =
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y)) "
+      "WHERE x.TagId = y.TagId WITHIN 10";
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "T");  // stream ends immediately after
+  auto out = RunEngine(catalog_, query, stream.events());
+  EXPECT_EQ(out.size(), 1u);  // flush releases the pending match
+}
+
+TEST_F(NegationTest, HeadNegation) {
+  // SEQ(!(SHELF y), EXIT z): exit with no shelf reading of the same tag in
+  // the preceding window.
+  const char* query =
+      "EVENT SEQ(!(SHELF_READING y), EXIT_READING z) "
+      "WHERE y.TagId = z.TagId WITHIN 10";
+  {
+    StreamBuilder stream(&catalog_);
+    stream.Add("SHELF_READING", 5, "T").Add("EXIT_READING", 8, "T");
+    EXPECT_TRUE(RunEngine(catalog_, query, stream.events()).empty());
+  }
+  {
+    // Shelf reading too old (outside the window before the exit).
+    StreamBuilder stream(&catalog_);
+    stream.Add("SHELF_READING", 1, "T").Add("EXIT_READING", 20, "T");
+    EXPECT_EQ(RunEngine(catalog_, query, stream.events()).size(), 1u);
+  }
+}
+
+TEST_F(NegationTest, MultipleNegations) {
+  const char* query =
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z, "
+      "!(BACKROOM_READING w)) "
+      "WHERE x.TagId = y.TagId AND x.TagId = z.TagId AND x.TagId = w.TagId "
+      "WITHIN 20";
+  {
+    StreamBuilder stream(&catalog_);
+    stream.Add("SHELF_READING", 1, "T")
+          .Add("EXIT_READING", 5, "T")
+          .Add("SHELF_READING", 60, "OTHER2");  // watermark
+    // No counter, no backroom -> match (plus nothing for OTHER2).
+    EXPECT_EQ(RunEngine(catalog_, query, stream.events()).size(), 1u);
+  }
+  {
+    StreamBuilder stream(&catalog_);
+    stream.Add("SHELF_READING", 1, "T")
+          .Add("EXIT_READING", 5, "T")
+          .Add("BACKROOM_READING", 10, "T")  // tail negation violated
+          .Add("SHELF_READING", 60, "OTHER2");
+    EXPECT_TRUE(RunEngine(catalog_, query, stream.events()).empty());
+  }
+}
+
+TEST_F(NegationTest, MatchesReferenceOnNegationStream) {
+  StreamBuilder stream(&catalog_);
+  Random rng(99);
+  Timestamp ts = 0;
+  for (int i = 0; i < 120; ++i) {
+    ts += rng.Uniform(1, 2);
+    int pick = static_cast<int>(rng.Uniform(0, 2));
+    const char* type = pick == 0 ? "SHELF_READING"
+                                 : (pick == 1 ? "COUNTER_READING" : "EXIT_READING");
+    stream.Add(type, ts, "T" + std::to_string(rng.Uniform(0, 3)));
+  }
+  EXPECT_EQ(RunEngine(catalog_, kShoplifting, stream.events()),
+            RunReference(catalog_, kShoplifting, stream.events()));
+}
+
+TEST_F(NegationTest, PartitionedNegationMatchesUnpartitioned) {
+  StreamBuilder stream(&catalog_);
+  Random rng(7);
+  Timestamp ts = 0;
+  for (int i = 0; i < 150; ++i) {
+    ts += rng.Uniform(1, 3);
+    int pick = static_cast<int>(rng.Uniform(0, 2));
+    const char* type = pick == 0 ? "SHELF_READING"
+                                 : (pick == 1 ? "COUNTER_READING" : "EXIT_READING");
+    stream.Add(type, ts, "T" + std::to_string(rng.Uniform(0, 5)));
+  }
+  PlanOptions partitioned;
+  PlanOptions flat;
+  flat.use_partitioning = false;
+  EXPECT_EQ(RunEngine(catalog_, kShoplifting, stream.events(), partitioned),
+            RunEngine(catalog_, kShoplifting, stream.events(), flat));
+}
+
+}  // namespace
+}  // namespace sase

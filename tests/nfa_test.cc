@@ -1,0 +1,85 @@
+#include "nfa/nfa.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace sase {
+namespace {
+
+class NfaTest : public ::testing::Test {
+ protected:
+  AnalyzedQuery Analyze(const std::string& text) {
+    auto parsed = Parser::Parse(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    Analyzer analyzer(&catalog_, TimeConfig{});
+    auto analyzed = analyzer.Analyze(std::move(parsed).value());
+    EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    return std::move(analyzed).value();
+  }
+
+  Catalog catalog_ = Catalog::RetailDemo();
+};
+
+TEST_F(NfaTest, CompilesChainOfPositives) {
+  AnalyzedQuery q = Analyze(
+      "EVENT SEQ(SHELF_READING x, COUNTER_READING y, EXIT_READING z)");
+  Nfa nfa = Nfa::Compile(q, true, true);
+  EXPECT_EQ(nfa.edge_count(), 3u);
+  EXPECT_EQ(nfa.state_count(), 4u);
+  EXPECT_EQ(nfa.edge(0).type, catalog_.FindType("SHELF_READING").value());
+  EXPECT_EQ(nfa.edge(0).slot, 0);
+  EXPECT_EQ(nfa.edge(2).slot, 2);
+}
+
+TEST_F(NfaTest, NegatedComponentsAreExcluded) {
+  AnalyzedQuery q = Analyze(
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+      "WITHIN 10");
+  Nfa nfa = Nfa::Compile(q, true, true);
+  EXPECT_EQ(nfa.edge_count(), 2u);       // only positives
+  EXPECT_EQ(nfa.edge(1).slot, 2);        // z keeps its pattern slot
+}
+
+TEST_F(NfaTest, StatesForTypeHandlesRepeatedTypes) {
+  AnalyzedQuery q = Analyze("EVENT SEQ(SHELF_READING x, SHELF_READING y)");
+  Nfa nfa = Nfa::Compile(q, true, true);
+  EventTypeId shelf = catalog_.FindType("SHELF_READING").value();
+  EXPECT_EQ(nfa.StatesForType(shelf), (std::vector<int>{0, 1}));
+  EventTypeId exit = catalog_.FindType("EXIT_READING").value();
+  EXPECT_TRUE(nfa.StatesForType(exit).empty());
+  EXPECT_TRUE(nfa.StatesForType(kInvalidEventType).empty());
+}
+
+TEST_F(NfaTest, EdgeFiltersFollowPushdownFlag) {
+  AnalyzedQuery q = Analyze(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.AreaId = 1");
+  Nfa with = Nfa::Compile(q, /*push_edge_filters=*/true, true);
+  EXPECT_EQ(with.edge(0).filters.size(), 1u);
+  Nfa without = Nfa::Compile(q, /*push_edge_filters=*/false, true);
+  EXPECT_TRUE(without.edge(0).filters.empty());
+}
+
+TEST_F(NfaTest, PartitionAttrsFollowPartitioningFlag) {
+  AnalyzedQuery q = Analyze(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId");
+  Nfa with = Nfa::Compile(q, true, /*use_partitioning=*/true);
+  EXPECT_TRUE(with.partitioned());
+  EXPECT_NE(with.edge(0).partition_attr, kInvalidAttr);
+  Nfa without = Nfa::Compile(q, true, /*use_partitioning=*/false);
+  EXPECT_FALSE(without.partitioned());
+  EXPECT_EQ(without.edge(0).partition_attr, kInvalidAttr);
+}
+
+TEST_F(NfaTest, ToStringShowsStructure) {
+  AnalyzedQuery q = Analyze(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId");
+  Nfa nfa = Nfa::Compile(q, true, true);
+  std::string s = nfa.ToString(catalog_);
+  EXPECT_NE(s.find("S0 --SHELF_READING"), std::string::npos);
+  EXPECT_NE(s.find("accepting: S2"), std::string::npos);
+  EXPECT_NE(s.find("key=TagId"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sase

@@ -1,0 +1,71 @@
+#include "db/ons.h"
+
+#include <gtest/gtest.h>
+
+namespace sase {
+namespace db {
+namespace {
+
+TEST(OnsTest, RegisterAndLookup) {
+  Database database;
+  Ons ons(&database);
+  ASSERT_TRUE(ons.RegisterProduct("TAG1", {"Razor", "2026-12-01", true}).ok());
+  auto info = ons.Lookup("TAG1");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->product_name, "Razor");
+  EXPECT_EQ(info->expiration_date, "2026-12-01");
+  EXPECT_TRUE(info->saleable);
+  EXPECT_EQ(ons.product_count(), 1u);
+}
+
+TEST(OnsTest, UnknownTagIsNullopt) {
+  Database database;
+  Ons ons(&database);
+  EXPECT_FALSE(ons.Lookup("NOPE").has_value());
+}
+
+TEST(OnsTest, ReRegistrationReplaces) {
+  Database database;
+  Ons ons(&database);
+  ASSERT_TRUE(ons.RegisterProduct("TAG1", {"Razor", "", true}).ok());
+  ASSERT_TRUE(ons.RegisterProduct("TAG1", {"Blade", "", false}).ok());
+  auto info = ons.Lookup("TAG1");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->product_name, "Blade");
+  EXPECT_FALSE(info->saleable);
+  EXPECT_EQ(ons.product_count(), 1u);
+}
+
+TEST(OnsTest, BackedByProductsTable) {
+  // "we simulate an ONS with a local database storing product metadata" —
+  // the data must be visible to ad-hoc SQL like any other table.
+  Database database;
+  Ons ons(&database);
+  ASSERT_TRUE(ons.RegisterProduct("TAG1", {"Razor", "", true}).ok());
+  Table* table = database.GetTable("products");
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->row_count(), 1u);
+}
+
+TEST(OnsTest, ResolverAdapterWorks) {
+  Database database;
+  Ons ons(&database);
+  ASSERT_TRUE(ons.RegisterProduct("TAG1", {"Razor", "", true}).ok());
+  OnsResolver resolver = ons.Resolver();
+  auto info = resolver("TAG1");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->product_name, "Razor");
+  EXPECT_FALSE(resolver("TAG2").has_value());
+}
+
+TEST(OnsTest, TwoOnsInstancesShareTable) {
+  Database database;
+  Ons first(&database);
+  ASSERT_TRUE(first.RegisterProduct("TAG1", {"Razor", "", true}).ok());
+  Ons second(&database);  // reuses the existing products table
+  EXPECT_TRUE(second.Lookup("TAG1").has_value());
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace sase

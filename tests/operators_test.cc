@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "engine/selection.h"
+#include "engine/transformation.h"
+#include "engine/window_filter.h"
+#include "query/parser.h"
+#include "test_util.h"
+#include "util/logging.h"
+
+namespace sase {
+namespace {
+
+using testing::StreamBuilder;
+
+/// Terminal operator collecting matches for assertions.
+class CollectorOp : public Operator {
+ public:
+  const char* name() const override { return "Collector"; }
+  void OnMatch(const Match& match) override {
+    CountIn();
+    matches.push_back(match);
+  }
+  std::vector<Match> matches;
+};
+
+class OperatorsTest : public ::testing::Test {
+ protected:
+  Match MakeMatch(const std::vector<EventPtr>& bindings) {
+    Match match;
+    match.bindings = bindings;
+    Timestamp lo = std::numeric_limits<Timestamp>::max(), hi = 0;
+    for (const auto& event : bindings) {
+      if (event == nullptr) continue;
+      lo = std::min(lo, event->timestamp());
+      hi = std::max(hi, event->timestamp());
+    }
+    match.first_ts = lo;
+    match.last_ts = hi;
+    return match;
+  }
+
+  Catalog catalog_ = Catalog::RetailDemo();
+  FunctionRegistry functions_;
+};
+
+TEST_F(OperatorsTest, SelectionFiltersOnResidualPredicate) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A", 1).Add("EXIT_READING", 2, "A", 2);
+  auto pred = Parser::ParseExpression("x.AreaId < z.AreaId").value();
+  // Resolve manually against a two-slot layout.
+  auto parsed = Parser::Parse(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.AreaId < z.AreaId");
+  Analyzer analyzer(&catalog_, TimeConfig{});
+  AnalyzedQuery query = analyzer.Analyze(std::move(parsed).value()).value();
+  ASSERT_EQ(query.residual_predicates.size(), 1u);
+
+  Selection selection(query.residual_predicates, &functions_);
+  CollectorOp collector;
+  selection.set_downstream(&collector);
+
+  selection.OnMatch(MakeMatch({stream.events()[0], stream.events()[1]}));
+  EXPECT_EQ(collector.matches.size(), 1u);
+
+  // Reversed areas fail the predicate.
+  StreamBuilder reversed(&catalog_);
+  reversed.Add("SHELF_READING", 1, "A", 5).Add("EXIT_READING", 2, "A", 2);
+  selection.OnMatch(MakeMatch({reversed.events()[0], reversed.events()[1]}));
+  EXPECT_EQ(collector.matches.size(), 1u);
+  EXPECT_EQ(selection.matches_in(), 2u);
+  EXPECT_EQ(selection.matches_out(), 1u);
+  (void)pred;
+}
+
+TEST_F(OperatorsTest, WindowFilterEnforcesSpan) {
+  WindowFilter window(10);
+  CollectorOp collector;
+  window.set_downstream(&collector);
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A").Add("EXIT_READING", 11, "A")
+        .Add("EXIT_READING", 12, "A");
+  window.OnMatch(MakeMatch({stream.events()[0], stream.events()[1]}));  // span 10
+  window.OnMatch(MakeMatch({stream.events()[0], stream.events()[2]}));  // span 11
+  EXPECT_EQ(collector.matches.size(), 1u);
+}
+
+TEST_F(OperatorsTest, WindowFilterUnboundedPassesEverything) {
+  WindowFilter window(-1);
+  CollectorOp collector;
+  window.set_downstream(&collector);
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A").Add("EXIT_READING", 1000000, "A");
+  window.OnMatch(MakeMatch({stream.events()[0], stream.events()[1]}));
+  EXPECT_EQ(collector.matches.size(), 1u);
+}
+
+TEST_F(OperatorsTest, TransformationProjection) {
+  auto parsed = Parser::Parse(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+      "RETURN x.TagId AS Tag, z.AreaId AS ExitArea, x.TagId + '!' AS Bang "
+      "INTO alerts");
+  Analyzer analyzer(&catalog_, TimeConfig{});
+  AnalyzedQuery query = analyzer.Analyze(std::move(parsed).value()).value();
+
+  std::vector<OutputRecord> records;
+  Transformation transformation(
+      &query, &catalog_, &functions_,
+      [&records](const OutputRecord& r) { records.push_back(r); });
+
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "T1", 1).Add("EXIT_READING", 9, "T1", 4);
+  Match match = MakeMatch({stream.events()[0], stream.events()[1]});
+  transformation.OnMatch(match);
+
+  ASSERT_EQ(records.size(), 1u);
+  const OutputRecord& record = records[0];
+  EXPECT_EQ(record.stream, "alerts");
+  EXPECT_EQ(record.timestamp, 9);
+  EXPECT_EQ(record.Get("Tag").AsString(), "T1");
+  EXPECT_EQ(record.Get("ExitArea").AsInt(), 4);
+  EXPECT_EQ(record.Get("Bang").AsString(), "T1!");
+  EXPECT_TRUE(record.Get("nosuch").is_null());
+}
+
+TEST_F(OperatorsTest, TransformationDefaultProjection) {
+  auto parsed = Parser::Parse("EVENT SEQ(SHELF_READING x, EXIT_READING z)");
+  Analyzer analyzer(&catalog_, TimeConfig{});
+  AnalyzedQuery query = analyzer.Analyze(std::move(parsed).value()).value();
+  std::vector<OutputRecord> records;
+  Transformation transformation(
+      &query, &catalog_, &functions_,
+      [&records](const OutputRecord& r) { records.push_back(r); });
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "T1", 1, "Soap")
+        .Add("EXIT_READING", 2, "T1", 4, "Soap");
+  transformation.OnMatch(MakeMatch({stream.events()[0], stream.events()[1]}));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].Get("x_TagId").AsString(), "T1");
+  EXPECT_EQ(records[0].Get("z_AreaId").AsInt(), 4);
+  EXPECT_EQ(records[0].Get("x_Timestamp").AsInt(), 1);
+  EXPECT_EQ(records[0].Get("z_Timestamp").AsInt(), 2);
+}
+
+TEST_F(OperatorsTest, TransformationInvokesFunctions) {
+  functions_.RegisterCommon();
+  auto parsed = Parser::Parse(
+      "EVENT SHELF_READING x RETURN _upper(x.TagId) AS U");
+  Analyzer analyzer(&catalog_, TimeConfig{});
+  AnalyzedQuery query = analyzer.Analyze(std::move(parsed).value()).value();
+  std::vector<OutputRecord> records;
+  Transformation transformation(
+      &query, &catalog_, &functions_,
+      [&records](const OutputRecord& r) { records.push_back(r); });
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "abc");
+  transformation.OnMatch(MakeMatch({stream.events()[0]}));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].Get("U").AsString(), "ABC");
+}
+
+TEST_F(OperatorsTest, TransformationEvalErrorYieldsNullColumn) {
+  // _nosuch is not registered: the record is still produced, the column is
+  // NULL, and the error is counted.
+  auto parsed = Parser::Parse(
+      "EVENT SHELF_READING x RETURN _nosuch(x.TagId) AS Broken, x.TagId AS T");
+  Analyzer analyzer(&catalog_, TimeConfig{});
+  AnalyzedQuery query = analyzer.Analyze(std::move(parsed).value()).value();
+  std::vector<OutputRecord> records;
+  Logger::Get().set_min_level(LogLevel::kError);
+  Transformation transformation(
+      &query, &catalog_, &functions_,
+      [&records](const OutputRecord& r) { records.push_back(r); });
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "abc");
+  transformation.OnMatch(MakeMatch({stream.events()[0]}));
+  Logger::Get().set_min_level(LogLevel::kInfo);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].Get("Broken").is_null());
+  EXPECT_EQ(records[0].Get("T").AsString(), "abc");
+  EXPECT_EQ(transformation.stats().eval_errors, 1u);
+}
+
+TEST_F(OperatorsTest, OperatorCountersFlowThroughPipeline) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A").Add("EXIT_READING", 2, "A");
+  QueryEngine engine(&catalog_);
+  int outputs = 0;
+  auto id = engine.Register("EVENT SEQ(SHELF_READING x, EXIT_READING z)",
+                            [&outputs](const OutputRecord&) { ++outputs; });
+  ASSERT_TRUE(id.ok());
+  for (const auto& event : stream.events()) engine.OnEvent(event);
+  engine.OnFlush();
+  const QueryPlan* plan = engine.plan(id.value());
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->sequence_scan().matches_out(), 1u);
+  EXPECT_EQ(plan->selection().matches_in(), 1u);
+  EXPECT_EQ(plan->window_filter().matches_in(), 1u);
+  EXPECT_EQ(plan->negation().matches_in(), 1u);
+  EXPECT_EQ(plan->transformation().matches_in(), 1u);
+  EXPECT_EQ(plan->output_count(), 1u);
+  EXPECT_EQ(outputs, 1);
+  EXPECT_EQ(plan->eval_error_count(), 0u);
+  // Explain covers all operators.
+  std::string explain = plan->Explain(catalog_);
+  EXPECT_NE(explain.find("SequenceScan"), std::string::npos);
+  EXPECT_NE(explain.find("Negation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sase

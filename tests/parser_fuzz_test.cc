@@ -1,0 +1,102 @@
+// Robustness property: the parser and analyzer must never crash — every
+// input, however mangled, yields either a valid AST or a clean error
+// Status. Inputs are random token soups and mutations of valid queries.
+
+#include <gtest/gtest.h>
+
+#include "query/analyzer.h"
+#include "query/ddl.h"
+#include "query/parser.h"
+#include "util/random.h"
+
+namespace sase {
+namespace {
+
+const char* kFragments[] = {
+    "EVENT", "SEQ", "WHERE", "WITHIN", "RETURN", "FROM", "AND", "OR", "NOT",
+    "AS", "INTO", "TRUE", "FALSE", "NULL", "(", ")", ",", ".", "!", "=",
+    "!=", "<", "<=", ">", ">=", "+", "-", "*", "/", "%", "x", "y", "z",
+    "SHELF_READING", "COUNTER_READING", "EXIT_READING", "TagId", "AreaId",
+    "12", "3.5", "'str'", "hours", "COUNT", "SUM", "_f", "\xE2\x88\xA7",
+};
+
+std::string RandomSoup(Random* rng, int length) {
+  std::string out;
+  for (int i = 0; i < length; ++i) {
+    out += kFragments[rng->Uniform(0, std::size(kFragments) - 1)];
+    out += " ";
+  }
+  return out;
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, TokenSoupNeverCrashes) {
+  Random rng(GetParam());
+  Catalog catalog = Catalog::RetailDemo();
+  Analyzer analyzer(&catalog, TimeConfig{});
+  int parsed_ok = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::string input = RandomSoup(&rng, static_cast<int>(rng.Uniform(1, 30)));
+    auto result = Parser::Parse(input);
+    if (result.ok()) {
+      ++parsed_ok;
+      // Whatever parses must survive analysis (ok or clean error).
+      auto analyzed = analyzer.Analyze(std::move(result).value());
+      if (analyzed.ok()) {
+        EXPECT_GE(analyzed.value().positive_slots.size(), 1u);
+      }
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+  // The soup occasionally forms valid queries; no strict bound, just
+  // confirm the loop isn't vacuous for some seed by not asserting zero.
+  SUCCEED() << parsed_ok << " soups parsed";
+}
+
+TEST_P(ParserFuzzTest, MutatedValidQueryNeverCrashes) {
+  Random rng(GetParam() * 7919);
+  const std::string base =
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+      "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 12 hours "
+      "RETURN x.TagId, COUNT(*) INTO alerts";
+  Catalog catalog = Catalog::RetailDemo();
+  Analyzer analyzer(&catalog, TimeConfig{});
+  for (int i = 0; i < 500; ++i) {
+    std::string mutated = base;
+    int mutations = static_cast<int>(rng.Uniform(1, 5));
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(mutated.size()) - 1));
+      switch (rng.Uniform(0, 2)) {
+        case 0: mutated.erase(pos, 1); break;
+        case 1: mutated.insert(pos, 1, static_cast<char>(rng.Uniform(32, 126))); break;
+        default: mutated[pos] = static_cast<char>(rng.Uniform(32, 126)); break;
+      }
+    }
+    auto result = Parser::Parse(mutated);
+    if (result.ok()) {
+      (void)analyzer.Analyze(std::move(result).value());  // must not crash
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, DdlSoupNeverCrashes) {
+  Random rng(GetParam() * 104729);
+  for (int i = 0; i < 300; ++i) {
+    Catalog catalog;
+    std::string input = RandomSoup(&rng, static_cast<int>(rng.Uniform(1, 15)));
+    auto result = DeclareEventTypes(&catalog, input);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace sase

@@ -1,0 +1,196 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sase {
+namespace {
+
+ParsedQuery MustParse(const std::string& text) {
+  auto query = Parser::Parse(text);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  return std::move(query).value();
+}
+
+// The paper's Q1 (shoplifting), verbatim modulo ASCII AND.
+constexpr const char* kQ1 = R"(
+  EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z)
+  WHERE x.TagId = y.TagId AND x.TagId = z.TagId
+  WITHIN 12 hours
+  RETURN x.TagId, x.ProductName, z.AreaId, _retrieveLocation(z.AreaId)
+)";
+
+// The paper's Q2 (location-change archiving rule).
+constexpr const char* kQ2 = R"(
+  EVENT SEQ(SHELF_READING x, SHELF_READING y)
+  WHERE x.TagId = y.TagId AND x.AreaId != y.AreaId
+  WITHIN 1 hour
+  RETURN _updateLocation(y.TagId, y.AreaId, y.Timestamp)
+)";
+
+TEST(ParserTest, ParsesQ1Structure) {
+  ParsedQuery q = MustParse(kQ1);
+  ASSERT_EQ(q.pattern.size(), 3u);
+  EXPECT_EQ(q.pattern[0].type_name, "SHELF_READING");
+  EXPECT_EQ(q.pattern[0].variable, "x");
+  EXPECT_FALSE(q.pattern[0].negated);
+  EXPECT_EQ(q.pattern[1].type_name, "COUNTER_READING");
+  EXPECT_TRUE(q.pattern[1].negated);
+  EXPECT_EQ(q.pattern[2].variable, "z");
+  EXPECT_TRUE(q.window.present);
+  EXPECT_EQ(q.window.count, 12);
+  EXPECT_EQ(q.window.unit, "hours");
+  ASSERT_EQ(q.return_items.size(), 4u);
+  EXPECT_EQ(q.return_items[3].expr->kind(), ExprKind::kCall);
+  EXPECT_EQ(q.positive_count(), 2u);
+}
+
+TEST(ParserTest, ParsesQ1WithUnicodeAnd) {
+  std::string text =
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+      "WHERE x.TagId = y.TagId \xE2\x88\xA7 x.TagId = z.TagId WITHIN 12 hours";
+  ParsedQuery q = MustParse(text);
+  ASSERT_NE(q.where, nullptr);
+  // Top node must be the conjunction.
+  auto* top = static_cast<BinaryExpr*>(q.where.get());
+  EXPECT_EQ(top->op(), BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ParsesQ2RepeatedTypes) {
+  ParsedQuery q = MustParse(kQ2);
+  ASSERT_EQ(q.pattern.size(), 2u);
+  EXPECT_EQ(q.pattern[0].type_name, "SHELF_READING");
+  EXPECT_EQ(q.pattern[1].type_name, "SHELF_READING");
+  EXPECT_EQ(q.window.count, 1);
+  EXPECT_EQ(q.window.unit, "hour");
+  ASSERT_EQ(q.return_items.size(), 1u);
+  EXPECT_EQ(q.return_items[0].expr->kind(), ExprKind::kCall);
+}
+
+TEST(ParserTest, FromClause) {
+  ParsedQuery q = MustParse("FROM retail EVENT SHELF_READING x");
+  EXPECT_EQ(q.from_stream, "retail");
+  ASSERT_EQ(q.pattern.size(), 1u);
+}
+
+TEST(ParserTest, SingleEventPattern) {
+  ParsedQuery q = MustParse("EVENT EXIT_READING e WHERE e.AreaId = 3");
+  ASSERT_EQ(q.pattern.size(), 1u);
+  EXPECT_EQ(q.pattern[0].type_name, "EXIT_READING");
+  EXPECT_FALSE(q.window.present);
+}
+
+TEST(ParserTest, AnyPatternSynonym) {
+  ParsedQuery q = MustParse("EVENT ANY(SHELF_READING s)");
+  ASSERT_EQ(q.pattern.size(), 1u);
+  EXPECT_EQ(q.pattern[0].variable, "s");
+}
+
+TEST(ParserTest, WindowInBareTicks) {
+  ParsedQuery q = MustParse("EVENT SHELF_READING x WITHIN 500");
+  EXPECT_TRUE(q.window.present);
+  EXPECT_EQ(q.window.count, 500);
+  EXPECT_TRUE(q.window.unit.empty());
+}
+
+TEST(ParserTest, ReturnAliasesAndInto) {
+  ParsedQuery q = MustParse(
+      "EVENT SHELF_READING x RETURN x.TagId AS Tag, x.AreaId INTO shelf_feed");
+  ASSERT_EQ(q.return_items.size(), 2u);
+  EXPECT_EQ(q.return_items[0].alias, "Tag");
+  EXPECT_TRUE(q.return_items[1].alias.empty());
+  EXPECT_EQ(q.output_name, "shelf_feed");
+}
+
+TEST(ParserTest, AggregatesInReturn) {
+  ParsedQuery q = MustParse(
+      "EVENT SHELF_READING x RETURN COUNT(*), SUM(x.AreaId), AVG(x.AreaId), "
+      "MIN(x.AreaId), MAX(x.AreaId)");
+  ASSERT_EQ(q.return_items.size(), 5u);
+  for (const auto& item : q.return_items) {
+    EXPECT_EQ(item.expr->kind(), ExprKind::kAggregate) << item.expr->ToString();
+  }
+  auto* count = static_cast<AggregateExpr*>(q.return_items[0].expr.get());
+  EXPECT_EQ(count->agg(), AggregateKind::kCount);
+  EXPECT_EQ(count->arg(), nullptr);  // COUNT(*)
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  ParsedQuery q = MustParse(
+      "EVENT SHELF_READING x WHERE x.AreaId + 1 * 2 = 3 AND x.AreaId < 4 OR "
+      "x.AreaId > 5");
+  // ((((x.AreaId + (1 * 2)) = 3) AND (x.AreaId < 4)) OR (x.AreaId > 5))
+  EXPECT_EQ(q.where->ToString(),
+            "((((x.AreaId + (1 * 2)) = 3) AND (x.AreaId < 4)) OR (x.AreaId > 5))");
+}
+
+TEST(ParserTest, UnaryMinusAndNot) {
+  ParsedQuery q =
+      MustParse("EVENT SHELF_READING x WHERE NOT x.AreaId = -1");
+  EXPECT_EQ(q.where->ToString(), "NOT (x.AreaId = -1)");
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  ParsedQuery q = MustParse(
+      "EVENT SHELF_READING x WHERE (x.AreaId = 1 OR x.AreaId = 2) AND "
+      "x.TagId = 'T'");
+  auto* top = static_cast<BinaryExpr*>(q.where.get());
+  EXPECT_EQ(top->op(), BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ToStringRoundTrips) {
+  ParsedQuery q1 = MustParse(kQ1);
+  ParsedQuery q2 = MustParse(q1.ToString());
+  EXPECT_EQ(q1.ToString(), q2.ToString());
+}
+
+TEST(ParserTest, ErrorMissingEvent) {
+  auto result = Parser::Parse("WHERE x.a = 1");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("EVENT"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorDuplicateVariable) {
+  auto result = Parser::Parse("EVENT SEQ(SHELF_READING x, EXIT_READING x)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorAllNegated) {
+  auto result = Parser::Parse("EVENT SEQ(!(SHELF_READING x))");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("non-negated"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorUnclosedSeq) {
+  EXPECT_FALSE(Parser::Parse("EVENT SEQ(SHELF_READING x").ok());
+}
+
+TEST(ParserTest, ErrorTrailingGarbage) {
+  EXPECT_FALSE(Parser::Parse("EVENT SHELF_READING x bogus trailing").ok());
+}
+
+TEST(ParserTest, ErrorBareIdentifierInExpression) {
+  EXPECT_FALSE(Parser::Parse("EVENT SHELF_READING x WHERE x = 1").ok());
+}
+
+TEST(ParserTest, ErrorAggregateArity) {
+  EXPECT_FALSE(
+      Parser::Parse("EVENT SHELF_READING x RETURN SUM(x.AreaId, x.AreaId)").ok());
+}
+
+TEST(ParserTest, StandaloneExpressionParsing) {
+  auto expr = Parser::ParseExpression("x.TagId = 'T1' AND x.AreaId < 5");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  EXPECT_EQ(expr.value()->ToString(), "((x.TagId = 'T1') AND (x.AreaId < 5))");
+  EXPECT_FALSE(Parser::ParseExpression("x.TagId = ").ok());
+  EXPECT_FALSE(Parser::ParseExpression("1 = 1 extra").ok());
+}
+
+TEST(ParserTest, NegationRequiresParens) {
+  EXPECT_FALSE(
+      Parser::Parse("EVENT SEQ(SHELF_READING x, !COUNTER_READING y)").ok());
+}
+
+}  // namespace
+}  // namespace sase

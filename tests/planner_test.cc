@@ -1,0 +1,93 @@
+// Plan-construction tests: the Planner must rehome predicates when an
+// optimization is disabled so that every configuration computes identical
+// results (the property tests verify the *results*; these verify the
+// *mechanism*).
+
+#include "engine/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sase {
+namespace {
+
+using testing::MustAnalyze;
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<QueryPlan> Build(const std::string& text, PlanOptions options) {
+    return Planner::Build(MustAnalyze(catalog_, text), options, &catalog_,
+                          &functions_, nullptr);
+  }
+
+  Catalog catalog_ = Catalog::RetailDemo();
+  FunctionRegistry functions_;
+};
+
+constexpr const char* kQ1 =
+    "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+    "WHERE x.TagId = y.TagId AND x.TagId = z.TagId AND x.AreaId = 1 "
+    "WITHIN 100";
+
+TEST_F(PlannerTest, DefaultPlanPushesEverything) {
+  auto plan = Build(kQ1, PlanOptions{});
+  // Edge filter on x pushed to the NFA; equality subsumed by partitioning.
+  EXPECT_EQ(plan->nfa().edge(0).filters.size(), 1u);
+  EXPECT_TRUE(plan->nfa().partitioned());
+  EXPECT_EQ(plan->selection().predicate_count(), 0u);
+  EXPECT_EQ(plan->window_filter().window(), 100);
+}
+
+TEST_F(PlannerTest, DisablingPredicatePushdownMovesFiltersToSelection) {
+  PlanOptions options;
+  options.push_predicates = false;
+  auto plan = Build(kQ1, options);
+  EXPECT_TRUE(plan->nfa().edge(0).filters.empty());
+  EXPECT_EQ(plan->selection().predicate_count(), 1u);  // x.AreaId = 1
+}
+
+TEST_F(PlannerTest, DisablingPartitioningRestoresEqualityPredicates) {
+  PlanOptions options;
+  options.use_partitioning = false;
+  auto plan = Build(kQ1, options);
+  EXPECT_FALSE(plan->nfa().partitioned());
+  // x.TagId = z.TagId returns to Selection; x.TagId = y.TagId (negated var)
+  // returns to the negation's cross predicates.
+  EXPECT_EQ(plan->selection().predicate_count(), 1u);
+  EXPECT_EQ(plan->query().negations.size(), 1u);
+}
+
+TEST_F(PlannerTest, DisablingWindowPushdownKeepsWindowFilterAuthoritative) {
+  PlanOptions options;
+  options.push_window = false;
+  auto plan = Build(kQ1, options);
+  EXPECT_EQ(plan->window_filter().window(), 100);  // still enforced above
+}
+
+TEST_F(PlannerTest, ExplainDescribesOptionsAndOperators) {
+  PlanOptions options;
+  options.use_partitioning = false;
+  auto plan = Build(kQ1, options);
+  std::string explain = plan->Explain(catalog_);
+  EXPECT_NE(explain.find("partitioning=off"), std::string::npos);
+  EXPECT_NE(explain.find("SequenceScan"), std::string::npos);
+  EXPECT_NE(explain.find("WindowFilter"), std::string::npos);
+  EXPECT_NE(explain.find("Transformation"), std::string::npos);
+}
+
+TEST_F(PlannerTest, EngineStatsReportCoversPlans) {
+  QueryEngine engine(&catalog_);
+  ASSERT_TRUE(engine.Register(kQ1, nullptr).ok());
+  ASSERT_TRUE(engine.Register("FROM side EVENT SHELF_READING s", nullptr).ok());
+  EventBuilder builder(catalog_, "SHELF_READING");
+  engine.OnEvent(builder.Set("TagId", "T").Set("AreaId", 1).Build(1, 0).value());
+  std::string report = engine.StatsReport();
+  EXPECT_NE(report.find("queries=2"), std::string::npos);
+  EXPECT_NE(report.find("[default]"), std::string::npos);
+  EXPECT_NE(report.find("[side]"), std::string::npos);
+  EXPECT_NE(report.find("errors=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sase

@@ -1,0 +1,163 @@
+// Direct tests of the brute-force oracle itself: since the property tests
+// assert engine == reference, the reference's own semantics must be pinned
+// down independently here on hand-checked streams.
+
+#include "engine/reference_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sase {
+namespace {
+
+using testing::MustAnalyze;
+using testing::StreamBuilder;
+
+class ReferenceMatcherTest : public ::testing::Test {
+ protected:
+  std::vector<Match> Run(const std::string& query,
+                         const std::vector<EventPtr>& events) {
+    AnalyzedQuery analyzed = MustAnalyze(catalog_, query);
+    FunctionRegistry functions;
+    functions.RegisterCommon();
+    ReferenceMatcher reference(&analyzed, &functions);
+    auto matches = reference.FindMatches(events);
+    EXPECT_TRUE(matches.ok()) << matches.status().ToString();
+    return std::move(matches).value();
+  }
+
+  Catalog catalog_ = Catalog::RetailDemo();
+};
+
+TEST_F(ReferenceMatcherTest, EnumeratesAllOrderedCombinations) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A")
+        .Add("SHELF_READING", 2, "B")
+        .Add("EXIT_READING", 3, "C")
+        .Add("EXIT_READING", 4, "D");
+  auto matches = Run("EVENT SEQ(SHELF_READING x, EXIT_READING z)",
+                     stream.events());
+  EXPECT_EQ(matches.size(), 4u);
+  // Lexicographic enumeration order: by x position, then z position.
+  EXPECT_EQ(matches[0].bindings[0]->seq(), 0u);
+  EXPECT_EQ(matches[0].bindings[1]->seq(), 2u);
+  EXPECT_EQ(matches[3].bindings[0]->seq(), 1u);
+  EXPECT_EQ(matches[3].bindings[1]->seq(), 3u);
+}
+
+TEST_F(ReferenceMatcherTest, StrictTimestampOrdering) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 5, "A").Add("EXIT_READING", 5, "B");
+  EXPECT_TRUE(Run("EVENT SEQ(SHELF_READING x, EXIT_READING z)",
+                  stream.events()).empty());
+}
+
+TEST_F(ReferenceMatcherTest, WindowInclusiveBound) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 0, "A").Add("EXIT_READING", 10, "A");
+  EXPECT_EQ(Run("EVENT SEQ(SHELF_READING x, EXIT_READING z) WITHIN 10",
+                stream.events()).size(), 1u);
+  EXPECT_TRUE(Run("EVENT SEQ(SHELF_READING x, EXIT_READING z) WITHIN 9",
+                  stream.events()).empty());
+}
+
+TEST_F(ReferenceMatcherTest, PredicatesFromOriginalWhereTree) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A", 1)
+        .Add("SHELF_READING", 2, "A", 2)
+        .Add("EXIT_READING", 3, "A", 2);
+  // Disjunction stays one conjunct — the oracle evaluates it whole.
+  auto matches = Run(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+      "WHERE x.AreaId = 1 OR x.AreaId = 3",
+      stream.events());
+  EXPECT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].bindings[0]->attribute(1).AsInt(), 1);
+}
+
+TEST_F(ReferenceMatcherTest, MiddleNegationStrictInterval) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "T")
+        .Add("COUNTER_READING", 3, "T")
+        .Add("EXIT_READING", 5, "T");
+  EXPECT_TRUE(Run(
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+      "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 100",
+      stream.events()).empty());
+
+  // Counter at the boundary timestamps does not violate.
+  StreamBuilder boundary(&catalog_);
+  boundary.Add("SHELF_READING", 1, "T")
+          .Add("COUNTER_READING", 1, "T")
+          .Add("COUNTER_READING", 5, "T")
+          .Add("EXIT_READING", 5, "T");
+  EXPECT_EQ(Run(
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+      "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 100",
+      boundary.events()).size(), 1u);
+}
+
+TEST_F(ReferenceMatcherTest, TailNegationWindowBoundIsInclusive) {
+  // Interval for SEQ(S x, !(C y)) WITHIN 10 is (x.ts, x.ts + 10].
+  StreamBuilder at_bound(&catalog_);
+  at_bound.Add("SHELF_READING", 0, "T").Add("COUNTER_READING", 10, "T");
+  EXPECT_TRUE(Run(
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y)) "
+      "WHERE x.TagId = y.TagId WITHIN 10",
+      at_bound.events()).empty());
+
+  StreamBuilder past_bound(&catalog_);
+  past_bound.Add("SHELF_READING", 0, "T").Add("COUNTER_READING", 11, "T");
+  EXPECT_EQ(Run(
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y)) "
+      "WHERE x.TagId = y.TagId WITHIN 10",
+      past_bound.events()).size(), 1u);
+}
+
+TEST_F(ReferenceMatcherTest, HeadNegationWindowBoundIsInclusive) {
+  // Interval for SEQ(!(C y), E z) WITHIN 10 is [z.ts - 10, z.ts).
+  StreamBuilder at_bound(&catalog_);
+  at_bound.Add("COUNTER_READING", 0, "T").Add("EXIT_READING", 10, "T");
+  EXPECT_TRUE(Run(
+      "EVENT SEQ(!(COUNTER_READING y), EXIT_READING z) "
+      "WHERE y.TagId = z.TagId WITHIN 10",
+      at_bound.events()).empty());
+
+  StreamBuilder before_bound(&catalog_);
+  before_bound.Add("COUNTER_READING", 0, "T").Add("EXIT_READING", 11, "T");
+  EXPECT_EQ(Run(
+      "EVENT SEQ(!(COUNTER_READING y), EXIT_READING z) "
+      "WHERE y.TagId = z.TagId WITHIN 10",
+      before_bound.events()).size(), 1u);
+}
+
+TEST_F(ReferenceMatcherTest, MatchCarriesTimestampsAndKey) {
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 3, "A").Add("EXIT_READING", 9, "A");
+  auto matches = Run("EVENT SEQ(SHELF_READING x, EXIT_READING z)",
+                     stream.events());
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].first_ts, 3);
+  EXPECT_EQ(matches[0].last_ts, 9);
+  EXPECT_EQ(matches[0].Key(), (std::vector<SequenceNumber>{0, 1}));
+  EXPECT_NE(matches[0].ToString(catalog_).find("SHELF_READING@3"),
+            std::string::npos);
+}
+
+TEST_F(ReferenceMatcherTest, StrictEvaluationSurfacesErrors) {
+  // The oracle is strict: an eval error aborts instead of dropping the
+  // match (unlike the lenient engine).
+  StreamBuilder stream(&catalog_);
+  stream.Add("SHELF_READING", 1, "A").Add("EXIT_READING", 2, "A");
+  AnalyzedQuery analyzed = MustAnalyze(
+      catalog_,
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE _nosuch(x.TagId) = 'y'");
+  FunctionRegistry functions;  // _nosuch not registered
+  ReferenceMatcher reference(&analyzed, &functions);
+  auto matches = reference.FindMatches(stream.events());
+  EXPECT_FALSE(matches.ok());
+}
+
+}  // namespace
+}  // namespace sase

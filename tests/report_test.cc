@@ -1,0 +1,98 @@
+#include "system/report.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/match.h"
+
+namespace sase {
+namespace {
+
+TEST(ReportChannelTest, AppendAndQuery) {
+  ReportChannel channel("Message Results");
+  EXPECT_EQ(channel.size(), 0u);
+  channel.Append("theft detected: TAG-A");
+  channel.Append("theft detected: TAG-B");
+  EXPECT_EQ(channel.size(), 2u);
+  EXPECT_EQ(channel.name(), "Message Results");
+  EXPECT_TRUE(channel.Contains("TAG-A"));
+  EXPECT_TRUE(channel.Contains("theft"));
+  EXPECT_FALSE(channel.Contains("TAG-C"));
+}
+
+TEST(ReportChannelTest, ToStringRendersHeaderAndLines) {
+  ReportChannel channel("Database Report");
+  channel.Append("> SELECT 1");
+  std::string text = channel.ToString();
+  EXPECT_NE(text.find("=== Database Report ==="), std::string::npos);
+  EXPECT_NE(text.find("> SELECT 1"), std::string::npos);
+}
+
+TEST(ReportChannelTest, ClearEmpties) {
+  ReportChannel channel("x");
+  channel.Append("line");
+  channel.Clear();
+  EXPECT_EQ(channel.size(), 0u);
+  EXPECT_FALSE(channel.Contains("line"));
+}
+
+TEST(ReportBoardTest, ChannelsCreatedOnFirstUse) {
+  ReportBoard board;
+  EXPECT_EQ(board.Find("anything"), nullptr);
+  board.Channel("anything").Append("hello");
+  ASSERT_NE(board.Find("anything"), nullptr);
+  EXPECT_TRUE(board.Find("anything")->Contains("hello"));
+  // Same name returns the same channel.
+  board.Channel("anything").Append("again");
+  EXPECT_EQ(board.Find("anything")->size(), 2u);
+}
+
+TEST(ReportBoardTest, StandardWindowNames) {
+  // The Figure-3 window names are stable constants the system layer and
+  // tests rely on.
+  EXPECT_STREQ(ReportBoard::kPresentQueries, "Present Queries");
+  EXPECT_STREQ(ReportBoard::kCleaningOutput,
+               "Cleaning and Association Layer Output");
+  EXPECT_STREQ(ReportBoard::kDatabaseReport, "Database Report");
+  EXPECT_STREQ(ReportBoard::kStreamOutput, "Stream Processor Output");
+  EXPECT_STREQ(ReportBoard::kMessageResults, "Message Results");
+}
+
+TEST(ReportBoardTest, ChannelNamesSorted) {
+  ReportBoard board;
+  board.Channel("zeta");
+  board.Channel("alpha");
+  auto names = board.ChannelNames();
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(OutputRecordTest, GetIsCaseInsensitiveAndNullSafe) {
+  OutputRecord record;
+  record.names = {"TagId", "AreaId"};
+  record.values = {Value("T"), Value(3)};
+  EXPECT_EQ(record.Get("tagid").AsString(), "T");
+  EXPECT_EQ(record.Get("AREAID").AsInt(), 3);
+  EXPECT_TRUE(record.Get("missing").is_null());
+}
+
+TEST(OutputRecordTest, ToStringDefaultsStreamName) {
+  OutputRecord record;
+  record.timestamp = 9;
+  record.names = {"A"};
+  record.values = {Value(1)};
+  EXPECT_EQ(record.ToString(), "out@9{A=1}");
+  record.stream = "alerts";
+  EXPECT_EQ(record.ToString(), "alerts@9{A=1}");
+}
+
+TEST(MatchKeyTest, NegatedSlotsUseSentinel) {
+  Match match;
+  match.bindings.resize(3);  // all null (as for a pattern of negated slots)
+  auto key = match.Key();
+  ASSERT_EQ(key.size(), 3u);
+  for (auto part : key) {
+    EXPECT_EQ(part, static_cast<SequenceNumber>(-1));
+  }
+}
+
+}  // namespace
+}  // namespace sase

@@ -1,0 +1,94 @@
+#include "core/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+
+namespace sase {
+namespace {
+
+EventSchema MakeSchema() {
+  return EventSchema("SHELF_READING", {{"TagId", ValueType::kString},
+                                       {"AreaId", ValueType::kInt}});
+}
+
+TEST(SchemaTest, AttributeLookupIsCaseInsensitive) {
+  EventSchema schema = MakeSchema();
+  EXPECT_EQ(schema.FindAttribute("TagId"), 0);
+  EXPECT_EQ(schema.FindAttribute("tagid"), 0);
+  EXPECT_EQ(schema.FindAttribute("TAGID"), 0);
+  EXPECT_EQ(schema.FindAttribute("AreaId"), 1);
+  EXPECT_EQ(schema.FindAttribute("nosuch"), kInvalidAttr);
+}
+
+TEST(SchemaTest, VirtualTimestampAttribute) {
+  EventSchema schema = MakeSchema();
+  EXPECT_EQ(schema.FindAttribute("Timestamp"), kTimestampAttr);
+  EXPECT_EQ(schema.FindAttribute("ts"), kTimestampAttr);
+  EXPECT_EQ(schema.attribute_type(kTimestampAttr), ValueType::kInt);
+  EXPECT_EQ(schema.attribute_name(kTimestampAttr), "Timestamp");
+}
+
+TEST(SchemaTest, AttributeTypesAndNames) {
+  EventSchema schema = MakeSchema();
+  EXPECT_EQ(schema.attribute_type(0), ValueType::kString);
+  EXPECT_EQ(schema.attribute_type(1), ValueType::kInt);
+  EXPECT_EQ(schema.attribute_name(1), "AreaId");
+}
+
+TEST(SchemaTest, ToStringListsAttributes) {
+  EXPECT_EQ(MakeSchema().ToString(), "SHELF_READING(TagId STRING, AreaId INT)");
+}
+
+TEST(CatalogTest, RegisterAndFind) {
+  Catalog catalog;
+  auto id = catalog.RegisterType("FOO", {{"A", ValueType::kInt}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(catalog.FindType("FOO").value(), id.value());
+  EXPECT_EQ(catalog.FindType("foo").value(), id.value());  // case-insensitive
+  EXPECT_TRUE(catalog.HasType("Foo"));
+  EXPECT_FALSE(catalog.HasType("BAR"));
+  EXPECT_FALSE(catalog.FindType("BAR").ok());
+}
+
+TEST(CatalogTest, DuplicateTypeRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterType("FOO", {{"A", ValueType::kInt}}).ok());
+  auto dup = catalog.RegisterType("foo", {{"B", ValueType::kInt}});
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, DuplicateAttributeRejected) {
+  Catalog catalog;
+  auto result = catalog.RegisterType(
+      "FOO", {{"A", ValueType::kInt}, {"a", ValueType::kString}});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CatalogTest, TimestampAttributeNameRejected) {
+  Catalog catalog;
+  EXPECT_FALSE(catalog.RegisterType("FOO", {{"Timestamp", ValueType::kInt}}).ok());
+  EXPECT_FALSE(catalog.RegisterType("BAR", {{"ts", ValueType::kInt}}).ok());
+}
+
+TEST(CatalogTest, RetailDemoTypes) {
+  Catalog catalog = Catalog::RetailDemo();
+  for (const char* name : {"SHELF_READING", "COUNTER_READING", "EXIT_READING",
+                           "BACKROOM_READING", "LOAD_READING", "UNLOAD_READING"}) {
+    EXPECT_TRUE(catalog.HasType(name)) << name;
+  }
+  auto shelf = catalog.FindType("SHELF_READING");
+  ASSERT_TRUE(shelf.ok());
+  const EventSchema& schema = catalog.schema(shelf.value());
+  EXPECT_NE(schema.FindAttribute("TagId"), kInvalidAttr);
+  EXPECT_NE(schema.FindAttribute("AreaId"), kInvalidAttr);
+  EXPECT_NE(schema.FindAttribute("ProductName"), kInvalidAttr);
+  // Container events carry the extra attribute.
+  auto load = catalog.FindType("LOAD_READING");
+  EXPECT_NE(catalog.schema(load.value()).FindAttribute("ContainerId"),
+            kInvalidAttr);
+}
+
+}  // namespace
+}  // namespace sase

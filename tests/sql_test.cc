@@ -1,0 +1,155 @@
+#include "db/sql_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "db/sql_parser.h"
+
+namespace sase {
+namespace db {
+namespace {
+
+class SqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        executor_
+            .Execute("CREATE TABLE items (TagId STRING, AreaId INT, Price DOUBLE)")
+            .ok());
+    ASSERT_TRUE(
+        executor_
+            .Execute("INSERT INTO items VALUES ('T1', 1, 9.99)").ok());
+    ASSERT_TRUE(
+        executor_
+            .Execute("INSERT INTO items VALUES ('T2', 2, 5.0)").ok());
+    ASSERT_TRUE(
+        executor_
+            .Execute("INSERT INTO items (TagId, AreaId) VALUES ('T3', 1)").ok());
+  }
+
+  ResultSet MustExecute(const std::string& sql) {
+    auto result = executor_.Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  Database database_;
+  SqlExecutor executor_{&database_};
+};
+
+TEST_F(SqlTest, SelectStar) {
+  ResultSet result = MustExecute("SELECT * FROM items");
+  EXPECT_EQ(result.columns.size(), 3u);
+  EXPECT_EQ(result.rows.size(), 3u);
+}
+
+TEST_F(SqlTest, SelectProjection) {
+  ResultSet result = MustExecute("SELECT TagId FROM items WHERE AreaId = 1");
+  ASSERT_EQ(result.columns, (std::vector<std::string>{"TagId"}));
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0][0].AsString(), "T1");
+  EXPECT_EQ(result.rows[1][0].AsString(), "T3");
+}
+
+TEST_F(SqlTest, WhereOperators) {
+  EXPECT_EQ(MustExecute("SELECT * FROM items WHERE AreaId != 1").rows.size(), 1u);
+  EXPECT_EQ(MustExecute("SELECT * FROM items WHERE Price > 5.0").rows.size(), 1u);
+  EXPECT_EQ(MustExecute("SELECT * FROM items WHERE Price >= 5.0").rows.size(), 2u);
+  EXPECT_EQ(MustExecute("SELECT * FROM items WHERE AreaId < 2").rows.size(), 2u);
+  EXPECT_EQ(MustExecute("SELECT * FROM items WHERE AreaId <= 2").rows.size(), 3u);
+  EXPECT_EQ(
+      MustExecute("SELECT * FROM items WHERE AreaId = 1 AND Price > 1.0").rows.size(),
+      1u);
+}
+
+TEST_F(SqlTest, IsNullConditions) {
+  EXPECT_EQ(MustExecute("SELECT * FROM items WHERE Price IS NULL").rows.size(), 1u);
+  EXPECT_EQ(MustExecute("SELECT * FROM items WHERE Price IS NOT NULL").rows.size(),
+            2u);
+}
+
+TEST_F(SqlTest, OrderByAndLimit) {
+  ResultSet asc = MustExecute("SELECT TagId FROM items ORDER BY Price ASC");
+  // NULL price sorts via Compare failure -> stable order: T3 has NULL.
+  ResultSet desc =
+      MustExecute("SELECT TagId FROM items WHERE Price IS NOT NULL "
+                  "ORDER BY Price DESC LIMIT 1");
+  ASSERT_EQ(desc.rows.size(), 1u);
+  EXPECT_EQ(desc.rows[0][0].AsString(), "T1");
+  EXPECT_EQ(asc.rows.size(), 3u);
+}
+
+TEST_F(SqlTest, UpdateWithWhere) {
+  ResultSet result = MustExecute("UPDATE items SET AreaId = 9 WHERE TagId = 'T1'");
+  EXPECT_EQ(result.affected, 1);
+  EXPECT_EQ(MustExecute("SELECT * FROM items WHERE AreaId = 9").rows.size(), 1u);
+}
+
+TEST_F(SqlTest, UpdateWithoutWhereTouchesAll) {
+  ResultSet result = MustExecute("UPDATE items SET AreaId = 7");
+  EXPECT_EQ(result.affected, 3);
+}
+
+TEST_F(SqlTest, DeleteWithWhere) {
+  EXPECT_EQ(MustExecute("DELETE FROM items WHERE AreaId = 1").affected, 2);
+  EXPECT_EQ(MustExecute("SELECT * FROM items").rows.size(), 1u);
+}
+
+TEST_F(SqlTest, IndexedLookupUsed) {
+  ASSERT_TRUE(database_.GetTable("items")->CreateIndex("TagId").ok());
+  uint64_t before = executor_.index_lookups();
+  MustExecute("SELECT * FROM items WHERE TagId = 'T2'");
+  EXPECT_EQ(executor_.index_lookups(), before + 1);
+}
+
+TEST_F(SqlTest, NegativeNumberLiterals) {
+  MustExecute("INSERT INTO items VALUES ('T4', -5, -1.5)");
+  EXPECT_EQ(MustExecute("SELECT * FROM items WHERE AreaId = -5").rows.size(), 1u);
+}
+
+TEST_F(SqlTest, ErrorsSurfaceCleanly) {
+  EXPECT_FALSE(executor_.Execute("SELECT * FROM missing").ok());
+  EXPECT_FALSE(executor_.Execute("SELECT nosuch FROM items").ok());
+  EXPECT_FALSE(executor_.Execute("UPDATE items SET nosuch = 1").ok());
+  EXPECT_FALSE(executor_.Execute("BOGUS STATEMENT").ok());
+  EXPECT_FALSE(executor_.Execute("SELECT * FROM items WHERE").ok());
+  EXPECT_FALSE(executor_.Execute("INSERT INTO items VALUES ('x')").ok());
+  EXPECT_FALSE(
+      executor_.Execute("CREATE TABLE bad (col FANCYTYPE)").ok());
+  EXPECT_FALSE(executor_.Execute("SELECT * FROM items LIMIT").ok());
+}
+
+TEST_F(SqlTest, ResultSetRendering) {
+  ResultSet result = MustExecute("SELECT TagId, AreaId FROM items WHERE TagId = 'T1'");
+  std::string text = result.ToString();
+  EXPECT_NE(text.find("TagId | AreaId"), std::string::npos);
+  EXPECT_NE(text.find("T1 | 1"), std::string::npos);
+  EXPECT_NE(text.find("(1 rows)"), std::string::npos);
+
+  ResultSet update = MustExecute("UPDATE items SET AreaId = 2 WHERE TagId = 'T1'");
+  EXPECT_NE(update.ToString().find("1 rows affected"), std::string::npos);
+}
+
+TEST(SqlParserTest, ParsesSelectShape) {
+  auto statement = SqlParser::Parse(
+      "SELECT a, b FROM t WHERE x = 1 AND y != 'z' ORDER BY a DESC LIMIT 10");
+  ASSERT_TRUE(statement.ok()) << statement.status().ToString();
+  const auto& select = std::get<SelectStatement>(statement.value());
+  EXPECT_EQ(select.columns, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(select.table, "t");
+  ASSERT_EQ(select.where.size(), 2u);
+  EXPECT_EQ(select.where[0].op, SqlOp::kEq);
+  EXPECT_EQ(select.where[1].op, SqlOp::kNeq);
+  EXPECT_EQ(select.order_by, "a");
+  EXPECT_TRUE(select.descending);
+  EXPECT_EQ(select.limit, 10);
+}
+
+TEST(SqlParserTest, KeywordsCaseInsensitive) {
+  EXPECT_TRUE(SqlParser::Parse("select * from t where a = 1 order by a asc").ok());
+  EXPECT_TRUE(SqlParser::Parse("Insert Into t Values (1)").ok());
+  EXPECT_TRUE(SqlParser::Parse("delete from t").ok());
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace sase

@@ -1,0 +1,80 @@
+#include "core/stream.h"
+
+#include <gtest/gtest.h>
+
+namespace sase {
+namespace {
+
+class StreamTest : public ::testing::Test {
+ protected:
+  Catalog catalog_ = Catalog::RetailDemo();
+  EventTypeId shelf_ = catalog_.FindType("SHELF_READING").value();
+};
+
+TEST_F(StreamTest, SourceAssignsMonotoneSequenceNumbers) {
+  VectorSink sink;
+  StreamSource source(&sink);
+  source.Publish(shelf_, 1, {Value("A"), Value(0), Value()});
+  source.Publish(shelf_, 2, {Value("B"), Value(0), Value()});
+  source.Publish(shelf_, 2, {Value("C"), Value(0), Value()});
+  ASSERT_EQ(sink.events().size(), 3u);
+  EXPECT_EQ(sink.events()[0]->seq(), 0u);
+  EXPECT_EQ(sink.events()[1]->seq(), 1u);
+  EXPECT_EQ(sink.events()[2]->seq(), 2u);
+}
+
+TEST_F(StreamTest, SourceClampsRegressingTimestamps) {
+  VectorSink sink;
+  StreamSource source(&sink);
+  source.Publish(shelf_, 10, {Value("A"), Value(0), Value()});
+  source.Publish(shelf_, 5, {Value("B"), Value(0), Value()});  // regresses
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[1]->timestamp(), 10);
+  EXPECT_EQ(source.clamped_count(), 1);
+}
+
+TEST_F(StreamTest, SourceFlushPropagates) {
+  VectorSink sink;
+  StreamSource source(&sink);
+  EXPECT_FALSE(sink.flushed());
+  source.Flush();
+  EXPECT_TRUE(sink.flushed());
+}
+
+TEST_F(StreamTest, BusFansOutInSubscriptionOrder) {
+  StreamBus bus;
+  std::vector<int> order;
+  CallbackSink first([&](const EventPtr&) { order.push_back(1); });
+  CallbackSink second([&](const EventPtr&) { order.push_back(2); });
+  bus.Subscribe(&first);
+  bus.Subscribe(&second);
+  StreamSource source(&bus);
+  source.Publish(shelf_, 1, {Value("A"), Value(0), Value()});
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(bus.subscriber_count(), 2u);
+}
+
+TEST_F(StreamTest, PublishPrebuiltEventReassignsSeq) {
+  VectorSink sink;
+  StreamSource source(&sink);
+  auto event = std::make_shared<Event>(
+      shelf_, 7, /*seq=*/999, std::vector<Value>{Value("A"), Value(1), Value()});
+  source.Publish(event);
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events()[0]->seq(), 0u);
+  EXPECT_EQ(sink.events()[0]->timestamp(), 7);
+  EXPECT_EQ(sink.events()[0]->attribute(0).AsString(), "A");
+}
+
+TEST_F(StreamTest, VectorSinkClear) {
+  VectorSink sink;
+  StreamSource source(&sink);
+  source.Publish(shelf_, 1, {Value("A"), Value(0), Value()});
+  source.Flush();
+  sink.Clear();
+  EXPECT_TRUE(sink.events().empty());
+  EXPECT_FALSE(sink.flushed());
+}
+
+}  // namespace
+}  // namespace sase

@@ -1,0 +1,150 @@
+#include "db/table.h"
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace sase {
+namespace db {
+namespace {
+
+Table MakeItems() {
+  return Table("items", {{"TagId", ValueType::kString},
+                         {"AreaId", ValueType::kInt},
+                         {"Price", ValueType::kDouble}});
+}
+
+TEST(TableTest, InsertAndGet) {
+  Table table = MakeItems();
+  auto id = table.Insert({Value("T1"), Value(3), Value(9.99)});
+  ASSERT_TRUE(id.ok());
+  const Row* row = table.Get(id.value());
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[0].AsString(), "T1");
+  EXPECT_EQ((*row)[1].AsInt(), 3);
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_EQ(table.Get(999), nullptr);
+}
+
+TEST(TableTest, InsertValidatesArityAndTypes) {
+  Table table = MakeItems();
+  EXPECT_FALSE(table.Insert({Value("T1")}).ok());                      // arity
+  EXPECT_FALSE(table.Insert({Value(1), Value(3), Value(9.9)}).ok());   // type
+  EXPECT_TRUE(table.Insert({Value("T"), Value(3), Value(2)}).ok());    // int->double ok
+  EXPECT_TRUE(table.Insert({Value(), Value(), Value()}).ok());         // NULLs ok
+}
+
+TEST(TableTest, FindColumnCaseInsensitive) {
+  Table table = MakeItems();
+  EXPECT_EQ(table.FindColumn("tagid"), 0);
+  EXPECT_EQ(table.FindColumn("PRICE"), 2);
+  EXPECT_EQ(table.FindColumn("none"), -1);
+}
+
+TEST(TableTest, UpdateChangesValueAndValidates) {
+  Table table = MakeItems();
+  RowId id = table.Insert({Value("T"), Value(1), Value(1.0)}).value();
+  ASSERT_TRUE(table.Update(id, 1, Value(9)).ok());
+  EXPECT_EQ((*table.Get(id))[1].AsInt(), 9);
+  EXPECT_FALSE(table.Update(id, 0, Value(5)).ok());    // type mismatch
+  EXPECT_FALSE(table.Update(999, 0, Value("X")).ok()); // missing row
+}
+
+TEST(TableTest, EraseRemovesRow) {
+  Table table = MakeItems();
+  RowId id = table.Insert({Value("T"), Value(1), Value(1.0)}).value();
+  EXPECT_TRUE(table.Erase(id));
+  EXPECT_EQ(table.Get(id), nullptr);
+  EXPECT_FALSE(table.Erase(id));
+  EXPECT_EQ(table.row_count(), 0u);
+}
+
+TEST(TableTest, ScanVisitsInRowIdOrderAndStops) {
+  Table table = MakeItems();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(table.Insert({Value("T" + std::to_string(i)), Value(i), Value(0.0)}).ok());
+  }
+  std::vector<int64_t> areas;
+  table.Scan([&](RowId, const Row& row) {
+    areas.push_back(row[1].AsInt());
+    return areas.size() < 3;  // stop early
+  });
+  EXPECT_EQ(areas, (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(TableTest, IndexLookup) {
+  Table table = MakeItems();
+  RowId a = table.Insert({Value("T1"), Value(1), Value(0.0)}).value();
+  RowId b = table.Insert({Value("T2"), Value(2), Value(0.0)}).value();
+  RowId c = table.Insert({Value("T1"), Value(3), Value(0.0)}).value();
+  ASSERT_TRUE(table.CreateIndex("TagId").ok());
+  auto hits = table.Lookup(0, Value("T1"));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value(), (std::vector<RowId>{a, c}));
+  EXPECT_TRUE(table.Lookup(0, Value("T9")).value().empty());
+  EXPECT_FALSE(table.Lookup(1, Value(2)).ok());  // no index on AreaId
+  (void)b;
+}
+
+TEST(TableTest, IndexBuiltOverExistingRowsAndMaintained) {
+  Table table = MakeItems();
+  RowId a = table.Insert({Value("T1"), Value(1), Value(0.0)}).value();
+  ASSERT_TRUE(table.CreateIndex("TagId").ok());  // built after insert
+  EXPECT_EQ(table.Lookup(0, Value("T1")).value().size(), 1u);
+
+  // Update moves the row between index buckets.
+  ASSERT_TRUE(table.Update(a, 0, Value("T2")).ok());
+  EXPECT_TRUE(table.Lookup(0, Value("T1")).value().empty());
+  EXPECT_EQ(table.Lookup(0, Value("T2")).value().size(), 1u);
+
+  // Erase removes from the index.
+  table.Erase(a);
+  EXPECT_TRUE(table.Lookup(0, Value("T2")).value().empty());
+}
+
+TEST(TableTest, CreateIndexIdempotentAndValidates) {
+  Table table = MakeItems();
+  EXPECT_TRUE(table.CreateIndex("TagId").ok());
+  EXPECT_TRUE(table.CreateIndex("TagId").ok());
+  EXPECT_FALSE(table.CreateIndex("nope").ok());
+}
+
+TEST(DatabaseTest, CreateAndGetTables) {
+  Database database;
+  auto table = database.CreateTable("t1", {{"A", ValueType::kInt}});
+  ASSERT_TRUE(table.ok());
+  EXPECT_NE(database.GetTable("t1"), nullptr);
+  EXPECT_NE(database.GetTable("T1"), nullptr);  // case-insensitive
+  EXPECT_EQ(database.GetTable("t2"), nullptr);
+  EXPECT_EQ(database.table_count(), 1u);
+}
+
+TEST(DatabaseTest, DuplicateAndInvalidTables) {
+  Database database;
+  ASSERT_TRUE(database.CreateTable("t", {{"A", ValueType::kInt}}).ok());
+  EXPECT_FALSE(database.CreateTable("T", {{"B", ValueType::kInt}}).ok());
+  EXPECT_FALSE(database.CreateTable("empty", {}).ok());
+  EXPECT_FALSE(
+      database.CreateTable("dup", {{"A", ValueType::kInt}, {"a", ValueType::kInt}})
+          .ok());
+}
+
+TEST(DatabaseTest, DropTable) {
+  Database database;
+  ASSERT_TRUE(database.CreateTable("t", {{"A", ValueType::kInt}}).ok());
+  EXPECT_TRUE(database.DropTable("T").ok());
+  EXPECT_EQ(database.GetTable("t"), nullptr);
+  EXPECT_FALSE(database.DropTable("t").ok());
+}
+
+TEST(DatabaseTest, TableNames) {
+  Database database;
+  ASSERT_TRUE(database.CreateTable("bbb", {{"A", ValueType::kInt}}).ok());
+  ASSERT_TRUE(database.CreateTable("aaa", {{"A", ValueType::kInt}}).ok());
+  auto names = database.TableNames();
+  EXPECT_EQ(names, (std::vector<std::string>{"aaa", "bbb"}));  // sorted by key
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace sase

@@ -1,0 +1,122 @@
+#ifndef SASE_TESTS_TEST_UTIL_H_
+#define SASE_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+#include "core/event.h"
+#include "engine/query_engine.h"
+#include "engine/reference_matcher.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+
+namespace sase {
+namespace testing {
+
+/// Builds hand-crafted event streams over the retail demo catalog.
+class StreamBuilder {
+ public:
+  explicit StreamBuilder(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Appends one event; timestamps may repeat but must not decrease.
+  StreamBuilder& Add(const std::string& type, Timestamp ts,
+                     const std::string& tag, int64_t area = 0,
+                     const std::string& product = "P") {
+    EventBuilder builder(*catalog_, type);
+    builder.Set("TagId", tag).Set("AreaId", area).Set("ProductName", product);
+    auto event = builder.Build(ts, seq_++);
+    EXPECT_TRUE(event.ok()) << event.status().ToString();
+    events_.push_back(std::move(event).value());
+    return *this;
+  }
+
+  const std::vector<EventPtr>& events() const { return events_; }
+
+ private:
+  const Catalog* catalog_;
+  SequenceNumber seq_ = 0;
+  std::vector<EventPtr> events_;
+};
+
+/// Parses + analyzes or fails the test.
+inline AnalyzedQuery MustAnalyze(const Catalog& catalog, const std::string& text,
+                                 TimeConfig time_config = {}) {
+  auto parsed = Parser::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Analyzer analyzer(&catalog, time_config);
+  auto analyzed = analyzer.Analyze(std::move(parsed).value());
+  EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  return std::move(analyzed).value();
+}
+
+/// Runs `text` (which must have no RETURN clause) over `events` through a
+/// QueryEngine and returns the default-projection records, rendered and
+/// sorted. The multiset of rendered records identifies the match set.
+inline std::vector<std::string> RunEngine(const Catalog& catalog,
+                                          const std::string& text,
+                                          const std::vector<EventPtr>& events,
+                                          PlanOptions options = {},
+                                          TimeConfig time_config = {}) {
+  QueryEngine engine(&catalog, time_config);
+  std::vector<std::string> out;
+  auto id = engine.Register(
+      text,
+      [&out](const OutputRecord& record) { out.push_back(record.ToString()); },
+      options);
+  EXPECT_TRUE(id.ok()) << id.status().ToString();
+  for (const auto& event : events) engine.OnEvent(event);
+  engine.OnFlush();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Renders a reference match exactly as Transformation's default projection
+/// renders it, so engine and oracle outputs are string-comparable.
+inline std::string RenderDefaultRecord(const Match& match,
+                                       const AnalyzedQuery& query,
+                                       const Catalog& catalog) {
+  OutputRecord record;
+  record.stream =
+      query.parsed.output_name.empty() ? "out" : query.parsed.output_name;
+  record.timestamp = match.last_ts;
+  for (int slot : query.positive_slots) {
+    const VarInfo& var = query.vars[static_cast<size_t>(slot)];
+    const EventSchema& schema = catalog.schema(var.type_id);
+    const EventPtr& event = match.bindings[static_cast<size_t>(slot)];
+    for (size_t i = 0; i < schema.attribute_count(); ++i) {
+      record.names.push_back(var.name + "_" + schema.attributes()[i].name);
+      record.values.push_back(event->attribute(static_cast<AttrIndex>(i)));
+    }
+    record.names.push_back(var.name + "_Timestamp");
+    record.values.push_back(Value(event->timestamp()));
+  }
+  return record.ToString();
+}
+
+/// Runs the brute-force oracle and renders its matches like RunEngine.
+inline std::vector<std::string> RunReference(const Catalog& catalog,
+                                             const std::string& text,
+                                             const std::vector<EventPtr>& events,
+                                             TimeConfig time_config = {}) {
+  AnalyzedQuery analyzed = MustAnalyze(catalog, text, time_config);
+  FunctionRegistry functions;
+  functions.RegisterCommon();
+  ReferenceMatcher reference(&analyzed, &functions);
+  auto matches = reference.FindMatches(events);
+  EXPECT_TRUE(matches.ok()) << matches.status().ToString();
+  std::vector<std::string> out;
+  for (const Match& match : matches.value()) {
+    out.push_back(RenderDefaultRecord(match, analyzed, catalog));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace testing
+}  // namespace sase
+
+#endif  // SASE_TESTS_TEST_UTIL_H_

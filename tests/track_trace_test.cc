@@ -1,0 +1,136 @@
+#include "db/track_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "db/archiver.h"
+#include "rfid/workload.h"
+
+namespace sase {
+namespace db {
+namespace {
+
+class TrackTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // T1: loading zone 100 -> backroom 101 -> shelf 0, boxes BOX1 -> BOX2.
+    ASSERT_TRUE(archiver_.UpdateLocation("T1", 100, 10).ok());
+    ASSERT_TRUE(archiver_.UpdateContainment("T1", "BOX1", 10).ok());
+    ASSERT_TRUE(archiver_.UpdateLocation("T1", 101, 20).ok());
+    ASSERT_TRUE(archiver_.UpdateContainment("T1", "BOX2", 25).ok());
+    ASSERT_TRUE(archiver_.UpdateLocation("T1", 0, 30).ok());
+    // T2 stays in the backroom.
+    ASSERT_TRUE(archiver_.UpdateLocation("T2", 101, 15).ok());
+  }
+
+  Database database_;
+  Archiver archiver_{&database_};
+};
+
+TEST_F(TrackTraceTest, CurrentLocation) {
+  TrackTrace trace(&database_);
+  auto current = trace.CurrentLocation("T1");
+  ASSERT_TRUE(current.has_value());
+  EXPECT_EQ(current->where.AsInt(), 0);
+  EXPECT_EQ(current->time_in, 30);
+  EXPECT_TRUE(current->current());
+  EXPECT_FALSE(trace.CurrentLocation("UNKNOWN").has_value());
+}
+
+TEST_F(TrackTraceTest, LocationHistoryOrdered) {
+  TrackTrace trace(&database_);
+  auto history = trace.LocationHistory("T1");
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[0].where.AsInt(), 100);
+  EXPECT_EQ(history[1].where.AsInt(), 101);
+  EXPECT_EQ(history[2].where.AsInt(), 0);
+  EXPECT_EQ(history[0].time_out, 20);
+  EXPECT_EQ(history[1].time_out, 30);
+  EXPECT_TRUE(history[2].current());
+}
+
+TEST_F(TrackTraceTest, MovementHistoryMergesLocationAndContainment) {
+  TrackTrace trace(&database_);
+  auto movement = trace.MovementHistory("T1");
+  ASSERT_EQ(movement.size(), 5u);  // 3 locations + 2 containments
+  // Time-ordered merge.
+  Timestamp last = 0;
+  int location_entries = 0, containment_entries = 0;
+  for (const auto& entry : movement) {
+    EXPECT_GE(entry.stay.time_in, last);
+    last = entry.stay.time_in;
+    if (entry.kind == MovementEntry::Kind::kLocation) ++location_entries;
+    if (entry.kind == MovementEntry::Kind::kContainment) ++containment_entries;
+  }
+  EXPECT_EQ(location_entries, 3);
+  EXPECT_EQ(containment_entries, 2);
+  EXPECT_NE(movement[0].ToString().find("[10, 20)"), std::string::npos);
+}
+
+TEST_F(TrackTraceTest, CurrentContainment) {
+  TrackTrace trace(&database_);
+  auto box = trace.CurrentContainment("T1");
+  ASSERT_TRUE(box.has_value());
+  EXPECT_EQ(box->where.AsString(), "BOX2");
+  EXPECT_FALSE(trace.CurrentContainment("T2").has_value());
+}
+
+TEST_F(TrackTraceTest, TagsInArea) {
+  TrackTrace trace(&database_);
+  auto backroom = trace.TagsInArea(101);
+  EXPECT_EQ(backroom, (std::vector<std::string>{"T2"}));
+  auto shelf = trace.TagsInArea(0);
+  EXPECT_EQ(shelf, (std::vector<std::string>{"T1"}));
+  EXPECT_TRUE(trace.TagsInArea(55).empty());
+}
+
+TEST_F(TrackTraceTest, EmptyDatabaseSafe) {
+  Database empty;
+  TrackTrace trace(&empty);  // tables absent entirely
+  EXPECT_FALSE(trace.CurrentLocation("T").has_value());
+  EXPECT_TRUE(trace.MovementHistory("T").empty());
+  EXPECT_TRUE(trace.TagsInArea(1).empty());
+}
+
+TEST_F(TrackTraceTest, WarehouseWorkloadRoundTrip) {
+  // §4: "track-and-trace queries over the Event Database pre-populated with
+  // data simulating typical warehouse and retail store workloads."
+  Catalog catalog = Catalog::RetailDemo();
+  WarehouseConfig config;
+  config.item_count = 30;
+  WarehouseHistoryGenerator generator(&catalog, config);
+  auto events = generator.Generate();
+
+  // Feed every event through the archival rules.
+  for (const auto& event : events) {
+    const EventSchema& schema = catalog.schema(event->type());
+    std::string tag = event->attribute(schema.FindAttribute("TagId")).AsString();
+    int64_t area = event->attribute(schema.FindAttribute("AreaId")).AsInt();
+    ASSERT_TRUE(archiver_.UpdateLocation(tag, area, event->timestamp()).ok());
+    AttrIndex cont = schema.FindAttribute("ContainerId");
+    if (cont != kInvalidAttr && !event->attribute(cont).is_null()) {
+      ASSERT_TRUE(archiver_
+                      .UpdateContainment(tag, event->attribute(cont).AsString(),
+                                         event->timestamp())
+                      .ok());
+    }
+  }
+
+  TrackTrace trace(&database_);
+  // Every item ends somewhere, with a consistent, gap-free history.
+  for (int i = 0; i < 30; ++i) {
+    std::string tag = MakeEpc(i);
+    auto history = trace.LocationHistory(tag);
+    ASSERT_GE(history.size(), 3u) << tag;
+    for (size_t j = 0; j + 1 < history.size(); ++j) {
+      EXPECT_EQ(history[j].time_out, history[j + 1].time_in) << tag;
+      EXPECT_FALSE(history[j].current());
+    }
+    EXPECT_TRUE(history.back().current());
+    EXPECT_TRUE(trace.CurrentLocation(tag).has_value());
+    EXPECT_TRUE(trace.CurrentContainment(tag).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace sase

@@ -1,0 +1,92 @@
+#include "core/value.h"
+
+#include <gtest/gtest.h>
+
+namespace sase {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value(int64_t{42}).type(), ValueType::kInt);
+  EXPECT_EQ(Value(7).type(), ValueType::kInt);
+  EXPECT_EQ(Value(3.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value("abc").type(), ValueType::kString);
+  EXPECT_EQ(Value(std::string("abc")).type(), ValueType::kString);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(3.5).AsDouble(), 3.5);
+  EXPECT_TRUE(Value(true).AsBool());
+  EXPECT_EQ(Value("xyz").AsString(), "xyz");
+}
+
+TEST(ValueTest, NumericCoercion) {
+  EXPECT_DOUBLE_EQ(Value(5).ToNumeric().value(), 5.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).ToNumeric().value(), 2.5);
+  EXPECT_FALSE(Value("no").ToNumeric().ok());
+  EXPECT_FALSE(Value().ToNumeric().ok());
+}
+
+TEST(ValueTest, EqualsAcrossNumericTypes) {
+  EXPECT_TRUE(Value(1).Equals(Value(1.0)));
+  EXPECT_TRUE(Value(1.0).Equals(Value(1)));
+  EXPECT_FALSE(Value(1).Equals(Value(2.0)));
+  EXPECT_FALSE(Value(1).Equals(Value("1")));
+  EXPECT_TRUE(Value().Equals(Value()));
+  EXPECT_FALSE(Value().Equals(Value(0)));
+}
+
+TEST(ValueTest, HashConsistentWithEquals) {
+  EXPECT_EQ(Value(1).Hash(), Value(1.0).Hash());
+  EXPECT_EQ(Value("tag").Hash(), Value(std::string("tag")).Hash());
+}
+
+TEST(ValueTest, CompareNumeric) {
+  EXPECT_LT(Value(1).Compare(Value(2)).value(), 0);
+  EXPECT_GT(Value(2.5).Compare(Value(2)).value(), 0);
+  EXPECT_EQ(Value(2).Compare(Value(2.0)).value(), 0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value("a").Compare(Value("b")).value(), 0);
+  EXPECT_EQ(Value("a").Compare(Value("a")).value(), 0);
+  EXPECT_GT(Value("b").Compare(Value("a")).value(), 0);
+}
+
+TEST(ValueTest, CompareBools) {
+  EXPECT_LT(Value(false).Compare(Value(true)).value(), 0);
+  EXPECT_EQ(Value(true).Compare(Value(true)).value(), 0);
+}
+
+TEST(ValueTest, CompareIncompatibleTypesFails) {
+  EXPECT_FALSE(Value("a").Compare(Value(1)).ok());
+  EXPECT_FALSE(Value(true).Compare(Value(1)).ok());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+  EXPECT_EQ(Value(true).ToString(), "TRUE");
+  EXPECT_EQ(Value(false).ToString(), "FALSE");
+}
+
+TEST(ValueTest, HashUsableInUnorderedContainers) {
+  std::unordered_map<Value, int, ValueHash> map;
+  map[Value("TAG1")] = 1;
+  map[Value(7)] = 2;
+  EXPECT_EQ(map.at(Value("TAG1")), 1);
+  EXPECT_EQ(map.at(Value(7)), 2);
+  // Numeric coercion: int64 7 and double 7.0 are the same key.
+  EXPECT_EQ(map.count(Value(7.0)), 1u);
+}
+
+}  // namespace
+}  // namespace sase

@@ -1,0 +1,188 @@
+#include "rfid/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "rfid/tag.h"
+
+namespace sase {
+namespace {
+
+TEST(SyntheticStreamTest, GeneratesRequestedCountInOrder) {
+  Catalog catalog = Catalog::RetailDemo();
+  SyntheticConfig config;
+  config.event_count = 500;
+  config.tag_count = 10;
+  SyntheticStreamGenerator generator(&catalog, config);
+  auto events = generator.Generate();
+  ASSERT_EQ(events.size(), 500u);
+  Timestamp last = 0;
+  for (const auto& event : events) {
+    EXPECT_GE(event->timestamp(), last);
+    last = event->timestamp();
+  }
+}
+
+TEST(SyntheticStreamTest, DeterministicUnderSeed) {
+  Catalog catalog = Catalog::RetailDemo();
+  SyntheticConfig config;
+  config.event_count = 100;
+  config.seed = 5;
+  auto a = SyntheticStreamGenerator(&catalog, config).Generate();
+  auto b = SyntheticStreamGenerator(&catalog, config).Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i]->type(), b[i]->type());
+    EXPECT_EQ(a[i]->timestamp(), b[i]->timestamp());
+    EXPECT_EQ(a[i]->attribute(0).AsString(), b[i]->attribute(0).AsString());
+  }
+}
+
+TEST(SyntheticStreamTest, RespectsTypeWeights) {
+  Catalog catalog = Catalog::RetailDemo();
+  SyntheticConfig config;
+  config.event_count = 2000;
+  config.type_weights = {{"SHELF_READING", 1.0}};
+  SyntheticStreamGenerator generator(&catalog, config);
+  auto events = generator.Generate();
+  EventTypeId shelf = catalog.FindType("SHELF_READING").value();
+  for (const auto& event : events) {
+    ASSERT_EQ(event->type(), shelf);
+  }
+}
+
+TEST(SyntheticStreamTest, TagCardinalityBounded) {
+  Catalog catalog = Catalog::RetailDemo();
+  SyntheticConfig config;
+  config.event_count = 1000;
+  config.tag_count = 3;
+  SyntheticStreamGenerator generator(&catalog, config);
+  std::set<std::string> tags;
+  for (const auto& event : generator.Generate()) {
+    tags.insert(event->attribute(0).AsString());
+  }
+  EXPECT_LE(tags.size(), 3u);
+}
+
+TEST(SyntheticStreamTest, GenerateIntoSinkStreams) {
+  Catalog catalog = Catalog::RetailDemo();
+  SyntheticConfig config;
+  config.event_count = 50;
+  SyntheticStreamGenerator generator(&catalog, config);
+  VectorSink sink;
+  EXPECT_EQ(generator.GenerateInto(&sink), 50);
+  EXPECT_EQ(sink.events().size(), 50u);
+}
+
+TEST(ScenarioScripterTest, ShopliftSchedulesShelfThenExit) {
+  StoreLayout layout = StoreLayout::RetailDemo();
+  RetailSimulator sim(layout, NoiseModel::Perfect(), 1, 1);
+  ScenarioScripter scripter(&sim);
+  sim.AddItem(TagInfo{MakeEpc(1), "Razor", "", true});
+  int shelf = layout.AreasByKind(AreaKind::kShelf)[0];
+  int exit = layout.FindAreaByKind(AreaKind::kExit);
+  int64_t done = scripter.Shoplift(MakeEpc(1), shelf, exit, /*start=*/1);
+  EXPECT_GT(done, 1);
+
+  class Collector : public ReadingSink {
+   public:
+    void OnReading(const RawReading& r) override { readings.push_back(r); }
+    std::vector<RawReading> readings;
+  } collector;
+  sim.set_sink(&collector);
+  sim.RunUntil(done + 1);
+
+  bool saw_shelf = false, saw_exit = false, saw_counter = false;
+  for (const auto& reading : collector.readings) {
+    if (reading.reader_id == shelf) saw_shelf = true;
+    if (reading.reader_id == 3) saw_exit = true;
+    if (reading.reader_id == 2) saw_counter = true;
+  }
+  EXPECT_TRUE(saw_shelf);
+  EXPECT_TRUE(saw_exit);
+  EXPECT_FALSE(saw_counter);  // shoplifters skip the counter
+}
+
+TEST(ScenarioScripterTest, PurchasePassesTheCounter) {
+  StoreLayout layout = StoreLayout::RetailDemo();
+  RetailSimulator sim(layout, NoiseModel::Perfect(), 1, 1);
+  ScenarioScripter scripter(&sim);
+  sim.AddItem(TagInfo{MakeEpc(1), "Soap", "", true});
+  int shelf = layout.AreasByKind(AreaKind::kShelf)[0];
+  int counter = layout.FindAreaByKind(AreaKind::kCounter);
+  int exit = layout.FindAreaByKind(AreaKind::kExit);
+  int64_t done = scripter.Purchase(MakeEpc(1), shelf, counter, exit, 1);
+
+  class Collector : public ReadingSink {
+   public:
+    void OnReading(const RawReading& r) override { readings.push_back(r); }
+    std::vector<RawReading> readings;
+  } collector;
+  sim.set_sink(&collector);
+  sim.RunUntil(done + 1);
+  bool saw_counter = false;
+  for (const auto& reading : collector.readings) {
+    if (reading.reader_id == 2) saw_counter = true;
+  }
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST(WarehouseHistoryTest, LifeCycleStagesPresent) {
+  Catalog catalog = Catalog::RetailDemo();
+  WarehouseConfig config;
+  config.item_count = 50;
+  WarehouseHistoryGenerator generator(&catalog, config);
+  auto events = generator.Generate();
+  ASSERT_GE(events.size(), 200u);  // >= 4 stages per item
+
+  // Stream order.
+  Timestamp last = 0;
+  for (const auto& event : events) {
+    EXPECT_GE(event->timestamp(), last);
+    last = event->timestamp();
+  }
+
+  // Every item passes LOAD -> UNLOAD -> BACKROOM -> SHELF.
+  EventTypeId load = catalog.FindType("LOAD_READING").value();
+  EventTypeId unload = catalog.FindType("UNLOAD_READING").value();
+  EventTypeId backroom = catalog.FindType("BACKROOM_READING").value();
+  EventTypeId shelf = catalog.FindType("SHELF_READING").value();
+  std::map<std::string, std::set<EventTypeId>> stages;
+  for (const auto& event : events) {
+    stages[event->attribute(0).AsString()].insert(event->type());
+  }
+  EXPECT_EQ(stages.size(), 50u);
+  for (const auto& [tag, seen] : stages) {
+    EXPECT_TRUE(seen.count(load)) << tag;
+    EXPECT_TRUE(seen.count(unload)) << tag;
+    EXPECT_TRUE(seen.count(backroom)) << tag;
+    EXPECT_TRUE(seen.count(shelf)) << tag;
+  }
+
+  // Container attribute present on LOAD events.
+  for (const auto& event : events) {
+    if (event->type() == load) {
+      const EventSchema& schema = catalog.schema(load);
+      AttrIndex cont = schema.FindAttribute("ContainerId");
+      EXPECT_FALSE(event->attribute(cont).is_null());
+    }
+  }
+}
+
+TEST(WarehouseHistoryTest, DeterministicUnderSeed) {
+  Catalog catalog = Catalog::RetailDemo();
+  WarehouseConfig config;
+  config.item_count = 20;
+  auto a = WarehouseHistoryGenerator(&catalog, config).Generate();
+  auto b = WarehouseHistoryGenerator(&catalog, config).Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i]->timestamp(), b[i]->timestamp());
+    EXPECT_EQ(a[i]->type(), b[i]->type());
+  }
+}
+
+}  // namespace
+}  // namespace sase
