@@ -37,7 +37,10 @@ void BM_MultiQuery(benchmark::State& state) {
     for (int64_t i = 0; i < queries; ++i) {
       auto id = engine.Register(QueryVariant(i),
                                 [&count](const OutputRecord&) { ++count; });
-      if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+      if (!id.ok()) {
+        state.SkipWithError(id.status().ToString().c_str());
+        return;
+      }
     }
     for (const auto& event : stream) engine.OnEvent(event);
     engine.OnFlush();
@@ -72,7 +75,10 @@ void BM_MultiQuery_Mixed(benchmark::State& state) {
               : "EVENT SHELF_READING s WHERE s.AreaId = " +
                     std::to_string(i % 4) + " RETURN s.TagId, COUNT(*)";
       auto id = engine.Register(text, [&count](const OutputRecord&) { ++count; });
-      if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+      if (!id.ok()) {
+        state.SkipWithError(id.status().ToString().c_str());
+        return;
+      }
     }
     for (const auto& event : stream) engine.OnEvent(event);
     engine.OnFlush();

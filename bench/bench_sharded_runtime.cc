@@ -1,0 +1,135 @@
+// Sharded execution runtime scaling (src/runtime/).
+//
+// The multi-query experiment E9 shows serial throughput degrading ~1/Q as
+// queries are added: every event visits every plan on one core. The sharded
+// runtime routes events by TagId across N workers, each owning a private
+// QueryEngine with the full query set, so the per-event work spreads over N
+// cores while the OutputMerger keeps results byte-identical to serial
+// execution. Sweep the shard count on the 64-query workload and compare
+// against the serial baseline; on an M-core machine, expect throughput to
+// approach min(N, M)x serial (minus routing + merge overhead, measured by
+// the 1-shard point).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "runtime/sharded_runtime.h"
+
+namespace sase {
+namespace bench {
+namespace {
+
+constexpr int64_t kQueries = 64;
+constexpr int64_t kEventCount = 10000;
+
+/// The same query family as bench_multi_query: TagId-equivalent shoplifting
+/// variants, all shardable.
+std::string QueryVariant(int64_t i) {
+  return "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+         "WHERE x.TagId = y.TagId AND x.TagId = z.TagId AND z.AreaId >= " +
+         std::to_string(i % 4) + " WITHIN " + std::to_string(200 + 10 * i);
+}
+
+const std::vector<EventPtr>& Stream() {
+  SyntheticConfig config;
+  config.seed = 53;
+  config.event_count = kEventCount;
+  config.tag_count = 100;
+  return CachedStream(config, "sharded");
+}
+
+/// Serial baseline: one QueryEngine on the dispatcher thread.
+void BM_Serial64Queries(benchmark::State& state) {
+  const auto& stream = Stream();
+  uint64_t outputs = 0;
+  for (auto _ : state) {
+    QueryEngine engine(&BenchCatalog());
+    uint64_t count = 0;
+    for (int64_t i = 0; i < kQueries; ++i) {
+      auto id = engine.Register(QueryVariant(i),
+                                [&count](const OutputRecord&) { ++count; });
+      if (!id.ok()) {
+        state.SkipWithError(id.status().ToString().c_str());
+        return;
+      }
+    }
+    for (const auto& event : stream) engine.OnEvent(event);
+    engine.OnFlush();
+    outputs = count;
+  }
+  state.SetItemsProcessed(state.iterations() * kEventCount);
+  state.counters["total_alerts"] = static_cast<double>(outputs);
+}
+
+BENCHMARK(BM_Serial64Queries)->Unit(benchmark::kMillisecond);
+
+/// Sharded runtime at state.range(0) shards, same workload. Registration and
+/// thread startup happen inside the timed loop, mirroring the serial
+/// baseline's per-iteration engine construction.
+void BM_Sharded64Queries(benchmark::State& state) {
+  const auto& stream = Stream();
+  uint64_t outputs = 0;
+  for (auto _ : state) {
+    RuntimeConfig config;
+    config.shard_count = static_cast<int>(state.range(0));
+    ShardedRuntime runtime(&BenchCatalog(), config);
+    uint64_t count = 0;
+    for (int64_t i = 0; i < kQueries; ++i) {
+      auto id = runtime.Register(QueryVariant(i),
+                                 [&count](const OutputRecord&) { ++count; });
+      if (!id.ok()) {
+        state.SkipWithError(id.status().ToString().c_str());
+        return;
+      }
+      if (!runtime.IsSharded(id.value())) {
+        state.SkipWithError("workload query unexpectedly not shardable");
+        return;
+      }
+    }
+    for (const auto& event : stream) runtime.OnEvent(event);
+    runtime.OnFlush();
+    outputs = count;
+  }
+  state.SetItemsProcessed(state.iterations() * kEventCount);
+  state.counters["shards"] = static_cast<double>(state.range(0));
+  state.counters["total_alerts"] = static_cast<double>(outputs);
+}
+
+BENCHMARK(BM_Sharded64Queries)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Dispatch-path overhead in isolation: shards with zero registered queries
+/// measure routing + dispatch-log cost per event.
+void BM_DispatchOverhead(benchmark::State& state) {
+  const auto& stream = Stream();
+  for (auto _ : state) {
+    RuntimeConfig config;
+    config.shard_count = static_cast<int>(state.range(0));
+    ShardedRuntime runtime(&BenchCatalog(), config);
+    uint64_t count = 0;
+    auto id = runtime.Register("EVENT SHELF_READING s WHERE s.AreaId > 99 "
+                               "RETURN s.TagId",
+                               [&count](const OutputRecord&) { ++count; });
+    if (!id.ok()) {
+      state.SkipWithError(id.status().ToString().c_str());
+      return;
+    }
+    for (const auto& event : stream) runtime.OnEvent(event);
+    runtime.OnFlush();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * kEventCount);
+}
+
+BENCHMARK(BM_DispatchOverhead)
+    ->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace bench
+}  // namespace sase
+
+BENCHMARK_MAIN();

@@ -42,7 +42,9 @@ class TemporalSmoothing : public ReadingSink {
   struct Key {
     std::string tag_id;
     int reader_id;
-    bool operator==(const Key& other) const = default;
+    bool operator==(const Key& other) const {
+      return tag_id == other.tag_id && reader_id == other.reader_id;
+    }
   };
   struct KeyHash {
     size_t operator()(const Key& key) const {

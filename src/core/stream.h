@@ -1,6 +1,7 @@
 #ifndef SASE_CORE_STREAM_H_
 #define SASE_CORE_STREAM_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
@@ -61,7 +62,20 @@ class VectorSink : public EventSink {
 /// listen to it).
 class StreamBus : public EventSink {
  public:
-  void Subscribe(EventSink* sink) { sinks_.push_back(sink); }
+  /// Registers a sink; re-subscribing an already-registered sink is a
+  /// no-op (the execution runtime attaches shard sinks dynamically and
+  /// must never double-deliver).
+  void Subscribe(EventSink* sink) {
+    if (std::find(sinks_.begin(), sinks_.end(), sink) != sinks_.end()) return;
+    sinks_.push_back(sink);
+  }
+
+  /// Detaches a sink; unknown sinks are ignored. Later subscribers keep
+  /// their relative order.
+  void Unsubscribe(EventSink* sink) {
+    sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink),
+                 sinks_.end());
+  }
 
   void OnEvent(const EventPtr& event) override {
     for (EventSink* sink : sinks_) sink->OnEvent(event);

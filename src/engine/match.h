@@ -41,6 +41,19 @@ struct OutputRecord {
   std::vector<std::string> names;
   std::vector<Value> values;
 
+  /// Serial-order stamp, filled by the Transformation operator and consumed
+  /// by the sharded runtime's OutputMerger (src/runtime/). `emit_ts/emit_seq`
+  /// identify the constituent event whose arrival completed the match. For a
+  /// query with tail negation (`deferred`) the record's serial emission point
+  /// is not the completing event but the first stream event with timestamp
+  /// strictly greater than `release_ts` (= first constituent ts + window), or
+  /// end-of-stream if no such event arrives. The stamp does not participate
+  /// in ToString()/Get() and is invisible to user-facing output.
+  Timestamp emit_ts = 0;
+  SequenceNumber emit_seq = 0;
+  bool deferred = false;
+  Timestamp release_ts = 0;
+
   /// "stream@ts{name=value, ...}".
   std::string ToString() const;
 

@@ -111,6 +111,10 @@ void Negation::OnFlush() {
   Operator::OnFlush();
 }
 
+void Negation::OnWatermark(Timestamp now) {
+  if (!pending_.empty()) ReleasePending(now, /*flush=*/false);
+}
+
 bool Negation::CheckAll(const Match& match) {
   for (size_t i = 0; i < specs_.size(); ++i) {
     if (HasViolation(specs_[i], buffers_[i], match)) return false;

@@ -56,6 +56,12 @@ class Negation : public Operator {
   void OnMatch(const Match& match) override;
   void OnFlush() override;
 
+  /// Advances stream time without an event: releases deferred matches whose
+  /// tail window closed strictly before `now`, exactly as an event with that
+  /// timestamp would. The sharded runtime sends watermarks so shards whose
+  /// partitions go quiet still surface pending matches promptly.
+  void OnWatermark(Timestamp now);
+
   const Stats& stats() const { return stats_; }
 
  private:

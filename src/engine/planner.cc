@@ -71,6 +71,8 @@ void QueryPlan::OnEvent(const EventPtr& event) {
 
 void QueryPlan::OnFlush() { scan_->OnFlush(); }
 
+void QueryPlan::OnWatermark(Timestamp now) { negation_->OnWatermark(now); }
+
 uint64_t QueryPlan::eval_error_count() const {
   return scan_->stats().eval_errors + selection_->stats().eval_errors +
          negation_->stats().eval_errors + transformation_->stats().eval_errors;

@@ -45,6 +45,9 @@ class QueryPlan {
   /// Signals end-of-stream; releases matches deferred by tail negation.
   void OnFlush();
 
+  /// Advances stream time without an event (see Negation::OnWatermark).
+  void OnWatermark(Timestamp now);
+
   const AnalyzedQuery& query() const { return query_; }
   const PlanOptions& options() const { return options_; }
   const Nfa& nfa() const { return nfa_; }

@@ -1,5 +1,6 @@
 #include "engine/query_engine.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "query/analyzer.h"
@@ -23,14 +24,34 @@ Result<QueryId> QueryEngine::Register(const std::string& text,
 Result<QueryId> QueryEngine::Register(ParsedQuery parsed,
                                       OutputCallback callback,
                                       PlanOptions options) {
+  return RegisterParsed(next_id_, std::move(parsed), std::move(callback),
+                        options);
+}
+
+Result<QueryId> QueryEngine::RegisterAs(QueryId id, const std::string& text,
+                                        OutputCallback callback,
+                                        PlanOptions options) {
+  if (plans_.count(id) > 0) {
+    return Status::AlreadyExists("query id " + std::to_string(id) +
+                                 " is already registered");
+  }
+  auto parsed = Parser::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  return RegisterParsed(id, std::move(parsed).value(), std::move(callback),
+                        options);
+}
+
+Result<QueryId> QueryEngine::RegisterParsed(QueryId id, ParsedQuery parsed,
+                                            OutputCallback callback,
+                                            PlanOptions options) {
   std::string stream = ToLower(parsed.from_stream);
   Analyzer analyzer(catalog_, time_config_);
   auto analyzed = analyzer.Analyze(std::move(parsed));
   if (!analyzed.ok()) return analyzed.status();
   auto plan = Planner::Build(std::move(analyzed).value(), options, catalog_,
                              &functions_, std::move(callback));
-  QueryId id = next_id_++;
   plans_.emplace(id, Entry{std::move(plan), std::move(stream)});
+  next_id_ = std::max(next_id_, id + 1);
   return id;
 }
 
@@ -66,6 +87,24 @@ void QueryEngine::OnFlush() {
   for (auto& [id, entry] : plans_) {
     entry.plan->OnFlush();
   }
+}
+
+void QueryEngine::OnWatermark(Timestamp now) {
+  for (auto& [id, entry] : plans_) {
+    if (entry.stream.empty()) entry.plan->OnWatermark(now);
+  }
+}
+
+QueryEngine::EngineStats QueryEngine::Stats() const {
+  EngineStats stats;
+  stats.queries = plans_.size();
+  stats.events_processed = events_processed_;
+  for (const auto& [id, entry] : plans_) {
+    stats.matches_scanned += entry.plan->sequence_scan().matches_out();
+    stats.outputs += entry.plan->output_count();
+    stats.eval_errors += entry.plan->eval_error_count();
+  }
+  return stats;
 }
 
 std::string QueryEngine::StatsReport() const {

@@ -50,6 +50,14 @@ class QueryEngine : public EventSink {
   Result<QueryId> Register(ParsedQuery parsed, OutputCallback callback,
                            PlanOptions options = {});
 
+  /// Registers under a caller-chosen id instead of an auto-assigned one.
+  /// The sharded runtime mirrors one logical query into every shard engine
+  /// under the same id, so per-query stats can be aggregated across shards
+  /// without an id translation table. Fails with kAlreadyExists when the id
+  /// is taken.
+  Result<QueryId> RegisterAs(QueryId id, const std::string& text,
+                             OutputCallback callback, PlanOptions options = {});
+
   /// Deletes a continuous query; subsequent events no longer feed it.
   Status Unregister(QueryId id);
 
@@ -63,8 +71,32 @@ class QueryEngine : public EventSink {
   /// Access to a live plan (stats, explain); nullptr if unknown.
   const QueryPlan* plan(QueryId id) const;
 
+  /// Advances stream time on every default-stream plan without delivering
+  /// an event; releases tail-negation deferrals (see Negation::OnWatermark).
+  void OnWatermark(Timestamp now);
+
   size_t query_count() const { return plans_.size(); }
   uint64_t events_processed() const { return events_processed_; }
+
+  /// Aggregate operator counters across every registered plan; the sharded
+  /// runtime sums these over its per-shard engines for a fleet-wide view.
+  struct EngineStats {
+    uint64_t queries = 0;
+    uint64_t events_processed = 0;
+    uint64_t matches_scanned = 0;
+    uint64_t outputs = 0;
+    uint64_t eval_errors = 0;
+
+    EngineStats& operator+=(const EngineStats& other) {
+      queries += other.queries;
+      events_processed += other.events_processed;
+      matches_scanned += other.matches_scanned;
+      outputs += other.outputs;
+      eval_errors += other.eval_errors;
+      return *this;
+    }
+  };
+  EngineStats Stats() const;
 
   /// One line per registered query: id, input stream, plan options and the
   /// operator in/out counters — the processor-level view the demo UI's
@@ -80,6 +112,11 @@ class QueryEngine : public EventSink {
     std::unique_ptr<QueryPlan> plan;
     std::string stream;  // lowercased FROM name; empty = default input
   };
+
+  /// Shared tail of every Register flavor: analyze, plan, install under
+  /// `id` (advancing next_id_ past it). No id is consumed on failure.
+  Result<QueryId> RegisterParsed(QueryId id, ParsedQuery parsed,
+                                 OutputCallback callback, PlanOptions options);
 
   const Catalog* catalog_;
   TimeConfig time_config_;

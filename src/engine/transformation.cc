@@ -38,6 +38,9 @@ Transformation::Transformation(const AnalyzedQuery* query,
                                OutputCallback callback)
     : query_(query), catalog_(catalog), functions_(functions),
       callback_(std::move(callback)) {
+  for (const auto& spec : query_->negations) {
+    if (spec.next_positive < 0) tail_negation_ = true;
+  }
   const auto& items = query_->parsed.return_items;
   if (items.empty()) {
     // Default projection: every attribute of every positive variable.
@@ -175,6 +178,21 @@ void Transformation::OnMatch(const Match& match) {
                                                      : query_->parsed.output_name;
   record.timestamp = match.last_ts;
   record.names = column_names_;
+
+  // Serial-order stamp (see match.h): the completing constituent is the
+  // last positive variable's binding — the event whose arrival produced
+  // this match in the sequence scan.
+  record.emit_ts = match.last_ts;
+  if (!query_->positive_slots.empty()) {
+    const EventPtr& completing =
+        match.bindings[static_cast<size_t>(query_->positive_slots.back())];
+    if (completing != nullptr) {
+      record.emit_ts = completing->timestamp();
+      record.emit_seq = completing->seq();
+    }
+  }
+  record.deferred = tail_negation_;
+  if (tail_negation_) record.release_ts = match.first_ts + query_->window_ticks;
 
   EvalContext ctx{&match.bindings, functions_};
   const auto& items = query_->parsed.return_items;

@@ -64,6 +64,7 @@ class Transformation : public Operator {
   const Catalog* catalog_;
   const FunctionRegistry* functions_;
   OutputCallback callback_;
+  bool tail_negation_ = false;  // emission deferred past first_ts + window
 
   std::vector<std::string> column_names_;
   std::vector<AggregateState> aggregates_;  // one per AggregateExpr node

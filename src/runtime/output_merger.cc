@@ -1,0 +1,108 @@
+#include "runtime/output_merger.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/logging.h"
+
+namespace sase {
+namespace {
+
+/// Composite sort key realizing serial emission order; see the class
+/// comment in output_merger.h.
+using SortKey = std::tuple<size_t,          // trigger dispatch index
+                           QueryId,         // plan iteration order
+                           int,             // deferred releases (0) before
+                                            // fresh matches (1)
+                           Timestamp,       // release_ts (pending-map order)
+                           Timestamp,       // completing event ts
+                           SequenceNumber,  // completing event seq
+                           int,             // worker  (tie-break)
+                           uint64_t>;       // arrival (tie-break)
+
+SortKey KeyFor(const TaggedRecord& r, size_t trigger) {
+  const OutputRecord& rec = r.record;
+  return SortKey(trigger, r.query, rec.deferred ? 0 : 1,
+                 rec.deferred ? rec.release_ts : 0, rec.emit_ts, rec.emit_seq,
+                 r.worker, r.arrival);
+}
+
+}  // namespace
+
+void OutputMerger::NoteDispatched(Timestamp ts, SequenceNumber seq) {
+  if (!ts_.empty() && (ts < ts_.back() || seq <= seq_.back())) {
+    if (!warned_order_) {
+      SASE_LOG_WARN << "OutputMerger: dispatch log out of stream order (ts="
+                    << ts << " seq=" << seq << "); merge order may drift";
+      warned_order_ = true;
+    }
+    if (ts < ts_.back()) ts = ts_.back();
+  }
+  ts_.push_back(ts);
+  seq_.push_back(seq);
+}
+
+void OutputMerger::Add(std::vector<TaggedRecord>&& records) {
+  if (pending_.empty()) {
+    pending_ = std::move(records);
+    return;
+  }
+  pending_.insert(pending_.end(), std::make_move_iterator(records.begin()),
+                  std::make_move_iterator(records.end()));
+}
+
+size_t OutputMerger::TriggerIndex(const TaggedRecord& record) const {
+  if (record.record.deferred) {
+    // First dispatched event with ts strictly greater than the release
+    // window's close; until it exists the record is not yet placeable.
+    auto it = std::upper_bound(ts_.begin(), ts_.end(), record.record.release_ts);
+    if (it == ts_.end()) return kNoTrigger;
+    return static_cast<size_t>(it - ts_.begin());
+  }
+  // The completing constituent: seqs are strictly increasing, binary search.
+  auto it = std::lower_bound(seq_.begin(), seq_.end(), record.record.emit_seq);
+  if (it == seq_.end()) return kNoTrigger;
+  return static_cast<size_t>(it - seq_.begin());
+}
+
+std::vector<TaggedRecord> OutputMerger::Release(const std::vector<bool>& take) {
+  std::vector<std::pair<SortKey, size_t>> keyed;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (take[i]) keyed.emplace_back(KeyFor(pending_[i], TriggerIndex(pending_[i])), i);
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<TaggedRecord> out;
+  out.reserve(keyed.size());
+  for (const auto& [key, i] : keyed) out.push_back(std::move(pending_[i]));
+
+  std::vector<TaggedRecord> keep;
+  keep.reserve(pending_.size() - out.size());
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (!take[i]) keep.push_back(std::move(pending_[i]));
+  }
+  pending_ = std::move(keep);
+  merged_ += out.size();
+  return out;
+}
+
+std::vector<TaggedRecord> OutputMerger::DrainReady(Timestamp safe_ts) {
+  bool any = false;
+  std::vector<bool> take(pending_.size(), false);
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    size_t trigger = TriggerIndex(pending_[i]);
+    if (trigger != kNoTrigger && ts_[trigger] < safe_ts) {
+      take[i] = true;
+      any = true;
+    }
+  }
+  if (!any) return {};
+  return Release(take);
+}
+
+std::vector<TaggedRecord> OutputMerger::DrainFinal() {
+  return Release(std::vector<bool>(pending_.size(), true));
+}
+
+}  // namespace sase

@@ -1,0 +1,88 @@
+#ifndef SASE_RUNTIME_OUTPUT_MERGER_H_
+#define SASE_RUNTIME_OUTPUT_MERGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "engine/match.h"
+#include "engine/query_engine.h"
+
+namespace sase {
+
+/// One record captured from a shard engine's output callback, tagged with
+/// enough provenance to re-sequence it into serial order.
+struct TaggedRecord {
+  QueryId query = 0;
+  int worker = 0;       // producing worker (final tie-break only)
+  uint64_t arrival = 0; // per-worker arrival counter (final tie-break only)
+  OutputRecord record;
+};
+
+/// Re-sequences shard outputs into the exact order serial execution would
+/// have produced, using the serial-order stamp on each OutputRecord (see
+/// engine/match.h) plus the global dispatch log.
+///
+/// Serial execution emits records in *trigger order*: events are processed
+/// in stream order, and while processing one event each plan (in QueryId
+/// order) first releases tail-negation deferrals whose window closed, then
+/// emits the matches the event completes. A record's trigger event is
+/// therefore
+///   - the completing constituent itself (`emit_seq`) for immediate records,
+///   - the first stream event with timestamp > `release_ts` for deferred
+///     (tail-negation) records, or end-of-stream if no such event arrives.
+///
+/// The merger keeps the dispatch log (timestamp, seq of every event the
+/// runtime forwarded, in stream order), resolves each buffered record's
+/// trigger to a dispatch index, and releases records sorted by
+///   (trigger index, query id, deferred-before-immediate, release_ts,
+///    completing ts, completing seq, worker, arrival).
+/// Records from one worker already arrive in this order relative to each
+/// other; any two records that tie through `emit_seq` share a completing
+/// event and hence a worker, so the worker/arrival tail makes the order
+/// total without ever deciding between shards.
+///
+/// All methods run on the single dispatcher thread.
+class OutputMerger {
+ public:
+  /// Appends one dispatched event to the global dispatch log. Events must
+  /// arrive in stream order: non-decreasing timestamps, increasing seq.
+  void NoteDispatched(Timestamp ts, SequenceNumber seq);
+
+  /// Takes ownership of records drained from a worker's output buffer.
+  void Add(std::vector<TaggedRecord>&& records);
+
+  /// Releases, in serial order, every buffered record whose trigger event is
+  /// known and has timestamp strictly below `safe_ts` (the caller's bound on
+  /// the earliest trigger any worker could still produce).
+  std::vector<TaggedRecord> DrainReady(Timestamp safe_ts);
+
+  /// End-of-stream: releases everything. Records with a resolved trigger
+  /// come first in serial order; records whose release window never closed
+  /// follow in per-query flush order (query id, release_ts, completion
+  /// order), mirroring QueryEngine::OnFlush.
+  std::vector<TaggedRecord> DrainFinal();
+
+  uint64_t merged_count() const { return merged_; }
+  size_t pending_count() const { return pending_.size(); }
+  uint64_t dispatched_count() const { return ts_.size(); }
+
+ private:
+  // Dispatch index standing for "released at end-of-stream".
+  static constexpr size_t kNoTrigger = static_cast<size_t>(-1);
+
+  size_t TriggerIndex(const TaggedRecord& record) const;
+  /// Extracts the records marked in `take`, sorted into serial order;
+  /// everything else stays pending in arrival order.
+  std::vector<TaggedRecord> Release(const std::vector<bool>& take);
+
+  std::vector<Timestamp> ts_;        // dispatch log, parallel arrays
+  std::vector<SequenceNumber> seq_;
+  std::vector<TaggedRecord> pending_;
+  uint64_t merged_ = 0;
+  bool warned_order_ = false;
+};
+
+}  // namespace sase
+
+#endif  // SASE_RUNTIME_OUTPUT_MERGER_H_

@@ -1,0 +1,67 @@
+#include "runtime/partitioner.h"
+
+#include "util/string_util.h"
+
+namespace sase {
+
+Partitioner::Partitioner(const Catalog* catalog, std::string key_attr,
+                         int shard_count)
+    : catalog_(catalog), key_attr_(std::move(key_attr)),
+      shard_count_(shard_count) {}
+
+AttrIndex Partitioner::KeyIndex(EventTypeId type) const {
+  size_t index = static_cast<size_t>(type);
+  while (key_index_cache_.size() <= index) {
+    EventTypeId id = static_cast<EventTypeId>(key_index_cache_.size());
+    AttrIndex attr = catalog_->schema(id).FindAttribute(key_attr_);
+    // The virtual timestamp attribute is not a partition key.
+    key_index_cache_.push_back(attr == kTimestampAttr ? kInvalidAttr : attr);
+  }
+  return key_index_cache_[index];
+}
+
+int Partitioner::ShardFor(const Event& event) const {
+  AttrIndex key = KeyIndex(event.type());
+  if (key < 0) {
+    // Key-less type: no partition state to respect; spread by arrival.
+    return static_cast<int>(event.seq() % static_cast<uint64_t>(shard_count_));
+  }
+  return static_cast<int>(event.attribute(key).Hash() %
+                          static_cast<size_t>(shard_count_));
+}
+
+bool Partitioner::Shardable(const AnalyzedQuery& query, const Catalog& catalog,
+                            const std::string& key_attr,
+                            const PlanOptions& options) {
+  if (!query.parsed.from_stream.empty()) return false;
+  if (query.has_aggregates) return false;
+  if (query.positive_slots.empty()) return false;
+
+  // Class 1: stateless single-event queries.
+  if (query.positive_slots.size() == 1 && query.negations.empty()) return true;
+
+  // Class 2: the partition equivalence class covers the shard key on every
+  // component, and the plan actually evaluates with value partitioning (so
+  // per-partition construction order is independent of other partitions).
+  if (!options.use_partitioning) return false;
+  if (!query.partitioned()) return false;
+  for (size_t i = 0; i < query.positive_slots.size(); ++i) {
+    int slot = query.positive_slots[i];
+    const VarInfo& var = query.vars[static_cast<size_t>(slot)];
+    AttrIndex attr = query.partition_attrs[i];
+    if (attr < 0) return false;
+    const EventSchema& schema = catalog.schema(var.type_id);
+    if (!EqualsIgnoreCase(schema.attribute_name(attr), key_attr)) return false;
+  }
+  for (const NegationSpec& spec : query.negations) {
+    if (spec.partition_attr < 0) return false;
+    const EventSchema& schema = catalog.schema(spec.type_id);
+    if (!EqualsIgnoreCase(schema.attribute_name(spec.partition_attr),
+                          key_attr)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sase

@@ -1,0 +1,75 @@
+#ifndef SASE_RUNTIME_PARTITIONER_H_
+#define SASE_RUNTIME_PARTITIONER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/event.h"
+#include "engine/planner.h"
+#include "query/analyzer.h"
+
+namespace sase {
+
+/// Routes events to shards by a key attribute (default `TagId` — the natural
+/// partition key of an RFID stream) and decides which queries can be
+/// distributed across those shards without changing results.
+///
+/// Routing rules:
+///   - Events whose type carries the key attribute hash by key *value*, so
+///     every event of one tag lands on the same shard (NULL keys form their
+///     own partition). This preserves, per shard, exactly the sub-stream a
+///     key-partitioned query's value partition would see under serial
+///     execution.
+///   - Events whose type lacks the key attribute ("key-less events") carry
+///     no partition state a sharded pattern query could reference — such
+///     queries only touch key-bearing types — so they are spread by sequence
+///     number for load balance. Only stateless single-event queries observe
+///     them, and those are correct under any routing.
+class Partitioner {
+ public:
+  Partitioner(const Catalog* catalog, std::string key_attr, int shard_count);
+
+  /// Shard owning `event`'s partition, in [0, shard_count).
+  int ShardFor(const Event& event) const;
+
+  /// True when `type` carries the key attribute.
+  bool HasKey(EventTypeId type) const { return KeyIndex(type) >= 0; }
+
+  const std::string& key_attr() const { return key_attr_; }
+  int shard_count() const { return shard_count_; }
+
+  /// True when `query`, compiled under `options`, can be mirrored into every
+  /// shard engine with each shard seeing only its key partition's events and
+  /// the union of shard outputs equal to serial output. Two classes qualify:
+  ///
+  ///   1. Stateless single-event queries (one positive variable, no
+  ///      negation, no aggregates): every event is evaluated on its own, so
+  ///      any disjoint routing yields the serial result set.
+  ///   2. Key-partitioned pattern queries: the analyzer's equivalence class
+  ///      covers the shard key on every positive component AND every negated
+  ///      component, and the plan runs with value partitioning enabled. A
+  ///      match then only ever combines (and is only ever suppressed by)
+  ///      events of one key value, all of which live on one shard.
+  ///
+  /// Aggregates disqualify: RETURN-clause aggregates fold running state over
+  /// the full composite-event stream, which sharding would split. Queries
+  /// reading a named FROM stream are out of scope for the runtime.
+  static bool Shardable(const AnalyzedQuery& query, const Catalog& catalog,
+                        const std::string& key_attr,
+                        const PlanOptions& options);
+
+ private:
+  AttrIndex KeyIndex(EventTypeId type) const;
+
+  const Catalog* catalog_;
+  std::string key_attr_;
+  int shard_count_;
+  // Key attribute index per EventTypeId; grown lazily from the single
+  // dispatcher thread (the runtime routes from one thread by design).
+  mutable std::vector<AttrIndex> key_index_cache_;
+};
+
+}  // namespace sase
+
+#endif  // SASE_RUNTIME_PARTITIONER_H_

@@ -1,0 +1,292 @@
+#include "runtime/sharded_runtime.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "query/analyzer.h"
+#include "query/parser.h"
+
+namespace sase {
+
+namespace {
+constexpr Timestamp kMinTimestamp = std::numeric_limits<Timestamp>::min();
+}  // namespace
+
+ShardedRuntime::ShardedRuntime(const Catalog* catalog, RuntimeConfig config,
+                               EngineInit engine_init)
+    : catalog_(catalog), config_(config),
+      partitioner_(catalog, config_.partition_key,
+                   std::max(1, config_.shard_count)) {
+  config_.shard_count = std::max(1, config_.shard_count);
+  if (config_.batch_size == 0) config_.batch_size = 1;
+
+  // shard workers 0..N-1, broadcast worker N.
+  for (int i = 0; i <= config_.shard_count; ++i) {
+    auto worker = std::make_unique<Worker>(i, config_.queue_capacity);
+    worker->engine =
+        std::make_unique<QueryEngine>(catalog_, config_.time_config);
+    if (engine_init) engine_init(*worker->engine);
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_) {
+    worker->thread = std::thread(&ShardedRuntime::WorkerLoop, this, worker.get());
+  }
+}
+
+ShardedRuntime::~ShardedRuntime() {
+  for (auto& worker : workers_) worker->queue.Close();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void ShardedRuntime::WorkerLoop(Worker* worker) {
+  EventBatch batch;
+  while (worker->queue.Pop(&batch)) {
+    for (const EventPtr& event : batch.events) {
+      worker->engine->OnEvent(event);
+      worker->progress_ts.store(event->timestamp(), std::memory_order_release);
+    }
+    if (batch.watermark >= 0) {
+      worker->engine->OnWatermark(batch.watermark);
+      // Dispatch order guarantees no later event is older than the
+      // watermark, so the worker's future output triggers at or after it.
+      Timestamp progress = worker->progress_ts.load(std::memory_order_relaxed);
+      worker->progress_ts.store(std::max(progress, batch.watermark),
+                                std::memory_order_release);
+    }
+    if (batch.flush) worker->engine->OnFlush();
+    // Ack only once the whole batch — events, watermark, flush — is done;
+    // WaitDrained relies on this to know the engine is quiescent.
+    worker->batches_processed.fetch_add(1, std::memory_order_release);
+  }
+}
+
+OutputCallback ShardedRuntime::CaptureCallback(Worker* worker, QueryId id) {
+  return [worker, id](const OutputRecord& record) {
+    std::lock_guard<std::mutex> lock(worker->out_mutex);
+    TaggedRecord tagged;
+    tagged.query = id;
+    tagged.worker = worker->index;
+    tagged.arrival = worker->arrival_counter++;
+    tagged.record = record;
+    worker->out.push_back(std::move(tagged));
+  };
+}
+
+Result<QueryId> ShardedRuntime::Register(const std::string& text,
+                                         OutputCallback callback,
+                                         PlanOptions options) {
+  auto parsed = Parser::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  Analyzer analyzer(catalog_, config_.time_config);
+  auto analyzed = analyzer.Analyze(std::move(parsed).value());
+  if (!analyzed.ok()) return analyzed.status();
+  if (!analyzed.value().parsed.from_stream.empty()) {
+    return Status::Unimplemented(
+        "sharded runtime feeds the default input stream only; register "
+        "FROM-stream queries on a serial engine");
+  }
+  bool sharded = Partitioner::Shardable(analyzed.value(), *catalog_,
+                                        config_.partition_key, options);
+
+  // Quiesce so engine mutation cannot race in-flight batches; the push of
+  // the next batch publishes the new plan to the worker.
+  WaitIdle();
+
+  QueryId id = next_id_++;
+  if (sharded) {
+    for (int s = 0; s < config_.shard_count; ++s) {
+      auto result = workers_[static_cast<size_t>(s)]->engine->RegisterAs(
+          id, text, CaptureCallback(workers_[static_cast<size_t>(s)].get(), id),
+          options);
+      if (!result.ok()) {
+        for (int undo = 0; undo < s; ++undo) {
+          (void)workers_[static_cast<size_t>(undo)]->engine->Unregister(id);
+        }
+        return result.status();
+      }
+    }
+    ++sharded_queries_;
+  } else {
+    Worker& host = broadcast_worker();
+    auto result =
+        host.engine->RegisterAs(id, text, CaptureCallback(&host, id), options);
+    if (!result.ok()) return result.status();
+    ++broadcast_queries_;
+  }
+  queries_.emplace(id, QueryEntry{std::move(callback), sharded});
+  return id;
+}
+
+Status ShardedRuntime::Unregister(QueryId id) {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  WaitIdle();
+  if (it->second.sharded) {
+    for (int s = 0; s < config_.shard_count; ++s) {
+      (void)workers_[static_cast<size_t>(s)]->engine->Unregister(id);
+    }
+    --sharded_queries_;
+  } else {
+    (void)broadcast_worker().engine->Unregister(id);
+    --broadcast_queries_;
+  }
+  queries_.erase(it);
+  return Status::Ok();
+}
+
+bool ShardedRuntime::IsSharded(QueryId id) const {
+  auto it = queries_.find(id);
+  return it != queries_.end() && it->second.sharded;
+}
+
+void ShardedRuntime::AppendToWorker(Worker* worker, const EventPtr& event) {
+  worker->pending.events.push_back(event);
+  if (worker->pending.events.size() >= config_.batch_size) {
+    FlushPending(worker, /*watermark=*/-1, /*flush=*/false);
+  }
+}
+
+void ShardedRuntime::FlushPending(Worker* worker, Timestamp watermark,
+                                  bool flush) {
+  if (worker->pending.events.empty() && watermark < 0 && !flush) return;
+  worker->pending.watermark = watermark;
+  worker->pending.flush = flush;
+  ++worker->batches_enqueued;
+  worker->queue.Push(std::move(worker->pending));
+  worker->pending = EventBatch{};
+}
+
+void ShardedRuntime::OnEvent(const EventPtr& event) {
+  merger_.NoteDispatched(event->timestamp(), event->seq());
+  ++events_dispatched_;
+  last_dispatched_ts_ = event->timestamp();
+  any_dispatched_ = true;
+
+  if (sharded_queries_ > 0) {
+    Worker& shard =
+        *workers_[static_cast<size_t>(partitioner_.ShardFor(*event))];
+    AppendToWorker(&shard, event);
+  }
+  if (broadcast_queries_ > 0) AppendToWorker(&broadcast_worker(), event);
+
+  if (config_.merge_interval > 0 &&
+      events_dispatched_ % config_.merge_interval == 0) {
+    // Broadcast the stream clock so quiet shards release tail-negation
+    // deferrals, then surface whatever is safely ordered.
+    for (auto& worker : workers_) {
+      if (WorkerHostsQueries(*worker)) {
+        FlushPending(worker.get(), last_dispatched_ts_, /*flush=*/false);
+      }
+    }
+    DeliverReady();
+  }
+}
+
+bool ShardedRuntime::WorkerHostsQueries(const Worker& worker) const {
+  if (worker.index == config_.shard_count) return broadcast_queries_ > 0;
+  return sharded_queries_ > 0;
+}
+
+void ShardedRuntime::WaitDrained(Worker* worker) {
+  Backoff backoff;
+  while (worker->batches_processed.load(std::memory_order_acquire) !=
+         worker->batches_enqueued) {
+    backoff.Pause();
+  }
+}
+
+void ShardedRuntime::WaitIdle() {
+  Timestamp watermark = any_dispatched_ ? last_dispatched_ts_ : -1;
+  for (auto& worker : workers_) {
+    FlushPending(worker.get(),
+                 WorkerHostsQueries(*worker) ? watermark : Timestamp{-1},
+                 /*flush=*/false);
+  }
+  for (auto& worker : workers_) WaitDrained(worker.get());
+  // With every queue drained, all emitted records are buffered here and any
+  // future record triggers strictly later in dispatch order, so everything
+  // with a resolved trigger is safe to release.
+  CollectOutputs();
+  Deliver(merger_.DrainReady(std::numeric_limits<Timestamp>::max()));
+}
+
+void ShardedRuntime::OnFlush() {
+  for (auto& worker : workers_) {
+    FlushPending(worker.get(), /*watermark=*/-1, /*flush=*/true);
+  }
+  for (auto& worker : workers_) WaitDrained(worker.get());
+  CollectOutputs();
+  Deliver(merger_.DrainFinal());
+}
+
+void ShardedRuntime::CollectOutputs() {
+  for (auto& worker : workers_) {
+    std::vector<TaggedRecord> drained;
+    {
+      std::lock_guard<std::mutex> lock(worker->out_mutex);
+      drained.swap(worker->out);
+    }
+    if (!drained.empty()) merger_.Add(std::move(drained));
+  }
+}
+
+void ShardedRuntime::DeliverReady() {
+  Timestamp threshold = std::numeric_limits<Timestamp>::max();
+  bool any = false;
+  for (auto& worker : workers_) {
+    if (!WorkerHostsQueries(*worker)) continue;
+    threshold = std::min(
+        threshold, worker->progress_ts.load(std::memory_order_acquire));
+    any = true;
+  }
+  if (!any || threshold == kMinTimestamp) return;
+  CollectOutputs();
+  Deliver(merger_.DrainReady(threshold));
+}
+
+void ShardedRuntime::Deliver(std::vector<TaggedRecord> records) {
+  for (TaggedRecord& tagged : records) {
+    auto it = queries_.find(tagged.query);
+    if (it == queries_.end() || !it->second.callback) continue;
+    it->second.callback(tagged.record);
+  }
+}
+
+QueryEngine::EngineStats ShardedRuntime::Stats() {
+  WaitIdle();
+  QueryEngine::EngineStats total;
+  for (auto& worker : workers_) total += worker->engine->Stats();
+  // A sharded query is mirrored into every shard engine; report logical
+  // queries, not plan instances.
+  total.queries = queries_.size();
+  return total;
+}
+
+std::string ShardedRuntime::StatsReport() {
+  WaitIdle();
+  std::ostringstream out;
+  out << "runtime shards=" << config_.shard_count
+      << " queries=" << queries_.size() << " (sharded=" << sharded_queries_
+      << " broadcast=" << broadcast_queries_ << ")"
+      << " dispatched=" << events_dispatched_
+      << " merged=" << merger_.merged_count()
+      << " pending=" << merger_.pending_count() << "\n";
+  for (auto& worker : workers_) {
+    QueryEngine::EngineStats stats = worker->engine->Stats();
+    out << (worker->index == config_.shard_count
+                ? std::string("broadcast")
+                : "shard " + std::to_string(worker->index))
+        << ": events=" << stats.events_processed
+        << " sequences=" << stats.matches_scanned
+        << " outputs=" << stats.outputs << " errors=" << stats.eval_errors
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sase

@@ -1,0 +1,191 @@
+#ifndef SASE_RUNTIME_SHARDED_RUNTIME_H_
+#define SASE_RUNTIME_SHARDED_RUNTIME_H_
+
+#include <atomic>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/stream.h"
+#include "engine/query_engine.h"
+#include "runtime/event_batch.h"
+#include "runtime/output_merger.h"
+#include "runtime/partitioner.h"
+
+namespace sase {
+
+/// Configuration knobs for the sharded execution runtime.
+struct RuntimeConfig {
+  /// Number of key-partitioned shards (worker threads with a private
+  /// QueryEngine each). One extra broadcast worker hosts queries that
+  /// cannot be key-partitioned.
+  int shard_count = 4;
+  /// Attribute whose value partitions the stream; `TagId` for the paper's
+  /// RFID workloads.
+  std::string partition_key = "TagId";
+  /// Events per cross-thread handoff (ring-slot exchange).
+  size_t batch_size = 256;
+  /// Batches per shard queue before the dispatcher blocks (backpressure).
+  size_t queue_capacity = 64;
+  /// Dispatcher events between incremental merge attempts (and watermark
+  /// broadcasts that unstick quiet shards' tail negations). 0 disables
+  /// incremental delivery: all output surfaces on OnFlush/WaitIdle.
+  size_t merge_interval = 4096;
+  TimeConfig time_config;
+};
+
+/// The sharded parallel execution runtime: stands between the event bus and
+/// N+1 private QueryEngine instances, scaling the complex event processor
+/// across cores while producing byte-identical output to serial execution.
+///
+///   StreamBus / source (dispatcher thread)
+///     -> Partitioner: key-hash routing (TagId) + batching
+///        -> SPSC ring -> shard worker 0 .. N-1 (own QueryEngine each)
+///        -> SPSC ring -> broadcast worker (non-shardable queries, all
+///                        events)
+///     <- OutputMerger: re-sequences tagged shard outputs into serial
+///        (timestamp, seq) order; user callbacks fire on the dispatcher
+///        thread.
+///
+/// Shardable queries (see Partitioner::Shardable) are mirrored into every
+/// shard engine under the same QueryId; each shard evaluates only its key
+/// partition's events, so the union of shard outputs equals the serial
+/// result set, and the merger restores the serial emission order. Everything
+/// else runs serially on the broadcast worker, which receives the full
+/// stream.
+///
+/// Threading contract: Register/Unregister/OnEvent/OnFlush/WaitIdle are
+/// called from ONE dispatcher thread (the stream's producer). Output
+/// callbacks fire on that same thread, during OnEvent (incremental merges),
+/// OnFlush and WaitIdle — user code never needs to synchronize. Events must
+/// arrive in stream order (non-decreasing timestamp, increasing seq), the
+/// invariant StreamSource already enforces.
+class ShardedRuntime : public EventSink {
+ public:
+  /// Hook run once per private engine at construction, before any query
+  /// registration — install custom functions here. Functions installed into
+  /// shard engines run on worker threads; keep them thread-safe or register
+  /// the queries that call them outside the runtime.
+  using EngineInit = std::function<void(QueryEngine&)>;
+
+  explicit ShardedRuntime(const Catalog* catalog, RuntimeConfig config = {},
+                          EngineInit engine_init = nullptr);
+  ~ShardedRuntime() override;
+
+  ShardedRuntime(const ShardedRuntime&) = delete;
+  ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+
+  /// Registers a continuous query; `callback` receives merged, serially
+  /// ordered records on the dispatcher thread. Quiesces the workers, so
+  /// mid-stream registration is safe (the query sees the stream suffix,
+  /// exactly as with a serial engine).
+  Result<QueryId> Register(const std::string& text, OutputCallback callback,
+                           PlanOptions options = {});
+
+  /// Removes a query from every hosting engine. Records already emitted but
+  /// not yet merge-safe are dropped, matching the serial engine's contract
+  /// that an unregistered plan's undelivered state vanishes.
+  Status Unregister(QueryId id);
+
+  // EventSink: routes one event (dispatcher thread).
+  void OnEvent(const EventPtr& event) override;
+
+  /// End-of-stream barrier: flushes partial batches, waits for every worker
+  /// to flush its engine (releasing tail-negation deferrals), then merges
+  /// and delivers ALL remaining output in serial order.
+  void OnFlush() override;
+
+  /// Quiesces: blocks until every worker drained its queue, then delivers
+  /// whatever output is safely ordered. Unlike OnFlush this does not end the
+  /// stream — tail-negation deferrals stay parked.
+  void WaitIdle();
+
+  // --- introspection (dispatcher thread) ---
+  int shard_count() const { return config_.shard_count; }
+  size_t query_count() const { return queries_.size(); }
+  /// True when `id` runs key-partitioned across the shards (false: hosted on
+  /// the broadcast worker, or unknown id).
+  bool IsSharded(QueryId id) const;
+  uint64_t events_dispatched() const { return events_dispatched_; }
+  uint64_t records_merged() const { return merger_.merged_count(); }
+  const Partitioner& partitioner() const { return partitioner_; }
+
+  /// Aggregated engine counters across all workers (quiesces first).
+  QueryEngine::EngineStats Stats();
+
+  /// Multi-line fleet view: per-worker engine lines plus merger state.
+  std::string StatsReport();
+
+ private:
+  struct Worker {
+    Worker(int index_in, size_t queue_capacity) : index(index_in), queue(queue_capacity) {}
+
+    const int index;
+    std::unique_ptr<QueryEngine> engine;  // owned; touched only by `thread`
+                                          // while batches are in flight
+    SpscRing<EventBatch> queue;
+    std::thread thread;
+
+    // Dispatcher-side state.
+    EventBatch pending;           // accumulating batch
+    uint64_t batches_enqueued = 0;
+
+    // Worker-side progress, read by the dispatcher. The batch counter is
+    // advanced only after the WHOLE batch — events, watermark, flush —
+    // finished, so batches_processed == batches_enqueued means the worker
+    // is parked on its ring and its engine is safe to touch.
+    std::atomic<uint64_t> batches_processed{0};
+    std::atomic<Timestamp> progress_ts{std::numeric_limits<Timestamp>::min()};
+
+    // Output capture: engine callbacks append under `out_mutex`; the
+    // dispatcher swaps the buffer out when merging.
+    std::mutex out_mutex;
+    std::vector<TaggedRecord> out;
+    uint64_t arrival_counter = 0;  // guarded by out_mutex
+  };
+
+  struct QueryEntry {
+    OutputCallback callback;
+    bool sharded = false;
+  };
+
+  int broadcast_index() const { return config_.shard_count; }
+  Worker& broadcast_worker() { return *workers_[static_cast<size_t>(broadcast_index())]; }
+
+  void WorkerLoop(Worker* worker);
+  bool WorkerHostsQueries(const Worker& worker) const;
+  OutputCallback CaptureCallback(Worker* worker, QueryId id);
+  void AppendToWorker(Worker* worker, const EventPtr& event);
+  /// Pushes the worker's partial batch (if any, or if it carries a
+  /// watermark / flush marker).
+  void FlushPending(Worker* worker, Timestamp watermark, bool flush);
+  void CollectOutputs();
+  void DeliverReady();
+  void Deliver(std::vector<TaggedRecord> records);
+  void WaitDrained(Worker* worker);
+
+  const Catalog* catalog_;
+  RuntimeConfig config_;
+  Partitioner partitioner_;
+  OutputMerger merger_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;  // shards + broadcast
+  std::map<QueryId, QueryEntry> queries_;
+  QueryId next_id_ = 1;
+  size_t sharded_queries_ = 0;
+  size_t broadcast_queries_ = 0;
+
+  uint64_t events_dispatched_ = 0;
+  Timestamp last_dispatched_ts_ = 0;
+  bool any_dispatched_ = false;
+};
+
+}  // namespace sase
+
+#endif  // SASE_RUNTIME_SHARDED_RUNTIME_H_

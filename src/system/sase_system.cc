@@ -1,7 +1,47 @@
 #include "system/sase_system.h"
 
+#include "query/parser.h"
+
 namespace sase {
 namespace {
+
+/// True when any node of the expression tree is a function call. Hybrid
+/// stream+database queries (_retrieveLocation, _updateContainment, ...)
+/// must run on the serial engine: the simulation thread owns the Event
+/// Database, and shard workers must never touch it.
+bool HasCall(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kCall:
+      return true;
+    case ExprKind::kBinary: {
+      const auto& node = static_cast<const BinaryExpr&>(expr);
+      return HasCall(*node.left()) || HasCall(*node.right());
+    }
+    case ExprKind::kUnary:
+      return HasCall(*static_cast<const UnaryExpr&>(expr).operand());
+    case ExprKind::kAggregate: {
+      const auto& node = static_cast<const AggregateExpr&>(expr);
+      return node.arg() != nullptr && HasCall(*node.arg());
+    }
+    default:
+      return false;
+  }
+}
+
+/// True when the query must run on the serial engine even in sharded mode:
+/// it calls database functions, or reads a named FROM stream (which the
+/// runtime does not route).
+bool RequiresSerialEngine(const std::string& text) {
+  auto parsed = Parser::Parse(text);
+  if (!parsed.ok()) return false;  // let registration surface the error
+  const ParsedQuery& query = parsed.value();
+  if (!query.from_stream.empty()) return true;
+  if (query.where != nullptr && HasCall(*query.where)) return true;
+  for (const auto& item : query.return_items) {
+    if (HasCall(*item.expr)) return true;
+  }
+  return false;
+}
 
 /// Sink appending every cleaned event to the `events` archive table.
 class RawEventArchiver : public EventSink {
@@ -55,6 +95,15 @@ SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config)
   engine_ = std::make_unique<QueryEngine>(&catalog_, config_.time_config);
   (void)archiver_->RegisterFunctions(engine_->functions());
 
+  if (config_.shard_count >= 2) {
+    RuntimeConfig runtime_config;
+    runtime_config.shard_count = config_.shard_count;
+    runtime_config.partition_key = config_.partition_key;
+    runtime_config.time_config = config_.time_config;
+    runtime_ = std::make_unique<ShardedRuntime>(&catalog_, runtime_config);
+    event_bus_.Subscribe(runtime_.get());
+  }
+
   // UI channel: cleaned events ("Cleaning and Association Layer Output").
   event_logger_ = std::make_unique<CallbackSink>(
       [this](const EventPtr& event) { LogEvent(event); });
@@ -101,14 +150,20 @@ void SaseSystem::AddProduct(const TagInfo& tag) {
 Result<QueryId> SaseSystem::RegisterMonitoringQuery(const std::string& name,
                                                     const std::string& text,
                                                     OutputCallback callback) {
-  auto id = engine_->Register(
-      text,
-      [this, name, callback](const OutputRecord& record) {
-        reports_.Channel(ReportBoard::kStreamOutput).Append(record.ToString());
-        reports_.Channel(ReportBoard::kMessageResults)
-            .Append("[" + name + "] " + record.ToString());
-        if (callback) callback(record);
-      });
+  OutputCallback deliver = [this, name, callback](const OutputRecord& record) {
+    reports_.Channel(ReportBoard::kStreamOutput).Append(record.ToString());
+    reports_.Channel(ReportBoard::kMessageResults)
+        .Append("[" + name + "] " + record.ToString());
+    if (callback) callback(record);
+  };
+  // Hybrid stream+database and FROM-stream queries stay on the serial
+  // engine; pure stream queries scale out when the runtime is enabled.
+  // Runtime callbacks fire on the simulation thread during merges, so the
+  // report board needs no locking either way.
+  Result<QueryId> id =
+      (runtime_ != nullptr && !RequiresSerialEngine(text))
+          ? runtime_->Register(text, std::move(deliver))
+          : engine_->Register(text, std::move(deliver));
   if (id.ok()) {
     reports_.Channel(ReportBoard::kPresentQueries).Append(name + ":\n" + text);
   }

@@ -15,6 +15,7 @@
 #include "engine/query_engine.h"
 #include "rfid/simulator.h"
 #include "rfid/workload.h"
+#include "runtime/sharded_runtime.h"
 #include "system/report.h"
 
 namespace sase {
@@ -28,6 +29,16 @@ struct SystemConfig {
   int64_t smoothing_window_ticks = 3;  // temporal smoothing reach
   bool archive_raw_events = true;      // keep an events table for ad-hoc SQL
   bool echo_reports = false;           // print UI channels to stdout
+
+  /// Complex-event-processor parallelism: with shard_count >= 2 a
+  /// ShardedRuntime is attached to the event bus and monitoring queries that
+  /// neither call database functions nor read a named stream execute across
+  /// `shard_count` worker threads, partitioned by `partition_key`. Archiving
+  /// rules and function-calling (hybrid stream+database) queries always run
+  /// on the serial engine so that only the simulation thread touches the
+  /// Event Database. 0/1 = fully serial (the seed behavior).
+  int shard_count = 1;
+  std::string partition_key = "TagId";
 };
 
 /// The complete SASE system of Figure 1, assembled:
@@ -51,6 +62,8 @@ class SaseSystem {
   RetailSimulator& simulator() { return *simulator_; }
   CleaningPipeline& cleaning() { return *cleaning_; }
   QueryEngine& engine() { return *engine_; }
+  /// The parallel execution runtime; nullptr when shard_count <= 1.
+  ShardedRuntime* runtime() { return runtime_.get(); }
   db::Database& database() { return database_; }
   db::Ons& ons() { return *ons_; }
   db::Archiver& archiver() { return *archiver_; }
@@ -102,6 +115,7 @@ class SaseSystem {
 
   StreamBus event_bus_;
   std::unique_ptr<QueryEngine> engine_;
+  std::unique_ptr<ShardedRuntime> runtime_;
   std::unique_ptr<CallbackSink> event_logger_;
   std::unique_ptr<EventSink> event_archiver_;
   std::unique_ptr<CleaningPipeline> cleaning_;

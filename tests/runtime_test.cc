@@ -1,0 +1,407 @@
+#include "runtime/sharded_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/catalog.h"
+#include "engine/query_engine.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+#include "rfid/workload.h"
+#include "runtime/event_batch.h"
+#include "runtime/output_merger.h"
+#include "runtime/partitioner.h"
+
+namespace sase {
+namespace {
+
+// --- SPSC ring -------------------------------------------------------------
+
+TEST(SpscRingTest, OrderedTransferAcrossThreads) {
+  SpscRing<int> ring(8);
+  constexpr int kItems = 10000;
+  std::vector<int> received;
+  std::thread consumer([&] {
+    int item = 0;
+    while (ring.Pop(&item)) received.push_back(item);
+  });
+  for (int i = 0; i < kItems; ++i) ring.Push(int(i));
+  ring.Close();
+  consumer.join();
+  ASSERT_EQ(received.size(), static_cast<size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[static_cast<size_t>(i)], i);
+}
+
+TEST(SpscRingTest, TryPushFailsWhenFullAndCloseDrains) {
+  SpscRing<int> ring(2);  // capacity rounds to 2
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_FALSE(ring.TryPush(3));
+  ring.Close();
+  int out = 0;
+  EXPECT_TRUE(ring.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(ring.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(ring.Pop(&out));  // closed and drained
+}
+
+// --- Partitioner classification --------------------------------------------
+
+class PartitionerTest : public ::testing::Test {
+ protected:
+  AnalyzedQuery Analyze(const std::string& text) {
+    auto parsed = Parser::Parse(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    Analyzer analyzer(&catalog_, TimeConfig{});
+    auto analyzed = analyzer.Analyze(std::move(parsed).value());
+    EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    return std::move(analyzed).value();
+  }
+
+  bool Shardable(const std::string& text, PlanOptions options = {}) {
+    return Partitioner::Shardable(Analyze(text), catalog_, "TagId", options);
+  }
+
+  Catalog catalog_ = Catalog::RetailDemo();
+};
+
+TEST_F(PartitionerTest, TagEquivalenceSequenceIsShardable) {
+  EXPECT_TRUE(Shardable(
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+      "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 100"));
+}
+
+TEST_F(PartitionerTest, StatelessSingleEventQueryIsShardable) {
+  EXPECT_TRUE(Shardable(
+      "EVENT SHELF_READING s WHERE s.AreaId = 2 RETURN s.TagId"));
+}
+
+TEST_F(PartitionerTest, AggregateQueryIsNotShardable) {
+  EXPECT_FALSE(Shardable("EVENT EXIT_READING e RETURN COUNT(*)"));
+}
+
+TEST_F(PartitionerTest, NonKeyEquivalenceIsNotShardable) {
+  EXPECT_FALSE(Shardable(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+      "WHERE x.AreaId = z.AreaId WITHIN 50"));
+}
+
+TEST_F(PartitionerTest, UnpartitionedNegationIsNotShardable) {
+  // The negated component does not join the TagId equivalence class: any
+  // counter reading suppresses, so every shard would need every event.
+  EXPECT_FALSE(Shardable(
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+      "WHERE x.TagId = z.TagId WITHIN 100"));
+}
+
+TEST_F(PartitionerTest, DisabledPartitioningIsNotShardable) {
+  PlanOptions options;
+  options.use_partitioning = false;
+  EXPECT_FALSE(Shardable(
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+      "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 100",
+      options));
+}
+
+TEST_F(PartitionerTest, RoutingIsDeterministicAndKeyStable) {
+  Partitioner partitioner(&catalog_, "TagId", 4);
+  SyntheticConfig config;
+  config.seed = 11;
+  config.event_count = 500;
+  config.tag_count = 20;
+  SyntheticStreamGenerator generator(&catalog_, config);
+  auto events = generator.Generate();
+  ASSERT_FALSE(events.empty());
+  // Same tag -> same shard, regardless of event type.
+  std::map<std::string, int> shard_of_tag;
+  for (const auto& event : events) {
+    const EventSchema& schema = catalog_.schema(event->type());
+    AttrIndex tag = schema.FindAttribute("TagId");
+    ASSERT_GE(tag, 0);
+    int shard = partitioner.ShardFor(*event);
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, 4);
+    std::string key = event->attribute(tag).ToString();
+    auto [it, inserted] = shard_of_tag.emplace(key, shard);
+    if (!inserted) EXPECT_EQ(it->second, shard) << "tag " << key;
+  }
+  EXPECT_GT(shard_of_tag.size(), 1u);
+}
+
+// --- Golden determinism -----------------------------------------------------
+
+/// The mixed continuous-query workload of the golden test: key-partitioned
+/// patterns (middle and tail negation), a stateless projection, a running
+/// aggregate (broadcast), and a non-key pattern (broadcast).
+const char* kGoldenQueries[] = {
+    "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+    "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 120",
+    "EVENT SEQ(SHELF_READING x, COUNTER_READING y, !(EXIT_READING z)) "
+    "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 60 "
+    "RETURN x.TagId, x.Timestamp AS shelf_ts, y.Timestamp AS counter_ts",
+    "EVENT SHELF_READING s WHERE s.AreaId = 2 RETURN s.TagId, s.AreaId",
+    "EVENT EXIT_READING e RETURN COUNT(*) AS exits",
+    "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+    "WHERE x.AreaId = z.AreaId WITHIN 40",
+};
+
+std::vector<EventPtr> GoldenTrace(const Catalog& catalog) {
+  SyntheticConfig config;
+  config.seed = 7;
+  config.event_count = 4000;
+  config.tag_count = 60;
+  config.area_count = 4;
+  SyntheticStreamGenerator generator(&catalog, config);
+  return generator.Generate();
+}
+
+/// Runs the golden workload through a serial QueryEngine; output lines are
+/// "q<index>|<record>" in emission order.
+std::vector<std::string> RunSerial(const Catalog& catalog,
+                                   const std::vector<EventPtr>& trace) {
+  std::vector<std::string> lines;
+  QueryEngine engine(&catalog);
+  for (size_t q = 0; q < std::size(kGoldenQueries); ++q) {
+    auto id = engine.Register(kGoldenQueries[q],
+                              [&lines, q](const OutputRecord& record) {
+                                lines.push_back("q" + std::to_string(q) + "|" +
+                                                record.ToString());
+                              });
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+  }
+  for (const auto& event : trace) engine.OnEvent(event);
+  engine.OnFlush();
+  return lines;
+}
+
+std::vector<std::string> RunSharded(const Catalog& catalog,
+                                    const std::vector<EventPtr>& trace,
+                                    int shards, size_t merge_interval) {
+  std::vector<std::string> lines;
+  RuntimeConfig config;
+  config.shard_count = shards;
+  config.merge_interval = merge_interval;
+  config.batch_size = 64;
+  ShardedRuntime runtime(&catalog, config);
+  for (size_t q = 0; q < std::size(kGoldenQueries); ++q) {
+    auto id = runtime.Register(kGoldenQueries[q],
+                               [&lines, q](const OutputRecord& record) {
+                                 lines.push_back("q" + std::to_string(q) + "|" +
+                                                 record.ToString());
+                               });
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+  }
+  // The pattern queries shard; aggregate and non-key pattern do not.
+  EXPECT_TRUE(runtime.IsSharded(1));
+  EXPECT_TRUE(runtime.IsSharded(2));
+  EXPECT_TRUE(runtime.IsSharded(3));
+  EXPECT_FALSE(runtime.IsSharded(4));
+  EXPECT_FALSE(runtime.IsSharded(5));
+  for (const auto& event : trace) runtime.OnEvent(event);
+  runtime.OnFlush();
+  return lines;
+}
+
+TEST(ShardedRuntimeGoldenTest, ByteIdenticalToSerialAcrossShardCounts) {
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = GoldenTrace(catalog);
+  auto serial = RunSerial(catalog, trace);
+  // The workload must be non-trivial for the comparison to mean anything.
+  ASSERT_GT(serial.size(), 100u);
+
+  for (int shards : {1, 2, 8}) {
+    auto sharded = RunSharded(catalog, trace, shards, /*merge_interval=*/4096);
+    EXPECT_EQ(serial, sharded) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedRuntimeGoldenTest, IncrementalMergeMatchesFlushOnlyMerge) {
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = GoldenTrace(catalog);
+  auto serial = RunSerial(catalog, trace);
+  // Aggressive incremental merging (every 64 events) must not change the
+  // delivered order.
+  auto sharded = RunSharded(catalog, trace, /*shards=*/4, /*merge_interval=*/64);
+  EXPECT_EQ(serial, sharded);
+}
+
+// --- Watermarks & incremental delivery --------------------------------------
+
+TEST(ShardedRuntimeTest, WatermarkReleasesTailNegationOnQuietShard) {
+  Catalog catalog = Catalog::RetailDemo();
+  RuntimeConfig config;
+  config.shard_count = 4;
+  config.batch_size = 1;
+  config.merge_interval = 4;
+  ShardedRuntime runtime(&catalog, config);
+
+  int delivered = 0;
+  auto id = runtime.Register(
+      "EVENT SEQ(SHELF_READING x, !(EXIT_READING y)) "
+      "WHERE x.TagId = y.TagId WITHIN 5 RETURN x.TagId",
+      [&delivered](const OutputRecord&) { ++delivered; });
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(runtime.IsSharded(id.value()));
+
+  // One match for TAG0 at ts 1, deferred until stream time passes 6. Then
+  // only other tags' events arrive: TAG0's shard may never see another event
+  // of its partition, so release must come from the broadcast watermark.
+  EventBuilder b0(catalog, "SHELF_READING");
+  auto first = b0.Set("TagId", "TAG0").Set("AreaId", 1).Build(1, 0);
+  ASSERT_TRUE(first.ok());
+  runtime.OnEvent(first.value());
+  for (int i = 1; i <= 60; ++i) {
+    EventBuilder b(catalog, "SHELF_READING");
+    auto e = b.Set("TagId", "TAG" + std::to_string(1 + i % 8))
+                 .Set("AreaId", 1)
+                 .Build(1 + i, static_cast<SequenceNumber>(i));
+    ASSERT_TRUE(e.ok());
+    runtime.OnEvent(e.value());
+  }
+  runtime.WaitIdle();
+  EXPECT_GE(delivered, 1) << "deferred match not released before flush";
+  runtime.OnFlush();
+  // Flush may only add the still-open tails (later tags), never lose output.
+  EXPECT_GE(delivered, 50);
+}
+
+// --- Registration lifecycle --------------------------------------------------
+
+TEST(ShardedRuntimeTest, UnregisterStopsDelivery) {
+  Catalog catalog = Catalog::RetailDemo();
+  RuntimeConfig config;
+  config.shard_count = 2;
+  config.merge_interval = 1;
+  config.batch_size = 1;
+  ShardedRuntime runtime(&catalog, config);
+  int count = 0;
+  auto id = runtime.Register("EVENT SHELF_READING s RETURN s.TagId",
+                             [&count](const OutputRecord&) { ++count; });
+  ASSERT_TRUE(id.ok());
+
+  EventBuilder b(catalog, "SHELF_READING");
+  auto e = b.Set("TagId", "T").Set("AreaId", 0).Build(1, 0);
+  ASSERT_TRUE(e.ok());
+  runtime.OnEvent(e.value());
+  runtime.WaitIdle();
+  EXPECT_EQ(count, 1);
+
+  ASSERT_TRUE(runtime.Unregister(id.value()).ok());
+  EXPECT_FALSE(runtime.Unregister(id.value()).ok());
+  EventBuilder b2(catalog, "SHELF_READING");
+  auto e2 = b2.Set("TagId", "T").Set("AreaId", 0).Build(2, 1);
+  ASSERT_TRUE(e2.ok());
+  runtime.OnEvent(e2.value());
+  runtime.OnFlush();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ShardedRuntimeTest, RejectsFromStreamQueries) {
+  Catalog catalog = Catalog::RetailDemo();
+  ShardedRuntime runtime(&catalog, RuntimeConfig{});
+  auto id = runtime.Register("FROM other EVENT SHELF_READING s RETURN s.TagId",
+                             nullptr);
+  EXPECT_FALSE(id.ok());
+}
+
+TEST(ShardedRuntimeTest, StatsAggregateAcrossWorkers) {
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = GoldenTrace(catalog);
+  RuntimeConfig config;
+  config.shard_count = 4;
+  ShardedRuntime runtime(&catalog, config);
+  uint64_t outputs = 0;
+  auto id = runtime.Register(kGoldenQueries[0],
+                             [&outputs](const OutputRecord&) { ++outputs; });
+  ASSERT_TRUE(id.ok());
+  for (const auto& event : trace) runtime.OnEvent(event);
+  runtime.OnFlush();
+  auto stats = runtime.Stats();
+  EXPECT_EQ(stats.queries, 1u);
+  // Every event lands on exactly one shard.
+  EXPECT_EQ(stats.events_processed, trace.size());
+  EXPECT_EQ(stats.outputs, outputs);
+  EXPECT_GT(outputs, 0u);
+  EXPECT_EQ(runtime.records_merged(), outputs);
+  std::string report = runtime.StatsReport();
+  EXPECT_NE(report.find("runtime shards=4"), std::string::npos);
+}
+
+// --- Engine-level additions used by the runtime ------------------------------
+
+TEST(QueryEngineRuntimeSupportTest, RegisterAsUsesExplicitIdAndDetectsClash) {
+  Catalog catalog = Catalog::RetailDemo();
+  QueryEngine engine(&catalog);
+  auto id = engine.RegisterAs(42, "EVENT SHELF_READING s RETURN s.TagId",
+                              nullptr);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), 42);
+  EXPECT_NE(engine.plan(42), nullptr);
+  auto clash = engine.RegisterAs(42, "EVENT SHELF_READING s RETURN s.TagId",
+                                 nullptr);
+  EXPECT_FALSE(clash.ok());
+  // Auto ids continue past the explicit one.
+  auto next = engine.Register("EVENT SHELF_READING s RETURN s.TagId", nullptr);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value(), 43);
+}
+
+TEST(QueryEngineRuntimeSupportTest, WatermarkReleasesTailNegation) {
+  Catalog catalog = Catalog::RetailDemo();
+  QueryEngine engine(&catalog);
+  int outputs = 0;
+  auto id = engine.Register(
+      "EVENT SEQ(SHELF_READING x, !(EXIT_READING y)) "
+      "WHERE x.TagId = y.TagId WITHIN 5 RETURN x.TagId",
+      [&outputs](const OutputRecord&) { ++outputs; });
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EventBuilder b(catalog, "SHELF_READING");
+  auto e = b.Set("TagId", "T").Set("AreaId", 0).Build(1, 0);
+  ASSERT_TRUE(e.ok());
+  engine.OnEvent(e.value());
+  EXPECT_EQ(outputs, 0);
+  engine.OnWatermark(6);  // window closes at 6; release needs now > 6
+  EXPECT_EQ(outputs, 0);
+  engine.OnWatermark(7);
+  EXPECT_EQ(outputs, 1);
+}
+
+TEST(QueryEngineRuntimeSupportTest, OutputRecordsCarrySerialOrderStamp) {
+  Catalog catalog = Catalog::RetailDemo();
+  QueryEngine engine(&catalog);
+  std::vector<OutputRecord> records;
+  auto immediate = engine.Register(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+      "WHERE x.TagId = z.TagId WITHIN 10",
+      [&records](const OutputRecord& r) { records.push_back(r); });
+  ASSERT_TRUE(immediate.ok());
+  auto deferred = engine.Register(
+      "EVENT SEQ(SHELF_READING x, !(EXIT_READING y)) "
+      "WHERE x.TagId = y.TagId WITHIN 5 RETURN x.TagId",
+      [&records](const OutputRecord& r) { records.push_back(r); });
+  ASSERT_TRUE(deferred.ok());
+
+  EventBuilder b1(catalog, "SHELF_READING");
+  auto shelf = b1.Set("TagId", "A").Set("AreaId", 0).Build(2, 0);
+  ASSERT_TRUE(shelf.ok());
+  EventBuilder b2(catalog, "EXIT_READING");
+  auto exit_event = b2.Set("TagId", "A").Set("AreaId", 3).Build(4, 1);
+  ASSERT_TRUE(exit_event.ok());
+  engine.OnEvent(shelf.value());
+  engine.OnEvent(exit_event.value());
+  engine.OnFlush();
+
+  ASSERT_EQ(records.size(), 1u);  // tail negation suppressed by the exit
+  EXPECT_FALSE(records[0].deferred);
+  EXPECT_EQ(records[0].emit_ts, 4);
+  EXPECT_EQ(records[0].emit_seq, 1u);
+}
+
+}  // namespace
+}  // namespace sase

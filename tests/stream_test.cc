@@ -54,6 +54,41 @@ TEST_F(StreamTest, BusFansOutInSubscriptionOrder) {
   EXPECT_EQ(bus.subscriber_count(), 2u);
 }
 
+TEST_F(StreamTest, BusIgnoresDuplicateSubscription) {
+  StreamBus bus;
+  int delivered = 0;
+  CallbackSink sink([&](const EventPtr&) { ++delivered; });
+  bus.Subscribe(&sink);
+  bus.Subscribe(&sink);  // duplicate: must not double-deliver
+  EXPECT_EQ(bus.subscriber_count(), 1u);
+  StreamSource source(&bus);
+  source.Publish(shelf_, 1, {Value("A"), Value(0), Value()});
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(StreamTest, BusUnsubscribeStopsDeliveryAndKeepsOrder) {
+  StreamBus bus;
+  std::vector<int> order;
+  CallbackSink first([&](const EventPtr&) { order.push_back(1); });
+  CallbackSink second([&](const EventPtr&) { order.push_back(2); });
+  CallbackSink third([&](const EventPtr&) { order.push_back(3); });
+  bus.Subscribe(&first);
+  bus.Subscribe(&second);
+  bus.Subscribe(&third);
+  bus.Unsubscribe(&second);
+  EXPECT_EQ(bus.subscriber_count(), 2u);
+  StreamSource source(&bus);
+  source.Publish(shelf_, 1, {Value("A"), Value(0), Value()});
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+
+  // Unknown sinks are ignored; re-subscribing after unsubscribe works.
+  bus.Unsubscribe(&second);
+  bus.Subscribe(&second);
+  order.clear();
+  source.Publish(shelf_, 2, {Value("B"), Value(0), Value()});
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
 TEST_F(StreamTest, PublishPrebuiltEventReassignsSeq) {
   VectorSink sink;
   StreamSource source(&sink);
