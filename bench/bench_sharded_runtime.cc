@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <limits>
+
 #include "bench_util.h"
 #include "runtime/sharded_runtime.h"
 
@@ -125,6 +127,56 @@ void BM_DispatchOverhead(benchmark::State& state) {
 
 BENCHMARK(BM_DispatchOverhead)
     ->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Long-stream memory bound: the dispatch log once grew 16 B/event forever;
+/// prefix compaction below the merge watermark keeps it at O(in-flight
+/// window). state.range(0) toggles compaction (0 = disabled, the
+/// pre-compaction behavior) so the peak_log counter shows before vs after:
+/// ~kLongStreamEvents entries without compaction, a few merge intervals
+/// with it.
+void BM_LongStreamDispatchLog(benchmark::State& state) {
+  constexpr int64_t kLongStreamEvents = 200000;
+  SyntheticConfig stream_config;
+  stream_config.seed = 97;
+  stream_config.event_count = kLongStreamEvents;
+  stream_config.tag_count = 200;
+  const auto& stream = CachedStream(stream_config, "long");
+
+  const bool compaction = state.range(0) != 0;
+  size_t peak = 0, final_len = 0;
+  uint64_t compactions = 0;
+  for (auto _ : state) {
+    RuntimeConfig config;
+    config.shard_count = 4;
+    config.merge_interval = 1024;
+    config.log_compact_min =
+        compaction ? size_t{1024} : std::numeric_limits<size_t>::max();
+    ShardedRuntime runtime(&BenchCatalog(), config);
+    uint64_t count = 0;
+    auto id = runtime.Register(QueryVariant(0),
+                               [&count](const OutputRecord&) { ++count; });
+    if (!id.ok()) {
+      state.SkipWithError(id.status().ToString().c_str());
+      return;
+    }
+    for (const auto& event : stream) runtime.OnEvent(event);
+    peak = runtime.peak_dispatch_log_len();
+    final_len = runtime.dispatch_log_len();
+    compactions = runtime.log_compactions();
+    runtime.OnFlush();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * kLongStreamEvents);
+  state.counters["peak_log"] = static_cast<double>(peak);
+  state.counters["final_log"] = static_cast<double>(final_len);
+  state.counters["compactions"] = static_cast<double>(compactions);
+}
+
+BENCHMARK(BM_LongStreamDispatchLog)
+    ->Arg(0)->Arg(1)
+    ->ArgNames({"compaction"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

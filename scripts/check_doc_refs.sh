@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Fails when README.md or docs/language.md reference a repo path that does
+# not exist, so documentation cannot rot silently. A "reference" is any
+# backtick-quoted token that looks like a repo path: contains a slash or
+# ends in a known source/doc extension. Tokens under build/ are ignored
+# (they only exist after a build).
+set -u
+
+cd "$(dirname "$0")/.."
+
+status=0
+for doc in README.md docs/language.md; do
+  if [[ ! -f "$doc" ]]; then
+    echo "MISSING DOC: $doc"
+    status=1
+    continue
+  fi
+  refs=$(grep -oE '`[A-Za-z0-9_./-]+`' "$doc" | tr -d '`' | sort -u)
+  for ref in $refs; do
+    case "$ref" in
+      build/*) continue ;;                      # build artifacts
+      */*) ;;                                   # path with a directory
+      *.md|*.cc|*.cpp|*.h|*.txt|*.yml) ;;       # bare file name
+      *) continue ;;                            # not a path reference
+    esac
+    if [[ ! -e "$ref" ]]; then
+      echo "BROKEN REFERENCE in $doc: $ref"
+      status=1
+    fi
+  done
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "doc references OK"
+fi
+exit $status

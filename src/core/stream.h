@@ -11,6 +11,12 @@
 
 namespace sase {
 
+/// Dense id of a named input stream, interned by the execution runtime's
+/// Partitioner. Id 0 is always the default (unnamed) input — the stream
+/// queries without a FROM clause read.
+using StreamId = uint32_t;
+constexpr StreamId kDefaultStream = 0;
+
 /// Consumer of an event stream. The engine, the archiver and the report
 /// channels all implement this; the cleaning pipeline and the simulator
 /// produce into it. Push-based, single-threaded per stream, matching the

@@ -83,6 +83,22 @@ void QueryEngine::OnStreamEvent(const std::string& stream,
   }
 }
 
+void QueryEngine::OnStreamEvents(const std::string& stream,
+                                 const std::vector<EventPtr>& events) {
+  events_processed_ += events.size();
+  std::string key = ToLower(stream);
+  // Resolve the reader set once; per event the serial iteration order
+  // (plans in id order) is preserved.
+  std::vector<QueryPlan*> readers;
+  for (auto& [id, entry] : plans_) {
+    if (entry.stream == key) readers.push_back(entry.plan.get());
+  }
+  if (readers.empty()) return;
+  for (const EventPtr& event : events) {
+    for (QueryPlan* plan : readers) plan->OnEvent(event);
+  }
+}
+
 void QueryEngine::OnFlush() {
   for (auto& [id, entry] : plans_) {
     entry.plan->OnFlush();
@@ -92,6 +108,13 @@ void QueryEngine::OnFlush() {
 void QueryEngine::OnWatermark(Timestamp now) {
   for (auto& [id, entry] : plans_) {
     if (entry.stream.empty()) entry.plan->OnWatermark(now);
+  }
+}
+
+void QueryEngine::OnStreamWatermark(const std::string& stream, Timestamp now) {
+  std::string key = ToLower(stream);
+  for (auto& [id, entry] : plans_) {
+    if (entry.stream == key) entry.plan->OnWatermark(now);
   }
 }
 

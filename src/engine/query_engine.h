@@ -68,12 +68,25 @@ class QueryEngine : public EventSink {
   /// input", §2.1.1).
   void OnStreamEvent(const std::string& stream, const EventPtr& event);
 
+  /// Batch form of OnStreamEvent: identical semantics (each event visits
+  /// the stream's plans in id order), but the stream name is resolved once
+  /// for the whole batch — the sharded runtime's workers deliver their
+  /// single-stream batches through this.
+  void OnStreamEvents(const std::string& stream,
+                      const std::vector<EventPtr>& events);
+
   /// Access to a live plan (stats, explain); nullptr if unknown.
   const QueryPlan* plan(QueryId id) const;
 
   /// Advances stream time on every default-stream plan without delivering
   /// an event; releases tail-negation deferrals (see Negation::OnWatermark).
   void OnWatermark(Timestamp now);
+
+  /// Advances stream time on every plan reading the named input stream
+  /// (case-insensitive) — the OnStreamEvent counterpart of OnWatermark. The
+  /// sharded runtime broadcasts one clock per stream so quiet shards release
+  /// named-stream tail-negation deferrals too.
+  void OnStreamWatermark(const std::string& stream, Timestamp now);
 
   size_t query_count() const { return plans_.size(); }
   uint64_t events_processed() const { return events_processed_; }

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -16,15 +17,27 @@ namespace sase {
 /// Unit of cross-thread handoff between the dispatcher (producer side) and a
 /// shard worker. Batching amortizes the queue synchronization: one ring-slot
 /// exchange moves `events.size()` events, so the per-event cost of the
-/// cross-thread hop shrinks with the batch size.
+/// cross-thread hop shrinks with the batch size. A batch carries events of
+/// exactly one input stream; the dispatcher cuts a batch when the stream
+/// switches.
 struct EventBatch {
+  /// Lowercased FROM-stream name the events belong to; empty = the default
+  /// input (QueryEngine::OnEvent vs OnStreamEvent).
+  std::string stream;
+
   std::vector<EventPtr> events;
 
-  /// Stream-time watermark: after processing `events` the worker advances
-  /// its engine's negation watermark to this timestamp, releasing deferred
-  /// tail-negation matches even on shards whose partitions went quiet
-  /// (their own events would otherwise be the only clock). -1 = none.
-  Timestamp watermark = -1;
+  /// Per-stream clock broadcast: after processing `events` the worker
+  /// advances each listed stream's negation watermark to the given
+  /// timestamp, releasing deferred tail-negation matches even on shards
+  /// whose partitions went quiet (their own events would otherwise be the
+  /// only clock). Empty = no clock update.
+  std::vector<std::pair<std::string, Timestamp>> clocks;
+
+  /// Global dispatch index this batch certifies fully processed: once the
+  /// worker acknowledges the batch, every record it can still emit triggers
+  /// strictly after this index (the merger's safety bound). 0 = no claim.
+  uint64_t progress_hi = 0;
 
   /// End-of-stream marker: the worker flushes its engine and acknowledges.
   bool flush = false;

@@ -10,7 +10,7 @@ namespace {
 
 /// Composite sort key realizing serial emission order; see the class
 /// comment in output_merger.h.
-using SortKey = std::tuple<size_t,          // trigger dispatch index
+using SortKey = std::tuple<uint64_t,        // global trigger dispatch index
                            QueryId,         // plan iteration order
                            int,             // deferred releases (0) before
                                             // fresh matches (1)
@@ -20,7 +20,7 @@ using SortKey = std::tuple<size_t,          // trigger dispatch index
                            int,             // worker  (tie-break)
                            uint64_t>;       // arrival (tie-break)
 
-SortKey KeyFor(const TaggedRecord& r, size_t trigger) {
+SortKey KeyFor(const TaggedRecord& r, uint64_t trigger) {
   const OutputRecord& rec = r.record;
   return SortKey(trigger, r.query, rec.deferred ? 0 : 1,
                  rec.deferred ? rec.release_ts : 0, rec.emit_ts, rec.emit_seq,
@@ -29,17 +29,25 @@ SortKey KeyFor(const TaggedRecord& r, size_t trigger) {
 
 }  // namespace
 
-void OutputMerger::NoteDispatched(Timestamp ts, SequenceNumber seq) {
-  if (!ts_.empty() && (ts < ts_.back() || seq <= seq_.back())) {
+uint64_t OutputMerger::NoteDispatched(StreamId stream, Timestamp ts,
+                                      SequenceNumber seq) {
+  if (logs_.size() <= stream) logs_.resize(static_cast<size_t>(stream) + 1);
+  StreamLog& log = logs_[stream];
+  if (!log.ts.empty() && (ts < log.ts.back() || seq <= log.seq.back())) {
     if (!warned_order_) {
-      SASE_LOG_WARN << "OutputMerger: dispatch log out of stream order (ts="
-                    << ts << " seq=" << seq << "); merge order may drift";
+      SASE_LOG_WARN << "OutputMerger: dispatch log out of stream order "
+                    << "(stream=" << stream << " ts=" << ts << " seq=" << seq
+                    << "); merge order may drift";
       warned_order_ = true;
     }
-    if (ts < ts_.back()) ts = ts_.back();
+    if (ts < log.ts.back()) ts = log.ts.back();
   }
-  ts_.push_back(ts);
-  seq_.push_back(seq);
+  log.ts.push_back(ts);
+  log.seq.push_back(seq);
+  log.global.push_back(++dispatched_);
+  ++live_entries_;
+  peak_log_len_ = std::max(peak_log_len_, live_entries_);
+  return dispatched_;
 }
 
 void OutputMerger::Add(std::vector<TaggedRecord>&& records) {
@@ -51,18 +59,24 @@ void OutputMerger::Add(std::vector<TaggedRecord>&& records) {
                   std::make_move_iterator(records.end()));
 }
 
-size_t OutputMerger::TriggerIndex(const TaggedRecord& record) const {
+uint64_t OutputMerger::TriggerIndex(const TaggedRecord& record) const {
+  if (record.stream >= logs_.size()) return kNoTrigger;
+  const StreamLog& log = logs_[record.stream];
   if (record.record.deferred) {
-    // First dispatched event with ts strictly greater than the release
-    // window's close; until it exists the record is not yet placeable.
-    auto it = std::upper_bound(ts_.begin(), ts_.end(), record.record.release_ts);
-    if (it == ts_.end()) return kNoTrigger;
-    return static_cast<size_t>(it - ts_.begin());
+    // First dispatched event of the query's stream with ts strictly greater
+    // than the release window's close; until it exists the record is not yet
+    // placeable. Compaction never removes it: a prefix is only truncated
+    // below a safe index that bounds every live record's trigger.
+    auto it = std::upper_bound(log.ts.begin(), log.ts.end(),
+                               record.record.release_ts);
+    if (it == log.ts.end()) return kNoTrigger;
+    return log.global[static_cast<size_t>(it - log.ts.begin())];
   }
-  // The completing constituent: seqs are strictly increasing, binary search.
-  auto it = std::lower_bound(seq_.begin(), seq_.end(), record.record.emit_seq);
-  if (it == seq_.end()) return kNoTrigger;
-  return static_cast<size_t>(it - seq_.begin());
+  // The completing constituent: seqs are strictly increasing per stream.
+  auto it = std::lower_bound(log.seq.begin(), log.seq.end(),
+                             record.record.emit_seq);
+  if (it == log.seq.end()) return kNoTrigger;
+  return log.global[static_cast<size_t>(it - log.seq.begin())];
 }
 
 std::vector<TaggedRecord> OutputMerger::Release(const std::vector<bool>& take) {
@@ -87,22 +101,58 @@ std::vector<TaggedRecord> OutputMerger::Release(const std::vector<bool>& take) {
   return out;
 }
 
-std::vector<TaggedRecord> OutputMerger::DrainReady(Timestamp safe_ts) {
+void OutputMerger::Compact(uint64_t safe_index) {
+  for (StreamLog& log : logs_) {
+    // `global` is strictly increasing: the dead prefix ends at the first
+    // entry above the safe index.
+    auto it = std::upper_bound(log.global.begin(), log.global.end(), safe_index);
+    size_t dead = static_cast<size_t>(it - log.global.begin());
+    if (dead < compact_min_) continue;
+    log.ts.erase(log.ts.begin(), log.ts.begin() + static_cast<ptrdiff_t>(dead));
+    log.seq.erase(log.seq.begin(),
+                  log.seq.begin() + static_cast<ptrdiff_t>(dead));
+    log.global.erase(log.global.begin(),
+                     log.global.begin() + static_cast<ptrdiff_t>(dead));
+    live_entries_ -= dead;
+    compacted_entries_ += dead;
+    ++compactions_;
+  }
+}
+
+std::vector<TaggedRecord> OutputMerger::DrainReady(uint64_t safe_index) {
   bool any = false;
   std::vector<bool> take(pending_.size(), false);
   for (size_t i = 0; i < pending_.size(); ++i) {
-    size_t trigger = TriggerIndex(pending_[i]);
-    if (trigger != kNoTrigger && ts_[trigger] < safe_ts) {
+    uint64_t trigger = TriggerIndex(pending_[i]);
+    if (trigger != kNoTrigger && trigger <= safe_index) {
       take[i] = true;
       any = true;
     }
   }
-  if (!any) return {};
-  return Release(take);
+  std::vector<TaggedRecord> out;
+  if (any) out = Release(take);
+  // Everything at or below the safe index is now released and can never be
+  // a trigger again; reclaim the prefix.
+  Compact(safe_index);
+  return out;
 }
 
 std::vector<TaggedRecord> OutputMerger::DrainFinal() {
-  return Release(std::vector<bool>(pending_.size(), true));
+  auto out = Release(std::vector<bool>(pending_.size(), true));
+  // The end-of-stream clear reclaims the log like a compaction, but with
+  // compaction disabled the counters must stay zero — they document the
+  // knob's effect.
+  if (live_entries_ > 0 && compact_min_ != static_cast<size_t>(-1)) {
+    compacted_entries_ += live_entries_;
+    ++compactions_;
+  }
+  for (StreamLog& log : logs_) {
+    log.ts.clear();
+    log.seq.clear();
+    log.global.clear();
+  }
+  live_entries_ = 0;
+  return out;
 }
 
 }  // namespace sase

@@ -14,6 +14,7 @@ namespace sase {
 /// enough provenance to re-sequence it into serial order.
 struct TaggedRecord {
   QueryId query = 0;
+  StreamId stream = kDefaultStream;  // input stream of the producing query
   int worker = 0;       // producing worker (final tie-break only)
   uint64_t arrival = 0; // per-worker arrival counter (final tie-break only)
   OutputRecord record;
@@ -21,65 +22,113 @@ struct TaggedRecord {
 
 /// Re-sequences shard outputs into the exact order serial execution would
 /// have produced, using the serial-order stamp on each OutputRecord (see
-/// engine/match.h) plus the global dispatch log.
+/// engine/match.h) plus per-stream dispatch logs.
 ///
 /// Serial execution emits records in *trigger order*: events are processed
-/// in stream order, and while processing one event each plan (in QueryId
-/// order) first releases tail-negation deferrals whose window closed, then
-/// emits the matches the event completes. A record's trigger event is
-/// therefore
+/// in dispatch order (the interleaving of OnEvent / OnStreamEvent calls),
+/// and while processing one event each plan reading that event's stream (in
+/// QueryId order) first releases tail-negation deferrals whose window
+/// closed, then emits the matches the event completes. A record's trigger
+/// event is therefore
 ///   - the completing constituent itself (`emit_seq`) for immediate records,
-///   - the first stream event with timestamp > `release_ts` for deferred
-///     (tail-negation) records, or end-of-stream if no such event arrives.
+///   - the first event of the query's input stream with timestamp >
+///     `release_ts` for deferred (tail-negation) records, or end-of-stream
+///     if no such event arrives.
 ///
-/// The merger keeps the dispatch log (timestamp, seq of every event the
-/// runtime forwarded, in stream order), resolves each buffered record's
-/// trigger to a dispatch index, and releases records sorted by
-///   (trigger index, query id, deferred-before-immediate, release_ts,
+/// The merger keeps one dispatch log per input stream (timestamp, seq of
+/// every event the runtime forwarded to that stream, in stream order) plus a
+/// single global dispatch index numbering all events across streams in
+/// dispatch order. Each buffered record's trigger resolves within its
+/// query's stream log to a *global* index, and records release sorted by
+///   (global trigger index, query id, deferred-before-immediate, release_ts,
 ///    completing ts, completing seq, worker, arrival).
 /// Records from one worker already arrive in this order relative to each
 /// other; any two records that tie through `emit_seq` share a completing
 /// event and hence a worker, so the worker/arrival tail makes the order
 /// total without ever deciding between shards.
 ///
+/// Memory bound: after each DrainReady(safe_index) the log prefix at or
+/// below `safe_index` can never be a trigger again — every already-buffered
+/// record there was just released, and the caller guarantees no worker can
+/// still produce one — so the merger truncates it (amortized: a stream's
+/// prefix is dropped once its dead run reaches `compact_min` entries).
+/// Steady-state log length is therefore O(dispatch window between drains),
+/// independent of total stream length.
+///
 /// All methods run on the single dispatcher thread.
 class OutputMerger {
  public:
-  /// Appends one dispatched event to the global dispatch log. Events must
-  /// arrive in stream order: non-decreasing timestamps, increasing seq.
-  void NoteDispatched(Timestamp ts, SequenceNumber seq);
+  /// Global dispatch index standing for "released at end-of-stream".
+  static constexpr uint64_t kNoTrigger = static_cast<uint64_t>(-1);
+
+  /// `compact_min`: dead prefix entries a stream log accumulates before the
+  /// prefix is physically truncated (amortizes the erase); SIZE_MAX disables
+  /// compaction entirely (the pre-compaction behavior, for benchmarks).
+  explicit OutputMerger(size_t compact_min = 1024)
+      : compact_min_(compact_min) {}
+
+  /// Appends one dispatched event to `stream`'s dispatch log and advances
+  /// the global dispatch clock; returns the event's global dispatch index
+  /// (1-based). Events must arrive in stream order per stream:
+  /// non-decreasing timestamps, increasing seq.
+  uint64_t NoteDispatched(StreamId stream, Timestamp ts, SequenceNumber seq);
 
   /// Takes ownership of records drained from a worker's output buffer.
   void Add(std::vector<TaggedRecord>&& records);
 
   /// Releases, in serial order, every buffered record whose trigger event is
-  /// known and has timestamp strictly below `safe_ts` (the caller's bound on
-  /// the earliest trigger any worker could still produce).
-  std::vector<TaggedRecord> DrainReady(Timestamp safe_ts);
+  /// known and has global dispatch index <= `safe_index` (the caller's bound
+  /// on the latest trigger every worker has fully processed), then compacts
+  /// the dead log prefixes.
+  std::vector<TaggedRecord> DrainReady(uint64_t safe_index);
 
-  /// End-of-stream: releases everything. Records with a resolved trigger
-  /// come first in serial order; records whose release window never closed
-  /// follow in per-query flush order (query id, release_ts, completion
-  /// order), mirroring QueryEngine::OnFlush.
+  /// End-of-stream: releases everything and clears the logs. Records with a
+  /// resolved trigger come first in serial order; records whose release
+  /// window never closed follow in per-query flush order (query id,
+  /// release_ts, completion order), mirroring QueryEngine::OnFlush.
   std::vector<TaggedRecord> DrainFinal();
 
   uint64_t merged_count() const { return merged_; }
   size_t pending_count() const { return pending_.size(); }
-  uint64_t dispatched_count() const { return ts_.size(); }
+  uint64_t dispatched_count() const { return dispatched_; }
+
+  // --- dispatch-log introspection ---
+  /// Live (non-compacted) entries across all stream logs.
+  size_t log_len() const { return live_entries_; }
+  /// High-water mark of log_len() over the merger's lifetime.
+  size_t peak_log_len() const { return peak_log_len_; }
+  /// Prefix truncations performed.
+  uint64_t compaction_count() const { return compactions_; }
+  /// Total log entries reclaimed by compaction.
+  uint64_t compacted_entries() const { return compacted_entries_; }
 
  private:
-  // Dispatch index standing for "released at end-of-stream".
-  static constexpr size_t kNoTrigger = static_cast<size_t>(-1);
+  /// Dispatch log of one input stream. The three arrays are parallel;
+  /// `global` maps a position to its global dispatch index and is strictly
+  /// increasing, so compaction can drop a prefix without renumbering.
+  struct StreamLog {
+    std::vector<Timestamp> ts;
+    std::vector<SequenceNumber> seq;
+    std::vector<uint64_t> global;
+  };
 
-  size_t TriggerIndex(const TaggedRecord& record) const;
+  uint64_t TriggerIndex(const TaggedRecord& record) const;
   /// Extracts the records marked in `take`, sorted into serial order;
   /// everything else stays pending in arrival order.
   std::vector<TaggedRecord> Release(const std::vector<bool>& take);
+  /// Truncates every stream log's prefix of entries with global index
+  /// <= `safe_index` once the dead run is worth the erase.
+  void Compact(uint64_t safe_index);
 
-  std::vector<Timestamp> ts_;        // dispatch log, parallel arrays
-  std::vector<SequenceNumber> seq_;
+  size_t compact_min_;
+  std::vector<StreamLog> logs_;  // indexed by StreamId
   std::vector<TaggedRecord> pending_;
+  uint64_t dispatched_ = 0;  // global dispatch clock (== last issued index)
   uint64_t merged_ = 0;
+  size_t live_entries_ = 0;
+  size_t peak_log_len_ = 0;
+  uint64_t compactions_ = 0;
+  uint64_t compacted_entries_ = 0;
   bool warned_order_ = false;
 };
 

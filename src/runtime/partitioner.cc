@@ -7,7 +7,9 @@ namespace sase {
 Partitioner::Partitioner(const Catalog* catalog, std::string key_attr,
                          int shard_count)
     : catalog_(catalog), key_attr_(std::move(key_attr)),
-      shard_count_(shard_count) {}
+      shard_count_(shard_count) {
+  (void)InternStream("");  // the default input is always stream 0
+}
 
 AttrIndex Partitioner::KeyIndex(EventTypeId type) const {
   size_t index = static_cast<size_t>(type);
@@ -30,10 +32,31 @@ int Partitioner::ShardFor(const Event& event) const {
                           static_cast<size_t>(shard_count_));
 }
 
+StreamId Partitioner::InternStream(const std::string& stream) {
+  auto it = stream_ids_.find(stream);
+  if (it != stream_ids_.end()) return it->second;
+  StreamId id = static_cast<StreamId>(streams_.size());
+  stream_ids_.emplace(stream, id);
+  StreamState state;
+  state.name = stream;
+  state.per_shard.assign(static_cast<size_t>(shard_count_), 0);
+  streams_.push_back(std::move(state));
+  return id;
+}
+
+int Partitioner::Route(StreamId stream, const Event& event) {
+  int shard = ShardFor(event);
+  StreamState& state = streams_[stream];
+  state.clock = event.timestamp();
+  state.last_seq = event.seq();
+  ++state.events;
+  ++state.per_shard[static_cast<size_t>(shard)];
+  return shard;
+}
+
 bool Partitioner::Shardable(const AnalyzedQuery& query, const Catalog& catalog,
                             const std::string& key_attr,
                             const PlanOptions& options) {
-  if (!query.parsed.from_stream.empty()) return false;
   if (query.has_aggregates) return false;
   if (query.positive_slots.empty()) return false;
 

@@ -1,11 +1,14 @@
 #ifndef SASE_RUNTIME_PARTITIONER_H_
 #define SASE_RUNTIME_PARTITIONER_H_
 
+#include <limits>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/catalog.h"
 #include "core/event.h"
+#include "core/stream.h"
 #include "engine/planner.h"
 #include "query/analyzer.h"
 
@@ -14,6 +17,13 @@ namespace sase {
 /// Routes events to shards by a key attribute (default `TagId` — the natural
 /// partition key of an RFID stream) and decides which queries can be
 /// distributed across those shards without changing results.
+///
+/// The partitioner is stream-aware: every named `FROM` input the runtime
+/// sees is interned to a dense StreamId (0 = the default input), and each
+/// stream carries its own dispatch stamp — clock (last dispatched
+/// timestamp), event count and per-shard routing counts. Shardability is a
+/// property of the query alone; events of every stream hash by the same key
+/// attribute, so one shard owns a key value across all streams.
 ///
 /// Routing rules:
 ///   - Events whose type carries the key attribute hash by key *value*, so
@@ -28,20 +38,43 @@ namespace sase {
 ///     them, and those are correct under any routing.
 class Partitioner {
  public:
+  /// Per-stream dispatch stamp, updated by Route on the dispatcher thread.
+  struct StreamState {
+    std::string name;  // lowercased FROM name; empty = default input
+    Timestamp clock = std::numeric_limits<Timestamp>::min();  // last ts
+    SequenceNumber last_seq = 0;
+    uint64_t events = 0;
+    std::vector<uint64_t> per_shard;  // routed events per shard
+  };
+
   Partitioner(const Catalog* catalog, std::string key_attr, int shard_count);
 
   /// Shard owning `event`'s partition, in [0, shard_count).
   int ShardFor(const Event& event) const;
+
+  /// Interns a (lowercased) stream name; the empty string is always stream
+  /// 0, the default input. Dispatcher thread only.
+  StreamId InternStream(const std::string& stream);
+
+  /// Routes one dispatched event of `stream`: ShardFor plus the stream's
+  /// dispatch stamp (clock, counts). Dispatcher thread only.
+  int Route(StreamId stream, const Event& event);
 
   /// True when `type` carries the key attribute.
   bool HasKey(EventTypeId type) const { return KeyIndex(type) >= 0; }
 
   const std::string& key_attr() const { return key_attr_; }
   int shard_count() const { return shard_count_; }
+  /// All interned streams (index = StreamId); streams().front() is the
+  /// default input.
+  const std::vector<StreamState>& streams() const { return streams_; }
 
   /// True when `query`, compiled under `options`, can be mirrored into every
   /// shard engine with each shard seeing only its key partition's events and
-  /// the union of shard outputs equal to serial output. Two classes qualify:
+  /// the union of shard outputs equal to serial output. The query's input
+  /// stream is irrelevant: a FROM-stream query shards exactly like a
+  /// default-input query, it just reads a different feed on every shard.
+  /// Two classes qualify:
   ///
   ///   1. Stateless single-event queries (one positive variable, no
   ///      negation, no aggregates): every event is evaluated on its own, so
@@ -53,8 +86,7 @@ class Partitioner {
   ///      events of one key value, all of which live on one shard.
   ///
   /// Aggregates disqualify: RETURN-clause aggregates fold running state over
-  /// the full composite-event stream, which sharding would split. Queries
-  /// reading a named FROM stream are out of scope for the runtime.
+  /// the full composite-event stream, which sharding would split.
   static bool Shardable(const AnalyzedQuery& query, const Catalog& catalog,
                         const std::string& key_attr,
                         const PlanOptions& options);
@@ -68,6 +100,8 @@ class Partitioner {
   // Key attribute index per EventTypeId; grown lazily from the single
   // dispatcher thread (the runtime routes from one thread by design).
   mutable std::vector<AttrIndex> key_index_cache_;
+  std::vector<StreamState> streams_;
+  std::unordered_map<std::string, StreamId> stream_ids_;
 };
 
 }  // namespace sase

@@ -6,20 +6,19 @@
 
 #include "query/analyzer.h"
 #include "query/parser.h"
+#include "util/string_util.h"
 
 namespace sase {
-
-namespace {
-constexpr Timestamp kMinTimestamp = std::numeric_limits<Timestamp>::min();
-}  // namespace
 
 ShardedRuntime::ShardedRuntime(const Catalog* catalog, RuntimeConfig config,
                                EngineInit engine_init)
     : catalog_(catalog), config_(config),
       partitioner_(catalog, config_.partition_key,
-                   std::max(1, config_.shard_count)) {
+                   std::max(1, config_.shard_count)),
+      merger_(config_.log_compact_min) {
   config_.shard_count = std::max(1, config_.shard_count);
   if (config_.batch_size == 0) config_.batch_size = 1;
+  stream_queries_.resize(partitioner_.streams().size());
 
   // shard workers 0..N-1, broadcast worker N.
   for (int i = 0; i <= config_.shard_count; ++i) {
@@ -44,35 +43,52 @@ ShardedRuntime::~ShardedRuntime() {
 void ShardedRuntime::WorkerLoop(Worker* worker) {
   EventBatch batch;
   while (worker->queue.Pop(&batch)) {
-    for (const EventPtr& event : batch.events) {
-      worker->engine->OnEvent(event);
-      worker->progress_ts.store(event->timestamp(), std::memory_order_release);
+    if (batch.stream.empty()) {
+      for (const EventPtr& event : batch.events) {
+        worker->engine->OnEvent(event);
+      }
+    } else {
+      worker->engine->OnStreamEvents(batch.stream, batch.events);
     }
-    if (batch.watermark >= 0) {
-      worker->engine->OnWatermark(batch.watermark);
-      // Dispatch order guarantees no later event is older than the
-      // watermark, so the worker's future output triggers at or after it.
-      Timestamp progress = worker->progress_ts.load(std::memory_order_relaxed);
-      worker->progress_ts.store(std::max(progress, batch.watermark),
-                                std::memory_order_release);
+    for (const auto& [stream, ts] : batch.clocks) {
+      if (stream.empty()) {
+        worker->engine->OnWatermark(ts);
+      } else {
+        worker->engine->OnStreamWatermark(stream, ts);
+      }
     }
     if (batch.flush) worker->engine->OnFlush();
-    // Ack only once the whole batch — events, watermark, flush — is done;
+    // Publish the progress claim only after the engine finished the batch:
+    // every record this worker can still emit now triggers strictly after
+    // progress_hi in global dispatch order.
+    if (batch.progress_hi > 0) {
+      worker->progress_hi.store(batch.progress_hi, std::memory_order_release);
+    }
+    // Ack only once the whole batch — events, clocks, flush — is done;
     // WaitDrained relies on this to know the engine is quiescent.
     worker->batches_processed.fetch_add(1, std::memory_order_release);
   }
 }
 
-OutputCallback ShardedRuntime::CaptureCallback(Worker* worker, QueryId id) {
-  return [worker, id](const OutputRecord& record) {
+OutputCallback ShardedRuntime::CaptureCallback(Worker* worker, QueryId id,
+                                               StreamId stream) {
+  return [worker, id, stream](const OutputRecord& record) {
     std::lock_guard<std::mutex> lock(worker->out_mutex);
     TaggedRecord tagged;
     tagged.query = id;
+    tagged.stream = stream;
     tagged.worker = worker->index;
     tagged.arrival = worker->arrival_counter++;
     tagged.record = record;
     worker->out.push_back(std::move(tagged));
   };
+}
+
+ShardedRuntime::StreamQueries& ShardedRuntime::QueriesFor(StreamId stream) {
+  if (stream_queries_.size() <= stream) {
+    stream_queries_.resize(static_cast<size_t>(stream) + 1);
+  }
+  return stream_queries_[stream];
 }
 
 Result<QueryId> ShardedRuntime::Register(const std::string& text,
@@ -83,11 +99,7 @@ Result<QueryId> ShardedRuntime::Register(const std::string& text,
   Analyzer analyzer(catalog_, config_.time_config);
   auto analyzed = analyzer.Analyze(std::move(parsed).value());
   if (!analyzed.ok()) return analyzed.status();
-  if (!analyzed.value().parsed.from_stream.empty()) {
-    return Status::Unimplemented(
-        "sharded runtime feeds the default input stream only; register "
-        "FROM-stream queries on a serial engine");
-  }
+  std::string stream_name = ToLower(analyzed.value().parsed.from_stream);
   bool sharded = Partitioner::Shardable(analyzed.value(), *catalog_,
                                         config_.partition_key, options);
 
@@ -95,11 +107,13 @@ Result<QueryId> ShardedRuntime::Register(const std::string& text,
   // the next batch publishes the new plan to the worker.
   WaitIdle();
 
+  StreamId stream = partitioner_.InternStream(stream_name);
   QueryId id = next_id_++;
   if (sharded) {
     for (int s = 0; s < config_.shard_count; ++s) {
       auto result = workers_[static_cast<size_t>(s)]->engine->RegisterAs(
-          id, text, CaptureCallback(workers_[static_cast<size_t>(s)].get(), id),
+          id, text,
+          CaptureCallback(workers_[static_cast<size_t>(s)].get(), id, stream),
           options);
       if (!result.ok()) {
         for (int undo = 0; undo < s; ++undo) {
@@ -109,14 +123,16 @@ Result<QueryId> ShardedRuntime::Register(const std::string& text,
       }
     }
     ++sharded_queries_;
+    ++QueriesFor(stream).sharded;
   } else {
     Worker& host = broadcast_worker();
-    auto result =
-        host.engine->RegisterAs(id, text, CaptureCallback(&host, id), options);
+    auto result = host.engine->RegisterAs(
+        id, text, CaptureCallback(&host, id, stream), options);
     if (!result.ok()) return result.status();
     ++broadcast_queries_;
+    ++QueriesFor(stream).broadcast;
   }
-  queries_.emplace(id, QueryEntry{std::move(callback), sharded});
+  queries_.emplace(id, QueryEntry{std::move(callback), sharded, stream});
   return id;
 }
 
@@ -131,9 +147,11 @@ Status ShardedRuntime::Unregister(QueryId id) {
       (void)workers_[static_cast<size_t>(s)]->engine->Unregister(id);
     }
     --sharded_queries_;
+    --QueriesFor(it->second.stream).sharded;
   } else {
     (void)broadcast_worker().engine->Unregister(id);
     --broadcast_queries_;
+    --QueriesFor(it->second.stream).broadcast;
   }
   queries_.erase(it);
   return Status::Ok();
@@ -144,17 +162,37 @@ bool ShardedRuntime::IsSharded(QueryId id) const {
   return it != queries_.end() && it->second.sharded;
 }
 
-void ShardedRuntime::AppendToWorker(Worker* worker, const EventPtr& event) {
+void ShardedRuntime::AppendToWorker(Worker* worker, const std::string& stream,
+                                    const EventPtr& event, uint64_t global) {
+  // One batch carries one stream; cut on a switch so the worker can route
+  // the whole batch with a single stream lookup.
+  if (!worker->pending.events.empty() && worker->pending.stream != stream) {
+    FlushBatch(worker, nullptr, /*flush=*/false);
+  }
+  worker->pending.stream = stream;
   worker->pending.events.push_back(event);
+  worker->pending_last_global = global;
   if (worker->pending.events.size() >= config_.batch_size) {
-    FlushPending(worker, /*watermark=*/-1, /*flush=*/false);
+    FlushBatch(worker, nullptr, /*flush=*/false);
   }
 }
 
-void ShardedRuntime::FlushPending(Worker* worker, Timestamp watermark,
-                                  bool flush) {
-  if (worker->pending.events.empty() && watermark < 0 && !flush) return;
-  worker->pending.watermark = watermark;
+void ShardedRuntime::FlushBatch(Worker* worker, const Clocks* clocks,
+                                bool flush) {
+  if (worker->pending.events.empty() && clocks == nullptr && !flush) return;
+  if (clocks != nullptr) {
+    worker->pending.clocks = *clocks;
+    // The clocks release every deferral triggered at or below the current
+    // dispatch point, so the batch certifies the full prefix.
+    worker->pending.progress_hi = events_dispatched_;
+  } else if (!worker->pending.events.empty() && !multi_routed_) {
+    // Single-stream traffic: the batch's own events are the clock — any
+    // record the worker can emit after them triggers later in dispatch
+    // order. With interleaved streams this claim would be wrong (another
+    // stream's deferral could trigger earlier), so progress then only
+    // advances at clock broadcasts.
+    worker->pending.progress_hi = worker->pending_last_global;
+  }
   worker->pending.flush = flush;
   ++worker->batches_enqueued;
   worker->queue.Push(std::move(worker->pending));
@@ -162,28 +200,71 @@ void ShardedRuntime::FlushPending(Worker* worker, Timestamp watermark,
 }
 
 void ShardedRuntime::OnEvent(const EventPtr& event) {
-  merger_.NoteDispatched(event->timestamp(), event->seq());
-  ++events_dispatched_;
-  last_dispatched_ts_ = event->timestamp();
-  any_dispatched_ = true;
+  Dispatch(kDefaultStream, std::string(), event);
+}
 
-  if (sharded_queries_ > 0) {
-    Worker& shard =
-        *workers_[static_cast<size_t>(partitioner_.ShardFor(*event))];
-    AppendToWorker(&shard, event);
+void ShardedRuntime::OnStreamEvent(const std::string& stream,
+                                   const EventPtr& event) {
+  // Streams are few and arrive in runs; resolving (lowercase + intern) only
+  // on a name change keeps the per-event dispatch path allocation-free.
+  if (!last_stream_valid_ || stream != last_stream_raw_) {
+    last_stream_raw_ = stream;
+    last_stream_name_ = ToLower(stream);
+    last_stream_id_ = partitioner_.InternStream(last_stream_name_);
+    last_stream_valid_ = true;
   }
-  if (broadcast_queries_ > 0) AppendToWorker(&broadcast_worker(), event);
+  Dispatch(last_stream_id_, last_stream_name_, event);
+}
+
+void ShardedRuntime::Dispatch(StreamId stream, const std::string& name,
+                              const EventPtr& event) {
+  uint64_t global =
+      merger_.NoteDispatched(stream, event->timestamp(), event->seq());
+  events_dispatched_ = global;
+  int shard = partitioner_.Route(stream, *event);
+
+  const StreamQueries& hosts = QueriesFor(stream);
+  if (hosts.sharded > 0 || hosts.broadcast > 0) {
+    if (!any_routed_) {
+      any_routed_ = true;
+      routed_stream_ = stream;
+    } else if (stream != routed_stream_) {
+      multi_routed_ = true;
+    }
+    if (hosts.sharded > 0) {
+      AppendToWorker(workers_[static_cast<size_t>(shard)].get(), name, event,
+                     global);
+    }
+    if (hosts.broadcast > 0) {
+      AppendToWorker(&broadcast_worker(), name, event, global);
+    }
+  }
 
   if (config_.merge_interval > 0 &&
       events_dispatched_ % config_.merge_interval == 0) {
-    // Broadcast the stream clock so quiet shards release tail-negation
-    // deferrals, then surface whatever is safely ordered.
-    for (auto& worker : workers_) {
-      if (WorkerHostsQueries(*worker)) {
-        FlushPending(worker.get(), last_dispatched_ts_, /*flush=*/false);
-      }
-    }
+    // Broadcast every stream's clock so quiet shards release tail-negation
+    // deferrals, then surface whatever is safely ordered and compact the
+    // dispatch log underneath it.
+    BroadcastClocks();
     DeliverReady();
+  }
+}
+
+ShardedRuntime::Clocks ShardedRuntime::CurrentClocks() const {
+  Clocks clocks;
+  for (const Partitioner::StreamState& state : partitioner_.streams()) {
+    if (state.events > 0) clocks.emplace_back(state.name, state.clock);
+  }
+  return clocks;
+}
+
+void ShardedRuntime::BroadcastClocks() {
+  Clocks clocks = CurrentClocks();
+  if (clocks.empty()) return;
+  for (auto& worker : workers_) {
+    if (WorkerHostsQueries(*worker)) {
+      FlushBatch(worker.get(), &clocks, /*flush=*/false);
+    }
   }
 }
 
@@ -201,23 +282,21 @@ void ShardedRuntime::WaitDrained(Worker* worker) {
 }
 
 void ShardedRuntime::WaitIdle() {
-  Timestamp watermark = any_dispatched_ ? last_dispatched_ts_ : -1;
+  BroadcastClocks();
   for (auto& worker : workers_) {
-    FlushPending(worker.get(),
-                 WorkerHostsQueries(*worker) ? watermark : Timestamp{-1},
-                 /*flush=*/false);
+    FlushBatch(worker.get(), nullptr, /*flush=*/false);
   }
   for (auto& worker : workers_) WaitDrained(worker.get());
   // With every queue drained, all emitted records are buffered here and any
   // future record triggers strictly later in dispatch order, so everything
-  // with a resolved trigger is safe to release.
+  // at or below the current dispatch point is safe to release.
   CollectOutputs();
-  Deliver(merger_.DrainReady(std::numeric_limits<Timestamp>::max()));
+  Deliver(merger_.DrainReady(events_dispatched_));
 }
 
 void ShardedRuntime::OnFlush() {
   for (auto& worker : workers_) {
-    FlushPending(worker.get(), /*watermark=*/-1, /*flush=*/true);
+    FlushBatch(worker.get(), nullptr, /*flush=*/true);
   }
   for (auto& worker : workers_) WaitDrained(worker.get());
   CollectOutputs();
@@ -236,15 +315,15 @@ void ShardedRuntime::CollectOutputs() {
 }
 
 void ShardedRuntime::DeliverReady() {
-  Timestamp threshold = std::numeric_limits<Timestamp>::max();
+  uint64_t threshold = std::numeric_limits<uint64_t>::max();
   bool any = false;
   for (auto& worker : workers_) {
     if (!WorkerHostsQueries(*worker)) continue;
     threshold = std::min(
-        threshold, worker->progress_ts.load(std::memory_order_acquire));
+        threshold, worker->progress_hi.load(std::memory_order_acquire));
     any = true;
   }
-  if (!any || threshold == kMinTimestamp) return;
+  if (!any || threshold == 0) return;
   CollectOutputs();
   Deliver(merger_.DrainReady(threshold));
 }
@@ -267,6 +346,20 @@ QueryEngine::EngineStats ShardedRuntime::Stats() {
   return total;
 }
 
+ShardedRuntime::RuntimeStats ShardedRuntime::FullStats() {
+  RuntimeStats stats;
+  stats.engine = Stats();  // quiesces
+  stats.events_dispatched = events_dispatched_;
+  stats.records_merged = merger_.merged_count();
+  stats.merge_pending = merger_.pending_count();
+  stats.dispatch_log_len = merger_.log_len();
+  stats.peak_dispatch_log_len = merger_.peak_log_len();
+  stats.log_compactions = merger_.compaction_count();
+  stats.log_entries_compacted = merger_.compacted_entries();
+  stats.stream_count = partitioner_.streams().size();
+  return stats;
+}
+
 std::string ShardedRuntime::StatsReport() {
   WaitIdle();
   std::ostringstream out;
@@ -276,6 +369,23 @@ std::string ShardedRuntime::StatsReport() {
       << " dispatched=" << events_dispatched_
       << " merged=" << merger_.merged_count()
       << " pending=" << merger_.pending_count() << "\n";
+  out << "dispatch log: len=" << merger_.log_len()
+      << " peak=" << merger_.peak_log_len()
+      << " compactions=" << merger_.compaction_count() << " ("
+      << merger_.compacted_entries() << " entries reclaimed)\n";
+  for (size_t s = 0; s < partitioner_.streams().size(); ++s) {
+    const Partitioner::StreamState& state = partitioner_.streams()[s];
+    StreamQueries queries = s < stream_queries_.size() ? stream_queries_[s]
+                                                       : StreamQueries{};
+    out << "stream " << (state.name.empty() ? "<default>" : state.name)
+        << ": events=" << state.events << " queries=" << queries.sharded
+        << "+" << queries.broadcast << " shards=[";
+    for (size_t i = 0; i < state.per_shard.size(); ++i) {
+      if (i > 0) out << " ";
+      out << state.per_shard[i];
+    }
+    out << "]\n";
+  }
   for (auto& worker : workers_) {
     QueryEngine::EngineStats stats = worker->engine->Stats();
     out << (worker->index == config_.shard_count

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/catalog.h"
@@ -33,10 +34,15 @@ struct RuntimeConfig {
   size_t batch_size = 256;
   /// Batches per shard queue before the dispatcher blocks (backpressure).
   size_t queue_capacity = 64;
-  /// Dispatcher events between incremental merge attempts (and watermark
-  /// broadcasts that unstick quiet shards' tail negations). 0 disables
+  /// Dispatcher events between incremental merge attempts (and per-stream
+  /// clock broadcasts that unstick quiet shards' tail negations). 0 disables
   /// incremental delivery: all output surfaces on OnFlush/WaitIdle.
   size_t merge_interval = 4096;
+  /// Dead dispatch-log prefix entries a stream log accumulates before the
+  /// merger physically truncates it (amortizes the erase). SIZE_MAX disables
+  /// compaction — the log then grows with the stream, the pre-compaction
+  /// behavior kept for benchmarking the difference.
+  size_t log_compact_min = 1024;
   TimeConfig time_config;
 };
 
@@ -44,14 +50,13 @@ struct RuntimeConfig {
 /// N+1 private QueryEngine instances, scaling the complex event processor
 /// across cores while producing byte-identical output to serial execution.
 ///
-///   StreamBus / source (dispatcher thread)
-///     -> Partitioner: key-hash routing (TagId) + batching
+///   StreamBus / sources (dispatcher thread)
+///     -> Partitioner: key-hash routing (TagId) + per-stream batching
 ///        -> SPSC ring -> shard worker 0 .. N-1 (own QueryEngine each)
 ///        -> SPSC ring -> broadcast worker (non-shardable queries, all
 ///                        events)
 ///     <- OutputMerger: re-sequences tagged shard outputs into serial
-///        (timestamp, seq) order; user callbacks fire on the dispatcher
-///        thread.
+///        dispatch order; user callbacks fire on the dispatcher thread.
 ///
 /// Shardable queries (see Partitioner::Shardable) are mirrored into every
 /// shard engine under the same QueryId; each shard evaluates only its key
@@ -60,12 +65,23 @@ struct RuntimeConfig {
 /// else runs serially on the broadcast worker, which receives the full
 /// stream.
 ///
-/// Threading contract: Register/Unregister/OnEvent/OnFlush/WaitIdle are
-/// called from ONE dispatcher thread (the stream's producer). Output
-/// callbacks fire on that same thread, during OnEvent (incremental merges),
-/// OnFlush and WaitIdle — user code never needs to synchronize. Events must
-/// arrive in stream order (non-decreasing timestamp, increasing seq), the
-/// invariant StreamSource already enforces.
+/// Named input streams: queries with a `FROM <stream>` clause route through
+/// the runtime exactly like default-input queries — feed their events in via
+/// OnStreamEvent. Each stream keeps its own dispatch log and clock; the
+/// merge order across streams is the dispatch interleaving, i.e. the order
+/// the serial engine would have seen the OnEvent/OnStreamEvent calls.
+///
+/// Memory bound: the merger's dispatch log is compacted below the merge
+/// watermark after every incremental merge, so steady-state runtime memory
+/// is O(shards x in-flight window) — batches in flight plus one
+/// merge-interval of log — independent of total stream length.
+///
+/// Threading contract: Register/Unregister/OnEvent/OnStreamEvent/OnFlush/
+/// WaitIdle are called from ONE dispatcher thread (the stream's producer).
+/// Output callbacks fire on that same thread, during OnEvent (incremental
+/// merges), OnFlush and WaitIdle — user code never needs to synchronize.
+/// Events must arrive in stream order per input stream (non-decreasing
+/// timestamp, increasing seq), the invariant StreamSource already enforces.
 class ShardedRuntime : public EventSink {
  public:
   /// Hook run once per private engine at construction, before any query
@@ -82,9 +98,10 @@ class ShardedRuntime : public EventSink {
   ShardedRuntime& operator=(const ShardedRuntime&) = delete;
 
   /// Registers a continuous query; `callback` receives merged, serially
-  /// ordered records on the dispatcher thread. Quiesces the workers, so
-  /// mid-stream registration is safe (the query sees the stream suffix,
-  /// exactly as with a serial engine).
+  /// ordered records on the dispatcher thread. Queries reading a named FROM
+  /// stream are hosted like any other — their events arrive via
+  /// OnStreamEvent. Quiesces the workers, so mid-stream registration is safe
+  /// (the query sees the stream suffix, exactly as with a serial engine).
   Result<QueryId> Register(const std::string& text, OutputCallback callback,
                            PlanOptions options = {});
 
@@ -93,8 +110,13 @@ class ShardedRuntime : public EventSink {
   /// that an unregistered plan's undelivered state vanishes.
   Status Unregister(QueryId id);
 
-  // EventSink: routes one event (dispatcher thread).
+  // EventSink: routes one default-input event (dispatcher thread).
   void OnEvent(const EventPtr& event) override;
+
+  /// Routes one event of a named input stream (case-insensitive), the
+  /// sharded counterpart of QueryEngine::OnStreamEvent. Only queries
+  /// registered with `FROM <stream>` receive it.
+  void OnStreamEvent(const std::string& stream, const EventPtr& event);
 
   /// End-of-stream barrier: flushes partial batches, waits for every worker
   /// to flush its engine (releasing tail-negation deferrals), then merges
@@ -116,13 +138,38 @@ class ShardedRuntime : public EventSink {
   uint64_t records_merged() const { return merger_.merged_count(); }
   const Partitioner& partitioner() const { return partitioner_; }
 
+  // Dispatch-log health (the memory-bound guarantee, live — no quiesce).
+  size_t dispatch_log_len() const { return merger_.log_len(); }
+  size_t peak_dispatch_log_len() const { return merger_.peak_log_len(); }
+  uint64_t log_compactions() const { return merger_.compaction_count(); }
+  uint64_t log_entries_compacted() const { return merger_.compacted_entries(); }
+
   /// Aggregated engine counters across all workers (quiesces first).
   QueryEngine::EngineStats Stats();
 
-  /// Multi-line fleet view: per-worker engine lines plus merger state.
+  /// Fleet-wide runtime counters: the aggregated engine view plus dispatch,
+  /// merge and dispatch-log health (quiesces first).
+  struct RuntimeStats {
+    QueryEngine::EngineStats engine;
+    uint64_t events_dispatched = 0;
+    uint64_t records_merged = 0;
+    size_t merge_pending = 0;
+    size_t dispatch_log_len = 0;
+    size_t peak_dispatch_log_len = 0;
+    uint64_t log_compactions = 0;
+    uint64_t log_entries_compacted = 0;
+    size_t stream_count = 0;  // interned input streams (incl. default)
+  };
+  RuntimeStats FullStats();
+
+  /// Multi-line fleet view: per-worker engine lines, merger and dispatch-log
+  /// state, and one line per input stream (events, queries, per-shard
+  /// routing counts).
   std::string StatsReport();
 
  private:
+  using Clocks = std::vector<std::pair<std::string, Timestamp>>;
+
   struct Worker {
     Worker(int index_in, size_t queue_capacity) : index(index_in), queue(queue_capacity) {}
 
@@ -133,15 +180,18 @@ class ShardedRuntime : public EventSink {
     std::thread thread;
 
     // Dispatcher-side state.
-    EventBatch pending;           // accumulating batch
+    EventBatch pending;                // accumulating batch (one stream)
+    uint64_t pending_last_global = 0;  // global index of pending's last event
     uint64_t batches_enqueued = 0;
 
     // Worker-side progress, read by the dispatcher. The batch counter is
-    // advanced only after the WHOLE batch — events, watermark, flush —
+    // advanced only after the WHOLE batch — events, clocks, flush —
     // finished, so batches_processed == batches_enqueued means the worker
-    // is parked on its ring and its engine is safe to touch.
+    // is parked on its ring and its engine is safe to touch. progress_hi
+    // republishes the highest batch progress claim (global dispatch index
+    // below which this worker can emit nothing new).
     std::atomic<uint64_t> batches_processed{0};
-    std::atomic<Timestamp> progress_ts{std::numeric_limits<Timestamp>::min()};
+    std::atomic<uint64_t> progress_hi{0};
 
     // Output capture: engine callbacks append under `out_mutex`; the
     // dispatcher swaps the buffer out when merging.
@@ -153,6 +203,15 @@ class ShardedRuntime : public EventSink {
   struct QueryEntry {
     OutputCallback callback;
     bool sharded = false;
+    StreamId stream = kDefaultStream;
+  };
+
+  /// Registered-query counts per input stream; events of a stream nobody
+  /// reads skip the worker handoff entirely (they still stamp the dispatch
+  /// log, preserving the global order).
+  struct StreamQueries {
+    size_t sharded = 0;
+    size_t broadcast = 0;
   };
 
   int broadcast_index() const { return config_.shard_count; }
@@ -160,11 +219,20 @@ class ShardedRuntime : public EventSink {
 
   void WorkerLoop(Worker* worker);
   bool WorkerHostsQueries(const Worker& worker) const;
-  OutputCallback CaptureCallback(Worker* worker, QueryId id);
-  void AppendToWorker(Worker* worker, const EventPtr& event);
-  /// Pushes the worker's partial batch (if any, or if it carries a
-  /// watermark / flush marker).
-  void FlushPending(Worker* worker, Timestamp watermark, bool flush);
+  OutputCallback CaptureCallback(Worker* worker, QueryId id, StreamId stream);
+  StreamQueries& QueriesFor(StreamId stream);
+  /// Shared dispatch tail of OnEvent/OnStreamEvent.
+  void Dispatch(StreamId stream, const std::string& name,
+                const EventPtr& event);
+  void AppendToWorker(Worker* worker, const std::string& stream,
+                      const EventPtr& event, uint64_t global);
+  /// Pushes the worker's partial batch (if any, or if it carries clocks or a
+  /// flush marker), stamping the progress claim.
+  void FlushBatch(Worker* worker, const Clocks* clocks, bool flush);
+  /// Per-stream clocks of every stream with traffic.
+  Clocks CurrentClocks() const;
+  /// Flushes batches with the current clocks to every hosting worker.
+  void BroadcastClocks();
   void CollectOutputs();
   void DeliverReady();
   void Deliver(std::vector<TaggedRecord> records);
@@ -177,13 +245,23 @@ class ShardedRuntime : public EventSink {
 
   std::vector<std::unique_ptr<Worker>> workers_;  // shards + broadcast
   std::map<QueryId, QueryEntry> queries_;
+  std::vector<StreamQueries> stream_queries_;  // indexed by StreamId
   QueryId next_id_ = 1;
   size_t sharded_queries_ = 0;
   size_t broadcast_queries_ = 0;
 
-  uint64_t events_dispatched_ = 0;
-  Timestamp last_dispatched_ts_ = 0;
-  bool any_dispatched_ = false;
+  uint64_t events_dispatched_ = 0;  // == global dispatch index of last event
+  // Memoized OnStreamEvent name resolution (raw -> lowered + interned id).
+  std::string last_stream_raw_;
+  std::string last_stream_name_;
+  StreamId last_stream_id_ = kDefaultStream;
+  bool last_stream_valid_ = false;
+  // Event batches may claim merge progress only while every routed event so
+  // far belongs to one input stream (see FlushBatch); with interleaved
+  // streams, progress advances at clock broadcasts instead.
+  bool any_routed_ = false;
+  StreamId routed_stream_ = kDefaultStream;
+  bool multi_routed_ = false;
 };
 
 }  // namespace sase

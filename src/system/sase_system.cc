@@ -29,13 +29,13 @@ bool HasCall(const Expr& expr) {
 }
 
 /// True when the query must run on the serial engine even in sharded mode:
-/// it calls database functions, or reads a named FROM stream (which the
-/// runtime does not route).
+/// it calls database functions (the simulation thread owns the Event
+/// Database, so shard workers must never touch it). Named FROM streams are
+/// no longer a reason — the runtime routes them.
 bool RequiresSerialEngine(const std::string& text) {
   auto parsed = Parser::Parse(text);
   if (!parsed.ok()) return false;  // let registration surface the error
   const ParsedQuery& query = parsed.value();
-  if (!query.from_stream.empty()) return true;
   if (query.where != nullptr && HasCall(*query.where)) return true;
   for (const auto& item : query.return_items) {
     if (HasCall(*item.expr)) return true;
@@ -100,6 +100,8 @@ SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config)
     runtime_config.shard_count = config_.shard_count;
     runtime_config.partition_key = config_.partition_key;
     runtime_config.time_config = config_.time_config;
+    runtime_config.merge_interval = config_.runtime_merge_interval;
+    runtime_config.log_compact_min = config_.runtime_log_compact_min;
     runtime_ = std::make_unique<ShardedRuntime>(&catalog_, runtime_config);
     event_bus_.Subscribe(runtime_.get());
   }
@@ -156,10 +158,10 @@ Result<QueryId> SaseSystem::RegisterMonitoringQuery(const std::string& name,
         .Append("[" + name + "] " + record.ToString());
     if (callback) callback(record);
   };
-  // Hybrid stream+database and FROM-stream queries stay on the serial
-  // engine; pure stream queries scale out when the runtime is enabled.
-  // Runtime callbacks fire on the simulation thread during merges, so the
-  // report board needs no locking either way.
+  // Hybrid stream+database queries stay on the serial engine; pure stream
+  // queries — including named FROM-stream readers — scale out when the
+  // runtime is enabled. Runtime callbacks fire on the simulation thread
+  // during merges, so the report board needs no locking either way.
   Result<QueryId> id =
       (runtime_ != nullptr && !RequiresSerialEngine(text))
           ? runtime_->Register(text, std::move(deliver))
@@ -190,6 +192,12 @@ Result<db::ResultSet> SaseSystem::ExecuteSql(const std::string& text) {
   channel.Append(result.ok() ? result.value().ToString()
                              : result.status().ToString());
   return result;
+}
+
+void SaseSystem::PublishStreamEvent(const std::string& stream,
+                                    const EventPtr& event) {
+  if (runtime_ != nullptr) runtime_->OnStreamEvent(stream, event);
+  engine_->OnStreamEvent(stream, event);
 }
 
 void SaseSystem::RunUntil(int64_t until_tick) {

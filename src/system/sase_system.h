@@ -32,13 +32,18 @@ struct SystemConfig {
 
   /// Complex-event-processor parallelism: with shard_count >= 2 a
   /// ShardedRuntime is attached to the event bus and monitoring queries that
-  /// neither call database functions nor read a named stream execute across
-  /// `shard_count` worker threads, partitioned by `partition_key`. Archiving
-  /// rules and function-calling (hybrid stream+database) queries always run
-  /// on the serial engine so that only the simulation thread touches the
-  /// Event Database. 0/1 = fully serial (the seed behavior).
+  /// do not call database functions — including named FROM-stream readers —
+  /// execute across `shard_count` worker threads, partitioned by
+  /// `partition_key`. Archiving rules and function-calling (hybrid
+  /// stream+database) queries always run on the serial engine so that only
+  /// the simulation thread touches the Event Database. 0/1 = fully serial
+  /// (the seed behavior).
   int shard_count = 1;
   std::string partition_key = "TagId";
+  /// Runtime merge cadence (events between incremental merges + clock
+  /// broadcasts) and dispatch-log compaction threshold; see RuntimeConfig.
+  size_t runtime_merge_interval = 4096;
+  size_t runtime_log_compact_min = 1024;
 };
 
 /// The complete SASE system of Figure 1, assembled:
@@ -93,6 +98,11 @@ class SaseSystem {
   /// Ad-hoc SQL against the Event Database; statement and result are
   /// logged to the "Database Report" channel.
   Result<db::ResultSet> ExecuteSql(const std::string& text);
+
+  /// Publishes one event onto a named input stream: FROM-stream queries on
+  /// the runtime (when enabled) and the serial engine receive it. Call from
+  /// the simulation thread; events must arrive in stream order per stream.
+  void PublishStreamEvent(const std::string& stream, const EventPtr& event);
 
   /// Advances the simulation to `until_tick` (readers poll every tick).
   void RunUntil(int64_t until_tick);

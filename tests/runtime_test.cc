@@ -109,6 +109,41 @@ TEST_F(PartitionerTest, DisabledPartitioningIsNotShardable) {
       options));
 }
 
+TEST_F(PartitionerTest, FromStreamQueryShardsLikeDefaultInput) {
+  // Stream-aware classification: the input stream is irrelevant to
+  // shardability — the same pattern shards whether it reads the default
+  // input or a named FROM stream.
+  EXPECT_TRUE(Shardable(
+      "FROM sensors "
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+      "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 100"));
+  EXPECT_TRUE(Shardable("FROM sensors EVENT SHELF_READING s RETURN s.TagId"));
+  EXPECT_FALSE(Shardable("FROM sensors EVENT EXIT_READING e RETURN COUNT(*)"));
+}
+
+TEST_F(PartitionerTest, RouteKeepsPerStreamDispatchStamps) {
+  Partitioner partitioner(&catalog_, "TagId", 2);
+  StreamId def = partitioner.InternStream("");
+  StreamId sensors = partitioner.InternStream("sensors");
+  EXPECT_EQ(def, kDefaultStream);
+  EXPECT_EQ(partitioner.InternStream("sensors"), sensors);  // stable
+
+  EventBuilder b(catalog_, "SHELF_READING");
+  auto event = b.Set("TagId", "TAG0").Set("AreaId", 1).Build(10, 0);
+  ASSERT_TRUE(event.ok());
+  int shard = partitioner.Route(sensors, *event.value());
+  ASSERT_GE(shard, 0);
+  ASSERT_LT(shard, 2);
+
+  const auto& streams = partitioner.streams();
+  ASSERT_EQ(streams.size(), 2u);
+  EXPECT_EQ(streams[def].events, 0u);
+  EXPECT_EQ(streams[sensors].name, "sensors");
+  EXPECT_EQ(streams[sensors].events, 1u);
+  EXPECT_EQ(streams[sensors].clock, 10);
+  EXPECT_EQ(streams[sensors].per_shard[static_cast<size_t>(shard)], 1u);
+}
+
 TEST_F(PartitionerTest, RoutingIsDeterministicAndKeyStable) {
   Partitioner partitioner(&catalog_, "TagId", 4);
   SyntheticConfig config;
@@ -271,6 +306,141 @@ TEST(ShardedRuntimeTest, WatermarkReleasesTailNegationOnQuietShard) {
   EXPECT_GE(delivered, 50);
 }
 
+// --- Dispatch-log compaction (memory bound) ----------------------------------
+
+TEST(DispatchLogCompactionTest, LogStaysBoundedOnLongStream) {
+  // The acceptance bound: after N >> window events the live dispatch log is
+  // O(shards x in-flight window) — backpressured batches plus a few merge
+  // intervals — not O(N).
+  Catalog catalog = Catalog::RetailDemo();
+  RuntimeConfig config;
+  config.shard_count = 4;
+  config.batch_size = 32;
+  config.queue_capacity = 16;
+  config.merge_interval = 256;
+  config.log_compact_min = 64;
+  ShardedRuntime runtime(&catalog, config);
+
+  uint64_t outputs = 0;
+  auto id = runtime.Register(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+      "WHERE x.TagId = z.TagId WITHIN 20 RETURN x.TagId",
+      [&outputs](const OutputRecord&) { ++outputs; });
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  constexpr uint64_t kEvents = 50000;
+  for (uint64_t i = 0; i < kEvents; ++i) {
+    const char* type = (i % 7 == 6) ? "EXIT_READING" : "SHELF_READING";
+    EventBuilder b(catalog, type);
+    auto e = b.Set("TagId", "TAG" + std::to_string(i % 40))
+                 .Set("AreaId", static_cast<int64_t>(i % 4))
+                 .Build(static_cast<Timestamp>(1 + i / 4),
+                        static_cast<SequenceNumber>(i));
+    ASSERT_TRUE(e.ok());
+    runtime.OnEvent(e.value());
+  }
+  ASSERT_EQ(runtime.events_dispatched(), kEvents);
+
+  // In-flight bound: every worker can hold queue_capacity batches plus the
+  // dispatcher's pending one, and merges (hence compactions) run every
+  // merge_interval events.
+  size_t in_flight = static_cast<size_t>(config.shard_count + 1) *
+                     (config.queue_capacity + 1) * config.batch_size;
+  size_t bound = in_flight + 8 * config.merge_interval + config.log_compact_min;
+  EXPECT_LE(runtime.peak_dispatch_log_len(), bound);
+  EXPECT_LT(runtime.peak_dispatch_log_len(), kEvents / 10);
+  EXPECT_GT(runtime.log_compactions(), 0u);
+
+  runtime.WaitIdle();
+  // Quiescent: the whole log is below the watermark and reclaimed.
+  EXPECT_LE(runtime.dispatch_log_len(), config.log_compact_min);
+  EXPECT_EQ(runtime.log_entries_compacted() + runtime.dispatch_log_len(),
+            kEvents);
+  runtime.OnFlush();
+  EXPECT_GT(outputs, 0u);
+  EXPECT_EQ(runtime.dispatch_log_len(), 0u);
+}
+
+TEST(DispatchLogCompactionTest, IdleShardDoesNotBlockCompaction) {
+  // All traffic lands on one shard (single tag); the clock broadcast must
+  // advance the idle shards' merge progress so the watermark — and with it
+  // compaction — keeps moving.
+  Catalog catalog = Catalog::RetailDemo();
+  RuntimeConfig config;
+  config.shard_count = 8;
+  config.batch_size = 16;
+  config.merge_interval = 128;
+  config.log_compact_min = 64;
+  ShardedRuntime runtime(&catalog, config);
+
+  uint64_t outputs = 0;
+  auto id = runtime.Register(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+      "WHERE x.TagId = z.TagId WITHIN 10 RETURN x.TagId",
+      [&outputs](const OutputRecord&) { ++outputs; });
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(runtime.IsSharded(id.value()));
+
+  constexpr uint64_t kEvents = 20000;
+  for (uint64_t i = 0; i < kEvents; ++i) {
+    EventBuilder b(catalog, i % 5 == 4 ? "EXIT_READING" : "SHELF_READING");
+    auto e = b.Set("TagId", "LONER")
+                 .Set("AreaId", int64_t{1})
+                 .Build(static_cast<Timestamp>(1 + i / 2),
+                        static_cast<SequenceNumber>(i));
+    ASSERT_TRUE(e.ok());
+    runtime.OnEvent(e.value());
+  }
+  EXPECT_GT(runtime.log_compactions(), 0u);
+  EXPECT_LT(runtime.peak_dispatch_log_len(), kEvents / 4);
+  runtime.OnFlush();
+  EXPECT_GT(outputs, 0u);
+}
+
+TEST(DispatchLogCompactionTest, CompactionRacesTailNegationDeferralRelease) {
+  // Tail-negation deferrals resolve their trigger (first event past the
+  // release window) against the dispatch log; aggressive compaction must
+  // never truncate an entry a parked deferral still needs. Byte-identical
+  // output vs serial is the proof.
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = GoldenTrace(catalog);
+  const char* kQuery =
+      "EVENT SEQ(SHELF_READING x, !(EXIT_READING y)) "
+      "WHERE x.TagId = y.TagId WITHIN 30 RETURN x.TagId, x.Timestamp AS t";
+
+  std::vector<std::string> serial;
+  {
+    QueryEngine engine(&catalog);
+    ASSERT_TRUE(engine
+                    .Register(kQuery,
+                              [&serial](const OutputRecord& r) {
+                                serial.push_back(r.ToString());
+                              })
+                    .ok());
+    for (const auto& event : trace) engine.OnEvent(event);
+    engine.OnFlush();
+  }
+  ASSERT_GT(serial.size(), 50u);
+
+  std::vector<std::string> sharded;
+  RuntimeConfig config;
+  config.shard_count = 4;
+  config.batch_size = 4;
+  config.merge_interval = 32;  // merge + compact as often as possible
+  config.log_compact_min = 16;
+  ShardedRuntime runtime(&catalog, config);
+  ASSERT_TRUE(runtime
+                  .Register(kQuery,
+                            [&sharded](const OutputRecord& r) {
+                              sharded.push_back(r.ToString());
+                            })
+                  .ok());
+  for (const auto& event : trace) runtime.OnEvent(event);
+  runtime.OnFlush();
+  EXPECT_EQ(serial, sharded);
+  EXPECT_GT(runtime.log_compactions(), 0u);
+}
+
 // --- Registration lifecycle --------------------------------------------------
 
 TEST(ShardedRuntimeTest, UnregisterStopsDelivery) {
@@ -302,12 +472,147 @@ TEST(ShardedRuntimeTest, UnregisterStopsDelivery) {
   EXPECT_EQ(count, 1);
 }
 
-TEST(ShardedRuntimeTest, RejectsFromStreamQueries) {
+// --- Named FROM streams ------------------------------------------------------
+
+/// The golden workload rewritten against a named stream: key-partitioned
+/// patterns (middle and tail negation), a stateless projection, and a
+/// broadcast aggregate, all reading `FROM sensors`.
+const char* kFromStreamQueries[] = {
+    "FROM sensors "
+    "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+    "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 120",
+    "FROM sensors "
+    "EVENT SEQ(SHELF_READING x, COUNTER_READING y, !(EXIT_READING z)) "
+    "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 60 "
+    "RETURN x.TagId, x.Timestamp AS shelf_ts",
+    "FROM sensors EVENT SHELF_READING s WHERE s.AreaId = 2 RETURN s.TagId",
+    "FROM sensors EVENT EXIT_READING e RETURN COUNT(*) AS exits",
+};
+
+TEST(ShardedRuntimeFromStreamTest, ByteIdenticalToSerialAcrossShardCounts) {
   Catalog catalog = Catalog::RetailDemo();
-  ShardedRuntime runtime(&catalog, RuntimeConfig{});
-  auto id = runtime.Register("FROM other EVENT SHELF_READING s RETURN s.TagId",
-                             nullptr);
-  EXPECT_FALSE(id.ok());
+  auto trace = GoldenTrace(catalog);
+
+  // Serial reference: the same engine entry point the runtime mirrors
+  // (OnStreamEvent), fed in identical order.
+  std::vector<std::string> serial;
+  {
+    QueryEngine engine(&catalog);
+    for (size_t q = 0; q < std::size(kFromStreamQueries); ++q) {
+      auto id = engine.Register(kFromStreamQueries[q],
+                                [&serial, q](const OutputRecord& record) {
+                                  serial.push_back("q" + std::to_string(q) +
+                                                   "|" + record.ToString());
+                                });
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+    }
+    for (const auto& event : trace) engine.OnStreamEvent("sensors", event);
+    engine.OnFlush();
+  }
+  ASSERT_GT(serial.size(), 50u);
+
+  for (int shards : {2, 8}) {
+    std::vector<std::string> sharded;
+    RuntimeConfig config;
+    config.shard_count = shards;
+    config.merge_interval = 512;
+    config.batch_size = 64;
+    config.log_compact_min = 128;
+    ShardedRuntime runtime(&catalog, config);
+    for (size_t q = 0; q < std::size(kFromStreamQueries); ++q) {
+      auto id = runtime.Register(kFromStreamQueries[q],
+                                 [&sharded, q](const OutputRecord& record) {
+                                   sharded.push_back("q" + std::to_string(q) +
+                                                     "|" + record.ToString());
+                                 });
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+    }
+    // Patterns and the projection shard; the aggregate is broadcast.
+    EXPECT_TRUE(runtime.IsSharded(1));
+    EXPECT_TRUE(runtime.IsSharded(2));
+    EXPECT_TRUE(runtime.IsSharded(3));
+    EXPECT_FALSE(runtime.IsSharded(4));
+    // Mixed-case feed: stream names are case-insensitive end to end.
+    for (const auto& event : trace) runtime.OnStreamEvent("Sensors", event);
+    runtime.OnFlush();
+    EXPECT_EQ(serial, sharded) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedRuntimeFromStreamTest, MixedStreamsInterleaveInDispatchOrder) {
+  // One query on the default input, one on a named stream, events
+  // interleaved: merged output must reproduce the exact serial interleaving
+  // (the order of the OnEvent/OnStreamEvent calls), including incremental
+  // merges in multi-stream mode.
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = GoldenTrace(catalog);
+  const char* kDefaultQuery =
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+      "WHERE x.TagId = z.TagId WITHIN 80 RETURN x.TagId, z.Timestamp AS t";
+  const char* kNamedQuery =
+      "FROM belt EVENT SEQ(SHELF_READING x, !(EXIT_READING y)) "
+      "WHERE x.TagId = y.TagId WITHIN 40 RETURN x.TagId";
+
+  auto feed = [&](QueryEngine* engine, ShardedRuntime* runtime) {
+    // Even positions -> default input, odd -> named stream. Each stream
+    // sees strictly increasing (if sparse) seqs, exactly what independent
+    // sources produce.
+    for (size_t i = 0; i < trace.size(); ++i) {
+      const EventPtr& event = trace[i];
+      if (i % 2 == 0) {
+        if (engine != nullptr) engine->OnEvent(event);
+        if (runtime != nullptr) runtime->OnEvent(event);
+      } else {
+        if (engine != nullptr) engine->OnStreamEvent("belt", event);
+        if (runtime != nullptr) runtime->OnStreamEvent("belt", event);
+      }
+    }
+  };
+
+  std::vector<std::string> serial;
+  {
+    QueryEngine engine(&catalog);
+    ASSERT_TRUE(engine
+                    .Register(kDefaultQuery,
+                              [&serial](const OutputRecord& r) {
+                                serial.push_back("d|" + r.ToString());
+                              })
+                    .ok());
+    ASSERT_TRUE(engine
+                    .Register(kNamedQuery,
+                              [&serial](const OutputRecord& r) {
+                                serial.push_back("n|" + r.ToString());
+                              })
+                    .ok());
+    feed(&engine, nullptr);
+    engine.OnFlush();
+  }
+  ASSERT_GT(serial.size(), 20u);
+
+  for (int shards : {2, 8}) {
+    std::vector<std::string> sharded;
+    RuntimeConfig config;
+    config.shard_count = shards;
+    config.merge_interval = 256;
+    config.batch_size = 32;
+    config.log_compact_min = 64;
+    ShardedRuntime runtime(&catalog, config);
+    ASSERT_TRUE(runtime
+                    .Register(kDefaultQuery,
+                              [&sharded](const OutputRecord& r) {
+                                sharded.push_back("d|" + r.ToString());
+                              })
+                    .ok());
+    ASSERT_TRUE(runtime
+                    .Register(kNamedQuery,
+                              [&sharded](const OutputRecord& r) {
+                                sharded.push_back("n|" + r.ToString());
+                              })
+                    .ok());
+    feed(nullptr, &runtime);
+    runtime.OnFlush();
+    EXPECT_EQ(serial, sharded) << "shards=" << shards;
+  }
 }
 
 TEST(ShardedRuntimeTest, StatsAggregateAcrossWorkers) {
@@ -329,8 +634,18 @@ TEST(ShardedRuntimeTest, StatsAggregateAcrossWorkers) {
   EXPECT_EQ(stats.outputs, outputs);
   EXPECT_GT(outputs, 0u);
   EXPECT_EQ(runtime.records_merged(), outputs);
+  auto full = runtime.FullStats();
+  EXPECT_EQ(full.engine.outputs, outputs);
+  EXPECT_EQ(full.events_dispatched, trace.size());
+  EXPECT_EQ(full.records_merged, outputs);
+  EXPECT_EQ(full.merge_pending, 0u);
+  EXPECT_EQ(full.dispatch_log_len, 0u);  // DrainFinal cleared the logs
+  EXPECT_GE(full.peak_dispatch_log_len, 1u);
+  EXPECT_EQ(full.stream_count, 1u);  // default input only
   std::string report = runtime.StatsReport();
   EXPECT_NE(report.find("runtime shards=4"), std::string::npos);
+  EXPECT_NE(report.find("dispatch log:"), std::string::npos);
+  EXPECT_NE(report.find("stream <default>:"), std::string::npos);
 }
 
 // --- Engine-level additions used by the runtime ------------------------------
@@ -369,6 +684,27 @@ TEST(QueryEngineRuntimeSupportTest, WatermarkReleasesTailNegation) {
   engine.OnWatermark(6);  // window closes at 6; release needs now > 6
   EXPECT_EQ(outputs, 0);
   engine.OnWatermark(7);
+  EXPECT_EQ(outputs, 1);
+}
+
+TEST(QueryEngineRuntimeSupportTest, StreamWatermarkReleasesNamedStreamDeferral) {
+  Catalog catalog = Catalog::RetailDemo();
+  QueryEngine engine(&catalog);
+  int outputs = 0;
+  auto id = engine.Register(
+      "FROM belt EVENT SEQ(SHELF_READING x, !(EXIT_READING y)) "
+      "WHERE x.TagId = y.TagId WITHIN 5 RETURN x.TagId",
+      [&outputs](const OutputRecord&) { ++outputs; });
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EventBuilder b(catalog, "SHELF_READING");
+  auto e = b.Set("TagId", "T").Set("AreaId", 0).Build(1, 0);
+  ASSERT_TRUE(e.ok());
+  engine.OnStreamEvent("belt", e.value());
+  EXPECT_EQ(outputs, 0);
+  // The default-input clock must not touch named-stream plans.
+  engine.OnWatermark(100);
+  EXPECT_EQ(outputs, 0);
+  engine.OnStreamWatermark("BELT", 7);  // case-insensitive; 7 > 1 + 5
   EXPECT_EQ(outputs, 1);
 }
 

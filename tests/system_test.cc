@@ -325,8 +325,9 @@ TEST_F(SystemTest, ShardedSystemKeepsSerialOnlyQueriesOnEngine) {
   config.shard_count = 4;
   SaseSystem system(StoreLayout::RetailDemo(), config);
   ASSERT_NE(system.runtime(), nullptr);
-  // FROM-stream and function-calling queries must fall back to the serial
-  // engine; pure stream queries go to the runtime.
+  // Function-calling (hybrid stream+database) queries must fall back to the
+  // serial engine; pure stream queries — default input or named FROM stream
+  // — go to the runtime.
   ASSERT_TRUE(system
                   .RegisterMonitoringQuery(
                       "named-stream",
@@ -340,8 +341,32 @@ TEST_F(SystemTest, ShardedSystemKeepsSerialOnlyQueriesOnEngine) {
                   .RegisterMonitoringQuery(
                       "pure", "EVENT SHELF_READING s RETURN s.TagId", nullptr)
                   .ok());
-  EXPECT_EQ(system.engine().query_count(), 2u);
+  EXPECT_EQ(system.engine().query_count(), 1u);
+  EXPECT_EQ(system.runtime()->query_count(), 2u);
+}
+
+TEST_F(SystemTest, NamedStreamEventsReachRuntimeQueries) {
+  SystemConfig config = PerfectConfig();
+  config.shard_count = 4;
+  SaseSystem system(StoreLayout::RetailDemo(), config);
+  ASSERT_NE(system.runtime(), nullptr);
+  std::vector<std::string> lines;
+  ASSERT_TRUE(system
+                  .RegisterMonitoringQuery(
+                      "belt-watch",
+                      "FROM belt EVENT SHELF_READING s RETURN s.TagId",
+                      [&lines](const OutputRecord& r) {
+                        lines.push_back(r.ToString());
+                      })
+                  .ok());
   EXPECT_EQ(system.runtime()->query_count(), 1u);
+  EventBuilder b(system.catalog(), "SHELF_READING");
+  auto event = b.Set("TagId", "TAG-BELT").Set("AreaId", 1).Build(5, 0);
+  ASSERT_TRUE(event.ok());
+  system.PublishStreamEvent("belt", event.value());
+  system.runtime()->WaitIdle();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("TAG-BELT"), std::string::npos);
 }
 
 TEST_F(SystemTest, HonestPurchaseRaisesNoAlert) {
