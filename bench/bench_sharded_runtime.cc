@@ -180,6 +180,122 @@ BENCHMARK(BM_LongStreamDispatchLog)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/// Elastic resize cost: run the 64-query workload and re-partition
+/// mid-stream every state.range(0) events (0 = never, the baseline). The
+/// delta against the baseline is the quiesce + replay + thread-restart tax;
+/// `replayed` reports how much in-flight window each resize rebuilt.
+void BM_ResizeMidStream(benchmark::State& state) {
+  const auto& stream = Stream();
+  const int64_t resize_every = state.range(0);
+  uint64_t outputs = 0, resizes = 0, replayed = 0;
+  for (auto _ : state) {
+    RuntimeConfig config;
+    config.shard_count = 2;
+    ShardedRuntime runtime(&BenchCatalog(), config);
+    uint64_t count = 0;
+    for (int64_t i = 0; i < kQueries; ++i) {
+      auto id = runtime.Register(QueryVariant(i),
+                                 [&count](const OutputRecord&) { ++count; });
+      if (!id.ok()) {
+        state.SkipWithError(id.status().ToString().c_str());
+        return;
+      }
+    }
+    // Alternate 2 <-> 4 shards so the run exercises both grow and shrink.
+    int64_t fed = 0;
+    for (const auto& event : stream) {
+      if (resize_every > 0 && fed > 0 && fed % resize_every == 0) {
+        int target = runtime.shard_count() == 2 ? 4 : 2;
+        if (!runtime.Resize(target).ok()) {
+          state.SkipWithError("resize failed");
+          return;
+        }
+      }
+      runtime.OnEvent(event);
+      ++fed;
+    }
+    runtime.OnFlush();
+    outputs = count;
+    resizes = runtime.resize_count();
+    replayed = runtime.events_replayed();
+  }
+  state.SetItemsProcessed(state.iterations() * kEventCount);
+  state.counters["total_alerts"] = static_cast<double>(outputs);
+  state.counters["resizes"] = static_cast<double>(resizes);
+  state.counters["replayed"] = static_cast<double>(replayed);
+}
+
+BENCHMARK(BM_ResizeMidStream)
+    ->Arg(0)->Arg(5000)->Arg(1000)
+    ->ArgNames({"resize_every"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Skewed-load behavior: state.range(0) percent of events carry one hot
+/// tag, the rest spread over 100 tags. Key-hash sharding cannot split a
+/// single key's partition, so the hot shard bottlenecks the fleet — the
+/// motivating case for watching per-shard routing counts in StatsReport
+/// (and the limit of what elastic growth can recover).
+void BM_SkewedLoad(benchmark::State& state) {
+  SyntheticConfig stream_config;
+  stream_config.seed = 71;
+  stream_config.event_count = kEventCount;
+  stream_config.tag_count = 100;
+  const auto& base = CachedStream(stream_config, "skew_base");
+  // Rewrite a fraction of the stream onto one hot tag, preserving
+  // timestamps and seqs (stream order is untouched).
+  const int64_t hot_percent = state.range(0);
+  std::vector<EventPtr> stream;
+  stream.reserve(base.size());
+  {
+    const Catalog& catalog = BenchCatalog();
+    int64_t i = 0;
+    for (const auto& event : base) {
+      if (i++ % 100 < hot_percent) {
+        const EventSchema& schema = catalog.schema(event->type());
+        EventBuilder b(catalog, schema.name());
+        AttrIndex area = schema.FindAttribute("AreaId");
+        b.Set("TagId", "HOT_TAG");
+        if (area >= 0) b.Set("AreaId", event->attribute(area));
+        auto rebuilt = b.Build(event->timestamp(), event->seq());
+        if (!rebuilt.ok()) {
+          state.SkipWithError("rebuild failed");
+          return;
+        }
+        stream.push_back(rebuilt.value());
+      } else {
+        stream.push_back(event);
+      }
+    }
+  }
+  uint64_t outputs = 0;
+  for (auto _ : state) {
+    RuntimeConfig config;
+    config.shard_count = 4;
+    ShardedRuntime runtime(&BenchCatalog(), config);
+    uint64_t count = 0;
+    for (int64_t i = 0; i < kQueries; ++i) {
+      auto id = runtime.Register(QueryVariant(i),
+                                 [&count](const OutputRecord&) { ++count; });
+      if (!id.ok()) {
+        state.SkipWithError(id.status().ToString().c_str());
+        return;
+      }
+    }
+    for (const auto& event : stream) runtime.OnEvent(event);
+    runtime.OnFlush();
+    outputs = count;
+  }
+  state.SetItemsProcessed(state.iterations() * kEventCount);
+  state.counters["total_alerts"] = static_cast<double>(outputs);
+}
+
+BENCHMARK(BM_SkewedLoad)
+    ->Arg(0)->Arg(50)->Arg(90)
+    ->ArgNames({"hot_percent"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace bench
 }  // namespace sase

@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
-# Fails when README.md or docs/language.md reference a repo path that does
-# not exist, so documentation cannot rot silently. A "reference" is any
-# backtick-quoted token that looks like a repo path: contains a slash or
-# ends in a known source/doc extension. Tokens under build/ are ignored
-# (they only exist after a build).
+# Documentation anti-rot checks, run in CI:
+#
+#  1. Path references: fails when a doc references a repo path that does
+#     not exist. A "reference" is any backtick-quoted token that looks
+#     like a repo path: contains a slash or ends in a known source/doc
+#     extension. Tokens under build/ are ignored (they only exist after a
+#     build).
+#  2. Config knobs: every knob named in docs/operations.md's knob tables
+#     (rows of the form "| `knob_name` | ...") must exist as an
+#     identifier in src/system/sase_system.h or src/runtime/*.h, so the
+#     tuning guide cannot document a knob that was renamed or removed.
 set -u
 
 cd "$(dirname "$0")/.."
 
 status=0
-for doc in README.md docs/language.md; do
+for doc in README.md docs/language.md docs/operations.md docs/architecture.md; do
   if [[ ! -f "$doc" ]]; then
     echo "MISSING DOC: $doc"
     status=1
@@ -20,7 +26,7 @@ for doc in README.md docs/language.md; do
     case "$ref" in
       build/*) continue ;;                      # build artifacts
       */*) ;;                                   # path with a directory
-      *.md|*.cc|*.cpp|*.h|*.txt|*.yml) ;;       # bare file name
+      *.md|*.cc|*.cpp|*.h|*.txt|*.yml|*.json) ;;  # bare file name
       *) continue ;;                            # not a path reference
     esac
     if [[ ! -e "$ref" ]]; then
@@ -29,6 +35,24 @@ for doc in README.md docs/language.md; do
     fi
   done
 done
+
+# --- knob existence check (docs/operations.md vs the config headers) ---
+knob_doc=docs/operations.md
+if [[ -f "$knob_doc" ]]; then
+  knobs=$(grep -oE '^\| `[A-Za-z_][A-Za-z0-9_]*`' "$knob_doc" \
+            | sed -E 's/^\| `([A-Za-z0-9_]+)`/\1/' | sort -u)
+  if [[ -z "$knobs" ]]; then
+    echo "NO KNOB TABLE ROWS found in $knob_doc (format: '| \`knob\` | ...')"
+    status=1
+  fi
+  for knob in $knobs; do
+    if ! grep -qrE "\b${knob}\b" src/system/sase_system.h src/runtime/*.h; then
+      echo "UNKNOWN KNOB in $knob_doc: \`$knob\` not found in" \
+           "src/system/sase_system.h or src/runtime/*.h"
+      status=1
+    fi
+  done
+fi
 
 if [[ $status -eq 0 ]]; then
   echo "doc references OK"

@@ -99,6 +99,18 @@ void QueryEngine::OnStreamEvents(const std::string& stream,
   }
 }
 
+void QueryEngine::OnEvents(const std::vector<EventPtr>& events) {
+  events_processed_ += events.size();
+  std::vector<QueryPlan*> readers;
+  for (auto& [id, entry] : plans_) {
+    if (entry.stream.empty()) readers.push_back(entry.plan.get());
+  }
+  if (readers.empty()) return;
+  for (const EventPtr& event : events) {
+    for (QueryPlan* plan : readers) plan->OnEvent(event);
+  }
+}
+
 void QueryEngine::OnFlush() {
   for (auto& [id, entry] : plans_) {
     entry.plan->OnFlush();

@@ -75,6 +75,18 @@ class QueryEngine : public EventSink {
   void OnStreamEvents(const std::string& stream,
                       const std::vector<EventPtr>& events);
 
+  /// Batch form of OnEvent for the default input, the unnamed counterpart
+  /// of OnStreamEvents: resolves the default-stream reader set once.
+  ///
+  /// Replay contract: the engine is a deterministic function of its call
+  /// sequence (Register*/OnEvent/OnStreamEvent/OnWatermark), so re-issuing
+  /// a suffix of that sequence into a fresh engine rebuilds its live state
+  /// exactly. The sharded runtime's elastic Resize relies on this — it
+  /// replays the in-flight window (events younger than the largest WITHIN
+  /// span, with registrations interleaved at their original positions)
+  /// into fresh engines instead of serializing NFA/negation state.
+  void OnEvents(const std::vector<EventPtr>& events);
+
   /// Access to a live plan (stats, explain); nullptr if unknown.
   const QueryPlan* plan(QueryId id) const;
 

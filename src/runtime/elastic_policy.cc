@@ -1,0 +1,80 @@
+#include "runtime/elastic_policy.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sase {
+
+ElasticPolicy::ElasticPolicy(ElasticConfig config) : config_(config) {
+  config_.min_shards = std::max(1, config_.min_shards);
+  config_.max_shards = std::max(config_.min_shards, config_.max_shards);
+  config_.hysteresis = std::max(1, config_.hysteresis);
+  config_.cooldown = std::max(0, config_.cooldown);
+  if (config_.check_interval == 0) config_.check_interval = 1;
+}
+
+ElasticDecision ElasticPolicy::Evaluate(const LoadSample& sample) {
+  ++checks_;
+
+  // Cooldown: samples taken while queues re-settle under the new layout
+  // are noise — ignore them outright so hysteresis rebuilds from scratch.
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    grow_streak_ = 0;
+    shrink_streak_ = 0;
+    return ElasticDecision::kHold;
+  }
+
+  bool overload =
+      sample.avg_queue_frac >= config_.grow_queue_frac ||
+      (config_.grow_events_per_sec_per_shard > 0 &&
+       sample.events_per_sec_per_shard > 0 &&
+       sample.events_per_sec_per_shard >= config_.grow_events_per_sec_per_shard);
+  // Strictly below: shrink_queue_frac = 0 therefore disables shrinking
+  // entirely (an exactly-zero sample can never satisfy `< 0`).
+  bool idle = !overload && sample.avg_queue_frac < config_.shrink_queue_frac;
+
+  grow_streak_ = overload ? grow_streak_ + 1 : 0;
+  shrink_streak_ = idle ? shrink_streak_ + 1 : 0;
+
+  if (grow_streak_ >= config_.hysteresis && sample.shards < config_.max_shards) {
+    grow_streak_ = 0;
+    shrink_streak_ = 0;
+    cooldown_left_ = config_.cooldown;
+    ++grow_decisions_;
+    return ElasticDecision::kGrow;
+  }
+  if (shrink_streak_ >= config_.hysteresis &&
+      sample.shards > config_.min_shards) {
+    grow_streak_ = 0;
+    shrink_streak_ = 0;
+    cooldown_left_ = config_.cooldown;
+    ++shrink_decisions_;
+    return ElasticDecision::kShrink;
+  }
+  return ElasticDecision::kHold;
+}
+
+int ElasticPolicy::NextShardCount(ElasticDecision decision, int current) const {
+  switch (decision) {
+    case ElasticDecision::kGrow:
+      return std::min(config_.max_shards, std::max(current * 2, current + 1));
+    case ElasticDecision::kShrink:
+      return std::max(config_.min_shards, current / 2);
+    case ElasticDecision::kHold:
+      break;
+  }
+  return current;
+}
+
+std::string ElasticPolicy::Describe() const {
+  std::ostringstream out;
+  out << "elastic " << (config_.enabled ? "on" : "off")
+      << " bounds=[" << config_.min_shards << "," << config_.max_shards << "]"
+      << " checks=" << checks_ << " grows=" << grow_decisions_
+      << " shrinks=" << shrink_decisions_
+      << " cooldown_left=" << cooldown_left_;
+  return out.str();
+}
+
+}  // namespace sase

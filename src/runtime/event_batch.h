@@ -120,6 +120,11 @@ class SpscRing {
 
   void Close() { closed_.store(true, std::memory_order_release); }
 
+  /// Re-arms a closed ring so a new consumer thread can attach (the elastic
+  /// resize drains and joins a worker, then restarts it on the same ring).
+  /// Only legal when the previous consumer has exited and the ring is empty.
+  void Reopen() { closed_.store(false, std::memory_order_release); }
+
   size_t capacity() const { return mask_ + 1; }
   /// Racy size estimate, for stats only.
   size_t ApproxSize() const {

@@ -44,6 +44,13 @@ StreamId Partitioner::InternStream(const std::string& stream) {
   return id;
 }
 
+void Partitioner::Resize(int shard_count) {
+  shard_count_ = shard_count;
+  for (StreamState& state : streams_) {
+    state.per_shard.assign(static_cast<size_t>(shard_count_), 0);
+  }
+}
+
 int Partitioner::Route(StreamId stream, const Event& event) {
   int shard = ShardFor(event);
   StreamState& state = streams_[stream];

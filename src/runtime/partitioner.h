@@ -60,6 +60,12 @@ class Partitioner {
   /// dispatch stamp (clock, counts). Dispatcher thread only.
   int Route(StreamId stream, const Event& event);
 
+  /// Rehashes the partition map onto `shard_count` shards (the runtime's
+  /// Resize calls this at its quiesce point). Stream clocks and cumulative
+  /// event counts survive; the per-shard routing counts restart at zero —
+  /// they describe the current layout, which just changed.
+  void Resize(int shard_count);
+
   /// True when `type` carries the key attribute.
   bool HasKey(EventTypeId type) const { return KeyIndex(type) >= 0; }
 

@@ -6,6 +6,7 @@
 
 #include "query/analyzer.h"
 #include "query/parser.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace sase {
@@ -15,22 +16,27 @@ ShardedRuntime::ShardedRuntime(const Catalog* catalog, RuntimeConfig config,
     : catalog_(catalog), config_(config),
       partitioner_(catalog, config_.partition_key,
                    std::max(1, config_.shard_count)),
-      merger_(config_.log_compact_min) {
+      merger_(config_.log_compact_min), policy_(config.elastic),
+      engine_init_(std::move(engine_init)) {
   config_.shard_count = std::max(1, config_.shard_count);
   if (config_.batch_size == 0) config_.batch_size = 1;
   stream_queries_.resize(partitioner_.streams().size());
+  last_check_time_ = std::chrono::steady_clock::now();
 
   // shard workers 0..N-1, broadcast worker N.
   for (int i = 0; i <= config_.shard_count; ++i) {
-    auto worker = std::make_unique<Worker>(i, config_.queue_capacity);
-    worker->engine =
-        std::make_unique<QueryEngine>(catalog_, config_.time_config);
-    if (engine_init) engine_init(*worker->engine);
-    workers_.push_back(std::move(worker));
+    workers_.push_back(MakeWorker(i));
   }
   for (auto& worker : workers_) {
     worker->thread = std::thread(&ShardedRuntime::WorkerLoop, this, worker.get());
   }
+}
+
+std::unique_ptr<ShardedRuntime::Worker> ShardedRuntime::MakeWorker(int index) {
+  auto worker = std::make_unique<Worker>(index, config_.queue_capacity);
+  worker->engine = std::make_unique<QueryEngine>(catalog_, config_.time_config);
+  if (engine_init_) engine_init_(*worker->engine);
+  return worker;
 }
 
 ShardedRuntime::~ShardedRuntime() {
@@ -44,9 +50,7 @@ void ShardedRuntime::WorkerLoop(Worker* worker) {
   EventBatch batch;
   while (worker->queue.Pop(&batch)) {
     if (batch.stream.empty()) {
-      for (const EventPtr& event : batch.events) {
-        worker->engine->OnEvent(event);
-      }
+      worker->engine->OnEvents(batch.events);
     } else {
       worker->engine->OnStreamEvents(batch.stream, batch.events);
     }
@@ -109,21 +113,30 @@ Result<QueryId> ShardedRuntime::Register(const std::string& text,
 
   StreamId stream = partitioner_.InternStream(stream_name);
   QueryId id = next_id_++;
+  QueryEntry entry;
+  entry.callback = std::move(callback);
+  entry.sharded = sharded;
+  entry.stream = stream;
+  entry.text = text;
+  entry.options = options;
+  entry.registered_at = events_dispatched_;
+  entry.window_ticks = analyzed.value().window_ticks;
+  entry.stateful = analyzed.value().positive_slots.size() > 1 ||
+                   !analyzed.value().negations.empty();
   if (sharded) {
-    for (int s = 0; s < config_.shard_count; ++s) {
-      auto result = workers_[static_cast<size_t>(s)]->engine->RegisterAs(
-          id, text,
-          CaptureCallback(workers_[static_cast<size_t>(s)].get(), id, stream),
-          options);
-      if (!result.ok()) {
-        for (int undo = 0; undo < s; ++undo) {
-          (void)workers_[static_cast<size_t>(undo)]->engine->Unregister(id);
-        }
-        return result.status();
+    Status status = RegisterIntoShards(id, entry);
+    if (!status.ok()) return status;
+    ++sharded_queries_;
+    StreamQueries& hosts = QueriesFor(stream);
+    ++hosts.sharded;
+    if (entry.stateful) {
+      ++hosts.sharded_stateful;
+      if (entry.window_ticks < 0) {
+        ++unbounded_sharded_;
+      } else {
+        hosts.max_window = std::max(hosts.max_window, entry.window_ticks);
       }
     }
-    ++sharded_queries_;
-    ++QueriesFor(stream).sharded;
   } else {
     Worker& host = broadcast_worker();
     auto result = host.engine->RegisterAs(
@@ -132,8 +145,24 @@ Result<QueryId> ShardedRuntime::Register(const std::string& text,
     ++broadcast_queries_;
     ++QueriesFor(stream).broadcast;
   }
-  queries_.emplace(id, QueryEntry{std::move(callback), sharded, stream});
+  queries_.emplace(id, std::move(entry));
   return id;
+}
+
+Status ShardedRuntime::RegisterIntoShards(QueryId id, const QueryEntry& entry) {
+  for (int s = 0; s < config_.shard_count; ++s) {
+    Worker* worker = workers_[static_cast<size_t>(s)].get();
+    auto result = worker->engine->RegisterAs(
+        id, entry.text, CaptureCallback(worker, id, entry.stream),
+        entry.options);
+    if (!result.ok()) {
+      for (int undo = 0; undo < s; ++undo) {
+        (void)workers_[static_cast<size_t>(undo)]->engine->Unregister(id);
+      }
+      return result.status();
+    }
+  }
+  return Status::Ok();
 }
 
 Status ShardedRuntime::Unregister(QueryId id) {
@@ -146,15 +175,228 @@ Status ShardedRuntime::Unregister(QueryId id) {
     for (int s = 0; s < config_.shard_count; ++s) {
       (void)workers_[static_cast<size_t>(s)]->engine->Unregister(id);
     }
-    --sharded_queries_;
-    --QueriesFor(it->second.stream).sharded;
+    DropShardedQuery(it);
   } else {
     (void)broadcast_worker().engine->Unregister(id);
     --broadcast_queries_;
     --QueriesFor(it->second.stream).broadcast;
+    queries_.erase(it);
+  }
+  return Status::Ok();
+}
+
+void ShardedRuntime::DropShardedQuery(std::map<QueryId, QueryEntry>::iterator it) {
+  --sharded_queries_;
+  StreamQueries& hosts = QueriesFor(it->second.stream);
+  --hosts.sharded;
+  if (it->second.stateful) {
+    --hosts.sharded_stateful;
+    if (it->second.window_ticks < 0) --unbounded_sharded_;
   }
   queries_.erase(it);
+  RecomputeStreamWindows();
+  PruneReplayAll();  // retention windows may have shrunk or vanished
+}
+
+void ShardedRuntime::RecomputeStreamWindows() {
+  for (StreamQueries& hosts : stream_queries_) hosts.max_window = -1;
+  for (const auto& [id, entry] : queries_) {
+    if (!entry.sharded || !entry.stateful || entry.window_ticks < 0) continue;
+    StreamQueries& hosts = QueriesFor(entry.stream);
+    hosts.max_window = std::max(hosts.max_window, entry.window_ticks);
+  }
+}
+
+Status ShardedRuntime::Resize(int shard_count) {
+  shard_count = std::max(1, shard_count);
+  if (shard_count == config_.shard_count) return Status::Ok();
+  if (unbounded_sharded_ > 0) {
+    return Status::FailedPrecondition(
+        "cannot resize: a sharded stateful query has no WITHIN window, so "
+        "the in-flight replay window is unbounded");
+  }
+
+  // Quiesce: drain every batch, broadcast clocks, deliver everything
+  // merge-safe. After this the merger buffers no undelivered records (every
+  // emitted record's trigger is at or below the dispatch point), so the
+  // only state to carry across the resize lives in the engines.
+  WaitIdle();
+
+  // Park every worker thread; the engines are now exclusively ours.
+  for (auto& worker : workers_) worker->queue.Close();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+
+  // The broadcast engine's state (running aggregates, non-key patterns) is
+  // layout-independent — carry the worker over whole. Shard workers are
+  // rebuilt from scratch and their engines re-derived by replay; bank their
+  // counters first so fleet-wide Stats() stays continuous.
+  int old_count = config_.shard_count;
+  for (int s = 0; s < old_count; ++s) {
+    retired_engine_stats_ += workers_[static_cast<size_t>(s)]->engine->Stats();
+  }
+  std::unique_ptr<Worker> broadcast = std::move(workers_.back());
+  workers_.clear();
+  config_.shard_count = shard_count;
+  partitioner_.Resize(shard_count);
+  for (int i = 0; i < shard_count; ++i) workers_.push_back(MakeWorker(i));
+  broadcast->index = shard_count;
+  broadcast->queue.Reopen();
+  workers_.push_back(std::move(broadcast));
+
+  events_replayed_ += ReplayIntoShards();
+
+  for (auto& worker : workers_) {
+    worker->thread = std::thread(&ShardedRuntime::WorkerLoop, this, worker.get());
+  }
+  ++resizes_;
+  if (shard_count > old_count) {
+    ++grows_;
+  } else {
+    ++shrinks_;
+  }
   return Status::Ok();
+}
+
+uint64_t ShardedRuntime::ReplayIntoShards() {
+  // Sharded queries in registration order (ids are handed out
+  // monotonically, so id order == registration order and registered_at is
+  // non-decreasing along it).
+  std::vector<std::pair<QueryId, const QueryEntry*>> sharded;
+  for (const auto& [id, entry] : queries_) {
+    if (entry.sharded) sharded.emplace_back(id, &entry);
+  }
+  size_t next = 0;
+  std::vector<QueryId> failed;
+  auto register_up_to = [&](uint64_t global) {
+    // A query registered at dispatch index R saw exactly the events with
+    // global index > R; re-registering it here, between the same events,
+    // reproduces the serial construction history.
+    while (next < sharded.size() && sharded[next].second->registered_at < global) {
+      Status status = RegisterIntoShards(sharded[next].first, *sharded[next].second);
+      if (!status.ok()) {
+        // Should be impossible (the same text registered before), but a
+        // query silently absent from the engines while queries_ lists it
+        // would drop its output forever — drop the query loudly instead.
+        SASE_LOG_WARN << "resize replay could not re-register query "
+                      << sharded[next].first << " (" << status.ToString()
+                      << "); the query is dropped";
+        failed.push_back(sharded[next].first);
+      }
+      ++next;
+    }
+  };
+
+  // Replay the in-flight window under the NEW partition map, k-way merging
+  // the per-stream deques back into global dispatch order. Every replayed
+  // event was fully processed (and its output delivered) before the resize,
+  // so the records this regenerates are duplicates — they are discarded
+  // below; what matters is the engine state left behind: exactly the
+  // partial matches and parked deferrals a serial engine would still hold.
+  uint64_t replayed = 0;
+  std::vector<size_t> pos(replay_.size(), 0);
+  while (true) {
+    size_t best = replay_.size();
+    uint64_t best_global = std::numeric_limits<uint64_t>::max();
+    for (size_t s = 0; s < replay_.size(); ++s) {
+      if (pos[s] < replay_[s].size() && replay_[s][pos[s]].global < best_global) {
+        best_global = replay_[s][pos[s]].global;
+        best = s;
+      }
+    }
+    if (best == replay_.size()) break;
+    const ReplayEntry& entry = replay_[best][pos[best]++];
+    register_up_to(entry.global);
+    QueryEngine& engine =
+        *workers_[static_cast<size_t>(partitioner_.ShardFor(*entry.event))]
+             ->engine;
+    const std::string& name = partitioner_.streams()[best].name;
+    if (name.empty()) {
+      engine.OnEvent(entry.event);
+    } else {
+      engine.OnStreamEvent(name, entry.event);
+    }
+    ++replayed;
+  }
+  register_up_to(std::numeric_limits<uint64_t>::max());
+
+  // Drop queries that failed to re-register so IsSharded/stats never lie
+  // about a query no engine hosts (partial registrations were already
+  // rolled back by RegisterIntoShards).
+  for (QueryId id : failed) {
+    auto it = queries_.find(id);
+    if (it != queries_.end()) DropShardedQuery(it);
+  }
+
+  // Muted clock broadcast: deferrals whose release window already closed
+  // were released (and delivered) before the resize; re-release them into
+  // the discard pile so only genuinely parked deferrals survive.
+  for (const Partitioner::StreamState& state : partitioner_.streams()) {
+    if (state.events == 0) continue;
+    for (int s = 0; s < config_.shard_count; ++s) {
+      if (state.name.empty()) {
+        workers_[static_cast<size_t>(s)]->engine->OnWatermark(state.clock);
+      } else {
+        workers_[static_cast<size_t>(s)]->engine->OnStreamWatermark(state.name,
+                                                                    state.clock);
+      }
+    }
+  }
+
+  // Discard the replay output wholesale (worker threads are parked, but the
+  // capture callbacks still take the lock — keep them honest).
+  for (int s = 0; s < config_.shard_count; ++s) {
+    Worker* worker = workers_[static_cast<size_t>(s)].get();
+    std::lock_guard<std::mutex> lock(worker->out_mutex);
+    worker->out.clear();
+    worker->arrival_counter = 0;
+  }
+  return replayed;
+}
+
+void ShardedRuntime::MaybeAutoResize() {
+  // Schedule off the policy's sanitized copy of the config (it clamps
+  // check_interval to >= 1 etc.), so one validated view exists.
+  const ElasticConfig& elastic = policy_.config();
+  if (events_dispatched_ - last_check_global_ < elastic.check_interval) {
+    return;
+  }
+  auto now = std::chrono::steady_clock::now();
+  if (unbounded_sharded_ > 0) {
+    // Resize would refuse anyway; keep the sampling window honest but
+    // don't churn the policy (or warn every cycle) about the impossible.
+    last_check_global_ = events_dispatched_;
+    last_check_time_ = now;
+    return;
+  }
+  LoadSample sample;
+  sample.shards = config_.shard_count;
+  double frac_sum = 0;
+  for (int s = 0; s < config_.shard_count; ++s) {
+    const SpscRing<EventBatch>& queue = workers_[static_cast<size_t>(s)]->queue;
+    frac_sum += static_cast<double>(queue.ApproxSize()) /
+                static_cast<double>(queue.capacity());
+  }
+  sample.avg_queue_frac = frac_sum / config_.shard_count;
+  double seconds = std::chrono::duration<double>(now - last_check_time_).count();
+  if (seconds > 0) {
+    sample.events_per_sec_per_shard =
+        static_cast<double>(events_dispatched_ - last_check_global_) /
+        seconds / config_.shard_count;
+  }
+  last_check_global_ = events_dispatched_;
+  last_check_time_ = now;
+
+  ElasticDecision decision = policy_.Evaluate(sample);
+  if (decision == ElasticDecision::kHold) return;
+  int target = policy_.NextShardCount(decision, config_.shard_count);
+  if (target == config_.shard_count) return;
+  Status status = Resize(target);
+  if (!status.ok()) {
+    SASE_LOG_WARN << "elastic resize to " << target
+                  << " shards failed: " << status.ToString();
+  }
 }
 
 bool ShardedRuntime::IsSharded(QueryId id) const {
@@ -185,13 +427,25 @@ void ShardedRuntime::FlushBatch(Worker* worker, const Clocks* clocks,
     // The clocks release every deferral triggered at or below the current
     // dispatch point, so the batch certifies the full prefix.
     worker->pending.progress_hi = events_dispatched_;
-  } else if (!worker->pending.events.empty() && !multi_routed_) {
-    // Single-stream traffic: the batch's own events are the clock — any
-    // record the worker can emit after them triggers later in dispatch
-    // order. With interleaved streams this claim would be wrong (another
-    // stream's deferral could trigger earlier), so progress then only
-    // advances at clock broadcasts.
-    worker->pending.progress_hi = worker->pending_last_global;
+  } else if (!worker->pending.events.empty()) {
+    if (multi_routed_) {
+      // Interleaved streams: the batch's own events cannot vouch for the
+      // other streams' parked deferrals, so the batch carries every
+      // stream's current clock — the worker advances them before acking,
+      // and the claim covers the dispatched prefix minus the one event
+      // that may have been dispatched but not yet appended (a batch cut on
+      // a stream switch flushes before the cutting event joins a batch).
+      // This is the per-batch merge progress that keeps merges advancing
+      // under heavily interleaved multi-stream traffic.
+      worker->pending.clocks = CurrentClocks();
+      worker->pending.progress_hi =
+          events_dispatched_ > 0 ? events_dispatched_ - 1 : 0;
+    } else {
+      // Single-stream traffic: the batch's own events are the clock — any
+      // record the worker can emit after them triggers later in dispatch
+      // order.
+      worker->pending.progress_hi = worker->pending_last_global;
+    }
   }
   worker->pending.flush = flush;
   ++worker->batches_enqueued;
@@ -239,6 +493,7 @@ void ShardedRuntime::Dispatch(StreamId stream, const std::string& name,
       AppendToWorker(&broadcast_worker(), name, event, global);
     }
   }
+  RetainForReplay(stream, event, global);
 
   if (config_.merge_interval > 0 &&
       events_dispatched_ % config_.merge_interval == 0) {
@@ -248,6 +503,48 @@ void ShardedRuntime::Dispatch(StreamId stream, const std::string& name,
     BroadcastClocks();
     DeliverReady();
   }
+  if (config_.elastic.enabled) MaybeAutoResize();
+}
+
+void ShardedRuntime::RetainForReplay(StreamId stream, const EventPtr& event,
+                                     uint64_t global) {
+  const StreamQueries& hosts = QueriesFor(stream);
+  // Only streams read by a sharded stateful query with a finite WITHIN
+  // window need replay material (stateless queries rebuild from nothing;
+  // unbounded-window queries make Resize refuse outright, so buffering for
+  // them would only grow without bound).
+  if (hosts.sharded_stateful > 0 && hosts.max_window >= 0) {
+    if (replay_.size() <= stream) {
+      replay_.resize(static_cast<size_t>(stream) + 1);
+    }
+    replay_[stream].push_back(ReplayEntry{global, event});
+    ++replay_len_;
+  }
+  PruneReplay(stream);
+}
+
+void ShardedRuntime::PruneReplay(StreamId stream) {
+  if (replay_.size() <= stream) return;
+  std::deque<ReplayEntry>& entries = replay_[stream];
+  const StreamQueries& hosts = stream_queries_[stream];
+  Ticks window = hosts.sharded_stateful > 0 ? hosts.max_window : -1;
+  const Partitioner::StreamState& state = partitioner_.streams()[stream];
+  while (!entries.empty()) {
+    // Still inside the stream's in-flight window: a future event of this
+    // stream may yet complete a match reaching back to it. (The clock only
+    // advances with the stream's own events, so a quiescent stream's deque
+    // simply stops growing — it never blocks other streams' pruning.)
+    if (window >= 0 &&
+        entries.front().event->timestamp() + window >= state.clock) {
+      break;
+    }
+    entries.pop_front();
+    --replay_len_;
+  }
+}
+
+void ShardedRuntime::PruneReplayAll() {
+  for (StreamId s = 0; s < replay_.size(); ++s) PruneReplay(s);
 }
 
 ShardedRuntime::Clocks ShardedRuntime::CurrentClocks() const {
@@ -338,7 +635,7 @@ void ShardedRuntime::Deliver(std::vector<TaggedRecord> records) {
 
 QueryEngine::EngineStats ShardedRuntime::Stats() {
   WaitIdle();
-  QueryEngine::EngineStats total;
+  QueryEngine::EngineStats total = retired_engine_stats_;
   for (auto& worker : workers_) total += worker->engine->Stats();
   // A sharded query is mirrored into every shard engine; report logical
   // queries, not plan instances.
@@ -357,6 +654,13 @@ ShardedRuntime::RuntimeStats ShardedRuntime::FullStats() {
   stats.log_compactions = merger_.compaction_count();
   stats.log_entries_compacted = merger_.compacted_entries();
   stats.stream_count = partitioner_.streams().size();
+  stats.shard_count = config_.shard_count;
+  stats.resizes = resizes_;
+  stats.grows = grows_;
+  stats.shrinks = shrinks_;
+  stats.events_replayed = events_replayed_;
+  stats.replay_buffer_len = replay_len_;
+  stats.elastic_checks = policy_.checks();
   return stats;
 }
 
@@ -373,6 +677,10 @@ std::string ShardedRuntime::StatsReport() {
       << " peak=" << merger_.peak_log_len()
       << " compactions=" << merger_.compaction_count() << " ("
       << merger_.compacted_entries() << " entries reclaimed)\n";
+  out << "resizes: total=" << resizes_ << " up=" << grows_
+      << " down=" << shrinks_ << " replayed=" << events_replayed_
+      << " replay_window=" << replay_len_ << "\n";
+  out << policy_.Describe() << "\n";
   for (size_t s = 0; s < partitioner_.streams().size(); ++s) {
     const Partitioner::StreamState& state = partitioner_.streams()[s];
     StreamQueries queries = s < stream_queries_.size() ? stream_queries_[s]

@@ -2,6 +2,8 @@
 #define SASE_RUNTIME_SHARDED_RUNTIME_H_
 
 #include <atomic>
+#include <chrono>
+#include <deque>
 #include <functional>
 #include <limits>
 #include <map>
@@ -15,6 +17,7 @@
 #include "core/catalog.h"
 #include "core/stream.h"
 #include "engine/query_engine.h"
+#include "runtime/elastic_policy.h"
 #include "runtime/event_batch.h"
 #include "runtime/output_merger.h"
 #include "runtime/partitioner.h"
@@ -43,6 +46,10 @@ struct RuntimeConfig {
   /// compaction — the log then grows with the stream, the pre-compaction
   /// behavior kept for benchmarking the difference.
   size_t log_compact_min = 1024;
+  /// Load-driven shard autoscaling (off by default); see
+  /// runtime/elastic_policy.h for the thresholds and ShardedRuntime::Resize
+  /// for the mechanism it triggers.
+  ElasticConfig elastic;
   TimeConfig time_config;
 };
 
@@ -75,6 +82,11 @@ struct RuntimeConfig {
 /// watermark after every incremental merge, so steady-state runtime memory
 /// is O(shards x in-flight window) — batches in flight plus one
 /// merge-interval of log — independent of total stream length.
+///
+/// Elasticity: Resize(n) re-partitions mid-stream at a quiesce point
+/// (deterministic replay of the in-flight window; see the method comment),
+/// and RuntimeConfig::elastic turns on a load-driven autoscaler that calls
+/// it automatically with hysteresis (runtime/elastic_policy.h).
 ///
 /// Threading contract: Register/Unregister/OnEvent/OnStreamEvent/OnFlush/
 /// WaitIdle are called from ONE dispatcher thread (the stream's producer).
@@ -109,6 +121,34 @@ class ShardedRuntime : public EventSink {
   /// not yet merge-safe are dropped, matching the serial engine's contract
   /// that an unregistered plan's undelivered state vanishes.
   Status Unregister(QueryId id);
+
+  /// Re-partitions the runtime onto `shard_count` shards at a quiesce
+  /// point, mid-stream, without changing a byte of output:
+  ///
+  ///   1. quiesce — drain every in-flight batch, broadcast the per-stream
+  ///      clocks, deliver everything merge-safe (after this the merger holds
+  ///      no undelivered records);
+  ///   2. stop the worker threads; the broadcast engine (aggregates,
+  ///      non-key queries) is carried over untouched — its state never
+  ///      depends on the shard layout;
+  ///   3. rehash the partition map and build fresh shard engines;
+  ///   4. deterministically replay the in-flight window — the retained
+  ///      events younger than the largest sharded WITHIN span, with query
+  ///      registrations re-interleaved at their original stream positions —
+  ///      routing each event under the NEW layout. Replay output is
+  ///      discarded (those records were all delivered before the resize);
+  ///      a final muted clock broadcast re-releases the already-delivered
+  ///      tail-negation deferrals, leaving each fresh engine holding
+  ///      exactly the partial matches and parked deferrals a serial engine
+  ///      would still hold;
+  ///   5. resume the workers. Dispatch continues with the same global
+  ///      dispatch index, so the merge order is seamless across the resize.
+  ///
+  /// Fails with kFailedPrecondition when a registered sharded stateful
+  /// query has no WITHIN window (the in-flight window would be the whole
+  /// stream); no-ops when `shard_count` already matches. Dispatcher thread
+  /// only, like every other entry point.
+  Status Resize(int shard_count);
 
   // EventSink: routes one default-input event (dispatcher thread).
   void OnEvent(const EventPtr& event) override;
@@ -145,10 +185,25 @@ class ShardedRuntime : public EventSink {
   uint64_t log_entries_compacted() const { return merger_.compacted_entries(); }
 
   /// Aggregated engine counters across all workers (quiesces first).
+  /// Continuous across resizes: counters of shard engines retired by a
+  /// Resize are carried over, and the replayed in-flight window adds to
+  /// events_processed/outputs (reconcile with events_replayed(); the
+  /// delivered-record truth is records_merged()). The per-worker lines in
+  /// StatsReport() show the CURRENT engines only — they restart at a
+  /// resize with the replayed window as their history.
   QueryEngine::EngineStats Stats();
 
+  // Elastic / resize health (live — no quiesce).
+  uint64_t resize_count() const { return resizes_; }
+  uint64_t grow_count() const { return grows_; }
+  uint64_t shrink_count() const { return shrinks_; }
+  uint64_t events_replayed() const { return events_replayed_; }
+  /// Events currently retained for resize replay (the in-flight window).
+  size_t replay_buffer_len() const { return replay_len_; }
+  const ElasticPolicy& elastic_policy() const { return policy_; }
+
   /// Fleet-wide runtime counters: the aggregated engine view plus dispatch,
-  /// merge and dispatch-log health (quiesces first).
+  /// merge, dispatch-log and elastic/resize health (quiesces first).
   struct RuntimeStats {
     QueryEngine::EngineStats engine;
     uint64_t events_dispatched = 0;
@@ -159,6 +214,14 @@ class ShardedRuntime : public EventSink {
     uint64_t log_compactions = 0;
     uint64_t log_entries_compacted = 0;
     size_t stream_count = 0;  // interned input streams (incl. default)
+    // --- elastic / resize ---
+    int shard_count = 0;           // current layout
+    uint64_t resizes = 0;          // completed Resize() calls (manual + auto)
+    uint64_t grows = 0;            // resizes that increased the shard count
+    uint64_t shrinks = 0;          // resizes that decreased it
+    uint64_t events_replayed = 0;  // replay work across all resizes
+    size_t replay_buffer_len = 0;  // retained in-flight window, in events
+    uint64_t elastic_checks = 0;   // policy evaluations
   };
   RuntimeStats FullStats();
 
@@ -173,7 +236,7 @@ class ShardedRuntime : public EventSink {
   struct Worker {
     Worker(int index_in, size_t queue_capacity) : index(index_in), queue(queue_capacity) {}
 
-    const int index;
+    int index;  // mutated only at a resize quiesce (broadcast worker moves)
     std::unique_ptr<QueryEngine> engine;  // owned; touched only by `thread`
                                           // while batches are in flight
     SpscRing<EventBatch> queue;
@@ -204,6 +267,18 @@ class ShardedRuntime : public EventSink {
     OutputCallback callback;
     bool sharded = false;
     StreamId stream = kDefaultStream;
+    // Re-registration material for resize replay.
+    std::string text;
+    PlanOptions options;
+    /// Global dispatch index at registration: the query saw exactly the
+    /// events dispatched after this point, and resize replay re-registers
+    /// it at the same position in the replayed timeline.
+    uint64_t registered_at = 0;
+    /// WITHIN span in ticks (-1 = none) and whether the plan carries
+    /// cross-event state (>1 positive component or any negation); together
+    /// these bound the replay window a resize needs.
+    Ticks window_ticks = -1;
+    bool stateful = false;
   };
 
   /// Registered-query counts per input stream; events of a stream nobody
@@ -212,11 +287,29 @@ class ShardedRuntime : public EventSink {
   struct StreamQueries {
     size_t sharded = 0;
     size_t broadcast = 0;
+    /// Sharded stateful queries reading this stream, and the largest WITHIN
+    /// span among them (-1 = none): the stream's replay-retention window.
+    size_t sharded_stateful = 0;
+    Ticks max_window = -1;
+  };
+
+  /// One retained event of the in-flight window (resize replay material).
+  /// Kept in per-stream deques so a quiescent stream's frozen window never
+  /// blocks other streams' pruning; replay k-way merges them back into
+  /// global dispatch order.
+  struct ReplayEntry {
+    uint64_t global = 0;
+    EventPtr event;
   };
 
   int broadcast_index() const { return config_.shard_count; }
   Worker& broadcast_worker() { return *workers_[static_cast<size_t>(broadcast_index())]; }
 
+  /// Fresh worker with a private engine (engine_init applied); used by the
+  /// constructor for every worker and by Resize for the new shard set.
+  std::unique_ptr<Worker> MakeWorker(int index);
+  /// Largest WITHIN span per stream can shrink on Unregister; rescan.
+  void RecomputeStreamWindows();
   void WorkerLoop(Worker* worker);
   bool WorkerHostsQueries(const Worker& worker) const;
   OutputCallback CaptureCallback(Worker* worker, QueryId id, StreamId stream);
@@ -237,11 +330,34 @@ class ShardedRuntime : public EventSink {
   void DeliverReady();
   void Deliver(std::vector<TaggedRecord> records);
   void WaitDrained(Worker* worker);
+  /// Appends the event to the replay window when its stream needs one, then
+  /// prunes that stream's entries older than its retention window.
+  void RetainForReplay(StreamId stream, const EventPtr& event,
+                       uint64_t global);
+  void PruneReplay(StreamId stream);
+  void PruneReplayAll();
+  /// Registers sharded query `id` into every shard engine (fresh capture
+  /// callbacks); shared by Register and resize replay.
+  Status RegisterIntoShards(QueryId id, const QueryEntry& entry);
+  /// Drops a sharded query's bookkeeping (counters, per-stream windows,
+  /// replay retention) and erases it; shared by Unregister and the resize
+  /// replay's failed-re-registration path. Does NOT touch the engines.
+  void DropShardedQuery(std::map<QueryId, QueryEntry>::iterator it);
+  /// Replays the retained window into the fresh shard engines, interleaving
+  /// query registrations at their original positions; discards the replay
+  /// output and re-silences already-released deferrals. Returns the number
+  /// of events replayed.
+  uint64_t ReplayIntoShards();
+  /// Elastic policy tick: samples queue occupancy + event rate every
+  /// check_interval dispatched events and resizes on a grow/shrink verdict.
+  void MaybeAutoResize();
 
   const Catalog* catalog_;
   RuntimeConfig config_;
   Partitioner partitioner_;
   OutputMerger merger_;
+  ElasticPolicy policy_;
+  EngineInit engine_init_;
 
   std::vector<std::unique_ptr<Worker>> workers_;  // shards + broadcast
   std::map<QueryId, QueryEntry> queries_;
@@ -249,6 +365,25 @@ class ShardedRuntime : public EventSink {
   QueryId next_id_ = 1;
   size_t sharded_queries_ = 0;
   size_t broadcast_queries_ = 0;
+  /// Sharded stateful queries with no WITHIN bound: while > 0 a resize has
+  /// no finite replay window and Resize refuses.
+  size_t unbounded_sharded_ = 0;
+
+  // In-flight window retained for resize replay: one deque per StreamId,
+  // each in dispatch order, independently pruned by its stream's window.
+  std::vector<std::deque<ReplayEntry>> replay_;
+  size_t replay_len_ = 0;  // total entries across all stream deques
+
+  // Elastic / resize health.
+  /// Counters of shard engines retired by past resizes, so fleet-wide
+  /// Stats() stays continuous across layout changes.
+  QueryEngine::EngineStats retired_engine_stats_;
+  uint64_t resizes_ = 0;
+  uint64_t grows_ = 0;
+  uint64_t shrinks_ = 0;
+  uint64_t events_replayed_ = 0;
+  uint64_t last_check_global_ = 0;
+  std::chrono::steady_clock::time_point last_check_time_{};
 
   uint64_t events_dispatched_ = 0;  // == global dispatch index of last event
   // Memoized OnStreamEvent name resolution (raw -> lowered + interned id).
@@ -256,9 +391,11 @@ class ShardedRuntime : public EventSink {
   std::string last_stream_name_;
   StreamId last_stream_id_ = kDefaultStream;
   bool last_stream_valid_ = false;
-  // Event batches may claim merge progress only while every routed event so
-  // far belongs to one input stream (see FlushBatch); with interleaved
-  // streams, progress advances at clock broadcasts instead.
+  // With single-stream traffic an event batch claims progress by itself
+  // (its own events are the clock); once routed traffic spans multiple
+  // input streams, every event batch instead carries the current per-stream
+  // clocks so the claim also covers the other streams' parked deferrals —
+  // per-batch merge progress under interleaved traffic (see FlushBatch).
   bool any_routed_ = false;
   StreamId routed_stream_ = kDefaultStream;
   bool multi_routed_ = false;

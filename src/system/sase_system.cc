@@ -102,6 +102,7 @@ SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config)
     runtime_config.time_config = config_.time_config;
     runtime_config.merge_interval = config_.runtime_merge_interval;
     runtime_config.log_compact_min = config_.runtime_log_compact_min;
+    runtime_config.elastic = config_.runtime_elastic;
     runtime_ = std::make_unique<ShardedRuntime>(&catalog_, runtime_config);
     event_bus_.Subscribe(runtime_.get());
   }

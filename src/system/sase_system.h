@@ -44,6 +44,11 @@ struct SystemConfig {
   /// broadcasts) and dispatch-log compaction threshold; see RuntimeConfig.
   size_t runtime_merge_interval = 4096;
   size_t runtime_log_compact_min = 1024;
+  /// Load-driven shard autoscaling (`runtime_elastic.enabled = true` turns
+  /// it on; requires shard_count >= 2 so a runtime exists). Thresholds,
+  /// bounds and hysteresis: see ElasticConfig in runtime/elastic_policy.h
+  /// and docs/operations.md.
+  ElasticConfig runtime_elastic;
 };
 
 /// The complete SASE system of Figure 1, assembled:

@@ -19,6 +19,7 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kFailedPrecondition,
 };
 
 /// Lightweight status object returned by fallible operations.
@@ -56,6 +57,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +82,7 @@ class Status {
       case StatusCode::kOutOfRange: return "OutOfRange";
       case StatusCode::kUnimplemented: return "Unimplemented";
       case StatusCode::kInternal: return "Internal";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
     }
     return "Unknown";
   }

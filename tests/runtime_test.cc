@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <iterator>
 #include <map>
 #include <string>
@@ -615,6 +617,522 @@ TEST(ShardedRuntimeFromStreamTest, MixedStreamsInterleaveInDispatchOrder) {
   }
 }
 
+// --- Elastic policy (decision core) ------------------------------------------
+
+TEST(ElasticPolicyTest, GrowsAfterHysteresisAndRespectsCooldown) {
+  ElasticConfig config;
+  config.enabled = true;
+  config.min_shards = 1;
+  config.max_shards = 8;
+  config.grow_queue_frac = 0.5;
+  config.shrink_queue_frac = 0.05;
+  config.hysteresis = 2;
+  config.cooldown = 3;
+  ElasticPolicy policy(config);
+
+  LoadSample hot;
+  hot.shards = 2;
+  hot.avg_queue_frac = 0.9;
+  // One hot sample is noise; the second confirms.
+  EXPECT_EQ(policy.Evaluate(hot), ElasticDecision::kHold);
+  EXPECT_EQ(policy.Evaluate(hot), ElasticDecision::kGrow);
+  EXPECT_EQ(policy.NextShardCount(ElasticDecision::kGrow, 2), 4);
+  // Cooldown: the next 3 checks hold even under sustained pressure.
+  EXPECT_EQ(policy.Evaluate(hot), ElasticDecision::kHold);
+  EXPECT_EQ(policy.Evaluate(hot), ElasticDecision::kHold);
+  EXPECT_EQ(policy.Evaluate(hot), ElasticDecision::kHold);
+  EXPECT_EQ(policy.Evaluate(hot), ElasticDecision::kHold);  // streak rebuild
+  EXPECT_EQ(policy.Evaluate(hot), ElasticDecision::kGrow);
+  EXPECT_EQ(policy.grow_decisions(), 2u);
+}
+
+TEST(ElasticPolicyTest, ShrinksWhenIdleAndClampsAtBounds) {
+  ElasticConfig config;
+  config.min_shards = 2;
+  config.max_shards = 8;
+  config.hysteresis = 2;
+  config.cooldown = 0;
+  ElasticPolicy policy(config);
+
+  LoadSample idle;
+  idle.shards = 4;
+  idle.avg_queue_frac = 0.0;
+  EXPECT_EQ(policy.Evaluate(idle), ElasticDecision::kHold);
+  EXPECT_EQ(policy.Evaluate(idle), ElasticDecision::kShrink);
+  EXPECT_EQ(policy.NextShardCount(ElasticDecision::kShrink, 4), 2);
+  EXPECT_EQ(policy.NextShardCount(ElasticDecision::kShrink, 2), 2);  // clamp
+
+  // At the floor, sustained idleness never fires.
+  idle.shards = 2;
+  EXPECT_EQ(policy.Evaluate(idle), ElasticDecision::kHold);
+  EXPECT_EQ(policy.Evaluate(idle), ElasticDecision::kHold);
+  EXPECT_EQ(policy.shrink_decisions(), 1u);
+
+  // At the ceiling, pressure never fires either.
+  LoadSample hot;
+  hot.shards = 8;
+  hot.avg_queue_frac = 1.0;
+  EXPECT_EQ(policy.Evaluate(hot), ElasticDecision::kHold);
+  EXPECT_EQ(policy.Evaluate(hot), ElasticDecision::kHold);
+  EXPECT_EQ(policy.grow_decisions(), 0u);
+}
+
+TEST(ElasticPolicyTest, MixedSamplesResetStreaks) {
+  ElasticConfig config;
+  config.hysteresis = 2;
+  config.cooldown = 0;
+  config.max_shards = 8;
+  ElasticPolicy policy(config);
+  LoadSample hot, calm;
+  hot.shards = calm.shards = 2;
+  hot.avg_queue_frac = 0.9;
+  calm.avg_queue_frac = 0.2;  // neither hot nor idle
+  EXPECT_EQ(policy.Evaluate(hot), ElasticDecision::kHold);
+  EXPECT_EQ(policy.Evaluate(calm), ElasticDecision::kHold);  // streak broken
+  EXPECT_EQ(policy.Evaluate(hot), ElasticDecision::kHold);
+  EXPECT_EQ(policy.Evaluate(hot), ElasticDecision::kGrow);
+}
+
+TEST(ElasticPolicyTest, RateSignalGrowsWhenEnabled) {
+  ElasticConfig config;
+  config.hysteresis = 1;
+  config.cooldown = 0;
+  config.max_shards = 8;
+  config.grow_queue_frac = 0.99;                // queue signal out of the way
+  config.grow_events_per_sec_per_shard = 1000;  // rate signal on
+  ElasticPolicy policy(config);
+  LoadSample sample;
+  sample.shards = 2;
+  sample.avg_queue_frac = 0.0;
+  sample.events_per_sec_per_shard = 5000;
+  EXPECT_EQ(policy.Evaluate(sample), ElasticDecision::kGrow);
+}
+
+// --- Elastic resize (the tentpole) -------------------------------------------
+
+/// Feeds `trace` interleaved across the default input and a named stream
+/// (even positions -> default, odd -> "belt"), resizing the runtime at the
+/// given positions when `runtime` is non-null.
+void FeedInterleaved(const std::vector<EventPtr>& trace, QueryEngine* engine,
+                     ShardedRuntime* runtime,
+                     const std::map<size_t, int>& resizes_at = {}) {
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (runtime != nullptr) {
+      auto it = resizes_at.find(i);
+      if (it != resizes_at.end()) {
+        ASSERT_TRUE(runtime->Resize(it->second).ok()) << "at event " << i;
+        ASSERT_EQ(runtime->shard_count(), it->second);
+      }
+    }
+    const EventPtr& event = trace[i];
+    if (i % 2 == 0) {
+      if (engine != nullptr) engine->OnEvent(event);
+      if (runtime != nullptr) runtime->OnEvent(event);
+    } else {
+      if (engine != nullptr) engine->OnStreamEvent("belt", event);
+      if (runtime != nullptr) runtime->OnStreamEvent("belt", event);
+    }
+  }
+}
+
+/// Interleaved-stream workload for the resize golden tests: key-partitioned
+/// patterns with middle and tail negation on both inputs, so deferred
+/// releases and partial matches straddle every resize point.
+const char* kResizeDefaultQueries[] = {
+    "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+    "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 120",
+    "EVENT SEQ(SHELF_READING x, !(EXIT_READING y)) "
+    "WHERE x.TagId = y.TagId WITHIN 30 RETURN x.TagId, x.Timestamp AS t",
+    "EVENT SHELF_READING s WHERE s.AreaId = 2 RETURN s.TagId",
+};
+const char* kResizeNamedQueries[] = {
+    "FROM belt EVENT SEQ(SHELF_READING x, !(EXIT_READING y)) "
+    "WHERE x.TagId = y.TagId WITHIN 40 RETURN x.TagId",
+    "FROM belt EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+    "WHERE x.TagId = z.TagId WITHIN 80 RETURN x.TagId, z.Timestamp AS t",
+    "FROM belt EVENT EXIT_READING e RETURN COUNT(*) AS exits",  // broadcast
+};
+
+template <typename Host>
+void RegisterResizeWorkload(Host* host, std::vector<std::string>* lines) {
+  for (size_t q = 0; q < std::size(kResizeDefaultQueries); ++q) {
+    auto id = host->Register(kResizeDefaultQueries[q],
+                             [lines, q](const OutputRecord& record) {
+                               lines->push_back("d" + std::to_string(q) + "|" +
+                                                record.ToString());
+                             });
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+  }
+  for (size_t q = 0; q < std::size(kResizeNamedQueries); ++q) {
+    auto id = host->Register(kResizeNamedQueries[q],
+                             [lines, q](const OutputRecord& record) {
+                               lines->push_back("n" + std::to_string(q) + "|" +
+                                                record.ToString());
+                             });
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+  }
+}
+
+TEST(ShardedRuntimeResizeTest, GoldenByteIdenticalAcrossGrowAndShrink) {
+  // The acceptance gauntlet: grow 1->2->8, then shrink 8->3, mid-stream,
+  // with interleaved default+named traffic and tail-negation deferrals
+  // parked across every resize point. Output must equal the serial engine's
+  // byte for byte.
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = GoldenTrace(catalog);
+
+  std::vector<std::string> serial;
+  {
+    QueryEngine engine(&catalog);
+    RegisterResizeWorkload(&engine, &serial);
+    FeedInterleaved(trace, &engine, nullptr);
+    engine.OnFlush();
+  }
+  ASSERT_GT(serial.size(), 100u);
+
+  std::vector<std::string> sharded;
+  RuntimeConfig config;
+  config.shard_count = 1;
+  config.merge_interval = 256;
+  config.batch_size = 32;
+  config.log_compact_min = 64;
+  ShardedRuntime runtime(&catalog, config);
+  RegisterResizeWorkload(&runtime, &sharded);
+  FeedInterleaved(trace, nullptr, &runtime,
+                  {{1000, 2}, {2000, 8}, {3000, 3}});
+  runtime.OnFlush();
+  EXPECT_EQ(serial, sharded);
+  EXPECT_EQ(runtime.resize_count(), 3u);
+  EXPECT_EQ(runtime.grow_count(), 2u);
+  EXPECT_EQ(runtime.shrink_count(), 1u);
+  EXPECT_GT(runtime.events_replayed(), 0u);
+  auto stats = runtime.FullStats();
+  EXPECT_EQ(stats.shard_count, 3);
+  EXPECT_EQ(stats.resizes, 3u);
+  EXPECT_EQ(stats.grows, 2u);
+  EXPECT_EQ(stats.shrinks, 1u);
+  EXPECT_EQ(stats.events_replayed, runtime.events_replayed());
+  // Fleet engine counters are continuous across resizes (retired shard
+  // engines' counters are carried over): 2000 default events to one shard
+  // each + 2000 belt events to one shard each + 2000 belt events to the
+  // broadcast worker (the COUNT query), plus each replayed event once.
+  EXPECT_EQ(stats.engine.events_processed, 6000u + stats.events_replayed);
+}
+
+TEST(ShardedRuntimeResizeTest, DeferralStraddlingResizeReleasesExactlyOnce) {
+  // Minimal deterministic straddle: one tail-negation deferral is parked,
+  // the runtime resizes, and the release trigger arrives only afterwards.
+  // The record must surface exactly once, in serial position.
+  Catalog catalog = Catalog::RetailDemo();
+  const char* kQuery =
+      "EVENT SEQ(SHELF_READING x, !(EXIT_READING y)) "
+      "WHERE x.TagId = y.TagId WITHIN 10 RETURN x.TagId";
+
+  auto feed = [&](QueryEngine* engine, ShardedRuntime* runtime) {
+    SequenceNumber seq = 0;
+    auto emit = [&](const char* type, const std::string& tag, Timestamp ts) {
+      EventBuilder b(catalog, type);
+      auto e = b.Set("TagId", tag).Set("AreaId", 1).Build(ts, seq++);
+      ASSERT_TRUE(e.ok());
+      if (engine != nullptr) engine->OnEvent(e.value());
+      if (runtime != nullptr) runtime->OnEvent(e.value());
+    };
+    emit("SHELF_READING", "TAG0", 1);  // deferral parked until ts > 11
+    for (int i = 0; i < 8; ++i) {
+      emit("SHELF_READING", "TAG" + std::to_string(1 + i), 2 + i);
+    }
+    if (runtime != nullptr) {
+      ASSERT_TRUE(runtime->Resize(5).ok());  // deferral straddles this
+    }
+    emit("EXIT_READING", "TAG3", 10);  // suppresses TAG3's own deferral
+    emit("SHELF_READING", "TAG9", 12);  // first event past TAG0's window
+    emit("SHELF_READING", "TAG9", 13);
+  };
+
+  std::vector<std::string> serial;
+  {
+    QueryEngine engine(&catalog);
+    ASSERT_TRUE(engine
+                    .Register(kQuery,
+                              [&serial](const OutputRecord& r) {
+                                serial.push_back(r.ToString());
+                              })
+                    .ok());
+    feed(&engine, nullptr);
+    engine.OnFlush();
+  }
+
+  std::vector<std::string> sharded;
+  RuntimeConfig config;
+  config.shard_count = 2;
+  config.batch_size = 1;
+  config.merge_interval = 2;
+  config.log_compact_min = 1;
+  ShardedRuntime runtime(&catalog, config);
+  ASSERT_TRUE(runtime
+                  .Register(kQuery,
+                            [&sharded](const OutputRecord& r) {
+                              sharded.push_back(r.ToString());
+                            })
+                  .ok());
+  feed(nullptr, &runtime);
+  runtime.OnFlush();
+  EXPECT_EQ(serial, sharded);
+  EXPECT_EQ(runtime.resize_count(), 1u);
+  EXPECT_GT(runtime.events_replayed(), 0u);
+}
+
+TEST(ShardedRuntimeResizeTest, RegistrationPointsSurviveReplay) {
+  // A query registered mid-stream must not see pre-registration events
+  // through the resize replay: the replay re-interleaves registrations at
+  // their original dispatch positions.
+  Catalog catalog = Catalog::RetailDemo();
+  const char* kQuery =
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+      "WHERE x.TagId = z.TagId WITHIN 100 RETURN x.TagId, x.Timestamp AS t";
+
+  SequenceNumber seq = 0;
+  auto make = [&](const char* type, const std::string& tag, Timestamp ts) {
+    EventBuilder b(catalog, type);
+    auto e = b.Set("TagId", tag).Set("AreaId", 1).Build(ts, seq++);
+    EXPECT_TRUE(e.ok());
+    return e.value();
+  };
+
+  std::vector<std::string> out;
+  RuntimeConfig config;
+  config.shard_count = 2;
+  config.batch_size = 1;
+  config.merge_interval = 2;
+  ShardedRuntime runtime(&catalog, config);
+  // A shelf reading dispatched BEFORE registration: the pattern's first
+  // half exists in the stream but must stay invisible to the query.
+  runtime.OnEvent(make("SHELF_READING", "TAG0", 1));
+  ASSERT_TRUE(runtime
+                  .Register(kQuery,
+                            [&out](const OutputRecord& r) {
+                              out.push_back(r.ToString());
+                            })
+                  .ok());
+  // TAG1's shelf reading is post-registration; only it may match.
+  runtime.OnEvent(make("SHELF_READING", "TAG1", 2));
+  ASSERT_TRUE(runtime.Resize(4).ok());
+  runtime.OnEvent(make("EXIT_READING", "TAG0", 3));  // no match: pre-reg x
+  runtime.OnEvent(make("EXIT_READING", "TAG1", 4));  // match
+  runtime.OnFlush();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].find("TAG1"), std::string::npos);
+}
+
+TEST(ShardedRuntimeResizeTest, UnboundedWindowRefusesResize) {
+  Catalog catalog = Catalog::RetailDemo();
+  RuntimeConfig config;
+  config.shard_count = 2;
+  ShardedRuntime runtime(&catalog, config);
+  // Key-partitioned two-step pattern with no WITHIN: stateful, sharded,
+  // unbounded in-flight window.
+  auto id = runtime.Register(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId "
+      "RETURN x.TagId",
+      nullptr);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(runtime.IsSharded(id.value()));
+  Status refused = runtime.Resize(4);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(runtime.shard_count(), 2);
+  // Dropping the unbounded query restores resizability.
+  ASSERT_TRUE(runtime.Unregister(id.value()).ok());
+  EXPECT_TRUE(runtime.Resize(4).ok());
+  EXPECT_EQ(runtime.shard_count(), 4);
+}
+
+TEST(ShardedRuntimeResizeTest, ReplayBufferStaysBounded) {
+  // The in-flight window retained for replay must track the WITHIN span,
+  // not the stream length.
+  Catalog catalog = Catalog::RetailDemo();
+  RuntimeConfig config;
+  config.shard_count = 2;
+  ShardedRuntime runtime(&catalog, config);
+  ASSERT_TRUE(runtime
+                  .Register(
+                      "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+                      "WHERE x.TagId = z.TagId WITHIN 20 RETURN x.TagId",
+                      nullptr)
+                  .ok());
+  constexpr uint64_t kEvents = 20000;
+  for (uint64_t i = 0; i < kEvents; ++i) {
+    EventBuilder b(catalog, i % 5 == 4 ? "EXIT_READING" : "SHELF_READING");
+    auto e = b.Set("TagId", "TAG" + std::to_string(i % 16))
+                 .Set("AreaId", int64_t{1})
+                 .Build(static_cast<Timestamp>(1 + i / 4),
+                        static_cast<SequenceNumber>(i));
+    ASSERT_TRUE(e.ok());
+    runtime.OnEvent(e.value());
+  }
+  // Window of 20 ticks at 4 events/tick ~= 80 events + the boundary tick.
+  EXPECT_LE(runtime.replay_buffer_len(), 200u);
+  runtime.OnFlush();
+}
+
+TEST(ShardedRuntimeResizeTest, QuiescentStreamDoesNotPinOtherStreamsReplay) {
+  // Per-stream retention: one stream going silent (its clock frozen, its
+  // last events legitimately still in-window) must not block the pruning
+  // of a busy stream's replay entries.
+  Catalog catalog = Catalog::RetailDemo();
+  RuntimeConfig config;
+  config.shard_count = 2;
+  ShardedRuntime runtime(&catalog, config);
+  ASSERT_TRUE(runtime
+                  .Register(
+                      "FROM belt EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+                      "WHERE x.TagId = z.TagId WITHIN 50 RETURN x.TagId",
+                      nullptr)
+                  .ok());
+  ASSERT_TRUE(runtime
+                  .Register(
+                      "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+                      "WHERE x.TagId = z.TagId WITHIN 20 RETURN x.TagId",
+                      nullptr)
+                  .ok());
+  SequenceNumber seq = 0;
+  auto make = [&](Timestamp ts) {
+    EventBuilder b(catalog, "SHELF_READING");
+    auto e = b.Set("TagId", "TAG" + std::to_string(seq % 8))
+                 .Set("AreaId", int64_t{1})
+                 .Build(ts, seq++);
+    EXPECT_TRUE(e.ok());
+    return e.value();
+  };
+  // One belt event, then belt goes silent forever.
+  runtime.OnStreamEvent("belt", make(1));
+  // 30k default-input events: retention there is ~20 ticks of window.
+  for (uint64_t i = 0; i < 30000; ++i) {
+    runtime.OnEvent(make(static_cast<Timestamp>(1 + i / 4)));
+  }
+  // Bounded by the default stream's window (~80 events + slack) plus the
+  // one parked belt entry — nowhere near the 30k fed.
+  EXPECT_LE(runtime.replay_buffer_len(), 200u);
+  // And the resize still works, belt entry included.
+  ASSERT_TRUE(runtime.Resize(4).ok());
+  runtime.OnFlush();
+}
+
+TEST(ShardedRuntimeElasticTest, BackpressureGrowsTheFleet) {
+  // Integration: a deliberately slow per-event UDF makes the workers fall
+  // behind, queues fill, and the autoscaler must grow the shard count —
+  // without losing or duplicating a single output record.
+  Catalog catalog = Catalog::RetailDemo();
+  RuntimeConfig config;
+  config.shard_count = 1;
+  config.batch_size = 8;
+  config.queue_capacity = 4;
+  config.merge_interval = 64;
+  config.elastic.enabled = true;
+  config.elastic.min_shards = 1;
+  config.elastic.max_shards = 4;
+  config.elastic.check_interval = 128;
+  config.elastic.grow_queue_frac = 0.25;
+  config.elastic.shrink_queue_frac = 0.0;  // 0 disables shrinking (strict <)
+  config.elastic.hysteresis = 1;
+  config.elastic.cooldown = 1;
+  ShardedRuntime runtime(
+      &catalog, config, [](QueryEngine& engine) {
+        (void)engine.functions()->Register(
+            "slow_pass", 1, [](const std::vector<Value>& args) {
+              std::this_thread::sleep_for(std::chrono::microseconds(100));
+              return Result<Value>(args[0]);
+            });
+      });
+  uint64_t outputs = 0;
+  auto id = runtime.Register(
+      "EVENT SHELF_READING s WHERE slow_pass(s.AreaId) >= 0 RETURN s.TagId",
+      [&outputs](const OutputRecord&) { ++outputs; });
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(runtime.IsSharded(id.value()));
+
+  constexpr uint64_t kEvents = 2000;
+  for (uint64_t i = 0; i < kEvents; ++i) {
+    EventBuilder b(catalog, "SHELF_READING");
+    auto e = b.Set("TagId", "TAG" + std::to_string(i % 32))
+                 .Set("AreaId", static_cast<int64_t>(i % 4))
+                 .Build(static_cast<Timestamp>(1 + i / 8),
+                        static_cast<SequenceNumber>(i));
+    ASSERT_TRUE(e.ok());
+    runtime.OnEvent(e.value());
+  }
+  runtime.OnFlush();
+  EXPECT_EQ(outputs, kEvents);  // every shelf reading passes the predicate
+  EXPECT_GT(runtime.shard_count(), 1);
+  EXPECT_GE(runtime.grow_count(), 1u);
+  EXPECT_GT(runtime.elastic_policy().checks(), 0u);
+}
+
+// --- Per-batch merge progress under interleaved streams ----------------------
+
+TEST(ShardedRuntimeTest, PerBatchProgressDeliversIncrementallyAcrossStreams) {
+  // With interleaved default+named traffic and only ONE clock broadcast in
+  // the whole feed, incremental delivery must still happen: event batches
+  // carry per-stream clocks and claim progress themselves. (Under the old
+  // clock-cadence scheme the single mid-feed merge found no certified
+  // progress and delivered nothing before flush.)
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = GoldenTrace(catalog);
+  const char* kDefaultQuery =
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+      "WHERE x.TagId = z.TagId WITHIN 80 RETURN x.TagId, z.Timestamp AS t";
+  const char* kNamedQuery =
+      "FROM belt EVENT SEQ(SHELF_READING x, !(EXIT_READING y)) "
+      "WHERE x.TagId = y.TagId WITHIN 40 RETURN x.TagId";
+
+  std::vector<std::string> serial;
+  {
+    QueryEngine engine(&catalog);
+    ASSERT_TRUE(engine
+                    .Register(kDefaultQuery,
+                              [&serial](const OutputRecord& r) {
+                                serial.push_back("d|" + r.ToString());
+                              })
+                    .ok());
+    ASSERT_TRUE(engine
+                    .Register(kNamedQuery,
+                              [&serial](const OutputRecord& r) {
+                                serial.push_back("n|" + r.ToString());
+                              })
+                    .ok());
+    FeedInterleaved(trace, &engine, nullptr);
+    engine.OnFlush();
+  }
+  ASSERT_GT(serial.size(), 20u);
+
+  std::vector<std::string> sharded;
+  size_t delivered_before_flush = 0;
+  RuntimeConfig config;
+  config.shard_count = 4;
+  config.batch_size = 16;
+  config.queue_capacity = 4;
+  config.merge_interval = 3000;  // single merge point mid-feed
+  ShardedRuntime runtime(&catalog, config);
+  ASSERT_TRUE(runtime
+                  .Register(kDefaultQuery,
+                            [&sharded](const OutputRecord& r) {
+                              sharded.push_back("d|" + r.ToString());
+                            })
+                  .ok());
+  ASSERT_TRUE(runtime
+                  .Register(kNamedQuery,
+                            [&sharded](const OutputRecord& r) {
+                              sharded.push_back("n|" + r.ToString());
+                            })
+                  .ok());
+  FeedInterleaved(trace, nullptr, &runtime);
+  delivered_before_flush = sharded.size();
+  runtime.OnFlush();
+  EXPECT_EQ(serial, sharded);
+  EXPECT_GT(delivered_before_flush, 0u)
+      << "per-batch progress claims did not advance the merge";
+}
+
 TEST(ShardedRuntimeTest, StatsAggregateAcrossWorkers) {
   Catalog catalog = Catalog::RetailDemo();
   auto trace = GoldenTrace(catalog);
@@ -646,6 +1164,65 @@ TEST(ShardedRuntimeTest, StatsAggregateAcrossWorkers) {
   EXPECT_NE(report.find("runtime shards=4"), std::string::npos);
   EXPECT_NE(report.find("dispatch log:"), std::string::npos);
   EXPECT_NE(report.find("stream <default>:"), std::string::npos);
+}
+
+TEST(ShardedRuntimeTest, StatsReportCarriesAllDocumentedLines) {
+  // The operations guide (docs/operations.md) walks users through this
+  // report line by line; every documented line must actually appear, with
+  // real numbers, after default + named-stream traffic and a resize.
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = GoldenTrace(catalog);
+  RuntimeConfig config;
+  config.shard_count = 2;
+  config.merge_interval = 128;
+  config.log_compact_min = 64;
+  ShardedRuntime runtime(&catalog, config);
+  ASSERT_TRUE(runtime.Register(kGoldenQueries[0], nullptr).ok());
+  ASSERT_TRUE(runtime.Register(kGoldenQueries[3], nullptr).ok());  // broadcast
+  ASSERT_TRUE(runtime
+                  .Register(
+                      "FROM belt EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+                      "WHERE x.TagId = z.TagId WITHIN 40 RETURN x.TagId",
+                      nullptr)
+                  .ok());
+  FeedInterleaved(trace, nullptr, &runtime, {{2000, 4}});
+  runtime.OnFlush();
+
+  std::string report = runtime.StatsReport();
+  // Header: shard count reflects the post-resize layout, query split shown.
+  EXPECT_NE(report.find("runtime shards=4"), std::string::npos) << report;
+  EXPECT_NE(report.find("(sharded=2 broadcast=1)"), std::string::npos) << report;
+  // Dispatch-log health: length, peak, compaction counters (PR 2 lines).
+  EXPECT_NE(report.find("dispatch log: len="), std::string::npos) << report;
+  EXPECT_NE(report.find(" peak="), std::string::npos) << report;
+  EXPECT_NE(report.find(" compactions="), std::string::npos) << report;
+  EXPECT_NE(report.find("entries reclaimed)"), std::string::npos) << report;
+  // Elastic / resize counters (this PR's lines).
+  EXPECT_NE(report.find("resizes: total=1 up=1 down=0"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find(" replayed="), std::string::npos) << report;
+  EXPECT_NE(report.find("elastic off"), std::string::npos) << report;
+  // One line per input stream with per-shard routing counts: the default
+  // input and the named belt stream, each with a 4-slot shard vector.
+  EXPECT_NE(report.find("stream <default>: events=2000"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("stream belt: events=2000"), std::string::npos)
+      << report;
+  size_t default_line = report.find("stream <default>:");
+  ASSERT_NE(default_line, std::string::npos);
+  size_t bracket = report.find("shards=[", default_line);
+  ASSERT_NE(bracket, std::string::npos) << report;
+  size_t close = report.find(']', bracket);
+  ASSERT_NE(close, std::string::npos);
+  std::string vec = report.substr(bracket + 8, close - bracket - 8);
+  EXPECT_EQ(std::count(vec.begin(), vec.end(), ' '), 3) << vec;  // 4 shards
+  // Per-worker engine lines: 4 shards + the broadcast worker.
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_NE(report.find("shard " + std::to_string(s) + ": events="),
+              std::string::npos)
+        << report;
+  }
+  EXPECT_NE(report.find("broadcast: events="), std::string::npos) << report;
 }
 
 // --- Engine-level additions used by the runtime ------------------------------
