@@ -8,14 +8,15 @@
 #     build).
 #  2. Config knobs: every knob named in docs/operations.md's knob tables
 #     (rows of the form "| `knob_name` | ...") must exist as an
-#     identifier in src/system/sase_system.h or src/runtime/*.h, so the
-#     tuning guide cannot document a knob that was renamed or removed.
+#     identifier in src/system/sase_system.h, src/runtime/*.h or
+#     src/checkpoint/*.h, so the tuning guide cannot document a knob that
+#     was renamed or removed.
 set -u
 
 cd "$(dirname "$0")/.."
 
 status=0
-for doc in README.md docs/language.md docs/operations.md docs/architecture.md; do
+for doc in README.md docs/language.md docs/operations.md docs/architecture.md docs/recovery.md; do
   if [[ ! -f "$doc" ]]; then
     echo "MISSING DOC: $doc"
     status=1
@@ -46,9 +47,10 @@ if [[ -f "$knob_doc" ]]; then
     status=1
   fi
   for knob in $knobs; do
-    if ! grep -qrE "\b${knob}\b" src/system/sase_system.h src/runtime/*.h; then
+    if ! grep -qrE "\b${knob}\b" src/system/sase_system.h src/runtime/*.h \
+         src/checkpoint/*.h; then
       echo "UNKNOWN KNOB in $knob_doc: \`$knob\` not found in" \
-           "src/system/sase_system.h or src/runtime/*.h"
+           "src/system/sase_system.h, src/runtime/*.h or src/checkpoint/*.h"
       status=1
     fi
   done

@@ -1,0 +1,42 @@
+#include "checkpoint/checkpoint_policy.h"
+
+#include <sstream>
+
+namespace sase {
+namespace checkpoint {
+
+CheckpointPolicy::CheckpointPolicy(CheckpointConfig config)
+    : config_(std::move(config)) {}
+
+CheckpointDecision CheckpointPolicy::Evaluate(const CheckpointSample& sample) {
+  ++checks_;
+  if (!armed_) return CheckpointDecision::kHold;
+  bool interval_hit = config_.checkpoint_interval_events > 0 &&
+                      sample.events_since_checkpoint >=
+                          config_.checkpoint_interval_events;
+  bool size_hit = config_.checkpoint_journal_bytes > 0 &&
+                  sample.journal_bytes_since_checkpoint >=
+                      config_.checkpoint_journal_bytes;
+  if (!interval_hit && !size_hit) return CheckpointDecision::kHold;
+  armed_ = false;
+  ++decisions_;
+  return CheckpointDecision::kCheckpoint;
+}
+
+std::string CheckpointPolicy::Describe() const {
+  std::ostringstream out;
+  out << "checkpoint policy: ";
+  if (config_.checkpoint_interval_events == 0 &&
+      config_.checkpoint_journal_bytes == 0) {
+    out << "manual only";
+  } else {
+    out << "interval=" << config_.checkpoint_interval_events
+        << " events, journal_limit=" << config_.checkpoint_journal_bytes
+        << " bytes";
+  }
+  out << " (checks=" << checks_ << " decisions=" << decisions_ << ")";
+  return out.str();
+}
+
+}  // namespace checkpoint
+}  // namespace sase

@@ -1,0 +1,442 @@
+#include "checkpoint/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.h"
+
+namespace sase {
+namespace checkpoint {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'A', 'S', 'E', 'J', 'N', 'L', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderSize = sizeof(kMagic) + 4 + 8 + 8;
+/// Sanity cap on one record's payload; a larger length field means the
+/// length itself is corrupt.
+constexpr uint32_t kMaxPayload = 64u << 20;
+
+// --- little-endian primitive encoding --------------------------------------
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutValue(std::string* out, const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      PutU8(out, 0);
+      break;
+    case ValueType::kInt:
+      PutU8(out, 1);
+      PutU64(out, static_cast<uint64_t>(value.AsInt()));
+      break;
+    case ValueType::kDouble: {
+      PutU8(out, 2);
+      double d = value.AsDouble();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(out, bits);
+      break;
+    }
+    case ValueType::kString:
+      PutU8(out, 3);
+      PutString(out, value.AsString());
+      break;
+    case ValueType::kBool:
+      PutU8(out, 4);
+      PutU8(out, value.AsBool() ? 1 : 0);
+      break;
+  }
+}
+
+/// Bounds-checked cursor over one decoded payload.
+struct Cursor {
+  const char* data;
+  size_t size;
+  size_t pos = 0;
+
+  bool Need(size_t n) const { return pos + n <= size; }
+
+  bool GetU8(uint8_t* v) {
+    if (!Need(1)) return false;
+    *v = static_cast<uint8_t>(data[pos++]);
+    return true;
+  }
+  bool GetU32(uint32_t* v) {
+    if (!Need(4)) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<unsigned char>(data[pos++])) << (8 * i);
+    }
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    if (!Need(8)) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<unsigned char>(data[pos++])) << (8 * i);
+    }
+    return true;
+  }
+  bool GetString(std::string* s) {
+    uint32_t len = 0;
+    if (!GetU32(&len) || !Need(len)) return false;
+    s->assign(data + pos, len);
+    pos += len;
+    return true;
+  }
+  bool GetValue(Value* value) {
+    uint8_t tag = 0;
+    if (!GetU8(&tag)) return false;
+    switch (tag) {
+      case 0:
+        *value = Value();
+        return true;
+      case 1: {
+        uint64_t v = 0;
+        if (!GetU64(&v)) return false;
+        *value = Value(static_cast<int64_t>(v));
+        return true;
+      }
+      case 2: {
+        uint64_t bits = 0;
+        if (!GetU64(&bits)) return false;
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        *value = Value(d);
+        return true;
+      }
+      case 3: {
+        std::string s;
+        if (!GetString(&s)) return false;
+        *value = Value(std::move(s));
+        return true;
+      }
+      case 4: {
+        uint8_t b = 0;
+        if (!GetU8(&b)) return false;
+        *value = Value(b != 0);
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+};
+
+void PutEventBody(std::string* out, const Event& event) {
+  PutU32(out, static_cast<uint32_t>(event.type()));
+  PutU64(out, static_cast<uint64_t>(event.timestamp()));
+  PutU64(out, event.seq());
+  PutU32(out, static_cast<uint32_t>(event.attribute_count()));
+  for (size_t i = 0; i < event.attribute_count(); ++i) {
+    PutValue(out, event.attribute(static_cast<AttrIndex>(i)));
+  }
+}
+
+bool GetEventBody(Cursor* in, JournalRecord* record) {
+  uint32_t type = 0;
+  uint64_t ts = 0;
+  uint64_t seq = 0;
+  uint32_t count = 0;
+  if (!in->GetU32(&type) || !in->GetU64(&ts) || !in->GetU64(&seq) ||
+      !in->GetU32(&count)) {
+    return false;
+  }
+  record->type = static_cast<EventTypeId>(type);
+  record->timestamp = static_cast<Timestamp>(ts);
+  record->seq = seq;
+  record->values.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!in->GetValue(&record->values[i])) return false;
+  }
+  return true;
+}
+
+bool DecodePayload(const char* data, size_t size, JournalRecord* record) {
+  Cursor in{data, size};
+  uint8_t kind = 0;
+  if (!in.GetU8(&kind)) return false;
+  switch (static_cast<JournalRecord::Kind>(kind)) {
+    case JournalRecord::Kind::kEvent:
+      record->kind = JournalRecord::Kind::kEvent;
+      record->stream.clear();
+      return GetEventBody(&in, record);
+    case JournalRecord::Kind::kStreamEvent:
+      record->kind = JournalRecord::Kind::kStreamEvent;
+      return in.GetString(&record->stream) && GetEventBody(&in, record);
+    case JournalRecord::Kind::kFlush:
+      record->kind = JournalRecord::Kind::kFlush;
+      return true;
+    case JournalRecord::Kind::kOutputMark:
+      record->kind = JournalRecord::Kind::kOutputMark;
+      return in.GetU64(&record->delivered_runtime) &&
+             in.GetU64(&record->delivered_serial);
+    case JournalRecord::Kind::kRegister: {
+      record->kind = JournalRecord::Kind::kRegister;
+      uint8_t archiving = 0;
+      if (!in.GetU8(&archiving)) return false;
+      record->archiving = archiving != 0;
+      return in.GetString(&record->name) && in.GetString(&record->text);
+    }
+    default:
+      return false;
+  }
+}
+
+Status WriteErrno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string SegmentFileName(uint64_t snapshot, uint64_t segment) {
+  std::ostringstream name;
+  name << "journal-" << snapshot << "-";
+  std::string seg = std::to_string(segment);
+  for (size_t i = seg.size(); i < 6; ++i) name << '0';
+  name << seg << ".log";
+  return name.str();
+}
+
+Result<std::unique_ptr<EventJournal>> EventJournal::Open(
+    const std::string& dir, uint64_t snapshot, uint64_t start_segment,
+    uint64_t rotate_bytes, FsyncPolicy fsync) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create journal directory " + dir +
+                                   ": " + ec.message());
+  }
+  std::unique_ptr<EventJournal> journal(
+      new EventJournal(dir, snapshot, rotate_bytes == 0 ? 1 : rotate_bytes, fsync));
+  SASE_RETURN_IF_ERROR(journal->OpenSegment(start_segment));
+  return journal;
+}
+
+EventJournal::~EventJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status EventJournal::OpenSegment(uint64_t segment) {
+  if (fd_ >= 0) {
+    if (fsync_ == FsyncPolicy::kAlways) ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  std::string path = dir_ + "/" + SegmentFileName(snapshot_, segment);
+  fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd_ < 0) return WriteErrno("cannot open journal segment " + path);
+  segment_ = segment;
+  segment_bytes_ = 0;
+
+  std::string header(kMagic, sizeof(kMagic));
+  PutU32(&header, kVersion);
+  PutU64(&header, snapshot_);
+  PutU64(&header, segment);
+  if (::write(fd_, header.data(), header.size()) !=
+      static_cast<ssize_t>(header.size())) {
+    return WriteErrno("cannot write journal header " + path);
+  }
+  segment_bytes_ += header.size();
+  bytes_written_ += header.size();
+  return Status::Ok();
+}
+
+Status EventJournal::AppendPayload(const std::string& payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("journal is not open");
+  std::string framed;
+  framed.reserve(payload.size() + 8);
+  PutU32(&framed, static_cast<uint32_t>(payload.size()));
+  PutU32(&framed, Crc32(payload.data(), payload.size()));
+  framed.append(payload);
+  if (::write(fd_, framed.data(), framed.size()) !=
+      static_cast<ssize_t>(framed.size())) {
+    return WriteErrno("journal append failed");
+  }
+  if (fsync_ == FsyncPolicy::kAlways) {
+    if (::fsync(fd_) != 0) return WriteErrno("journal fsync failed");
+  }
+  segment_bytes_ += framed.size();
+  bytes_written_ += framed.size();
+  ++records_written_;
+  if (segment_bytes_ >= rotate_bytes_) {
+    ++rotations_;
+    SASE_RETURN_IF_ERROR(OpenSegment(segment_ + 1));
+  }
+  return Status::Ok();
+}
+
+Status EventJournal::AppendEvent(const std::string& stream, const Event& event) {
+  std::string payload;
+  if (stream.empty()) {
+    PutU8(&payload, static_cast<uint8_t>(JournalRecord::Kind::kEvent));
+  } else {
+    PutU8(&payload, static_cast<uint8_t>(JournalRecord::Kind::kStreamEvent));
+    PutString(&payload, stream);
+  }
+  PutEventBody(&payload, event);
+  return AppendPayload(payload);
+}
+
+Status EventJournal::AppendFlush() {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(JournalRecord::Kind::kFlush));
+  return AppendPayload(payload);
+}
+
+Status EventJournal::AppendOutputMark(uint64_t delivered_runtime,
+                                      uint64_t delivered_serial) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(JournalRecord::Kind::kOutputMark));
+  PutU64(&payload, delivered_runtime);
+  PutU64(&payload, delivered_serial);
+  return AppendPayload(payload);
+}
+
+Status EventJournal::AppendRegister(bool archiving, const std::string& name,
+                                    const std::string& text) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(JournalRecord::Kind::kRegister));
+  PutU8(&payload, archiving ? 1 : 0);
+  PutString(&payload, name);
+  PutString(&payload, text);
+  return AppendPayload(payload);
+}
+
+Result<JournalScan> ReadJournal(const std::string& dir, uint64_t snapshot) {
+  JournalScan scan;
+  for (uint64_t segment = 0;; ++segment) {
+    std::string path = dir + "/" + SegmentFileName(snapshot, segment);
+    std::ifstream file(path, std::ios::binary);
+    if (!file.is_open()) {
+      scan.next_segment = segment;
+      return scan;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    std::string bytes = std::move(buffer).str();
+    ++scan.segments_read;
+
+    if (bytes.size() < kHeaderSize ||
+        std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+      scan.truncated = true;
+      scan.truncation_reason = "bad segment header in " + path;
+      scan.truncated_segment = segment;
+      scan.truncated_offset = 0;
+      scan.next_segment = segment + 1;
+      return scan;
+    }
+    Cursor header{bytes.data() + sizeof(kMagic), kHeaderSize - sizeof(kMagic)};
+    uint32_t version = 0;
+    uint64_t file_snapshot = 0;
+    uint64_t file_segment = 0;
+    header.GetU32(&version);
+    header.GetU64(&file_snapshot);
+    header.GetU64(&file_segment);
+    if (version != kVersion || file_snapshot != snapshot ||
+        file_segment != segment) {
+      scan.truncated = true;
+      scan.truncation_reason = "segment header mismatch in " + path;
+      scan.truncated_segment = segment;
+      scan.truncated_offset = 0;
+      scan.next_segment = segment + 1;
+      return scan;
+    }
+
+    size_t pos = kHeaderSize;
+    while (pos < bytes.size()) {
+      Cursor frame{bytes.data() + pos, bytes.size() - pos};
+      uint32_t len = 0;
+      uint32_t crc = 0;
+      if (!frame.GetU32(&len) || !frame.GetU32(&crc) || len > kMaxPayload ||
+          !frame.Need(len)) {
+        scan.truncated = true;
+        scan.truncation_reason = "torn record at byte " + std::to_string(pos) +
+                                 " of " + path;
+        scan.truncated_segment = segment;
+        scan.truncated_offset = pos;
+        scan.next_segment = segment + 1;
+        return scan;
+      }
+      const char* payload = bytes.data() + pos + 8;
+      if (Crc32(payload, len) != crc) {
+        scan.truncated = true;
+        scan.truncation_reason = "CRC mismatch at byte " + std::to_string(pos) +
+                                 " of " + path;
+        scan.truncated_segment = segment;
+        scan.truncated_offset = pos;
+        scan.next_segment = segment + 1;
+        return scan;
+      }
+      JournalRecord record;
+      if (!DecodePayload(payload, len, &record)) {
+        scan.truncated = true;
+        scan.truncation_reason = "undecodable record at byte " +
+                                 std::to_string(pos) + " of " + path;
+        scan.truncated_segment = segment;
+        scan.truncated_offset = pos;
+        scan.next_segment = segment + 1;
+        return scan;
+      }
+      scan.records.push_back(std::move(record));
+      pos += 8 + len;
+    }
+    scan.next_segment = segment + 1;
+  }
+}
+
+uint64_t RepairJournal(const std::string& dir, uint64_t snapshot,
+                       const JournalScan& scan) {
+  if (!scan.truncated) return scan.next_segment;
+  std::error_code ec;
+  std::string path =
+      dir + "/" + SegmentFileName(snapshot, scan.truncated_segment);
+  if (scan.truncated_offset > 0) {
+    // Cut the torn tail; the valid record prefix stays readable, and the
+    // next scan continues into the segments appended after recovery.
+    std::filesystem::resize_file(path, scan.truncated_offset, ec);
+    return scan.next_segment;
+  }
+  // The segment header itself is unusable: nothing in the file is
+  // salvageable, so resume writing at this very slot — OpenSegment
+  // truncates it and the next scan reads straight through.
+  std::filesystem::remove(path, ec);
+  return scan.truncated_segment;
+}
+
+void RemoveStaleJournals(const std::string& dir, uint64_t keep_snapshot) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return;
+  for (const auto& entry : it) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("journal-", 0) != 0) continue;
+    size_t dash = name.find('-', 8);
+    if (dash == std::string::npos) continue;
+    uint64_t snapshot = std::strtoull(name.substr(8, dash - 8).c_str(), nullptr, 10);
+    if (snapshot < keep_snapshot) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+}
+
+}  // namespace checkpoint
+}  // namespace sase

@@ -1,0 +1,164 @@
+#ifndef SASE_CHECKPOINT_JOURNAL_H_
+#define SASE_CHECKPOINT_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+#include "util/status.h"
+
+namespace sase {
+namespace checkpoint {
+
+/// How aggressively the journal pushes appended records to stable storage.
+enum class FsyncPolicy {
+  /// Records are write(2)-n immediately (they survive a process crash) but
+  /// the kernel decides when they reach the platter; an OS crash can lose
+  /// the tail. The throughput default.
+  kNever = 0,
+  /// fsync after every appended record: a committed record survives power
+  /// loss, at a large per-record cost (see bench_checkpoint.cc).
+  kAlways = 1,
+};
+
+/// One decoded journal record. The journal logs, between two checkpoints,
+/// everything that feeds the event processors: published events (default
+/// and named-stream), end-of-stream flushes, query registrations, and
+/// delivered-output marks (the cumulative delivery counters the recovery
+/// gate uses to resume emission at the exact record where the crashed
+/// process stopped).
+struct JournalRecord {
+  enum class Kind : uint8_t {
+    kEvent = 1,        // default-input event
+    kStreamEvent = 2,  // named-stream event (`stream` set)
+    kFlush = 3,        // end-of-stream marker
+    kOutputMark = 4,   // cumulative delivered-output counters
+    kRegister = 5,     // query registration (name/text/kind)
+  };
+
+  Kind kind = Kind::kEvent;
+
+  // kEvent / kStreamEvent
+  std::string stream;  // empty for the default input
+  EventTypeId type = kInvalidEventType;
+  Timestamp timestamp = 0;
+  SequenceNumber seq = 0;
+  std::vector<Value> values;
+
+  // kOutputMark: absolute counts of records delivered by runtime-hosted
+  // and serial-hosted queries since system construction.
+  uint64_t delivered_runtime = 0;
+  uint64_t delivered_serial = 0;
+
+  // kRegister
+  bool archiving = false;  // archiving rule vs monitoring query
+  std::string name;
+  std::string text;
+};
+
+/// Write side of the event journal: length-prefixed binary records
+///
+///   [u32 payload_len][u32 crc32(payload)][payload]
+///
+/// appended to numbered segment files `journal-<snapshot>-<seg>.log`, each
+/// opened with a magic+version header. A segment is sealed and the next one
+/// opened once it exceeds `rotate_bytes` (rotation bounds the damage of a
+/// corrupt file and lets recovery stream segments one at a time). All calls
+/// are made from the single dispatcher thread.
+class EventJournal {
+ public:
+  /// Opens segment `start_segment` of epoch `snapshot` in `dir` for
+  /// appending. Each checkpoint starts a fresh epoch at segment 0; recovery
+  /// resumes the current epoch at the segment after the last one replayed.
+  static Result<std::unique_ptr<EventJournal>> Open(const std::string& dir,
+                                                    uint64_t snapshot,
+                                                    uint64_t start_segment,
+                                                    uint64_t rotate_bytes,
+                                                    FsyncPolicy fsync);
+  ~EventJournal();
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  Status AppendEvent(const std::string& stream, const Event& event);
+  Status AppendFlush();
+  Status AppendOutputMark(uint64_t delivered_runtime, uint64_t delivered_serial);
+  Status AppendRegister(bool archiving, const std::string& name,
+                        const std::string& text);
+
+  /// Bytes appended across all segments of this writer (headers included).
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t records_written() const { return records_written_; }
+  uint64_t rotations() const { return rotations_; }
+  uint64_t segment() const { return segment_; }
+
+ private:
+  EventJournal(std::string dir, uint64_t snapshot, uint64_t rotate_bytes,
+               FsyncPolicy fsync)
+      : dir_(std::move(dir)), snapshot_(snapshot), rotate_bytes_(rotate_bytes),
+        fsync_(fsync) {}
+
+  Status OpenSegment(uint64_t segment);
+  Status AppendPayload(const std::string& payload);
+
+  std::string dir_;
+  uint64_t snapshot_ = 0;
+  uint64_t rotate_bytes_ = 0;
+  FsyncPolicy fsync_ = FsyncPolicy::kNever;
+
+  int fd_ = -1;
+  uint64_t segment_ = 0;
+  uint64_t segment_bytes_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t records_written_ = 0;
+  uint64_t rotations_ = 0;
+};
+
+/// Result of scanning one epoch's segments. Recovery replays `records` in
+/// order; `truncated` reports that the scan stopped early at a torn or
+/// corrupt record (crash mid-append) — everything before it is intact, and
+/// recovery proceeds from the valid prefix.
+struct JournalScan {
+  std::vector<JournalRecord> records;
+  uint64_t segments_read = 0;
+  /// Segment index recovery should continue appending at (last segment
+  /// seen + 1; 0 when the epoch has no segments yet).
+  uint64_t next_segment = 0;
+  bool truncated = false;
+  std::string truncation_reason;
+  /// When truncated: the damaged segment and the valid byte prefix at its
+  /// front (0 when even the header is unusable). RepairJournal cuts the
+  /// damage out with these so the next scan reads past the old crash
+  /// point into records journaled after recovery.
+  uint64_t truncated_segment = 0;
+  uint64_t truncated_offset = 0;
+};
+
+/// Reads every segment of epoch `snapshot` in `dir`, in segment order,
+/// stopping cleanly at the first record whose length or CRC does not
+/// verify. A missing directory or an epoch with no segments yields an empty
+/// scan, not an error.
+Result<JournalScan> ReadJournal(const std::string& dir, uint64_t snapshot);
+
+/// Deletes every journal segment in `dir` belonging to an epoch older than
+/// `keep_snapshot` (checkpoint garbage collection).
+void RemoveStaleJournals(const std::string& dir, uint64_t keep_snapshot);
+
+/// Makes the epoch's segments scannable end-to-end again after a truncated
+/// scan, and returns the segment index journaling should resume at. A
+/// damaged segment left in place would stop every FUTURE scan at the old
+/// crash point, silently hiding records journaled after recovery — so the
+/// torn tail is resized away (or, when the segment header itself is
+/// unusable, the slot is left to be overwritten by the resumed writer).
+/// No-op (returns next_segment) for clean scans.
+uint64_t RepairJournal(const std::string& dir, uint64_t snapshot,
+                       const JournalScan& scan);
+
+/// Journal segment file name for one (epoch, segment) pair.
+std::string SegmentFileName(uint64_t snapshot, uint64_t segment);
+
+}  // namespace checkpoint
+}  // namespace sase
+
+#endif  // SASE_CHECKPOINT_JOURNAL_H_

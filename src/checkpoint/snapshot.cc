@@ -1,0 +1,318 @@
+#include "checkpoint/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "db/dump.h"
+#include "util/string_util.h"
+
+namespace sase {
+namespace checkpoint {
+namespace {
+
+constexpr const char* kStateHeader = "SASE-CHECKPOINT v1";
+constexpr const char* kManifestHeader = "SASE-MANIFEST v1";
+
+std::string SnapshotDir(const std::string& dir, uint64_t id) {
+  return dir + "/snap-" + std::to_string(id);
+}
+
+/// Best-effort fsync of an already-written file (and of the directory for
+/// the manifest rename): recovery correctness never depends on it, but the
+/// window in which an OS crash can lose a fresh checkpoint shrinks to the
+/// rename itself.
+void SyncPath(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+Result<uint64_t> ParseU64(const std::string& text) {
+  char* end = nullptr;
+  uint64_t value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::ParseError("bad number in checkpoint file: '" + text + "'");
+  }
+  return value;
+}
+
+Result<int64_t> ParseI64(const std::string& text) {
+  char* end = nullptr;
+  int64_t value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::ParseError("bad number in checkpoint file: '" + text + "'");
+  }
+  return value;
+}
+
+Status WriteState(const std::string& path, const SystemSnapshot& snap) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << kStateHeader << "\n";
+  out << "SHARDS " << snap.shard_count << "\n";
+  out << "KEY " << EscapeField(snap.partition_key) << "\n";
+  out << "DISPATCHED " << snap.events_dispatched << "\n";
+  out << "DELIVERED " << snap.delivered_runtime << "|" << snap.delivered_serial
+      << "\n";
+  out << "ROUTED " << (snap.any_routed ? 1 : 0) << "|" << snap.routed_stream
+      << "|" << (snap.multi_routed ? 1 : 0) << "\n";
+  out << "CATALOG";
+  for (size_t i = 0; i < snap.catalog_types.size(); ++i) {
+    out << (i == 0 ? " " : "|") << EscapeField(snap.catalog_types[i]);
+  }
+  out << "\n";
+  for (const SnapshotStream& stream : snap.streams) {
+    out << "STREAM " << stream.id << "|" << EscapeField(stream.name) << "|"
+        << stream.clock << "|" << stream.last_seq << "|" << stream.events
+        << "\n";
+  }
+  for (const SnapshotQuery& query : snap.queries) {
+    out << "QUERY " << query.id << "|" << (query.archiving ? "A" : "M") << "|"
+        << (query.runtime_hosted ? "R" : "S") << "|" << query.registered_at
+        << "|" << (query.options.push_window ? 1 : 0) << "|"
+        << (query.options.push_predicates ? 1 : 0) << "|"
+        << (query.options.use_partitioning ? 1 : 0) << "|"
+        << EscapeField(query.name) << "|" << EscapeField(query.text) << "\n";
+  }
+  for (const SnapshotWindowEvent& entry : snap.window) {
+    out << "WINDOW " << entry.stream << "|" << entry.global << "|"
+        << entry.event->type() << "|" << entry.event->timestamp() << "|"
+        << entry.event->seq() << "|" << entry.event->attribute_count();
+    for (size_t i = 0; i < entry.event->attribute_count(); ++i) {
+      out << "|" << db::EncodeValue(entry.event->attribute(static_cast<AttrIndex>(i)));
+    }
+    out << "\n";
+  }
+  out << "END\n";
+  out.close();
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteSnapshot(const std::string& dir, const SystemSnapshot& snap,
+                     const db::Database& database) {
+  std::error_code ec;
+  std::string snap_dir = SnapshotDir(dir, snap.snapshot_id);
+  std::filesystem::create_directories(snap_dir, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create snapshot directory " +
+                                   snap_dir + ": " + ec.message());
+  }
+  SASE_RETURN_IF_ERROR(WriteState(snap_dir + "/state.sase", snap));
+  SASE_RETURN_IF_ERROR(db::DumpToFile(database, snap_dir + "/db.sase"));
+  SyncPath(snap_dir + "/state.sase");
+  SyncPath(snap_dir + "/db.sase");
+
+  // The manifest repoint is the commit: tmp + rename keeps the previous
+  // checkpoint authoritative until the new one is fully on disk.
+  std::string tmp = dir + "/MANIFEST.tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out.is_open()) {
+      return Status::InvalidArgument("cannot open for writing: " + tmp);
+    }
+    out << kManifestHeader << "\n";
+    out << "snapshot " << snap.snapshot_id << "\n";
+    out.close();
+    if (!out.good()) return Status::Internal("write failed: " + tmp);
+  }
+  SyncPath(tmp);
+  std::filesystem::rename(tmp, dir + "/MANIFEST", ec);
+  if (ec) {
+    return Status::Internal("cannot commit manifest: " + ec.message());
+  }
+  SyncPath(dir);
+  return Status::Ok();
+}
+
+Result<uint64_t> ReadManifest(const std::string& dir) {
+  std::ifstream in(dir + "/MANIFEST");
+  if (!in.is_open()) {
+    return Status::NotFound("no checkpoint manifest in " + dir);
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestHeader) {
+    return Status::ParseError("bad manifest header in " + dir);
+  }
+  while (std::getline(in, line)) {
+    if (StartsWith(line, "snapshot ")) return ParseU64(line.substr(9));
+  }
+  return Status::ParseError("manifest in " + dir + " names no snapshot");
+}
+
+Result<SystemSnapshot> ReadSnapshot(const std::string& dir, uint64_t id,
+                                    db::Database* database) {
+  std::string snap_dir = SnapshotDir(dir, id);
+  std::ifstream in(snap_dir + "/state.sase");
+  if (!in.is_open()) {
+    return Status::NotFound("missing snapshot state: " + snap_dir);
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kStateHeader) {
+    return Status::ParseError("bad snapshot header in " + snap_dir);
+  }
+  SystemSnapshot snap;
+  snap.snapshot_id = id;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line == "END") {
+      saw_end = true;
+      break;
+    }
+    size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      return Status::ParseError("bad snapshot line: " + line);
+    }
+    std::string tag = line.substr(0, space);
+    std::vector<std::string> fields = Split(line.substr(space + 1), '|');
+    auto field_u64 = [&fields](size_t i) { return ParseU64(fields[i]); };
+    auto field_i64 = [&fields](size_t i) { return ParseI64(fields[i]); };
+
+    if (tag == "SHARDS") {
+      auto value = field_i64(0);
+      if (!value.ok()) return value.status();
+      snap.shard_count = static_cast<int>(value.value());
+    } else if (tag == "KEY") {
+      auto key = UnescapeField(fields[0]);
+      if (!key.ok()) return key.status();
+      snap.partition_key = std::move(key).value();
+    } else if (tag == "DISPATCHED") {
+      auto value = field_u64(0);
+      if (!value.ok()) return value.status();
+      snap.events_dispatched = value.value();
+    } else if (tag == "DELIVERED") {
+      if (fields.size() != 2) return Status::ParseError("bad DELIVERED line");
+      auto runtime = field_u64(0);
+      auto serial = field_u64(1);
+      if (!runtime.ok()) return runtime.status();
+      if (!serial.ok()) return serial.status();
+      snap.delivered_runtime = runtime.value();
+      snap.delivered_serial = serial.value();
+    } else if (tag == "ROUTED") {
+      if (fields.size() != 3) return Status::ParseError("bad ROUTED line");
+      auto stream = field_u64(1);
+      if (!stream.ok()) return stream.status();
+      snap.any_routed = fields[0] == "1";
+      snap.routed_stream = static_cast<StreamId>(stream.value());
+      snap.multi_routed = fields[2] == "1";
+    } else if (tag == "CATALOG") {
+      for (const std::string& field : fields) {
+        auto name = UnescapeField(field);
+        if (!name.ok()) return name.status();
+        snap.catalog_types.push_back(std::move(name).value());
+      }
+    } else if (tag == "STREAM") {
+      if (fields.size() != 5) return Status::ParseError("bad STREAM line");
+      SnapshotStream stream;
+      auto sid = field_u64(0);
+      auto name = UnescapeField(fields[1]);
+      auto clock = field_i64(2);
+      auto seq = field_u64(3);
+      auto events = field_u64(4);
+      if (!sid.ok()) return sid.status();
+      if (!name.ok()) return name.status();
+      if (!clock.ok()) return clock.status();
+      if (!seq.ok()) return seq.status();
+      if (!events.ok()) return events.status();
+      stream.id = static_cast<StreamId>(sid.value());
+      stream.name = std::move(name).value();
+      stream.clock = clock.value();
+      stream.last_seq = seq.value();
+      stream.events = events.value();
+      snap.streams.push_back(std::move(stream));
+    } else if (tag == "QUERY") {
+      if (fields.size() != 9) return Status::ParseError("bad QUERY line");
+      SnapshotQuery query;
+      auto qid = field_i64(0);
+      auto at = field_u64(3);
+      auto name = UnescapeField(fields[7]);
+      auto text = UnescapeField(fields[8]);
+      if (!qid.ok()) return qid.status();
+      if (!at.ok()) return at.status();
+      if (!name.ok()) return name.status();
+      if (!text.ok()) return text.status();
+      query.id = qid.value();
+      query.archiving = fields[1] == "A";
+      query.runtime_hosted = fields[2] == "R";
+      query.registered_at = at.value();
+      query.options.push_window = fields[4] == "1";
+      query.options.push_predicates = fields[5] == "1";
+      query.options.use_partitioning = fields[6] == "1";
+      query.name = std::move(name).value();
+      query.text = std::move(text).value();
+      snap.queries.push_back(std::move(query));
+    } else if (tag == "WINDOW") {
+      if (fields.size() < 6) return Status::ParseError("bad WINDOW line");
+      auto sid = field_u64(0);
+      auto global = field_u64(1);
+      auto type = field_u64(2);
+      auto ts = field_i64(3);
+      auto seq = field_u64(4);
+      auto count = field_u64(5);
+      if (!sid.ok()) return sid.status();
+      if (!global.ok()) return global.status();
+      if (!type.ok()) return type.status();
+      if (!ts.ok()) return ts.status();
+      if (!seq.ok()) return seq.status();
+      if (!count.ok()) return count.status();
+      if (fields.size() != 6 + count.value()) {
+        return Status::ParseError("WINDOW line value count mismatch");
+      }
+      std::vector<Value> values;
+      values.reserve(count.value());
+      for (uint64_t i = 0; i < count.value(); ++i) {
+        auto value = db::DecodeValue(fields[6 + i]);
+        if (!value.ok()) return value.status();
+        values.push_back(std::move(value).value());
+      }
+      SnapshotWindowEvent entry;
+      entry.stream = static_cast<StreamId>(sid.value());
+      entry.global = global.value();
+      entry.event = std::make_shared<Event>(
+          static_cast<EventTypeId>(type.value()), ts.value(), seq.value(),
+          std::move(values));
+      snap.window.push_back(std::move(entry));
+    } else {
+      return Status::ParseError("unknown snapshot line: " + line);
+    }
+  }
+  if (!saw_end) {
+    return Status::ParseError("snapshot state truncated (no END): " + snap_dir);
+  }
+  if (database != nullptr) {
+    SASE_RETURN_IF_ERROR(db::LoadFileInto(snap_dir + "/db.sase", database));
+  }
+  return snap;
+}
+
+std::string DbDumpPath(const std::string& dir, uint64_t id) {
+  return SnapshotDir(dir, id) + "/db.sase";
+}
+
+void RemoveStaleSnapshots(const std::string& dir, uint64_t keep) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return;
+  for (const auto& entry : it) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("snap-", 0) != 0) continue;
+    uint64_t id = std::strtoull(name.substr(5).c_str(), nullptr, 10);
+    if (id < keep) {
+      std::filesystem::remove_all(entry.path(), ec);
+    }
+  }
+}
+
+}  // namespace checkpoint
+}  // namespace sase

@@ -1,0 +1,104 @@
+#ifndef SASE_CHECKPOINT_SNAPSHOT_H_
+#define SASE_CHECKPOINT_SNAPSHOT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+#include "core/stream.h"
+#include "db/database.h"
+#include "engine/planner.h"
+#include "engine/query_engine.h"
+#include "util/status.h"
+
+namespace sase {
+namespace checkpoint {
+
+/// One registered query as captured at a quiesce point. `registered_at` is
+/// the global dispatch index the query was registered at — recovery
+/// re-registers it between the same two events of the replayed in-flight
+/// window, reproducing the serial construction history (the same contract
+/// the runtime's elastic Resize replay uses).
+struct SnapshotQuery {
+  QueryId id = 0;
+  bool archiving = false;       // archiving rule vs monitoring query
+  bool runtime_hosted = false;  // sharded runtime vs serial engine
+  uint64_t registered_at = 0;
+  PlanOptions options;
+  std::string name;
+  std::string text;
+};
+
+/// Dispatch stamp of one interned input stream at the quiesce point.
+struct SnapshotStream {
+  StreamId id = kDefaultStream;
+  std::string name;  // lowercased FROM name; empty = default input
+  Timestamp clock = 0;
+  SequenceNumber last_seq = 0;
+  uint64_t events = 0;
+};
+
+/// One retained in-flight-window event, with its original global dispatch
+/// index (the replay interleaving key across streams).
+struct SnapshotWindowEvent {
+  StreamId stream = kDefaultStream;
+  uint64_t global = 0;
+  EventPtr event;
+};
+
+/// Everything outside the Event Database that a SaseSystem needs to resume:
+/// registered queries in dispatch order, per-stream dispatch stamps and
+/// clocks, the in-flight replay window, merger/dispatch watermarks, the
+/// runtime shape, and the delivered-output counters the recovery gate
+/// resumes emission from. The Event Database itself rides along as a
+/// db::Dump file in the same snapshot directory.
+struct SystemSnapshot {
+  uint64_t snapshot_id = 0;
+  int shard_count = 1;
+  std::string partition_key;
+  uint64_t events_dispatched = 0;
+  uint64_t delivered_runtime = 0;
+  uint64_t delivered_serial = 0;
+  /// Dispatcher routing flags (see ShardedRuntime): restored verbatim so
+  /// the recovered dispatcher claims merge progress exactly as the crashed
+  /// one would have.
+  bool any_routed = false;
+  StreamId routed_stream = kDefaultStream;
+  bool multi_routed = false;
+  /// Event type names in EventTypeId order: the window events and journal
+  /// records reference types by id, so recovery refuses a catalog mismatch.
+  std::vector<std::string> catalog_types;
+  std::vector<SnapshotStream> streams;
+  std::vector<SnapshotQuery> queries;
+  std::vector<SnapshotWindowEvent> window;
+};
+
+/// Writes `snap` (state file + Event Database dump) into
+/// `<dir>/snap-<id>/` and then atomically repoints `<dir>/MANIFEST` at the
+/// new snapshot (tmp file + rename), so a crash mid-checkpoint leaves the
+/// previous checkpoint intact and authoritative.
+Status WriteSnapshot(const std::string& dir, const SystemSnapshot& snap,
+                     const db::Database& database);
+
+/// Reads `<dir>/MANIFEST`; NotFound when the directory holds no checkpoint.
+Result<uint64_t> ReadManifest(const std::string& dir);
+
+/// Reads snapshot `id` from `dir`. When `database` is non-null the Event
+/// Database dump is loaded into it (get-or-append per table, see
+/// db::LoadInto); pass nullptr to read the state file alone and load the
+/// dump later via DbDumpPath (the recovery bootstrap reads state before the
+/// recovered system's database exists).
+Result<SystemSnapshot> ReadSnapshot(const std::string& dir, uint64_t id,
+                                    db::Database* database);
+
+/// Path of snapshot `id`'s Event Database dump inside `dir`.
+std::string DbDumpPath(const std::string& dir, uint64_t id);
+
+/// Deletes snapshot directories older than `keep` (garbage collection after
+/// a successful checkpoint).
+void RemoveStaleSnapshots(const std::string& dir, uint64_t keep);
+
+}  // namespace checkpoint
+}  // namespace sase
+
+#endif  // SASE_CHECKPOINT_SNAPSHOT_H_

@@ -9,38 +9,15 @@ namespace sase {
 namespace db {
 namespace {
 
-std::string EscapeString(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '\\': out += "\\\\"; break;
-      case '|': out += "\\p"; break;
-      case '\n': out += "\\n"; break;
-      default: out.push_back(c); break;
-    }
-  }
-  return out;
+Result<ValueType> TypeFromName(const std::string& name) {
+  if (name == "INT") return ValueType::kInt;
+  if (name == "DOUBLE") return ValueType::kDouble;
+  if (name == "STRING") return ValueType::kString;
+  if (name == "BOOL") return ValueType::kBool;
+  return Status::ParseError("unknown column type in dump: " + name);
 }
 
-Result<std::string> UnescapeString(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (size_t i = 0; i < s.size(); ++i) {
-    if (s[i] != '\\') {
-      out.push_back(s[i]);
-      continue;
-    }
-    if (i + 1 >= s.size()) return Status::ParseError("dangling escape in dump");
-    switch (s[++i]) {
-      case '\\': out.push_back('\\'); break;
-      case 'p': out.push_back('|'); break;
-      case 'n': out.push_back('\n'); break;
-      default: return Status::ParseError("unknown escape in dump");
-    }
-  }
-  return out;
-}
+}  // namespace
 
 std::string EncodeValue(const Value& value) {
   switch (value.type()) {
@@ -52,7 +29,7 @@ std::string EncodeValue(const Value& value) {
       out << "D:" << value.AsDouble();
       return out.str();
     }
-    case ValueType::kString: return "S:" + EscapeString(value.AsString());
+    case ValueType::kString: return "S:" + EscapeField(value.AsString());
     case ValueType::kBool: return value.AsBool() ? "B:1" : "B:0";
   }
   return "N";
@@ -69,7 +46,7 @@ Result<Value> DecodeValue(const std::string& text) {
     case 'D': return Value(std::strtod(body.c_str(), nullptr));
     case 'B': return Value(body == "1");
     case 'S': {
-      auto unescaped = UnescapeString(body);
+      auto unescaped = UnescapeField(body);
       if (!unescaped.ok()) return unescaped.status();
       return Value(std::move(unescaped).value());
     }
@@ -78,16 +55,6 @@ Result<Value> DecodeValue(const std::string& text) {
   }
 }
 
-Result<ValueType> TypeFromName(const std::string& name) {
-  if (name == "INT") return ValueType::kInt;
-  if (name == "DOUBLE") return ValueType::kDouble;
-  if (name == "STRING") return ValueType::kString;
-  if (name == "BOOL") return ValueType::kBool;
-  return Status::ParseError("unknown column type in dump: " + name);
-}
-
-}  // namespace
-
 Status Dump(const Database& database, std::ostream* out) {
   for (const std::string& name : database.TableNames()) {
     const Table* table = database.GetTable(name);
@@ -95,7 +62,7 @@ Status Dump(const Database& database, std::ostream* out) {
     const auto& columns = table->columns();
     for (size_t i = 0; i < columns.size(); ++i) {
       if (i > 0) *out << "|";
-      *out << EscapeString(columns[i].name) << ":" << ValueTypeName(columns[i].type);
+      *out << EscapeField(columns[i].name) << ":" << ValueTypeName(columns[i].type);
     }
     *out << "\n";
     std::vector<std::string> indexed;
@@ -125,8 +92,7 @@ Status DumpToFile(const Database& database, const std::string& path) {
   return Dump(database, &file);
 }
 
-Result<std::unique_ptr<Database>> Load(std::istream* in) {
-  auto database = std::make_unique<Database>();
+Status LoadInto(std::istream* in, Database* database) {
   std::string line;
   while (std::getline(*in, line)) {
     if (line.empty()) continue;
@@ -144,20 +110,39 @@ Result<std::unique_ptr<Database>> Load(std::istream* in) {
       if (colon == std::string::npos) {
         return Status::ParseError("bad schema field: " + field);
       }
-      auto col_name = UnescapeString(field.substr(0, colon));
+      auto col_name = UnescapeField(field.substr(0, colon));
       if (!col_name.ok()) return col_name.status();
       auto type = TypeFromName(field.substr(colon + 1));
       if (!type.ok()) return type.status();
       columns.push_back({std::move(col_name).value(), type.value()});
     }
-    auto table = database->CreateTable(name, std::move(columns));
-    if (!table.ok()) return table.status();
+    Table* table = database->GetTable(name);
+    if (table == nullptr) {
+      auto created = database->CreateTable(name, std::move(columns));
+      if (!created.ok()) return created.status();
+      table = created.value();
+    } else {
+      // Appending into a pre-created table: the schemas must agree column
+      // by column, or the rows would land under the wrong attributes.
+      const auto& existing = table->columns();
+      bool match = existing.size() == columns.size();
+      for (size_t i = 0; match && i < columns.size(); ++i) {
+        match = existing[i].type == columns[i].type &&
+                EqualsIgnoreCase(existing[i].name, columns[i].name);
+      }
+      if (!match) {
+        return Status::ParseError("dump schema of table " + name +
+                                  " does not match the existing table");
+      }
+    }
 
     while (std::getline(*in, line)) {
       if (line == "END") break;
       if (StartsWith(line, "INDEX ")) {
         for (const std::string& col : Split(line.substr(6), ',')) {
-          SASE_RETURN_IF_ERROR(table.value()->CreateIndex(col));
+          // Idempotent for already-indexed columns; an unknown column means
+          // the INDEX line itself is corrupt.
+          SASE_RETURN_IF_ERROR(table->CreateIndex(col));
         }
         continue;
       }
@@ -170,10 +155,24 @@ Result<std::unique_ptr<Database>> Load(std::istream* in) {
         if (!value.ok()) return value.status();
         row.push_back(std::move(value).value());
       }
-      auto inserted = table.value()->Insert(std::move(row));
+      auto inserted = table->Insert(std::move(row));
       if (!inserted.ok()) return inserted.status();
     }
   }
+  return Status::Ok();
+}
+
+Status LoadFileInto(const std::string& path, Database* database) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  return LoadInto(&file, database);
+}
+
+Result<std::unique_ptr<Database>> Load(std::istream* in) {
+  auto database = std::make_unique<Database>();
+  SASE_RETURN_IF_ERROR(LoadInto(in, database.get()));
   return database;
 }
 

@@ -22,12 +22,26 @@ namespace db {
 ///   ROW <v>|<v>|...                 -- values: N, I:<int>, D:<double>,
 ///                                      S:<escaped>, B:0/1
 ///   END
-/// Strings escape '\' '|' and newline as \\ \p \n.
+/// Strings escape '\' '|' and newline as \\ \p \n (util EscapeField).
 Status Dump(const Database& database, std::ostream* out);
 Status DumpToFile(const Database& database, const std::string& path);
 
 Result<std::unique_ptr<Database>> Load(std::istream* in);
 Result<std::unique_ptr<Database>> LoadFromFile(const std::string& path);
+
+/// Restores a dump into an existing (not necessarily empty) database:
+/// tables already present receive the dump's rows appended; absent tables
+/// are created. The checkpoint recovery path loads the Event Database dump
+/// into a freshly constructed system whose components create their tables
+/// lazily, so get-or-append is the semantics recovery needs.
+Status LoadInto(std::istream* in, Database* database);
+Status LoadFileInto(const std::string& path, Database* database);
+
+/// One dump field of a single Value: N, I:<int>, D:<double>, S:<escaped>,
+/// B:0/1. Shared with the checkpoint snapshot, whose in-flight window
+/// events serialize their attribute values in the same format.
+std::string EncodeValue(const Value& value);
+Result<Value> DecodeValue(const std::string& text);
 
 }  // namespace db
 }  // namespace sase

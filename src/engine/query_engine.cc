@@ -18,14 +18,15 @@ Result<QueryId> QueryEngine::Register(const std::string& text,
                                       PlanOptions options) {
   auto parsed = Parser::Parse(text);
   if (!parsed.ok()) return parsed.status();
-  return Register(std::move(parsed).value(), std::move(callback), options);
+  return RegisterParsed(next_id_, text, std::move(parsed).value(),
+                        std::move(callback), options);
 }
 
 Result<QueryId> QueryEngine::Register(ParsedQuery parsed,
                                       OutputCallback callback,
                                       PlanOptions options) {
-  return RegisterParsed(next_id_, std::move(parsed), std::move(callback),
-                        options);
+  return RegisterParsed(next_id_, std::string(), std::move(parsed),
+                        std::move(callback), options);
 }
 
 Result<QueryId> QueryEngine::RegisterAs(QueryId id, const std::string& text,
@@ -37,11 +38,12 @@ Result<QueryId> QueryEngine::RegisterAs(QueryId id, const std::string& text,
   }
   auto parsed = Parser::Parse(text);
   if (!parsed.ok()) return parsed.status();
-  return RegisterParsed(id, std::move(parsed).value(), std::move(callback),
-                        options);
+  return RegisterParsed(id, text, std::move(parsed).value(),
+                        std::move(callback), options);
 }
 
-Result<QueryId> QueryEngine::RegisterParsed(QueryId id, ParsedQuery parsed,
+Result<QueryId> QueryEngine::RegisterParsed(QueryId id, std::string text,
+                                            ParsedQuery parsed,
                                             OutputCallback callback,
                                             PlanOptions options) {
   std::string stream = ToLower(parsed.from_stream);
@@ -50,7 +52,7 @@ Result<QueryId> QueryEngine::RegisterParsed(QueryId id, ParsedQuery parsed,
   if (!analyzed.ok()) return analyzed.status();
   auto plan = Planner::Build(std::move(analyzed).value(), options, catalog_,
                              &functions_, std::move(callback));
-  plans_.emplace(id, Entry{std::move(plan), std::move(stream)});
+  plans_.emplace(id, Entry{std::move(plan), std::move(stream), std::move(text)});
   next_id_ = std::max(next_id_, id + 1);
   return id;
 }
@@ -65,6 +67,23 @@ Status QueryEngine::Unregister(QueryId id) {
 const QueryPlan* QueryEngine::plan(QueryId id) const {
   auto it = plans_.find(id);
   return it == plans_.end() ? nullptr : it->second.plan.get();
+}
+
+const std::string& QueryEngine::query_text(QueryId id) const {
+  static const std::string kEmpty;
+  auto it = plans_.find(id);
+  return it == plans_.end() ? kEmpty : it->second.text;
+}
+
+std::vector<QueryEngine::RegisteredQuery> QueryEngine::RegisteredQueries()
+    const {
+  std::vector<RegisteredQuery> queries;
+  queries.reserve(plans_.size());
+  for (const auto& [id, entry] : plans_) {
+    queries.push_back(
+        RegisteredQuery{id, entry.text, entry.stream, entry.plan->options()});
+  }
+  return queries;
 }
 
 void QueryEngine::OnEvent(const EventPtr& event) {

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/catalog.h"
 #include "core/stream.h"
@@ -90,6 +91,24 @@ class QueryEngine : public EventSink {
   /// Access to a live plan (stats, explain); nullptr if unknown.
   const QueryPlan* plan(QueryId id) const;
 
+  /// Registration text of a live query ("" when unknown or registered from
+  /// a pre-parsed AST). The engine retains every text-registered query's
+  /// source so the checkpoint subsystem can serialize registrations and
+  /// re-register them on recovery — the engine's replay contract (see
+  /// OnEvents) makes re-registration + replay equivalent to serializing
+  /// plan state.
+  const std::string& query_text(QueryId id) const;
+
+  /// One live query as the checkpoint subsystem sees it.
+  struct RegisteredQuery {
+    QueryId id = 0;
+    std::string text;    // "" when registered from a pre-parsed AST
+    std::string stream;  // lowercased FROM name; "" = default input
+    PlanOptions options;
+  };
+  /// Every live query in id (= registration) order.
+  std::vector<RegisteredQuery> RegisteredQueries() const;
+
   /// Advances stream time on every default-stream plan without delivering
   /// an event; releases tail-negation deferrals (see Negation::OnWatermark).
   void OnWatermark(Timestamp now);
@@ -136,12 +155,14 @@ class QueryEngine : public EventSink {
   struct Entry {
     std::unique_ptr<QueryPlan> plan;
     std::string stream;  // lowercased FROM name; empty = default input
+    std::string text;    // registration source; "" for pre-parsed queries
   };
 
   /// Shared tail of every Register flavor: analyze, plan, install under
   /// `id` (advancing next_id_ past it). No id is consumed on failure.
-  Result<QueryId> RegisterParsed(QueryId id, ParsedQuery parsed,
-                                 OutputCallback callback, PlanOptions options);
+  Result<QueryId> RegisterParsed(QueryId id, std::string text,
+                                 ParsedQuery parsed, OutputCallback callback,
+                                 PlanOptions options);
 
   const Catalog* catalog_;
   TimeConfig time_config_;

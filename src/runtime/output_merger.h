@@ -88,6 +88,13 @@ class OutputMerger {
   /// release_ts, completion order), mirroring QueryEngine::OnFlush.
   std::vector<TaggedRecord> DrainFinal();
 
+  /// Restores the global dispatch clock from a checkpoint (recovery
+  /// bootstrap, before any NoteDispatched/Add call): post-recovery indices
+  /// continue on the crashed process's scale, so checkpointed positions
+  /// (query registration points, window-event indices) remain directly
+  /// comparable with indices issued after recovery.
+  void SeedDispatched(uint64_t dispatched) { dispatched_ = dispatched; }
+
   uint64_t merged_count() const { return merged_; }
   size_t pending_count() const { return pending_.size(); }
   uint64_t dispatched_count() const { return dispatched_; }

@@ -51,6 +51,16 @@ void Partitioner::Resize(int shard_count) {
   }
 }
 
+StreamId Partitioner::RestoreStream(const std::string& stream, Timestamp clock,
+                                    SequenceNumber last_seq, uint64_t events) {
+  StreamId id = InternStream(stream);
+  StreamState& state = streams_[id];
+  state.clock = clock;
+  state.last_seq = last_seq;
+  state.events = events;
+  return id;
+}
+
 int Partitioner::Route(StreamId stream, const Event& event) {
   int shard = ShardFor(event);
   StreamState& state = streams_[stream];

@@ -66,6 +66,13 @@ class Partitioner {
   /// they describe the current layout, which just changed.
   void Resize(int shard_count);
 
+  /// Interns `stream` and overwrites its dispatch stamp with a
+  /// checkpointed one (recovery bootstrap). The per-shard routing counts
+  /// restart at zero — they describe the recovered process's layout.
+  /// Dispatcher thread only, before any Route call on the stream.
+  StreamId RestoreStream(const std::string& stream, Timestamp clock,
+                         SequenceNumber last_seq, uint64_t events);
+
   /// True when `type` carries the key attribute.
   bool HasKey(EventTypeId type) const { return KeyIndex(type) >= 0; }
 

@@ -95,39 +95,35 @@ ShardedRuntime::StreamQueries& ShardedRuntime::QueriesFor(StreamId stream) {
   return stream_queries_[stream];
 }
 
-Result<QueryId> ShardedRuntime::Register(const std::string& text,
-                                         OutputCallback callback,
-                                         PlanOptions options) {
+Result<ShardedRuntime::QueryEntry> ShardedRuntime::AnalyzeEntry(
+    const std::string& text, OutputCallback callback, PlanOptions options) {
   auto parsed = Parser::Parse(text);
   if (!parsed.ok()) return parsed.status();
   Analyzer analyzer(catalog_, config_.time_config);
   auto analyzed = analyzer.Analyze(std::move(parsed).value());
   if (!analyzed.ok()) return analyzed.status();
   std::string stream_name = ToLower(analyzed.value().parsed.from_stream);
-  bool sharded = Partitioner::Shardable(analyzed.value(), *catalog_,
-                                        config_.partition_key, options);
 
-  // Quiesce so engine mutation cannot race in-flight batches; the push of
-  // the next batch publishes the new plan to the worker.
-  WaitIdle();
-
-  StreamId stream = partitioner_.InternStream(stream_name);
-  QueryId id = next_id_++;
   QueryEntry entry;
   entry.callback = std::move(callback);
-  entry.sharded = sharded;
-  entry.stream = stream;
+  entry.sharded = Partitioner::Shardable(analyzed.value(), *catalog_,
+                                         config_.partition_key, options);
+  entry.stream = partitioner_.InternStream(stream_name);
   entry.text = text;
   entry.options = options;
   entry.registered_at = events_dispatched_;
   entry.window_ticks = analyzed.value().window_ticks;
   entry.stateful = analyzed.value().positive_slots.size() > 1 ||
                    !analyzed.value().negations.empty();
-  if (sharded) {
-    Status status = RegisterIntoShards(id, entry);
-    if (!status.ok()) return status;
+  entry.has_aggregates = analyzed.value().has_aggregates;
+  return entry;
+}
+
+Status ShardedRuntime::InstallQuery(QueryId id, QueryEntry entry) {
+  StreamQueries& hosts = QueriesFor(entry.stream);
+  if (entry.sharded) {
+    SASE_RETURN_IF_ERROR(RegisterIntoShards(id, entry));
     ++sharded_queries_;
-    StreamQueries& hosts = QueriesFor(stream);
     ++hosts.sharded;
     if (entry.stateful) {
       ++hosts.sharded_stateful;
@@ -140,12 +136,38 @@ Result<QueryId> ShardedRuntime::Register(const std::string& text,
   } else {
     Worker& host = broadcast_worker();
     auto result = host.engine->RegisterAs(
-        id, text, CaptureCallback(&host, id, stream), options);
+        id, entry.text, CaptureCallback(&host, id, entry.stream),
+        entry.options);
     if (!result.ok()) return result.status();
     ++broadcast_queries_;
-    ++QueriesFor(stream).broadcast;
+    ++hosts.broadcast;
+    if (entry.stateful) {
+      ++hosts.broadcast_stateful;
+      if (entry.window_ticks < 0) {
+        ++unbounded_broadcast_;
+      } else if (config_.retain_for_checkpoint) {
+        hosts.max_window = std::max(hosts.max_window, entry.window_ticks);
+      }
+    }
   }
+  if (entry.has_aggregates) ++aggregate_queries_;
   queries_.emplace(id, std::move(entry));
+  next_id_ = std::max(next_id_, id + 1);
+  return Status::Ok();
+}
+
+Result<QueryId> ShardedRuntime::Register(const std::string& text,
+                                         OutputCallback callback,
+                                         PlanOptions options) {
+  auto entry = AnalyzeEntry(text, std::move(callback), options);
+  if (!entry.ok()) return entry.status();
+
+  // Quiesce so engine mutation cannot race in-flight batches; the push of
+  // the next batch publishes the new plan to the worker.
+  WaitIdle();
+
+  QueryId id = next_id_;
+  SASE_RETURN_IF_ERROR(InstallQuery(id, std::move(entry).value()));
   return id;
 }
 
@@ -175,24 +197,31 @@ Status ShardedRuntime::Unregister(QueryId id) {
     for (int s = 0; s < config_.shard_count; ++s) {
       (void)workers_[static_cast<size_t>(s)]->engine->Unregister(id);
     }
-    DropShardedQuery(it);
   } else {
     (void)broadcast_worker().engine->Unregister(id);
-    --broadcast_queries_;
-    --QueriesFor(it->second.stream).broadcast;
-    queries_.erase(it);
   }
+  DropQuery(it);
   return Status::Ok();
 }
 
-void ShardedRuntime::DropShardedQuery(std::map<QueryId, QueryEntry>::iterator it) {
-  --sharded_queries_;
+void ShardedRuntime::DropQuery(std::map<QueryId, QueryEntry>::iterator it) {
   StreamQueries& hosts = QueriesFor(it->second.stream);
-  --hosts.sharded;
-  if (it->second.stateful) {
-    --hosts.sharded_stateful;
-    if (it->second.window_ticks < 0) --unbounded_sharded_;
+  if (it->second.sharded) {
+    --sharded_queries_;
+    --hosts.sharded;
+    if (it->second.stateful) {
+      --hosts.sharded_stateful;
+      if (it->second.window_ticks < 0) --unbounded_sharded_;
+    }
+  } else {
+    --broadcast_queries_;
+    --hosts.broadcast;
+    if (it->second.stateful) {
+      --hosts.broadcast_stateful;
+      if (it->second.window_ticks < 0) --unbounded_broadcast_;
+    }
   }
+  if (it->second.has_aggregates) --aggregate_queries_;
   queries_.erase(it);
   RecomputeStreamWindows();
   PruneReplayAll();  // retention windows may have shrunk or vanished
@@ -201,7 +230,8 @@ void ShardedRuntime::DropShardedQuery(std::map<QueryId, QueryEntry>::iterator it
 void ShardedRuntime::RecomputeStreamWindows() {
   for (StreamQueries& hosts : stream_queries_) hosts.max_window = -1;
   for (const auto& [id, entry] : queries_) {
-    if (!entry.sharded || !entry.stateful || entry.window_ticks < 0) continue;
+    if (!entry.stateful || entry.window_ticks < 0) continue;
+    if (!entry.sharded && !config_.retain_for_checkpoint) continue;
     StreamQueries& hosts = QueriesFor(entry.stream);
     hosts.max_window = std::max(hosts.max_window, entry.window_ticks);
   }
@@ -215,6 +245,7 @@ Status ShardedRuntime::Resize(int shard_count) {
         "cannot resize: a sharded stateful query has no WITHIN window, so "
         "the in-flight replay window is unbounded");
   }
+  resizing_ = true;
 
   // Quiesce: drain every batch, broadcast clocks, deliver everything
   // merge-safe. After this the merger buffers no undelivered records (every
@@ -256,6 +287,7 @@ Status ShardedRuntime::Resize(int shard_count) {
   } else {
     ++shrinks_;
   }
+  resizing_ = false;
   return Status::Ok();
 }
 
@@ -326,7 +358,7 @@ uint64_t ShardedRuntime::ReplayIntoShards() {
   // rolled back by RegisterIntoShards).
   for (QueryId id : failed) {
     auto it = queries_.find(id);
-    if (it != queries_.end()) DropShardedQuery(it);
+    if (it != queries_.end()) DropQuery(it);
   }
 
   // Muted clock broadcast: deferrals whose release window already closed
@@ -397,6 +429,211 @@ void ShardedRuntime::MaybeAutoResize() {
     SASE_LOG_WARN << "elastic resize to " << target
                   << " shards failed: " << status.ToString();
   }
+}
+
+Result<ShardedRuntime::CheckpointState> ShardedRuntime::ExportCheckpoint() {
+  if (resizing_) {
+    return Status::FailedPrecondition(
+        "cannot checkpoint during a Resize: the shard layout is mid-change");
+  }
+  if (unbounded_sharded_ > 0 || unbounded_broadcast_ > 0) {
+    return Status::FailedPrecondition(
+        "cannot checkpoint: a stateful query has no WITHIN window, so no "
+        "finite replay window can rebuild its state");
+  }
+  if (aggregate_queries_ > 0) {
+    return Status::FailedPrecondition(
+        "cannot checkpoint: a query carries running aggregate state, which "
+        "is not window-replayable");
+  }
+  if (!config_.retain_for_checkpoint) {
+    for (const auto& [id, entry] : queries_) {
+      if (!entry.sharded && entry.stateful) {
+        return Status::FailedPrecondition(
+            "cannot checkpoint: broadcast-hosted stateful query " +
+            std::to_string(id) +
+            " exists but the runtime was constructed without "
+            "retain_for_checkpoint, so its window was not retained");
+      }
+    }
+  }
+
+  // Quiesce: after WaitIdle every in-flight batch is drained and all
+  // merge-safe output is delivered, so the only live state is in the
+  // engines — and that is exactly what the window replay recipe rebuilds.
+  WaitIdle();
+
+  CheckpointState state;
+  state.shard_count = config_.shard_count;
+  state.partition_key = config_.partition_key;
+  state.events_dispatched = events_dispatched_;
+  state.any_routed = any_routed_;
+  state.routed_stream = routed_stream_;
+  state.multi_routed = multi_routed_;
+  for (const auto& [id, entry] : queries_) {
+    state.queries.push_back(CheckpointState::Query{
+        id, entry.text, entry.options, entry.registered_at});
+  }
+  for (const Partitioner::StreamState& stream : partitioner_.streams()) {
+    state.streams.push_back(CheckpointState::Stream{
+        stream.name, stream.clock, stream.last_seq, stream.events});
+  }
+  for (StreamId s = 0; s < replay_.size(); ++s) {
+    for (const ReplayEntry& entry : replay_[s]) {
+      state.window.push_back(CheckpointState::WindowEvent{s, entry.global,
+                                                          entry.event});
+    }
+  }
+  return state;
+}
+
+Status ShardedRuntime::RestoreCheckpoint(const CheckpointState& state,
+                                         const CallbackResolver& callbacks) {
+  if (events_dispatched_ != 0 || !queries_.empty()) {
+    return Status::FailedPrecondition(
+        "RestoreCheckpoint requires a freshly constructed runtime");
+  }
+  if (state.shard_count != config_.shard_count ||
+      state.partition_key != config_.partition_key) {
+    return Status::InvalidArgument(
+        "runtime shape mismatch: checkpoint was taken at " +
+        std::to_string(state.shard_count) + " shards / key '" +
+        state.partition_key + "'");
+  }
+
+  // Park the worker threads; until the restart below, the engines are
+  // exclusively ours — the same exclusivity Resize establishes.
+  for (auto& worker : workers_) worker->queue.Close();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+
+  // Per-stream dispatch stamps first: the muted clock broadcast below and
+  // all future routing read them.
+  for (const CheckpointState::Stream& stream : state.streams) {
+    partitioner_.RestoreStream(stream.name, stream.clock, stream.last_seq,
+                               stream.events);
+  }
+  if (stream_queries_.size() < partitioner_.streams().size()) {
+    stream_queries_.resize(partitioner_.streams().size());
+  }
+
+  // Replay the in-flight window in original dispatch order (k-way merge of
+  // the per-stream runs by global index), re-registering each query between
+  // the same two events it was originally registered between. This is the
+  // Resize replay generalized to a fresh broadcast engine: the replay
+  // output is discarded below, and the muted clock broadcast re-parks
+  // deferrals whose release was already delivered before the checkpoint.
+  std::vector<const CheckpointState::Query*> queries;
+  queries.reserve(state.queries.size());
+  for (const CheckpointState::Query& query : state.queries) {
+    queries.push_back(&query);
+  }
+  std::sort(queries.begin(), queries.end(),
+            [](const CheckpointState::Query* a, const CheckpointState::Query* b) {
+              return a->id < b->id;
+            });
+  size_t next = 0;
+  auto register_up_to = [&](uint64_t global) -> Status {
+    while (next < queries.size() && queries[next]->registered_at < global) {
+      const CheckpointState::Query& query = *queries[next];
+      auto entry = AnalyzeEntry(query.text,
+                                callbacks ? callbacks(query.id) : nullptr,
+                                query.options);
+      if (!entry.ok()) return entry.status();
+      entry.value().registered_at = query.registered_at;
+      SASE_RETURN_IF_ERROR(InstallQuery(query.id, std::move(entry).value()));
+      ++next;
+    }
+    return Status::Ok();
+  };
+
+  std::vector<size_t> pos(partitioner_.streams().size(), 0);
+  std::vector<std::vector<const CheckpointState::WindowEvent*>> runs(
+      partitioner_.streams().size());
+  for (const CheckpointState::WindowEvent& entry : state.window) {
+    if (entry.stream >= runs.size()) {
+      return Status::InvalidArgument("window event references unknown stream");
+    }
+    runs[entry.stream].push_back(&entry);
+  }
+  while (true) {
+    size_t best = runs.size();
+    uint64_t best_global = std::numeric_limits<uint64_t>::max();
+    for (size_t s = 0; s < runs.size(); ++s) {
+      if (pos[s] < runs[s].size() && runs[s][pos[s]]->global < best_global) {
+        best_global = runs[s][pos[s]]->global;
+        best = s;
+      }
+    }
+    if (best == runs.size()) break;
+    const CheckpointState::WindowEvent& entry = *runs[best][pos[best]++];
+    SASE_RETURN_IF_ERROR(register_up_to(entry.global));
+    const StreamQueries& hosts = QueriesFor(entry.stream);
+    const std::string& name = partitioner_.streams()[entry.stream].name;
+    if (hosts.sharded > 0) {
+      QueryEngine& engine =
+          *workers_[static_cast<size_t>(partitioner_.ShardFor(*entry.event))]
+               ->engine;
+      if (name.empty()) {
+        engine.OnEvent(entry.event);
+      } else {
+        engine.OnStreamEvent(name, entry.event);
+      }
+    }
+    if (hosts.broadcast > 0) {
+      QueryEngine& engine = *broadcast_worker().engine;
+      if (name.empty()) {
+        engine.OnEvent(entry.event);
+      } else {
+        engine.OnStreamEvent(name, entry.event);
+      }
+    }
+    // Refill the replay window for future resizes/checkpoints.
+    if (replay_.size() <= entry.stream) {
+      replay_.resize(static_cast<size_t>(entry.stream) + 1);
+    }
+    replay_[entry.stream].push_back(ReplayEntry{entry.global, entry.event});
+    ++replay_len_;
+  }
+  SASE_RETURN_IF_ERROR(
+      register_up_to(std::numeric_limits<uint64_t>::max()));
+
+  // Muted clock broadcast: deferrals whose release window closed before the
+  // checkpoint were delivered before it; re-release them into the discard
+  // pile so only genuinely parked deferrals survive — exactly the Resize
+  // replay's re-silencing, extended to the fresh broadcast engine.
+  for (const Partitioner::StreamState& stream : partitioner_.streams()) {
+    if (stream.events == 0) continue;
+    for (auto& worker : workers_) {
+      if (stream.name.empty()) {
+        worker->engine->OnWatermark(stream.clock);
+      } else {
+        worker->engine->OnStreamWatermark(stream.name, stream.clock);
+      }
+    }
+  }
+  for (auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->out_mutex);
+    worker->out.clear();
+    worker->arrival_counter = 0;
+  }
+
+  // Continue the crashed process's dispatch clock so checkpointed positions
+  // (registration points, window globals) compare directly with indices
+  // issued from here on.
+  events_dispatched_ = state.events_dispatched;
+  merger_.SeedDispatched(state.events_dispatched);
+  any_routed_ = state.any_routed;
+  routed_stream_ = state.routed_stream;
+  multi_routed_ = state.multi_routed;
+  last_check_global_ = events_dispatched_;
+
+  for (auto& worker : workers_) worker->queue.Reopen();
+  for (auto& worker : workers_) {
+    worker->thread = std::thread(&ShardedRuntime::WorkerLoop, this, worker.get());
+  }
+  return Status::Ok();
 }
 
 bool ShardedRuntime::IsSharded(QueryId id) const {
@@ -509,11 +746,13 @@ void ShardedRuntime::Dispatch(StreamId stream, const std::string& name,
 void ShardedRuntime::RetainForReplay(StreamId stream, const EventPtr& event,
                                      uint64_t global) {
   const StreamQueries& hosts = QueriesFor(stream);
-  // Only streams read by a sharded stateful query with a finite WITHIN
-  // window need replay material (stateless queries rebuild from nothing;
-  // unbounded-window queries make Resize refuse outright, so buffering for
-  // them would only grow without bound).
-  if (hosts.sharded_stateful > 0 && hosts.max_window >= 0) {
+  // Only streams read by a stateful query with a finite WITHIN window need
+  // replay material (stateless queries rebuild from nothing;
+  // unbounded-window queries make Resize/ExportCheckpoint refuse outright,
+  // so buffering for them would only grow without bound). Broadcast
+  // stateful windows count only under retain_for_checkpoint — see
+  // RetentionNeeded.
+  if (RetentionNeeded(hosts)) {
     if (replay_.size() <= stream) {
       replay_.resize(static_cast<size_t>(stream) + 1);
     }
@@ -527,7 +766,7 @@ void ShardedRuntime::PruneReplay(StreamId stream) {
   if (replay_.size() <= stream) return;
   std::deque<ReplayEntry>& entries = replay_[stream];
   const StreamQueries& hosts = stream_queries_[stream];
-  Ticks window = hosts.sharded_stateful > 0 ? hosts.max_window : -1;
+  Ticks window = RetentionNeeded(hosts) ? hosts.max_window : -1;
   const Partitioner::StreamState& state = partitioner_.streams()[stream];
   while (!entries.empty()) {
     // Still inside the stream's in-flight window: a future event of this

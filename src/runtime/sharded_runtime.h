@@ -46,6 +46,13 @@ struct RuntimeConfig {
   /// compaction — the log then grows with the stream, the pre-compaction
   /// behavior kept for benchmarking the difference.
   size_t log_compact_min = 1024;
+  /// Extend the in-flight replay window to also cover broadcast-hosted
+  /// stateful queries with a finite WITHIN span. Elastic Resize never needs
+  /// that (the broadcast engine is carried over live), but a durable
+  /// checkpoint rebuilds every engine by replay, so the checkpoint subsystem
+  /// turns this on. Costs replay-buffer memory proportional to the extra
+  /// windows; see ExportCheckpoint.
+  bool retain_for_checkpoint = false;
   /// Load-driven shard autoscaling (off by default); see
   /// runtime/elastic_policy.h for the thresholds and ShardedRuntime::Resize
   /// for the mechanism it triggers.
@@ -149,6 +156,75 @@ class ShardedRuntime : public EventSink {
   /// stream); no-ops when `shard_count` already matches. Dispatcher thread
   /// only, like every other entry point.
   Status Resize(int shard_count);
+
+  /// Serialized-state view of the runtime at a quiesce point — what a
+  /// durable checkpoint persists and what a cross-process handoff would put
+  /// on the wire. Engine state is NOT serialized: the engines' replay
+  /// contract (see QueryEngine::OnEvents) makes <queries at their original
+  /// registration positions> + <in-flight window events> an exact recipe
+  /// for rebuilding it, which is how RestoreCheckpoint proceeds.
+  struct CheckpointState {
+    struct Query {
+      QueryId id = 0;
+      std::string text;
+      PlanOptions options;
+      uint64_t registered_at = 0;
+    };
+    struct Stream {
+      std::string name;
+      Timestamp clock = 0;
+      SequenceNumber last_seq = 0;
+      uint64_t events = 0;
+    };
+    struct WindowEvent {
+      StreamId stream = kDefaultStream;
+      uint64_t global = 0;
+      EventPtr event;
+    };
+    int shard_count = 1;
+    std::string partition_key;
+    uint64_t events_dispatched = 0;
+    bool any_routed = false;
+    StreamId routed_stream = kDefaultStream;
+    bool multi_routed = false;
+    std::vector<Query> queries;   // id (= registration) order
+    std::vector<Stream> streams;  // StreamId order
+    std::vector<WindowEvent> window;
+  };
+
+  /// Captures the runtime's checkpoint state at a quiesce point (WaitIdle:
+  /// every in-flight batch drained, all merge-safe output delivered).
+  /// Refuses with kFailedPrecondition when
+  ///   - called from inside a Resize (a callback fired at the resize
+  ///     quiesce point — the layout is mid-change),
+  ///   - a stateful query has no WITHIN window, or a query carries running
+  ///     aggregate state (either makes engine state depend on the whole
+  ///     stream, so no finite window replay can rebuild it), or
+  ///   - broadcast-hosted stateful queries exist but the runtime was
+  ///     constructed without RuntimeConfig::retain_for_checkpoint (their
+  ///     windows were not retained).
+  Result<CheckpointState> ExportCheckpoint();
+
+  /// Maps a checkpointed QueryId to the output callback its restored query
+  /// should deliver to (callbacks cannot be serialized).
+  using CallbackResolver = std::function<OutputCallback(QueryId)>;
+
+  /// Rebuilds checkpointed state into this runtime (recovery bootstrap).
+  /// The runtime must be freshly constructed, with the same shard count and
+  /// partition key the state was captured under. Restores the per-stream
+  /// dispatch stamps, then deterministically replays the in-flight window —
+  /// query registrations interleaved at their original dispatch positions —
+  /// into the fresh shard AND broadcast engines, discarding the replay
+  /// output and re-silencing already-released deferrals exactly like a
+  /// Resize replay. The global dispatch clock continues from the
+  /// checkpoint, so positions recorded before the crash stay comparable
+  /// with indices issued after recovery.
+  Status RestoreCheckpoint(const CheckpointState& state,
+                           const CallbackResolver& callbacks);
+
+  /// True while a Resize is mid-flight (only observable from callbacks
+  /// fired at the resize quiesce point).
+  bool resizing() const { return resizing_; }
 
   // EventSink: routes one default-input event (dispatcher thread).
   void OnEvent(const EventPtr& event) override;
@@ -279,6 +355,9 @@ class ShardedRuntime : public EventSink {
     /// these bound the replay window a resize needs.
     Ticks window_ticks = -1;
     bool stateful = false;
+    /// RETURN-clause aggregates fold running state over the whole stream —
+    /// never window-replayable, so such queries block ExportCheckpoint.
+    bool has_aggregates = false;
   };
 
   /// Registered-query counts per input stream; events of a stream nobody
@@ -287,9 +366,12 @@ class ShardedRuntime : public EventSink {
   struct StreamQueries {
     size_t sharded = 0;
     size_t broadcast = 0;
-    /// Sharded stateful queries reading this stream, and the largest WITHIN
-    /// span among them (-1 = none): the stream's replay-retention window.
+    /// Stateful queries reading this stream by host, and the largest WITHIN
+    /// span among those that count toward retention (-1 = none): the
+    /// stream's replay-retention window. Broadcast stateful queries extend
+    /// the window only under RuntimeConfig::retain_for_checkpoint.
     size_t sharded_stateful = 0;
+    size_t broadcast_stateful = 0;
     Ticks max_window = -1;
   };
 
@@ -308,6 +390,22 @@ class ShardedRuntime : public EventSink {
   /// Fresh worker with a private engine (engine_init applied); used by the
   /// constructor for every worker and by Resize for the new shard set.
   std::unique_ptr<Worker> MakeWorker(int index);
+  /// Parse/analyze `text` into a QueryEntry (shardability, input stream,
+  /// window/stateful/aggregate classification, registered_at = current
+  /// dispatch index). Shared by Register and RestoreCheckpoint.
+  Result<QueryEntry> AnalyzeEntry(const std::string& text,
+                                  OutputCallback callback,
+                                  PlanOptions options);
+  /// Registers `entry` under `id` into its hosting engines and applies all
+  /// bookkeeping (counters, per-stream windows, queries_ map). The workers
+  /// must be quiescent (WaitIdle) or parked (restore/replay).
+  Status InstallQuery(QueryId id, QueryEntry entry);
+  /// True when `stream`'s events must be retained for replay.
+  bool RetentionNeeded(const StreamQueries& hosts) const {
+    return (hosts.sharded_stateful > 0 ||
+            (config_.retain_for_checkpoint && hosts.broadcast_stateful > 0)) &&
+           hosts.max_window >= 0;
+  }
   /// Largest WITHIN span per stream can shrink on Unregister; rescan.
   void RecomputeStreamWindows();
   void WorkerLoop(Worker* worker);
@@ -339,10 +437,10 @@ class ShardedRuntime : public EventSink {
   /// Registers sharded query `id` into every shard engine (fresh capture
   /// callbacks); shared by Register and resize replay.
   Status RegisterIntoShards(QueryId id, const QueryEntry& entry);
-  /// Drops a sharded query's bookkeeping (counters, per-stream windows,
-  /// replay retention) and erases it; shared by Unregister and the resize
-  /// replay's failed-re-registration path. Does NOT touch the engines.
-  void DropShardedQuery(std::map<QueryId, QueryEntry>::iterator it);
+  /// Drops a query's bookkeeping (counters, per-stream windows, replay
+  /// retention) and erases it; shared by Unregister and the resize replay's
+  /// failed-re-registration path. Does NOT touch the engines.
+  void DropQuery(std::map<QueryId, QueryEntry>::iterator it);
   /// Replays the retained window into the fresh shard engines, interleaving
   /// query registrations at their original positions; discards the replay
   /// output and re-silences already-released deferrals. Returns the number
@@ -368,6 +466,14 @@ class ShardedRuntime : public EventSink {
   /// Sharded stateful queries with no WITHIN bound: while > 0 a resize has
   /// no finite replay window and Resize refuses.
   size_t unbounded_sharded_ = 0;
+  /// Broadcast stateful queries with no WITHIN bound and queries with
+  /// running aggregates: either blocks ExportCheckpoint (no finite window
+  /// rebuilds their engine state), though neither affects Resize.
+  size_t unbounded_broadcast_ = 0;
+  size_t aggregate_queries_ = 0;
+  /// True for the duration of a Resize; callbacks fired at the resize
+  /// quiesce point see it and ExportCheckpoint refuses.
+  bool resizing_ = false;
 
   // In-flight window retained for resize replay: one deque per StreamId,
   // each in dispatch order, independently pruned by its stream's window.

@@ -29,6 +29,8 @@ constexpr const char* kHelp =
     "  stats                    engine + cleaning statistics\n"
     "  window <channel>         dump a UI report channel\n"
     "  queries                  list registered queries\n"
+    "  .checkpoint [dir]        write a durable checkpoint\n"
+    "  .restore <dir>           recover the session from a checkpoint\n"
     "  help                     this summary";
 
 }  // namespace
@@ -45,6 +47,8 @@ std::string Console::Execute(const std::string& line) {
   if (EqualsIgnoreCase(command, "stats")) return CmdStats();
   if (EqualsIgnoreCase(command, "window")) return CmdWindow(args);
   if (EqualsIgnoreCase(command, "queries")) return CmdQueries();
+  if (EqualsIgnoreCase(command, ".checkpoint")) return CmdCheckpoint(args);
+  if (EqualsIgnoreCase(command, ".restore")) return CmdRestore(args);
   if (EqualsIgnoreCase(command, "help")) return kHelp;
   return "error: unknown command '" + command + "' (try 'help')";
 }
@@ -132,6 +136,43 @@ std::string Console::CmdStats() {
   std::ostringstream out;
   out << system_->engine().StatsReport();
   out << system_->cleaning().StatsReport();
+  if (system_->runtime() != nullptr) out << system_->runtime()->StatsReport();
+  out << system_->CheckpointReport();
+  return out.str();
+}
+
+std::string Console::CmdCheckpoint(const std::string& args) {
+  Status status = system_->Checkpoint(args);
+  if (!status.ok()) return "error: " + status.ToString();
+  const std::string& dir = args.empty() ? system_->config().checkpoint.dir : args;
+  return "checkpoint written to " + dir;
+}
+
+std::string Console::CmdRestore(const std::string& args) {
+  if (args.empty()) return "error: usage: .restore <dir>";
+  // Recovered monitoring queries re-attach to this console's alert list
+  // under their registration names, exactly as CmdRegister wires new ones.
+  auto recovered = SaseSystem::Recover(
+      args, system_->layout(), system_->config(),
+      [this](const std::string& name) -> OutputCallback {
+        return [this, name](const OutputRecord& record) {
+          alerts_.push_back("[" + name + "] " + record.ToString());
+        };
+      });
+  if (!recovered.ok()) return "error: " + recovered.status().ToString();
+  owned_ = std::move(recovered).value();
+  system_ = owned_.get();
+  queries_.clear();
+  for (const SaseSystem::QueryInfo& info : system_->registered_queries()) {
+    queries_.emplace_back(info.name, info.id);
+  }
+  std::ostringstream out;
+  out << "restored from " << args << ": " << queries_.size()
+      << " quer" << (queries_.size() == 1 ? "y" : "ies") << ", "
+      << system_->recovered_journal_records() << " journal records replayed";
+  if (system_->recovered_journal_truncated()) {
+    out << " (journal tail was torn; recovered the valid prefix)";
+  }
   return out.str();
 }
 

@@ -1,6 +1,7 @@
 #ifndef SASE_SYSTEM_CONSOLE_H_
 #define SASE_SYSTEM_CONSOLE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,9 @@ namespace sase {
 ///   stats                             engine + cleaning statistics
 ///   window <channel name...>          dump a UI report channel
 ///   queries                           list registered queries
+///   .checkpoint [dir]                 write a durable checkpoint
+///   .restore <dir>                    replace the session's system with one
+///                                     recovered from a checkpoint directory
 ///   help                              command summary
 class Console {
  public:
@@ -49,8 +53,13 @@ class Console {
   std::string CmdStats();
   std::string CmdWindow(const std::string& args);
   std::string CmdQueries();
+  std::string CmdCheckpoint(const std::string& args);
+  std::string CmdRestore(const std::string& args);
 
   SaseSystem* system_;
+  /// Set by `.restore`: the console owns the recovered system it switched
+  /// to (the original, caller-owned system is left untouched).
+  std::unique_ptr<SaseSystem> owned_;
   std::vector<std::pair<std::string, QueryId>> queries_;
   std::vector<std::string> alerts_;
 };

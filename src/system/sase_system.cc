@@ -1,6 +1,13 @@
 #include "system/sase_system.h"
 
+#include <algorithm>
+#include <sstream>
+
+#include "checkpoint/journal.h"
+#include "db/dump.h"
+#include "query/analyzer.h"
 #include "query/parser.h"
+#include "util/logging.h"
 
 namespace sase {
 namespace {
@@ -78,31 +85,122 @@ class RawEventArchiver : public EventSink {
   db::Table* table_;
 };
 
+/// Serial-engine queries are checkpointable only when their whole state is
+/// the plan itself: stateless single-event, no running aggregates. (Pure
+/// stream queries live on the runtime when checkpointing is enabled; what
+/// remains serial is archiving rules and hybrid database queries.)
+Status CheckSerialQueryReplayable(const Catalog& catalog,
+                                  const TimeConfig& time_config, QueryId id,
+                                  const std::string& text) {
+  if (text.empty()) {
+    return Status::FailedPrecondition(
+        "serial query #" + std::to_string(id) +
+        " was registered from a pre-parsed AST; its text cannot be "
+        "checkpointed");
+  }
+  auto parsed = Parser::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  Analyzer analyzer(&catalog, time_config);
+  auto analyzed = analyzer.Analyze(std::move(parsed).value());
+  if (!analyzed.ok()) return analyzed.status();
+  bool stateful = analyzed.value().positive_slots.size() > 1 ||
+                  !analyzed.value().negations.empty();
+  if (stateful || analyzed.value().has_aggregates) {
+    return Status::FailedPrecondition(
+        "serial query #" + std::to_string(id) +
+        " carries cross-event or aggregate state; only the runtime's "
+        "engines are rebuilt by window replay, so it cannot be "
+        "checkpointed");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
+/// Write-ahead tap: first bus subscriber, so every published event reaches
+/// the journal before any processor sees it.
+class SaseSystem::JournalHeadTap : public EventSink {
+ public:
+  explicit JournalHeadTap(SaseSystem* system) : system_(system) {}
+  void OnEvent(const EventPtr& event) override {
+    system_->JournalEvent("", event);
+  }
+  void OnFlush() override { system_->JournalFlush(); }
+
+ private:
+  SaseSystem* system_;
+};
+
+/// Post-processing tap: last bus subscriber, runs after every processor
+/// finished one event — appends delivery marks and drives the automatic
+/// checkpoint policy.
+class SaseSystem::JournalTailTap : public EventSink {
+ public:
+  explicit JournalTailTap(SaseSystem* system) : system_(system) {}
+  void OnEvent(const EventPtr&) override { system_->AfterEventProcessed(); }
+  void OnFlush() override { system_->AfterEventProcessed(); }
+
+ private:
+  SaseSystem* system_;
+};
+
 SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config)
-    : catalog_(Catalog::RetailDemo()), config_(config), sql_(&database_) {
+    : SaseSystem(std::move(layout), std::move(config), nullptr) {}
+
+SaseSystem::~SaseSystem() = default;
+
+SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config,
+                       const RecoverySpec* recovery)
+    : catalog_(Catalog::RetailDemo()), config_(std::move(config)),
+      layout_(layout), sql_(&database_), recovering_(recovery != nullptr) {
+  // Recovery restores the Event Database dump before any component runs its
+  // get-or-create table setup, so the components adopt the restored tables
+  // instead of racing them.
+  if (recovery != nullptr && recovery->snapshot != nullptr) {
+    Status restored = db::LoadFileInto(
+        checkpoint::DbDumpPath(recovery->dir, recovery->epoch), &database_);
+    if (!restored.ok()) {
+      SASE_LOG_WARN << "checkpoint database restore failed: "
+                    << restored.ToString();
+    }
+  }
+
   ons_ = std::make_unique<db::Ons>(&database_);
   archiver_ = std::make_unique<db::Archiver>(&database_);
   reports_ = ReportBoard(config_.echo_reports);
 
   // Seed the area directory from the layout so _retrieveLocation returns
-  // meaningful descriptions.
-  for (const Area& area : layout.areas()) {
+  // meaningful descriptions (upsert: a restored directory stays intact).
+  for (const Area& area : layout_.areas()) {
     (void)archiver_->DescribeArea(area.id, area.name);
   }
 
   engine_ = std::make_unique<QueryEngine>(&catalog_, config_.time_config);
   (void)archiver_->RegisterFunctions(engine_->functions());
 
-  if (config_.shard_count >= 2) {
+  bool checkpointing = !config_.checkpoint.dir.empty();
+  if (checkpointing) {
+    journal_head_ = std::make_unique<JournalHeadTap>(this);
+    journal_tail_ = std::make_unique<JournalTailTap>(this);
+    checkpoint_policy_ =
+        std::make_unique<checkpoint::CheckpointPolicy>(config_.checkpoint);
+    // The write-ahead tap precedes every processor on the bus.
+    event_bus_.Subscribe(journal_head_.get());
+  }
+
+  // With checkpointing enabled a runtime exists even at one shard: pure
+  // stream queries then live on engines the checkpoint subsystem can
+  // rebuild by window replay (the serial engine keeps only archiving rules
+  // and hybrid database queries, which stay stateless).
+  if (config_.shard_count >= 2 || checkpointing) {
     RuntimeConfig runtime_config;
-    runtime_config.shard_count = config_.shard_count;
+    runtime_config.shard_count = std::max(1, config_.shard_count);
     runtime_config.partition_key = config_.partition_key;
     runtime_config.time_config = config_.time_config;
     runtime_config.merge_interval = config_.runtime_merge_interval;
     runtime_config.log_compact_min = config_.runtime_log_compact_min;
     runtime_config.elastic = config_.runtime_elastic;
+    runtime_config.retain_for_checkpoint = checkpointing;
     runtime_ = std::make_unique<ShardedRuntime>(&catalog_, runtime_config);
     event_bus_.Subscribe(runtime_.get());
   }
@@ -117,24 +215,42 @@ SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config)
     event_archiver_ = std::make_unique<RawEventArchiver>(&database_, &catalog_);
     event_bus_.Subscribe(event_archiver_.get());
   }
+  if (checkpointing) {
+    // The mark/policy tap runs after every processor finished the event.
+    event_bus_.Subscribe(journal_tail_.get());
+  }
 
   // Cleaning pipeline configured from the layout.
   CleaningPipeline::Config cleaning_config;
-  for (const ReaderSpec& reader : layout.readers()) {
+  for (const ReaderSpec& reader : layout_.readers()) {
     cleaning_config.anomaly.valid_readers.insert(reader.id);
   }
   cleaning_config.smoothing.window =
       config_.smoothing_window_ticks * config_.raw_units_per_tick;
   cleaning_config.smoothing.sampling_interval = config_.raw_units_per_tick;
   cleaning_config.time.raw_units_per_tick = config_.raw_units_per_tick;
-  cleaning_config.dedup.reader_to_area = layout.ReaderToArea();
-  cleaning_config.generation.area_to_event_type = layout.AreaToEventType();
+  cleaning_config.dedup.reader_to_area = layout_.ReaderToArea();
+  cleaning_config.generation.area_to_event_type = layout_.AreaToEventType();
   cleaning_ = std::make_unique<CleaningPipeline>(
       std::move(cleaning_config), &catalog_, ons_->Resolver(), &event_bus_);
 
   simulator_ = std::make_unique<RetailSimulator>(
       std::move(layout), config_.noise, config_.seed, config_.raw_units_per_tick);
   simulator_->set_sink(cleaning_.get());
+
+  if (checkpointing && recovery == nullptr) {
+    auto existing = checkpoint::ReadManifest(config_.checkpoint.dir);
+    if (existing.ok()) {
+      SASE_LOG_WARN << "checkpoint directory " << config_.checkpoint.dir
+                    << " already holds snapshot " << existing.value()
+                    << "; a fresh system journals a new epoch 0 over it — "
+                    << "use SaseSystem::Recover to resume instead";
+    }
+    Status opened = OpenJournal(0, 0);
+    if (!opened.ok()) {
+      SASE_LOG_WARN << "cannot open event journal: " << opened.ToString();
+    }
+  }
 }
 
 void SaseSystem::LogEvent(const EventPtr& event) {
@@ -150,25 +266,51 @@ void SaseSystem::AddProduct(const TagInfo& tag) {
   simulator_->AddItem(tag);
 }
 
-Result<QueryId> SaseSystem::RegisterMonitoringQuery(const std::string& name,
-                                                    const std::string& text,
-                                                    OutputCallback callback) {
-  OutputCallback deliver = [this, name, callback](const OutputRecord& record) {
+OutputCallback SaseSystem::MakeDeliver(const std::string& name,
+                                       OutputCallback callback,
+                                       bool runtime_hosted) {
+  return [this, name, callback = std::move(callback),
+          runtime_hosted](const OutputRecord& record) {
+    // Per-host delivery watermark; during recovery replay the first
+    // `suppress` regenerated records per class are exactly the ones the
+    // crashed process already delivered (see the journal's output marks),
+    // so the gate swallows them and resumes at the record after.
+    uint64_t& delivered = runtime_hosted ? delivered_runtime_ : delivered_serial_;
+    uint64_t& suppress = runtime_hosted ? suppress_runtime_ : suppress_serial_;
+    ++delivered;
+    if (suppress > 0) {
+      --suppress;
+      return;
+    }
     reports_.Channel(ReportBoard::kStreamOutput).Append(record.ToString());
     reports_.Channel(ReportBoard::kMessageResults)
         .Append("[" + name + "] " + record.ToString());
     if (callback) callback(record);
   };
+}
+
+Result<QueryId> SaseSystem::RegisterMonitoringQuery(const std::string& name,
+                                                    const std::string& text,
+                                                    OutputCallback callback) {
   // Hybrid stream+database queries stay on the serial engine; pure stream
   // queries — including named FROM-stream readers — scale out when the
   // runtime is enabled. Runtime callbacks fire on the simulation thread
   // during merges, so the report board needs no locking either way.
-  Result<QueryId> id =
-      (runtime_ != nullptr && !RequiresSerialEngine(text))
-          ? runtime_->Register(text, std::move(deliver))
-          : engine_->Register(text, std::move(deliver));
+  bool runtime_hosted = runtime_ != nullptr && !RequiresSerialEngine(text);
+  OutputCallback deliver = MakeDeliver(name, std::move(callback), runtime_hosted);
+  Result<QueryId> id = runtime_hosted
+                           ? runtime_->Register(text, std::move(deliver))
+                           : engine_->Register(text, std::move(deliver));
   if (id.ok()) {
     reports_.Channel(ReportBoard::kPresentQueries).Append(name + ":\n" + text);
+    registry_.push_back(QueryInfo{id.value(), runtime_hosted, false, name, text});
+    if (JournalActive()) {
+      Status logged = journal_->AppendRegister(false, name, text);
+      if (!logged.ok() && !journal_warned_) {
+        SASE_LOG_WARN << "journal append failed: " << logged.ToString();
+        journal_warned_ = true;
+      }
+    }
   }
   return id;
 }
@@ -182,6 +324,14 @@ Result<QueryId> SaseSystem::RegisterArchivingRule(const std::string& name,
   if (id.ok()) {
     reports_.Channel(ReportBoard::kPresentQueries)
         .Append(name + " (archiving):\n" + text);
+    registry_.push_back(QueryInfo{id.value(), false, true, name, text});
+    if (JournalActive()) {
+      Status logged = journal_->AppendRegister(true, name, text);
+      if (!logged.ok() && !journal_warned_) {
+        SASE_LOG_WARN << "journal append failed: " << logged.ToString();
+        journal_warned_ = true;
+      }
+    }
   }
   return id;
 }
@@ -197,8 +347,10 @@ Result<db::ResultSet> SaseSystem::ExecuteSql(const std::string& text) {
 
 void SaseSystem::PublishStreamEvent(const std::string& stream,
                                     const EventPtr& event) {
+  JournalEvent(stream, event);
   if (runtime_ != nullptr) runtime_->OnStreamEvent(stream, event);
   engine_->OnStreamEvent(stream, event);
+  AfterEventProcessed();
 }
 
 void SaseSystem::RunUntil(int64_t until_tick) {
@@ -208,7 +360,426 @@ void SaseSystem::RunUntil(int64_t until_tick) {
 void SaseSystem::Flush() {
   cleaning_->OnFlush();
   // CleaningPipeline::OnFlush flushes its StreamSource, which calls
-  // EventSink::OnFlush on the bus; the bus fans that out to the engine.
+  // EventSink::OnFlush on the bus; the bus fans that out to the engine (and
+  // to the journal taps when checkpointing).
+}
+
+// --- durable checkpoint & crash recovery -----------------------------------
+
+void SaseSystem::JournalEvent(const std::string& stream,
+                              const EventPtr& event) {
+  if (!JournalActive()) return;
+  Status logged = journal_->AppendEvent(stream, *event);
+  if (!logged.ok() && !journal_warned_) {
+    SASE_LOG_WARN << "journal append failed: " << logged.ToString();
+    journal_warned_ = true;
+  }
+}
+
+void SaseSystem::JournalFlush() {
+  if (!JournalActive()) return;
+  Status logged = journal_->AppendFlush();
+  if (!logged.ok() && !journal_warned_) {
+    SASE_LOG_WARN << "journal append failed: " << logged.ToString();
+    journal_warned_ = true;
+  }
+}
+
+void SaseSystem::AfterEventProcessed() {
+  if (!JournalActive()) return;
+  ++events_since_checkpoint_;
+  if (delivered_runtime_ != last_mark_runtime_ ||
+      delivered_serial_ != last_mark_serial_) {
+    Status logged =
+        journal_->AppendOutputMark(delivered_runtime_, delivered_serial_);
+    if (logged.ok()) {
+      last_mark_runtime_ = delivered_runtime_;
+      last_mark_serial_ = delivered_serial_;
+    } else if (!journal_warned_) {
+      SASE_LOG_WARN << "journal append failed: " << logged.ToString();
+      journal_warned_ = true;
+    }
+  }
+  checkpoint::CheckpointSample sample;
+  sample.events_since_checkpoint = events_since_checkpoint_;
+  sample.journal_bytes_since_checkpoint =
+      journal_->bytes_written() - journal_bytes_at_checkpoint_;
+  if (checkpoint_policy_->Evaluate(sample) ==
+      checkpoint::CheckpointDecision::kCheckpoint) {
+    Status taken = Checkpoint();
+    if (!taken.ok()) {
+      SASE_LOG_WARN << "automatic checkpoint failed: " << taken.ToString();
+      // Re-arm the thresholds instead of retrying on every event.
+      events_since_checkpoint_ = 0;
+      journal_bytes_at_checkpoint_ = journal_->bytes_written();
+    }
+    checkpoint_policy_->NoteCheckpoint();
+  }
+}
+
+Status SaseSystem::OpenJournal(uint64_t epoch, uint64_t segment) {
+  journal_.reset();
+  auto journal = checkpoint::EventJournal::Open(
+      config_.checkpoint.dir, epoch, segment,
+      config_.checkpoint.journal_rotate_bytes, config_.checkpoint.journal_fsync);
+  if (!journal.ok()) return journal.status();
+  journal_ = std::move(journal).value();
+  journal_bytes_at_checkpoint_ = journal_->bytes_written();
+  last_mark_runtime_ = delivered_runtime_;
+  last_mark_serial_ = delivered_serial_;
+  return Status::Ok();
+}
+
+Status SaseSystem::Checkpoint(const std::string& dir_arg) {
+  const std::string& dir =
+      dir_arg.empty() ? config_.checkpoint.dir : dir_arg;
+  if (dir.empty()) {
+    return Status::InvalidArgument(
+        "no checkpoint directory configured or given");
+  }
+  if (in_checkpoint_) {
+    return Status::FailedPrecondition("a checkpoint is already in progress");
+  }
+  in_checkpoint_ = true;
+
+  auto build_and_write = [&]() -> Status {
+    checkpoint::SystemSnapshot snap;
+    if (runtime_ != nullptr) {
+      auto exported = runtime_->ExportCheckpoint();  // quiesces; may refuse
+      if (!exported.ok()) return exported.status();
+      const ShardedRuntime::CheckpointState& state = exported.value();
+      snap.shard_count = state.shard_count;
+      snap.partition_key = state.partition_key;
+      snap.events_dispatched = state.events_dispatched;
+      snap.any_routed = state.any_routed;
+      snap.routed_stream = state.routed_stream;
+      snap.multi_routed = state.multi_routed;
+      for (size_t i = 0; i < state.streams.size(); ++i) {
+        const auto& stream = state.streams[i];
+        snap.streams.push_back(checkpoint::SnapshotStream{
+            static_cast<StreamId>(i), stream.name, stream.clock,
+            stream.last_seq, stream.events});
+      }
+      for (const auto& query : state.queries) {
+        checkpoint::SnapshotQuery entry;
+        entry.id = query.id;
+        entry.runtime_hosted = true;
+        entry.registered_at = query.registered_at;
+        entry.options = query.options;
+        entry.text = query.text;
+        entry.name = "query-" + std::to_string(query.id);
+        for (const QueryInfo& info : registry_) {
+          if (info.runtime_hosted && info.id == query.id) {
+            entry.name = info.name;
+            entry.archiving = info.archiving;
+            break;
+          }
+        }
+        snap.queries.push_back(std::move(entry));
+      }
+      for (const auto& window : state.window) {
+        snap.window.push_back(checkpoint::SnapshotWindowEvent{
+            window.stream, window.global, window.event});
+      }
+    } else {
+      snap.shard_count = std::max(1, config_.shard_count);
+      snap.partition_key = config_.partition_key;
+    }
+
+    for (const auto& query : engine_->RegisteredQueries()) {
+      SASE_RETURN_IF_ERROR(CheckSerialQueryReplayable(
+          catalog_, config_.time_config, query.id, query.text));
+      checkpoint::SnapshotQuery entry;
+      entry.id = query.id;
+      entry.runtime_hosted = false;
+      entry.options = query.options;
+      entry.text = query.text;
+      entry.name = "query-" + std::to_string(query.id);
+      for (const QueryInfo& info : registry_) {
+        if (!info.runtime_hosted && info.id == query.id) {
+          entry.name = info.name;
+          entry.archiving = info.archiving;
+          break;
+        }
+      }
+      snap.queries.push_back(std::move(entry));
+    }
+
+    for (size_t i = 0; i < catalog_.type_count(); ++i) {
+      snap.catalog_types.push_back(
+          catalog_.schema(static_cast<EventTypeId>(i)).name());
+    }
+    snap.delivered_runtime = delivered_runtime_;
+    snap.delivered_serial = delivered_serial_;
+
+    bool own_dir = journal_ != nullptr && dir == config_.checkpoint.dir;
+    if (own_dir) {
+      snap.snapshot_id = epoch_ + 1;
+    } else {
+      auto existing = checkpoint::ReadManifest(dir);
+      snap.snapshot_id = existing.ok() ? existing.value() + 1 : 1;
+    }
+    SASE_RETURN_IF_ERROR(checkpoint::WriteSnapshot(dir, snap, database_));
+    ++checkpoints_taken_;
+
+    if (own_dir) {
+      // The journal epoch rolls with the snapshot: everything before the
+      // checkpoint is now covered by it, so the previous epoch's segments
+      // and snapshot are garbage.
+      epoch_ = snap.snapshot_id;
+      SASE_RETURN_IF_ERROR(OpenJournal(epoch_, 0));
+      checkpoint::RemoveStaleJournals(dir, epoch_);
+      checkpoint::RemoveStaleSnapshots(dir, epoch_);
+      events_since_checkpoint_ = 0;
+    }
+    return Status::Ok();
+  };
+
+  Status status = build_and_write();
+  in_checkpoint_ = false;
+  return status;
+}
+
+Result<std::unique_ptr<SaseSystem>> SaseSystem::Recover(
+    const std::string& dir, StoreLayout layout, SystemConfig config,
+    CallbackFactory callbacks) {
+  RecoverySpec spec;
+  spec.dir = dir;
+  checkpoint::SystemSnapshot snapshot;
+  auto manifest = checkpoint::ReadManifest(dir);
+  if (manifest.ok()) {
+    auto read = checkpoint::ReadSnapshot(dir, manifest.value(), nullptr);
+    if (!read.ok()) return read.status();
+    snapshot = std::move(read).value();
+    spec.epoch = manifest.value();
+    spec.snapshot = &snapshot;
+    config.shard_count = snapshot.shard_count;
+    config.partition_key = snapshot.partition_key;
+  } else if (manifest.status().code() != StatusCode::kNotFound) {
+    return manifest.status();
+  }
+  // A recovered system keeps journaling (and checkpointing) into `dir`.
+  config.checkpoint.dir = dir;
+
+  std::unique_ptr<SaseSystem> system(
+      new SaseSystem(std::move(layout), std::move(config), &spec));
+  SASE_RETURN_IF_ERROR(system->FinishRecovery(spec, callbacks));
+  return system;
+}
+
+Status SaseSystem::FinishRecovery(const RecoverySpec& spec,
+                                  const CallbackFactory& callbacks) {
+  recovered_ = true;
+  epoch_ = spec.epoch;
+  const checkpoint::SystemSnapshot* snap = spec.snapshot;
+
+  if (snap != nullptr) {
+    // Window events and journal records reference event types by id; a
+    // catalog drift would silently misread them, so refuse instead.
+    for (size_t i = 0; i < snap->catalog_types.size(); ++i) {
+      auto type = catalog_.FindType(snap->catalog_types[i]);
+      if (!type.ok() || type.value() != static_cast<EventTypeId>(i)) {
+        return Status::InvalidArgument(
+            "catalog mismatch: checkpoint type '" + snap->catalog_types[i] +
+            "' does not resolve to id " + std::to_string(i));
+      }
+    }
+    delivered_runtime_ = snap->delivered_runtime;
+    delivered_serial_ = snap->delivered_serial;
+
+    for (const checkpoint::SnapshotQuery& query : snap->queries) {
+      registry_.push_back(QueryInfo{query.id, query.runtime_hosted,
+                                    query.archiving, query.name, query.text});
+      reports_.Channel(ReportBoard::kPresentQueries)
+          .Append(query.name + (query.archiving ? " (archiving):\n" : ":\n") +
+                  query.text);
+    }
+
+    // Serial-hosted queries are stateless (the checkpoint precondition), so
+    // their registration position is irrelevant: install them all before
+    // any replay, under their original ids.
+    for (const checkpoint::SnapshotQuery& query : snap->queries) {
+      if (query.runtime_hosted) continue;
+      OutputCallback deliver;
+      if (query.archiving) {
+        deliver = [](const OutputRecord&) {};
+      } else {
+        deliver = MakeDeliver(query.name,
+                              callbacks ? callbacks(query.name) : nullptr,
+                              /*runtime_hosted=*/false);
+      }
+      auto id = engine_->RegisterAs(query.id, query.text, std::move(deliver),
+                                    query.options);
+      if (!id.ok()) return id.status();
+    }
+
+    // Runtime-hosted queries + engine state: the runtime re-registers them
+    // interleaved into the muted in-flight-window replay.
+    ShardedRuntime::CheckpointState state;
+    state.shard_count = snap->shard_count;
+    state.partition_key = snap->partition_key;
+    state.events_dispatched = snap->events_dispatched;
+    state.any_routed = snap->any_routed;
+    state.routed_stream = snap->routed_stream;
+    state.multi_routed = snap->multi_routed;
+    std::vector<checkpoint::SnapshotStream> streams = snap->streams;
+    std::sort(streams.begin(), streams.end(),
+              [](const checkpoint::SnapshotStream& a,
+                 const checkpoint::SnapshotStream& b) { return a.id < b.id; });
+    for (size_t i = 0; i < streams.size(); ++i) {
+      if (streams[i].id != static_cast<StreamId>(i)) {
+        return Status::InvalidArgument("snapshot stream ids are not dense");
+      }
+      state.streams.push_back(ShardedRuntime::CheckpointState::Stream{
+          streams[i].name, streams[i].clock, streams[i].last_seq,
+          streams[i].events});
+    }
+    for (const checkpoint::SnapshotQuery& query : snap->queries) {
+      if (!query.runtime_hosted) continue;
+      state.queries.push_back(ShardedRuntime::CheckpointState::Query{
+          query.id, query.text, query.options, query.registered_at});
+    }
+    for (const checkpoint::SnapshotWindowEvent& window : snap->window) {
+      state.window.push_back(ShardedRuntime::CheckpointState::WindowEvent{
+          window.stream, window.global, window.event});
+    }
+    if (runtime_ != nullptr) {
+      auto resolver = [this, snap, &callbacks](QueryId id) -> OutputCallback {
+        for (const checkpoint::SnapshotQuery& query : snap->queries) {
+          if (query.runtime_hosted && query.id == id) {
+            return MakeDeliver(query.name,
+                               callbacks ? callbacks(query.name) : nullptr,
+                               /*runtime_hosted=*/true);
+          }
+        }
+        return MakeDeliver("query-" + std::to_string(id), nullptr, true);
+      };
+      SASE_RETURN_IF_ERROR(runtime_->RestoreCheckpoint(state, resolver));
+    } else if (!state.queries.empty()) {
+      return Status::Internal(
+          "snapshot holds runtime-hosted queries but no runtime exists");
+    }
+  }
+
+  // Journal suffix: scan first (validates CRCs, finds the delivery marks),
+  // then replay the valid prefix through the regular publication paths with
+  // the taps dormant.
+  auto scan = checkpoint::ReadJournal(spec.dir, epoch_);
+  if (!scan.ok()) return scan.status();
+  if (snap == nullptr && scan.value().segments_read == 0) {
+    return Status::NotFound("no checkpoint snapshot or event journal in " +
+                            spec.dir);
+  }
+  recovered_records_ = scan.value().records.size();
+  recovered_truncated_ = scan.value().truncated;
+  if (scan.value().truncated) {
+    SASE_LOG_WARN << "event journal ends at a torn/corrupt record ("
+                  << scan.value().truncation_reason
+                  << "); recovering the valid prefix of "
+                  << scan.value().records.size() << " records";
+  }
+  uint64_t mark_runtime = delivered_runtime_;
+  uint64_t mark_serial = delivered_serial_;
+  for (const checkpoint::JournalRecord& record : scan.value().records) {
+    if (record.kind == checkpoint::JournalRecord::Kind::kOutputMark) {
+      mark_runtime = record.delivered_runtime;
+      mark_serial = record.delivered_serial;
+    }
+  }
+  suppress_runtime_ =
+      mark_runtime > delivered_runtime_ ? mark_runtime - delivered_runtime_ : 0;
+  suppress_serial_ =
+      mark_serial > delivered_serial_ ? mark_serial - delivered_serial_ : 0;
+
+  uint64_t replayed_events = 0;
+  for (const checkpoint::JournalRecord& record : scan.value().records) {
+    switch (record.kind) {
+      case checkpoint::JournalRecord::Kind::kEvent:
+      case checkpoint::JournalRecord::Kind::kStreamEvent: {
+        if (static_cast<size_t>(record.type) >= catalog_.type_count()) {
+          return Status::InvalidArgument(
+              "journal event references unknown type id " +
+              std::to_string(record.type));
+        }
+        auto event = std::make_shared<Event>(record.type, record.timestamp,
+                                             record.seq, record.values);
+        if (record.kind == checkpoint::JournalRecord::Kind::kEvent) {
+          event_bus_.OnEvent(event);
+        } else {
+          PublishStreamEvent(record.stream, event);
+        }
+        ++replayed_events;
+        break;
+      }
+      case checkpoint::JournalRecord::Kind::kFlush:
+        event_bus_.OnFlush();
+        break;
+      case checkpoint::JournalRecord::Kind::kRegister: {
+        if (record.archiving) {
+          auto id = RegisterArchivingRule(record.name, record.text);
+          if (!id.ok()) return id.status();
+        } else {
+          auto id = RegisterMonitoringQuery(
+              record.name, record.text,
+              callbacks ? callbacks(record.name) : nullptr);
+          if (!id.ok()) return id.status();
+        }
+        break;
+      }
+      case checkpoint::JournalRecord::Kind::kOutputMark:
+        break;
+    }
+  }
+  // Quiesce: surface every record the replay made merge-safe, consuming
+  // the suppression quota in full. Every record the crashed process
+  // delivered was triggered at or below the journal's dispatch point, so
+  // after this drain a non-zero quota means the journal tail (and the
+  // records it covered) was genuinely lost.
+  if (runtime_ != nullptr) runtime_->WaitIdle();
+  if (suppress_runtime_ > 0 || suppress_serial_ > 0) {
+    SASE_LOG_WARN << "recovery replay regenerated fewer records than the "
+                  << "journal's delivery marks claim (" << suppress_runtime_
+                  << "+" << suppress_serial_
+                  << " unmatched, journal truncated=" << recovered_truncated_
+                  << "); the remainder stays suppressed until matching "
+                  << "records regenerate";
+  }
+
+  recovering_ = false;
+  // A torn tail is physically cut out before journaling resumes: left in
+  // place it would stop every future scan at the old crash point, hiding
+  // the records journaled after this recovery from the next one.
+  SASE_RETURN_IF_ERROR(OpenJournal(
+      epoch_, checkpoint::RepairJournal(spec.dir, epoch_, scan.value())));
+  events_since_checkpoint_ = replayed_events;
+  return Status::Ok();
+}
+
+std::string SaseSystem::CheckpointReport() const {
+  if (journal_ == nullptr && checkpoints_taken_ == 0 && !recovered_) return "";
+  std::ostringstream out;
+  out << "checkpoint: dir="
+      << (config_.checkpoint.dir.empty() ? "<none>" : config_.checkpoint.dir)
+      << " epoch=" << epoch_ << " taken=" << checkpoints_taken_
+      << " delivered=" << delivered_runtime_ << "+" << delivered_serial_
+      << "\n";
+  if (journal_ != nullptr) {
+    out << "journal: segment=" << journal_->segment()
+        << " records=" << journal_->records_written()
+        << " bytes=" << journal_->bytes_written()
+        << " rotations=" << journal_->rotations()
+        << " since_checkpoint=" << events_since_checkpoint_ << " events\n";
+  }
+  if (checkpoint_policy_ != nullptr) {
+    out << checkpoint_policy_->Describe() << "\n";
+  }
+  if (recovered_) {
+    out << "recovery: replayed=" << recovered_records_ << " records"
+        << " truncated=" << (recovered_truncated_ ? "yes" : "no")
+        << " suppressed_remaining=" << suppress_runtime_ + suppress_serial_
+        << "\n";
+  }
+  return out.str();
 }
 
 }  // namespace sase

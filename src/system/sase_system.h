@@ -3,7 +3,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "checkpoint/checkpoint_policy.h"
+#include "checkpoint/snapshot.h"
 #include "cleaning/pipeline.h"
 #include "core/catalog.h"
 #include "core/stream.h"
@@ -37,7 +40,9 @@ struct SystemConfig {
   /// `partition_key`. Archiving rules and function-calling (hybrid
   /// stream+database) queries always run on the serial engine so that only
   /// the simulation thread touches the Event Database. 0/1 = fully serial
-  /// (the seed behavior).
+  /// (the seed behavior) — unless durable checkpointing is enabled, which
+  /// attaches a single-shard runtime so pure stream queries live on the
+  /// engines the checkpoint subsystem knows how to rebuild.
   int shard_count = 1;
   std::string partition_key = "TagId";
   /// Runtime merge cadence (events between incremental merges + clock
@@ -49,6 +54,13 @@ struct SystemConfig {
   /// bounds and hysteresis: see ElasticConfig in runtime/elastic_policy.h
   /// and docs/operations.md.
   ElasticConfig runtime_elastic;
+  /// Durable checkpoint & crash recovery: with `checkpoint.dir` set, every
+  /// published event is write-ahead journaled there, Checkpoint() persists
+  /// a quiesce-point snapshot (and the CheckpointPolicy thresholds take
+  /// them automatically), and SaseSystem::Recover rebuilds a system that
+  /// resumes byte-identical output after a crash. Knobs and recovery
+  /// walkthrough: src/checkpoint/checkpoint_policy.h and docs/recovery.md.
+  checkpoint::CheckpointConfig checkpoint;
 };
 
 /// The complete SASE system of Figure 1, assembled:
@@ -60,25 +72,30 @@ struct SystemConfig {
 ///         -> Event Database (db::Database via archiving rules)
 ///   + User Interface stand-in (ReportBoard channels)
 ///   + ad-hoc SQL over the Event Database (SqlExecutor)
+///   + durable checkpoint & crash recovery (src/checkpoint/, optional)
 ///
 /// See examples/retail_monitoring.cc for the full §4 demo scenario built on
 /// this class.
 class SaseSystem {
  public:
   explicit SaseSystem(StoreLayout layout, SystemConfig config = {});
+  ~SaseSystem();  // out-of-line: the journal taps are defined in the .cc
 
   // --- component access ---
   const Catalog& catalog() const { return catalog_; }
   RetailSimulator& simulator() { return *simulator_; }
   CleaningPipeline& cleaning() { return *cleaning_; }
   QueryEngine& engine() { return *engine_; }
-  /// The parallel execution runtime; nullptr when shard_count <= 1.
+  /// The parallel execution runtime; nullptr when shard_count <= 1 and
+  /// checkpointing is disabled.
   ShardedRuntime* runtime() { return runtime_.get(); }
   db::Database& database() { return database_; }
   db::Ons& ons() { return *ons_; }
   db::Archiver& archiver() { return *archiver_; }
   ReportBoard& reports() { return reports_; }
   StreamBus& event_bus() { return event_bus_; }
+  const SystemConfig& config() const { return config_; }
+  const StoreLayout& layout() const { return layout_; }
 
   /// Track-and-trace view over the Event Database.
   db::TrackTrace track_trace() { return db::TrackTrace(&database_); }
@@ -116,11 +133,111 @@ class SaseSystem {
   /// tail-negation deferrals).
   void Flush();
 
+  // --- durable checkpoint & crash recovery (src/checkpoint/) ---
+
+  /// Writes a durable checkpoint: quiesces the runtime, persists a
+  /// versioned snapshot (registered queries in dispatch order, per-stream
+  /// dispatch stamps, the in-flight replay window, runtime shape, delivery
+  /// watermarks, and the Event Database via db::Dump) into `dir` — or into
+  /// the configured checkpoint directory when `dir` is empty — and, when
+  /// journaling into that same directory, rotates the event journal onto a
+  /// fresh epoch and garbage-collects the superseded one.
+  ///
+  /// Refuses with kFailedPrecondition while a runtime Resize is mid-flight,
+  /// and when any registered query is not window-replayable (a stateful
+  /// query with no WITHIN span, or a running aggregate): such state cannot
+  /// be rebuilt from a finite replay window, so a checkpoint would lie.
+  Status Checkpoint(const std::string& dir = "");
+
+  /// Re-attaches user callbacks on recovery (callbacks cannot be
+  /// serialized): called once per recovered monitoring query with its
+  /// registration name; return nullptr for report-channels-only delivery.
+  using CallbackFactory = std::function<OutputCallback(const std::string&)>;
+
+  /// Rebuilds a SaseSystem from a checkpoint directory: restores the Event
+  /// Database, re-registers every query, mutedly replays the snapshot's
+  /// in-flight window, then replays the event journal suffix — suppressing
+  /// exactly the records the crashed process already delivered (tracked by
+  /// the journal's output marks) — so the recovered system resumes emitting
+  /// byte-identical output from the record where the crash cut it off. The
+  /// recovered system keeps journaling into `dir`.
+  ///
+  /// `config` supplies the non-checkpointed knobs (noise, tick length,
+  /// report echo...); the runtime shape (shard count, partition key) comes
+  /// from the snapshot. The simulator and cleaning pipeline restart fresh
+  /// from `layout` — recovery covers the event-processing layers, not
+  /// simulated device state.
+  static Result<std::unique_ptr<SaseSystem>> Recover(
+      const std::string& dir, StoreLayout layout, SystemConfig config = {},
+      CallbackFactory callbacks = nullptr);
+
+  /// One registered query as the checkpoint registry tracks it. Query ids
+  /// are unique per host (the runtime and the serial engine assign ids
+  /// independently), hence the host flag in the key.
+  struct QueryInfo {
+    QueryId id = 0;
+    bool runtime_hosted = false;
+    bool archiving = false;
+    std::string name;
+    std::string text;
+  };
+  /// Every query registered through this system, in registration order.
+  const std::vector<QueryInfo>& registered_queries() const { return registry_; }
+
+  /// Multi-line checkpoint/journal/recovery health; "" when checkpointing
+  /// is disabled and no checkpoint was ever taken.
+  std::string CheckpointReport() const;
+
+  // --- checkpoint introspection ---
+  uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+  /// Records delivered to monitoring callbacks (runtime-hosted + serial).
+  uint64_t records_delivered() const {
+    return delivered_runtime_ + delivered_serial_;
+  }
+  /// Journal records replayed by the Recover that built this system.
+  uint64_t recovered_journal_records() const { return recovered_records_; }
+  /// True when that recovery stopped early at a torn/corrupt journal tail.
+  bool recovered_journal_truncated() const { return recovered_truncated_; }
+
  private:
+  /// Snapshot + journal-scan bundle handed from Recover to the private
+  /// recovery constructor and FinishRecovery.
+  struct RecoverySpec {
+    std::string dir;
+    uint64_t epoch = 0;  // snapshot id; 0 = journal-only (no snapshot yet)
+    const checkpoint::SystemSnapshot* snapshot = nullptr;  // null at epoch 0
+  };
+
+  SaseSystem(StoreLayout layout, SystemConfig config,
+             const RecoverySpec* recovery);
+
+  /// Journal taps around the event bus: Head write-ahead logs every
+  /// published event before any processor sees it; Tail runs after every
+  /// subscriber finished, appending output marks and driving the automatic
+  /// checkpoint policy.
+  class JournalHeadTap;
+  class JournalTailTap;
+
   void LogEvent(const EventPtr& event);
+  /// Monitoring-query delivery wrapper: report channels + user callback,
+  /// behind the recovery suppression gate and the delivery counters.
+  OutputCallback MakeDeliver(const std::string& name, OutputCallback callback,
+                             bool runtime_hosted);
+  bool JournalActive() const { return journal_ != nullptr && !recovering_; }
+  void JournalEvent(const std::string& stream, const EventPtr& event);
+  void JournalFlush();
+  /// After one published event (or flush) is fully processed: appends an
+  /// output mark if deliveries advanced, then evaluates the checkpoint
+  /// policy and acts on it.
+  void AfterEventProcessed();
+  Status OpenJournal(uint64_t epoch, uint64_t segment);
+  /// Registers the snapshot's queries and replays window + journal; runs
+  /// with `recovering_` set so the taps stay dormant.
+  Status FinishRecovery(const RecoverySpec& spec, const CallbackFactory& callbacks);
 
   Catalog catalog_;
   SystemConfig config_;
+  StoreLayout layout_;
   db::Database database_;
   std::unique_ptr<db::Ons> ons_;
   std::unique_ptr<db::Archiver> archiver_;
@@ -135,6 +252,35 @@ class SaseSystem {
   std::unique_ptr<EventSink> event_archiver_;
   std::unique_ptr<CleaningPipeline> cleaning_;
   std::unique_ptr<RetailSimulator> simulator_;
+
+  // --- checkpoint subsystem state (all dispatcher-thread) ---
+  std::unique_ptr<JournalHeadTap> journal_head_;
+  std::unique_ptr<JournalTailTap> journal_tail_;
+  std::unique_ptr<checkpoint::EventJournal> journal_;
+  std::unique_ptr<checkpoint::CheckpointPolicy> checkpoint_policy_;
+  std::vector<QueryInfo> registry_;
+  uint64_t epoch_ = 0;  // current snapshot epoch (0 before first checkpoint)
+  bool recovering_ = false;     // journal taps dormant during replay
+  bool in_checkpoint_ = false;  // reentrancy guard (callback -> Checkpoint)
+  bool journal_warned_ = false;
+  // Delivery watermarks: absolute records delivered per host class, and the
+  // recovery gate's remaining suppression quota per class. Runtime-merged
+  // and serial-synchronous outputs interleave differently run-to-run (merge
+  // cadence), but each class's own sequence is deterministic — hence
+  // per-class counters.
+  uint64_t delivered_runtime_ = 0;
+  uint64_t delivered_serial_ = 0;
+  uint64_t suppress_runtime_ = 0;
+  uint64_t suppress_serial_ = 0;
+  uint64_t last_mark_runtime_ = 0;
+  uint64_t last_mark_serial_ = 0;
+  // Policy baseline + stats.
+  uint64_t events_since_checkpoint_ = 0;
+  uint64_t journal_bytes_at_checkpoint_ = 0;
+  uint64_t checkpoints_taken_ = 0;
+  uint64_t recovered_records_ = 0;
+  bool recovered_ = false;
+  bool recovered_truncated_ = false;
 };
 
 }  // namespace sase

@@ -1,0 +1,19 @@
+#ifndef SASE_UTIL_CRC32_H_
+#define SASE_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sase {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant). Used by the
+/// checkpoint subsystem's event journal to detect torn or corrupted
+/// records after a crash. `seed` chains incremental computations:
+/// Crc32(b, n, Crc32(a, m)) == Crc32(a + b, m + n). Deliberately no
+/// string_view convenience overload: with one, a (pointer, uint32_t) call
+/// silently binds the integer to `len` instead of `seed`.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace sase
+
+#endif  // SASE_UTIL_CRC32_H_

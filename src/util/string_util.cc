@@ -63,4 +63,37 @@ bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
+std::string EscapeField(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '|': out += "\\p"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c); break;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeField(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 1 >= s.size()) return Status::ParseError("dangling field escape");
+    switch (s[++i]) {
+      case '\\': out.push_back('\\'); break;
+      case 'p': out.push_back('|'); break;
+      case 'n': out.push_back('\n'); break;
+      default: return Status::ParseError("unknown field escape");
+    }
+  }
+  return out;
+}
+
 }  // namespace sase

@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/status.h"
+
 namespace sase {
 
 /// Case-insensitive equality for SASE / SQL keywords.
@@ -27,6 +29,15 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 
 /// True if `s` begins with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Escapes a string for embedding as one '|'-delimited field of a
+/// line-oriented text format: '\' -> \\, '|' -> \p, newline -> \n. Shared
+/// by the database dump (db/dump.cc) and the checkpoint snapshot/manifest
+/// files, which use the same field grammar.
+std::string EscapeField(std::string_view s);
+
+/// Inverse of EscapeField; fails on a dangling or unknown escape.
+Result<std::string> UnescapeField(std::string_view s);
 
 }  // namespace sase
 

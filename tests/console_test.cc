@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "rfid/tag.h"
 
 namespace sase {
@@ -102,6 +104,62 @@ TEST_F(ConsoleTest, RunValidation) {
   EXPECT_NE(console_.Execute("run").find("usage"), std::string::npos);
   EXPECT_NE(console_.Execute("run -3").find("usage"), std::string::npos);
   EXPECT_NE(console_.Execute("run ten").find("usage"), std::string::npos);
+}
+
+TEST_F(ConsoleTest, CheckpointAndRestoreCommands) {
+  std::string dir = ::testing::TempDir() + "/sase_console_checkpoint";
+  std::filesystem::remove_all(dir);
+
+  // No directory configured and none given: a clear error, not a crash.
+  EXPECT_NE(console_.Execute(".checkpoint").find("error:"), std::string::npos);
+  EXPECT_NE(console_.Execute(".restore").find("usage"), std::string::npos);
+  EXPECT_NE(console_.Execute(".restore /no/such/dir").find("error:"),
+            std::string::npos);
+
+  // A scripted session: product, stateless watch query, archiving rule,
+  // some simulated traffic, then a checkpoint to an explicit directory.
+  system_.AddProduct({MakeEpc(1), "Razor", "", true});
+  ScenarioScripter scripter(&system_.simulator());
+  scripter.Shoplift(MakeEpc(1), 0, 3, /*start=*/1);
+  (void)console_.Execute(
+      "register watch EVENT EXIT_READING e RETURN e.TagId");
+  (void)console_.Execute(
+      "rule location EVENT ANY(SHELF_READING s) "
+      "RETURN _updateLocation(s.TagId, s.AreaId, s.Timestamp)");
+  (void)console_.Execute("run 15");
+  std::string checkpointed = console_.Execute(".checkpoint " + dir);
+  EXPECT_NE(checkpointed.find("checkpoint written to " + dir),
+            std::string::npos)
+      << checkpointed;
+
+  // Restore swaps the console onto the recovered system: queries are
+  // re-registered under their names and the Event Database is back.
+  std::string restored = console_.Execute(".restore " + dir);
+  EXPECT_NE(restored.find("restored from " + dir), std::string::npos)
+      << restored;
+  std::string queries = console_.Execute("queries");
+  EXPECT_NE(queries.find("watch"), std::string::npos);
+  EXPECT_NE(queries.find("location"), std::string::npos);
+  // The movement history written before the checkpoint survived.
+  EXPECT_NE(console_.Execute("trace " + MakeEpc(1)).find("movement history"),
+            std::string::npos);
+  // The recovered system keeps working: stats now include checkpoint lines.
+  EXPECT_NE(console_.Execute("stats").find("checkpoint:"), std::string::npos);
+}
+
+TEST_F(ConsoleTest, CheckpointRefusesStatefulSerialQuery) {
+  std::string dir = ::testing::TempDir() + "/sase_console_refuse";
+  std::filesystem::remove_all(dir);
+  // Without checkpointing enabled the shoplifting pattern runs on the
+  // serial engine, whose cross-event state is not window-replayable — the
+  // command surfaces the kFailedPrecondition instead of writing a lie.
+  (void)console_.Execute(
+      "register shoplifting EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), "
+      "EXIT_READING z) WHERE x.TagId = y.TagId AND x.TagId = z.TagId "
+      "WITHIN 100 RETURN x.TagId");
+  std::string refused = console_.Execute(".checkpoint " + dir);
+  EXPECT_NE(refused.find("error:"), std::string::npos);
+  EXPECT_NE(refused.find("FailedPrecondition"), std::string::npos) << refused;
 }
 
 }  // namespace

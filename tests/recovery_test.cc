@@ -1,0 +1,427 @@
+// End-to-end kill-and-recover tests for the durable checkpoint subsystem:
+// a SaseSystem is checkpointed mid-stream, "crashed" (destroyed without a
+// flush), recovered from disk, and driven to the end of the stream — the
+// concatenation of the crashed process's output and the recovered
+// process's output must be byte-identical to one uninterrupted serial run,
+// including flush-released tail-negation deferrals, at 1 and 8 shards and
+// across randomized crash offsets.
+
+#include "system/sase_system.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checkpoint/journal.h"
+#include "db/dump.h"
+#include "rfid/workload.h"
+
+namespace sase {
+namespace {
+
+/// Mixed monitoring workload: key-partitioned middle and tail negation
+/// (sharded, stateful, deferral-heavy), a stateless projection, and a
+/// non-key pattern that lands on the broadcast worker — exercising the
+/// checkpoint's broadcast-window retention. No running aggregates: those
+/// refuse to checkpoint by design (tested separately).
+const char* kQueries[] = {
+    "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+    "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 120",
+    "EVENT SEQ(SHELF_READING x, COUNTER_READING y, !(EXIT_READING z)) "
+    "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 60 "
+    "RETURN x.TagId, x.Timestamp AS shelf_ts, y.Timestamp AS counter_ts",
+    "EVENT SHELF_READING s WHERE s.AreaId = 2 RETURN s.TagId, s.AreaId",
+    "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+    "WHERE x.AreaId = z.AreaId WITHIN 40",
+};
+
+/// Register kQueries[query] as "q<query>" just before feeding the event at
+/// `offset` (offset == trace size: register after the last event).
+struct RegistrationPoint {
+  size_t offset = 0;
+  size_t query = 0;
+};
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/sase_recovery_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::vector<EventPtr> Trace(const Catalog& catalog, int64_t count) {
+  SyntheticConfig config;
+  config.seed = 7;
+  config.event_count = count;
+  config.tag_count = 40;
+  config.area_count = 4;
+  SyntheticStreamGenerator generator(&catalog, config);
+  return generator.Generate();
+}
+
+std::string QueryName(size_t query) { return "q" + std::to_string(query); }
+
+OutputCallback Collector(std::vector<std::string>* lines, size_t query) {
+  return [lines, query](const OutputRecord& record) {
+    lines->push_back(QueryName(query) + "|" + record.ToString());
+  };
+}
+
+/// The uninterrupted reference: the same workload through one serial
+/// QueryEngine, registrations interleaved at the same offsets.
+std::vector<std::string> RunGolden(const Catalog& catalog,
+                                   const std::vector<EventPtr>& trace,
+                                   const std::vector<RegistrationPoint>& regs,
+                                   bool flush = true) {
+  std::vector<std::string> lines;
+  QueryEngine engine(&catalog);
+  for (size_t i = 0; i <= trace.size(); ++i) {
+    for (const RegistrationPoint& reg : regs) {
+      if (reg.offset != i) continue;
+      auto id = engine.Register(kQueries[reg.query], Collector(&lines, reg.query));
+      EXPECT_TRUE(id.ok()) << id.status().ToString();
+    }
+    if (i < trace.size()) engine.OnEvent(trace[i]);
+  }
+  if (flush) engine.OnFlush();
+  return lines;
+}
+
+SystemConfig CheckpointedConfig(int shards, const std::string& dir,
+                                size_t merge_interval = 64) {
+  SystemConfig config;
+  config.noise = NoiseModel::Perfect();
+  config.shard_count = shards;
+  config.runtime_merge_interval = merge_interval;
+  config.checkpoint.dir = dir;
+  return config;
+}
+
+SaseSystem::CallbackFactory Factory(std::vector<std::string>* lines) {
+  return [lines](const std::string& name) -> OutputCallback {
+    size_t query = static_cast<size_t>(std::atoi(name.c_str() + 1));
+    return Collector(lines, query);
+  };
+}
+
+constexpr size_t kNoCheckpoint = static_cast<size_t>(-1);
+
+/// Drives the crashed process: registers per `regs`, checkpoints before
+/// feeding the event at `checkpoint_at`, feeds events [0, crash_at) and
+/// dies without flushing. Output is appended to `lines`.
+void RunUntilCrash(const std::vector<EventPtr>& trace,
+                   const std::vector<RegistrationPoint>& regs,
+                   const SystemConfig& config, size_t checkpoint_at,
+                   size_t crash_at, std::vector<std::string>* lines,
+                   uint64_t* checkpoints_taken = nullptr) {
+  SaseSystem system(StoreLayout::RetailDemo(), config);
+  for (size_t i = 0; i < crash_at; ++i) {
+    for (const RegistrationPoint& reg : regs) {
+      if (reg.offset != i) continue;
+      auto id = system.RegisterMonitoringQuery(QueryName(reg.query),
+                                               kQueries[reg.query],
+                                               Collector(lines, reg.query));
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+    }
+    if (i == checkpoint_at) {
+      Status taken = system.Checkpoint();
+      ASSERT_TRUE(taken.ok()) << taken.ToString();
+    }
+    system.event_bus().OnEvent(trace[i]);
+  }
+  if (checkpoints_taken != nullptr) *checkpoints_taken = system.checkpoints_taken();
+  // Falling out of scope without Flush == the crash: nothing is persisted
+  // beyond what the write-ahead journal and the last snapshot already hold.
+}
+
+/// Recovers from `dir` and drives the stream to the end (+flush).
+void RecoverAndFinish(const std::vector<EventPtr>& trace,
+                      const std::vector<RegistrationPoint>& regs,
+                      const SystemConfig& config, size_t crash_at,
+                      std::vector<std::string>* lines) {
+  auto recovered = SaseSystem::Recover(config.checkpoint.dir,
+                                       StoreLayout::RetailDemo(), config,
+                                       Factory(lines));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  SaseSystem& system = *recovered.value();
+  for (size_t i = crash_at; i <= trace.size(); ++i) {
+    for (const RegistrationPoint& reg : regs) {
+      if (reg.offset != i) continue;
+      auto id = system.RegisterMonitoringQuery(QueryName(reg.query),
+                                               kQueries[reg.query],
+                                               Collector(lines, reg.query));
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+    }
+    if (i < trace.size()) system.event_bus().OnEvent(trace[i]);
+  }
+  system.Flush();
+}
+
+/// Whole kill-and-recover cycle; returns the concatenated output.
+std::vector<std::string> CrashRecoverRun(
+    const std::vector<EventPtr>& trace,
+    const std::vector<RegistrationPoint>& regs, int shards,
+    size_t checkpoint_at, size_t crash_at, const std::string& dir) {
+  std::vector<std::string> lines;
+  SystemConfig config = CheckpointedConfig(shards, dir);
+  RunUntilCrash(trace, regs, config, checkpoint_at, crash_at, &lines);
+  RecoverAndFinish(trace, regs, config, crash_at, &lines);
+  return lines;
+}
+
+std::vector<RegistrationPoint> AllUpfront() {
+  return {{0, 0}, {0, 1}, {0, 2}, {0, 3}};
+}
+
+TEST(RecoveryGoldenTest, KillAndRecoverByteIdenticalAtOneAndEightShards) {
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = Trace(catalog, 1200);
+  auto regs = AllUpfront();
+  auto golden = RunGolden(catalog, trace, regs);
+  ASSERT_GT(golden.size(), 100u);  // non-trivial workload
+
+  for (int shards : {1, 8}) {
+    std::string dir = FreshDir("golden_" + std::to_string(shards));
+    auto lines = CrashRecoverRun(trace, regs, shards, /*checkpoint_at=*/500,
+                                 /*crash_at=*/900, dir);
+    EXPECT_EQ(golden, lines) << "shards=" << shards;
+  }
+}
+
+TEST(RecoveryGoldenTest, RandomizedCrashOffsetsStayByteIdentical) {
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = Trace(catalog, 1200);
+  auto regs = AllUpfront();
+  auto golden = RunGolden(catalog, trace, regs);
+
+  // Crash offsets chosen to land mid-batch (not multiples of the runtime's
+  // batch or merge cadence) and inside tail-negation windows; 501 crashes
+  // one event after the checkpoint, 1199 one before the end.
+  for (size_t crash_at : {501u, 537u, 640u, 811u, 1000u, 1199u}) {
+    std::string dir = FreshDir("offset_" + std::to_string(crash_at));
+    auto lines = CrashRecoverRun(trace, regs, /*shards=*/2,
+                                 /*checkpoint_at=*/500, crash_at, dir);
+    EXPECT_EQ(golden, lines) << "crash_at=" << crash_at;
+  }
+
+  // Journal-only recovery: the process dies before its first checkpoint —
+  // the whole prefix replays from the write-ahead journal alone.
+  for (size_t crash_at : {353u, 750u}) {
+    std::string dir = FreshDir("journal_only_" + std::to_string(crash_at));
+    auto lines = CrashRecoverRun(trace, regs, /*shards=*/2, kNoCheckpoint,
+                                 crash_at, dir);
+    EXPECT_EQ(golden, lines) << "journal-only crash_at=" << crash_at;
+  }
+}
+
+TEST(RecoveryGoldenTest, MidJournalRegistrationIsReplayed) {
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = Trace(catalog, 1200);
+  // q1 registers after the checkpoint (its registration only exists in the
+  // journal), q3 after the crash (registered on the recovered system).
+  std::vector<RegistrationPoint> regs = {{0, 0}, {650, 1}, {300, 2}, {950, 3}};
+  auto golden = RunGolden(catalog, trace, regs);
+  ASSERT_GT(golden.size(), 50u);
+
+  std::string dir = FreshDir("midreg");
+  auto lines = CrashRecoverRun(trace, regs, /*shards=*/2, /*checkpoint_at=*/500,
+                               /*crash_at=*/900, dir);
+  EXPECT_EQ(golden, lines);
+}
+
+TEST(RecoveryGoldenTest, AutomaticCheckpointPolicyCoversTheCrash) {
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = Trace(catalog, 1200);
+  auto regs = AllUpfront();
+  auto golden = RunGolden(catalog, trace, regs);
+
+  std::string dir = FreshDir("auto_policy");
+  SystemConfig config = CheckpointedConfig(/*shards=*/2, dir);
+  config.checkpoint.checkpoint_interval_events = 200;
+  std::vector<std::string> lines;
+  uint64_t taken = 0;
+  RunUntilCrash(trace, regs, config, kNoCheckpoint, /*crash_at=*/730, &lines,
+                &taken);
+  EXPECT_GE(taken, 3u);  // the policy checkpointed on its own
+  RecoverAndFinish(trace, regs, config, /*crash_at=*/730, &lines);
+  EXPECT_EQ(golden, lines);
+}
+
+TEST(RecoveryGoldenTest, CorruptJournalTailRecoversTheValidPrefix) {
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = Trace(catalog, 1200);
+  auto regs = AllUpfront();
+  // Reference without end-of-stream flush: the truncated run never reaches
+  // a flush, so the comparable property is prefix equality.
+  auto golden_noflush = RunGolden(catalog, trace, regs, /*flush=*/false);
+
+  std::string dir = FreshDir("corrupt_tail");
+  SystemConfig config = CheckpointedConfig(/*shards=*/2, dir);
+  std::vector<std::string> lines;
+  RunUntilCrash(trace, regs, config, /*checkpoint_at=*/500, /*crash_at=*/900,
+                &lines);
+  size_t crashed_lines = lines.size();
+
+  // Tear the live journal segment mid-record, as a crash during an append
+  // would. Epoch 1 = the journal opened by the checkpoint at offset 500.
+  std::string segment = dir + "/" + checkpoint::SegmentFileName(1, 0);
+  ASSERT_TRUE(std::filesystem::exists(segment));
+  auto size = std::filesystem::file_size(segment);
+  std::filesystem::resize_file(segment, size - 7);
+
+  std::vector<std::string> recovered_lines;
+  auto recovered = SaseSystem::Recover(dir, StoreLayout::RetailDemo(), config,
+                                       Factory(&recovered_lines));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered.value()->recovered_journal_truncated());
+  EXPECT_GT(recovered.value()->recovered_journal_records(), 0u);
+
+  // Recovery stopped cleanly at the last valid record: the combined output
+  // is byte-identical to a prefix of the uninterrupted run — no duplicates,
+  // no gaps, no garbage from the torn tail.
+  lines.insert(lines.end(), recovered_lines.begin(), recovered_lines.end());
+  ASSERT_GE(lines.size(), crashed_lines);
+  ASSERT_LE(lines.size(), golden_noflush.size());
+  EXPECT_TRUE(std::equal(lines.begin(), lines.end(), golden_noflush.begin()))
+      << "combined output is not a golden prefix";
+
+  // Chained crash: the first recovery must have cut the torn tail out of
+  // the segment, or this second scan would stop at the OLD crash point and
+  // silently drop everything journaled since. Feed more events on the
+  // recovered system, crash again without a checkpoint in between, recover
+  // again: the second scan must be clean and cover the new events.
+  uint64_t first_replay = recovered.value()->recovered_journal_records();
+  constexpr size_t kMoreEvents = 200;
+  for (size_t i = 900; i < 900 + kMoreEvents; ++i) {
+    recovered.value()->event_bus().OnEvent(trace[i]);
+  }
+  recovered.value().reset();  // second crash, un-flushed
+
+  std::vector<std::string> second_lines;
+  auto second = SaseSystem::Recover(dir, StoreLayout::RetailDemo(), config,
+                                    Factory(&second_lines));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_FALSE(second.value()->recovered_journal_truncated());
+  EXPECT_GE(second.value()->recovered_journal_records(),
+            first_replay + kMoreEvents);
+}
+
+TEST(RecoveryGoldenTest, EventDatabaseRecoversExactly) {
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = Trace(catalog, 1000);
+  constexpr const char* kLocationRule =
+      "EVENT ANY(SHELF_READING s) "
+      "RETURN _updateLocation(s.TagId, s.AreaId, s.Timestamp)";
+
+  // Uninterrupted reference run (checkpointing off; archiving rules always
+  // execute on the serial engine, so hosting differences cannot leak in).
+  std::string golden_dump;
+  {
+    SystemConfig config;
+    config.noise = NoiseModel::Perfect();
+    config.shard_count = 2;
+    SaseSystem system(StoreLayout::RetailDemo(), config);
+    ASSERT_TRUE(system.RegisterArchivingRule("loc", kLocationRule).ok());
+    for (const auto& event : trace) system.event_bus().OnEvent(event);
+    system.Flush();
+    std::ostringstream out;
+    ASSERT_TRUE(db::Dump(system.database(), &out).ok());
+    golden_dump = out.str();
+  }
+
+  std::string dir = FreshDir("database");
+  SystemConfig config = CheckpointedConfig(/*shards=*/2, dir);
+  {
+    SaseSystem system(StoreLayout::RetailDemo(), config);
+    ASSERT_TRUE(system.RegisterArchivingRule("loc", kLocationRule).ok());
+    for (size_t i = 0; i < 800; ++i) {
+      if (i == 400) ASSERT_TRUE(system.Checkpoint().ok());
+      system.event_bus().OnEvent(trace[i]);
+    }
+  }
+  auto recovered = SaseSystem::Recover(dir, StoreLayout::RetailDemo(), config);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  for (size_t i = 800; i < trace.size(); ++i) {
+    recovered.value()->event_bus().OnEvent(trace[i]);
+  }
+  recovered.value()->Flush();
+
+  std::ostringstream out;
+  ASSERT_TRUE(db::Dump(recovered.value()->database(), &out).ok());
+  EXPECT_EQ(golden_dump, out.str());
+
+  // The restored Event Database also answers track-and-trace queries.
+  auto locations = recovered.value()->ExecuteSql(
+      "SELECT * FROM location_history LIMIT 5");
+  EXPECT_TRUE(locations.ok()) << locations.status().ToString();
+}
+
+TEST(RecoveryPreconditionTest, CheckpointDuringResizeIsRefused) {
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = Trace(catalog, 400);
+  std::string dir = FreshDir("during_resize");
+  // merge_interval 0: no incremental merges, so records are still pending
+  // when Resize quiesces — its delivery callbacks run mid-resize.
+  SystemConfig config = CheckpointedConfig(/*shards=*/2, dir,
+                                           /*merge_interval=*/0);
+  SaseSystem system(StoreLayout::RetailDemo(), config);
+
+  std::vector<Status> during_resize;
+  auto id = system.RegisterMonitoringQuery(
+      "q0", kQueries[0], [&](const OutputRecord&) {
+        if (system.runtime()->resizing() && during_resize.empty()) {
+          during_resize.push_back(system.Checkpoint());
+        }
+      });
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  for (const auto& event : trace) system.event_bus().OnEvent(event);
+
+  Status resized = system.runtime()->Resize(4);
+  ASSERT_TRUE(resized.ok()) << resized.ToString();
+  ASSERT_FALSE(during_resize.empty())
+      << "no records were delivered at the resize quiesce point";
+  EXPECT_EQ(during_resize.front().code(), StatusCode::kFailedPrecondition)
+      << during_resize.front().ToString();
+
+  // After the resize completes, the same checkpoint succeeds.
+  EXPECT_TRUE(system.Checkpoint().ok());
+}
+
+TEST(RecoveryPreconditionTest, NonWindowReplayableQueriesRefuseCheckpoint) {
+  {
+    // Stateful pattern with no WITHIN bound: the replay window would be the
+    // whole stream.
+    std::string dir = FreshDir("unbounded");
+    SaseSystem system(StoreLayout::RetailDemo(),
+                      CheckpointedConfig(/*shards=*/2, dir));
+    ASSERT_TRUE(system
+                    .RegisterMonitoringQuery(
+                        "unbounded",
+                        "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+                        "WHERE x.TagId = z.TagId")
+                    .ok());
+    Status refused = system.Checkpoint();
+    EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition)
+        << refused.ToString();
+  }
+  {
+    // Running aggregate: its fold state is not window-replayable.
+    std::string dir = FreshDir("aggregate");
+    SaseSystem system(StoreLayout::RetailDemo(),
+                      CheckpointedConfig(/*shards=*/2, dir));
+    ASSERT_TRUE(system
+                    .RegisterMonitoringQuery(
+                        "exits", "EVENT EXIT_READING e RETURN COUNT(*) AS exits")
+                    .ok());
+    Status refused = system.Checkpoint();
+    EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition)
+        << refused.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace sase

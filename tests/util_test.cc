@@ -64,6 +64,22 @@ TEST(StringUtilTest, StartsWith) {
   EXPECT_FALSE(StartsWith("retrieve", "_"));
 }
 
+TEST(StringUtilTest, FieldEscapingRoundTrips) {
+  // The '|'-delimited field grammar shared by the database dump and the
+  // checkpoint snapshot files.
+  EXPECT_EQ(EscapeField("plain"), "plain");
+  EXPECT_EQ(EscapeField("a|b\\c\nd"), "a\\pb\\\\c\\nd");
+  for (const std::string& original :
+       {std::string("a|b"), std::string("back\\slash"), std::string("nl\nnl"),
+        std::string("\\p|\n\\"), std::string()}) {
+    auto back = UnescapeField(EscapeField(original));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back.value(), original);
+  }
+  EXPECT_FALSE(UnescapeField("dangling\\").ok());
+  EXPECT_FALSE(UnescapeField("bad\\q").ok());
+}
+
 TEST(TimeUtilTest, DurationToTicksUnits) {
   TimeConfig config;  // 1 tick per second
   EXPECT_EQ(DurationToTicks(12, "hours", config).value(), 12 * 3600);
