@@ -3,19 +3,24 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "db/dump.h"
+#include "util/crc32.h"
 #include "util/string_util.h"
 
 namespace sase {
 namespace checkpoint {
 namespace {
 
-constexpr const char* kStateHeader = "SASE-CHECKPOINT v1";
+constexpr const char* kStateHeaderV1 = "SASE-CHECKPOINT v1";
+constexpr const char* kStateHeaderV2 = "SASE-CHECKPOINT v2";
 constexpr const char* kManifestHeader = "SASE-MANIFEST v1";
+constexpr const char* kEngineHeader = "SASE-ENGINE-STATE v1";
 
 std::string SnapshotDir(const std::string& dir, uint64_t id) {
   return dir + "/snap-" + std::to_string(id);
@@ -33,30 +38,15 @@ void SyncPath(const std::string& path) {
   }
 }
 
-Result<uint64_t> ParseU64(const std::string& text) {
-  char* end = nullptr;
-  uint64_t value = std::strtoull(text.c_str(), &end, 10);
-  if (end == text.c_str() || *end != '\0') {
-    return Status::ParseError("bad number in checkpoint file: '" + text + "'");
-  }
-  return value;
-}
-
-Result<int64_t> ParseI64(const std::string& text) {
-  char* end = nullptr;
-  int64_t value = std::strtoll(text.c_str(), &end, 10);
-  if (end == text.c_str() || *end != '\0') {
-    return Status::ParseError("bad number in checkpoint file: '" + text + "'");
-  }
-  return value;
-}
+// Field parsing uses the strict util ParseU64/ParseI64 (string_util.h),
+// shared with the engine-state codec.
 
 Status WriteState(const std::string& path, const SystemSnapshot& snap) {
   std::ofstream out(path);
   if (!out.is_open()) {
     return Status::InvalidArgument("cannot open for writing: " + path);
   }
-  out << kStateHeader << "\n";
+  out << kStateHeaderV2 << "\n";
   out << "SHARDS " << snap.shard_count << "\n";
   out << "KEY " << EscapeField(snap.partition_key) << "\n";
   out << "DISPATCHED " << snap.events_dispatched << "\n";
@@ -97,6 +87,100 @@ Status WriteState(const std::string& path, const SystemSnapshot& snap) {
   return Status::Ok();
 }
 
+/// engine.sase: framed engine-state sections (snapshot v2).
+///
+///   SASE-ENGINE-STATE v1
+///   SECTION <kind>|<host>|<query-id>|<version>|<payload-bytes>|<crc32>
+///   <payload-bytes bytes of payload>
+///   ...
+///   END
+///
+/// Each section's payload is CRC32'd, so a torn or bit-flipped section is
+/// detected before any state is restored from it; the byte-counted framing
+/// lets a reader skip sections whose kind it does not understand.
+Status WriteEngineState(const std::string& path, const SystemSnapshot& snap) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << kEngineHeader << "\n";
+  for (const EngineStateSection& section : snap.engine_state) {
+    out << "SECTION " << EscapeField(section.kind) << "|"
+        << EscapeField(section.host) << "|" << section.query << "|"
+        << section.version << "|" << section.payload.size() << "|"
+        << Crc32(section.payload.data(), section.payload.size()) << "\n";
+    out.write(section.payload.data(),
+              static_cast<std::streamsize>(section.payload.size()));
+    out << "\n";
+  }
+  out << "END\n";
+  out.close();
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+Status ReadEngineState(const std::string& path, SystemSnapshot* snap) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("missing engine-state file: " + path);
+  }
+  std::error_code ec;
+  uint64_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::Internal("cannot stat " + path + ": " + ec.message());
+  std::string line;
+  if (!std::getline(in, line) || line != kEngineHeader) {
+    return Status::ParseError("bad engine-state header in " + path);
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line == "END") return Status::Ok();
+    if (!StartsWith(line, "SECTION ")) {
+      return Status::ParseError("bad engine-state line: " + line);
+    }
+    std::vector<std::string> fields = Split(line.substr(8), '|');
+    if (fields.size() != 6) {
+      return Status::ParseError("bad engine-state SECTION line: " + line);
+    }
+    EngineStateSection section;
+    SASE_ASSIGN_OR_RETURN(section.kind, UnescapeField(fields[0]));
+    SASE_ASSIGN_OR_RETURN(section.host, UnescapeField(fields[1]));
+    SASE_ASSIGN_OR_RETURN(int64_t query, ParseI64(fields[2]));
+    SASE_ASSIGN_OR_RETURN(uint64_t version, ParseU64(fields[3]));
+    SASE_ASSIGN_OR_RETURN(uint64_t length, ParseU64(fields[4]));
+    SASE_ASSIGN_OR_RETURN(uint64_t crc, ParseU64(fields[5]));
+    section.query = query;
+    if (version > std::numeric_limits<uint32_t>::max()) {
+      return Status::ParseError("bad engine-state section version in: " + line);
+    }
+    section.version = static_cast<uint32_t>(version);
+    std::string where = "engine-state section (" + section.kind + ", " +
+                        section.host + ", query #" +
+                        std::to_string(section.query) + ")";
+    // The length field is untrusted bytes off disk: clamp it against the
+    // file itself before allocating, so a corrupt header is a clean parse
+    // error rather than a length_error/bad_alloc abort mid-recovery.
+    uint64_t position =
+        in.tellg() < 0 ? file_size : static_cast<uint64_t>(in.tellg());
+    if (length > file_size - std::min(file_size, position)) {
+      return Status::ParseError(where + " is truncated");
+    }
+    section.payload.resize(length);
+    if (length > 0 &&
+        !in.read(section.payload.data(), static_cast<std::streamsize>(length))) {
+      return Status::ParseError(where + " is truncated");
+    }
+    char newline = 0;
+    if (!in.get(newline) || newline != '\n') {
+      return Status::ParseError(where + " has bad framing");
+    }
+    if (Crc32(section.payload.data(), section.payload.size()) != crc) {
+      return Status::ParseError(where + " failed its CRC check");
+    }
+    snap->engine_state.push_back(std::move(section));
+  }
+  return Status::ParseError("engine-state file truncated (no END): " + path);
+}
+
 }  // namespace
 
 Status WriteSnapshot(const std::string& dir, const SystemSnapshot& snap,
@@ -109,12 +193,16 @@ Status WriteSnapshot(const std::string& dir, const SystemSnapshot& snap,
                                    snap_dir + ": " + ec.message());
   }
   SASE_RETURN_IF_ERROR(WriteState(snap_dir + "/state.sase", snap));
+  SASE_RETURN_IF_ERROR(WriteEngineState(snap_dir + "/engine.sase", snap));
   SASE_RETURN_IF_ERROR(db::DumpToFile(database, snap_dir + "/db.sase"));
   SyncPath(snap_dir + "/state.sase");
+  SyncPath(snap_dir + "/engine.sase");
   SyncPath(snap_dir + "/db.sase");
 
   // The manifest repoint is the commit: tmp + rename keeps the previous
-  // checkpoint authoritative until the new one is fully on disk.
+  // checkpoint authoritative until the new one is fully on disk. The
+  // `format` line is the version negotiation: a reader refuses a directory
+  // written by a newer format instead of misreading it (absent = v1).
   std::string tmp = dir + "/MANIFEST.tmp";
   {
     std::ofstream out(tmp);
@@ -123,6 +211,7 @@ Status WriteSnapshot(const std::string& dir, const SystemSnapshot& snap,
     }
     out << kManifestHeader << "\n";
     out << "snapshot " << snap.snapshot_id << "\n";
+    out << "format " << kSnapshotFormat << "\n";
     out.close();
     if (!out.good()) return Status::Internal("write failed: " + tmp);
   }
@@ -144,10 +233,23 @@ Result<uint64_t> ReadManifest(const std::string& dir) {
   if (!std::getline(in, line) || line != kManifestHeader) {
     return Status::ParseError("bad manifest header in " + dir);
   }
+  Result<uint64_t> snapshot =
+      Status::ParseError("manifest in " + dir + " names no snapshot");
   while (std::getline(in, line)) {
-    if (StartsWith(line, "snapshot ")) return ParseU64(line.substr(9));
+    if (StartsWith(line, "snapshot ")) {
+      snapshot = ParseU64(line.substr(9));
+      if (!snapshot.ok()) return snapshot.status();
+    } else if (StartsWith(line, "format ")) {
+      SASE_ASSIGN_OR_RETURN(uint64_t format, ParseU64(line.substr(7)));
+      if (format > static_cast<uint64_t>(kSnapshotFormat)) {
+        return Status::InvalidArgument(
+            "checkpoint in " + dir + " uses snapshot format " +
+            std::to_string(format) + "; this reader supports up to " +
+            std::to_string(kSnapshotFormat));
+      }
+    }
   }
-  return Status::ParseError("manifest in " + dir + " names no snapshot");
+  return snapshot;
 }
 
 Result<SystemSnapshot> ReadSnapshot(const std::string& dir, uint64_t id,
@@ -158,10 +260,12 @@ Result<SystemSnapshot> ReadSnapshot(const std::string& dir, uint64_t id,
     return Status::NotFound("missing snapshot state: " + snap_dir);
   }
   std::string line;
-  if (!std::getline(in, line) || line != kStateHeader) {
+  if (!std::getline(in, line) ||
+      (line != kStateHeaderV1 && line != kStateHeaderV2)) {
     return Status::ParseError("bad snapshot header in " + snap_dir);
   }
   SystemSnapshot snap;
+  snap.format = line == kStateHeaderV1 ? kSnapshotFormatV1 : kSnapshotFormatV2;
   snap.snapshot_id = id;
   bool saw_end = false;
   while (std::getline(in, line)) {
@@ -289,6 +393,11 @@ Result<SystemSnapshot> ReadSnapshot(const std::string& dir, uint64_t id,
   }
   if (!saw_end) {
     return Status::ParseError("snapshot state truncated (no END): " + snap_dir);
+  }
+  if (snap.format >= kSnapshotFormatV2) {
+    // A bad section is a hard error, not a fallback to window replay: the
+    // caller must not restore half a system from a damaged checkpoint.
+    SASE_RETURN_IF_ERROR(ReadEngineState(snap_dir + "/engine.sase", &snap));
   }
   if (database != nullptr) {
     SASE_RETURN_IF_ERROR(db::LoadFileInto(snap_dir + "/db.sase", database));

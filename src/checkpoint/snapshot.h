@@ -46,14 +46,44 @@ struct SnapshotWindowEvent {
   EventPtr event;
 };
 
+/// Current snapshot format. v1 rebuilt engine state by muted replay of the
+/// in-flight window (and therefore refused aggregates, WITHIN-less stateful
+/// queries and stateful serial-engine queries); v2 adds direct
+/// operator-state serialization in per-query framed sections (engine.sase),
+/// covering the whole language surface. The v2 reader still reads v1
+/// snapshots; recovery falls back to window replay for them.
+constexpr int kSnapshotFormatV1 = 1;
+constexpr int kSnapshotFormatV2 = 2;
+constexpr int kSnapshotFormat = kSnapshotFormatV2;
+
+/// One framed engine-state section (snapshot v2): the serialized operator
+/// state of one query's plan on one hosting engine, or an engine-level
+/// counter payload (`query == 0`). Sections are individually CRC'd and
+/// versioned in the engine.sase file, so a reader can verify and skip
+/// sections it does not understand.
+struct EngineStateSection {
+  /// Section kind: "plan" (QueryPlan::SaveState payload) or "engine"
+  /// (QueryEngine::SerializeEngineState payload). Readers skip unknown
+  /// kinds.
+  std::string kind;
+  /// Hosting engine: "serial", "broadcast", or "shard-<i>".
+  std::string host;
+  QueryId query = 0;  // 0 for engine-level sections
+  uint32_t version = 1;
+  std::string payload;
+};
+
 /// Everything outside the Event Database that a SaseSystem needs to resume:
 /// registered queries in dispatch order, per-stream dispatch stamps and
 /// clocks, the in-flight replay window, merger/dispatch watermarks, the
-/// runtime shape, and the delivered-output counters the recovery gate
-/// resumes emission from. The Event Database itself rides along as a
-/// db::Dump file in the same snapshot directory.
+/// runtime shape, the delivered-output counters the recovery gate resumes
+/// emission from, and (v2) the serialized engine state per query and host.
+/// The Event Database itself rides along as a db::Dump file in the same
+/// snapshot directory.
 struct SystemSnapshot {
   uint64_t snapshot_id = 0;
+  /// Format this snapshot was read from / will be written as.
+  int format = kSnapshotFormat;
   int shard_count = 1;
   std::string partition_key;
   uint64_t events_dispatched = 0;
@@ -71,6 +101,8 @@ struct SystemSnapshot {
   std::vector<SnapshotStream> streams;
   std::vector<SnapshotQuery> queries;
   std::vector<SnapshotWindowEvent> window;
+  /// v2: framed engine-state sections (empty when format == v1).
+  std::vector<EngineStateSection> engine_state;
 };
 
 /// Writes `snap` (state file + Event Database dump) into

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/string_util.h"
+#include "util/value_codec.h"
 
 namespace sase {
 namespace db {
@@ -19,40 +20,10 @@ Result<ValueType> TypeFromName(const std::string& name) {
 
 }  // namespace
 
-std::string EncodeValue(const Value& value) {
-  switch (value.type()) {
-    case ValueType::kNull: return "N";
-    case ValueType::kInt: return "I:" + std::to_string(value.AsInt());
-    case ValueType::kDouble: {
-      std::ostringstream out;
-      out.precision(17);
-      out << "D:" << value.AsDouble();
-      return out.str();
-    }
-    case ValueType::kString: return "S:" + EscapeField(value.AsString());
-    case ValueType::kBool: return value.AsBool() ? "B:1" : "B:0";
-  }
-  return "N";
-}
+std::string EncodeValue(const Value& value) { return sase::EncodeValue(value); }
 
 Result<Value> DecodeValue(const std::string& text) {
-  if (text == "N") return Value();
-  if (text.size() < 2 || text[1] != ':') {
-    return Status::ParseError("bad value encoding: '" + text + "'");
-  }
-  std::string body = text.substr(2);
-  switch (text[0]) {
-    case 'I': return Value(static_cast<int64_t>(std::strtoll(body.c_str(), nullptr, 10)));
-    case 'D': return Value(std::strtod(body.c_str(), nullptr));
-    case 'B': return Value(body == "1");
-    case 'S': {
-      auto unescaped = UnescapeField(body);
-      if (!unescaped.ok()) return unescaped.status();
-      return Value(std::move(unescaped).value());
-    }
-    default:
-      return Status::ParseError("bad value tag: '" + text + "'");
-  }
+  return sase::DecodeValue(text);
 }
 
 Status Dump(const Database& database, std::ostream* out) {
@@ -74,7 +45,7 @@ Status Dump(const Database& database, std::ostream* out) {
       *out << "ROW ";
       for (size_t i = 0; i < row.size(); ++i) {
         if (i > 0) *out << "|";
-        *out << EncodeValue(row[i]);
+        *out << sase::EncodeValue(row[i]);
       }
       *out << "\n";
       return true;
@@ -151,7 +122,7 @@ Status LoadInto(std::istream* in, Database* database) {
       }
       Row row;
       for (const std::string& field : Split(line.substr(4), '|')) {
-        auto value = DecodeValue(field);
+        auto value = sase::DecodeValue(field);
         if (!value.ok()) return value.status();
         row.push_back(std::move(value).value());
       }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/value_codec.h"
 
 namespace sase {
 
@@ -226,6 +227,114 @@ bool Negation::HasViolation(const NegationSpec& spec, Buffer& buffer,
     return check_range(it->second);
   }
   return check_range(buffer.events);
+}
+
+void Negation::SaveState(StateWriter* w) const {
+  w->Line("NS") << stats_.events_buffered << '|' << stats_.events_pruned
+                << '|' << stats_.matches_rejected << '|'
+                << stats_.matches_deferred << '|' << stats_.candidates_examined
+                << '|' << stats_.eval_errors;
+  w->EndLine();
+  w->Line("NC") << matches_in() << '|' << matches_out();
+  w->EndLine();
+  for (size_t i = 0; i < buffers_.size(); ++i) {
+    const Buffer& buffer = buffers_[i];
+    w->Line("NB") << i;
+    w->EndLine();
+    for (const EventPtr& event : buffer.events) {
+      std::string ref = w->Ref(event);
+      w->Line("NV") << ref;
+      w->EndLine();
+    }
+    for (const auto& [key, events] : buffer.by_key) {
+      w->Line("NP") << EncodeValue(key);
+      w->EndLine();
+      for (const EventPtr& event : events) {
+        std::string ref = w->Ref(event);
+        w->Line("NV") << ref;
+        w->EndLine();
+      }
+    }
+  }
+  // Parked deferrals in release order (multimap iteration order, which
+  // restore reproduces: equal keys re-inserted in sequence keep it).
+  for (const auto& [release_ts, match] : pending_) {
+    std::vector<std::string> refs;
+    refs.reserve(match.bindings.size());
+    for (const EventPtr& binding : match.bindings) {
+      refs.push_back(w->Ref(binding));
+    }
+    std::ostream& out = w->Line("ND");
+    out << release_ts << '|' << match.first_ts << '|' << match.last_ts << '|'
+        << refs.size();
+    for (const std::string& ref : refs) out << '|' << ref;
+    w->EndLine();
+  }
+}
+
+Status Negation::LoadState(StateReader* r) {
+  for (Buffer& buffer : buffers_) {
+    buffer.events.clear();
+    buffer.by_key.clear();
+  }
+  pending_.clear();
+  events_since_prune_ = 0;
+  Buffer* buffer = nullptr;
+  std::vector<EventPtr>* target = nullptr;
+  while (r->Next()) {
+    const std::string& tag = r->tag();
+    if (tag == "--") return Status::Ok();
+    if (tag == "NS") {
+      if (r->field_count() != 6) return r->Malformed("Negation stats");
+      SASE_ASSIGN_OR_RETURN(stats_.events_buffered, r->U64(0));
+      SASE_ASSIGN_OR_RETURN(stats_.events_pruned, r->U64(1));
+      SASE_ASSIGN_OR_RETURN(stats_.matches_rejected, r->U64(2));
+      SASE_ASSIGN_OR_RETURN(stats_.matches_deferred, r->U64(3));
+      SASE_ASSIGN_OR_RETURN(stats_.candidates_examined, r->U64(4));
+      SASE_ASSIGN_OR_RETURN(stats_.eval_errors, r->U64(5));
+    } else if (tag == "NC") {
+      SASE_ASSIGN_OR_RETURN(uint64_t in, r->U64(0));
+      SASE_ASSIGN_OR_RETURN(uint64_t out, r->U64(1));
+      RestoreCounters(in, out);
+    } else if (tag == "NB") {
+      SASE_ASSIGN_OR_RETURN(uint64_t index, r->U64(0));
+      if (index >= buffers_.size()) {
+        return r->Malformed("buffer index (negation shape)");
+      }
+      buffer = &buffers_[index];
+      target = &buffer->events;
+    } else if (tag == "NP") {
+      if (buffer == nullptr) return r->Malformed("partition outside buffer");
+      SASE_ASSIGN_OR_RETURN(Value key, r->Val(0));
+      auto [it, inserted] = buffer->by_key.try_emplace(std::move(key));
+      if (!inserted) return r->Malformed("duplicate negation partition");
+      target = &it->second;
+    } else if (tag == "NV") {
+      if (target == nullptr) return r->Malformed("candidate outside buffer");
+      SASE_ASSIGN_OR_RETURN(EventPtr event, r->Ev(0));
+      if (event == nullptr) return r->Malformed("null negation candidate");
+      target->push_back(std::move(event));
+    } else if (tag == "ND") {
+      SASE_ASSIGN_OR_RETURN(int64_t release_ts, r->I64(0));
+      Match match;
+      SASE_ASSIGN_OR_RETURN(match.first_ts, r->I64(1));
+      SASE_ASSIGN_OR_RETURN(match.last_ts, r->I64(2));
+      SASE_ASSIGN_OR_RETURN(uint64_t bindings, r->U64(3));
+      if (r->field_count() != 4 + bindings) {
+        return r->Malformed("deferral binding count");
+      }
+      match.bindings.reserve(bindings);
+      for (uint64_t i = 0; i < bindings; ++i) {
+        SASE_ASSIGN_OR_RETURN(EventPtr binding, r->Ev(4 + i));
+        match.bindings.push_back(std::move(binding));
+      }
+      pending_.emplace(release_ts, std::move(match));
+    } else {
+      return r->Malformed("Negation tag");
+    }
+  }
+  if (!r->status().ok()) return r->status();
+  return Status::ParseError("Negation state truncated (no divider)");
 }
 
 void Negation::PruneBuffers(Timestamp now) {

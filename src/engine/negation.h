@@ -7,6 +7,7 @@
 
 #include "engine/function_registry.h"
 #include "engine/operator.h"
+#include "engine/state_codec.h"
 #include "query/analyzer.h"
 
 namespace sase {
@@ -63,6 +64,13 @@ class Negation : public Operator {
   void OnWatermark(Timestamp now);
 
   const Stats& stats() const { return stats_; }
+
+  /// Checkpoint state walker (snapshot v2): writes per-spec candidate
+  /// buffers (plain and key-partitioned) and the parked tail-negation
+  /// deferrals with their full binding vectors, plus counters, as codec
+  /// lines. LoadState consumes lines until the "--" block divider.
+  void SaveState(StateWriter* w) const;
+  Status LoadState(StateReader* r);
 
  private:
   struct Buffer {

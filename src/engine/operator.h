@@ -40,6 +40,13 @@ class Operator {
   uint64_t matches_in() const { return matches_in_; }
   uint64_t matches_out() const { return matches_out_; }
 
+  /// Checkpoint restore: continues the in/out counters of the checkpointed
+  /// operator so plan statistics survive recovery.
+  void RestoreCounters(uint64_t matches_in, uint64_t matches_out) {
+    matches_in_ = matches_in;
+    matches_out_ = matches_out;
+  }
+
  protected:
   void CountIn() { ++matches_in_; }
   void Emit(const Match& match) {

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/string_util.h"
+
 namespace sase {
 
 std::string PlanOptions::ToString() const {
@@ -76,6 +78,69 @@ void QueryPlan::OnWatermark(Timestamp now) { negation_->OnWatermark(now); }
 uint64_t QueryPlan::eval_error_count() const {
   return scan_->stats().eval_errors + selection_->stats().eval_errors +
          negation_->stats().eval_errors + transformation_->stats().eval_errors;
+}
+
+std::string QueryPlan::SaveState() const {
+  std::ostringstream out;
+  StateWriter writer(&out);
+  // Shape guard: NFA structure alone does not pin the query (WITHIN lives
+  // in SequenceScan/WindowFilter, residual predicates in Selection), so
+  // the payload also records the window span and plan options — a payload
+  // can only restore into a plan compiled the same way.
+  writer.Line("NFA") << EscapeField(nfa_.Signature()) << '|'
+                     << query_.window_ticks << '|'
+                     << EscapeField(options_.ToString());
+  writer.EndLine();
+  // Fixed operator order, each block closed by a divider; the event table
+  // (`E` lines) interleaves wherever an event is first referenced.
+  scan_->SaveState(&writer);
+  writer.Line("--");
+  writer.EndLine();
+  negation_->SaveState(&writer);
+  writer.Line("--");
+  writer.EndLine();
+  window_->SaveState(&writer);
+  writer.Line("--");
+  writer.EndLine();
+  selection_->SaveState(&writer);
+  writer.Line("--");
+  writer.EndLine();
+  transformation_->SaveState(&writer);
+  writer.Line("--");
+  writer.EndLine();
+  return out.str();
+}
+
+Status QueryPlan::RestoreState(const std::string& payload) {
+  std::istringstream in(payload);
+  StateReader reader(&in);
+  if (!reader.Next() || reader.tag() != "NFA") {
+    SASE_RETURN_IF_ERROR(reader.status());
+    return Status::ParseError("plan state payload has no NFA signature");
+  }
+  SASE_ASSIGN_OR_RETURN(std::string raw_sig, reader.Raw(0));
+  SASE_ASSIGN_OR_RETURN(std::string signature, UnescapeField(raw_sig));
+  SASE_ASSIGN_OR_RETURN(int64_t window, reader.I64(1));
+  SASE_ASSIGN_OR_RETURN(std::string raw_options, reader.Raw(2));
+  SASE_ASSIGN_OR_RETURN(std::string options, UnescapeField(raw_options));
+  if (signature != nfa_.Signature() || window != query_.window_ticks ||
+      options != options_.ToString()) {
+    return Status::InvalidArgument(
+        "plan state was captured on a differently compiled plan ('" +
+        signature + "' window " + std::to_string(window) + " " + options +
+        " vs '" + nfa_.Signature() + "' window " +
+        std::to_string(query_.window_ticks) + " " + options_.ToString() + ")");
+  }
+  SASE_RETURN_IF_ERROR(scan_->LoadState(&reader));
+  SASE_RETURN_IF_ERROR(negation_->LoadState(&reader));
+  SASE_RETURN_IF_ERROR(window_->LoadState(&reader));
+  SASE_RETURN_IF_ERROR(selection_->LoadState(&reader));
+  SASE_RETURN_IF_ERROR(transformation_->LoadState(&reader));
+  if (reader.Next()) {
+    return Status::ParseError("trailing data after plan state: '" +
+                              reader.tag() + "'");
+  }
+  return reader.status();
 }
 
 std::string QueryPlan::Explain(const Catalog& catalog) const {

@@ -68,6 +68,16 @@ class QueryPlan {
   /// in/out counters.
   std::string Explain(const Catalog& catalog) const;
 
+  /// Serializes the plan's live operator state — active instance stacks,
+  /// negation buffers and parked deferrals, running-aggregate accumulators,
+  /// operator counters — as one snapshot-v2 payload (docs/recovery.md).
+  /// The payload opens with the NFA's structural signature; RestoreState
+  /// refuses a payload whose signature does not match this plan, so state
+  /// can only be restored into a plan compiled from the same query under
+  /// the same options.
+  std::string SaveState() const;
+  Status RestoreState(const std::string& payload);
+
  private:
   AnalyzedQuery query_;
   PlanOptions options_;

@@ -86,6 +86,44 @@ std::vector<QueryEngine::RegisteredQuery> QueryEngine::RegisteredQueries()
   return queries;
 }
 
+Result<std::string> QueryEngine::SerializeState(QueryId id) const {
+  auto it = plans_.find(id);
+  if (it == plans_.end()) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  return it->second.plan->SaveState();
+}
+
+Status QueryEngine::RestoreState(QueryId id, const std::string& payload) {
+  auto it = plans_.find(id);
+  if (it == plans_.end()) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  return it->second.plan->RestoreState(payload);
+}
+
+std::string QueryEngine::SerializeEngineState() const {
+  return "EP " + std::to_string(events_processed_) + "\n";
+}
+
+Status QueryEngine::RestoreEngineState(const std::string& payload) {
+  std::istringstream in(payload);
+  StateReader reader(&in);
+  bool saw_counters = false;
+  while (reader.Next()) {
+    if (reader.tag() != "EP") return reader.Malformed("engine state tag");
+    SASE_ASSIGN_OR_RETURN(events_processed_, reader.U64(0));
+    saw_counters = true;
+  }
+  SASE_RETURN_IF_ERROR(reader.status());
+  if (!saw_counters) {
+    // An EP-less payload would silently leave the counter at zero — the
+    // exact reset the restore completeness checks exist to prevent.
+    return Status::ParseError("engine-state payload carries no EP line");
+  }
+  return Status::Ok();
+}
+
 void QueryEngine::OnEvent(const EventPtr& event) {
   ++events_processed_;
   for (auto& [id, entry] : plans_) {

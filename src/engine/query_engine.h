@@ -109,6 +109,32 @@ class QueryEngine : public EventSink {
   /// Every live query in id (= registration) order.
   std::vector<RegisteredQuery> RegisteredQueries() const;
 
+  // --- direct operator-state serialization (checkpoint snapshot v2) ---
+  //
+  // SerializeState captures one live plan's full operator state (active
+  // instance stacks, negation buffers + parked deferrals, running-aggregate
+  // accumulators, counters) as a text payload; RestoreState loads such a
+  // payload into a freshly registered plan of the same query text and
+  // options — the payload's NFA signature guards against a mismatch. This
+  // lifts the window-replay restriction: aggregates, stateful queries
+  // without WITHIN and serial-engine (hybrid) queries all checkpoint via
+  // these instead of refusing (see docs/recovery.md).
+
+  /// Serialized operator state of query `id`; NotFound for unknown ids.
+  Result<std::string> SerializeState(QueryId id) const;
+
+  /// Restores a SerializeState payload into query `id`'s plan, replacing
+  /// its operator state wholesale. No partial restore: on any decode or
+  /// shape error the engine is left unusable for `id` only if the payload
+  /// matched its NFA signature — callers treat any error as fatal to the
+  /// recovery attempt.
+  Status RestoreState(QueryId id, const std::string& payload);
+
+  /// Engine-level counters as a payload (events_processed), and their
+  /// restore — keeps Stats()/StatsReport() continuous across recovery.
+  std::string SerializeEngineState() const;
+  Status RestoreEngineState(const std::string& payload);
+
   /// Advances stream time on every default-stream plan without delivering
   /// an event; releases tail-negation deferrals (see Negation::OnWatermark).
   void OnWatermark(Timestamp now);

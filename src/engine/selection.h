@@ -5,6 +5,7 @@
 
 #include "engine/function_registry.h"
 #include "engine/operator.h"
+#include "engine/state_codec.h"
 #include "query/expr.h"
 
 namespace sase {
@@ -27,6 +28,26 @@ class Selection : public Operator {
 
   const Stats& stats() const { return stats_; }
   size_t predicate_count() const { return predicates_.size(); }
+
+  /// Checkpoint state walker (snapshot v2): Selection holds no cross-event
+  /// state, only counters. LoadState consumes until the "--" divider.
+  void SaveState(StateWriter* w) const {
+    w->Line("LS") << matches_in() << '|' << matches_out() << '|'
+                  << stats_.eval_errors;
+    w->EndLine();
+  }
+  Status LoadState(StateReader* r) {
+    while (r->Next()) {
+      if (r->tag() == "--") return Status::Ok();
+      if (r->tag() != "LS") return r->Malformed("Selection tag");
+      SASE_ASSIGN_OR_RETURN(uint64_t in, r->U64(0));
+      SASE_ASSIGN_OR_RETURN(uint64_t out, r->U64(1));
+      SASE_ASSIGN_OR_RETURN(stats_.eval_errors, r->U64(2));
+      RestoreCounters(in, out);
+    }
+    if (!r->status().ok()) return r->status();
+    return Status::ParseError("Selection state truncated (no divider)");
+  }
 
  private:
   std::vector<ExprPtr> predicates_;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/value_codec.h"
 
 namespace sase {
 
@@ -191,6 +192,102 @@ uint64_t SequenceScan::PruneStacks(Partition* partition, Timestamp lower_bound) 
   }
   stats_.instances_alive -= pruned;
   return pruned;
+}
+
+void SequenceScan::SaveState(StateWriter* w) const {
+  w->Line("SS") << stats_.events_seen << '|' << stats_.instances_pushed << '|'
+                << stats_.instances_pruned << '|' << stats_.matches_emitted
+                << '|' << stats_.partitions_created << '|'
+                << stats_.instances_alive << '|' << stats_.peak_instances
+                << '|' << stats_.eval_errors;
+  w->EndLine();
+  w->Line("SC") << matches_in() << '|' << matches_out();
+  w->EndLine();
+  auto save_partition = [&](const std::string& key, const Partition& part) {
+    w->Line("SP") << key << '|' << part.stacks.size();
+    w->EndLine();
+    for (const Stack& stack : part.stacks) {
+      w->Line("SK") << stack.base << '|' << stack.items.size();
+      w->EndLine();
+      for (const Instance& inst : stack.items) {
+        // Ref before Line: a first reference emits the event-table line.
+        std::string ref = w->Ref(inst.event);
+        w->Line("SI") << ref << '|' << inst.prev_abs;
+        w->EndLine();
+      }
+    }
+  };
+  save_partition("-", unpartitioned_);
+  for (const auto& [key, part] : partitions_) {
+    save_partition(EncodeValue(key), part);
+  }
+}
+
+Status SequenceScan::LoadState(StateReader* r) {
+  unpartitioned_ = Partition{};
+  unpartitioned_.stacks.resize(nfa_->edge_count());
+  partitions_.clear();
+  events_since_sweep_ = 0;
+  Partition* part = nullptr;
+  size_t next_stack = 0;
+  Stack* stack = nullptr;
+  while (r->Next()) {
+    const std::string& tag = r->tag();
+    if (tag == "--") return Status::Ok();
+    if (tag == "SS") {
+      if (r->field_count() != 8) return r->Malformed("SequenceScan stats");
+      SASE_ASSIGN_OR_RETURN(stats_.events_seen, r->U64(0));
+      SASE_ASSIGN_OR_RETURN(stats_.instances_pushed, r->U64(1));
+      SASE_ASSIGN_OR_RETURN(stats_.instances_pruned, r->U64(2));
+      SASE_ASSIGN_OR_RETURN(stats_.matches_emitted, r->U64(3));
+      SASE_ASSIGN_OR_RETURN(stats_.partitions_created, r->U64(4));
+      SASE_ASSIGN_OR_RETURN(stats_.instances_alive, r->U64(5));
+      SASE_ASSIGN_OR_RETURN(stats_.peak_instances, r->U64(6));
+      SASE_ASSIGN_OR_RETURN(stats_.eval_errors, r->U64(7));
+    } else if (tag == "SC") {
+      SASE_ASSIGN_OR_RETURN(uint64_t in, r->U64(0));
+      SASE_ASSIGN_OR_RETURN(uint64_t out, r->U64(1));
+      RestoreCounters(in, out);
+    } else if (tag == "SP") {
+      SASE_ASSIGN_OR_RETURN(std::string key, r->Raw(0));
+      SASE_ASSIGN_OR_RETURN(uint64_t stacks, r->U64(1));
+      if (stacks != nfa_->edge_count()) {
+        return r->Malformed("stack count (NFA shape)");
+      }
+      if (key == "-") {
+        part = &unpartitioned_;
+      } else {
+        SASE_ASSIGN_OR_RETURN(Value value, r->Val(0));
+        auto [it, inserted] = partitions_.try_emplace(std::move(value));
+        if (!inserted) return r->Malformed("duplicate partition");
+        part = &it->second;
+        part->stacks.resize(nfa_->edge_count());
+      }
+      next_stack = 0;
+      stack = nullptr;
+    } else if (tag == "SK") {
+      if (part == nullptr || next_stack >= part->stacks.size()) {
+        return r->Malformed("stack outside partition");
+      }
+      stack = &part->stacks[next_stack++];
+      SASE_ASSIGN_OR_RETURN(stack->base, r->U64(0));
+      SASE_ASSIGN_OR_RETURN(uint64_t items, r->U64(1));
+      stack->items.clear();
+      // The count is advisory (instances arrive as SI lines); clamp the
+      // reserve so a corrupt payload cannot force an allocation abort.
+      stack->items.reserve(std::min<uint64_t>(items, 4096));
+    } else if (tag == "SI") {
+      if (stack == nullptr) return r->Malformed("instance outside stack");
+      SASE_ASSIGN_OR_RETURN(EventPtr event, r->Ev(0));
+      SASE_ASSIGN_OR_RETURN(uint64_t prev, r->U64(1));
+      if (event == nullptr) return r->Malformed("null stack instance");
+      stack->items.push_back(Instance{std::move(event), prev});
+    } else {
+      return r->Malformed("SequenceScan tag");
+    }
+  }
+  if (!r->status().ok()) return r->status();
+  return Status::ParseError("SequenceScan state truncated (no divider)");
 }
 
 void SequenceScan::SweepPartitions(Timestamp now) {

@@ -7,6 +7,7 @@
 
 #include "engine/function_registry.h"
 #include "engine/operator.h"
+#include "engine/state_codec.h"
 #include "nfa/nfa.h"
 
 namespace sase {
@@ -65,6 +66,15 @@ class SequenceScan : public Operator {
   void OnMatch(const Match& match) override;  // pass-through (source operator)
 
   const Stats& stats() const { return stats_; }
+
+  /// Checkpoint state walker (snapshot v2): writes every partition's active
+  /// instance stacks — bases, events, back-pointers — plus counters, as
+  /// codec lines. LoadState consumes lines until the "--" block divider,
+  /// replacing the operator's state wholesale; the hosting plan must have
+  /// been compiled from the same query/options (validated via the NFA
+  /// signature at the plan level).
+  void SaveState(StateWriter* w) const;
+  Status LoadState(StateReader* r);
 
  private:
   // An accepted event at some NFA state. `prev_abs` is the absolute index

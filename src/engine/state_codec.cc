@@ -1,0 +1,129 @@
+#include "engine/state_codec.h"
+
+#include <cstdlib>
+#include <ostream>
+#include <istream>
+
+#include "util/string_util.h"
+#include "util/value_codec.h"
+
+namespace sase {
+
+/// Next()-local variant of SASE_ASSIGN_OR_RETURN: a decode failure poisons
+/// the reader (status_) and ends iteration instead of returning a Status.
+#define SASE_ASSIGN_OR_RETURN_FALSE(lhs, rexpr)                      \
+  auto SASE_STATUS_CONCAT_(_sase_result_, __LINE__) = (rexpr);       \
+  if (!SASE_STATUS_CONCAT_(_sase_result_, __LINE__).ok()) {          \
+    status_ = SASE_STATUS_CONCAT_(_sase_result_, __LINE__).status(); \
+    return false;                                                    \
+  }                                                                  \
+  lhs = std::move(SASE_STATUS_CONCAT_(_sase_result_, __LINE__)).value()
+
+std::ostream& StateWriter::Line(const char* tag) {
+  *out_ << tag << ' ';
+  return *out_;
+}
+
+void StateWriter::EndLine() { *out_ << '\n'; }
+
+std::string StateWriter::Ref(const EventPtr& event) {
+  if (event == nullptr) return "~";
+  auto [it, inserted] = refs_.emplace(event.get(), refs_.size());
+  if (inserted) {
+    std::ostream& out = Line("E");
+    out << event->type() << '|' << event->timestamp() << '|' << event->seq()
+        << '|' << event->attribute_count();
+    for (size_t i = 0; i < event->attribute_count(); ++i) {
+      out << '|' << EncodeValue(event->attribute(static_cast<AttrIndex>(i)));
+    }
+    EndLine();
+  }
+  return std::to_string(it->second);
+}
+
+bool StateReader::Next() {
+  while (std::getline(*in_, line_)) {
+    if (line_.empty()) continue;
+    size_t space = line_.find(' ');
+    tag_ = line_.substr(0, space);
+    fields_ = space == std::string::npos
+                  ? std::vector<std::string>{}
+                  : Split(line_.substr(space + 1), '|');
+    if (tag_ != "E") return true;
+
+    // Event-table line: decode and append; malformed tables poison the
+    // reader (the caller sees EOF and a non-OK status()).
+    if (fields_.size() < 4) {
+      status_ = Malformed("event table");
+      return false;
+    }
+    SASE_ASSIGN_OR_RETURN_FALSE(uint64_t type, U64(0));
+    SASE_ASSIGN_OR_RETURN_FALSE(int64_t ts, I64(1));
+    SASE_ASSIGN_OR_RETURN_FALSE(uint64_t seq, U64(2));
+    SASE_ASSIGN_OR_RETURN_FALSE(uint64_t count, U64(3));
+    if (fields_.size() != 4 + count) {
+      status_ = Malformed("event table (value count)");
+      return false;
+    }
+    std::vector<Value> values;
+    values.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      SASE_ASSIGN_OR_RETURN_FALSE(Value value, Val(4 + i));
+      values.push_back(std::move(value));
+    }
+    events_.push_back(std::make_shared<Event>(static_cast<EventTypeId>(type),
+                                              ts, seq, std::move(values)));
+  }
+  return false;
+}
+
+Status StateReader::Field(size_t i, const std::string** out) const {
+  if (i >= fields_.size()) return Malformed("field count");
+  *out = &fields_[i];
+  return Status::Ok();
+}
+
+Result<uint64_t> StateReader::U64(size_t i) const {
+  const std::string* field = nullptr;
+  SASE_RETURN_IF_ERROR(Field(i, &field));
+  auto value = ParseU64(*field);
+  if (!value.ok()) return Malformed("number");
+  return value;
+}
+
+Result<int64_t> StateReader::I64(size_t i) const {
+  const std::string* field = nullptr;
+  SASE_RETURN_IF_ERROR(Field(i, &field));
+  auto value = ParseI64(*field);
+  if (!value.ok()) return Malformed("number");
+  return value;
+}
+
+Result<Value> StateReader::Val(size_t i) const {
+  const std::string* field = nullptr;
+  SASE_RETURN_IF_ERROR(Field(i, &field));
+  return DecodeValue(*field);
+}
+
+Result<EventPtr> StateReader::Ev(size_t i) const {
+  const std::string* field = nullptr;
+  SASE_RETURN_IF_ERROR(Field(i, &field));
+  if (*field == "~") return EventPtr();
+  auto index = ParseU64(*field);
+  if (!index.ok() || index.value() >= events_.size()) {
+    return Malformed("event reference");
+  }
+  return events_[index.value()];
+}
+
+Result<std::string> StateReader::Raw(size_t i) const {
+  const std::string* field = nullptr;
+  SASE_RETURN_IF_ERROR(Field(i, &field));
+  return *field;
+}
+
+Status StateReader::Malformed(const std::string& what) const {
+  return Status::ParseError("bad " + what + " in state line: '" + line_ + "'");
+}
+
+}  // namespace sase

@@ -1,6 +1,7 @@
 #include "engine/transformation.h"
 
 #include "util/logging.h"
+#include "util/value_codec.h"
 
 namespace sase {
 namespace {
@@ -169,6 +170,60 @@ Result<Value> Transformation::EvalItem(const Expr& expr, const EvalContext& ctx)
     default:
       return expr.Eval(ctx);
   }
+}
+
+void Transformation::SaveState(StateWriter* w) const {
+  w->Line("TS") << stats_.records_emitted << '|' << stats_.eval_errors;
+  w->EndLine();
+  w->Line("TC") << matches_in() << '|' << matches_out();
+  w->EndLine();
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    const AggregateState& state = aggregates_[i];
+    // The double accumulator rides as a Value: EncodeValue writes 17
+    // significant digits, so SUM/AVG continue bit-exact after recovery.
+    w->Line("TA") << i << '|' << state.count << '|'
+                  << EncodeValue(Value(state.sum)) << '|'
+                  << (state.all_int ? 1 : 0) << '|' << state.int_sum << '|'
+                  << EncodeValue(state.min) << '|' << EncodeValue(state.max);
+    w->EndLine();
+  }
+}
+
+Status Transformation::LoadState(StateReader* r) {
+  while (r->Next()) {
+    const std::string& tag = r->tag();
+    if (tag == "--") return Status::Ok();
+    if (tag == "TS") {
+      SASE_ASSIGN_OR_RETURN(stats_.records_emitted, r->U64(0));
+      SASE_ASSIGN_OR_RETURN(stats_.eval_errors, r->U64(1));
+    } else if (tag == "TC") {
+      SASE_ASSIGN_OR_RETURN(uint64_t in, r->U64(0));
+      SASE_ASSIGN_OR_RETURN(uint64_t out, r->U64(1));
+      RestoreCounters(in, out);
+    } else if (tag == "TA") {
+      if (r->field_count() != 7) return r->Malformed("aggregate state");
+      SASE_ASSIGN_OR_RETURN(uint64_t index, r->U64(0));
+      if (index >= aggregates_.size()) {
+        return r->Malformed("aggregate index (RETURN shape)");
+      }
+      AggregateState& state = aggregates_[index];
+      SASE_ASSIGN_OR_RETURN(state.count, r->I64(1));
+      SASE_ASSIGN_OR_RETURN(Value sum, r->Val(2));
+      if (sum.type() != ValueType::kDouble) {
+        return r->Malformed("aggregate sum");
+      }
+      state.sum = sum.AsDouble();
+      SASE_ASSIGN_OR_RETURN(uint64_t all_int, r->U64(3));
+      state.all_int = all_int != 0;
+      SASE_ASSIGN_OR_RETURN(state.int_sum, r->I64(4));
+      SASE_ASSIGN_OR_RETURN(state.min, r->Val(5));
+      SASE_ASSIGN_OR_RETURN(state.max, r->Val(6));
+    } else {
+      return r->Malformed("Transformation tag");
+    }
+  }
+  if (!r->status().ok()) return r->status();
+  return Status::ParseError("Transformation state truncated (no divider)");
 }
 
 void Transformation::OnMatch(const Match& match) {

@@ -7,6 +7,7 @@
 #include "core/catalog.h"
 #include "engine/function_registry.h"
 #include "engine/operator.h"
+#include "engine/state_codec.h"
 #include "query/analyzer.h"
 
 namespace sase {
@@ -40,6 +41,13 @@ class Transformation : public Operator {
   void OnMatch(const Match& match) override;
 
   const Stats& stats() const { return stats_; }
+
+  /// Checkpoint state walker (snapshot v2): writes the running-aggregate
+  /// fold accumulators (COUNT/SUM/AVG/MIN/MAX state, by collection index —
+  /// the same query text collects the same AggregateExpr pre-order) plus
+  /// counters. LoadState consumes lines until the "--" block divider.
+  void SaveState(StateWriter* w) const;
+  Status LoadState(StateReader* r);
 
  private:
   struct AggregateState {

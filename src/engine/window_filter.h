@@ -2,6 +2,7 @@
 #define SASE_ENGINE_WINDOW_FILTER_H_
 
 #include "engine/operator.h"
+#include "engine/state_codec.h"
 #include "util/time_util.h"
 
 namespace sase {
@@ -27,6 +28,24 @@ class WindowFilter : public Operator {
   }
 
   Ticks window() const { return window_; }
+
+  /// Checkpoint state walker (snapshot v2): stateless apart from counters.
+  /// LoadState consumes until the "--" divider.
+  void SaveState(StateWriter* w) const {
+    w->Line("WC") << matches_in() << '|' << matches_out();
+    w->EndLine();
+  }
+  Status LoadState(StateReader* r) {
+    while (r->Next()) {
+      if (r->tag() == "--") return Status::Ok();
+      if (r->tag() != "WC") return r->Malformed("WindowFilter tag");
+      SASE_ASSIGN_OR_RETURN(uint64_t in, r->U64(0));
+      SASE_ASSIGN_OR_RETURN(uint64_t out, r->U64(1));
+      RestoreCounters(in, out);
+    }
+    if (!r->status().ok()) return r->status();
+    return Status::ParseError("WindowFilter state truncated (no divider)");
+  }
 
  private:
   Ticks window_;

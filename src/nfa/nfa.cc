@@ -60,4 +60,14 @@ std::string Nfa::ToString(const Catalog& catalog) const {
   return out.str();
 }
 
+std::string Nfa::Signature() const {
+  std::ostringstream out;
+  out << (partitioned_ ? "P" : "U");
+  for (const NfaEdge& edge : edges_) {
+    out << ";" << edge.type << ":" << edge.slot << ":" << edge.partition_attr
+        << ":" << edge.filters.size();
+  }
+  return out.str();
+}
+
 }  // namespace sase

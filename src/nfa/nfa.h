@@ -52,6 +52,15 @@ class Nfa {
   /// Graphviz-ish rendering for explain output and tests.
   std::string ToString(const Catalog& catalog) const;
 
+  /// Compact structural fingerprint: edge types, binding slots, partition
+  /// attributes, per-edge filter counts and the partitioned flag. Two plans
+  /// compiled from the same analyzed query under the same options share a
+  /// signature. The checkpoint subsystem stamps serialized operator state
+  /// with it and refuses to restore a section into a differently shaped
+  /// automaton (the stack layout is positional, so a mismatch would corrupt
+  /// silently instead of failing loudly).
+  std::string Signature() const;
+
  private:
   std::vector<NfaEdge> edges_;
   bool partitioned_ = false;

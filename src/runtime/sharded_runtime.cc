@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <set>
 #include <sstream>
 
 #include "query/analyzer.h"
@@ -115,7 +116,6 @@ Result<ShardedRuntime::QueryEntry> ShardedRuntime::AnalyzeEntry(
   entry.window_ticks = analyzed.value().window_ticks;
   entry.stateful = analyzed.value().positive_slots.size() > 1 ||
                    !analyzed.value().negations.empty();
-  entry.has_aggregates = analyzed.value().has_aggregates;
   return entry;
 }
 
@@ -143,14 +143,11 @@ Status ShardedRuntime::InstallQuery(QueryId id, QueryEntry entry) {
     ++hosts.broadcast;
     if (entry.stateful) {
       ++hosts.broadcast_stateful;
-      if (entry.window_ticks < 0) {
-        ++unbounded_broadcast_;
-      } else if (config_.retain_for_checkpoint) {
+      if (entry.window_ticks >= 0 && config_.retain_for_checkpoint) {
         hosts.max_window = std::max(hosts.max_window, entry.window_ticks);
       }
     }
   }
-  if (entry.has_aggregates) ++aggregate_queries_;
   queries_.emplace(id, std::move(entry));
   next_id_ = std::max(next_id_, id + 1);
   return Status::Ok();
@@ -216,12 +213,8 @@ void ShardedRuntime::DropQuery(std::map<QueryId, QueryEntry>::iterator it) {
   } else {
     --broadcast_queries_;
     --hosts.broadcast;
-    if (it->second.stateful) {
-      --hosts.broadcast_stateful;
-      if (it->second.window_ticks < 0) --unbounded_broadcast_;
-    }
+    if (it->second.stateful) --hosts.broadcast_stateful;
   }
-  if (it->second.has_aggregates) --aggregate_queries_;
   queries_.erase(it);
   RecomputeStreamWindows();
   PruneReplayAll();  // retention windows may have shrunk or vanished
@@ -436,31 +429,11 @@ Result<ShardedRuntime::CheckpointState> ShardedRuntime::ExportCheckpoint() {
     return Status::FailedPrecondition(
         "cannot checkpoint during a Resize: the shard layout is mid-change");
   }
-  if (unbounded_sharded_ > 0 || unbounded_broadcast_ > 0) {
-    return Status::FailedPrecondition(
-        "cannot checkpoint: a stateful query has no WITHIN window, so no "
-        "finite replay window can rebuild its state");
-  }
-  if (aggregate_queries_ > 0) {
-    return Status::FailedPrecondition(
-        "cannot checkpoint: a query carries running aggregate state, which "
-        "is not window-replayable");
-  }
-  if (!config_.retain_for_checkpoint) {
-    for (const auto& [id, entry] : queries_) {
-      if (!entry.sharded && entry.stateful) {
-        return Status::FailedPrecondition(
-            "cannot checkpoint: broadcast-hosted stateful query " +
-            std::to_string(id) +
-            " exists but the runtime was constructed without "
-            "retain_for_checkpoint, so its window was not retained");
-      }
-    }
-  }
 
   // Quiesce: after WaitIdle every in-flight batch is drained and all
   // merge-safe output is delivered, so the only live state is in the
-  // engines — and that is exactly what the window replay recipe rebuilds.
+  // engines — which is serialized directly below (snapshot v2); no
+  // window-replayability precondition remains.
   WaitIdle();
 
   CheckpointState state;
@@ -483,6 +456,32 @@ Result<ShardedRuntime::CheckpointState> ShardedRuntime::ExportCheckpoint() {
       state.window.push_back(CheckpointState::WindowEvent{s, entry.global,
                                                           entry.event});
     }
+  }
+
+  // Direct operator-state serialization: one payload per query per hosting
+  // engine (a sharded query has a plan instance in every shard engine),
+  // plus each engine's own counters. The workers are parked on their rings
+  // after WaitIdle, so reading the engines here is race-free.
+  state.has_engine_state = true;
+  for (const auto& [id, entry] : queries_) {
+    if (entry.sharded) {
+      for (int s = 0; s < config_.shard_count; ++s) {
+        auto payload =
+            workers_[static_cast<size_t>(s)]->engine->SerializeState(id);
+        if (!payload.ok()) return payload.status();
+        state.plan_states.push_back(
+            CheckpointState::PlanState{s, id, std::move(payload).value()});
+      }
+    } else {
+      auto payload = broadcast_worker().engine->SerializeState(id);
+      if (!payload.ok()) return payload.status();
+      state.plan_states.push_back(CheckpointState::PlanState{
+          broadcast_index(), id, std::move(payload).value()});
+    }
+  }
+  for (const auto& worker : workers_) {
+    state.plan_states.push_back(CheckpointState::PlanState{
+        worker->index, 0, worker->engine->SerializeEngineState()});
   }
   return state;
 }
@@ -518,12 +517,8 @@ Status ShardedRuntime::RestoreCheckpoint(const CheckpointState& state,
     stream_queries_.resize(partitioner_.streams().size());
   }
 
-  // Replay the in-flight window in original dispatch order (k-way merge of
-  // the per-stream runs by global index), re-registering each query between
-  // the same two events it was originally registered between. This is the
-  // Resize replay generalized to a fresh broadcast engine: the replay
-  // output is discarded below, and the muted clock broadcast re-parks
-  // deferrals whose release was already delivered before the checkpoint.
+  // Checkpointed queries in id (= registration) order; ids are handed out
+  // monotonically, so registered_at is non-decreasing along this order.
   std::vector<const CheckpointState::Query*> queries;
   queries.reserve(state.queries.size());
   for (const CheckpointState::Query& query : state.queries) {
@@ -548,6 +543,90 @@ Status ShardedRuntime::RestoreCheckpoint(const CheckpointState& state,
     return Status::Ok();
   };
 
+  if (state.has_engine_state) {
+    // Snapshot v2: direct operator-state restore. Register everything, load
+    // each hosting engine's serialized state wholesale, and refill the
+    // resize replay buffer from the window events. No muted replay and no
+    // watermark re-silencing: the restored engines hold exactly the stacks,
+    // negation buffers, parked deferrals and aggregate accumulators the
+    // checkpointed engines held at the quiesce point.
+    SASE_RETURN_IF_ERROR(
+        register_up_to(std::numeric_limits<uint64_t>::max()));
+    std::set<std::pair<int, QueryId>> restored;
+    for (const CheckpointState::PlanState& plan : state.plan_states) {
+      if (plan.worker < 0 ||
+          static_cast<size_t>(plan.worker) >= workers_.size()) {
+        return Status::InvalidArgument(
+            "engine-state payload references worker " +
+            std::to_string(plan.worker) + " of a " +
+            std::to_string(config_.shard_count) + "-shard runtime");
+      }
+      QueryEngine& engine = *workers_[static_cast<size_t>(plan.worker)]->engine;
+      Status loaded = plan.query == 0
+                          ? engine.RestoreEngineState(plan.data)
+                          : engine.RestoreState(plan.query, plan.data);
+      if (!loaded.ok()) {
+        return Status::InvalidArgument(
+            "cannot restore engine state of query #" +
+            std::to_string(plan.query) + " on worker " +
+            std::to_string(plan.worker) + ": " + loaded.ToString());
+      }
+      restored.emplace(plan.worker, plan.query);
+    }
+    // Completeness: every registered query must have received a payload on
+    // every engine hosting it. A payload silently missing (lost section,
+    // corrupted kind field) would otherwise restore the query with empty
+    // operator state — exactly the state loss checkpoints exist to prevent.
+    for (const auto& [id, entry] : queries_) {
+      if (entry.sharded) {
+        for (int s = 0; s < config_.shard_count; ++s) {
+          if (restored.count({s, id}) == 0) {
+            return Status::InvalidArgument(
+                "snapshot carries no engine-state payload for query #" +
+                std::to_string(id) + " on shard " + std::to_string(s));
+          }
+        }
+      } else if (restored.count({broadcast_index(), id}) == 0) {
+        return Status::InvalidArgument(
+            "snapshot carries no engine-state payload for query #" +
+            std::to_string(id) + " on the broadcast engine");
+      }
+    }
+    // Likewise each worker's engine-counter payload (query id 0): losing
+    // one would silently reset events_processed_ and break the stats
+    // continuity the checkpoint guarantees. Only enforced when the state
+    // carries runtime payloads at all — a snapshot taken by a runtime-less
+    // (serial-only) system legitimately has none.
+    if (!state.plan_states.empty()) {
+      for (const auto& worker : workers_) {
+        if (restored.count({worker->index, 0}) == 0) {
+          return Status::InvalidArgument(
+              "snapshot carries no engine-counter payload for worker " +
+              std::to_string(worker->index));
+        }
+      }
+    }
+    for (const CheckpointState::WindowEvent& entry : state.window) {
+      if (entry.stream >= partitioner_.streams().size()) {
+        return Status::InvalidArgument(
+            "window event references unknown stream");
+      }
+      if (replay_.size() <= entry.stream) {
+        replay_.resize(static_cast<size_t>(entry.stream) + 1);
+      }
+      replay_[entry.stream].push_back(ReplayEntry{entry.global, entry.event});
+      ++replay_len_;
+    }
+    return FinishRestore(state);
+  }
+
+  // v1 snapshot: no serialized engine state — rebuild by muted replay of
+  // the in-flight window in original dispatch order (k-way merge of the
+  // per-stream runs by global index), re-registering each query between the
+  // same two events it was originally registered between. This is the
+  // Resize replay generalized to a fresh broadcast engine: the replay
+  // output is discarded below, and the muted clock broadcast re-parks
+  // deferrals whose release was already delivered before the checkpoint.
   std::vector<size_t> pos(partitioner_.streams().size(), 0);
   std::vector<std::vector<const CheckpointState::WindowEvent*>> runs(
       partitioner_.streams().size());
@@ -619,6 +698,10 @@ Status ShardedRuntime::RestoreCheckpoint(const CheckpointState& state,
     worker->arrival_counter = 0;
   }
 
+  return FinishRestore(state);
+}
+
+Status ShardedRuntime::FinishRestore(const CheckpointState& state) {
   // Continue the crashed process's dispatch clock so checkpointed positions
   // (registration points, window globals) compare directly with indices
   // issued from here on.

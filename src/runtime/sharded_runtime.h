@@ -159,11 +159,25 @@ class ShardedRuntime : public EventSink {
 
   /// Serialized-state view of the runtime at a quiesce point — what a
   /// durable checkpoint persists and what a cross-process handoff would put
-  /// on the wire. Engine state is NOT serialized: the engines' replay
-  /// contract (see QueryEngine::OnEvents) makes <queries at their original
-  /// registration positions> + <in-flight window events> an exact recipe
-  /// for rebuilding it, which is how RestoreCheckpoint proceeds.
+  /// on the wire. Since snapshot v2 the engines' operator state is
+  /// serialized directly (`plan_states`, one payload per query per hosting
+  /// engine, via QueryEngine::SerializeState): RestoreCheckpoint rebuilds
+  /// each engine from its payloads instead of replaying the in-flight
+  /// window, which lifts the old window-replayability restrictions
+  /// (aggregates, stateful queries without WITHIN). The window events still
+  /// ride along — they refill the resize replay buffer, and they remain the
+  /// rebuild recipe for v1 snapshots (`has_engine_state == false`), whose
+  /// muted-replay restore path is kept for backward compatibility.
   struct CheckpointState {
+    /// One QueryEngine::SerializeState payload: the operator state of
+    /// query `query` on worker `worker` (shards 0..N-1, broadcast == N).
+    /// `query == 0` carries the worker engine's own counters
+    /// (QueryEngine::SerializeEngineState).
+    struct PlanState {
+      int worker = 0;
+      QueryId query = 0;
+      std::string data;
+    };
     struct Query {
       QueryId id = 0;
       std::string text;
@@ -190,19 +204,20 @@ class ShardedRuntime : public EventSink {
     std::vector<Query> queries;   // id (= registration) order
     std::vector<Stream> streams;  // StreamId order
     std::vector<WindowEvent> window;
+    /// Direct operator-state payloads (snapshot v2). False/empty when the
+    /// state was read from a v1 snapshot — restore then falls back to
+    /// muted window replay.
+    bool has_engine_state = false;
+    std::vector<PlanState> plan_states;
   };
 
   /// Captures the runtime's checkpoint state at a quiesce point (WaitIdle:
-  /// every in-flight batch drained, all merge-safe output delivered).
-  /// Refuses with kFailedPrecondition when
-  ///   - called from inside a Resize (a callback fired at the resize
-  ///     quiesce point — the layout is mid-change),
-  ///   - a stateful query has no WITHIN window, or a query carries running
-  ///     aggregate state (either makes engine state depend on the whole
-  ///     stream, so no finite window replay can rebuild it), or
-  ///   - broadcast-hosted stateful queries exist but the runtime was
-  ///     constructed without RuntimeConfig::retain_for_checkpoint (their
-  ///     windows were not retained).
+  /// every in-flight batch drained, all merge-safe output delivered),
+  /// including every hosting engine's serialized operator state. The only
+  /// refusal left is kFailedPrecondition from inside a Resize (a callback
+  /// fired at the resize quiesce point — the layout is mid-change): with
+  /// direct state serialization, aggregates, WITHIN-less stateful queries
+  /// and broadcast-hosted state all checkpoint.
   Result<CheckpointState> ExportCheckpoint();
 
   /// Maps a checkpointed QueryId to the output callback its restored query
@@ -212,13 +227,21 @@ class ShardedRuntime : public EventSink {
   /// Rebuilds checkpointed state into this runtime (recovery bootstrap).
   /// The runtime must be freshly constructed, with the same shard count and
   /// partition key the state was captured under. Restores the per-stream
-  /// dispatch stamps, then deterministically replays the in-flight window —
-  /// query registrations interleaved at their original dispatch positions —
-  /// into the fresh shard AND broadcast engines, discarding the replay
-  /// output and re-silencing already-released deferrals exactly like a
-  /// Resize replay. The global dispatch clock continues from the
-  /// checkpoint, so positions recorded before the crash stay comparable
-  /// with indices issued after recovery.
+  /// dispatch stamps and re-registers every query at its original
+  /// registration position, then:
+  ///   - v2 state (`has_engine_state`): loads each hosting engine's
+  ///     serialized operator state directly (QueryEngine::RestoreState) and
+  ///     refills the resize replay buffer from the window events — no
+  ///     replay, no watermark re-silencing; the engines resume holding
+  ///     exactly the stacks, buffers, parked deferrals and aggregate
+  ///     accumulators the checkpointed engines held;
+  ///   - v1 state: deterministically replays the in-flight window with
+  ///     registrations interleaved at their original dispatch positions,
+  ///     discarding the replay output and re-silencing already-released
+  ///     deferrals exactly like a Resize replay.
+  /// Either way the global dispatch clock continues from the checkpoint, so
+  /// positions recorded before the crash stay comparable with indices
+  /// issued after recovery.
   Status RestoreCheckpoint(const CheckpointState& state,
                            const CallbackResolver& callbacks);
 
@@ -355,9 +378,6 @@ class ShardedRuntime : public EventSink {
     /// these bound the replay window a resize needs.
     Ticks window_ticks = -1;
     bool stateful = false;
-    /// RETURN-clause aggregates fold running state over the whole stream —
-    /// never window-replayable, so such queries block ExportCheckpoint.
-    bool has_aggregates = false;
   };
 
   /// Registered-query counts per input stream; events of a stream nobody
@@ -437,6 +457,9 @@ class ShardedRuntime : public EventSink {
   /// Registers sharded query `id` into every shard engine (fresh capture
   /// callbacks); shared by Register and resize replay.
   Status RegisterIntoShards(QueryId id, const QueryEntry& entry);
+  /// Shared tail of RestoreCheckpoint's direct (v2) and replay (v1) paths:
+  /// continues the dispatch clock and restarts the worker threads.
+  Status FinishRestore(const CheckpointState& state);
   /// Drops a query's bookkeeping (counters, per-stream windows, replay
   /// retention) and erases it; shared by Unregister and the resize replay's
   /// failed-re-registration path. Does NOT touch the engines.
@@ -464,13 +487,9 @@ class ShardedRuntime : public EventSink {
   size_t sharded_queries_ = 0;
   size_t broadcast_queries_ = 0;
   /// Sharded stateful queries with no WITHIN bound: while > 0 a resize has
-  /// no finite replay window and Resize refuses.
+  /// no finite replay window and Resize refuses. (Checkpointing has no such
+  /// restriction since snapshot v2: engine state is serialized directly.)
   size_t unbounded_sharded_ = 0;
-  /// Broadcast stateful queries with no WITHIN bound and queries with
-  /// running aggregates: either blocks ExportCheckpoint (no finite window
-  /// rebuilds their engine state), though neither affects Resize.
-  size_t unbounded_broadcast_ = 0;
-  size_t aggregate_queries_ = 0;
   /// True for the duration of a Resize; callbacks fired at the resize
   /// quiesce point see it and ExportCheckpoint refuses.
   bool resizing_ = false;

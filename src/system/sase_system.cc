@@ -1,6 +1,7 @@
 #include "system/sase_system.h"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "checkpoint/journal.h"
@@ -8,6 +9,7 @@
 #include "query/analyzer.h"
 #include "query/parser.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace sase {
 namespace {
@@ -85,34 +87,38 @@ class RawEventArchiver : public EventSink {
   db::Table* table_;
 };
 
-/// Serial-engine queries are checkpointable only when their whole state is
-/// the plan itself: stateless single-event, no running aggregates. (Pure
-/// stream queries live on the runtime when checkpointing is enabled; what
-/// remains serial is archiving rules and hybrid database queries.)
-Status CheckSerialQueryReplayable(const Catalog& catalog,
-                                  const TimeConfig& time_config, QueryId id,
-                                  const std::string& text) {
-  if (text.empty()) {
-    return Status::FailedPrecondition(
-        "serial query #" + std::to_string(id) +
-        " was registered from a pre-parsed AST; its text cannot be "
-        "checkpointed");
+/// Hosting-engine name for a runtime worker in the snapshot's engine-state
+/// sections, and its inverse (recovery). The serial engine is "serial".
+std::string RuntimeHostName(int worker, int shard_count) {
+  return worker == shard_count ? "broadcast" : "shard-" + std::to_string(worker);
+}
+
+Result<int> RuntimeWorkerFromHost(const std::string& host, int shard_count) {
+  if (host == "broadcast") return shard_count;
+  if (StartsWith(host, "shard-")) {
+    auto shard = ParseU64(host.substr(6));
+    if (shard.ok() && shard.value() < static_cast<uint64_t>(shard_count)) {
+      return static_cast<int>(shard.value());
+    }
   }
-  auto parsed = Parser::Parse(text);
-  if (!parsed.ok()) return parsed.status();
-  Analyzer analyzer(&catalog, time_config);
-  auto analyzed = analyzer.Analyze(std::move(parsed).value());
-  if (!analyzed.ok()) return analyzed.status();
-  bool stateful = analyzed.value().positive_slots.size() > 1 ||
-                  !analyzed.value().negations.empty();
-  if (stateful || analyzed.value().has_aggregates) {
-    return Status::FailedPrecondition(
-        "serial query #" + std::to_string(id) +
-        " carries cross-event or aggregate state; only the runtime's "
-        "engines are rebuilt by window replay, so it cannot be "
-        "checkpointed");
+  return Status::InvalidArgument(
+      "engine-state section names unknown host '" + host + "' for a " +
+      std::to_string(shard_count) + "-shard runtime");
+}
+
+/// Section triage shared by FinishRecovery's serial and runtime loops:
+/// false = skip it (unknown kinds are skippable by design), true = restore
+/// it; a known kind with a payload version newer than this reader supports
+/// is a hard error, not a skip.
+Result<bool> UsableEngineSection(const checkpoint::EngineStateSection& section) {
+  if (section.kind != "plan" && section.kind != "engine") return false;
+  if (section.version > 1) {
+    return Status::InvalidArgument(
+        "engine-state section for query #" + std::to_string(section.query) +
+        " uses payload version " + std::to_string(section.version) +
+        "; this reader supports up to 1");
   }
-  return Status::Ok();
+  return true;
 }
 
 }  // namespace
@@ -447,7 +453,14 @@ Status SaseSystem::Checkpoint(const std::string& dir_arg) {
     if (runtime_ != nullptr) {
       auto exported = runtime_->ExportCheckpoint();  // quiesces; may refuse
       if (!exported.ok()) return exported.status();
-      const ShardedRuntime::CheckpointState& state = exported.value();
+      ShardedRuntime::CheckpointState& state = exported.value();
+      for (auto& plan : state.plan_states) {
+        // Payloads embed whole event tables; move, don't double-buffer.
+        snap.engine_state.push_back(checkpoint::EngineStateSection{
+            plan.query == 0 ? "engine" : "plan",
+            RuntimeHostName(plan.worker, state.shard_count), plan.query, 1,
+            std::move(plan.data)});
+      }
       snap.shard_count = state.shard_count;
       snap.partition_key = state.partition_key;
       snap.events_dispatched = state.events_dispatched;
@@ -487,8 +500,6 @@ Status SaseSystem::Checkpoint(const std::string& dir_arg) {
     }
 
     for (const auto& query : engine_->RegisteredQueries()) {
-      SASE_RETURN_IF_ERROR(CheckSerialQueryReplayable(
-          catalog_, config_.time_config, query.id, query.text));
       checkpoint::SnapshotQuery entry;
       entry.id = query.id;
       entry.runtime_hosted = false;
@@ -502,8 +513,29 @@ Status SaseSystem::Checkpoint(const std::string& dir_arg) {
           break;
         }
       }
+      // Recovery re-registers from the query text before restoring state;
+      // a query registered from a pre-parsed AST has none, so the snapshot
+      // cannot cover it. This is the one remaining per-query refusal; it
+      // names the offender so the console message is actionable.
+      if (query.text.empty()) {
+        return Status::FailedPrecondition(
+            "cannot checkpoint: query '" + entry.name + "' (#" +
+            std::to_string(query.id) +
+            ") on the serial engine was registered from a pre-parsed AST "
+            "and has no registration text to re-register on recovery");
+      }
+      // Direct operator-state serialization (snapshot v2): serial-engine
+      // queries — archiving rules and hybrid database queries included —
+      // checkpoint their stacks, buffers and aggregate accumulators like
+      // any runtime-hosted query.
+      auto payload = engine_->SerializeState(query.id);
+      if (!payload.ok()) return payload.status();
+      snap.engine_state.push_back(checkpoint::EngineStateSection{
+          "plan", "serial", query.id, 1, std::move(payload).value()});
       snap.queries.push_back(std::move(entry));
     }
+    snap.engine_state.push_back(checkpoint::EngineStateSection{
+        "engine", "serial", 0, 1, engine_->SerializeEngineState()});
 
     for (size_t i = 0; i < catalog_.type_count(); ++i) {
       snap.catalog_types.push_back(
@@ -571,7 +603,7 @@ Status SaseSystem::FinishRecovery(const RecoverySpec& spec,
                                   const CallbackFactory& callbacks) {
   recovered_ = true;
   epoch_ = spec.epoch;
-  const checkpoint::SystemSnapshot* snap = spec.snapshot;
+  checkpoint::SystemSnapshot* snap = spec.snapshot;
 
   if (snap != nullptr) {
     // Window events and journal records reference event types by id; a
@@ -595,9 +627,10 @@ Status SaseSystem::FinishRecovery(const RecoverySpec& spec,
                   query.text);
     }
 
-    // Serial-hosted queries are stateless (the checkpoint precondition), so
-    // their registration position is irrelevant: install them all before
-    // any replay, under their original ids.
+    // Serial-hosted queries: install them all before any replay, under
+    // their original ids. Their serialized operator state (v2) is loaded
+    // right below, so registration position does not matter — the restored
+    // plan carries exactly the construction history of the crashed one.
     for (const checkpoint::SnapshotQuery& query : snap->queries) {
       if (query.runtime_hosted) continue;
       OutputCallback deliver;
@@ -611,6 +644,45 @@ Status SaseSystem::FinishRecovery(const RecoverySpec& spec,
       auto id = engine_->RegisterAs(query.id, query.text, std::move(deliver),
                                     query.options);
       if (!id.ok()) return id.status();
+    }
+    std::set<QueryId> serial_restored;
+    bool serial_counters = false;
+    for (const checkpoint::EngineStateSection& section : snap->engine_state) {
+      if (section.host != "serial") continue;
+      SASE_ASSIGN_OR_RETURN(bool usable, UsableEngineSection(section));
+      if (!usable) continue;
+      Status loaded = section.kind == "engine"
+                          ? engine_->RestoreEngineState(section.payload)
+                          : engine_->RestoreState(section.query, section.payload);
+      if (!loaded.ok()) {
+        return Status::InvalidArgument(
+            "cannot restore serial-engine state of query #" +
+            std::to_string(section.query) + ": " + loaded.ToString());
+      }
+      if (section.kind == "plan") {
+        serial_restored.insert(section.query);
+      } else {
+        serial_counters = true;
+      }
+    }
+    if (snap->format >= checkpoint::kSnapshotFormatV2) {
+      // Completeness: a payload silently missing (lost section, corrupted
+      // kind field — the SECTION header rides outside the payload CRC)
+      // would restore the query with empty state, or reset the engine
+      // counters. Fail loudly instead.
+      for (const checkpoint::SnapshotQuery& query : snap->queries) {
+        if (query.runtime_hosted || serial_restored.count(query.id) > 0) {
+          continue;
+        }
+        return Status::InvalidArgument(
+            "snapshot carries no engine-state payload for serial query #" +
+            std::to_string(query.id));
+      }
+      if (!serial_counters) {
+        return Status::InvalidArgument(
+            "snapshot carries no engine-counter payload for the serial "
+            "engine");
+      }
     }
 
     // Runtime-hosted queries + engine state: the runtime re-registers them
@@ -642,6 +714,16 @@ Status SaseSystem::FinishRecovery(const RecoverySpec& spec,
     for (const checkpoint::SnapshotWindowEvent& window : snap->window) {
       state.window.push_back(ShardedRuntime::CheckpointState::WindowEvent{
           window.stream, window.global, window.event});
+    }
+    state.has_engine_state = snap->format >= checkpoint::kSnapshotFormatV2;
+    for (checkpoint::EngineStateSection& section : snap->engine_state) {
+      if (section.host == "serial") continue;
+      SASE_ASSIGN_OR_RETURN(bool usable, UsableEngineSection(section));
+      if (!usable) continue;
+      auto worker = RuntimeWorkerFromHost(section.host, snap->shard_count);
+      if (!worker.ok()) return worker.status();
+      state.plan_states.push_back(ShardedRuntime::CheckpointState::PlanState{
+          worker.value(), section.query, std::move(section.payload)});
     }
     if (runtime_ != nullptr) {
       auto resolver = [this, snap, &callbacks](QueryId id) -> OutputCallback {

@@ -205,7 +205,9 @@ class SaseSystem {
   struct RecoverySpec {
     std::string dir;
     uint64_t epoch = 0;  // snapshot id; 0 = journal-only (no snapshot yet)
-    const checkpoint::SystemSnapshot* snapshot = nullptr;  // null at epoch 0
+    /// Mutable: FinishRecovery moves the engine-state payloads out rather
+    /// than double-buffering them (they embed whole event tables).
+    checkpoint::SystemSnapshot* snapshot = nullptr;  // null at epoch 0
   };
 
   SaseSystem(StoreLayout layout, SystemConfig config,

@@ -128,4 +128,15 @@ class Result {
     if (!_st.ok()) return _st;                 \
   } while (0)
 
+/// Evaluates a Result<T> expression; on success assigns the value to `lhs`
+/// (which may be a declaration), on error returns the Status. Keeps the
+/// line-by-line decoding in the checkpoint/state readers legible.
+#define SASE_STATUS_CONCAT_INNER_(x, y) x##y
+#define SASE_STATUS_CONCAT_(x, y) SASE_STATUS_CONCAT_INNER_(x, y)
+#define SASE_ASSIGN_OR_RETURN(lhs, rexpr)                                \
+  auto SASE_STATUS_CONCAT_(_sase_result_, __LINE__) = (rexpr);           \
+  if (!SASE_STATUS_CONCAT_(_sase_result_, __LINE__).ok())                \
+    return SASE_STATUS_CONCAT_(_sase_result_, __LINE__).status();        \
+  lhs = std::move(SASE_STATUS_CONCAT_(_sase_result_, __LINE__)).value()
+
 #endif  // SASE_UTIL_STATUS_H_

@@ -1,6 +1,8 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 
 namespace sase {
 
@@ -75,6 +77,40 @@ std::string EscapeField(std::string_view s) {
     }
   }
   return out;
+}
+
+Result<uint64_t> ParseU64(std::string_view s) {
+  std::string text(s);
+  // First char must be a digit: strtoull itself skips leading whitespace
+  // and accepts a sign (wrapping negatives), which would defeat the guard.
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    return Status::ParseError("bad number: '" + text + "'");
+  }
+  char* end = nullptr;
+  errno = 0;
+  uint64_t value = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) {
+    return Status::ParseError("bad number: '" + text + "'");
+  }
+  return value;
+}
+
+Result<int64_t> ParseI64(std::string_view s) {
+  std::string text(s);
+  bool digit_start =
+      !text.empty() && std::isdigit(static_cast<unsigned char>(text[0]));
+  bool negative = text.size() >= 2 && text[0] == '-' &&
+                  std::isdigit(static_cast<unsigned char>(text[1]));
+  if (!digit_start && !negative) {
+    return Status::ParseError("bad number: '" + text + "'");
+  }
+  char* end = nullptr;
+  errno = 0;
+  int64_t value = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) {
+    return Status::ParseError("bad number: '" + text + "'");
+  }
+  return value;
 }
 
 Result<std::string> UnescapeField(std::string_view s) {

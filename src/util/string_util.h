@@ -36,6 +36,13 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 /// files, which use the same field grammar.
 std::string EscapeField(std::string_view s);
 
+/// Strict decimal parsers for fields of the same formats: the whole string
+/// must be one base-10 number with no sign prefix for U64 (so a negative
+/// count cannot wrap around silently) and no trailing bytes. Shared by the
+/// checkpoint snapshot/manifest readers and the engine-state codec.
+Result<uint64_t> ParseU64(std::string_view s);
+Result<int64_t> ParseI64(std::string_view s);
+
 /// Inverse of EscapeField; fails on a dangling or unknown escape.
 Result<std::string> UnescapeField(std::string_view s);
 

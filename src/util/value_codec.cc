@@ -1,0 +1,65 @@
+#include "util/value_codec.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace sase {
+
+std::string EncodeValue(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull: return "N";
+    case ValueType::kInt: return "I:" + std::to_string(value.AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream out;
+      out.precision(17);
+      out << "D:" << value.AsDouble();
+      return out.str();
+    }
+    case ValueType::kString: return "S:" + EscapeField(value.AsString());
+    case ValueType::kBool: return value.AsBool() ? "B:1" : "B:0";
+  }
+  return "N";
+}
+
+Result<Value> DecodeValue(const std::string& text) {
+  if (text == "N") return Value();
+  if (text.size() < 2 || text[1] != ':') {
+    return Status::ParseError("bad value encoding: '" + text + "'");
+  }
+  std::string body = text.substr(2);
+  // Strict bodies: a malformed field is a loud ParseError, never a silent
+  // zero — these decode checkpointed operator state, not just dump files.
+  switch (text[0]) {
+    case 'I': {
+      auto value = ParseI64(body);
+      if (!value.ok()) {
+        return Status::ParseError("bad value encoding: '" + text + "'");
+      }
+      return Value(value.value());
+    }
+    case 'D': {
+      char* end = nullptr;
+      double value = std::strtod(body.c_str(), &end);
+      if (body.empty() || end != body.c_str() + body.size()) {
+        return Status::ParseError("bad value encoding: '" + text + "'");
+      }
+      return Value(value);
+    }
+    case 'B':
+      if (body != "0" && body != "1") {
+        return Status::ParseError("bad value encoding: '" + text + "'");
+      }
+      return Value(body == "1");
+    case 'S': {
+      auto unescaped = UnescapeField(body);
+      if (!unescaped.ok()) return unescaped.status();
+      return Value(std::move(unescaped).value());
+    }
+    default:
+      return Status::ParseError("bad value tag: '" + text + "'");
+  }
+}
+
+}  // namespace sase

@@ -1,0 +1,24 @@
+#ifndef SASE_UTIL_VALUE_CODEC_H_
+#define SASE_UTIL_VALUE_CODEC_H_
+
+#include <string>
+
+#include "core/value.h"
+#include "util/status.h"
+
+namespace sase {
+
+/// One '|'-delimited field of a single Value in the line-oriented text
+/// formats shared by the database dump, the checkpoint snapshot and the
+/// engine-state sections: N, I:<int>, D:<double> (17 significant digits,
+/// lossless roundtrip), S:<escaped>, B:0/1. Strings use util EscapeField.
+///
+/// Hoisted from db/dump.cc (whose db::EncodeValue/DecodeValue delegate
+/// here) so src/engine can serialize operator state without a dependency
+/// on the database layer.
+std::string EncodeValue(const Value& value);
+Result<Value> DecodeValue(const std::string& text);
+
+}  // namespace sase
+
+#endif  // SASE_UTIL_VALUE_CODEC_H_

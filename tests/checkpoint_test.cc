@@ -278,6 +278,117 @@ TEST(SnapshotTest, RoundTripsStateAndDatabase) {
   EXPECT_TRUE(std::filesystem::exists(dir + "/snap-3"));
 }
 
+TEST(SnapshotTest, EngineStateSectionsRoundTrip) {
+  Catalog catalog = Catalog::RetailDemo();
+  std::string dir = FreshDir("engine_sections");
+  db::Database database;
+
+  SystemSnapshot snap;
+  snap.snapshot_id = 1;
+  for (size_t i = 0; i < catalog.type_count(); ++i) {
+    snap.catalog_types.push_back(catalog.schema(static_cast<EventTypeId>(i)).name());
+  }
+  // Payloads with framing-hostile bytes: '|', newlines, binary-ish data.
+  snap.engine_state.push_back(
+      EngineStateSection{"plan", "shard-0", 4, 1, "SS 1|2|3\nSI 0|7\n"});
+  snap.engine_state.push_back(
+      EngineStateSection{"engine", "broadcast", 0, 1, "EP 42\n"});
+  snap.engine_state.push_back(EngineStateSection{
+      "future-kind", "serial", 9, 3, std::string("\x01|\xff\nEND\n", 8)});
+
+  ASSERT_TRUE(WriteSnapshot(dir, snap, database).ok());
+  auto read = ReadSnapshot(dir, 1, nullptr);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().format, kSnapshotFormatV2);
+  ASSERT_EQ(read.value().engine_state.size(), 3u);
+  EXPECT_EQ(read.value().engine_state[0].kind, "plan");
+  EXPECT_EQ(read.value().engine_state[0].host, "shard-0");
+  EXPECT_EQ(read.value().engine_state[0].query, 4);
+  EXPECT_EQ(read.value().engine_state[0].payload, "SS 1|2|3\nSI 0|7\n");
+  EXPECT_EQ(read.value().engine_state[1].kind, "engine");
+  EXPECT_EQ(read.value().engine_state[1].payload, "EP 42\n");
+  // A section of unknown kind survives the read (skippable framing); the
+  // consumer decides to ignore it.
+  EXPECT_EQ(read.value().engine_state[2].kind, "future-kind");
+  EXPECT_EQ(read.value().engine_state[2].version, 3u);
+  EXPECT_EQ(read.value().engine_state[2].payload.size(), 8u);
+}
+
+TEST(SnapshotTest, CorruptOrTruncatedEngineStateSectionIsAHardError) {
+  Catalog catalog = Catalog::RetailDemo();
+  db::Database database;
+  SystemSnapshot snap;
+  snap.snapshot_id = 1;
+  for (size_t i = 0; i < catalog.type_count(); ++i) {
+    snap.catalog_types.push_back(catalog.schema(static_cast<EventTypeId>(i)).name());
+  }
+  snap.engine_state.push_back(
+      EngineStateSection{"plan", "serial", 7, 1, "TS 5|0\nTA 0|5|D:2.5\n"});
+
+  {
+    // Flip one payload byte: the section's CRC must catch it, the error
+    // must name the section, and ReadSnapshot must fail outright — no
+    // partial restore material is handed to the caller.
+    std::string dir = FreshDir("engine_corrupt");
+    ASSERT_TRUE(WriteSnapshot(dir, snap, database).ok());
+    std::string path = dir + "/snap-1/engine.sase";
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(-8, std::ios::end);  // inside the payload of the section
+    file.put('X');
+    file.close();
+    auto read = ReadSnapshot(dir, 1, nullptr);
+    ASSERT_FALSE(read.ok());
+    EXPECT_EQ(read.status().code(), StatusCode::kParseError);
+    EXPECT_NE(read.status().message().find("query #7"), std::string::npos)
+        << read.status().ToString();
+    EXPECT_NE(read.status().message().find("CRC"), std::string::npos)
+        << read.status().ToString();
+  }
+  {
+    // Truncate mid-payload: clean error, not garbage state.
+    std::string dir = FreshDir("engine_truncated");
+    ASSERT_TRUE(WriteSnapshot(dir, snap, database).ok());
+    std::string path = dir + "/snap-1/engine.sase";
+    auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size - 10);
+    auto read = ReadSnapshot(dir, 1, nullptr);
+    ASSERT_FALSE(read.ok());
+    EXPECT_EQ(read.status().code(), StatusCode::kParseError);
+    EXPECT_NE(read.status().message().find("truncated"), std::string::npos)
+        << read.status().ToString();
+  }
+}
+
+TEST(SnapshotTest, ManifestFormatNegotiation) {
+  db::Database database;
+  SystemSnapshot snap;
+  snap.snapshot_id = 1;
+  std::string dir = FreshDir("format");
+  ASSERT_TRUE(WriteSnapshot(dir, snap, database).ok());
+
+  // The writer stamps the current format; the reader accepts it.
+  EXPECT_TRUE(ReadManifest(dir).ok());
+
+  // A manifest claiming a future format is refused with a clear error
+  // instead of misreading the directory.
+  {
+    std::ofstream out(dir + "/MANIFEST");
+    out << "SASE-MANIFEST v1\nsnapshot 1\nformat 99\n";
+  }
+  auto manifest = ReadManifest(dir);
+  ASSERT_FALSE(manifest.ok());
+  EXPECT_EQ(manifest.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(manifest.status().message().find("format 99"), std::string::npos)
+      << manifest.status().ToString();
+
+  // A format-less manifest (v1 writer) still reads.
+  {
+    std::ofstream out(dir + "/MANIFEST");
+    out << "SASE-MANIFEST v1\nsnapshot 1\n";
+  }
+  EXPECT_TRUE(ReadManifest(dir).ok());
+}
+
 TEST(SnapshotTest, MissingManifestIsNotFound) {
   std::string dir = FreshDir("nomanifest");
   auto manifest = ReadManifest(dir);

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 
+#include "query/parser.h"
 #include "rfid/tag.h"
 
 namespace sase {
@@ -147,19 +148,41 @@ TEST_F(ConsoleTest, CheckpointAndRestoreCommands) {
   EXPECT_NE(console_.Execute("stats").find("checkpoint:"), std::string::npos);
 }
 
-TEST_F(ConsoleTest, CheckpointRefusesStatefulSerialQuery) {
-  std::string dir = ::testing::TempDir() + "/sase_console_refuse";
+TEST_F(ConsoleTest, CheckpointCoversStatefulSerialQueries) {
+  std::string dir = ::testing::TempDir() + "/sase_console_stateful";
   std::filesystem::remove_all(dir);
   // Without checkpointing enabled the shoplifting pattern runs on the
-  // serial engine, whose cross-event state is not window-replayable — the
-  // command surfaces the kFailedPrecondition instead of writing a lie.
+  // serial engine. Its cross-event state used to refuse to checkpoint;
+  // snapshot v2 serializes the operator state directly, so the same
+  // command now writes a checkpoint.
   (void)console_.Execute(
       "register shoplifting EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), "
       "EXIT_READING z) WHERE x.TagId = y.TagId AND x.TagId = z.TagId "
       "WITHIN 100 RETURN x.TagId");
+  std::string written = console_.Execute(".checkpoint " + dir);
+  EXPECT_NE(written.find("checkpoint written to " + dir), std::string::npos)
+      << written;
+}
+
+TEST_F(ConsoleTest, CheckpointErrorNamesTheOffendingQuery) {
+  std::string dir = ::testing::TempDir() + "/sase_console_refuse";
+  std::filesystem::remove_all(dir);
+  // The one remaining per-query refusal: a query registered from a
+  // pre-parsed AST has no registration text to re-register on recovery.
+  // The error must name the offender and the reason, not just a code.
+  auto parsed = Parser::Parse("EVENT SHELF_READING s RETURN s.TagId");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto id = system_.engine().Register(std::move(parsed).value(),
+                                      [](const OutputRecord&) {});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
   std::string refused = console_.Execute(".checkpoint " + dir);
-  EXPECT_NE(refused.find("error:"), std::string::npos);
+  EXPECT_NE(refused.find("error:"), std::string::npos) << refused;
   EXPECT_NE(refused.find("FailedPrecondition"), std::string::npos) << refused;
+  EXPECT_NE(refused.find("#" + std::to_string(id.value())), std::string::npos)
+      << "the offending query id is not named: " << refused;
+  EXPECT_NE(refused.find("pre-parsed AST"), std::string::npos)
+      << "the reason is not named: " << refused;
 }
 
 }  // namespace

@@ -1,0 +1,211 @@
+#ifndef SASE_TESTS_QUERY_GEN_H_
+#define SASE_TESTS_QUERY_GEN_H_
+
+// Seeded generator of valid SASE queries and event streams for the
+// randomized differential harness (tests/differential_test.cc).
+//
+// The query space covers the language surface the engine executes:
+// single-event and SEQ patterns (2-4 components over the retail types),
+// optional negated components at the head, middle or tail, TagId/AreaId
+// equivalence classes (both shardable and broadcast-only shapes),
+// single-variable predicates, WITHIN windows (including the WITHIN-less
+// stateful shape that only snapshot v2 can checkpoint), and RETURN clauses
+// from default projection through running aggregates (COUNT/SUM/AVG/
+// MIN/MAX, plain and nested in arithmetic).
+//
+// Every candidate is validated through the real Parser + Analyzer before it
+// is handed out, so the harness only ever measures execution divergence,
+// never generator sloppiness. Generation is a pure function of the seed:
+// a failing case reproduces from the seed printed in the test failure.
+
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+#include "rfid/workload.h"
+
+namespace sase {
+namespace testgen {
+
+/// One differential test case: queries registered up front, plus the event
+/// stream they execute over.
+struct GeneratedCase {
+  uint64_t seed = 0;
+  std::vector<std::string> queries;
+  std::vector<EventPtr> events;
+
+  /// Reproduction banner for failure messages.
+  std::string Describe() const {
+    std::ostringstream out;
+    out << "seed=" << seed << " events=" << events.size();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      out << "\n  q" << i << ": " << queries[i];
+    }
+    return out.str();
+  }
+};
+
+class QueryGenerator {
+ public:
+  QueryGenerator(const Catalog* catalog, uint64_t seed)
+      : catalog_(catalog), rng_(seed) {}
+
+  /// Generates one analyzable query (validated; retries internally).
+  std::string NextQuery() {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::string text = Candidate();
+      auto parsed = Parser::Parse(text);
+      if (!parsed.ok()) continue;
+      Analyzer analyzer(catalog_, TimeConfig{});
+      if (!analyzer.Analyze(std::move(parsed).value()).ok()) continue;
+      return text;
+    }
+    // The grammar below always produces at least the trivial shape; if we
+    // get here the generator itself regressed.
+    return "EVENT SHELF_READING s";
+  }
+
+ private:
+  int Roll(int bound) {
+    return static_cast<int>(rng_() % static_cast<uint64_t>(bound));
+  }
+  bool Chance(int percent) { return Roll(100) < percent; }
+
+  const char* RandomType() {
+    static const char* kTypes[] = {"SHELF_READING", "COUNTER_READING",
+                                   "EXIT_READING"};
+    return kTypes[Roll(3)];
+  }
+
+  std::string Candidate() {
+    // Variable names by component position (4 positives + 1 negation max).
+    static const char* kVars[] = {"a", "b", "c", "d", "e"};
+
+    bool single = Chance(20);
+    int positives = single ? 1 : 2 + Roll(3);
+    int negated_slot = -1;  // slot index within the component list
+    int components = positives;
+    if (!single && Chance(35)) {
+      components = positives + 1;
+      negated_slot = Roll(components);
+    }
+
+    bool head_or_tail_negation =
+        negated_slot == 0 || negated_slot == components - 1;
+    // Head/tail negation requires WITHIN (analyzer rule); otherwise the
+    // WITHIN-less stateful shape is itself a target state class.
+    bool with_window = head_or_tail_negation || Chance(70);
+    int window = 20 + Roll(4) * 35;  // 20..125 ticks
+
+    std::ostringstream out;
+    out << "EVENT ";
+    std::vector<std::string> var_names;
+    if (single) {
+      out << RandomType() << " " << kVars[0];
+      var_names.push_back(kVars[0]);
+    } else {
+      out << "SEQ(";
+      for (int i = 0; i < components; ++i) {
+        if (i > 0) out << ", ";
+        bool negate = i == negated_slot;
+        if (negate) out << "!(";
+        out << RandomType() << " " << kVars[i];
+        if (negate) out << ")";
+        var_names.push_back(kVars[i]);
+      }
+      out << ")";
+    }
+
+    // WHERE: an equivalence class across every variable (70% TagId — the
+    // shardable shape — else AreaId), plus scattered single-variable
+    // predicates on AreaId.
+    std::vector<std::string> conjuncts;
+    if (!single && Chance(80)) {
+      const char* attr = Chance(70) ? "TagId" : "AreaId";
+      for (size_t i = 1; i < var_names.size(); ++i) {
+        conjuncts.push_back(var_names[0] + "." + attr + " = " + var_names[i] +
+                            "." + attr);
+      }
+    }
+    for (const std::string& var : var_names) {
+      if (!Chance(25)) continue;
+      static const char* kOps[] = {"=", "!=", "<", ">"};
+      conjuncts.push_back(var + ".AreaId " + kOps[Roll(4)] + " " +
+                          std::to_string(Roll(4)));
+    }
+    if (!conjuncts.empty()) {
+      out << " WHERE ";
+      for (size_t i = 0; i < conjuncts.size(); ++i) {
+        if (i > 0) out << " AND ";
+        out << conjuncts[i];
+      }
+    }
+
+    if (with_window) out << " WITHIN " << window;
+
+    // RETURN: default projection (omitted), a plain projection, or running
+    // aggregates (possibly nested in arithmetic). Aggregate references must
+    // use a positive variable.
+    std::string agg_var;
+    for (int i = 0; i < components; ++i) {
+      if (i != negated_slot) {
+        agg_var = var_names[static_cast<size_t>(i)];
+        break;
+      }
+    }
+    int ret = Roll(100);
+    if (ret < 30) {
+      // default projection
+    } else if (ret < 65) {
+      out << " RETURN " << agg_var << ".TagId, " << agg_var << ".AreaId";
+      if (Chance(50)) out << ", " << agg_var << ".Timestamp AS ts";
+    } else {
+      static const char* kAggs[] = {"COUNT(*)", "SUM({v}.AreaId)",
+                                    "AVG({v}.AreaId)", "MIN({v}.AreaId)",
+                                    "MAX({v}.AreaId)"};
+      std::string agg = kAggs[Roll(5)];
+      size_t pos;
+      while ((pos = agg.find("{v}")) != std::string::npos) {
+        agg.replace(pos, 3, agg_var);
+      }
+      out << " RETURN " << agg << " AS agg0";
+      if (Chance(40)) out << ", COUNT(*) + 1 AS agg1";
+      if (Chance(40)) out << ", " << agg_var << ".TagId";
+    }
+    return out.str();
+  }
+
+  const Catalog* catalog_;
+  std::mt19937_64 rng_;
+};
+
+/// Builds the whole differential case for `seed`: 1-3 generated queries and
+/// a seeded synthetic stream sized for CI.
+inline GeneratedCase GenerateCase(const Catalog& catalog, uint64_t seed,
+                                  int64_t event_count) {
+  GeneratedCase result;
+  result.seed = seed;
+  QueryGenerator generator(&catalog, seed);
+  std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ull);
+  int query_count = 1 + static_cast<int>(rng() % 3);
+  for (int i = 0; i < query_count; ++i) {
+    result.queries.push_back(generator.NextQuery());
+  }
+  SyntheticConfig config;
+  config.seed = seed * 2654435761u + 1;
+  config.event_count = event_count;
+  config.tag_count = 8 + static_cast<int64_t>(rng() % 25);
+  config.area_count = 4;
+  SyntheticStreamGenerator stream(&catalog, config);
+  result.events = stream.Generate();
+  return result;
+}
+
+}  // namespace testgen
+}  // namespace sase
+
+#endif  // SASE_TESTS_QUERY_GEN_H_

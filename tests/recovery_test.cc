@@ -12,12 +12,16 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "checkpoint/journal.h"
 #include "db/dump.h"
+#include "query/parser.h"
 #include "rfid/workload.h"
 
 namespace sase {
@@ -26,9 +30,8 @@ namespace {
 /// Mixed monitoring workload: key-partitioned middle and tail negation
 /// (sharded, stateful, deferral-heavy), a stateless projection, and a
 /// non-key pattern that lands on the broadcast worker — exercising the
-/// checkpoint's broadcast-window retention. No running aggregates: those
-/// refuse to checkpoint by design (tested separately).
-const char* kQueries[] = {
+/// checkpoint's broadcast-window retention.
+const std::vector<std::string> kQueries = {
     "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
     "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 120",
     "EVENT SEQ(SHELF_READING x, COUNTER_READING y, !(EXIT_READING z)) "
@@ -37,6 +40,23 @@ const char* kQueries[] = {
     "EVENT SHELF_READING s WHERE s.AreaId = 2 RETURN s.TagId, s.AreaId",
     "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
     "WHERE x.AreaId = z.AreaId WITHIN 40",
+};
+
+/// The state classes snapshot v2's direct operator-state serialization
+/// lifted into checkpoint coverage (they all refused with
+/// kFailedPrecondition under the v1 window-replay recipe): running
+/// aggregates mid-fold, a stateful pattern with no WITHIN bound, and
+/// MIN/MAX/AVG folds — mixed with a windowed tail-negation query so the
+/// new classes coexist with parked deferral state.
+const std::vector<std::string> kV2Queries = {
+    "EVENT EXIT_READING e RETURN COUNT(*) AS exits, SUM(e.AreaId) AS areas, "
+    "AVG(e.AreaId) AS avg_area",
+    "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId "
+    "RETURN x.TagId, z.Timestamp AS exit_ts",
+    "EVENT SHELF_READING s "
+    "RETURN MIN(s.AreaId) AS lo, MAX(s.AreaId) AS hi, COUNT(s.TagId) AS n",
+    "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+    "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 120",
 };
 
 /// Register kQueries[query] as "q<query>" just before feeding the event at
@@ -76,13 +96,14 @@ OutputCallback Collector(std::vector<std::string>* lines, size_t query) {
 std::vector<std::string> RunGolden(const Catalog& catalog,
                                    const std::vector<EventPtr>& trace,
                                    const std::vector<RegistrationPoint>& regs,
-                                   bool flush = true) {
+                                   bool flush = true,
+                                   const std::vector<std::string>& queries = kQueries) {
   std::vector<std::string> lines;
   QueryEngine engine(&catalog);
   for (size_t i = 0; i <= trace.size(); ++i) {
     for (const RegistrationPoint& reg : regs) {
       if (reg.offset != i) continue;
-      auto id = engine.Register(kQueries[reg.query], Collector(&lines, reg.query));
+      auto id = engine.Register(queries[reg.query], Collector(&lines, reg.query));
       EXPECT_TRUE(id.ok()) << id.status().ToString();
     }
     if (i < trace.size()) engine.OnEvent(trace[i]);
@@ -117,13 +138,14 @@ void RunUntilCrash(const std::vector<EventPtr>& trace,
                    const std::vector<RegistrationPoint>& regs,
                    const SystemConfig& config, size_t checkpoint_at,
                    size_t crash_at, std::vector<std::string>* lines,
-                   uint64_t* checkpoints_taken = nullptr) {
+                   uint64_t* checkpoints_taken = nullptr,
+                   const std::vector<std::string>& queries = kQueries) {
   SaseSystem system(StoreLayout::RetailDemo(), config);
   for (size_t i = 0; i < crash_at; ++i) {
     for (const RegistrationPoint& reg : regs) {
       if (reg.offset != i) continue;
       auto id = system.RegisterMonitoringQuery(QueryName(reg.query),
-                                               kQueries[reg.query],
+                                               queries[reg.query],
                                                Collector(lines, reg.query));
       ASSERT_TRUE(id.ok()) << id.status().ToString();
     }
@@ -142,7 +164,8 @@ void RunUntilCrash(const std::vector<EventPtr>& trace,
 void RecoverAndFinish(const std::vector<EventPtr>& trace,
                       const std::vector<RegistrationPoint>& regs,
                       const SystemConfig& config, size_t crash_at,
-                      std::vector<std::string>* lines) {
+                      std::vector<std::string>* lines,
+                      const std::vector<std::string>& queries = kQueries) {
   auto recovered = SaseSystem::Recover(config.checkpoint.dir,
                                        StoreLayout::RetailDemo(), config,
                                        Factory(lines));
@@ -152,7 +175,7 @@ void RecoverAndFinish(const std::vector<EventPtr>& trace,
     for (const RegistrationPoint& reg : regs) {
       if (reg.offset != i) continue;
       auto id = system.RegisterMonitoringQuery(QueryName(reg.query),
-                                               kQueries[reg.query],
+                                               queries[reg.query],
                                                Collector(lines, reg.query));
       ASSERT_TRUE(id.ok()) << id.status().ToString();
     }
@@ -165,11 +188,13 @@ void RecoverAndFinish(const std::vector<EventPtr>& trace,
 std::vector<std::string> CrashRecoverRun(
     const std::vector<EventPtr>& trace,
     const std::vector<RegistrationPoint>& regs, int shards,
-    size_t checkpoint_at, size_t crash_at, const std::string& dir) {
+    size_t checkpoint_at, size_t crash_at, const std::string& dir,
+    const std::vector<std::string>& queries = kQueries) {
   std::vector<std::string> lines;
   SystemConfig config = CheckpointedConfig(shards, dir);
-  RunUntilCrash(trace, regs, config, checkpoint_at, crash_at, &lines);
-  RecoverAndFinish(trace, regs, config, crash_at, &lines);
+  RunUntilCrash(trace, regs, config, checkpoint_at, crash_at, &lines, nullptr,
+                queries);
+  RecoverAndFinish(trace, regs, config, crash_at, &lines, queries);
   return lines;
 }
 
@@ -391,35 +416,355 @@ TEST(RecoveryPreconditionTest, CheckpointDuringResizeIsRefused) {
   EXPECT_TRUE(system.Checkpoint().ok());
 }
 
-TEST(RecoveryPreconditionTest, NonWindowReplayableQueriesRefuseCheckpoint) {
-  {
-    // Stateful pattern with no WITHIN bound: the replay window would be the
-    // whole stream.
-    std::string dir = FreshDir("unbounded");
-    SaseSystem system(StoreLayout::RetailDemo(),
-                      CheckpointedConfig(/*shards=*/2, dir));
-    ASSERT_TRUE(system
-                    .RegisterMonitoringQuery(
-                        "unbounded",
-                        "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
-                        "WHERE x.TagId = z.TagId")
-                    .ok());
-    Status refused = system.Checkpoint();
-    EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition)
-        << refused.ToString();
+TEST(RecoveryPreconditionTest, PreParsedAstQueryRefusesCheckpointByName) {
+  // The one per-query refusal left after snapshot v2: a query registered
+  // from a pre-parsed AST has no text to re-register on recovery. The error
+  // names the offender.
+  std::string dir = FreshDir("preparsed");
+  SaseSystem system(StoreLayout::RetailDemo(),
+                    CheckpointedConfig(/*shards=*/2, dir));
+  auto parsed = Parser::Parse("EVENT SHELF_READING s RETURN s.TagId");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto id = system.engine().Register(std::move(parsed).value(),
+                                     [](const OutputRecord&) {});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  Status refused = system.Checkpoint();
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition)
+      << refused.ToString();
+  EXPECT_NE(refused.message().find("#" + std::to_string(id.value())),
+            std::string::npos)
+      << refused.ToString();
+  EXPECT_NE(refused.message().find("pre-parsed AST"), std::string::npos)
+      << refused.ToString();
+}
+
+// --- snapshot v2: state classes lifted into checkpoint coverage ----------
+
+/// Randomized crash offsets in (checkpoint_at, trace_size], seeded so CI is
+/// reproducible; the seed and offsets ride in the failure message.
+std::vector<size_t> RandomCrashOffsets(uint64_t seed, size_t checkpoint_at,
+                                       size_t trace_size, size_t count) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<size_t> dist(checkpoint_at + 1, trace_size);
+  std::vector<size_t> offsets;
+  for (size_t i = 0; i < count; ++i) offsets.push_back(dist(rng));
+  return offsets;
+}
+
+TEST(RecoveryV2Test, AggregatesCheckpointMidFoldAndRecover) {
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = Trace(catalog, 1200);
+  // All four kV2Queries up front: COUNT/SUM/AVG and MIN/MAX folds mid-fold
+  // at the checkpoint, a WITHIN-less stateful pattern, and a windowed
+  // tail-negation query.
+  std::vector<RegistrationPoint> regs = {{0, 0}, {0, 1}, {0, 2}, {0, 3}};
+  auto golden = RunGolden(catalog, trace, regs, /*flush=*/true, kV2Queries);
+  ASSERT_GT(golden.size(), 100u);
+
+  for (int shards : {1, 8}) {
+    for (size_t crash_at : RandomCrashOffsets(/*seed=*/41, /*checkpoint_at=*/500,
+                                              trace.size(), /*count=*/3)) {
+      std::string dir = FreshDir("v2_agg_" + std::to_string(shards) + "_" +
+                                 std::to_string(crash_at));
+      auto lines = CrashRecoverRun(trace, regs, shards, /*checkpoint_at=*/500,
+                                   crash_at, dir, kV2Queries);
+      EXPECT_EQ(golden, lines)
+          << "seed=41 shards=" << shards << " crash_at=" << crash_at;
+    }
   }
+}
+
+TEST(RecoveryV2Test, WithinLessStatefulQueryRecoversAcrossLateCheckpoint) {
+  // The WITHIN-less pattern's stacks reach back to the beginning of the
+  // stream; a late checkpoint must carry them whole (no finite replay
+  // window exists — exactly what v1 refused).
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = Trace(catalog, 1200);
+  std::vector<RegistrationPoint> regs = {{0, 1}, {0, 0}};
+  auto golden = RunGolden(catalog, trace, regs, /*flush=*/true, kV2Queries);
+  ASSERT_GT(golden.size(), 50u);
+
+  for (int shards : {1, 8}) {
+    for (size_t crash_at : RandomCrashOffsets(/*seed=*/43, /*checkpoint_at=*/900,
+                                              trace.size(), /*count=*/3)) {
+      std::string dir = FreshDir("v2_unbounded_" + std::to_string(shards) +
+                                 "_" + std::to_string(crash_at));
+      auto lines = CrashRecoverRun(trace, regs, shards, /*checkpoint_at=*/900,
+                                   crash_at, dir, kV2Queries);
+      EXPECT_EQ(golden, lines)
+          << "seed=43 shards=" << shards << " crash_at=" << crash_at;
+    }
+  }
+}
+
+/// Hybrid stream+database monitoring query (serial-engine hosted) plus an
+/// archiving rule and a runtime-hosted query. Serial-class and
+/// runtime-class deliveries interleave cadence-dependently, so the
+/// byte-identity contract is per query: each query's own line sequence
+/// must equal the uninterrupted run's.
+TEST(RecoveryV2Test, HybridSerialEngineQueryRecoversByteIdentical) {
+  const std::string kHybrid =
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId "
+      "WITHIN 80 RETURN x.TagId, _retrieveLocation(z.AreaId) AS last_seen";
+  const std::string kRule =
+      "EVENT ANY(SHELF_READING s) "
+      "RETURN _updateLocation(s.TagId, s.AreaId, s.Timestamp)";
+
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = Trace(catalog, 1000);
+
+  using PerQuery = std::map<std::string, std::vector<std::string>>;
+  auto collector = [](PerQuery* out, const std::string& name) -> OutputCallback {
+    return [out, name](const OutputRecord& record) {
+      (*out)[name].push_back(record.ToString());
+    };
+  };
+  auto drive = [&](SaseSystem& system, PerQuery* out, size_t from, size_t to,
+                   bool flush) {
+    if (from == 0) {
+      ASSERT_TRUE(system.RegisterArchivingRule("loc", kRule).ok());
+      ASSERT_TRUE(system
+                      .RegisterMonitoringQuery("hybrid", kHybrid,
+                                               collector(out, "hybrid"))
+                      .ok());
+      ASSERT_TRUE(system
+                      .RegisterMonitoringQuery("q0", kQueries[0],
+                                               collector(out, "q0"))
+                      .ok());
+    }
+    for (size_t i = from; i < to; ++i) system.event_bus().OnEvent(trace[i]);
+    if (flush) system.Flush();
+  };
+
+  for (int shards : {1, 8}) {
+    // Uninterrupted reference under the same config (fresh directory).
+    PerQuery golden;
+    {
+      SaseSystem system(
+          StoreLayout::RetailDemo(),
+          CheckpointedConfig(shards, FreshDir("v2_hybrid_golden_" +
+                                              std::to_string(shards))));
+      drive(system, &golden, 0, trace.size(), /*flush=*/true);
+    }
+    ASSERT_GT(golden["hybrid"].size(), 20u);
+    ASSERT_GT(golden["q0"].size(), 20u);
+
+    for (size_t crash_at : RandomCrashOffsets(/*seed=*/47, /*checkpoint_at=*/400,
+                                              trace.size(), /*count=*/3)) {
+      std::string dir = FreshDir("v2_hybrid_" + std::to_string(shards) + "_" +
+                                 std::to_string(crash_at));
+      SystemConfig config = CheckpointedConfig(shards, dir);
+      PerQuery lines;
+      {
+        SaseSystem system(StoreLayout::RetailDemo(), config);
+        drive(system, &lines, 0, 400, /*flush=*/false);
+        ASSERT_TRUE(system.Checkpoint().ok());
+        for (size_t i = 400; i < crash_at; ++i) {
+          system.event_bus().OnEvent(trace[i]);
+        }
+        // Crash: destroyed without a flush.
+      }
+      auto recovered = SaseSystem::Recover(
+          dir, StoreLayout::RetailDemo(), config,
+          [&](const std::string& name) { return collector(&lines, name); });
+      ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+      for (size_t i = crash_at; i < trace.size(); ++i) {
+        recovered.value()->event_bus().OnEvent(trace[i]);
+      }
+      recovered.value()->Flush();
+      EXPECT_EQ(golden, lines)
+          << "seed=47 shards=" << shards << " crash_at=" << crash_at;
+    }
+  }
+}
+
+// --- snapshot format compatibility ---------------------------------------
+
+/// The checked-in v1 snapshot fixture (written by the PR-4-era code, no
+/// engine.sase, no manifest format line) must recover on the v2 reader via
+/// the muted window-replay path, byte-identically to a serial engine that
+/// saw the fixture's in-flight window.
+TEST(SnapshotCompatTest, V1FixtureRecoversOnTheV2Reader) {
+  namespace fs = std::filesystem;
+  fs::path fixture =
+      fs::path(__FILE__).parent_path() / "data" / "v1_checkpoint";
+  ASSERT_TRUE(fs::exists(fixture / "MANIFEST")) << fixture;
+
+  // Recovery journals into the directory; work on a copy, not the fixture.
+  std::string dir = FreshDir("v1_fixture");
+  fs::copy(fixture, dir, fs::copy_options::recursive |
+                             fs::copy_options::overwrite_existing);
+
+  // The fixture's window: six SHELF_READINGs ts 1..6 for TAG-1..TAG-3, one
+  // windowed SEQ query registered before them. The continuation events
+  // complete matches against that window, so output only appears if the
+  // v1 snapshot's replay recipe actually rebuilt the stacks.
+  Catalog catalog = Catalog::RetailDemo();
+  const std::string kFixtureQuery =
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId "
+      "WITHIN 100 RETURN x.TagId, z.Timestamp AS exit_ts";
+  std::vector<EventPtr> window;
+  const char* kTags[] = {"TAG-1", "TAG-2", "TAG-3"};
+  for (int i = 1; i <= 6; ++i) {
+    EventBuilder builder(catalog, "SHELF_READING");
+    auto event = builder.Set("TagId", kTags[(i - 1) % 3])
+                     .Set("AreaId", (i + 1) / 2)
+                     .Set("ProductName", "Soap")
+                     .Build(i, static_cast<SequenceNumber>(i));
+    ASSERT_TRUE(event.ok()) << event.status().ToString();
+    window.push_back(std::move(event).value());
+  }
+  std::vector<EventPtr> suffix;
+  for (int i = 0; i < 2; ++i) {
+    EventBuilder builder(catalog, "EXIT_READING");
+    auto event = builder.Set("TagId", kTags[i * 2])  // TAG-1, TAG-3
+                     .Set("AreaId", 3)
+                     .Set("ProductName", "Soap")
+                     .Build(10 + i, static_cast<SequenceNumber>(7 + i));
+    ASSERT_TRUE(event.ok()) << event.status().ToString();
+    suffix.push_back(std::move(event).value());
+  }
+
+  std::vector<std::string> golden;
   {
-    // Running aggregate: its fold state is not window-replayable.
-    std::string dir = FreshDir("aggregate");
-    SaseSystem system(StoreLayout::RetailDemo(),
-                      CheckpointedConfig(/*shards=*/2, dir));
+    QueryEngine engine(&catalog);
+    std::vector<std::string> all;
+    ASSERT_TRUE(engine.Register(kFixtureQuery, Collector(&all, 0)).ok());
+    for (const EventPtr& event : window) engine.OnEvent(event);
+    size_t before = all.size();
+    for (const EventPtr& event : suffix) engine.OnEvent(event);
+    engine.OnFlush();
+    golden.assign(all.begin() + static_cast<ptrdiff_t>(before), all.end());
+  }
+  ASSERT_GE(golden.size(), 4u);  // TAG-1 and TAG-3 each match twice
+
+  std::vector<std::string> lines;
+  SystemConfig config;
+  config.noise = NoiseModel::Perfect();
+  auto recovered = SaseSystem::Recover(dir, StoreLayout::RetailDemo(), config,
+                                       Factory(&lines));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value()->config().shard_count, 2);  // from the snapshot
+  for (const EventPtr& event : suffix) {
+    recovered.value()->event_bus().OnEvent(event);
+  }
+  recovered.value()->Flush();
+  EXPECT_EQ(golden, lines);
+
+  // The fixture's Event Database rode along.
+  auto area = recovered.value()->ExecuteSql(
+      "SELECT Description FROM area_directory LIMIT 1");
+  EXPECT_TRUE(area.ok()) << area.status().ToString();
+}
+
+/// A damaged engine-state section must fail the whole recovery with a clear
+/// error — never restore half a system.
+TEST(SnapshotCompatTest, CorruptEngineStateSectionFailsRecoveryCleanly) {
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = Trace(catalog, 400);
+  std::string dir = FreshDir("corrupt_section");
+  SystemConfig config = CheckpointedConfig(/*shards=*/2, dir);
+  {
+    SaseSystem system(StoreLayout::RetailDemo(), config);
+    std::vector<std::string> ignored;
     ASSERT_TRUE(system
-                    .RegisterMonitoringQuery(
-                        "exits", "EVENT EXIT_READING e RETURN COUNT(*) AS exits")
+                    .RegisterMonitoringQuery("agg", kV2Queries[0],
+                                             Collector(&ignored, 0))
                     .ok());
-    Status refused = system.Checkpoint();
-    EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition)
-        << refused.ToString();
+    for (size_t i = 0; i < 300; ++i) system.event_bus().OnEvent(trace[i]);
+    ASSERT_TRUE(system.Checkpoint().ok());
+    for (size_t i = 300; i < 350; ++i) system.event_bus().OnEvent(trace[i]);
+  }
+
+  // Flip one byte inside the first section's payload (the byte right after
+  // the SECTION header line), breaking its CRC.
+  std::string path = dir + "/snap-1/engine.sase";
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    contents = buffer.str();
+  }
+  size_t section = contents.find("SECTION ");
+  ASSERT_NE(section, std::string::npos);
+  size_t payload = contents.find('\n', section);
+  ASSERT_NE(payload, std::string::npos);
+  contents[payload + 1] ^= 0x20;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+  }
+
+  std::vector<std::string> lines;
+  auto recovered = SaseSystem::Recover(dir, StoreLayout::RetailDemo(), config,
+                                       Factory(&lines));
+  ASSERT_FALSE(recovered.ok()) << "recovered from a corrupt checkpoint";
+  EXPECT_EQ(recovered.status().code(), StatusCode::kParseError)
+      << recovered.status().ToString();
+  EXPECT_NE(recovered.status().message().find("engine-state section"),
+            std::string::npos)
+      << recovered.status().ToString();
+  EXPECT_NE(recovered.status().message().find("CRC"), std::string::npos)
+      << recovered.status().ToString();
+  EXPECT_TRUE(lines.empty()) << "partial restore delivered output";
+}
+
+TEST(RecoveryV2Test, CrashOnJournalSegmentRotationBoundaryWithFsyncAlways) {
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = Trace(catalog, 900);
+  std::vector<RegistrationPoint> regs = {{0, 0}, {0, 1}, {0, 2}, {0, 3}};
+  auto golden = RunGolden(catalog, trace, regs, /*flush=*/true, kV2Queries);
+
+  auto config_for = [&](const std::string& dir) {
+    SystemConfig config = CheckpointedConfig(/*shards=*/2, dir);
+    config.checkpoint.journal_rotate_bytes = 4096;  // rotate every few dozen
+    config.checkpoint.journal_fsync = checkpoint::FsyncPolicy::kAlways;
+    return config;
+  };
+
+  // Probe run with identical config: journal byte counts are a
+  // deterministic function of the event contents, so the offsets where a
+  // new segment file appears are the same in the measured runs below.
+  std::vector<size_t> boundaries;
+  {
+    std::string dir = FreshDir("rotation_probe");
+    SystemConfig config = config_for(dir);
+    std::vector<std::string> ignored;
+    SaseSystem system(StoreLayout::RetailDemo(), config);
+    for (size_t i = 0; i < regs.size(); ++i) {
+      ASSERT_TRUE(system
+                      .RegisterMonitoringQuery(QueryName(regs[i].query),
+                                               kV2Queries[regs[i].query],
+                                               Collector(&ignored,
+                                                         regs[i].query))
+                      .ok());
+    }
+    size_t segments = 1;
+    for (size_t i = 0; i < trace.size(); ++i) {
+      system.event_bus().OnEvent(trace[i]);
+      size_t now = 0;
+      for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().filename().string().rfind("journal-", 0) == 0) ++now;
+      }
+      if (now > segments) {
+        segments = now;
+        // i+1 = crash immediately after the append that rotated segments.
+        boundaries.push_back(i + 1);
+      }
+    }
+  }
+  ASSERT_GE(boundaries.size(), 2u) << "rotate_bytes too large for the trace";
+
+  for (size_t crash_at : {boundaries[0], boundaries[1]}) {
+    std::string dir = FreshDir("rotation_" + std::to_string(crash_at));
+    SystemConfig config = config_for(dir);
+    std::vector<std::string> lines;
+    RunUntilCrash(trace, regs, config, /*checkpoint_at=*/kNoCheckpoint,
+                  crash_at, &lines, nullptr, kV2Queries);
+    RecoverAndFinish(trace, regs, config, crash_at, &lines, kV2Queries);
+    EXPECT_EQ(golden, lines) << "rotation-boundary crash_at=" << crash_at;
   }
 }
 
