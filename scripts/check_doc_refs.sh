@@ -8,15 +8,19 @@
 #     build).
 #  2. Config knobs: every knob named in docs/operations.md's knob tables
 #     (rows of the form "| `knob_name` | ...") must exist as an
-#     identifier in src/system/sase_system.h, src/runtime/*.h or
-#     src/checkpoint/*.h, so the tuning guide cannot document a knob that
-#     was renamed or removed.
+#     identifier in src/system/sase_system.h, src/runtime/*.h,
+#     src/checkpoint/*.h or src/obs/*.h, so the tuning guide cannot
+#     document a knob that was renamed or removed.
+#  3. Metric catalog: docs/observability.md's catalog rows
+#     ("| `sase_...` | ...") are checked against the registry call sites
+#     in src/ BOTH ways — a documented metric must exist in the code, and
+#     every "sase_..." name literal in src/ must appear in the catalog.
 set -u
 
 cd "$(dirname "$0")/.."
 
 status=0
-for doc in README.md docs/language.md docs/operations.md docs/architecture.md docs/recovery.md; do
+for doc in README.md docs/language.md docs/operations.md docs/architecture.md docs/recovery.md docs/observability.md; do
   if [[ ! -f "$doc" ]]; then
     echo "MISSING DOC: $doc"
     status=1
@@ -48,9 +52,48 @@ if [[ -f "$knob_doc" ]]; then
   fi
   for knob in $knobs; do
     if ! grep -qrE "\b${knob}\b" src/system/sase_system.h src/runtime/*.h \
-         src/checkpoint/*.h; then
+         src/checkpoint/*.h src/obs/*.h; then
       echo "UNKNOWN KNOB in $knob_doc: \`$knob\` not found in" \
-           "src/system/sase_system.h, src/runtime/*.h or src/checkpoint/*.h"
+           "src/system/sase_system.h, src/runtime/*.h, src/checkpoint/*.h" \
+           "or src/obs/*.h"
+      status=1
+    fi
+  done
+fi
+
+# --- metric catalog check (docs/observability.md vs src/ call sites) ---
+metric_doc=docs/observability.md
+if [[ -f "$metric_doc" ]]; then
+  # Documented -> code. Engine per-query names are assembled at runtime
+  # ("sase_query_" + suffix), so for those grep the suffix literal.
+  metrics=$(grep -oE '^\| `sase_[a-z_]+`' "$metric_doc" \
+              | sed -E 's/^\| `(sase_[a-z_]+)`/\1/' | sort -u)
+  if [[ -z "$metrics" ]]; then
+    echo "NO METRIC CATALOG ROWS found in $metric_doc (format: '| \`sase_...\` | ...')"
+    status=1
+  fi
+  for metric in $metrics; do
+    needle="$metric"
+    case "$metric" in
+      sase_query_*) needle="${metric#sase_query_}" ;;
+    esac
+    if ! grep -qr "\"${needle}" src/; then
+      echo "UNKNOWN METRIC in $metric_doc: \`$metric\` has no registry" \
+           "call site in src/"
+      status=1
+    fi
+  done
+  # Code -> documented. Every metric-name literal in src/ (including the
+  # assembled "sase_query_" prefix) must appear in the catalog.
+  srcnames=$(grep -rhoE '"sase_[a-z_]+' src/ | tr -d '"' | sort -u)
+  for name in $srcnames; do
+    case "$name" in
+      *_) pattern="\`${name}" ;;       # assembled prefix ("sase_query_" + ...)
+      *) pattern="\`${name}\`" ;;      # full name: match exactly
+    esac
+    if ! grep -q "$pattern" "$metric_doc"; then
+      echo "UNDOCUMENTED METRIC: \"$name\" used in src/ but absent from" \
+           "$metric_doc's catalog"
       status=1
     fi
   done

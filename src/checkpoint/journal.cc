@@ -8,6 +8,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/crc32.h"
 
 namespace sase {
@@ -262,6 +264,7 @@ Status EventJournal::OpenSegment(uint64_t segment) {
 
 Status EventJournal::AppendPayload(const std::string& payload) {
   if (fd_ < 0) return Status::FailedPrecondition("journal is not open");
+  uint64_t start = append_latency_ != nullptr ? obs::MonotonicNs() : 0;
   std::string framed;
   framed.reserve(payload.size() + 8);
   PutU32(&framed, static_cast<uint32_t>(payload.size()));
@@ -271,8 +274,16 @@ Status EventJournal::AppendPayload(const std::string& payload) {
       static_cast<ssize_t>(framed.size())) {
     return WriteErrno("journal append failed");
   }
+  if (append_latency_ != nullptr) {
+    append_latency_->Record(static_cast<int64_t>(obs::MonotonicNs() - start));
+  }
   if (fsync_ == FsyncPolicy::kAlways) {
+    uint64_t sync_start = fsync_latency_ != nullptr ? obs::MonotonicNs() : 0;
     if (::fsync(fd_) != 0) return WriteErrno("journal fsync failed");
+    if (fsync_latency_ != nullptr) {
+      fsync_latency_->Record(
+          static_cast<int64_t>(obs::MonotonicNs() - sync_start));
+    }
   }
   segment_bytes_ += framed.size();
   bytes_written_ += framed.size();

@@ -9,6 +9,9 @@
 #include "util/status.h"
 
 namespace sase {
+namespace obs {
+class HistogramMetric;
+}  // namespace obs
 namespace checkpoint {
 
 /// How aggressively the journal pushes appended records to stable storage.
@@ -93,6 +96,15 @@ class EventJournal {
   uint64_t rotations() const { return rotations_; }
   uint64_t segment() const { return segment_; }
 
+  /// Attaches per-append latency histograms (not owned; nullptr detaches):
+  /// `append` times frame build + write(2), `fsync` times the fsync(2) under
+  /// FsyncPolicy::kAlways. Detached, the append path takes no timestamps.
+  void set_latency_metrics(obs::HistogramMetric* append,
+                           obs::HistogramMetric* fsync) {
+    append_latency_ = append;
+    fsync_latency_ = fsync;
+  }
+
  private:
   EventJournal(std::string dir, uint64_t snapshot, uint64_t rotate_bytes,
                FsyncPolicy fsync)
@@ -106,6 +118,9 @@ class EventJournal {
   uint64_t snapshot_ = 0;
   uint64_t rotate_bytes_ = 0;
   FsyncPolicy fsync_ = FsyncPolicy::kNever;
+
+  obs::HistogramMetric* append_latency_ = nullptr;
+  obs::HistogramMetric* fsync_latency_ = nullptr;
 
   int fd_ = -1;
   uint64_t segment_ = 0;

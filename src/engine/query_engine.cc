@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "query/analyzer.h"
 #include "util/string_util.h"
 
@@ -52,9 +54,58 @@ Result<QueryId> QueryEngine::RegisterParsed(QueryId id, std::string text,
   if (!analyzed.ok()) return analyzed.status();
   auto plan = Planner::Build(std::move(analyzed).value(), options, catalog_,
                              &functions_, std::move(callback));
-  plans_.emplace(id, Entry{std::move(plan), std::move(stream), std::move(text)});
+  auto [it, inserted] = plans_.emplace(
+      id, Entry{std::move(plan), std::move(stream), std::move(text), nullptr});
+  if (inserted && metrics_ != nullptr) ResolveEntryMetrics(id, it->second);
   next_id_ = std::max(next_id_, id + 1);
   return id;
+}
+
+std::string QueryEngine::QueryMetricName(const std::string& what,
+                                         QueryId id) const {
+  return "sase_query_" + what + "{host=\"" + host_label_ + "\",query=\"" +
+         std::to_string(id) + "\"}";
+}
+
+void QueryEngine::ResolveEntryMetrics(QueryId id, Entry& entry) {
+  entry.op_latency =
+      metrics_ == nullptr
+          ? nullptr
+          : metrics_->GetHistogram(QueryMetricName("op_latency_ns", id));
+}
+
+void QueryEngine::AttachMetrics(obs::MetricsRegistry* metrics,
+                                std::string host_label) {
+  metrics_ = metrics;
+  host_label_ = std::move(host_label);
+  for (auto& [id, entry] : plans_) ResolveEntryMetrics(id, entry);
+}
+
+void QueryEngine::ScrapeMetrics() const {
+  if (metrics_ == nullptr) return;
+  metrics_->GetCounter("sase_engine_events_total{host=\"" + host_label_ +
+                       "\"}")
+      ->Set(events_processed_);
+  for (const auto& [id, entry] : plans_) {
+    const QueryPlan& plan = *entry.plan;
+    const SequenceScan::Stats& scan = plan.sequence_scan().stats();
+    metrics_->GetCounter(QueryMetricName("events_seen_total", id))
+        ->Set(scan.events_seen);
+    metrics_->GetCounter(QueryMetricName("sequences_total", id))
+        ->Set(plan.sequence_scan().matches_out());
+    metrics_->GetCounter(QueryMetricName("matches_total", id))
+        ->Set(plan.negation().matches_out());
+    metrics_->GetCounter(QueryMetricName("outputs_total", id))
+        ->Set(plan.output_count());
+    metrics_->GetCounter(QueryMetricName("errors_total", id))
+        ->Set(plan.eval_error_count());
+    metrics_->GetGauge(QueryMetricName("scan_instances", id))
+        ->Set(static_cast<int64_t>(scan.instances_alive));
+    const Negation::Stats& negation = plan.negation().stats();
+    metrics_->GetGauge(QueryMetricName("negation_buffer", id))
+        ->Set(static_cast<int64_t>(negation.events_buffered -
+                                   negation.events_pruned));
+  }
 }
 
 Status QueryEngine::Unregister(QueryId id) {
@@ -126,8 +177,18 @@ Status QueryEngine::RestoreEngineState(const std::string& payload) {
 
 void QueryEngine::OnEvent(const EventPtr& event) {
   ++events_processed_;
+  if (metrics_ == nullptr) {
+    for (auto& [id, entry] : plans_) {
+      if (entry.stream.empty()) entry.plan->OnEvent(event);
+    }
+    return;
+  }
   for (auto& [id, entry] : plans_) {
-    if (entry.stream.empty()) entry.plan->OnEvent(event);
+    if (!entry.stream.empty()) continue;
+    uint64_t start = obs::MonotonicNs();
+    entry.plan->OnEvent(event);
+    entry.op_latency->Record(
+        static_cast<int64_t>(obs::MonotonicNs() - start));
   }
 }
 
@@ -135,8 +196,18 @@ void QueryEngine::OnStreamEvent(const std::string& stream,
                                 const EventPtr& event) {
   ++events_processed_;
   std::string key = ToLower(stream);
+  if (metrics_ == nullptr) {
+    for (auto& [id, entry] : plans_) {
+      if (entry.stream == key) entry.plan->OnEvent(event);
+    }
+    return;
+  }
   for (auto& [id, entry] : plans_) {
-    if (entry.stream == key) entry.plan->OnEvent(event);
+    if (entry.stream != key) continue;
+    uint64_t start = obs::MonotonicNs();
+    entry.plan->OnEvent(event);
+    entry.op_latency->Record(
+        static_cast<int64_t>(obs::MonotonicNs() - start));
   }
 }
 
@@ -145,26 +216,52 @@ void QueryEngine::OnStreamEvents(const std::string& stream,
   events_processed_ += events.size();
   std::string key = ToLower(stream);
   // Resolve the reader set once; per event the serial iteration order
-  // (plans in id order) is preserved.
-  std::vector<QueryPlan*> readers;
+  // (plans in id order) is preserved. The instrumented variant times each
+  // plan's operator-chain wall time per event; detached, the loop is the
+  // exact pre-instrumentation code path.
+  std::vector<std::pair<QueryPlan*, obs::HistogramMetric*>> readers;
   for (auto& [id, entry] : plans_) {
-    if (entry.stream == key) readers.push_back(entry.plan.get());
+    if (entry.stream == key) {
+      readers.emplace_back(entry.plan.get(), entry.op_latency);
+    }
   }
   if (readers.empty()) return;
+  if (metrics_ == nullptr) {
+    for (const EventPtr& event : events) {
+      for (auto& [plan, latency] : readers) plan->OnEvent(event);
+    }
+    return;
+  }
   for (const EventPtr& event : events) {
-    for (QueryPlan* plan : readers) plan->OnEvent(event);
+    for (auto& [plan, latency] : readers) {
+      uint64_t start = obs::MonotonicNs();
+      plan->OnEvent(event);
+      latency->Record(static_cast<int64_t>(obs::MonotonicNs() - start));
+    }
   }
 }
 
 void QueryEngine::OnEvents(const std::vector<EventPtr>& events) {
   events_processed_ += events.size();
-  std::vector<QueryPlan*> readers;
+  std::vector<std::pair<QueryPlan*, obs::HistogramMetric*>> readers;
   for (auto& [id, entry] : plans_) {
-    if (entry.stream.empty()) readers.push_back(entry.plan.get());
+    if (entry.stream.empty()) {
+      readers.emplace_back(entry.plan.get(), entry.op_latency);
+    }
   }
   if (readers.empty()) return;
+  if (metrics_ == nullptr) {
+    for (const EventPtr& event : events) {
+      for (auto& [plan, latency] : readers) plan->OnEvent(event);
+    }
+    return;
+  }
   for (const EventPtr& event : events) {
-    for (QueryPlan* plan : readers) plan->OnEvent(event);
+    for (auto& [plan, latency] : readers) {
+      uint64_t start = obs::MonotonicNs();
+      plan->OnEvent(event);
+      latency->Record(static_cast<int64_t>(obs::MonotonicNs() - start));
+    }
   }
 }
 
@@ -200,21 +297,26 @@ QueryEngine::EngineStats QueryEngine::Stats() const {
 }
 
 std::string QueryEngine::StatsReport() const {
-  std::ostringstream out;
-  out << "queries=" << plans_.size() << " events=" << events_processed_ << "\n";
+  std::string out = obs::ReportLine()
+                        .Kv("queries", plans_.size())
+                        .Kv("events", events_processed_)
+                        .Str();
   for (const auto& [id, entry] : plans_) {
     const QueryPlan& plan = *entry.plan;
-    out << "#" << id << " [" << (entry.stream.empty() ? "default" : entry.stream)
-        << "] " << plan.options().ToString()
-        << " scanned=" << plan.sequence_scan().stats().events_seen
-        << " sequences=" << plan.sequence_scan().matches_out()
-        << " selected=" << plan.selection().matches_out()
-        << " windowed=" << plan.window_filter().matches_out()
-        << " survived_negation=" << plan.negation().matches_out()
-        << " outputs=" << plan.output_count()
-        << " errors=" << plan.eval_error_count() << "\n";
+    out += obs::ReportLine("#" + std::to_string(id))
+               .Text("[" + (entry.stream.empty() ? "default" : entry.stream) +
+                     "]")
+               .Text(plan.options().ToString())
+               .Kv("scanned", plan.sequence_scan().stats().events_seen)
+               .Kv("sequences", plan.sequence_scan().matches_out())
+               .Kv("selected", plan.selection().matches_out())
+               .Kv("windowed", plan.window_filter().matches_out())
+               .Kv("survived_negation", plan.negation().matches_out())
+               .Kv("outputs", plan.output_count())
+               .Kv("errors", plan.eval_error_count())
+               .Str();
   }
-  return out.str();
+  return out;
 }
 
 }  // namespace sase

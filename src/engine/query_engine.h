@@ -9,6 +9,7 @@
 #include "core/catalog.h"
 #include "core/stream.h"
 #include "engine/planner.h"
+#include "obs/metrics.h"
 #include "query/parser.h"
 #include "util/time_util.h"
 
@@ -168,6 +169,21 @@ class QueryEngine : public EventSink {
   };
   EngineStats Stats() const;
 
+  /// Attaches a metrics registry under a host label ("serial", "shard-0",
+  /// "broadcast"): the event path starts timing per-query operator wall time
+  /// into `sase_query_op_latency_ns{host=...,query=...}` (wait-free
+  /// recording), and ScrapeMetrics() mirrors the per-query truth counters.
+  /// Detached (the default) the event path is the exact pre-instrumentation
+  /// loop behind one null check. nullptr detaches.
+  void AttachMetrics(obs::MetricsRegistry* metrics, std::string host_label);
+
+  /// Mirrors the per-query operator counters and occupancy gauges (events
+  /// seen, sequences, outputs, errors, live scan instances, negation buffer
+  /// occupancy) into the attached registry. Counters are Set() from the
+  /// plans' own stats — the registry shows the same truth StatsReport()
+  /// prints, including across state restore. No-op when detached.
+  void ScrapeMetrics() const;
+
   /// One line per registered query: id, input stream, plan options and the
   /// operator in/out counters — the processor-level view the demo UI's
   /// status panes summarize.
@@ -182,6 +198,9 @@ class QueryEngine : public EventSink {
     std::unique_ptr<QueryPlan> plan;
     std::string stream;  // lowercased FROM name; empty = default input
     std::string text;    // registration source; "" for pre-parsed queries
+    /// Operator wall-time histogram; non-null only while a registry is
+    /// attached (resolved once per registration/attach, recorded wait-free).
+    obs::HistogramMetric* op_latency = nullptr;
   };
 
   /// Shared tail of every Register flavor: analyze, plan, install under
@@ -190,12 +209,18 @@ class QueryEngine : public EventSink {
                                  ParsedQuery parsed, OutputCallback callback,
                                  PlanOptions options);
 
+  /// `sase_query_<what>{host=...,query=<id>}` under this engine's host label.
+  std::string QueryMetricName(const std::string& what, QueryId id) const;
+  void ResolveEntryMetrics(QueryId id, Entry& entry);
+
   const Catalog* catalog_;
   TimeConfig time_config_;
   FunctionRegistry functions_;
   std::map<QueryId, Entry> plans_;
   QueryId next_id_ = 1;
   uint64_t events_processed_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::string host_label_;
 };
 
 }  // namespace sase

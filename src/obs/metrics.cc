@@ -1,0 +1,199 @@
+#include "obs/metrics.h"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+namespace sase {
+namespace obs {
+namespace {
+
+/// Family = metric name up to the label block.
+std::string FamilyOf(const std::string& name) {
+  size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/// Inserts a family suffix before the label block: ("m{a="1"}", "_sum") ->
+/// "m_sum{a="1"}". Prometheus histograms expose their series under
+/// suffixed family names.
+std::string WithSuffix(const std::string& name, const std::string& suffix) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) return name + suffix;
+  return name.substr(0, brace) + suffix + name.substr(brace);
+}
+
+}  // namespace
+
+size_t Counter::Slot() {
+  static thread_local const size_t slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kStripes;
+  return slot;
+}
+
+void HistogramMetric::Record(int64_t value) {
+  static thread_local const size_t slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kStripes;
+  if (value < 0) value = 0;
+  Cell& cell = cells_[slot];
+  cell.buckets[Histogram::BucketIndex(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  uint64_t seen =
+      cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.sum.fetch_add(static_cast<uint64_t>(value), std::memory_order_relaxed);
+  if (seen == 0) {
+    // First sample in this cell seeds both extrema; racing recorders on the
+    // same cell still converge through the CAS loops below.
+    cell.min.store(value, std::memory_order_relaxed);
+    cell.max.store(value, std::memory_order_relaxed);
+  }
+  int64_t cur = cell.min.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !cell.min.compare_exchange_weak(cur, value,
+                                         std::memory_order_relaxed)) {
+  }
+  cur = cell.max.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !cell.max.compare_exchange_weak(cur, value,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+Histogram HistogramMetric::Aggregate() const {
+  Histogram total;
+  uint64_t raw[Histogram::kNumBuckets];
+  for (const Cell& cell : cells_) {
+    uint64_t count = cell.count.load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      raw[i] = cell.buckets[i].load(std::memory_order_relaxed);
+    }
+    total.MergeBuckets(
+        raw, Histogram::kNumBuckets, count,
+        cell.min.load(std::memory_order_relaxed),
+        cell.max.load(std::memory_order_relaxed),
+        static_cast<double>(cell.sum.load(std::memory_order_relaxed)));
+  }
+  return total;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<HistogramMetric>();
+  return slot.get();
+}
+
+std::string SpliceLabel(const std::string& name, const std::string& label) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) return name + "{" + label + "}";
+  std::string out = name;
+  out.insert(out.size() - 1, "," + label);
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+
+  // The maps are name-ordered, so all samples of one family are contiguous
+  // and the `# TYPE` line can be emitted on each family switch.
+  std::string family;
+  for (const auto& [name, counter] : counters_) {
+    if (FamilyOf(name) != family) {
+      family = FamilyOf(name);
+      out << "# TYPE " << family << " counter\n";
+    }
+    out << name << " " << counter->Value() << "\n";
+  }
+  family.clear();
+  for (const auto& [name, gauge] : gauges_) {
+    if (FamilyOf(name) != family) {
+      family = FamilyOf(name);
+      out << "# TYPE " << family << " gauge\n";
+    }
+    out << name << " " << gauge->Value() << "\n";
+  }
+  family.clear();
+  for (const auto& [name, metric] : histograms_) {
+    if (FamilyOf(name) != family) {
+      family = FamilyOf(name);
+      out << "# TYPE " << family << " histogram\n";
+    }
+    Histogram h = metric->Aggregate();
+    const std::vector<uint64_t>& buckets = h.buckets();
+    size_t last = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] > 0) last = i;
+    }
+    const std::string bucket_name = WithSuffix(name, "_bucket");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i <= last && h.count() > 0; ++i) {
+      cumulative += buckets[i];
+      out << SpliceLabel(bucket_name,
+                         "le=\"" +
+                             std::to_string(Histogram::BucketUpperBound(i)) +
+                             "\"")
+          << " " << cumulative << "\n";
+    }
+    out << SpliceLabel(bucket_name, "le=\"+Inf\"") << " " << h.count() << "\n";
+    out << WithSuffix(name, "_sum") << " "
+        << static_cast<uint64_t>(h.mean() * static_cast<double>(h.count()))
+        << "\n";
+    out << WithSuffix(name, "_count") << " " << h.count() << "\n";
+  }
+  return out.str();
+}
+
+Status MetricsRegistry::WritePrometheus(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open metrics file " + path);
+  }
+  out << RenderPrometheus();
+  out.close();
+  if (!out) return Status::Internal("cannot write metrics file " + path);
+  return Status::Ok();
+}
+
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::GaugeNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, metric] : histograms_) names.push_back(name);
+  return names;
+}
+
+}  // namespace obs
+}  // namespace sase

@@ -1,0 +1,152 @@
+#ifndef SASE_OBS_METRICS_H_
+#define SASE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace sase {
+namespace obs {
+
+/// Observability knobs, carried on SystemConfig (and by pointer on
+/// RuntimeConfig). See docs/observability.md for the full catalog and
+/// walkthrough.
+struct ObsConfig {
+  /// Construct a MetricsRegistry and wire the hot-path instrumentation
+  /// (per-query operator timing, ring-wait and dispatch->merge latency,
+  /// journal append/fsync latency). Off = the engines run the exact
+  /// pre-instrumentation code path (a null-pointer branch per batch).
+  bool metrics_enabled = true;
+  /// Event-lifecycle tracing: sample one ingested event in N (0 = off).
+  /// Sampled events accumulate spans across partition -> ring -> operator ->
+  /// merge -> emit, dumped as Chrome trace-event JSON (Perfetto-loadable).
+  uint64_t trace_sample_every = 0;
+  /// When non-empty, SaseSystem dumps the collected trace here at
+  /// destruction (console `.trace dump <path>` dumps on demand either way).
+  std::string trace_path;
+};
+
+/// Monotonic counter. The hot path (`Add`) is wait-free: each recording
+/// thread increments one of a small set of cache-line-padded relaxed
+/// atomics, picked by hashed thread id, so shard workers never contend on a
+/// shared line. `Set` overwrites the absolute base value — used by scrape
+/// code that mirrors an externally-tracked truth counter (engine stats,
+/// merger counts) into the registry; such counters are never Add()ed.
+class Counter {
+ public:
+  static constexpr size_t kStripes = 8;
+
+  void Add(uint64_t n = 1) {
+    cells_[Slot()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sets the scrape-mirrored base; Value() = base + striped increments.
+  void Set(uint64_t v) { base_.store(v, std::memory_order_relaxed); }
+
+  uint64_t Value() const {
+    uint64_t total = base_.load(std::memory_order_relaxed);
+    for (const Cell& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  static size_t Slot();
+
+  Cell cells_[kStripes];
+  std::atomic<uint64_t> base_{0};
+};
+
+/// Point-in-time value (queue depth, buffer occupancy, shard count).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-bucketed latency histogram with a wait-free `Record`: per-thread
+/// striped cells of relaxed atomic bucket counts (the same bucket
+/// boundaries as sase::Histogram), aggregated into a Histogram only at
+/// scrape time. min/max are maintained with relaxed CAS loops — cheap
+/// because a freshly-seen extremum is rare after warmup.
+class HistogramMetric {
+ public:
+  static constexpr size_t kStripes = 8;
+
+  void Record(int64_t value);
+
+  /// Folds every cell into one summarizable histogram (scrape time).
+  Histogram Aggregate() const;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> buckets[Histogram::kNumBuckets] = {};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<int64_t> min{0};
+    std::atomic<int64_t> max{0};
+  };
+
+  Cell cells_[kStripes];
+};
+
+/// Name -> metric registry with Prometheus text rendering. Metric names
+/// follow Prometheus conventions and may carry inline labels:
+///
+///   sase_runtime_events_dispatched_total
+///   sase_shard_events_total{shard="3"}
+///   sase_query_op_latency_ns{host="runtime",query="7"}
+///
+/// The family (name up to '{') groups the `# TYPE` line. Get* returns a
+/// stable pointer — instrumented code resolves its handles once (behind a
+/// mutex) and records through them wait-free forever after.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  HistogramMetric* GetHistogram(const std::string& name);
+
+  /// Prometheus text exposition format: `# TYPE` per family, one sample
+  /// line per counter/gauge, cumulative `_bucket{le=...}` + `_sum` +
+  /// `_count` per histogram. Deterministic order (sorted by name).
+  std::string RenderPrometheus() const;
+
+  /// RenderPrometheus straight to a file.
+  Status WritePrometheus(const std::string& path) const;
+
+  /// Registered metric names (with labels), for tests and the doc-catalog
+  /// check.
+  std::vector<std::string> CounterNames() const;
+  std::vector<std::string> GaugeNames() const;
+  std::vector<std::string> HistogramNames() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+/// Splices an extra label into a possibly-already-labeled metric name:
+/// ("m", le="5") -> m{le="5"}; ("m{a="1"}", le="5") -> m{a="1",le="5"}.
+std::string SpliceLabel(const std::string& name, const std::string& label);
+
+}  // namespace obs
+}  // namespace sase
+
+#endif  // SASE_OBS_METRICS_H_

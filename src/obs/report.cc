@@ -1,0 +1,17 @@
+#include "obs/report.h"
+
+namespace sase {
+namespace obs {
+
+std::string ReportLine::Str() const {
+  std::string out;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) out += " ";
+    out += parts_[i];
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace sase

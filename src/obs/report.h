@@ -1,0 +1,57 @@
+#ifndef SASE_OBS_REPORT_H_
+#define SASE_OBS_REPORT_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sase {
+namespace obs {
+
+/// Renders one `key=value` token. The stats reports (engine, runtime,
+/// checkpoint) and their tests agree on this exact shape; keep every report
+/// line going through here (or ReportLine below) so the format lives once.
+/// The machine-readable twin of these reports is the MetricsRegistry —
+/// ScrapeMetrics() mirrors the same counters and RenderPrometheus() exports
+/// them; the `key=value` lines are the human-readable rendering only.
+template <typename T>
+std::string Kv(const std::string& key, const T& value) {
+  std::ostringstream out;
+  out << key << "=" << value;
+  return out.str();
+}
+
+/// Builds one space-joined report line: a leading head token ("runtime",
+/// "checkpoint:", "#7"), then `key=value` pairs and free-text tokens in call
+/// order, terminated by '\n'.
+///
+///   ReportLine("resizes:").Kv("total", 3).Kv("up", 2).Kv("down", 1).Str()
+///     -> "resizes: total=3 up=2 down=1\n"
+class ReportLine {
+ public:
+  ReportLine() = default;
+  explicit ReportLine(std::string head) { parts_.push_back(std::move(head)); }
+
+  template <typename T>
+  ReportLine& Kv(const std::string& key, const T& value) {
+    parts_.push_back(obs::Kv(key, value));
+    return *this;
+  }
+
+  /// Appends a raw token (parenthesized groups, trailing units).
+  ReportLine& Text(std::string raw) {
+    parts_.push_back(std::move(raw));
+    return *this;
+  }
+
+  /// Space-joined tokens plus a trailing newline.
+  std::string Str() const;
+
+ private:
+  std::vector<std::string> parts_;
+};
+
+}  // namespace obs
+}  // namespace sase
+
+#endif  // SASE_OBS_REPORT_H_

@@ -1,0 +1,104 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace sase {
+namespace obs {
+
+uint64_t MonotonicNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void TraceCollector::AddSpan(uint64_t trace_id, const char* name,
+                             std::string lane, uint64_t start_ns,
+                             uint64_t end_ns, uint64_t global) {
+  if (trace_id == 0) return;
+  TraceSpan span;
+  span.trace_id = trace_id;
+  span.name = name;
+  span.lane = std::move(lane);
+  span.start_ns = start_ns;
+  span.dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+  span.global = global;
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+size_t TraceCollector::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<TraceSpan> TraceCollector::Spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+}
+
+std::string TraceCollector::ToJson() const {
+  std::vector<TraceSpan> spans = Spans();
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              return a.start_ns < b.start_ns;
+            });
+  // Normalize to the earliest span so the dump starts near t=0 (the raw
+  // timestamps are MonotonicNs — arbitrary-epoch monotonic nanoseconds).
+  const uint64_t origin = spans.empty() ? 0 : spans.front().start_ns;
+
+  // Chrome trace tids must be integers; assign one per lane and name it
+  // with a thread_name metadata event so Perfetto shows the lane labels.
+  std::map<std::string, int> lanes;
+  for (const TraceSpan& span : spans) {
+    lanes.emplace(span.lane, static_cast<int>(lanes.size()) + 1);
+  }
+
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [lane, tid] : lanes) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << lane << "\"}}";
+  }
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  for (const TraceSpan& span : spans) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << span.name << "\",\"cat\":\"sase\",\"ph\":\"X\""
+        << ",\"ts\":" << static_cast<double>(span.start_ns - origin) / 1000.0
+        << ",\"dur\":" << static_cast<double>(span.dur_ns) / 1000.0
+        << ",\"pid\":1,\"tid\":" << lanes[span.lane]
+        << ",\"args\":{\"trace\":" << span.trace_id;
+    if (span.global > 0) out << ",\"global\":" << span.global;
+    out << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status TraceCollector::DumpJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open trace file " + path);
+  }
+  out << ToJson();
+  out.close();
+  if (!out) return Status::Internal("cannot write trace file " + path);
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace sase

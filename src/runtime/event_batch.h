@@ -41,6 +41,21 @@ struct EventBatch {
 
   /// End-of-stream marker: the worker flushes its engine and acknowledges.
   bool flush = false;
+
+  /// Sampled-trace bookkeeping (obs::TraceCollector). Each entry marks
+  /// `events[index]` as carrying a live trace: the worker splits the batch
+  /// around it and stamps ring/operator spans. Empty (the overwhelmingly
+  /// common case, even with tracing on) = process the batch wholesale.
+  struct TracedEvent {
+    uint64_t trace_id = 0;
+    size_t index = 0;
+    uint64_t global = 0;
+  };
+  std::vector<TracedEvent> traced;
+
+  /// MonotonicNs() at ring enqueue; 0 when observability is off. The worker
+  /// turns it into the ring-wait latency sample (and the "ring" trace span).
+  uint64_t enqueue_ns = 0;
 };
 
 /// Adaptive wait used by both ring endpoints: spin briefly (the common case

@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "obs/report.h"
 #include "query/analyzer.h"
 #include "query/parser.h"
 #include "util/logging.h"
@@ -23,6 +24,11 @@ ShardedRuntime::ShardedRuntime(const Catalog* catalog, RuntimeConfig config,
   if (config_.batch_size == 0) config_.batch_size = 1;
   stream_queries_.resize(partitioner_.streams().size());
   last_check_time_ = std::chrono::steady_clock::now();
+  obs_stamp_ = config_.metrics != nullptr || config_.tracer != nullptr;
+  if (config_.metrics != nullptr) {
+    dispatch_merge_latency_ =
+        config_.metrics->GetHistogram("sase_runtime_dispatch_merge_latency_ns");
+  }
 
   // shard workers 0..N-1, broadcast worker N.
   for (int i = 0; i <= config_.shard_count; ++i) {
@@ -37,6 +43,17 @@ std::unique_ptr<ShardedRuntime::Worker> ShardedRuntime::MakeWorker(int index) {
   auto worker = std::make_unique<Worker>(index, config_.queue_capacity);
   worker->engine = std::make_unique<QueryEngine>(catalog_, config_.time_config);
   if (engine_init_) engine_init_(*worker->engine);
+  worker->lane = index == config_.shard_count
+                     ? std::string("broadcast")
+                     : "shard-" + std::to_string(index);
+  if (config_.metrics != nullptr) {
+    worker->ring_wait = config_.metrics->GetHistogram(
+        "sase_shard_ring_wait_ns{shard=\"" +
+        (index == config_.shard_count ? std::string("broadcast")
+                                      : std::to_string(index)) +
+        "\"}");
+    worker->engine->AttachMetrics(config_.metrics, worker->lane);
+  }
   return worker;
 }
 
@@ -50,10 +67,46 @@ ShardedRuntime::~ShardedRuntime() {
 void ShardedRuntime::WorkerLoop(Worker* worker) {
   EventBatch batch;
   while (worker->queue.Pop(&batch)) {
-    if (batch.stream.empty()) {
-      worker->engine->OnEvents(batch.events);
+    obs::TraceCollector* tracer = config_.tracer;
+    uint64_t pop_ns = 0;
+    if (batch.enqueue_ns > 0) {
+      pop_ns = obs::MonotonicNs();
+      if (worker->ring_wait != nullptr) {
+        worker->ring_wait->Record(
+            static_cast<int64_t>(pop_ns - batch.enqueue_ns));
+      }
+    }
+    if (batch.traced.empty() || tracer == nullptr) {
+      if (batch.stream.empty()) {
+        worker->engine->OnEvents(batch.events);
+      } else {
+        worker->engine->OnStreamEvents(batch.stream, batch.events);
+      }
     } else {
-      worker->engine->OnStreamEvents(batch.stream, batch.events);
+      // The batch carries trace-sampled events: deliver per event (same
+      // semantics as the wholesale call — OnEvents is a loop over OnEvent)
+      // so each sampled event's "operator" span covers exactly its own
+      // operator-chain work. Traced batches are rare even with tracing on.
+      size_t next = 0;
+      for (size_t i = 0; i < batch.events.size(); ++i) {
+        bool traced =
+            next < batch.traced.size() && batch.traced[next].index == i;
+        uint64_t op_start = traced ? obs::MonotonicNs() : 0;
+        if (batch.stream.empty()) {
+          worker->engine->OnEvent(batch.events[i]);
+        } else {
+          worker->engine->OnStreamEvent(batch.stream, batch.events[i]);
+        }
+        if (traced) {
+          const EventBatch::TracedEvent& mark = batch.traced[next++];
+          if (pop_ns > 0) {
+            tracer->AddSpan(mark.trace_id, "ring", worker->lane,
+                            batch.enqueue_ns, pop_ns, mark.global);
+          }
+          tracer->AddSpan(mark.trace_id, "operator", worker->lane, op_start,
+                          obs::MonotonicNs(), mark.global);
+        }
+      }
     }
     for (const auto& [stream, ts] : batch.clocks) {
       if (stream.empty()) {
@@ -725,7 +778,8 @@ bool ShardedRuntime::IsSharded(QueryId id) const {
 }
 
 void ShardedRuntime::AppendToWorker(Worker* worker, const std::string& stream,
-                                    const EventPtr& event, uint64_t global) {
+                                    const EventPtr& event, uint64_t global,
+                                    uint64_t trace_id) {
   // One batch carries one stream; cut on a switch so the worker can route
   // the whole batch with a single stream lookup.
   if (!worker->pending.events.empty() && worker->pending.stream != stream) {
@@ -733,6 +787,10 @@ void ShardedRuntime::AppendToWorker(Worker* worker, const std::string& stream,
   }
   worker->pending.stream = stream;
   worker->pending.events.push_back(event);
+  if (trace_id != 0) {
+    worker->pending.traced.push_back(EventBatch::TracedEvent{
+        trace_id, worker->pending.events.size() - 1, global});
+  }
   worker->pending_last_global = global;
   if (worker->pending.events.size() >= config_.batch_size) {
     FlushBatch(worker, nullptr, /*flush=*/false);
@@ -768,6 +826,7 @@ void ShardedRuntime::FlushBatch(Worker* worker, const Clocks* clocks,
     }
   }
   worker->pending.flush = flush;
+  if (obs_stamp_) worker->pending.enqueue_ns = obs::MonotonicNs();
   ++worker->batches_enqueued;
   worker->queue.Push(std::move(worker->pending));
   worker->pending = EventBatch{};
@@ -792,6 +851,16 @@ void ShardedRuntime::OnStreamEvent(const std::string& stream,
 
 void ShardedRuntime::Dispatch(StreamId stream, const std::string& name,
                               const EventPtr& event) {
+  obs::TraceCollector* tracer = config_.tracer;
+  uint64_t trace_id = 0;
+  uint64_t trace_start = 0;
+  if (tracer != nullptr && tracer->enabled()) {
+    // Embedded under SaseSystem the ingest tap samples and stamps the
+    // current slot; standalone, the dispatcher IS the ingest point.
+    trace_id =
+        tracer->external_sampler() ? tracer->current() : tracer->MaybeSample();
+    if (trace_id != 0) trace_start = obs::MonotonicNs();
+  }
   uint64_t global =
       merger_.NoteDispatched(stream, event->timestamp(), event->seq());
   events_dispatched_ = global;
@@ -807,19 +876,32 @@ void ShardedRuntime::Dispatch(StreamId stream, const std::string& name,
     }
     if (hosts.sharded > 0) {
       AppendToWorker(workers_[static_cast<size_t>(shard)].get(), name, event,
-                     global);
+                     global, trace_id);
     }
     if (hosts.broadcast > 0) {
-      AppendToWorker(&broadcast_worker(), name, event, global);
+      AppendToWorker(&broadcast_worker(), name, event, global, trace_id);
     }
   }
   RetainForReplay(stream, event, global);
+  if (trace_id != 0) {
+    // The span covers dispatch-log stamping, routing and the ring handoff
+    // (including any backpressure block); the merge span opens here and
+    // NoteDelivered closes it once the merge watermark passes `global`.
+    uint64_t now = obs::MonotonicNs();
+    tracer->AddSpan(trace_id, "partition", "dispatcher", trace_start, now,
+                    global);
+    open_traces_.push_back(OpenTrace{global, trace_id, now});
+  }
 
   if (config_.merge_interval > 0 &&
       events_dispatched_ % config_.merge_interval == 0) {
     // Broadcast every stream's clock so quiet shards release tail-negation
     // deferrals, then surface whatever is safely ordered and compact the
     // dispatch log underneath it.
+    if (dispatch_merge_latency_ != nullptr) {
+      merge_marks_.push_back(
+          MergeMark{events_dispatched_, obs::MonotonicNs()});
+    }
     BroadcastClocks();
     DeliverReady();
   }
@@ -910,7 +992,12 @@ void ShardedRuntime::WaitIdle() {
   // future record triggers strictly later in dispatch order, so everything
   // at or below the current dispatch point is safe to release.
   CollectOutputs();
+  bool obs_pending = !merge_marks_.empty() || !open_traces_.empty();
+  uint64_t t0 = obs_pending ? obs::MonotonicNs() : 0;
   Deliver(merger_.DrainReady(events_dispatched_));
+  if (obs_pending) {
+    NoteDelivered(events_dispatched_, t0, obs::MonotonicNs());
+  }
 }
 
 void ShardedRuntime::OnFlush() {
@@ -919,7 +1006,13 @@ void ShardedRuntime::OnFlush() {
   }
   for (auto& worker : workers_) WaitDrained(worker.get());
   CollectOutputs();
+  bool obs_pending = !merge_marks_.empty() || !open_traces_.empty();
+  uint64_t t0 = obs_pending ? obs::MonotonicNs() : 0;
   Deliver(merger_.DrainFinal());
+  if (obs_pending) {
+    NoteDelivered(std::numeric_limits<uint64_t>::max(), t0,
+                  obs::MonotonicNs());
+  }
 }
 
 void ShardedRuntime::CollectOutputs() {
@@ -944,7 +1037,36 @@ void ShardedRuntime::DeliverReady() {
   }
   if (!any || threshold == 0) return;
   CollectOutputs();
+  bool obs_pending =
+      (!merge_marks_.empty() && merge_marks_.front().global <= threshold) ||
+      (!open_traces_.empty() && open_traces_.front().global <= threshold);
+  uint64_t t0 = obs_pending ? obs::MonotonicNs() : 0;
   Deliver(merger_.DrainReady(threshold));
+  if (obs_pending) NoteDelivered(threshold, t0, obs::MonotonicNs());
+}
+
+void ShardedRuntime::NoteDelivered(uint64_t threshold, uint64_t t0,
+                                   uint64_t t1) {
+  while (!merge_marks_.empty() && merge_marks_.front().global <= threshold) {
+    if (dispatch_merge_latency_ != nullptr) {
+      dispatch_merge_latency_->Record(
+          static_cast<int64_t>(t0 - merge_marks_.front().ns));
+    }
+    merge_marks_.pop_front();
+  }
+  obs::TraceCollector* tracer = config_.tracer;
+  while (!open_traces_.empty() && open_traces_.front().global <= threshold) {
+    const OpenTrace& open = open_traces_.front();
+    if (tracer != nullptr) {
+      // "merge" = parked in the merger until its watermark passed;
+      // "emit" = the delivery sweep that released it to user callbacks.
+      tracer->AddSpan(open.trace_id, "merge", "merge", open.ns, t0,
+                      open.global);
+      tracer->AddSpan(open.trace_id, "emit", "dispatcher", t0, t1,
+                      open.global);
+    }
+    open_traces_.pop_front();
+  }
 }
 
 void ShardedRuntime::Deliver(std::vector<TaggedRecord> records) {
@@ -989,44 +1111,136 @@ ShardedRuntime::RuntimeStats ShardedRuntime::FullStats() {
 std::string ShardedRuntime::StatsReport() {
   WaitIdle();
   std::ostringstream out;
-  out << "runtime shards=" << config_.shard_count
-      << " queries=" << queries_.size() << " (sharded=" << sharded_queries_
-      << " broadcast=" << broadcast_queries_ << ")"
-      << " dispatched=" << events_dispatched_
-      << " merged=" << merger_.merged_count()
-      << " pending=" << merger_.pending_count() << "\n";
-  out << "dispatch log: len=" << merger_.log_len()
-      << " peak=" << merger_.peak_log_len()
-      << " compactions=" << merger_.compaction_count() << " ("
-      << merger_.compacted_entries() << " entries reclaimed)\n";
-  out << "resizes: total=" << resizes_ << " up=" << grows_
-      << " down=" << shrinks_ << " replayed=" << events_replayed_
-      << " replay_window=" << replay_len_ << "\n";
+  out << obs::ReportLine("runtime")
+             .Kv("shards", config_.shard_count)
+             .Kv("queries", queries_.size())
+             .Text("(" + obs::Kv("sharded", sharded_queries_) + " " +
+                   obs::Kv("broadcast", broadcast_queries_) + ")")
+             .Kv("dispatched", events_dispatched_)
+             .Kv("merged", merger_.merged_count())
+             .Kv("pending", merger_.pending_count())
+             .Str();
+  out << obs::ReportLine("dispatch log:")
+             .Kv("len", merger_.log_len())
+             .Kv("peak", merger_.peak_log_len())
+             .Kv("compactions", merger_.compaction_count())
+             .Text("(" + std::to_string(merger_.compacted_entries()) +
+                   " entries reclaimed)")
+             .Str();
+  out << obs::ReportLine("resizes:")
+             .Kv("total", resizes_)
+             .Kv("up", grows_)
+             .Kv("down", shrinks_)
+             .Kv("replayed", events_replayed_)
+             .Kv("replay_window", replay_len_)
+             .Str();
   out << policy_.Describe() << "\n";
   for (size_t s = 0; s < partitioner_.streams().size(); ++s) {
     const Partitioner::StreamState& state = partitioner_.streams()[s];
     StreamQueries queries = s < stream_queries_.size() ? stream_queries_[s]
                                                        : StreamQueries{};
-    out << "stream " << (state.name.empty() ? "<default>" : state.name)
-        << ": events=" << state.events << " queries=" << queries.sharded
-        << "+" << queries.broadcast << " shards=[";
+    std::string shards = "[";
     for (size_t i = 0; i < state.per_shard.size(); ++i) {
-      if (i > 0) out << " ";
-      out << state.per_shard[i];
+      if (i > 0) shards += " ";
+      shards += std::to_string(state.per_shard[i]);
     }
-    out << "]\n";
+    shards += "]";
+    out << obs::ReportLine(
+               "stream " + (state.name.empty() ? "<default>" : state.name) +
+               ":")
+               .Kv("events", state.events)
+               .Kv("queries", std::to_string(queries.sharded) + "+" +
+                                  std::to_string(queries.broadcast))
+               .Kv("shards", shards)
+               .Str();
   }
   for (auto& worker : workers_) {
     QueryEngine::EngineStats stats = worker->engine->Stats();
-    out << (worker->index == config_.shard_count
-                ? std::string("broadcast")
-                : "shard " + std::to_string(worker->index))
-        << ": events=" << stats.events_processed
-        << " sequences=" << stats.matches_scanned
-        << " outputs=" << stats.outputs << " errors=" << stats.eval_errors
-        << "\n";
+    out << obs::ReportLine(worker->index == config_.shard_count
+                               ? std::string("broadcast:")
+                               : "shard " + std::to_string(worker->index) +
+                                     ":")
+               .Kv("events", stats.events_processed)
+               .Kv("sequences", stats.matches_scanned)
+               .Kv("outputs", stats.outputs)
+               .Kv("errors", stats.eval_errors)
+               .Str();
   }
   return out.str();
+}
+
+void ShardedRuntime::ScrapeMetrics() {
+  obs::MetricsRegistry* metrics = config_.metrics;
+  if (metrics == nullptr) return;
+
+  // Live gauges first — quiescing would drain the queues and close the
+  // merge watermark gap, so sample occupancy and lag pre-WaitIdle.
+  uint64_t min_progress = std::numeric_limits<uint64_t>::max();
+  bool any_hosting = false;
+  for (auto& worker : workers_) {
+    if (worker->index < config_.shard_count) {
+      metrics
+          ->GetGauge("sase_shard_queue_len{shard=\"" +
+                     std::to_string(worker->index) + "\"}")
+          ->Set(static_cast<int64_t>(worker->queue.ApproxSize()));
+    }
+    if (!WorkerHostsQueries(*worker)) continue;
+    min_progress = std::min(
+        min_progress, worker->progress_hi.load(std::memory_order_acquire));
+    any_hosting = true;
+  }
+  uint64_t lag = any_hosting && min_progress < events_dispatched_
+                     ? events_dispatched_ - min_progress
+                     : 0;
+  metrics->GetGauge("sase_runtime_merge_watermark_lag")
+      ->Set(static_cast<int64_t>(lag));
+
+  // Quiesce, then mirror the truth counters — the same numbers FullStats()
+  // and StatsReport() read, so registry and report can never disagree.
+  WaitIdle();
+  metrics->GetCounter("sase_runtime_events_dispatched_total")
+      ->Set(events_dispatched_);
+  metrics->GetCounter("sase_runtime_records_merged_total")
+      ->Set(merger_.merged_count());
+  metrics->GetCounter("sase_runtime_log_compactions_total")
+      ->Set(merger_.compaction_count());
+  metrics->GetCounter("sase_runtime_resizes_total{direction=\"up\"}")
+      ->Set(grows_);
+  metrics->GetCounter("sase_runtime_resizes_total{direction=\"down\"}")
+      ->Set(shrinks_);
+  metrics->GetCounter("sase_runtime_events_replayed_total")
+      ->Set(events_replayed_);
+  metrics->GetCounter("sase_runtime_elastic_checks_total")
+      ->Set(policy_.checks());
+  metrics->GetGauge("sase_runtime_shards")->Set(config_.shard_count);
+  metrics->GetGauge("sase_runtime_merge_pending")
+      ->Set(static_cast<int64_t>(merger_.pending_count()));
+  metrics->GetGauge("sase_runtime_dispatch_log_len")
+      ->Set(static_cast<int64_t>(merger_.log_len()));
+  metrics->GetGauge("sase_runtime_replay_buffer_len")
+      ->Set(static_cast<int64_t>(replay_len_));
+
+  std::vector<uint64_t> per_shard(static_cast<size_t>(config_.shard_count), 0);
+  for (const Partitioner::StreamState& state : partitioner_.streams()) {
+    metrics
+        ->GetCounter("sase_stream_events_total{stream=\"" +
+                     (state.name.empty() ? std::string("<default>")
+                                         : state.name) +
+                     "\"}")
+        ->Set(state.events);
+    for (size_t i = 0; i < state.per_shard.size() && i < per_shard.size();
+         ++i) {
+      per_shard[i] += state.per_shard[i];
+    }
+  }
+  for (size_t i = 0; i < per_shard.size(); ++i) {
+    metrics
+        ->GetCounter("sase_shard_events_total{shard=\"" + std::to_string(i) +
+                     "\"}")
+        ->Set(per_shard[i]);
+  }
+  // Per-query operator counters and occupancy gauges, per hosting engine.
+  for (auto& worker : workers_) worker->engine->ScrapeMetrics();
 }
 
 }  // namespace sase

@@ -17,6 +17,8 @@
 #include "core/catalog.h"
 #include "core/stream.h"
 #include "engine/query_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/elastic_policy.h"
 #include "runtime/event_batch.h"
 #include "runtime/output_merger.h"
@@ -58,6 +60,19 @@ struct RuntimeConfig {
   /// for the mechanism it triggers.
   ElasticConfig elastic;
   TimeConfig time_config;
+  /// Optional metrics registry (not owned; must outlive the runtime). When
+  /// set, every worker engine records per-query operator latency, the
+  /// workers record ring-wait latency, the dispatcher records
+  /// dispatch->merge watermark latency, and ScrapeMetrics() mirrors the
+  /// runtime counters. nullptr (default): the hot path is the exact
+  /// uninstrumented code behind one null check per batch.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional event-lifecycle tracer (not owned). Sampled events accumulate
+  /// partition -> ring -> operator -> merge -> emit spans. A standalone
+  /// runtime samples at dispatch; embedded under SaseSystem the ingest tap
+  /// owns sampling (TraceCollector::SetExternalSampler) and adds the
+  /// "ingest" span.
+  obs::TraceCollector* tracer = nullptr;
 };
 
 /// The sharded parallel execution runtime: stands between the event bus and
@@ -329,6 +344,13 @@ class ShardedRuntime : public EventSink {
   /// routing counts).
   std::string StatsReport();
 
+  /// Mirrors the runtime's counters and gauges into RuntimeConfig::metrics:
+  /// dispatch/merge/resize counters, per-stream and per-shard event counts,
+  /// queue occupancy and merge watermark lag (sampled live, pre-quiesce),
+  /// then each worker engine's per-query counters. Safe to call any time
+  /// from the dispatcher thread; no-op without a registry.
+  void ScrapeMetrics();
+
  private:
   using Clocks = std::vector<std::pair<std::string, Timestamp>>;
 
@@ -360,6 +382,12 @@ class ShardedRuntime : public EventSink {
     std::mutex out_mutex;
     std::vector<TaggedRecord> out;
     uint64_t arrival_counter = 0;  // guarded by out_mutex
+
+    // Observability (set at MakeWorker, constant afterwards). The lane names
+    // the worker in trace dumps and metric labels ("shard-3", "broadcast");
+    // a carried-over broadcast worker keeps its lane across resizes.
+    std::string lane;
+    obs::HistogramMetric* ring_wait = nullptr;  // null = metrics off
   };
 
   struct QueryEntry {
@@ -435,8 +463,10 @@ class ShardedRuntime : public EventSink {
   /// Shared dispatch tail of OnEvent/OnStreamEvent.
   void Dispatch(StreamId stream, const std::string& name,
                 const EventPtr& event);
+  /// `trace_id != 0` marks the event as trace-sampled in the pending batch.
   void AppendToWorker(Worker* worker, const std::string& stream,
-                      const EventPtr& event, uint64_t global);
+                      const EventPtr& event, uint64_t global,
+                      uint64_t trace_id);
   /// Pushes the worker's partial batch (if any, or if it carries clocks or a
   /// flush marker), stamping the progress claim.
   void FlushBatch(Worker* worker, const Clocks* clocks, bool flush);
@@ -472,6 +502,10 @@ class ShardedRuntime : public EventSink {
   /// Elastic policy tick: samples queue occupancy + event rate every
   /// check_interval dispatched events and resizes on a grow/shrink verdict.
   void MaybeAutoResize();
+  /// Books a finished delivery at `threshold`: records dispatch->merge
+  /// watermark latency for pending merge marks, and closes sampled events'
+  /// "merge" and "emit" spans. `t0`/`t1` bracket the callback loop.
+  void NoteDelivered(uint64_t threshold, uint64_t t0, uint64_t t1);
 
   const Catalog* catalog_;
   RuntimeConfig config_;
@@ -524,6 +558,28 @@ class ShardedRuntime : public EventSink {
   bool any_routed_ = false;
   StreamId routed_stream_ = kDefaultStream;
   bool multi_routed_ = false;
+
+  // --- observability (dispatcher thread only) ---
+  /// True when batches should carry an enqueue timestamp (metrics or tracer
+  /// attached); one MonotonicNs() call per batch, not per event.
+  bool obs_stamp_ = false;
+  obs::HistogramMetric* dispatch_merge_latency_ = nullptr;
+  /// Merge-watermark marks: {dispatch index, MonotonicNs at dispatch}, one
+  /// per merge-interval cycle; popped when a delivery's threshold passes the
+  /// index, yielding the dispatch->merge latency sample.
+  struct MergeMark {
+    uint64_t global = 0;
+    uint64_t ns = 0;
+  };
+  std::deque<MergeMark> merge_marks_;
+  /// Sampled events awaiting delivery; closed into "merge"/"emit" spans by
+  /// NoteDelivered once the merge watermark passes their dispatch index.
+  struct OpenTrace {
+    uint64_t global = 0;
+    uint64_t trace_id = 0;
+    uint64_t ns = 0;
+  };
+  std::deque<OpenTrace> open_traces_;
 };
 
 }  // namespace sase

@@ -31,6 +31,8 @@ constexpr const char* kHelp =
     "  queries                  list registered queries\n"
     "  .checkpoint [dir]        write a durable checkpoint\n"
     "  .restore <dir>           recover the session from a checkpoint\n"
+    "  .metrics [path]          scrape + render Prometheus metrics\n"
+    "  .trace on <N>|off|dump <path>  event-lifecycle trace sampling\n"
     "  help                     this summary";
 
 }  // namespace
@@ -49,6 +51,8 @@ std::string Console::Execute(const std::string& line) {
   if (EqualsIgnoreCase(command, "queries")) return CmdQueries();
   if (EqualsIgnoreCase(command, ".checkpoint")) return CmdCheckpoint(args);
   if (EqualsIgnoreCase(command, ".restore")) return CmdRestore(args);
+  if (EqualsIgnoreCase(command, ".metrics")) return CmdMetrics(args);
+  if (EqualsIgnoreCase(command, ".trace")) return CmdTracing(args);
   if (EqualsIgnoreCase(command, "help")) return kHelp;
   return "error: unknown command '" + command + "' (try 'help')";
 }
@@ -174,6 +178,49 @@ std::string Console::CmdRestore(const std::string& args) {
     out << " (journal tail was torn; recovered the valid prefix)";
   }
   return out.str();
+}
+
+std::string Console::CmdMetrics(const std::string& args) {
+  obs::MetricsRegistry* metrics = system_->metrics();
+  if (metrics == nullptr) {
+    return "error: metrics are disabled (SystemConfig.obs.metrics_enabled)";
+  }
+  system_->ScrapeMetrics();
+  if (args.empty()) return metrics->RenderPrometheus();
+  Status written = metrics->WritePrometheus(args);
+  if (!written.ok()) return "error: " + written.ToString();
+  return "metrics written to " + args;
+}
+
+std::string Console::CmdTracing(const std::string& args) {
+  auto [verb, rest] = SplitHead(args);
+  obs::TraceCollector& tracer = system_->tracer();
+  if (EqualsIgnoreCase(verb, "on")) {
+    char* end = nullptr;
+    long every = std::strtol(rest.c_str(), &end, 10);
+    if (rest.empty() || end == rest.c_str() || *end != '\0' || every <= 0) {
+      return "error: usage: .trace on <sample-every-N>";
+    }
+    tracer.SetSampling(static_cast<uint64_t>(every));
+    return "tracing on: sampling 1 in " + std::to_string(every) + " events";
+  }
+  if (EqualsIgnoreCase(verb, "off")) {
+    tracer.SetSampling(0);
+    return "tracing off (" + std::to_string(tracer.span_count()) +
+           " spans collected)";
+  }
+  if (EqualsIgnoreCase(verb, "dump")) {
+    if (rest.empty()) return "error: usage: .trace dump <path>";
+    // Quiesce first so spans of in-flight sampled events reach the
+    // collector before the file is written.
+    if (system_->runtime() != nullptr) system_->runtime()->WaitIdle();
+    size_t spans = tracer.span_count();
+    Status dumped = tracer.DumpJson(rest);
+    if (!dumped.ok()) return "error: " + dumped.ToString();
+    return "trace dumped to " + rest + " (" + std::to_string(spans) +
+           " spans)";
+  }
+  return "error: usage: .trace on <N> | .trace off | .trace dump <path>";
 }
 
 std::string Console::CmdWindow(const std::string& args) {

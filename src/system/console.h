@@ -28,6 +28,9 @@ namespace sase {
 ///   .checkpoint [dir]                 write a durable checkpoint
 ///   .restore <dir>                    replace the session's system with one
 ///                                     recovered from a checkpoint directory
+///   .metrics [path]                   scrape + render Prometheus metrics
+///                                     (to `path` when given)
+///   .trace on <N> | off | dump <path> event-lifecycle trace sampling
 ///   help                              command summary
 class Console {
  public:
@@ -55,6 +58,8 @@ class Console {
   std::string CmdQueries();
   std::string CmdCheckpoint(const std::string& args);
   std::string CmdRestore(const std::string& args);
+  std::string CmdMetrics(const std::string& args);
+  std::string CmdTracing(const std::string& args);
 
   SaseSystem* system_;
   /// Set by `.restore`: the console owns the recovered system it switched

@@ -1,10 +1,12 @@
 #include "system/sase_system.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <set>
 #include <sstream>
 
 #include "checkpoint/journal.h"
+#include "obs/report.h"
 #include "db/dump.h"
 #include "query/analyzer.h"
 #include "query/parser.h"
@@ -150,10 +152,61 @@ class SaseSystem::JournalTailTap : public EventSink {
   SaseSystem* system_;
 };
 
+/// Trace-sampling tap: the very first bus subscriber, so a sampled event's
+/// "ingest" span opens before the journal write-ahead or any processor.
+class SaseSystem::ObsHeadTap : public EventSink {
+ public:
+  explicit ObsHeadTap(SaseSystem* system) : system_(system) {}
+  void OnEvent(const EventPtr&) override { system_->ObsIngestBegin(); }
+
+ private:
+  SaseSystem* system_;
+};
+
+/// Trace-closing tap: the very last bus subscriber; closes the "ingest"
+/// span after every subscriber (journal tail included) finished the event.
+class SaseSystem::ObsTailTap : public EventSink {
+ public:
+  explicit ObsTailTap(SaseSystem* system) : system_(system) {}
+  void OnEvent(const EventPtr&) override { system_->ObsIngestEnd(); }
+
+ private:
+  SaseSystem* system_;
+};
+
+void SaseSystem::ObsIngestBegin() {
+  if (!tracer_.enabled()) {
+    ingest_trace_ = 0;
+    return;
+  }
+  ingest_trace_ = tracer_.MaybeSample();
+  // Downstream layers (the runtime's Dispatch in particular) read the
+  // in-flight event's trace id from this slot: the whole bus fan-out is
+  // synchronous on this thread.
+  tracer_.SetCurrent(ingest_trace_);
+  if (ingest_trace_ != 0) ingest_start_ns_ = obs::MonotonicNs();
+}
+
+void SaseSystem::ObsIngestEnd() {
+  if (ingest_trace_ != 0) {
+    tracer_.AddSpan(ingest_trace_, "ingest", "ingest", ingest_start_ns_,
+                    obs::MonotonicNs(), 0);
+    ingest_trace_ = 0;
+  }
+  tracer_.SetCurrent(0);
+}
+
 SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config)
     : SaseSystem(std::move(layout), std::move(config), nullptr) {}
 
-SaseSystem::~SaseSystem() = default;
+SaseSystem::~SaseSystem() {
+  if (!config_.obs.trace_path.empty() && tracer_.span_count() > 0) {
+    Status dumped = tracer_.DumpJson(config_.obs.trace_path);
+    if (!dumped.ok()) {
+      SASE_LOG_WARN << "trace dump failed: " << dumped.ToString();
+    }
+  }
+}
 
 SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config,
                        const RecoverySpec* recovery)
@@ -184,6 +237,21 @@ SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config,
   engine_ = std::make_unique<QueryEngine>(&catalog_, config_.time_config);
   (void)archiver_->RegisterFunctions(engine_->functions());
 
+  // Observability: the registry spans every layer; the trace collector is
+  // always constructed (so `.trace on <N>` can enable sampling later) and
+  // samples at this system's ingest taps — the runtime reads the sampled id
+  // instead of drawing its own.
+  if (config_.obs.metrics_enabled) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    engine_->AttachMetrics(metrics_.get(), "serial");
+  }
+  tracer_.SetSampling(config_.obs.trace_sample_every);
+  tracer_.SetExternalSampler(true);
+  obs_head_ = std::make_unique<ObsHeadTap>(this);
+  obs_tail_ = std::make_unique<ObsTailTap>(this);
+  // The sampling tap precedes even the journal write-ahead tap.
+  event_bus_.Subscribe(obs_head_.get());
+
   bool checkpointing = !config_.checkpoint.dir.empty();
   if (checkpointing) {
     journal_head_ = std::make_unique<JournalHeadTap>(this);
@@ -207,6 +275,8 @@ SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config,
     runtime_config.log_compact_min = config_.runtime_log_compact_min;
     runtime_config.elastic = config_.runtime_elastic;
     runtime_config.retain_for_checkpoint = checkpointing;
+    runtime_config.metrics = metrics_.get();
+    runtime_config.tracer = &tracer_;
     runtime_ = std::make_unique<ShardedRuntime>(&catalog_, runtime_config);
     event_bus_.Subscribe(runtime_.get());
   }
@@ -225,6 +295,8 @@ SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config,
     // The mark/policy tap runs after every processor finished the event.
     event_bus_.Subscribe(journal_tail_.get());
   }
+  // The span-closing tap is last of all.
+  event_bus_.Subscribe(obs_tail_.get());
 
   // Cleaning pipeline configured from the layout.
   CleaningPipeline::Config cleaning_config;
@@ -353,10 +425,14 @@ Result<db::ResultSet> SaseSystem::ExecuteSql(const std::string& text) {
 
 void SaseSystem::PublishStreamEvent(const std::string& stream,
                                     const EventPtr& event) {
+  // Named-stream events bypass the bus, so the obs/journal tap sequence is
+  // reproduced inline in the same order.
+  ObsIngestBegin();
   JournalEvent(stream, event);
   if (runtime_ != nullptr) runtime_->OnStreamEvent(stream, event);
   engine_->OnStreamEvent(stream, event);
   AfterEventProcessed();
+  ObsIngestEnd();
 }
 
 void SaseSystem::RunUntil(int64_t until_tick) {
@@ -430,6 +506,11 @@ Status SaseSystem::OpenJournal(uint64_t epoch, uint64_t segment) {
       config_.checkpoint.journal_rotate_bytes, config_.checkpoint.journal_fsync);
   if (!journal.ok()) return journal.status();
   journal_ = std::move(journal).value();
+  if (metrics_ != nullptr) {
+    journal_->set_latency_metrics(
+        metrics_->GetHistogram("sase_journal_append_latency_ns"),
+        metrics_->GetHistogram("sase_journal_fsync_latency_ns"));
+  }
   journal_bytes_at_checkpoint_ = journal_->bytes_written();
   last_mark_runtime_ = delivered_runtime_;
   last_mark_serial_ = delivered_serial_;
@@ -447,6 +528,7 @@ Status SaseSystem::Checkpoint(const std::string& dir_arg) {
     return Status::FailedPrecondition("a checkpoint is already in progress");
   }
   in_checkpoint_ = true;
+  uint64_t written_snapshot = 0;  // snapshot id the lambda ends up writing
 
   auto build_and_write = [&]() -> Status {
     checkpoint::SystemSnapshot snap;
@@ -553,6 +635,7 @@ Status SaseSystem::Checkpoint(const std::string& dir_arg) {
     }
     SASE_RETURN_IF_ERROR(checkpoint::WriteSnapshot(dir, snap, database_));
     ++checkpoints_taken_;
+    written_snapshot = snap.snapshot_id;
 
     if (own_dir) {
       // The journal epoch rolls with the snapshot: everything before the
@@ -567,8 +650,27 @@ Status SaseSystem::Checkpoint(const std::string& dir_arg) {
     return Status::Ok();
   };
 
+  uint64_t obs_start = metrics_ != nullptr ? obs::MonotonicNs() : 0;
   Status status = build_and_write();
   in_checkpoint_ = false;
+  if (status.ok() && metrics_ != nullptr) {
+    metrics_->GetHistogram("sase_checkpoint_snapshot_duration_ns")
+        ->Record(static_cast<int64_t>(obs::MonotonicNs() - obs_start));
+    // Snapshot footprint: every file of the snapshot directory just written
+    // (state + engine state + database dump).
+    std::error_code ec;
+    std::filesystem::path snap_dir =
+        std::filesystem::path(checkpoint::DbDumpPath(dir, written_snapshot))
+            .parent_path();
+    int64_t bytes = 0;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(snap_dir, ec)) {
+      if (entry.is_regular_file(ec)) {
+        bytes += static_cast<int64_t>(entry.file_size(ec));
+      }
+    }
+    metrics_->GetGauge("sase_checkpoint_snapshot_bytes")->Set(bytes);
+  }
   return status;
 }
 
@@ -593,9 +695,16 @@ Result<std::unique_ptr<SaseSystem>> SaseSystem::Recover(
   // A recovered system keeps journaling (and checkpointing) into `dir`.
   config.checkpoint.dir = dir;
 
+  uint64_t obs_start = obs::MonotonicNs();
   std::unique_ptr<SaseSystem> system(
       new SaseSystem(std::move(layout), std::move(config), &spec));
   SASE_RETURN_IF_ERROR(system->FinishRecovery(spec, callbacks));
+  if (system->metrics_ != nullptr) {
+    // Wall time from construction (includes the database restore) through
+    // snapshot state install and journal replay.
+    system->metrics_->GetHistogram("sase_recovery_duration_ns")
+        ->Record(static_cast<int64_t>(obs::MonotonicNs() - obs_start));
+  }
   return system;
 }
 
@@ -837,31 +946,64 @@ Status SaseSystem::FinishRecovery(const RecoverySpec& spec,
   return Status::Ok();
 }
 
-std::string SaseSystem::CheckpointReport() const {
-  if (journal_ == nullptr && checkpoints_taken_ == 0 && !recovered_) return "";
-  std::ostringstream out;
-  out << "checkpoint: dir="
-      << (config_.checkpoint.dir.empty() ? "<none>" : config_.checkpoint.dir)
-      << " epoch=" << epoch_ << " taken=" << checkpoints_taken_
-      << " delivered=" << delivered_runtime_ << "+" << delivered_serial_
-      << "\n";
+void SaseSystem::ScrapeMetrics() {
+  if (metrics_ == nullptr) return;
+  // The runtime scrape quiesces it (WaitIdle) and scrapes its hosted
+  // engines; the serial engine scrape then reads settled counters.
+  if (runtime_ != nullptr) runtime_->ScrapeMetrics();
+  engine_->ScrapeMetrics();
+  metrics_->GetCounter("sase_checkpoints_total")->Set(checkpoints_taken_);
+  metrics_->GetCounter("sase_delivered_records_total{host=\"runtime\"}")
+      ->Set(delivered_runtime_);
+  metrics_->GetCounter("sase_delivered_records_total{host=\"serial\"}")
+      ->Set(delivered_serial_);
   if (journal_ != nullptr) {
-    out << "journal: segment=" << journal_->segment()
-        << " records=" << journal_->records_written()
-        << " bytes=" << journal_->bytes_written()
-        << " rotations=" << journal_->rotations()
-        << " since_checkpoint=" << events_since_checkpoint_ << " events\n";
-  }
-  if (checkpoint_policy_ != nullptr) {
-    out << checkpoint_policy_->Describe() << "\n";
+    metrics_->GetCounter("sase_journal_records_total")
+        ->Set(journal_->records_written());
+    metrics_->GetCounter("sase_journal_bytes_total")
+        ->Set(journal_->bytes_written());
+    metrics_->GetCounter("sase_journal_rotations_total")
+        ->Set(journal_->rotations());
   }
   if (recovered_) {
-    out << "recovery: replayed=" << recovered_records_ << " records"
-        << " truncated=" << (recovered_truncated_ ? "yes" : "no")
-        << " suppressed_remaining=" << suppress_runtime_ + suppress_serial_
-        << "\n";
+    metrics_->GetCounter("sase_recovery_replayed_records_total")
+        ->Set(recovered_records_);
   }
-  return out.str();
+}
+
+std::string SaseSystem::CheckpointReport() const {
+  if (journal_ == nullptr && checkpoints_taken_ == 0 && !recovered_) return "";
+  std::string out =
+      obs::ReportLine("checkpoint:")
+          .Kv("dir", config_.checkpoint.dir.empty() ? "<none>"
+                                                    : config_.checkpoint.dir)
+          .Kv("epoch", epoch_)
+          .Kv("taken", checkpoints_taken_)
+          .Kv("delivered", std::to_string(delivered_runtime_) + "+" +
+                               std::to_string(delivered_serial_))
+          .Str();
+  if (journal_ != nullptr) {
+    out += obs::ReportLine("journal:")
+               .Kv("segment", journal_->segment())
+               .Kv("records", journal_->records_written())
+               .Kv("bytes", journal_->bytes_written())
+               .Kv("rotations", journal_->rotations())
+               .Kv("since_checkpoint", events_since_checkpoint_)
+               .Text("events")
+               .Str();
+  }
+  if (checkpoint_policy_ != nullptr) {
+    out += checkpoint_policy_->Describe() + "\n";
+  }
+  if (recovered_) {
+    out += obs::ReportLine("recovery:")
+               .Kv("replayed", recovered_records_)
+               .Text("records")
+               .Kv("truncated", recovered_truncated_ ? "yes" : "no")
+               .Kv("suppressed_remaining", suppress_runtime_ + suppress_serial_)
+               .Str();
+  }
+  return out;
 }
 
 }  // namespace sase

@@ -16,6 +16,8 @@
 #include "db/sql_executor.h"
 #include "db/track_trace.h"
 #include "engine/query_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rfid/simulator.h"
 #include "rfid/workload.h"
 #include "runtime/sharded_runtime.h"
@@ -61,6 +63,14 @@ struct SystemConfig {
   /// resumes byte-identical output after a crash. Knobs and recovery
   /// walkthrough: src/checkpoint/checkpoint_policy.h and docs/recovery.md.
   checkpoint::CheckpointConfig checkpoint;
+  /// Observability (src/obs/): `obs.metrics_enabled` attaches a
+  /// MetricsRegistry spanning the engine, runtime and checkpoint layers
+  /// (scrape with ScrapeMetrics() + RenderPrometheus(), or the console's
+  /// `.metrics`); `obs.trace_sample_every = N` samples every Nth published
+  /// event into a Chrome-trace-JSON event-lifecycle trace, dumped to
+  /// `obs.trace_path` at destruction (or on demand via `.trace dump`).
+  /// Knob table: docs/observability.md.
+  obs::ObsConfig obs;
 };
 
 /// The complete SASE system of Figure 1, assembled:
@@ -96,6 +106,18 @@ class SaseSystem {
   StreamBus& event_bus() { return event_bus_; }
   const SystemConfig& config() const { return config_; }
   const StoreLayout& layout() const { return layout_; }
+  /// The unified metrics registry; nullptr when `config.obs.metrics_enabled`
+  /// is false (the zero-overhead mode — no layer takes timestamps).
+  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+  /// The event-lifecycle trace collector (always present; dormant until
+  /// SetSampling / `.trace on <N>` enables it).
+  obs::TraceCollector& tracer() { return tracer_; }
+
+  /// Refreshes every scrape-mirrored metric from its source-of-truth
+  /// counter — runtime (quiesces it), serial engine, checkpoint/journal —
+  /// so a following RenderPrometheus/WritePrometheus reads a consistent
+  /// snapshot. No-op when metrics are disabled.
+  void ScrapeMetrics();
 
   /// Track-and-trace view over the Event Database.
   db::TrackTrace track_trace() { return db::TrackTrace(&database_); }
@@ -220,6 +242,18 @@ class SaseSystem {
   class JournalHeadTap;
   class JournalTailTap;
 
+  /// Observability taps around the event bus: Head is the FIRST subscriber
+  /// (samples the event into the trace before the journal or any processor
+  /// sees it), Tail the LAST (closes the "ingest" span after every
+  /// subscriber — journal tail included — finished the event).
+  class ObsHeadTap;
+  class ObsTailTap;
+
+  /// One-per-published-event trace bracket; also wraps PublishStreamEvent
+  /// (named-stream events bypass the bus). Near-free while sampling is off.
+  void ObsIngestBegin();
+  void ObsIngestEnd();
+
   void LogEvent(const EventPtr& event);
   /// Monitoring-query delivery wrapper: report channels + user callback,
   /// behind the recovery suppression gate and the delivery counters.
@@ -246,6 +280,14 @@ class SaseSystem {
   db::SqlExecutor sql_;
 
   ReportBoard reports_;
+
+  // --- observability (src/obs/) ---
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  obs::TraceCollector tracer_;
+  std::unique_ptr<ObsHeadTap> obs_head_;
+  std::unique_ptr<ObsTailTap> obs_tail_;
+  uint64_t ingest_trace_ = 0;     // sampled id of the in-flight event (0 = not)
+  uint64_t ingest_start_ns_ = 0;  // its "ingest" span start
 
   StreamBus event_bus_;
   std::unique_ptr<QueryEngine> engine_;

@@ -2,23 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 namespace sase {
-namespace {
 
-// 64 buckets: bucket i covers [2^(i-1), 2^i), bucket 0 covers {0}.
-constexpr size_t kBucketCount = 64;
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
 
-}  // namespace
-
-Histogram::Histogram() : buckets_(kBucketCount, 0) {}
-
-size_t Histogram::BucketFor(int64_t value) {
+size_t Histogram::BucketIndex(int64_t value) {
   if (value <= 0) return 0;
   size_t bucket = 1;
   uint64_t v = static_cast<uint64_t>(value);
-  while (v > 1 && bucket < kBucketCount - 1) {
+  while (v > 1 && bucket < kNumBuckets - 1) {
     v >>= 1;
     ++bucket;
   }
@@ -28,6 +23,12 @@ size_t Histogram::BucketFor(int64_t value) {
 int64_t Histogram::BucketLower(size_t bucket) {
   if (bucket == 0) return 0;
   return int64_t{1} << (bucket - 1);
+}
+
+int64_t Histogram::BucketUpperBound(size_t index) {
+  if (index == 0) return 0;
+  if (index >= kNumBuckets - 1) return std::numeric_limits<int64_t>::max();
+  return (int64_t{1} << index) - 1;
 }
 
 void Histogram::Record(int64_t value) {
@@ -40,21 +41,30 @@ void Histogram::Record(int64_t value) {
   }
   ++count_;
   sum_ += static_cast<double>(value);
-  ++buckets_[BucketFor(value)];
+  ++buckets_[BucketIndex(value)];
 }
 
 void Histogram::Merge(const Histogram& other) {
   if (other.count_ == 0) return;
+  MergeBuckets(other.buckets_.data(), other.buckets_.size(), other.count_,
+               other.min_, other.max_, other.sum_);
+}
+
+void Histogram::MergeBuckets(const uint64_t* buckets, size_t n, uint64_t count,
+                             int64_t min, int64_t max, double sum) {
+  if (count == 0) return;
   if (count_ == 0) {
-    min_ = other.min_;
-    max_ = other.max_;
+    min_ = min;
+    max_ = max;
   } else {
-    min_ = std::min(min_, other.min_);
-    max_ = std::max(max_, other.max_);
+    min_ = std::min(min_, min);
+    max_ = std::max(max_, max);
   }
-  count_ += other.count_;
-  sum_ += other.sum_;
-  for (size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  count_ += count;
+  sum_ += sum;
+  for (size_t i = 0; i < std::min(n, kNumBuckets); ++i) {
+    buckets_[i] += buckets[i];
+  }
 }
 
 void Histogram::Reset() {
@@ -73,7 +83,7 @@ double Histogram::Percentile(double q) const {
   q = std::clamp(q, 0.0, 100.0);
   double rank = q / 100.0 * static_cast<double>(count_);
   uint64_t seen = 0;
-  for (size_t i = 0; i < kBucketCount; ++i) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
     if (buckets_[i] == 0) continue;
     uint64_t next = seen + buckets_[i];
     if (static_cast<double>(next) >= rank) {

@@ -13,12 +13,34 @@ namespace sase {
 /// paper's "low latency" claim and by tests to assert distribution shapes.
 class Histogram {
  public:
+  /// Number of log buckets: bucket 0 covers {0}, bucket i covers
+  /// [2^(i-1), 2^i), and the last bucket absorbs everything above.
+  static constexpr size_t kNumBuckets = 64;
+
+  /// Bucket index a value falls into (negatives clamp to bucket 0). Public
+  /// so external recorders — the metrics registry's wait-free per-thread
+  /// cells — can bucket with the exact same boundaries and later fold their
+  /// raw counts back in via MergeBuckets.
+  static size_t BucketIndex(int64_t value);
+
+  /// Largest value bucket `index` covers (inclusive); 0 for bucket 0 and
+  /// INT64_MAX for the open-ended last bucket.
+  static int64_t BucketUpperBound(size_t index);
+
   Histogram();
 
   /// Records one sample (negative values clamp to 0).
   void Record(int64_t value);
 
   void Merge(const Histogram& other);
+
+  /// Merges raw per-bucket counts recorded elsewhere with this class's
+  /// bucket boundaries (see BucketIndex). `n` may be less than kNumBuckets;
+  /// the summary fields ride alongside because raw buckets alone cannot
+  /// reconstruct them. No-op when `count` is 0.
+  void MergeBuckets(const uint64_t* buckets, size_t n, uint64_t count,
+                    int64_t min, int64_t max, double sum);
+
   void Reset();
 
   uint64_t count() const { return count_; }
@@ -34,8 +56,11 @@ class Histogram {
   /// "count=N min=a p50=b p99=c max=d mean=e".
   std::string ToString() const;
 
+  /// Raw bucket counts (kNumBuckets entries), for renderers that emit the
+  /// distribution itself (Prometheus cumulative `le` buckets).
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
  private:
-  static size_t BucketFor(int64_t value);
   static int64_t BucketLower(size_t bucket);
 
   std::vector<uint64_t> buckets_;

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "query/parser.h"
 #include "rfid/tag.h"
@@ -183,6 +185,86 @@ TEST_F(ConsoleTest, CheckpointErrorNamesTheOffendingQuery) {
       << "the offending query id is not named: " << refused;
   EXPECT_NE(refused.find("pre-parsed AST"), std::string::npos)
       << "the reason is not named: " << refused;
+}
+
+TEST_F(ConsoleTest, MetricsCommandRendersPrometheusText) {
+  (void)console_.Execute(
+      "register shelf-watch EVENT SHELF_READING s RETURN s.TagId");
+  system_.AddProduct({MakeEpc(1), "Razor", "", true});
+  ScenarioScripter scripter(&system_.simulator());
+  scripter.Shoplift(MakeEpc(1), 0, 3, /*start=*/1);
+  (void)console_.Execute("run 15");
+
+  std::string text = console_.Execute(".metrics");
+  // Prometheus text exposition: every line is a `# TYPE` comment or a
+  // "<series> <value>" sample.
+  EXPECT_NE(text.find("# TYPE sase_engine_events_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sase_engine_events_total{host=\"serial\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("sase_query_op_latency_ns_bucket"), std::string::npos);
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.rfind("# TYPE ", 0) == 0) continue;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
+  }
+
+  // With a path argument the same text goes to the file.
+  std::string path = ::testing::TempDir() + "/sase_console_metrics.prom";
+  std::string written = console_.Execute(".metrics " + path);
+  EXPECT_NE(written.find("metrics written to " + path), std::string::npos)
+      << written;
+  std::ifstream file(path);
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_NE(content.str().find("sase_engine_events_total"),
+            std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST_F(ConsoleTest, TraceCommandsSampleAndDump) {
+  EXPECT_NE(console_.Execute(".trace").find("usage"), std::string::npos);
+  EXPECT_NE(console_.Execute(".trace on").find("usage"), std::string::npos);
+  EXPECT_NE(console_.Execute(".trace on nope").find("usage"),
+            std::string::npos);
+  EXPECT_NE(console_.Execute(".trace dump").find("usage"), std::string::npos);
+
+  std::string on = console_.Execute(".trace on 1");
+  EXPECT_NE(on.find("sampling 1 in 1"), std::string::npos) << on;
+  EXPECT_TRUE(system_.tracer().enabled());
+
+  (void)console_.Execute(
+      "register shelf-watch EVENT SHELF_READING s RETURN s.TagId");
+  system_.AddProduct({MakeEpc(1), "Razor", "", true});
+  ScenarioScripter scripter(&system_.simulator());
+  scripter.Shoplift(MakeEpc(1), 0, 3, /*start=*/1);
+  (void)console_.Execute("run 15");
+
+  std::string path = ::testing::TempDir() + "/sase_console_trace.json";
+  std::string dumped = console_.Execute(".trace dump " + path);
+  EXPECT_NE(dumped.find("trace dumped to " + path), std::string::npos)
+      << dumped;
+  std::ifstream file(path);
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_NE(content.str().find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(content.str().find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(content.str().find("\"name\":\"ingest\""), std::string::npos);
+  std::filesystem::remove(path);
+
+  std::string off = console_.Execute(".trace off");
+  EXPECT_NE(off.find("tracing off"), std::string::npos) << off;
+  EXPECT_FALSE(system_.tracer().enabled());
+
+  // help mentions the new commands; the original `trace <tag>` still works.
+  EXPECT_NE(console_.Execute("help").find(".trace on"), std::string::npos);
+  EXPECT_NE(console_.Execute("help").find(".metrics"), std::string::npos);
+  EXPECT_NE(console_.Execute("trace " + MakeEpc(1)).find(MakeEpc(1)),
+            std::string::npos);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/random.h"
 
 namespace sase {
@@ -87,6 +89,72 @@ TEST(HistogramTest, ResetClears) {
   h.Reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, BucketIndexIsLogarithmic) {
+  EXPECT_EQ(Histogram::BucketIndex(-3), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  // Doubling a value moves it at most one bucket up.
+  for (int64_t v = 1; v < (int64_t{1} << 40); v *= 2) {
+    EXPECT_EQ(Histogram::BucketIndex(v * 2), Histogram::BucketIndex(v) + 1);
+  }
+  // Huge values cap at the last bucket rather than overflowing.
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<int64_t>::max()),
+            Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, BucketUpperBoundMatchesIndex) {
+  // Every value in bucket i must satisfy value <= BucketUpperBound(i), and
+  // the bound of bucket i-1 must exclude it — that makes cumulative
+  // `le=<bound>` bucket lines (Prometheus) correct.
+  for (int64_t v : {0, 1, 2, 3, 4, 5, 7, 8, 100, 1023, 1024, 1 << 20}) {
+    size_t i = Histogram::BucketIndex(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(i)) << "v=" << v;
+    if (i > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(i - 1)) << "v=" << v;
+    }
+  }
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(HistogramTest, MergeBucketsFromRawCells) {
+  // MergeBuckets folds an externally-maintained bucket array (e.g. a
+  // wait-free metric cell) into a Histogram, matching direct recording.
+  Histogram direct;
+  uint64_t raw[Histogram::kNumBuckets] = {};
+  uint64_t count = 0;
+  double sum = 0;
+  int64_t min = 0, max = 0;
+  Random rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.Uniform(0, 1 << 20);
+    direct.Record(v);
+    ++raw[Histogram::BucketIndex(v)];
+    if (count == 0 || v < min) min = v;
+    if (count == 0 || v > max) max = v;
+    ++count;
+    sum += static_cast<double>(v);
+  }
+  Histogram merged;
+  merged.MergeBuckets(raw, Histogram::kNumBuckets, count, min, max, sum);
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_EQ(merged.min(), direct.min());
+  EXPECT_EQ(merged.max(), direct.max());
+  EXPECT_DOUBLE_EQ(merged.mean(), direct.mean());
+  EXPECT_EQ(merged.buckets(), direct.buckets());
+  EXPECT_DOUBLE_EQ(merged.Percentile(95), direct.Percentile(95));
+  // Zero-count merges are no-ops even with nonzero extrema arguments.
+  Histogram untouched;
+  untouched.MergeBuckets(raw, Histogram::kNumBuckets, 0, 5, 10, 100.0);
+  EXPECT_EQ(untouched.count(), 0u);
 }
 
 TEST(HistogramTest, ToStringMentionsFields) {

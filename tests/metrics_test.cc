@@ -1,0 +1,198 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace sase {
+namespace obs {
+namespace {
+
+TEST(CounterTest, AddAndValue) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(CounterTest, SetIsTheScrapeMirroredBase) {
+  Counter counter;
+  counter.Set(100);
+  EXPECT_EQ(counter.Value(), 100u);
+  // Value() = base + striped increments; Set overwrites only the base.
+  counter.Add(5);
+  counter.Set(200);
+  EXPECT_EQ(counter.Value(), 205u);
+}
+
+TEST(CounterTest, ConcurrentAddsDoNotLoseIncrements) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), uint64_t{kThreads} * kPerThread);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.Set(-5);
+  EXPECT_EQ(gauge.Value(), -5);
+}
+
+TEST(HistogramMetricTest, AggregateMatchesDirectHistogram) {
+  HistogramMetric metric;
+  Histogram direct;
+  for (int64_t v : {0, 1, 5, 100, 1000, 1 << 20}) {
+    metric.Record(v);
+    direct.Record(v);
+  }
+  Histogram aggregated = metric.Aggregate();
+  EXPECT_EQ(aggregated.count(), direct.count());
+  EXPECT_EQ(aggregated.min(), direct.min());
+  EXPECT_EQ(aggregated.max(), direct.max());
+  EXPECT_DOUBLE_EQ(aggregated.mean(), direct.mean());
+  EXPECT_EQ(aggregated.buckets(), direct.buckets());
+}
+
+TEST(HistogramMetricTest, ConcurrentRecordsAllLand) {
+  HistogramMetric metric;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&metric, t] {
+      for (int i = 0; i < kPerThread; ++i) metric.Record(t * 1000 + i);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  Histogram aggregated = metric.Aggregate();
+  EXPECT_EQ(aggregated.count(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(aggregated.min(), 0);
+  EXPECT_EQ(aggregated.max(), (kThreads - 1) * 1000 + kPerThread - 1);
+}
+
+TEST(MetricsRegistryTest, GetReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("sase_a_total");
+  Counter* b = registry.GetCounter("sase_b_total");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.GetCounter("sase_a_total"), a);
+  EXPECT_EQ(registry.GetGauge("sase_g"), registry.GetGauge("sase_g"));
+  EXPECT_EQ(registry.GetHistogram("sase_h_ns"),
+            registry.GetHistogram("sase_h_ns"));
+}
+
+TEST(MetricsRegistryTest, NamesListRegisteredMetrics) {
+  MetricsRegistry registry;
+  registry.GetCounter("sase_events_total{shard=\"0\"}");
+  registry.GetCounter("sase_events_total{shard=\"1\"}");
+  registry.GetGauge("sase_depth");
+  registry.GetHistogram("sase_lat_ns");
+  EXPECT_EQ(registry.CounterNames().size(), 2u);
+  EXPECT_EQ(registry.GaugeNames().size(), 1u);
+  EXPECT_EQ(registry.HistogramNames().size(), 1u);
+}
+
+TEST(MetricsRegistryTest, RenderPrometheusCountersAndGauges) {
+  MetricsRegistry registry;
+  registry.GetCounter("sase_events_total{shard=\"0\"}")->Add(7);
+  registry.GetCounter("sase_events_total{shard=\"1\"}")->Add(9);
+  registry.GetGauge("sase_shards")->Set(2);
+  std::string text = registry.RenderPrometheus();
+  // One TYPE line per family, not per labeled series.
+  EXPECT_NE(text.find("# TYPE sase_events_total counter\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("# TYPE sase_events_total counter",
+                      text.find("# TYPE sase_events_total counter") + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("sase_events_total{shard=\"0\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sase_events_total{shard=\"1\"} 9\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sase_shards gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("sase_shards 2\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RenderPrometheusHistogramSeries) {
+  MetricsRegistry registry;
+  HistogramMetric* hist = registry.GetHistogram("sase_lat_ns");
+  hist->Record(1);
+  hist->Record(3);
+  hist->Record(1000);
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE sase_lat_ns histogram\n"), std::string::npos);
+  // Cumulative le buckets: value 1 lands in le="1", 3 in le="3" (bucket
+  // [2,4) upper bound), everything in +Inf.
+  EXPECT_NE(text.find("sase_lat_ns_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("sase_lat_ns_bucket{le=\"3\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("sase_lat_ns_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sase_lat_ns_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("sase_lat_ns_sum 1004\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, LabeledHistogramSplicesLeIntoLabels) {
+  MetricsRegistry registry;
+  registry.GetHistogram("sase_wait_ns{shard=\"2\"}")->Record(5);
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE sase_wait_ns histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("sase_wait_ns_bucket{shard=\"2\",le=\"7\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sase_wait_ns_count{shard=\"2\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EveryLineIsTypeCommentOrSample) {
+  MetricsRegistry registry;
+  registry.GetCounter("sase_a_total")->Add(1);
+  registry.GetGauge("sase_b{x=\"y\"}")->Set(2);
+  registry.GetHistogram("sase_c_ns")->Record(10);
+  std::istringstream in(registry.RenderPrometheus());
+  std::string line;
+  int samples = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) continue;
+    // Sample line: "<name-with-optional-labels> <value>".
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(space, 0u) << line;
+    EXPECT_LT(space + 1, line.size()) << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 4);  // counter + gauge + buckets + sum + count
+}
+
+TEST(MetricsRegistryTest, WritePrometheusRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("sase_a_total")->Add(3);
+  std::string path = ::testing::TempDir() + "metrics_test_scrape.prom";
+  ASSERT_TRUE(registry.WritePrometheus(path).ok());
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), registry.RenderPrometheus());
+  std::remove(path.c_str());
+}
+
+TEST(SpliceLabelTest, UnlabeledAndLabeledNames) {
+  EXPECT_EQ(SpliceLabel("m", "le=\"5\""), "m{le=\"5\"}");
+  EXPECT_EQ(SpliceLabel("m{a=\"1\"}", "le=\"5\""), "m{a=\"1\",le=\"5\"}");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sase

@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sase {
+namespace obs {
+namespace {
+
+TEST(MonotonicNsTest, NeverGoesBackwards) {
+  uint64_t a = MonotonicNs();
+  uint64_t b = MonotonicNs();
+  EXPECT_GE(b, a);
+  EXPECT_GT(a, 0u);
+}
+
+TEST(TraceCollectorTest, DisabledSamplesNothing) {
+  TraceCollector tracer;
+  EXPECT_FALSE(tracer.enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(tracer.MaybeSample(), 0u);
+}
+
+TEST(TraceCollectorTest, SamplesOneInN) {
+  TraceCollector tracer;
+  tracer.SetSampling(10);
+  EXPECT_TRUE(tracer.enabled());
+  EXPECT_EQ(tracer.sample_every(), 10u);
+  int sampled = 0;
+  uint64_t last_id = 0;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t id = tracer.MaybeSample();
+    if (id != 0) {
+      ++sampled;
+      EXPECT_GT(id, last_id);  // fresh ids, strictly increasing
+      last_id = id;
+    }
+  }
+  EXPECT_EQ(sampled, 10);
+}
+
+TEST(TraceCollectorTest, SampleEveryOneTracesEverything) {
+  TraceCollector tracer;
+  tracer.SetSampling(1);
+  for (int i = 0; i < 5; ++i) EXPECT_NE(tracer.MaybeSample(), 0u);
+}
+
+TEST(TraceCollectorTest, ZeroTraceIdSpansAreDropped) {
+  TraceCollector tracer;
+  tracer.AddSpan(0, "ingest", "ingest", 100, 200);
+  EXPECT_EQ(tracer.span_count(), 0u);
+}
+
+TEST(TraceCollectorTest, CollectsAndClearsSpans) {
+  TraceCollector tracer;
+  tracer.AddSpan(1, "ingest", "ingest", 100, 250, 7);
+  tracer.AddSpan(1, "operator", "shard-0", 150, 200);
+  ASSERT_EQ(tracer.span_count(), 2u);
+  std::vector<TraceSpan> spans = tracer.Spans();
+  EXPECT_EQ(spans[0].trace_id, 1u);
+  EXPECT_STREQ(spans[0].name, "ingest");
+  EXPECT_EQ(spans[0].lane, "ingest");
+  EXPECT_EQ(spans[0].start_ns, 100u);
+  EXPECT_EQ(spans[0].dur_ns, 150u);
+  EXPECT_EQ(spans[0].global, 7u);
+  tracer.Clear();
+  EXPECT_EQ(tracer.span_count(), 0u);
+}
+
+TEST(TraceCollectorTest, BackwardsEndClampsDurationToZero) {
+  TraceCollector tracer;
+  tracer.AddSpan(1, "emit", "dispatcher", 500, 400);
+  EXPECT_EQ(tracer.Spans()[0].dur_ns, 0u);
+}
+
+TEST(TraceCollectorTest, CurrentSlotAndExternalSampler) {
+  TraceCollector tracer;
+  EXPECT_FALSE(tracer.external_sampler());
+  tracer.SetExternalSampler(true);
+  EXPECT_TRUE(tracer.external_sampler());
+  EXPECT_EQ(tracer.current(), 0u);
+  tracer.SetCurrent(42);
+  EXPECT_EQ(tracer.current(), 42u);
+  tracer.SetCurrent(0);
+  EXPECT_EQ(tracer.current(), 0u);
+}
+
+TEST(TraceCollectorTest, ToJsonShape) {
+  TraceCollector tracer;
+  // Absolute timestamps far from zero: the dump must normalize to the
+  // earliest span.
+  tracer.AddSpan(3, "ingest", "ingest", 1'000'000'000, 1'000'050'000);
+  tracer.AddSpan(3, "operator", "shard-1", 1'000'010'000, 1'000'020'000, 9);
+  std::string json = tracer.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // Thread-name metadata per lane.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"ingest\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"shard-1\""), std::string::npos);
+  // Complete events in microseconds, normalized to the earliest start.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":0.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":50.000"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":10.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":10.000"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"global\":9"), std::string::npos);
+}
+
+TEST(TraceCollectorTest, EmptyJsonIsStillValid) {
+  TraceCollector tracer;
+  EXPECT_EQ(tracer.ToJson().find("{\"traceEvents\":["), 0u);
+}
+
+TEST(TraceCollectorTest, DumpJsonWritesFile) {
+  TraceCollector tracer;
+  tracer.AddSpan(1, "ingest", "ingest", 10, 20);
+  std::string path = ::testing::TempDir() + "trace_test_dump.json";
+  ASSERT_TRUE(tracer.DumpJson(path).ok());
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), tracer.ToJson());
+  std::remove(path.c_str());
+  EXPECT_FALSE(tracer.DumpJson("/nonexistent-dir/trace.json").ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sase
