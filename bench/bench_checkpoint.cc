@@ -69,6 +69,43 @@ void BM_JournalAppend(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 
+/// Consumer-ack durability cost under the strictest fsync policy. Arg =
+/// ack_commit_interval: 1 journals (and fsyncs) every AckOutput, 64 group-
+/// commits a coalesced cursor record once per 64 acks. The gap between the
+/// two is what the batching knob buys an exactly-once consumer: the
+/// cursor is cumulative, so one coalesced record carries the same
+/// durability as the 64 records it replaces.
+void BM_AckCursorCommit(benchmark::State& state) {
+  const uint64_t interval = static_cast<uint64_t>(state.range(0));
+  std::string dir = FreshDir("ack_commit_" + std::to_string(interval));
+  constexpr uint64_t kAcksPerIteration = 512;
+  uint64_t position = 0;
+  for (auto _ : state) {
+    auto journal = checkpoint::EventJournal::Open(
+        dir, 1, 0, 64ull << 20, checkpoint::FsyncPolicy::kAlways);
+    if (!journal.ok()) {
+      state.SkipWithError(journal.status().ToString().c_str());
+      return;
+    }
+    journal.value()->set_ack_commit_interval(interval);
+    for (uint64_t i = 0; i < kAcksPerIteration; ++i) {
+      Status acked = journal.value()->AppendAckCursor(++position, position);
+      if (!acked.ok()) {
+        state.SkipWithError(acked.ToString().c_str());
+        return;
+      }
+    }
+    Status committed = journal.value()->CommitAcks();
+    if (!committed.ok()) {
+      state.SkipWithError(committed.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kAcksPerIteration));
+  std::filesystem::remove_all(dir);
+}
+
 /// One snapshot at a quiesce point, with the in-flight window scaled by the
 /// registered query's WITHIN span (arg = window ticks). Larger windows
 /// retain more events, so the WINDOW section dominates snapshot cost.
@@ -155,6 +192,7 @@ void BM_RecoveryTime(benchmark::State& state) {
 }
 
 BENCHMARK(BM_JournalAppend)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AckCursorCommit)->Arg(1)->Arg(64)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SnapshotCost)
     ->Arg(100)
     ->Arg(400)

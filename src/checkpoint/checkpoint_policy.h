@@ -9,6 +9,21 @@
 namespace sase {
 namespace checkpoint {
 
+/// Who acknowledges delivered output records (docs/recovery.md, the
+/// exactly-once section).
+enum class AckMode {
+  /// Delivery IS acknowledgment: the system self-acks every record it hands
+  /// to a sink, and the journal's delivered-output marks double as the ack
+  /// cursor. Recovery behaves exactly like the pre-cursor releases —
+  /// exactly-once up to the durability of the journal tail. The default.
+  kAuto = 0,
+  /// Only explicit SaseSystem::AckOutput calls advance the cursor. Records
+  /// delivered but not yet durably acked RE-EMIT after a crash (with their
+  /// original cursor stamps, so sinks dedup or re-ack idempotently):
+  /// at-least-once raw delivery, exactly-once at the acked cursor.
+  kConsumer = 1,
+};
+
 /// Knobs of the durable checkpoint subsystem, wired through
 /// SystemConfig::checkpoint. With `dir` set, a SaseSystem write-ahead
 /// journals every published event into `dir` and can snapshot its full
@@ -35,6 +50,16 @@ struct CheckpointConfig {
 
   /// Durability of each appended record; see FsyncPolicy.
   FsyncPolicy journal_fsync = FsyncPolicy::kNever;
+
+  /// Output acknowledgment mode; see AckMode.
+  AckMode ack_mode = AckMode::kAuto;
+
+  /// Consumer acks coalesced into one journaled cursor record (one write,
+  /// one fsync under kAlways) — the group-commit batch size. 1 commits
+  /// every ack (maximum durability, one fsync per ack under kAlways);
+  /// larger values amortize the fsync at the cost of a wider ack-to-disk
+  /// crash window. Only meaningful under AckMode::kConsumer.
+  uint64_t ack_commit_interval = 32;
 };
 
 /// One observation per published event, fed to the policy by the system.

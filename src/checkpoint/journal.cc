@@ -198,6 +198,10 @@ bool DecodePayload(const char* data, size_t size, JournalRecord* record) {
       record->archiving = archiving != 0;
       return in.GetString(&record->name) && in.GetString(&record->text);
     }
+    case JournalRecord::Kind::kAckCursor:
+      record->kind = JournalRecord::Kind::kAckCursor;
+      return in.GetU64(&record->acked_runtime) &&
+             in.GetU64(&record->acked_serial);
     default:
       return false;
   }
@@ -330,6 +334,29 @@ Status EventJournal::AppendRegister(bool archiving, const std::string& name,
   PutString(&payload, name);
   PutString(&payload, text);
   return AppendPayload(payload);
+}
+
+Status EventJournal::AppendAckCursor(uint64_t acked_runtime,
+                                     uint64_t acked_serial) {
+  // Latest cumulative counters win: a batch of N acks collapses into one
+  // record carrying the final values.
+  pending_ack_runtime_ = acked_runtime;
+  pending_ack_serial_ = acked_serial;
+  ++pending_acks_;
+  if (pending_acks_ >= ack_commit_interval_) return CommitAcks();
+  return Status::Ok();
+}
+
+Status EventJournal::CommitAcks() {
+  if (pending_acks_ == 0) return Status::Ok();
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(JournalRecord::Kind::kAckCursor));
+  PutU64(&payload, pending_ack_runtime_);
+  PutU64(&payload, pending_ack_serial_);
+  pending_acks_ = 0;
+  Status appended = AppendPayload(payload);
+  if (appended.ok()) ++ack_commits_;
+  return appended;
 }
 
 Result<JournalScan> ReadJournal(const std::string& dir, uint64_t snapshot) {

@@ -27,10 +27,12 @@ enum class FsyncPolicy {
 
 /// One decoded journal record. The journal logs, between two checkpoints,
 /// everything that feeds the event processors: published events (default
-/// and named-stream), end-of-stream flushes, query registrations, and
+/// and named-stream), end-of-stream flushes, query registrations,
 /// delivered-output marks (the cumulative delivery counters the recovery
 /// gate uses to resume emission at the exact record where the crashed
-/// process stopped).
+/// process stopped), and acked-output cursors (the consumer-acknowledged
+/// delivery positions the exactly-once gate resumes from instead of the
+/// marks when `ack_mode = kConsumer`).
 struct JournalRecord {
   enum class Kind : uint8_t {
     kEvent = 1,        // default-input event
@@ -38,6 +40,7 @@ struct JournalRecord {
     kFlush = 3,        // end-of-stream marker
     kOutputMark = 4,   // cumulative delivered-output counters
     kRegister = 5,     // query registration (name/text/kind)
+    kAckCursor = 6,    // cumulative consumer-acked output counters
   };
 
   Kind kind = Kind::kEvent;
@@ -53,6 +56,12 @@ struct JournalRecord {
   // and serial-hosted queries since system construction.
   uint64_t delivered_runtime = 0;
   uint64_t delivered_serial = 0;
+
+  // kAckCursor: absolute counts of records the consumer has acknowledged,
+  // per delivery class. Cumulative like the marks: a later record
+  // supersedes every earlier one.
+  uint64_t acked_runtime = 0;
+  uint64_t acked_serial = 0;
 
   // kRegister
   bool archiving = false;  // archiving rule vs monitoring query
@@ -90,11 +99,36 @@ class EventJournal {
   Status AppendRegister(bool archiving, const std::string& name,
                         const std::string& text);
 
+  /// Buffers the cumulative acked-output cursor for a batched (group)
+  /// commit: nothing hits the file until `ack_commit_interval` acks have
+  /// accumulated, at which point ONE coalesced kAckCursor record carrying
+  /// the latest counters is appended (one write, one fsync under kAlways)
+  /// and the batch resets. Values are cumulative, so coalescing loses
+  /// nothing but the crash-window acks — which is exactly the contract:
+  /// an ack is durable only after its batch commits (see CommitAcks).
+  /// Destroying the journal does NOT commit a pending batch; that is the
+  /// simulated ack-to-fsync crash window the differential harness kills in.
+  Status AppendAckCursor(uint64_t acked_runtime, uint64_t acked_serial);
+
+  /// Commits the pending ack batch now (no-op when nothing is buffered).
+  /// Called at end-of-stream flush, before a snapshot, and on demand.
+  Status CommitAcks();
+
+  /// Acks buffered per coalesced cursor record; minimum 1 (commit every
+  /// ack). Set from CheckpointConfig::ack_commit_interval.
+  void set_ack_commit_interval(uint64_t interval) {
+    ack_commit_interval_ = interval == 0 ? 1 : interval;
+  }
+
   /// Bytes appended across all segments of this writer (headers included).
   uint64_t bytes_written() const { return bytes_written_; }
   uint64_t records_written() const { return records_written_; }
   uint64_t rotations() const { return rotations_; }
   uint64_t segment() const { return segment_; }
+  /// Acks buffered since the last committed cursor record.
+  uint64_t pending_acks() const { return pending_acks_; }
+  /// Coalesced kAckCursor records written.
+  uint64_t ack_commits() const { return ack_commits_; }
 
   /// Attaches per-append latency histograms (not owned; nullptr detaches):
   /// `append` times frame build + write(2), `fsync` times the fsync(2) under
@@ -128,6 +162,13 @@ class EventJournal {
   uint64_t bytes_written_ = 0;
   uint64_t records_written_ = 0;
   uint64_t rotations_ = 0;
+
+  // Pending ack batch (latest cumulative counters win; see AppendAckCursor).
+  uint64_t ack_commit_interval_ = 1;
+  uint64_t pending_acks_ = 0;
+  uint64_t pending_ack_runtime_ = 0;
+  uint64_t pending_ack_serial_ = 0;
+  uint64_t ack_commits_ = 0;
 };
 
 /// Result of scanning one epoch's segments. Recovery replays `records` in

@@ -19,6 +19,7 @@ namespace {
 
 constexpr const char* kStateHeaderV1 = "SASE-CHECKPOINT v1";
 constexpr const char* kStateHeaderV2 = "SASE-CHECKPOINT v2";
+constexpr const char* kStateHeaderV3 = "SASE-CHECKPOINT v3";
 constexpr const char* kManifestHeader = "SASE-MANIFEST v1";
 constexpr const char* kEngineHeader = "SASE-ENGINE-STATE v1";
 
@@ -46,12 +47,13 @@ Status WriteState(const std::string& path, const SystemSnapshot& snap) {
   if (!out.is_open()) {
     return Status::InvalidArgument("cannot open for writing: " + path);
   }
-  out << kStateHeaderV2 << "\n";
+  out << kStateHeaderV3 << "\n";
   out << "SHARDS " << snap.shard_count << "\n";
   out << "KEY " << EscapeField(snap.partition_key) << "\n";
   out << "DISPATCHED " << snap.events_dispatched << "\n";
   out << "DELIVERED " << snap.delivered_runtime << "|" << snap.delivered_serial
       << "\n";
+  out << "ACKED " << snap.acked_runtime << "|" << snap.acked_serial << "\n";
   out << "ROUTED " << (snap.any_routed ? 1 : 0) << "|" << snap.routed_stream
       << "|" << (snap.multi_routed ? 1 : 0) << "\n";
   out << "CATALOG";
@@ -261,11 +263,14 @@ Result<SystemSnapshot> ReadSnapshot(const std::string& dir, uint64_t id,
   }
   std::string line;
   if (!std::getline(in, line) ||
-      (line != kStateHeaderV1 && line != kStateHeaderV2)) {
+      (line != kStateHeaderV1 && line != kStateHeaderV2 &&
+       line != kStateHeaderV3)) {
     return Status::ParseError("bad snapshot header in " + snap_dir);
   }
   SystemSnapshot snap;
-  snap.format = line == kStateHeaderV1 ? kSnapshotFormatV1 : kSnapshotFormatV2;
+  snap.format = line == kStateHeaderV1   ? kSnapshotFormatV1
+                : line == kStateHeaderV2 ? kSnapshotFormatV2
+                                         : kSnapshotFormatV3;
   snap.snapshot_id = id;
   bool saw_end = false;
   while (std::getline(in, line)) {
@@ -303,6 +308,15 @@ Result<SystemSnapshot> ReadSnapshot(const std::string& dir, uint64_t id,
       if (!serial.ok()) return serial.status();
       snap.delivered_runtime = runtime.value();
       snap.delivered_serial = serial.value();
+    } else if (tag == "ACKED") {
+      if (fields.size() != 2) return Status::ParseError("bad ACKED line");
+      auto runtime = field_u64(0);
+      auto serial = field_u64(1);
+      if (!runtime.ok()) return runtime.status();
+      if (!serial.ok()) return serial.status();
+      snap.acked_runtime = runtime.value();
+      snap.acked_serial = serial.value();
+      snap.has_acked = true;
     } else if (tag == "ROUTED") {
       if (fields.size() != 3) return Status::ParseError("bad ROUTED line");
       auto stream = field_u64(1);

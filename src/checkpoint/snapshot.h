@@ -50,11 +50,15 @@ struct SnapshotWindowEvent {
 /// in-flight window (and therefore refused aggregates, WITHIN-less stateful
 /// queries and stateful serial-engine queries); v2 adds direct
 /// operator-state serialization in per-query framed sections (engine.sase),
-/// covering the whole language surface. The v2 reader still reads v1
-/// snapshots; recovery falls back to window replay for them.
+/// covering the whole language surface; v3 adds the consumer-acked output
+/// cursor (ACKED line) the exactly-once recovery gate resumes from. The v3
+/// reader still reads v1 and v2 snapshots; recovery falls back to window
+/// replay for v1 and to the delivered-output marks (at-least-once) for
+/// pre-cursor snapshots under AckMode::kConsumer.
 constexpr int kSnapshotFormatV1 = 1;
 constexpr int kSnapshotFormatV2 = 2;
-constexpr int kSnapshotFormat = kSnapshotFormatV2;
+constexpr int kSnapshotFormatV3 = 3;
+constexpr int kSnapshotFormat = kSnapshotFormatV3;
 
 /// One framed engine-state section (snapshot v2): the serialized operator
 /// state of one query's plan on one hosting engine, or an engine-level
@@ -89,6 +93,13 @@ struct SystemSnapshot {
   uint64_t events_dispatched = 0;
   uint64_t delivered_runtime = 0;
   uint64_t delivered_serial = 0;
+  /// Consumer-acked output counters at the snapshot point (v3). `has_acked`
+  /// distinguishes "acked 0|0" from "pre-cursor snapshot with no ACKED
+  /// line" — the recovery gate falls back to the delivered marks only in
+  /// the latter case.
+  uint64_t acked_runtime = 0;
+  uint64_t acked_serial = 0;
+  bool has_acked = false;
   /// Dispatcher routing flags (see ShardedRuntime): restored verbatim so
   /// the recovered dispatcher claims merge progress exactly as the crashed
   /// one would have.

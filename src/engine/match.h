@@ -54,6 +54,17 @@ struct OutputRecord {
   bool deferred = false;
   Timestamp release_ts = 0;
 
+  /// Exactly-once delivery cursor, stamped just before the record reaches a
+  /// sink: the host class (runtime-merged vs serial-synchronous delivery)
+  /// and the 1-based position within that class's deterministic delivery
+  /// order. Re-deliveries after crash recovery carry their ORIGINAL
+  /// positions, so a sink can acknowledge (SaseSystem::AckOutput) or dedup
+  /// (IdempotentSink) by the stamp. 0 = not delivered through a stamping
+  /// path (e.g. a bare engine callback). Like the serial-order stamp, the
+  /// cursor does not participate in ToString()/Get().
+  bool cursor_runtime_hosted = false;
+  uint64_t cursor_position = 0;
+
   /// "stream@ts{name=value, ...}".
   std::string ToString() const;
 

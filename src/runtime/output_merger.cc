@@ -97,7 +97,15 @@ std::vector<TaggedRecord> OutputMerger::Release(const std::vector<bool>& take) {
     if (!take[i]) keep.push_back(std::move(pending_[i]));
   }
   pending_ = std::move(keep);
-  merged_ += out.size();
+  // Stamp each record with its merge ordinal — the runtime-class delivery
+  // cursor. The merge order is deterministic (serial-equivalent), and
+  // SeedMerged continues the count across recovery, so a record regenerated
+  // by journal replay carries the same position it had before the crash.
+  for (TaggedRecord& released : out) {
+    ++merged_;
+    released.record.cursor_runtime_hosted = true;
+    released.record.cursor_position = merged_;
+  }
   return out;
 }
 

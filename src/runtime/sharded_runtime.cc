@@ -493,6 +493,7 @@ Result<ShardedRuntime::CheckpointState> ShardedRuntime::ExportCheckpoint() {
   state.shard_count = config_.shard_count;
   state.partition_key = config_.partition_key;
   state.events_dispatched = events_dispatched_;
+  state.records_merged = merger_.merged_count();
   state.any_routed = any_routed_;
   state.routed_stream = routed_stream_;
   state.multi_routed = multi_routed_;
@@ -760,6 +761,7 @@ Status ShardedRuntime::FinishRestore(const CheckpointState& state) {
   // issued from here on.
   events_dispatched_ = state.events_dispatched;
   merger_.SeedDispatched(state.events_dispatched);
+  merger_.SeedMerged(state.records_merged);
   any_routed_ = state.any_routed;
   routed_stream_ = state.routed_stream;
   multi_routed_ = state.multi_routed;

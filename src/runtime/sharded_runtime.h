@@ -213,6 +213,10 @@ class ShardedRuntime : public EventSink {
     int shard_count = 1;
     std::string partition_key;
     uint64_t events_dispatched = 0;
+    /// Merge ordinal at the quiesce point: seeds the OutputMerger's
+    /// delivery-cursor clock on restore so replayed records re-stamp with
+    /// their pre-crash positions.
+    uint64_t records_merged = 0;
     bool any_routed = false;
     StreamId routed_stream = kDefaultStream;
     bool multi_routed = false;

@@ -33,6 +33,8 @@ constexpr const char* kHelp =
     "  .restore <dir>           recover the session from a checkpoint\n"
     "  .metrics [path]          scrape + render Prometheus metrics\n"
     "  .trace on <N>|off|dump <path>  event-lifecycle trace sampling\n"
+    "  .acks [commit]           ack-cursor status; 'commit' forces the\n"
+    "                           pending ack batch to the journal\n"
     "  help                     this summary";
 
 }  // namespace
@@ -53,6 +55,7 @@ std::string Console::Execute(const std::string& line) {
   if (EqualsIgnoreCase(command, ".restore")) return CmdRestore(args);
   if (EqualsIgnoreCase(command, ".metrics")) return CmdMetrics(args);
   if (EqualsIgnoreCase(command, ".trace")) return CmdTracing(args);
+  if (EqualsIgnoreCase(command, ".acks")) return CmdAcks(args);
   if (EqualsIgnoreCase(command, "help")) return kHelp;
   return "error: unknown command '" + command + "' (try 'help')";
 }
@@ -221,6 +224,28 @@ std::string Console::CmdTracing(const std::string& args) {
            " spans)";
   }
   return "error: usage: .trace on <N> | .trace off | .trace dump <path>";
+}
+
+std::string Console::CmdAcks(const std::string& args) {
+  if (EqualsIgnoreCase(Trim(args), "commit")) {
+    Status committed = system_->CommitAcks();
+    if (!committed.ok()) return "error: " + committed.ToString();
+    return "ack batch committed (acked " +
+           std::to_string(system_->acked_runtime()) + "+" +
+           std::to_string(system_->acked_serial()) + ")";
+  }
+  if (!args.empty()) return "error: usage: .acks [commit]";
+  bool consumer = system_->config().checkpoint.ack_mode ==
+                  checkpoint::AckMode::kConsumer;
+  std::ostringstream out;
+  out << "ack mode: " << (consumer ? "consumer" : "auto") << "\n"
+      << "delivered: " << system_->records_delivered() << " acked: "
+      << system_->acked_runtime() + system_->acked_serial() << " lag: "
+      << system_->records_delivered() -
+             (system_->acked_runtime() + system_->acked_serial())
+      << "\n"
+      << "suppressed duplicates: " << system_->suppressed_duplicates();
+  return out.str();
 }
 
 std::string Console::CmdWindow(const std::string& args) {

@@ -31,6 +31,8 @@ namespace sase {
 ///   .metrics [path]                   scrape + render Prometheus metrics
 ///                                     (to `path` when given)
 ///   .trace on <N> | off | dump <path> event-lifecycle trace sampling
+///   .acks [commit]                    ack-cursor status / force the pending
+///                                     ack batch to the journal
 ///   help                              command summary
 class Console {
  public:
@@ -60,6 +62,7 @@ class Console {
   std::string CmdRestore(const std::string& args);
   std::string CmdMetrics(const std::string& args);
   std::string CmdTracing(const std::string& args);
+  std::string CmdAcks(const std::string& args);
 
   SaseSystem* system_;
   /// Set by `.restore`: the console owns the recovered system it switched

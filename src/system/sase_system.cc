@@ -351,19 +351,37 @@ OutputCallback SaseSystem::MakeDeliver(const std::string& name,
           runtime_hosted](const OutputRecord& record) {
     // Per-host delivery watermark; during recovery replay the first
     // `suppress` regenerated records per class are exactly the ones the
-    // crashed process already delivered (see the journal's output marks),
-    // so the gate swallows them and resumes at the record after.
+    // crashed process already delivered (under AckMode::kConsumer: durably
+    // acked), so the gate swallows them and resumes at the record after.
     uint64_t& delivered = runtime_hosted ? delivered_runtime_ : delivered_serial_;
     uint64_t& suppress = runtime_hosted ? suppress_runtime_ : suppress_serial_;
     ++delivered;
     if (suppress > 0) {
       --suppress;
+      ++suppressed_duplicates_;
       return;
     }
-    reports_.Channel(ReportBoard::kStreamOutput).Append(record.ToString());
+    // Runtime-merged records arrive pre-stamped by the OutputMerger (whose
+    // merge ordinal IS the runtime-class cursor); serial-engine deliveries
+    // are stamped here from the class counter.
+    const OutputRecord* out = &record;
+    OutputRecord stamped;
+    if (record.cursor_position == 0) {
+      stamped = record;
+      stamped.cursor_runtime_hosted = runtime_hosted;
+      stamped.cursor_position = delivered;
+      out = &stamped;
+    }
+    if (config_.checkpoint.ack_mode == checkpoint::AckMode::kAuto) {
+      // Delivery is acknowledgment; the journal's output marks double as
+      // the durable cursor, so no separate ack record is written.
+      uint64_t& acked = runtime_hosted ? acked_runtime_ : acked_serial_;
+      acked = delivered;
+    }
+    reports_.Channel(ReportBoard::kStreamOutput).Append(out->ToString());
     reports_.Channel(ReportBoard::kMessageResults)
-        .Append("[" + name + "] " + record.ToString());
-    if (callback) callback(record);
+        .Append("[" + name + "] " + out->ToString());
+    if (callback) callback(*out);
   };
 }
 
@@ -444,6 +462,45 @@ void SaseSystem::Flush() {
   // CleaningPipeline::OnFlush flushes its StreamSource, which calls
   // EventSink::OnFlush on the bus; the bus fans that out to the engine (and
   // to the journal taps when checkpointing).
+  //
+  // End-of-stream is an ack commit point: a sink that acked everything it
+  // saw must not lose those acks to the group-commit batching window.
+  Status committed = CommitAcks();
+  if (!committed.ok() && !journal_warned_) {
+    SASE_LOG_WARN << "journal append failed: " << committed.ToString();
+    journal_warned_ = true;
+  }
+}
+
+Status SaseSystem::AckOutput(const OutputCursor& cursor) {
+  if (cursor.position == 0) {
+    return Status::InvalidArgument(
+        "cannot ack cursor position 0: the record carries no delivery stamp");
+  }
+  uint64_t delivered =
+      cursor.runtime_hosted ? delivered_runtime_ : delivered_serial_;
+  uint64_t& acked = cursor.runtime_hosted ? acked_runtime_ : acked_serial_;
+  if (cursor.position > delivered) {
+    return Status::InvalidArgument(
+        "cannot ack position " + std::to_string(cursor.position) + ": only " +
+        std::to_string(delivered) + " records delivered in this class");
+  }
+  if (cursor.position <= acked) return Status::Ok();  // cumulative: covered
+  acked = cursor.position;
+  if (config_.checkpoint.ack_mode == checkpoint::AckMode::kConsumer &&
+      JournalActive()) {
+    Status logged = journal_->AppendAckCursor(acked_runtime_, acked_serial_);
+    if (!logged.ok() && !journal_warned_) {
+      SASE_LOG_WARN << "journal append failed: " << logged.ToString();
+      journal_warned_ = true;
+    }
+  }
+  return Status::Ok();
+}
+
+Status SaseSystem::CommitAcks() {
+  if (journal_ == nullptr) return Status::Ok();
+  return journal_->CommitAcks();
 }
 
 // --- durable checkpoint & crash recovery -----------------------------------
@@ -506,6 +563,7 @@ Status SaseSystem::OpenJournal(uint64_t epoch, uint64_t segment) {
       config_.checkpoint.journal_rotate_bytes, config_.checkpoint.journal_fsync);
   if (!journal.ok()) return journal.status();
   journal_ = std::move(journal).value();
+  journal_->set_ack_commit_interval(config_.checkpoint.ack_commit_interval);
   if (metrics_ != nullptr) {
     journal_->set_latency_metrics(
         metrics_->GetHistogram("sase_journal_append_latency_ns"),
@@ -625,6 +683,12 @@ Status SaseSystem::Checkpoint(const std::string& dir_arg) {
     }
     snap.delivered_runtime = delivered_runtime_;
     snap.delivered_serial = delivered_serial_;
+    // The snapshot's ACKED line supersedes every journaled cursor record of
+    // the epoch it closes — a pending (uncommitted) ack batch is covered
+    // here and simply dropped with the rolled journal.
+    snap.acked_runtime = acked_runtime_;
+    snap.acked_serial = acked_serial_;
+    snap.has_acked = true;
 
     bool own_dir = journal_ != nullptr && dir == config_.checkpoint.dir;
     if (own_dir) {
@@ -800,6 +864,10 @@ Status SaseSystem::FinishRecovery(const RecoverySpec& spec,
     state.shard_count = snap->shard_count;
     state.partition_key = snap->partition_key;
     state.events_dispatched = snap->events_dispatched;
+    // Every runtime-merged record goes through exactly one MakeDeliver, so
+    // the snapshot's runtime delivery counter is the merge ordinal to
+    // continue the cursor clock from.
+    state.records_merged = snap->delivered_runtime;
     state.any_routed = snap->any_routed;
     state.routed_stream = snap->routed_stream;
     state.multi_routed = snap->multi_routed;
@@ -871,16 +939,63 @@ Status SaseSystem::FinishRecovery(const RecoverySpec& spec,
   }
   uint64_t mark_runtime = delivered_runtime_;
   uint64_t mark_serial = delivered_serial_;
+  uint64_t acked_runtime = snap != nullptr && snap->has_acked
+                               ? snap->acked_runtime
+                               : 0;
+  uint64_t acked_serial = snap != nullptr && snap->has_acked
+                              ? snap->acked_serial
+                              : 0;
+  bool cursor_found = snap != nullptr && snap->has_acked;
   for (const checkpoint::JournalRecord& record : scan.value().records) {
     if (record.kind == checkpoint::JournalRecord::Kind::kOutputMark) {
       mark_runtime = record.delivered_runtime;
       mark_serial = record.delivered_serial;
+    } else if (record.kind == checkpoint::JournalRecord::Kind::kAckCursor) {
+      acked_runtime = std::max(acked_runtime, record.acked_runtime);
+      acked_serial = std::max(acked_serial, record.acked_serial);
+      cursor_found = true;
     }
   }
+  uint64_t gate_runtime;
+  uint64_t gate_serial;
+  if (config_.checkpoint.ack_mode == checkpoint::AckMode::kConsumer) {
+    if (cursor_found || snap == nullptr) {
+      // The durable acked cursor is authoritative: everything delivered
+      // past it re-emits (with its original cursor stamp) for the consumer
+      // to re-ack or dedup. A journal-only epoch with no cursor records
+      // means nothing was durably acked — replay re-delivers everything.
+      gate_runtime = acked_runtime;
+      gate_serial = acked_serial;
+    } else {
+      // Pre-cursor checkpoint: the snapshot predates the ACKED cursor line
+      // (format < v3) and the journal holds no ack-cursor records, so there
+      // is no acked cursor to resume from. Fall back to the delivered-output
+      // marks — the legacy gate — rather than re-emitting the whole epoch:
+      // at-least-once across this one crash, exactly-once again from the
+      // next ack on.
+      recovered_ack_fallback_ = true;
+      SASE_LOG_WARN << "recovery under ack_mode=consumer found no acked "
+                    << "output cursor (snapshot format " << snap->format
+                    << " has no ACKED line and the journal holds no "
+                    << "ack-cursor records); falling back to the "
+                    << "delivered-output marks — at-least-once across this "
+                    << "crash";
+      gate_runtime = mark_runtime;
+      gate_serial = mark_serial;
+    }
+  } else {
+    // Auto-ack: delivery is acknowledgment — the marks are the cursor. Max
+    // with any consumer-era acks so a mode switch across a crash never
+    // regresses the gate below what was durably acked.
+    gate_runtime = std::max(mark_runtime, acked_runtime);
+    gate_serial = std::max(mark_serial, acked_serial);
+  }
+  acked_runtime_ = gate_runtime;
+  acked_serial_ = gate_serial;
   suppress_runtime_ =
-      mark_runtime > delivered_runtime_ ? mark_runtime - delivered_runtime_ : 0;
+      gate_runtime > delivered_runtime_ ? gate_runtime - delivered_runtime_ : 0;
   suppress_serial_ =
-      mark_serial > delivered_serial_ ? mark_serial - delivered_serial_ : 0;
+      gate_serial > delivered_serial_ ? gate_serial - delivered_serial_ : 0;
 
   uint64_t replayed_events = 0;
   for (const checkpoint::JournalRecord& record : scan.value().records) {
@@ -918,7 +1033,8 @@ Status SaseSystem::FinishRecovery(const RecoverySpec& spec,
         break;
       }
       case checkpoint::JournalRecord::Kind::kOutputMark:
-        break;
+      case checkpoint::JournalRecord::Kind::kAckCursor:
+        break;  // consumed by the gate computation above
     }
   }
   // Quiesce: surface every record the replay made merge-safe, consuming
@@ -957,6 +1073,12 @@ void SaseSystem::ScrapeMetrics() {
       ->Set(delivered_runtime_);
   metrics_->GetCounter("sase_delivered_records_total{host=\"serial\"}")
       ->Set(delivered_serial_);
+  metrics_->GetGauge("sase_ack_lag_records{host=\"runtime\"}")
+      ->Set(static_cast<int64_t>(delivered_runtime_ - acked_runtime_));
+  metrics_->GetGauge("sase_ack_lag_records{host=\"serial\"}")
+      ->Set(static_cast<int64_t>(delivered_serial_ - acked_serial_));
+  metrics_->GetCounter("sase_recovery_suppressed_duplicates_total")
+      ->Set(suppressed_duplicates_);
   if (journal_ != nullptr) {
     metrics_->GetCounter("sase_journal_records_total")
         ->Set(journal_->records_written());
@@ -982,6 +1104,19 @@ std::string SaseSystem::CheckpointReport() const {
           .Kv("delivered", std::to_string(delivered_runtime_) + "+" +
                                std::to_string(delivered_serial_))
           .Str();
+  bool consumer_acks =
+      config_.checkpoint.ack_mode == checkpoint::AckMode::kConsumer;
+  out += obs::ReportLine("acks:")
+             .Kv("mode", consumer_acks ? "consumer" : "auto")
+             .Kv("acked", std::to_string(acked_runtime_) + "+" +
+                              std::to_string(acked_serial_))
+             .Kv("lag",
+                 std::to_string(delivered_runtime_ - acked_runtime_) + "+" +
+                     std::to_string(delivered_serial_ - acked_serial_))
+             .Kv("pending", journal_ != nullptr ? journal_->pending_acks() : 0)
+             .Kv("commits", journal_ != nullptr ? journal_->ack_commits() : 0)
+             .Kv("suppressed", suppressed_duplicates_)
+             .Str();
   if (journal_ != nullptr) {
     out += obs::ReportLine("journal:")
                .Kv("segment", journal_->segment())
@@ -1001,6 +1136,9 @@ std::string SaseSystem::CheckpointReport() const {
                .Text("records")
                .Kv("truncated", recovered_truncated_ ? "yes" : "no")
                .Kv("suppressed_remaining", suppress_runtime_ + suppress_serial_)
+               .Kv("ack_fallback", recovered_ack_fallback_
+                                       ? "missing acked cursor (pre-v3)"
+                                       : "no")
                .Str();
   }
   return out;

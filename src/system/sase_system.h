@@ -73,6 +73,57 @@ struct SystemConfig {
   obs::ObsConfig obs;
 };
 
+/// One position in a delivery class's output sequence — what
+/// OutputRecord's cursor stamp names and what SaseSystem::AckOutput
+/// acknowledges. Positions are 1-based and deterministic per class
+/// (runtime-merged vs serial-synchronous), so the same record carries the
+/// same cursor before and after a crash.
+struct OutputCursor {
+  bool runtime_hosted = false;
+  uint64_t position = 0;
+};
+
+/// Adapter for sinks that cannot acknowledge: drops any record whose
+/// cursor stamp was already forwarded (recovery re-deliveries under
+/// AckMode::kConsumer), passing each position through exactly once.
+/// Delivery within a class is in cursor order, so a max-seen watermark per
+/// class suffices. Unstamped records (position 0 — e.g. bare engine
+/// callbacks) are always forwarded. Use via Wrap(), which shares one
+/// watermark across the std::function copies:
+///
+///   auto sink = std::make_shared<IdempotentSink>(my_callback);
+///   system.RegisterMonitoringQuery("q", text, IdempotentSink::Wrap(sink));
+class IdempotentSink {
+ public:
+  explicit IdempotentSink(OutputCallback inner) : inner_(std::move(inner)) {}
+
+  void operator()(const OutputRecord& record) {
+    if (record.cursor_position != 0) {
+      uint64_t& seen =
+          record.cursor_runtime_hosted ? seen_runtime_ : seen_serial_;
+      if (record.cursor_position <= seen) {
+        ++dropped_;
+        return;
+      }
+      seen = record.cursor_position;
+    }
+    if (inner_) inner_(record);
+  }
+
+  static OutputCallback Wrap(std::shared_ptr<IdempotentSink> sink) {
+    return [sink](const OutputRecord& record) { (*sink)(record); };
+  }
+
+  /// Duplicates swallowed so far.
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  OutputCallback inner_;
+  uint64_t seen_runtime_ = 0;
+  uint64_t seen_serial_ = 0;
+  uint64_t dropped_ = 0;
+};
+
 /// The complete SASE system of Figure 1, assembled:
 ///
 ///   RFID devices (RetailSimulator)
@@ -193,6 +244,33 @@ class SaseSystem {
       const std::string& dir, StoreLayout layout, SystemConfig config = {},
       CallbackFactory callbacks = nullptr);
 
+  // --- exactly-once output (consumer-acknowledged cursor) ---
+
+  /// Acknowledges every delivered record at or below `cursor.position` in
+  /// its class — acks are cumulative, like Kafka offsets, so sinks may ack
+  /// every Nth record. Under AckMode::kConsumer the durable acked cursor
+  /// (journaled as batched kAckCursor records, persisted in the snapshot)
+  /// is what recovery suppression resumes from: anything past it re-emits
+  /// with its original cursor stamp. Under the default AckMode::kAuto
+  /// delivery self-acks and this call is a harmless no-op. Rejects a
+  /// zero cursor and positions beyond what was delivered.
+  Status AckOutput(const OutputCursor& cursor);
+  /// Convenience: acknowledges a delivered record by its cursor stamp.
+  Status AckOutput(const OutputRecord& record) {
+    return AckOutput(
+        OutputCursor{record.cursor_runtime_hosted, record.cursor_position});
+  }
+
+  /// Forces the journal's pending ack batch to disk now (see
+  /// CheckpointConfig::ack_commit_interval). Also happens at Flush() and
+  /// before every snapshot. No-op when nothing is pending.
+  Status CommitAcks();
+
+  /// Cumulative consumer-acked positions per delivery class (== the
+  /// delivered counters under AckMode::kAuto).
+  uint64_t acked_runtime() const { return acked_runtime_; }
+  uint64_t acked_serial() const { return acked_serial_; }
+
   /// One registered query as the checkpoint registry tracks it. Query ids
   /// are unique per host (the runtime and the serial engine assign ids
   /// independently), hence the host flag in the key.
@@ -220,6 +298,14 @@ class SaseSystem {
   uint64_t recovered_journal_records() const { return recovered_records_; }
   /// True when that recovery stopped early at a torn/corrupt journal tail.
   bool recovered_journal_truncated() const { return recovered_truncated_; }
+  /// True when recovery ran under AckMode::kConsumer but found no acked
+  /// cursor anywhere (pre-v3 snapshot, no kAckCursor journal records) and
+  /// fell back to the delivered-output marks — the documented at-least-once
+  /// fallback for pre-cursor checkpoints.
+  bool recovered_ack_fallback() const { return recovered_ack_fallback_; }
+  /// Re-deliveries the recovery gate swallowed (suppression quota consumed)
+  /// over this system's lifetime.
+  uint64_t suppressed_duplicates() const { return suppressed_duplicates_; }
 
  private:
   /// Snapshot + journal-scan bundle handed from Recover to the private
@@ -318,6 +404,12 @@ class SaseSystem {
   uint64_t suppress_serial_ = 0;
   uint64_t last_mark_runtime_ = 0;
   uint64_t last_mark_serial_ = 0;
+  // Consumer-acked cursor per class (mirrors delivered_* under kAuto) and
+  // lifetime count of re-deliveries the recovery gate swallowed.
+  uint64_t acked_runtime_ = 0;
+  uint64_t acked_serial_ = 0;
+  uint64_t suppressed_duplicates_ = 0;
+  bool recovered_ack_fallback_ = false;
   // Policy baseline + stats.
   uint64_t events_since_checkpoint_ = 0;
   uint64_t journal_bytes_at_checkpoint_ = 0;

@@ -189,6 +189,57 @@ TEST(EventJournalTest, StaleEpochGarbageCollection) {
   EXPECT_TRUE(std::filesystem::exists(dir + "/" + SegmentFileName(3, 0)));
 }
 
+TEST(EventJournalTest, AckCursorRoundTripsAndCoalesces) {
+  std::string dir = FreshDir("ack_cursor");
+  {
+    auto journal = EventJournal::Open(dir, 5, 0, 1 << 20, FsyncPolicy::kNever);
+    ASSERT_TRUE(journal.ok());
+    EventJournal& writer = *journal.value();
+    writer.set_ack_commit_interval(4);
+
+    // Three acks stay buffered: nothing hits the journal yet.
+    ASSERT_TRUE(writer.AppendAckCursor(1, 0).ok());
+    ASSERT_TRUE(writer.AppendAckCursor(2, 0).ok());
+    ASSERT_TRUE(writer.AppendAckCursor(3, 1).ok());
+    EXPECT_EQ(writer.pending_acks(), 3u);
+    EXPECT_EQ(writer.records_written(), 0u);
+    EXPECT_EQ(writer.ack_commits(), 0u);
+
+    // The fourth ack crosses the interval: one coalesced record carrying
+    // only the latest cumulative values.
+    ASSERT_TRUE(writer.AppendAckCursor(4, 2).ok());
+    EXPECT_EQ(writer.pending_acks(), 0u);
+    EXPECT_EQ(writer.records_written(), 1u);
+    EXPECT_EQ(writer.ack_commits(), 1u);
+
+    // An explicit CommitAcks() flushes a partial batch...
+    ASSERT_TRUE(writer.AppendAckCursor(6, 2).ok());
+    ASSERT_TRUE(writer.CommitAcks().ok());
+    EXPECT_EQ(writer.records_written(), 2u);
+    EXPECT_EQ(writer.ack_commits(), 2u);
+    // ...and is a no-op when the buffer is empty.
+    ASSERT_TRUE(writer.CommitAcks().ok());
+    EXPECT_EQ(writer.records_written(), 2u);
+
+    // This last ack is still buffered when the journal is destroyed: the
+    // destructor deliberately does NOT commit (that is the simulated
+    // ack-to-fsync crash window), so it must not survive the scan below.
+    ASSERT_TRUE(writer.AppendAckCursor(9, 3).ok());
+    EXPECT_EQ(writer.pending_acks(), 1u);
+  }
+
+  auto scan = ReadJournal(dir, 5);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_FALSE(scan.value().truncated);
+  ASSERT_EQ(scan.value().records.size(), 2u);
+  EXPECT_EQ(scan.value().records[0].kind, JournalRecord::Kind::kAckCursor);
+  EXPECT_EQ(scan.value().records[0].acked_runtime, 4u);
+  EXPECT_EQ(scan.value().records[0].acked_serial, 2u);
+  EXPECT_EQ(scan.value().records[1].kind, JournalRecord::Kind::kAckCursor);
+  EXPECT_EQ(scan.value().records[1].acked_runtime, 6u);
+  EXPECT_EQ(scan.value().records[1].acked_serial, 2u);
+}
+
 // --- snapshot + manifest ----------------------------------------------------
 
 TEST(SnapshotTest, RoundTripsStateAndDatabase) {
@@ -299,7 +350,7 @@ TEST(SnapshotTest, EngineStateSectionsRoundTrip) {
   ASSERT_TRUE(WriteSnapshot(dir, snap, database).ok());
   auto read = ReadSnapshot(dir, 1, nullptr);
   ASSERT_TRUE(read.ok()) << read.status().ToString();
-  EXPECT_EQ(read.value().format, kSnapshotFormatV2);
+  EXPECT_EQ(read.value().format, kSnapshotFormatV3);
   ASSERT_EQ(read.value().engine_state.size(), 3u);
   EXPECT_EQ(read.value().engine_state[0].kind, "plan");
   EXPECT_EQ(read.value().engine_state[0].host, "shard-0");
@@ -387,6 +438,52 @@ TEST(SnapshotTest, ManifestFormatNegotiation) {
     out << "SASE-MANIFEST v1\nsnapshot 1\n";
   }
   EXPECT_TRUE(ReadManifest(dir).ok());
+}
+
+TEST(SnapshotTest, AckedCursorRoundTripsAndPreCursorSnapshotsStillRead) {
+  db::Database database;
+  SystemSnapshot snap;
+  snap.snapshot_id = 2;
+  snap.catalog_types.push_back("SHELF_READING");
+  snap.delivered_runtime = 12;
+  snap.delivered_serial = 5;
+  snap.acked_runtime = 9;
+  snap.acked_serial = 5;
+  std::string dir = FreshDir("acked");
+  ASSERT_TRUE(WriteSnapshot(dir, snap, database).ok());
+
+  auto read = ReadSnapshot(dir, 2, nullptr);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().format, kSnapshotFormatV3);
+  EXPECT_TRUE(read.value().has_acked);
+  EXPECT_EQ(read.value().acked_runtime, 9u);
+  EXPECT_EQ(read.value().acked_serial, 5u);
+
+  // Downgrade the state file to a pre-cursor (v2) snapshot on disk: v2
+  // header, no ACKED line. The reader must still accept it and report the
+  // cursor as absent (has_acked false) rather than inventing "acked 0|0".
+  std::string state_path = dir + "/snap-2/state.sase";
+  std::ifstream in(state_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  std::string text = buffer.str();
+  size_t header = text.find("SASE-CHECKPOINT v3");
+  ASSERT_NE(header, std::string::npos);
+  text.replace(header, 18, "SASE-CHECKPOINT v2");
+  size_t acked_line = text.find("ACKED ");
+  ASSERT_NE(acked_line, std::string::npos);
+  text.erase(acked_line, text.find('\n', acked_line) - acked_line + 1);
+  {
+    std::ofstream out(state_path);
+    out << text;
+  }
+
+  auto old_read = ReadSnapshot(dir, 2, nullptr);
+  ASSERT_TRUE(old_read.ok()) << old_read.status().ToString();
+  EXPECT_EQ(old_read.value().format, kSnapshotFormatV2);
+  EXPECT_FALSE(old_read.value().has_acked);
+  EXPECT_EQ(old_read.value().delivered_runtime, 12u);
 }
 
 TEST(SnapshotTest, MissingManifestIsNotFound) {

@@ -10,13 +10,32 @@
 // and every execution must produce byte-identical output. Fixed seeds keep
 // CI deterministic; a failing case prints its seed and query texts so the
 // exact case reproduces with a one-line filter.
+//
+// The exactly-once mode adds a fifth way: a consumer-acked (AckMode::
+// kConsumer) SaseSystem killed inside the seeded emit-to-ack or
+// ack-to-fsync window (tests/query_gen.h AckPlan) at 1, 2 and 8 shards —
+// asserting the recovered process re-delivers nothing at or below the
+// durable acked cursor, re-deliveries carry their original stamps, and the
+// stamp-deduped output is byte-identical to the serial reference.
+//
+// Env knobs (the nightly `differential-slow` CI job turns them up):
+//   SASE_DIFF_CASES  override the seeded case count (default 50)
+//   SASE_DIFF_DIR    preserve failing cases' repro banner + checkpoint
+//                    directory under this path (uploaded as a CI artifact)
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "checkpoint/journal.h"
+#include "checkpoint/snapshot.h"
 #include "engine/query_engine.h"
 #include "query_gen.h"
 #include "runtime/sharded_runtime.h"
@@ -124,33 +143,271 @@ std::vector<std::string> RunCheckpointKillRecover(const GeneratedCase& c,
 /// one case locally, read the seed off the failure message and run with
 /// --gtest_filter=...Differential... after pinning kFirstSeed to it.
 constexpr uint64_t kFirstSeed = 1;
-constexpr uint64_t kCaseCount = 50;
+constexpr uint64_t kDefaultCaseCount = 50;
 constexpr int64_t kEventsPerCase = 260;
+
+uint64_t CaseCount() {
+  const char* env = std::getenv("SASE_DIFF_CASES");
+  if (env == nullptr) return kDefaultCaseCount;
+  uint64_t parsed = std::strtoull(env, nullptr, 10);
+  return parsed == 0 ? kDefaultCaseCount : parsed;
+}
+
+/// When SASE_DIFF_DIR is set, copies the failing case's reproduction
+/// banner and its on-disk checkpoint (journal segments + snapshot) there,
+/// so CI can upload the exact bytes the failure happened on.
+void PreserveFailureArtifacts(const GeneratedCase& c, int shards,
+                              const std::string& checkpoint_dir) {
+  const char* env = std::getenv("SASE_DIFF_DIR");
+  if (env == nullptr) return;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path dest = fs::path(env) / ("seed-" + std::to_string(c.seed) +
+                                   "-shards-" + std::to_string(shards));
+  fs::create_directories(dest, ec);
+  std::ofstream repro(dest / "repro.txt");
+  repro << c.Describe() << "\nshards=" << shards << "\n";
+  if (!checkpoint_dir.empty() && fs::exists(checkpoint_dir, ec)) {
+    fs::copy(checkpoint_dir, dest / "checkpoint",
+             fs::copy_options::recursive | fs::copy_options::overwrite_existing,
+             ec);
+  }
+}
 
 TEST(DifferentialTest, SerialShardedAndRecoveredExecutionsAgree) {
   Catalog catalog = Catalog::RetailDemo();
+  const uint64_t cases = CaseCount();
   uint64_t interesting = 0;  // cases whose reference produced any output
 
-  for (uint64_t seed = kFirstSeed; seed < kFirstSeed + kCaseCount; ++seed) {
+  for (uint64_t seed = kFirstSeed; seed < kFirstSeed + cases; ++seed) {
     GeneratedCase c = testgen::GenerateCase(catalog, seed, kEventsPerCase);
     SCOPED_TRACE(c.Describe());
 
     auto golden = RunSerial(catalog, c);
     if (!golden.empty()) ++interesting;
 
+    std::string dir = FreshDir(std::to_string(seed));
     EXPECT_EQ(golden, RunSharded(catalog, c, 2)) << "2-shard divergence";
     EXPECT_EQ(golden, RunSharded(catalog, c, 8)) << "8-shard divergence";
-    EXPECT_EQ(golden,
-              RunCheckpointKillRecover(c, /*shards=*/2,
-                                       FreshDir(std::to_string(seed))))
+    EXPECT_EQ(golden, RunCheckpointKillRecover(c, /*shards=*/2, dir))
         << "checkpoint-kill-recover divergence";
     if (HasFatalFailure() || HasNonfatalFailure()) {
+      PreserveFailureArtifacts(c, /*shards=*/2, dir);
       FAIL() << "differential divergence; reproduce with " << c.Describe();
     }
   }
   // The sweep must exercise real matching, not 50 cases of silence.
-  EXPECT_GE(interesting, kCaseCount / 2)
+  EXPECT_GE(interesting, cases / 2)
       << "generator produced mostly output-free cases; widen its windows";
+}
+
+/// Per-class observations from one consumer-acked kill-recover execution.
+struct AckRunResult {
+  std::vector<std::string> deduped;  // stamp-deduped output, delivery order
+  uint64_t duplicates = 0;           // re-delivered stamps (expected > 0 when
+                                     // the crash window held anything)
+  uint64_t stamp_mismatches = 0;     // re-delivery whose content or stamp
+                                     // differed from the original: fatal
+  uint64_t unstamped = 0;            // deliveries without a cursor stamp
+  // Durable acked cursor read straight off the disk the crash left behind.
+  uint64_t durable_runtime = 0;
+  uint64_t durable_serial = 0;
+  // What the recovered system resumed from.
+  uint64_t recovered_runtime = 0;
+  uint64_t recovered_serial = 0;
+  bool recovered_fallback = true;
+  // Smallest cursor position delivered per class from recovery onwards
+  // (replay included); 0 = that class delivered nothing after the kill.
+  uint64_t min_redelivered_runtime = 0;
+  uint64_t min_redelivered_serial = 0;
+};
+
+/// Execution 5: consumer-acked exactly-once mode. The simulated consumer
+/// acks per the case's AckPlan, the process is killed mid-stream without a
+/// flush (in-memory acks and the pending group-commit batch die with it),
+/// and the recovered process finishes the stream against the same
+/// consumer's dedup state.
+AckRunResult RunAckCrashRecover(const GeneratedCase& c, int shards,
+                                const std::string& dir) {
+  size_t n = c.events.size();
+  size_t checkpoint_at = n / 4 + c.seed % (n / 4);       // [n/4, n/2)
+  size_t crash_at = n / 2 + (c.seed / 7) % (n / 2 - 1);  // [n/2, n-1)
+  size_t stall_at =
+      crash_at * static_cast<size_t>(c.ack_plan.stall_after_percent) / 100;
+
+  AckRunResult result;
+  std::map<std::pair<bool, uint64_t>, std::string> stamps;
+  SaseSystem* ack_target = nullptr;  // null while no process is up / replay
+  bool consumer_acking = true;
+  bool after_kill = false;
+  auto consumer = [&](size_t q) -> OutputCallback {
+    return [&, q](const OutputRecord& record) {
+      if (record.cursor_position == 0) {
+        ++result.unstamped;
+        return;
+      }
+      std::string line = "q" + std::to_string(q) + "|" + record.ToString();
+      auto key = std::make_pair(record.cursor_runtime_hosted,
+                                record.cursor_position);
+      auto [it, fresh] = stamps.emplace(key, line);
+      if (fresh) {
+        result.deduped.push_back(line);
+      } else {
+        ++result.duplicates;
+        if (it->second != line) ++result.stamp_mismatches;
+      }
+      if (after_kill) {
+        uint64_t& min_seen = record.cursor_runtime_hosted
+                                 ? result.min_redelivered_runtime
+                                 : result.min_redelivered_serial;
+        if (min_seen == 0 || record.cursor_position < min_seen) {
+          min_seen = record.cursor_position;
+        }
+      }
+      if (ack_target != nullptr && consumer_acking &&
+          record.cursor_position % c.ack_plan.ack_stride == 0) {
+        Status acked = ack_target->AckOutput(record);
+        EXPECT_TRUE(acked.ok()) << acked.ToString() << "\n" << c.Describe();
+      }
+    };
+  };
+
+  SystemConfig config;
+  config.noise = NoiseModel::Perfect();
+  config.shard_count = shards;
+  config.runtime_merge_interval = 64;
+  config.checkpoint.dir = dir;
+  config.checkpoint.ack_mode = checkpoint::AckMode::kConsumer;
+  config.checkpoint.ack_commit_interval = c.ack_plan.ack_commit_interval;
+  {
+    SaseSystem system(StoreLayout::RetailDemo(), config);
+    ack_target = &system;
+    for (size_t q = 0; q < c.queries.size(); ++q) {
+      auto id = system.RegisterMonitoringQuery("q" + std::to_string(q),
+                                               c.queries[q], consumer(q));
+      EXPECT_TRUE(id.ok()) << id.status().ToString() << "\n" << c.Describe();
+    }
+    for (size_t i = 0; i < crash_at; ++i) {
+      if (i == checkpoint_at) {
+        Status taken = system.Checkpoint();
+        EXPECT_TRUE(taken.ok()) << taken.ToString() << "\n" << c.Describe();
+      }
+      if (i == stall_at) {
+        // Quiesce so everything produced so far is delivered (and acked per
+        // the plan) before the consumer stalls: in a tight feed loop the
+        // incremental merges trail the dispatcher, and without this the
+        // only delivery burst before the kill would be the checkpoint's own
+        // quiesce — whose acks the snapshot immediately makes durable,
+        // leaving the crash window empty.
+        system.runtime()->WaitIdle();
+        consumer_acking = false;  // consumer stalls
+      }
+      system.event_bus().OnEvent(c.events[i]);
+    }
+    // Final pre-kill burst: these deliveries land after the last durable
+    // commit point, so they are exactly the emit-to-ack window (stalled or
+    // stride-skipped stamps) plus the ack-to-fsync window (acks still in
+    // the journal's pending group-commit batch).
+    system.runtime()->WaitIdle();
+    ack_target = nullptr;
+    // Killed here: destroyed without a flush — unacked deliveries, acks
+    // inside the pending commit batch, everything in memory is gone.
+  }
+
+  // The durable cursor, read the way recovery will read it: the snapshot's
+  // ACKED line superseded by any ack-cursor records journaled after it.
+  auto manifest = checkpoint::ReadManifest(dir);
+  EXPECT_TRUE(manifest.ok()) << manifest.status().ToString();
+  if (!manifest.ok()) return result;
+  auto snap = checkpoint::ReadSnapshot(dir, manifest.value(), nullptr);
+  EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+  if (!snap.ok()) return result;
+  EXPECT_TRUE(snap.value().has_acked) << c.Describe();
+  result.durable_runtime = snap.value().acked_runtime;
+  result.durable_serial = snap.value().acked_serial;
+  auto scan = checkpoint::ReadJournal(dir, manifest.value());
+  EXPECT_TRUE(scan.ok()) << scan.status().ToString();
+  if (!scan.ok()) return result;
+  for (const checkpoint::JournalRecord& record : scan.value().records) {
+    if (record.kind == checkpoint::JournalRecord::Kind::kAckCursor) {
+      result.durable_runtime =
+          std::max(result.durable_runtime, record.acked_runtime);
+      result.durable_serial =
+          std::max(result.durable_serial, record.acked_serial);
+    }
+  }
+
+  after_kill = true;
+  auto recovered = SaseSystem::Recover(
+      dir, StoreLayout::RetailDemo(), config,
+      [&consumer](const std::string& name) -> OutputCallback {
+        return consumer(static_cast<size_t>(std::atoi(name.c_str() + 1)));
+      });
+  EXPECT_TRUE(recovered.ok()) << recovered.status().ToString() << "\n"
+                              << c.Describe();
+  if (!recovered.ok()) return result;
+  result.recovered_fallback = recovered.value()->recovered_ack_fallback();
+  result.recovered_runtime = recovered.value()->acked_runtime();
+  result.recovered_serial = recovered.value()->acked_serial();
+  ack_target = recovered.value().get();
+  consumer_acking = true;  // the consumer comes back with the new process
+  for (size_t i = crash_at; i < c.events.size(); ++i) {
+    recovered.value()->event_bus().OnEvent(c.events[i]);
+  }
+  recovered.value()->Flush();
+  return result;
+}
+
+TEST(DifferentialTest, ExactlyOnceAckedCursorSurvivesCrashWindows) {
+  Catalog catalog = Catalog::RetailDemo();
+  const uint64_t cases = CaseCount();
+  uint64_t redelivering = 0;  // executions that actually re-delivered
+
+  for (uint64_t seed = kFirstSeed; seed < kFirstSeed + cases; ++seed) {
+    GeneratedCase c = testgen::GenerateCase(catalog, seed, kEventsPerCase);
+    SCOPED_TRACE(c.Describe());
+    auto golden = RunSerial(catalog, c);
+
+    for (int shards : {1, 2, 8}) {
+      std::string dir = FreshDir("ack_" + std::to_string(seed) + "_" +
+                                 std::to_string(shards));
+      AckRunResult run = RunAckCrashRecover(c, shards, dir);
+
+      // Every delivery carries a stamp, and a re-delivered stamp always
+      // carries the original record bytes.
+      EXPECT_EQ(run.unstamped, 0u) << shards << "-shard unstamped delivery";
+      EXPECT_EQ(run.stamp_mismatches, 0u)
+          << shards << "-shard re-delivery changed content or stamp";
+
+      // The recovery gate IS the durable acked cursor (no fallback), and
+      // nothing at or below it is ever delivered again: zero duplicates
+      // past the acked cursor.
+      EXPECT_FALSE(run.recovered_fallback) << shards << "-shard fallback";
+      EXPECT_EQ(run.recovered_runtime, run.durable_runtime) << shards;
+      EXPECT_EQ(run.recovered_serial, run.durable_serial) << shards;
+      if (run.min_redelivered_runtime != 0) {
+        EXPECT_GT(run.min_redelivered_runtime, run.durable_runtime)
+            << shards << "-shard duplicate below the acked cursor";
+      }
+      if (run.min_redelivered_serial != 0) {
+        EXPECT_GT(run.min_redelivered_serial, run.durable_serial) << shards;
+      }
+
+      // Zero lost acked outputs + acked-suffix byte-equality: the deduped
+      // stream is exactly the uninterrupted serial reference.
+      EXPECT_EQ(golden, run.deduped) << shards << "-shard deduped divergence";
+      if (run.duplicates > 0) ++redelivering;
+
+      if (HasFatalFailure() || HasNonfatalFailure()) {
+        PreserveFailureArtifacts(c, shards, dir);
+        FAIL() << "exactly-once divergence; reproduce with " << c.Describe();
+      }
+    }
+  }
+  // The sweep must actually exercise the crash windows: a harness whose
+  // kills always land after a full commit would prove nothing.
+  EXPECT_GE(redelivering, cases / 2)
+      << "crash windows were mostly empty; widen the ack plans";
 }
 
 }  // namespace

@@ -31,17 +31,45 @@
 namespace sase {
 namespace testgen {
 
-/// One differential test case: queries registered up front, plus the event
-/// stream they execute over.
+/// Seeded consumer-acknowledgement plan for the exactly-once crash-window
+/// mode: how the simulated consumer acks delivered records, how the journal
+/// group-commits those acks, and how wide the two crash windows are when
+/// the kill lands.
+///
+///   - emit-to-ack window: `ack_stride > 1` leaves a tail of delivered but
+///     never-acked stamps, and `stall_after_percent < 100` stops the
+///     consumer acking entirely partway to the crash;
+///   - ack-to-fsync window: `ack_commit_interval > 1` means up to
+///     interval-1 acks sit in the journal's pending batch, which dies with
+///     the process (EventJournal's destructor deliberately does not
+///     commit).
+struct AckPlan {
+  uint64_t ack_commit_interval = 1;  // group-commit batch size
+  uint64_t ack_stride = 1;  // ack stamps whose position % stride == 0
+  int stall_after_percent = 100;  // consumer stops acking past this point
+
+  std::string Describe() const {
+    std::ostringstream out;
+    out << "ack{interval=" << ack_commit_interval << " stride=" << ack_stride
+        << " stall@" << stall_after_percent << "%}";
+    return out.str();
+  }
+};
+
+/// One differential test case: queries registered up front, the event
+/// stream they execute over, and the consumer-ack plan for the
+/// exactly-once crash-window mode.
 struct GeneratedCase {
   uint64_t seed = 0;
   std::vector<std::string> queries;
   std::vector<EventPtr> events;
+  AckPlan ack_plan;
 
   /// Reproduction banner for failure messages.
   std::string Describe() const {
     std::ostringstream out;
-    out << "seed=" << seed << " events=" << events.size();
+    out << "seed=" << seed << " events=" << events.size() << " "
+        << ack_plan.Describe();
     for (size_t i = 0; i < queries.size(); ++i) {
       out << "\n  q" << i << ": " << queries[i];
     }
@@ -202,6 +230,14 @@ inline GeneratedCase GenerateCase(const Catalog& catalog, uint64_t seed,
   config.area_count = 4;
   SyntheticStreamGenerator stream(&catalog, config);
   result.events = stream.Generate();
+  // Drawn after the stream parameters so pre-existing cases keep their
+  // exact queries and events under the same seed.
+  static const uint64_t kIntervals[] = {1, 4, 16};
+  static const uint64_t kStrides[] = {1, 2, 3};
+  static const int kStalls[] = {100, 85, 60};
+  result.ack_plan.ack_commit_interval = kIntervals[rng() % 3];
+  result.ack_plan.ack_stride = kStrides[rng() % 3];
+  result.ack_plan.stall_after_percent = kStalls[rng() % 3];
   return result;
 }
 

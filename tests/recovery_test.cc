@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "checkpoint/journal.h"
+#include "checkpoint/snapshot.h"
 #include "db/dump.h"
 #include "query/parser.h"
 #include "rfid/workload.h"
@@ -766,6 +767,248 @@ TEST(RecoveryV2Test, CrashOnJournalSegmentRotationBoundaryWithFsyncAlways) {
     RecoverAndFinish(trace, regs, config, crash_at, &lines, kV2Queries);
     EXPECT_EQ(golden, lines) << "rotation-boundary crash_at=" << crash_at;
   }
+}
+
+// --- exactly-once output ---------------------------------------------------
+
+TEST(ExactlyOnceTest, IdempotentSinkDropsReDeliveredStamps) {
+  std::vector<std::string> forwarded;
+  auto sink = std::make_shared<IdempotentSink>(
+      [&forwarded](const OutputRecord& record) {
+        forwarded.push_back((record.cursor_runtime_hosted ? "r" : "s") +
+                            std::to_string(record.cursor_position));
+      });
+  OutputCallback deliver = IdempotentSink::Wrap(sink);
+  auto stamped = [](bool runtime, uint64_t position) {
+    OutputRecord record;
+    record.cursor_runtime_hosted = runtime;
+    record.cursor_position = position;
+    return record;
+  };
+  deliver(stamped(true, 1));
+  deliver(stamped(true, 2));
+  deliver(stamped(false, 1));  // the serial class has its own watermark
+  deliver(stamped(true, 2));   // recovery re-delivery: dropped
+  deliver(stamped(true, 1));   // covered by the watermark: dropped
+  deliver(stamped(true, 3));
+  deliver(stamped(false, 0));  // unstamped records always pass through
+  EXPECT_EQ(sink->dropped(), 2u);
+  EXPECT_EQ(forwarded,
+            (std::vector<std::string>{"r1", "r2", "s1", "r3", "s0"}));
+}
+
+/// The tentpole end to end: under AckMode::kConsumer a crash re-delivers
+/// everything past the DURABLE acked cursor (in-memory acks and the pending
+/// group-commit batch die with the process), every re-delivery carries its
+/// original cursor stamp, and a consumer that dedups by stamp sees each
+/// record exactly once — byte-identical to an uninterrupted run.
+TEST(ExactlyOnceTest, ConsumerAckedCursorGatesRecoveryWithOriginalStamps) {
+  const std::string kHybrid =
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) WHERE x.TagId = z.TagId "
+      "WITHIN 80 RETURN x.TagId, _retrieveLocation(z.AreaId) AS last_seen";
+  const std::string kRule =
+      "EVENT ANY(SHELF_READING s) "
+      "RETURN _updateLocation(s.TagId, s.AreaId, s.Timestamp)";
+
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = Trace(catalog, 800);
+
+  // The consumer outlives both processes (its dedup state is its own
+  // durability concern). It acks only every third stamp, so the watermark
+  // trails delivery and the crash window is real.
+  struct Consumer {
+    std::map<std::string, std::vector<std::string>> lines;  // deduped
+    std::map<std::pair<bool, uint64_t>, std::string> stamps;
+    uint64_t duplicates = 0;
+    uint64_t stamp_mismatches = 0;
+    SaseSystem* system = nullptr;  // ack target; null during recovery replay
+  };
+  auto callback = [](Consumer* consumer,
+                     const std::string& name) -> OutputCallback {
+    return [consumer, name](const OutputRecord& record) {
+      EXPECT_NE(record.cursor_position, 0u) << "unstamped delivery";
+      std::string line = name + "|" + record.ToString();
+      auto key = std::make_pair(record.cursor_runtime_hosted,
+                                record.cursor_position);
+      auto [it, fresh] = consumer->stamps.emplace(key, line);
+      if (fresh) {
+        consumer->lines[name].push_back(line);
+      } else {
+        ++consumer->duplicates;
+        if (it->second != line) ++consumer->stamp_mismatches;
+      }
+      if (consumer->system != nullptr && record.cursor_position % 3 == 0) {
+        Status acked = consumer->system->AckOutput(record);
+        EXPECT_TRUE(acked.ok()) << acked.ToString();
+      }
+    };
+  };
+  auto register_all = [&](SaseSystem& system, Consumer* consumer) {
+    ASSERT_TRUE(system.RegisterArchivingRule("loc", kRule).ok());
+    ASSERT_TRUE(system
+                    .RegisterMonitoringQuery("hybrid", kHybrid,
+                                             callback(consumer, "hybrid"))
+                    .ok());
+    ASSERT_TRUE(system
+                    .RegisterMonitoringQuery("q0", kQueries[0],
+                                             callback(consumer, "q0"))
+                    .ok());
+    ASSERT_TRUE(system
+                    .RegisterMonitoringQuery("q2", kQueries[2],
+                                             callback(consumer, "q2"))
+                    .ok());
+  };
+  auto config_for = [&](int shards, const std::string& dir) {
+    SystemConfig config = CheckpointedConfig(shards, dir);
+    config.checkpoint.ack_mode = checkpoint::AckMode::kConsumer;
+    config.checkpoint.ack_commit_interval = 5;
+    return config;
+  };
+
+  for (int shards : {2, 8}) {
+    // Uninterrupted reference under the identical config.
+    Consumer golden;
+    {
+      SaseSystem system(
+          StoreLayout::RetailDemo(),
+          config_for(shards, FreshDir("ack_golden_" + std::to_string(shards))));
+      golden.system = &system;
+      register_all(system, &golden);
+      for (const EventPtr& event : trace) system.event_bus().OnEvent(event);
+      system.Flush();
+      golden.system = nullptr;
+    }
+    ASSERT_EQ(golden.duplicates, 0u);
+    ASSERT_GT(golden.lines["hybrid"].size(), 20u);  // serial class is live
+    ASSERT_GT(golden.lines["q0"].size(), 20u);      // runtime class is live
+
+    std::string dir = FreshDir("ack_crash_" + std::to_string(shards));
+    SystemConfig config = config_for(shards, dir);
+    Consumer consumer;
+    uint64_t crashed_acked_runtime = 0;
+    uint64_t crashed_acked_serial = 0;
+    {
+      SaseSystem system(StoreLayout::RetailDemo(), config);
+      consumer.system = &system;
+      register_all(system, &consumer);
+      for (size_t i = 0; i < 250; ++i) system.event_bus().OnEvent(trace[i]);
+      ASSERT_TRUE(system.Checkpoint().ok());
+      for (size_t i = 250; i < 500; ++i) system.event_bus().OnEvent(trace[i]);
+      crashed_acked_runtime = system.acked_runtime();
+      crashed_acked_serial = system.acked_serial();
+      consumer.system = nullptr;
+      // Crash without Flush: the pending ack batch (acked but not yet
+      // committed — the ack-to-fsync window) dies here too.
+    }
+
+    // The durable cursor, read back the way recovery will: the snapshot's
+    // ACKED line superseded by any ack-cursor records journaled after it.
+    auto manifest = checkpoint::ReadManifest(dir);
+    ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+    auto snap = checkpoint::ReadSnapshot(dir, manifest.value(), nullptr);
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+    ASSERT_TRUE(snap.value().has_acked);
+    uint64_t durable_runtime = snap.value().acked_runtime;
+    uint64_t durable_serial = snap.value().acked_serial;
+    auto scan = checkpoint::ReadJournal(dir, manifest.value());
+    ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+    for (const checkpoint::JournalRecord& record : scan.value().records) {
+      if (record.kind == checkpoint::JournalRecord::Kind::kAckCursor) {
+        durable_runtime = std::max(durable_runtime, record.acked_runtime);
+        durable_serial = std::max(durable_serial, record.acked_serial);
+      }
+    }
+    ASSERT_GT(durable_runtime + durable_serial, 0u);
+    EXPECT_LE(durable_runtime, crashed_acked_runtime);
+    EXPECT_LE(durable_serial, crashed_acked_serial);
+
+    auto recovered = SaseSystem::Recover(
+        dir, StoreLayout::RetailDemo(), config,
+        [&](const std::string& name) { return callback(&consumer, name); });
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    // The recovery gate IS the durable cursor: nothing at or below it was
+    // re-delivered, everything past it was (with its original stamp).
+    EXPECT_FALSE(recovered.value()->recovered_ack_fallback());
+    EXPECT_EQ(recovered.value()->acked_runtime(), durable_runtime);
+    EXPECT_EQ(recovered.value()->acked_serial(), durable_serial);
+    EXPECT_GT(consumer.duplicates, 0u)
+        << "no re-deliveries: the crash window was empty";
+    EXPECT_EQ(consumer.stamp_mismatches, 0u)
+        << "a re-delivered record changed content or stamp";
+
+    consumer.system = recovered.value().get();
+    for (size_t i = 500; i < trace.size(); ++i) {
+      recovered.value()->event_bus().OnEvent(trace[i]);
+    }
+    recovered.value()->Flush();
+    EXPECT_EQ(golden.lines, consumer.lines)
+        << "deduped output diverged at " << shards << " shards";
+    EXPECT_EQ(consumer.stamp_mismatches, 0u);
+  }
+}
+
+/// Satellite: a pre-cursor (v2) checkpoint has no ACKED line and its
+/// journal no ack-cursor records. Recovery under ack_mode=consumer must
+/// come up anyway — gated by the legacy delivered-output marks
+/// (at-least-once across that one crash), flag the fallback, and name the
+/// missing cursor in the operator-facing report.
+TEST(SnapshotCompatTest, PreCursorCheckpointFallsBackToAtLeastOnce) {
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = Trace(catalog, 600);
+  auto regs = AllUpfront();
+  auto golden = RunGolden(catalog, trace, regs);
+
+  std::string dir = FreshDir("pre_cursor");
+  // The crashed process ran the PRE-cursor code path: auto-ack mode writes
+  // no ack-cursor records, so after the on-disk downgrade below the
+  // directory is indistinguishable from one a v2-era build wrote.
+  std::vector<std::string> lines;
+  SystemConfig crashed_config = CheckpointedConfig(/*shards=*/2, dir);
+  RunUntilCrash(trace, regs, crashed_config, /*checkpoint_at=*/300,
+                /*crash_at=*/450, &lines);
+
+  // Downgrade the snapshot: v2 header, no ACKED line, manifest format 2.
+  std::string state_path = dir + "/snap-1/state.sase";
+  ASSERT_TRUE(std::filesystem::exists(state_path));
+  std::string state;
+  {
+    std::ifstream in(state_path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    state = buffer.str();
+  }
+  size_t header = state.find("SASE-CHECKPOINT v3");
+  ASSERT_NE(header, std::string::npos);
+  state.replace(header, 18, "SASE-CHECKPOINT v2");
+  size_t acked = state.find("ACKED ");
+  ASSERT_NE(acked, std::string::npos);
+  state.erase(acked, state.find('\n', acked) - acked + 1);
+  {
+    std::ofstream out(state_path, std::ios::trunc);
+    out << state;
+  }
+  {
+    std::ofstream out(dir + "/MANIFEST", std::ios::trunc);
+    out << "SASE-MANIFEST v1\nsnapshot 1\nformat 2\n";
+  }
+
+  SystemConfig config = CheckpointedConfig(/*shards=*/2, dir);
+  config.checkpoint.ack_mode = checkpoint::AckMode::kConsumer;
+  auto recovered = SaseSystem::Recover(dir, StoreLayout::RetailDemo(), config,
+                                       Factory(&lines));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered.value()->recovered_ack_fallback());
+  std::string report = recovered.value()->CheckpointReport();
+  EXPECT_NE(report.find("missing acked cursor"), std::string::npos) << report;
+
+  for (size_t i = 450; i < trace.size(); ++i) {
+    recovered.value()->event_bus().OnEvent(trace[i]);
+  }
+  recovered.value()->Flush();
+  // The fallback gate equals the legacy marks gate, so the combined output
+  // is still byte-identical here (the at-least-once caveat is about acks
+  // lost BETWEEN mark and cursor, which an auto-mode crash cannot create).
+  EXPECT_EQ(golden, lines);
 }
 
 }  // namespace
