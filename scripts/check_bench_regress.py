@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare fresh Google Benchmark JSON against a
+checked-in baseline and fail on items/s regressions beyond a threshold.
+
+Usage:
+    check_bench_regress.py [--threshold 0.15] FRESH:BASELINE [FRESH:BASELINE ...]
+
+Each positional argument pairs a fresh run (produced with
+`--benchmark_out=<file> --benchmark_out_format=json`) with its baseline
+(the BENCH_*.json files at the repo root). Benchmarks are matched by full
+name (including /arg and /real_time suffixes) and compared on
+items_per_second, the counter every gated benchmark reports.
+
+Exit codes: 0 clean, 1 regression or a baseline benchmark missing from the
+fresh run (a rename without a baseline refresh must not pass silently).
+Benchmarks present only in the fresh run warn but do not fail, so adding a
+benchmark does not break CI before the next baseline refresh.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_items_per_second(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rates = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip repetition aggregates (mean/median/stddev) and entries that
+        # report no throughput (e.g. BM_SnapshotCost measures bytes, not
+        # items/s) — there is nothing comparable to gate on.
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        rate = bench.get("items_per_second")
+        if rate is None:
+            continue
+        rates[bench["name"]] = rate
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "pairs",
+        nargs="+",
+        metavar="FRESH:BASELINE",
+        help="fresh benchmark JSON paired with its checked-in baseline",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="fractional items/s drop that fails the gate (default 0.15)",
+    )
+    parser.add_argument(
+        "--only",
+        metavar="REGEX",
+        default=None,
+        help="gate only baseline benchmarks matching this regex (for "
+        "filtered quick runs: pass the same regex to --benchmark_filter). "
+        "Matching names must still be present in the fresh run, so a "
+        "rename of a gated benchmark cannot pass silently",
+    )
+    args = parser.parse_args()
+    only = re.compile(args.only) if args.only else None
+
+    failures = []
+    for pair in args.pairs:
+        try:
+            fresh_path, baseline_path = pair.split(":", 1)
+        except ValueError:
+            parser.error(f"expected FRESH:BASELINE, got {pair!r}")
+        fresh = load_items_per_second(fresh_path)
+        baseline = load_items_per_second(baseline_path)
+
+        print(f"== {fresh_path} vs {baseline_path} "
+              f"(fail below -{args.threshold:.0%})")
+        gated = [n for n in sorted(baseline)
+                 if only is None or only.search(n)]
+        if not gated:
+            failures.append(f"{baseline_path}: no baseline benchmark "
+                            f"matches --only {args.only!r}")
+            continue
+        for name in gated:
+            base_rate = baseline[name]
+            if name not in fresh:
+                failures.append(f"{name}: in baseline {baseline_path} but "
+                                f"missing from fresh run — refresh the "
+                                f"baseline if the benchmark was renamed")
+                print(f"  MISSING  {name}")
+                continue
+            delta = fresh[name] / base_rate - 1.0
+            verdict = "ok"
+            if delta < -args.threshold:
+                verdict = "REGRESSED"
+                failures.append(
+                    f"{name}: {fresh[name]:,.0f} items/s vs baseline "
+                    f"{base_rate:,.0f} ({delta:+.1%})")
+            print(f"  {verdict:10s}{name}: {fresh[name]:,.0f} vs "
+                  f"{base_rate:,.0f} items/s ({delta:+.1%})")
+        for name in sorted(set(fresh) - set(baseline)):
+            print(f"  NEW      {name}: {fresh[name]:,.0f} items/s "
+                  f"(no baseline — refresh to start gating it)")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed past "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nOK: no benchmark regressed past the threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

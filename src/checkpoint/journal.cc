@@ -243,7 +243,10 @@ EventJournal::~EventJournal() {
 
 Status EventJournal::OpenSegment(uint64_t segment) {
   if (fd_ >= 0) {
-    if (fsync_ == FsyncPolicy::kAlways) ::fsync(fd_);
+    // Seal the old segment: its open commit group (if any) must reach the
+    // platter before we move on. Sync() no-ops when everything is durable
+    // already; the close itself proceeds either way, as before.
+    Sync();
     ::close(fd_);
     fd_ = -1;
   }
@@ -252,6 +255,7 @@ Status EventJournal::OpenSegment(uint64_t segment) {
   if (fd_ < 0) return WriteErrno("cannot open journal segment " + path);
   segment_ = segment;
   segment_bytes_ = 0;
+  synced_segment_bytes_ = 0;
 
   std::string header(kMagic, sizeof(kMagic));
   PutU32(&header, kVersion);
@@ -281,21 +285,48 @@ Status EventJournal::AppendPayload(const std::string& payload) {
   if (append_latency_ != nullptr) {
     append_latency_->Record(static_cast<int64_t>(obs::MonotonicNs() - start));
   }
-  if (fsync_ == FsyncPolicy::kAlways) {
-    uint64_t sync_start = fsync_latency_ != nullptr ? obs::MonotonicNs() : 0;
-    if (::fsync(fd_) != 0) return WriteErrno("journal fsync failed");
-    if (fsync_latency_ != nullptr) {
-      fsync_latency_->Record(
-          static_cast<int64_t>(obs::MonotonicNs() - sync_start));
-    }
-  }
   segment_bytes_ += framed.size();
   bytes_written_ += framed.size();
   ++records_written_;
+  if (fsync_ == FsyncPolicy::kAlways) {
+    // Group commit: fsync once per `group_commit_interval_` records, or
+    // earlier when the group's oldest record has waited `max_delay_us`.
+    if (unsynced_records_ == 0 && group_commit_max_delay_us_ > 0) {
+      group_open_ns_ = obs::MonotonicNs();
+    }
+    ++unsynced_records_;
+    bool due = unsynced_records_ >= group_commit_interval_;
+    if (!due && group_commit_max_delay_us_ > 0) {
+      due = obs::MonotonicNs() - group_open_ns_ >=
+            group_commit_max_delay_us_ * 1000;
+    }
+    if (due) SASE_RETURN_IF_ERROR(Sync());
+  }
   if (segment_bytes_ >= rotate_bytes_) {
     ++rotations_;
     SASE_RETURN_IF_ERROR(OpenSegment(segment_ + 1));
   }
+  return Status::Ok();
+}
+
+Status EventJournal::Sync() {
+  if (fd_ < 0 || fsync_ != FsyncPolicy::kAlways || unsynced_records_ == 0) {
+    return Status::Ok();
+  }
+  uint64_t sync_start = fsync_latency_ != nullptr ? obs::MonotonicNs() : 0;
+  if (::fsync(fd_) != 0) return WriteErrno("journal fsync failed");
+  if (fsync_latency_ != nullptr) {
+    fsync_latency_->Record(
+        static_cast<int64_t>(obs::MonotonicNs() - sync_start));
+  }
+  if (group_occupancy_ != nullptr) {
+    group_occupancy_->Record(static_cast<int64_t>(unsynced_records_));
+  }
+  ++group_commits_;
+  unsynced_records_ = 0;
+  durable_records_ = records_written_;
+  durable_bytes_ = bytes_written_;
+  synced_segment_bytes_ = segment_bytes_;
   return Status::Ok();
 }
 
@@ -314,7 +345,10 @@ Status EventJournal::AppendEvent(const std::string& stream, const Event& event) 
 Status EventJournal::AppendFlush() {
   std::string payload;
   PutU8(&payload, static_cast<uint8_t>(JournalRecord::Kind::kFlush));
-  return AppendPayload(payload);
+  SASE_RETURN_IF_ERROR(AppendPayload(payload));
+  // End-of-stream is a natural commit point: close the open group so the
+  // whole stream is durable once the flush returns.
+  return Sync();
 }
 
 Status EventJournal::AppendOutputMark(uint64_t delivered_runtime,
@@ -356,6 +390,9 @@ Status EventJournal::CommitAcks() {
   pending_acks_ = 0;
   Status appended = AppendPayload(payload);
   if (appended.ok()) ++ack_commits_;
+  // An ack is claimed durable the moment its batch commits, so the cursor
+  // record may not ride in an open commit group — force its fsync now.
+  if (appended.ok()) appended = Sync();
   return appended;
 }
 

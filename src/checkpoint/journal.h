@@ -120,6 +120,27 @@ class EventJournal {
     ack_commit_interval_ = interval == 0 ? 1 : interval;
   }
 
+  /// Group commit (WAL-style): under FsyncPolicy::kAlways, fsync once per
+  /// `interval` appended records instead of once per record, bounded by
+  /// `max_delay_us` — a record waits at most that long (measured from the
+  /// first unsynced record, enforced at the next append or explicit Sync())
+  /// before its group is pushed to stable storage. `interval == 1` is
+  /// exactly the legacy record-per-fsync behavior. Records in the open
+  /// group have been write(2)-n (they survive a process crash) but are NOT
+  /// durable against power loss until the group's fsync; nothing may be
+  /// acked-durable before then (CommitAcks forces a Sync for this reason).
+  /// Destroying the journal does NOT sync the open group — that is the
+  /// crash window the recovery tests kill inside.
+  void set_group_commit(uint64_t interval, uint64_t max_delay_us) {
+    group_commit_interval_ = interval == 0 ? 1 : interval;
+    group_commit_max_delay_us_ = max_delay_us;
+  }
+
+  /// Fsyncs the open commit group now (no-op when nothing is unsynced or
+  /// the policy is kNever). Called on end-of-stream flush, ack commits,
+  /// segment rotation, and when the dispatcher goes idle.
+  Status Sync();
+
   /// Bytes appended across all segments of this writer (headers included).
   uint64_t bytes_written() const { return bytes_written_; }
   uint64_t records_written() const { return records_written_; }
@@ -130,6 +151,20 @@ class EventJournal {
   /// Coalesced kAckCursor records written.
   uint64_t ack_commits() const { return ack_commits_; }
 
+  /// Durability frontier, meaningful under FsyncPolicy::kAlways only:
+  /// counts/bytes covered by a completed fsync. Everything past them sits in
+  /// the open commit group — written but not power-loss durable.
+  uint64_t durable_records() const { return durable_records_; }
+  uint64_t durable_bytes() const { return durable_bytes_; }
+  /// Bytes of the CURRENT segment file covered by a completed fsync. Crash
+  /// tests truncate the segment to this size to simulate power loss at the
+  /// exact durability frontier.
+  uint64_t synced_segment_bytes() const { return synced_segment_bytes_; }
+  /// Records written but not yet covered by an fsync (open group size).
+  uint64_t unsynced_records() const { return unsynced_records_; }
+  /// Completed group fsyncs.
+  uint64_t group_commits() const { return group_commits_; }
+
   /// Attaches per-append latency histograms (not owned; nullptr detaches):
   /// `append` times frame build + write(2), `fsync` times the fsync(2) under
   /// FsyncPolicy::kAlways. Detached, the append path takes no timestamps.
@@ -137,6 +172,12 @@ class EventJournal {
                            obs::HistogramMetric* fsync) {
     append_latency_ = append;
     fsync_latency_ = fsync;
+  }
+
+  /// Histogram of group-commit occupancy: records covered per fsync (not
+  /// owned; nullptr detaches).
+  void set_group_occupancy_metric(obs::HistogramMetric* occupancy) {
+    group_occupancy_ = occupancy;
   }
 
  private:
@@ -155,6 +196,7 @@ class EventJournal {
 
   obs::HistogramMetric* append_latency_ = nullptr;
   obs::HistogramMetric* fsync_latency_ = nullptr;
+  obs::HistogramMetric* group_occupancy_ = nullptr;
 
   int fd_ = -1;
   uint64_t segment_ = 0;
@@ -162,6 +204,16 @@ class EventJournal {
   uint64_t bytes_written_ = 0;
   uint64_t records_written_ = 0;
   uint64_t rotations_ = 0;
+
+  // Group-commit state (kAlways only; see set_group_commit).
+  uint64_t group_commit_interval_ = 1;
+  uint64_t group_commit_max_delay_us_ = 0;  // 0 = no time bound
+  uint64_t unsynced_records_ = 0;
+  uint64_t group_open_ns_ = 0;  // MonotonicNs of the group's first record
+  uint64_t durable_records_ = 0;
+  uint64_t durable_bytes_ = 0;
+  uint64_t synced_segment_bytes_ = 0;
+  uint64_t group_commits_ = 0;
 
   // Pending ack batch (latest cumulative counters win; see AppendAckCursor).
   uint64_t ack_commit_interval_ = 1;

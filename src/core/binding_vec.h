@@ -1,0 +1,146 @@
+#ifndef SASE_CORE_BINDING_VEC_H_
+#define SASE_CORE_BINDING_VEC_H_
+
+#include <array>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/event.h"
+
+namespace sase {
+
+/// Flat-buffer storage for per-match event bindings: one EventPtr per
+/// pattern slot. Almost every query binds at most kInlineSlots variables, so
+/// the common case lives entirely inside the containing Match/scratch object
+/// — no heap allocation per match. Wider patterns spill to a vector, and the
+/// spill capacity is retained across clear() so steady-state stays
+/// allocation-free there too.
+///
+/// The API is the subset of std::vector the engine uses; elements are always
+/// contiguous (data()/begin()/end() are raw pointers either way).
+class BindingVec {
+ public:
+  static constexpr std::size_t kInlineSlots = 8;
+
+  using value_type = EventPtr;
+  using iterator = EventPtr*;
+  using const_iterator = const EventPtr*;
+
+  BindingVec() = default;
+
+  BindingVec(const BindingVec& other) { *this = other; }
+  BindingVec& operator=(const BindingVec& other) {
+    if (this == &other) return *this;
+    assign(other.data(), other.size());
+    return *this;
+  }
+
+  BindingVec(BindingVec&& other) noexcept
+      : size_(other.size_),
+        spilled_(other.spilled_),
+        inline_(std::move(other.inline_)),
+        spill_(std::move(other.spill_)) {
+    other.size_ = 0;
+    other.spilled_ = false;
+  }
+  BindingVec& operator=(BindingVec&& other) noexcept {
+    if (this == &other) return *this;
+    size_ = other.size_;
+    spilled_ = other.spilled_;
+    inline_ = std::move(other.inline_);
+    spill_ = std::move(other.spill_);
+    other.size_ = 0;
+    other.spilled_ = false;
+    return *this;
+  }
+
+  BindingVec& operator=(const std::vector<EventPtr>& v) {
+    assign(v.data(), v.size());
+    return *this;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  EventPtr* data() { return spilled_ ? spill_.data() : inline_.data(); }
+  const EventPtr* data() const {
+    return spilled_ ? spill_.data() : inline_.data();
+  }
+
+  EventPtr& operator[](std::size_t i) { return data()[i]; }
+  const EventPtr& operator[](std::size_t i) const { return data()[i]; }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  void clear() {
+    if (spilled_) {
+      spill_.clear();  // keeps capacity for the next wide match
+      spilled_ = false;
+    } else {
+      for (std::size_t i = 0; i < size_; ++i) inline_[i].reset();
+    }
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > kInlineSlots) Spill(n);
+  }
+
+  void push_back(EventPtr e) {
+    if (!spilled_ && size_ < kInlineSlots) {
+      inline_[size_++] = std::move(e);
+      return;
+    }
+    if (!spilled_) Spill(size_ + 1);
+    spill_.push_back(std::move(e));
+    ++size_;
+  }
+
+  void resize(std::size_t n) {
+    if (spilled_) {
+      spill_.resize(n);
+    } else if (n <= kInlineSlots) {
+      for (std::size_t i = n; i < size_; ++i) inline_[i].reset();
+    } else {
+      Spill(n);
+      spill_.resize(n);
+    }
+    size_ = n;
+  }
+
+ private:
+  // Moves the inline elements into the spill vector; afterwards all elements
+  // live in spill_.
+  void Spill(std::size_t capacity_hint) {
+    spill_.reserve(capacity_hint);
+    for (std::size_t i = 0; i < size_; ++i) {
+      spill_.push_back(std::move(inline_[i]));
+      inline_[i].reset();
+    }
+    spilled_ = true;
+  }
+
+  void assign(const EventPtr* src, std::size_t n) {
+    clear();
+    if (n > kInlineSlots) Spill(n);
+    if (spilled_) {
+      spill_.assign(src, src + n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) inline_[i] = src[i];
+    }
+    size_ = n;
+  }
+
+  std::size_t size_ = 0;
+  bool spilled_ = false;
+  std::array<EventPtr, kInlineSlots> inline_;
+  std::vector<EventPtr> spill_;
+};
+
+}  // namespace sase
+
+#endif  // SASE_CORE_BINDING_VEC_H_

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/binding_vec.h"
 #include "core/catalog.h"
 #include "core/event.h"
 #include "core/value.h"
@@ -15,10 +16,12 @@ namespace sase {
 /// WITHIN): one constituent event per pattern variable.
 ///
 /// `bindings` is indexed by pattern slot; negated slots stay nullptr (a
-/// match is precisely the *absence* of those events). The timestamps of the
-/// first/last positive constituents are cached for window checks.
+/// match is precisely the *absence* of those events). Bindings are stored
+/// flat (inline up to BindingVec::kInlineSlots) so constructing and copying
+/// a match does not heap-allocate for typical pattern widths. The timestamps
+/// of the first/last positive constituents are cached for window checks.
 struct Match {
-  std::vector<EventPtr> bindings;
+  BindingVec bindings;
   Timestamp first_ts = 0;
   Timestamp last_ts = 0;
 

@@ -36,7 +36,9 @@ void Negation::OnEvent(const EventPtr& event) {
     // Apply the single-variable filters once, at buffering time.
     bool pass = true;
     if (!spec.filters.empty()) {
-      scratch_.assign(scratch_.size(), nullptr);
+      const size_t slots = scratch_.size();
+      scratch_.clear();
+      scratch_.resize(slots);  // all-null slots
       scratch_[static_cast<size_t>(spec.slot)] = event;
       EvalContext ctx{&scratch_, functions_};
       for (const auto& filter : spec.filters) {

@@ -105,7 +105,7 @@ class Negation : public Operator {
   // time (= first.ts + W); released when stream time passes the key.
   std::multimap<Timestamp, Match> pending_;
 
-  std::vector<EventPtr> scratch_;
+  BindingVec scratch_;
   Stats stats_;
   uint64_t events_since_prune_ = 0;
   static constexpr uint64_t kPruneInterval = 1024;

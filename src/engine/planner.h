@@ -28,19 +28,57 @@ struct PlanOptions {
   std::string ToString() const;
 };
 
+class SharedScanGroup;
+
 /// An executable query: the operator pipeline
 ///   SequenceScan -> Selection -> WindowFilter -> Negation -> Transformation
 /// wired per the paper's dataflow ("native sequence operators ... pipelining
 /// the event sequences to subsequent operators such as selection, window,
 /// negation"). The plan owns the analyzed query and all operators.
+///
+/// ## Shared-scan mode (multi-query NFA sharing)
+/// With `shared_scan_mode`, the plan owns no SequenceScan: the engine
+/// attaches a SharedScanGroup whose one automaton serves every structurally
+/// identical member (src/engine/shared_scan.h). The plan compiles its NFA
+/// without edge predicates (so its signature matches the group's shape) and
+/// rehomes those predicates into Selection residuals; events arrive through
+/// OnSharedMatches, which lets Negation observe the raw event and then runs
+/// the group's buffered matches through the member's own
+/// Selection -> WindowFilter -> Negation -> Transformation tail. Output is
+/// byte-identical to a dedicated plan.
 class QueryPlan {
  public:
   QueryPlan(AnalyzedQuery query, PlanOptions options, const Catalog* catalog,
-            const FunctionRegistry* functions, OutputCallback callback);
+            const FunctionRegistry* functions, OutputCallback callback,
+            bool shared_scan_mode = false);
 
   /// Feeds one stream event through the plan (negation buffers first, then
   /// the sequence scan; resulting matches flow synchronously to the top).
   void OnEvent(const EventPtr& event);
+
+  // --- shared-scan mode (see class comment) ---
+
+  bool shared_scan_mode() const { return shared_scan_mode_; }
+
+  /// Binds this member to its group. The group's scan serves
+  /// sequence_scan()/SaveState/RestoreState from then on.
+  void AttachSharedGroup(SharedScanGroup* group);
+  SharedScanGroup* shared_group() const { return group_; }
+
+  /// Join gate for members registered after the group consumed events: a
+  /// match whose first bound event has seq <= `gate_seq` predates this
+  /// member and is dropped (a dedicated plan, starting empty, could never
+  /// have produced it).
+  void SetJoinGate(bool gated, uint64_t gate_seq) {
+    join_gated_ = gated;
+    join_gate_seq_ = gate_seq;
+  }
+
+  /// Shared-mode event delivery: Negation observes the raw event, then the
+  /// group's matches (constructed once for every member) flow through this
+  /// member's tail, minus anything the join gate drops.
+  void OnSharedMatches(const EventPtr& event, const Match* matches,
+                       size_t count);
 
   /// Signals end-of-stream; releases matches deferred by tail negation.
   void OnFlush();
@@ -52,7 +90,11 @@ class QueryPlan {
   const PlanOptions& options() const { return options_; }
   const Nfa& nfa() const { return nfa_; }
 
-  const SequenceScan& sequence_scan() const { return *scan_; }
+  /// The scan feeding this plan: its own in dedicated mode, the group's in
+  /// shared-scan mode (only valid there after AttachSharedGroup).
+  const SequenceScan& sequence_scan() const {
+    return external_scan_ != nullptr ? *external_scan_ : *scan_;
+  }
   const Selection& selection() const { return *selection_; }
   const WindowFilter& window_filter() const { return *window_; }
   const Negation& negation() const { return *negation_; }
@@ -79,14 +121,25 @@ class QueryPlan {
   Status RestoreState(const std::string& payload);
 
  private:
+  SequenceScan* mutable_scan() {
+    return external_scan_ != nullptr ? external_scan_ : scan_.get();
+  }
+
   AnalyzedQuery query_;
   PlanOptions options_;
+  bool shared_scan_mode_ = false;
   Nfa nfa_;
-  std::unique_ptr<SequenceScan> scan_;
+  std::unique_ptr<SequenceScan> scan_;  // null in shared-scan mode
   std::unique_ptr<Selection> selection_;
   std::unique_ptr<WindowFilter> window_;
   std::unique_ptr<Negation> negation_;
   std::unique_ptr<Transformation> transformation_;
+
+  // Shared-scan mode wiring (see class comment).
+  SharedScanGroup* group_ = nullptr;     // not owned (engine's)
+  SequenceScan* external_scan_ = nullptr;  // = group_->scan()
+  bool join_gated_ = false;
+  uint64_t join_gate_seq_ = 0;
 };
 
 /// Builds executable plans from analyzed queries.
@@ -100,7 +153,8 @@ class Planner {
                                           PlanOptions options,
                                           const Catalog* catalog,
                                           const FunctionRegistry* functions,
-                                          OutputCallback callback);
+                                          OutputCallback callback,
+                                          bool shared_scan_mode = false);
 };
 
 }  // namespace sase

@@ -50,13 +50,39 @@ Result<QueryId> QueryEngine::RegisterParsed(QueryId id, std::string text,
                                             PlanOptions options) {
   std::string stream = ToLower(parsed.from_stream);
   Analyzer analyzer(catalog_, time_config_);
-  auto analyzed = analyzer.Analyze(std::move(parsed));
-  if (!analyzed.ok()) return analyzed.status();
-  auto plan = Planner::Build(std::move(analyzed).value(), options, catalog_,
-                             &functions_, std::move(callback));
+  auto analyzed_or = analyzer.Analyze(std::move(parsed));
+  if (!analyzed_or.ok()) return analyzed_or.status();
+  AnalyzedQuery analyzed = std::move(analyzed_or).value();
+
+  std::string group_key;
+  if (sharing_enabled_) {
+    group_key = SharedScanGroup::GroupKey(analyzed, options, stream);
+  }
+  const Ticks window_ticks = analyzed.window_ticks;
+  auto plan = Planner::Build(std::move(analyzed), options, catalog_,
+                             &functions_, std::move(callback),
+                             /*shared_scan_mode=*/sharing_enabled_);
+  if (sharing_enabled_) {
+    auto& group = share_groups_[group_key];
+    if (group == nullptr) {
+      group = std::make_unique<SharedScanGroup>(plan->query(), options,
+                                                &functions_);
+    }
+    plan->AttachSharedGroup(group.get());
+    // A member joining after the group consumed events must not see matches
+    // a dedicated (empty) plan could never have produced.
+    plan->SetJoinGate(group->fed_any(), group->last_seq());
+    group->AddMember(window_ticks);
+  }
   auto [it, inserted] = plans_.emplace(
       id, Entry{std::move(plan), std::move(stream), std::move(text), nullptr});
-  if (inserted && metrics_ != nullptr) ResolveEntryMetrics(id, it->second);
+  reader_cache_valid_ = false;
+  if (inserted) {
+    Entry& entry = it->second;
+    entry.group = entry.plan->shared_group();
+    entry.group_key = std::move(group_key);
+    if (metrics_ != nullptr) ResolveEntryMetrics(id, entry);
+  }
   next_id_ = std::max(next_id_, id + 1);
   return id;
 }
@@ -106,13 +132,43 @@ void QueryEngine::ScrapeMetrics() const {
         ->Set(static_cast<int64_t>(negation.events_buffered -
                                    negation.events_pruned));
   }
+  std::string host = "{host=\"" + host_label_ + "\"}";
+  metrics_->GetCounter("sase_engine_shared_scan_hits_total" + host)
+      ->Set(shared_scan_hits());
+  metrics_->GetGauge("sase_engine_shared_scan_groups" + host)
+      ->Set(static_cast<int64_t>(share_groups_.size()));
+  metrics_->GetGauge("sase_engine_shared_scan_arena_bytes" + host)
+      ->Set(static_cast<int64_t>(shared_arena_bytes()));
 }
 
 Status QueryEngine::Unregister(QueryId id) {
-  if (plans_.erase(id) == 0) {
+  auto it = plans_.find(id);
+  if (it == plans_.end()) {
     return Status::NotFound("no query with id " + std::to_string(id));
   }
+  if (it->second.group != nullptr) {
+    it->second.group->RemoveMember();
+    if (it->second.group->member_count() == 0) {
+      share_groups_.erase(it->second.group_key);
+    }
+  }
+  plans_.erase(it);
+  reader_cache_valid_ = false;
   return Status::Ok();
+}
+
+uint64_t QueryEngine::shared_scan_hits() const {
+  uint64_t hits = 0;
+  for (const auto& [key, group] : share_groups_) hits += group->shared_hits();
+  return hits;
+}
+
+uint64_t QueryEngine::shared_arena_bytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [key, group] : share_groups_) {
+    bytes += group->arena_bytes();
+  }
+  return bytes;
 }
 
 const QueryPlan* QueryEngine::plan(QueryId id) const {
@@ -176,18 +232,18 @@ Status QueryEngine::RestoreEngineState(const std::string& payload) {
 }
 
 void QueryEngine::OnEvent(const EventPtr& event) {
+  static const std::string kDefault;
   ++events_processed_;
+  ++scan_epoch_;
+  const std::vector<Entry*>& readers = Readers(kDefault);
   if (metrics_ == nullptr) {
-    for (auto& [id, entry] : plans_) {
-      if (entry.stream.empty()) entry.plan->OnEvent(event);
-    }
+    for (Entry* entry : readers) DeliverEvent(*entry, event);
     return;
   }
-  for (auto& [id, entry] : plans_) {
-    if (!entry.stream.empty()) continue;
+  for (Entry* entry : readers) {
     uint64_t start = obs::MonotonicNs();
-    entry.plan->OnEvent(event);
-    entry.op_latency->Record(
+    DeliverEvent(*entry, event);
+    entry->op_latency->Record(
         static_cast<int64_t>(obs::MonotonicNs() - start));
   }
 }
@@ -195,18 +251,17 @@ void QueryEngine::OnEvent(const EventPtr& event) {
 void QueryEngine::OnStreamEvent(const std::string& stream,
                                 const EventPtr& event) {
   ++events_processed_;
+  ++scan_epoch_;
   std::string key = ToLower(stream);
+  const std::vector<Entry*>& readers = Readers(key);
   if (metrics_ == nullptr) {
-    for (auto& [id, entry] : plans_) {
-      if (entry.stream == key) entry.plan->OnEvent(event);
-    }
+    for (Entry* entry : readers) DeliverEvent(*entry, event);
     return;
   }
-  for (auto& [id, entry] : plans_) {
-    if (entry.stream != key) continue;
+  for (Entry* entry : readers) {
     uint64_t start = obs::MonotonicNs();
-    entry.plan->OnEvent(event);
-    entry.op_latency->Record(
+    DeliverEvent(*entry, event);
+    entry->op_latency->Record(
         static_cast<int64_t>(obs::MonotonicNs() - start));
   }
 }
@@ -219,48 +274,45 @@ void QueryEngine::OnStreamEvents(const std::string& stream,
   // (plans in id order) is preserved. The instrumented variant times each
   // plan's operator-chain wall time per event; detached, the loop is the
   // exact pre-instrumentation code path.
-  std::vector<std::pair<QueryPlan*, obs::HistogramMetric*>> readers;
-  for (auto& [id, entry] : plans_) {
-    if (entry.stream == key) {
-      readers.emplace_back(entry.plan.get(), entry.op_latency);
-    }
-  }
+  const std::vector<Entry*>& readers = Readers(key);
   if (readers.empty()) return;
   if (metrics_ == nullptr) {
     for (const EventPtr& event : events) {
-      for (auto& [plan, latency] : readers) plan->OnEvent(event);
+      ++scan_epoch_;
+      for (Entry* entry : readers) DeliverEvent(*entry, event);
     }
     return;
   }
   for (const EventPtr& event : events) {
-    for (auto& [plan, latency] : readers) {
+    ++scan_epoch_;
+    for (Entry* entry : readers) {
       uint64_t start = obs::MonotonicNs();
-      plan->OnEvent(event);
-      latency->Record(static_cast<int64_t>(obs::MonotonicNs() - start));
+      DeliverEvent(*entry, event);
+      entry->op_latency->Record(
+          static_cast<int64_t>(obs::MonotonicNs() - start));
     }
   }
 }
 
 void QueryEngine::OnEvents(const std::vector<EventPtr>& events) {
+  static const std::string kDefault;
   events_processed_ += events.size();
-  std::vector<std::pair<QueryPlan*, obs::HistogramMetric*>> readers;
-  for (auto& [id, entry] : plans_) {
-    if (entry.stream.empty()) {
-      readers.emplace_back(entry.plan.get(), entry.op_latency);
-    }
-  }
+  const std::vector<Entry*>& readers = Readers(kDefault);
   if (readers.empty()) return;
   if (metrics_ == nullptr) {
     for (const EventPtr& event : events) {
-      for (auto& [plan, latency] : readers) plan->OnEvent(event);
+      ++scan_epoch_;
+      for (Entry* entry : readers) DeliverEvent(*entry, event);
     }
     return;
   }
   for (const EventPtr& event : events) {
-    for (auto& [plan, latency] : readers) {
+    ++scan_epoch_;
+    for (Entry* entry : readers) {
       uint64_t start = obs::MonotonicNs();
-      plan->OnEvent(event);
-      latency->Record(static_cast<int64_t>(obs::MonotonicNs() - start));
+      DeliverEvent(*entry, event);
+      entry->op_latency->Record(
+          static_cast<int64_t>(obs::MonotonicNs() - start));
     }
   }
 }

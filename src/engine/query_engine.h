@@ -9,6 +9,7 @@
 #include "core/catalog.h"
 #include "core/stream.h"
 #include "engine/planner.h"
+#include "engine/shared_scan.h"
 #include "obs/metrics.h"
 #include "query/parser.h"
 #include "util/time_util.h"
@@ -62,6 +63,26 @@ class QueryEngine : public EventSink {
 
   /// Deletes a continuous query; subsequent events no longer feed it.
   Status Unregister(QueryId id);
+
+  // --- multi-query NFA sharing ---
+  //
+  // With sharing enabled, queries whose scan structure is identical modulo
+  // predicate constants (same filterless NFA, stream, options, slot count
+  // and window boundedness — see SharedScanGroup::GroupKey) are compiled
+  // onto ONE shared automaton; each query keeps its own
+  // Selection -> Window -> Negation -> Transformation tail, so output is
+  // byte-identical to dedicated plans. The toggle applies to registrations
+  // made while it is on; flipping it does not recompile live queries.
+
+  void set_scan_sharing(bool enabled) { sharing_enabled_ = enabled; }
+  bool scan_sharing() const { return sharing_enabled_; }
+
+  /// Events served from a group's buffered matches instead of re-running
+  /// the scan (summed over live groups).
+  uint64_t shared_scan_hits() const;
+  size_t shared_group_count() const { return share_groups_.size(); }
+  /// Heap bytes reserved by the groups' match-buffer arenas.
+  uint64_t shared_arena_bytes() const;
 
   /// Delivers an event to the named input stream: only queries registered
   /// with `FROM <stream>` (case-insensitive) receive it. The unnamed
@@ -201,7 +222,24 @@ class QueryEngine : public EventSink {
     /// Operator wall-time histogram; non-null only while a registry is
     /// attached (resolved once per registration/attach, recorded wait-free).
     obs::HistogramMetric* op_latency = nullptr;
+    /// Shared-scan group serving this plan (engine-owned); null when the
+    /// plan runs a dedicated scan.
+    SharedScanGroup* group = nullptr;
+    std::string group_key;  // key into share_groups_; "" when dedicated
   };
+
+  /// One event into one plan, via the shared group when attached. The
+  /// per-event scan epoch makes the first member reached feed the group's
+  /// scan and every later member reuse its buffered matches.
+  void DeliverEvent(Entry& entry, const EventPtr& event) {
+    if (entry.group != nullptr) {
+      entry.group->EnsureScanned(scan_epoch_, event);
+      entry.plan->OnSharedMatches(event, entry.group->matches(),
+                                  entry.group->match_count());
+    } else {
+      entry.plan->OnEvent(event);
+    }
+  }
 
   /// Shared tail of every Register flavor: analyze, plan, install under
   /// `id` (advancing next_id_ past it). No id is consumed on failure.
@@ -213,14 +251,39 @@ class QueryEngine : public EventSink {
   std::string QueryMetricName(const std::string& what, QueryId id) const;
   void ResolveEntryMetrics(QueryId id, Entry& entry);
 
+  /// Readers of `key` in id order, cached across events (streams arrive in
+  /// runs, so one slot suffices). map nodes are stable, so the Entry
+  /// pointers survive unrelated register/unregister; any registration
+  /// change invalidates the cache outright.
+  const std::vector<Entry*>& Readers(const std::string& key) {
+    if (!reader_cache_valid_ || reader_cache_stream_ != key) {
+      reader_cache_.clear();
+      for (auto& [id, entry] : plans_) {
+        if (entry.stream == key) reader_cache_.push_back(&entry);
+      }
+      reader_cache_stream_ = key;
+      reader_cache_valid_ = true;
+    }
+    return reader_cache_;
+  }
+
   const Catalog* catalog_;
   TimeConfig time_config_;
   FunctionRegistry functions_;
   std::map<QueryId, Entry> plans_;
+  /// Live shared-scan groups by GroupKey; a group dies with its last member.
+  std::map<std::string, std::unique_ptr<SharedScanGroup>> share_groups_;
+  bool sharing_enabled_ = false;
+  /// Bumped once per delivered event; lets a group detect "already scanned
+  /// this event for an earlier member".
+  uint64_t scan_epoch_ = 0;
   QueryId next_id_ = 1;
   uint64_t events_processed_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;
   std::string host_label_;
+  std::vector<Entry*> reader_cache_;
+  std::string reader_cache_stream_;
+  bool reader_cache_valid_ = false;
 };
 
 }  // namespace sase

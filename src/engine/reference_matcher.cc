@@ -40,7 +40,8 @@ ReferenceMatcher::ReferenceMatcher(const AnalyzedQuery* query,
 Result<std::vector<Match>> ReferenceMatcher::FindMatches(
     const std::vector<EventPtr>& events) const {
   std::vector<Match> out;
-  std::vector<EventPtr> bindings(query_->slot_count());
+  BindingVec bindings;
+  bindings.resize(query_->slot_count());
   Status status = Recurse(events, 0, 0, &bindings, &out);
   if (!status.ok()) return status;
   return out;
@@ -48,7 +49,7 @@ Result<std::vector<Match>> ReferenceMatcher::FindMatches(
 
 Status ReferenceMatcher::Recurse(const std::vector<EventPtr>& events,
                                  size_t positive_index, size_t start,
-                                 std::vector<EventPtr>* bindings,
+                                 BindingVec* bindings,
                                  std::vector<Match>* out) const {
   const auto& positives = query_->positive_slots;
   if (positive_index == positives.size()) {
@@ -107,7 +108,7 @@ Status ReferenceMatcher::Recurse(const std::vector<EventPtr>& events,
 }
 
 Result<bool> ReferenceMatcher::CheckPositivePredicates(
-    const std::vector<EventPtr>& bindings) const {
+    const BindingVec& bindings) const {
   EvalContext ctx{&bindings, functions_};
   for (const auto& conjunct : positive_conjuncts_) {
     auto result = EvalPredicate(*conjunct, ctx);
@@ -119,7 +120,7 @@ Result<bool> ReferenceMatcher::CheckPositivePredicates(
 
 Result<bool> ReferenceMatcher::ViolatesNegation(
     const NegationCheck& check, const std::vector<EventPtr>& events,
-    std::vector<EventPtr>* bindings) const {
+    BindingVec* bindings) const {
   const NegationSpec& spec = *check.spec;
   const auto& positives = query_->positive_slots;
   const EventPtr& first = (*bindings)[static_cast<size_t>(positives.front())];

@@ -40,12 +40,12 @@ class ReferenceMatcher {
   };
 
   Status Recurse(const std::vector<EventPtr>& events, size_t positive_index,
-                 size_t start, std::vector<EventPtr>* bindings,
+                 size_t start, BindingVec* bindings,
                  std::vector<Match>* out) const;
-  Result<bool> CheckPositivePredicates(const std::vector<EventPtr>& bindings) const;
+  Result<bool> CheckPositivePredicates(const BindingVec& bindings) const;
   Result<bool> ViolatesNegation(const NegationCheck& check,
                                 const std::vector<EventPtr>& events,
-                                std::vector<EventPtr>* bindings) const;
+                                BindingVec* bindings) const;
 
   const AnalyzedQuery* query_;
   const FunctionRegistry* functions_;

@@ -3,12 +3,83 @@
 #include "util/logging.h"
 
 namespace sase {
+namespace {
+
+bool CompareInt(int64_t lhs, BinaryOp op, int64_t rhs) {
+  switch (op) {
+    case BinaryOp::kEq: return lhs == rhs;
+    case BinaryOp::kNeq: return lhs != rhs;
+    case BinaryOp::kLt: return lhs < rhs;
+    case BinaryOp::kLe: return lhs <= rhs;
+    case BinaryOp::kGt: return lhs > rhs;
+    case BinaryOp::kGe: return lhs >= rhs;
+    default: return false;  // unreachable: CompileFast only admits comparisons
+  }
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNeq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Selection::FastPred Selection::CompileFast(const Expr& predicate) {
+  FastPred fast;
+  if (predicate.kind() != ExprKind::kBinary) return fast;
+  const auto& node = static_cast<const BinaryExpr&>(predicate);
+  if (!IsComparison(node.op())) return fast;
+  if (node.left()->kind() != ExprKind::kVarAttr ||
+      node.right()->kind() != ExprKind::kLiteral) {
+    return fast;
+  }
+  const auto& var = static_cast<const VarAttrExpr&>(*node.left());
+  const auto& lit = static_cast<const LiteralExpr&>(*node.right());
+  if (!var.resolved() || var.attr_index() == kInvalidAttr ||
+      lit.value().type() != ValueType::kInt) {
+    return fast;
+  }
+  fast.slot = var.slot();
+  fast.attr = var.attr_index();
+  fast.op = node.op();
+  fast.rhs = lit.value().AsInt();
+  return fast;
+}
+
+Selection::Selection(std::vector<ExprPtr> predicates,
+                     const FunctionRegistry* functions)
+    : predicates_(std::move(predicates)), functions_(functions) {
+  fast_.reserve(predicates_.size());
+  for (const auto& predicate : predicates_) {
+    fast_.push_back(CompileFast(*predicate));
+  }
+}
 
 void Selection::OnMatch(const Match& match) {
   CountIn();
   EvalContext ctx{&match.bindings, functions_};
-  for (const auto& predicate : predicates_) {
-    auto result = EvalPredicate(*predicate, ctx);
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    const FastPred& fast = fast_[i];
+    if (fast.slot >= 0) {
+      const EventPtr& event = match.bindings[static_cast<size_t>(fast.slot)];
+      if (event != nullptr) {
+        const Value& value = event->attribute(fast.attr);
+        if (value.type() == ValueType::kInt) {
+          if (!CompareInt(value.AsInt(), fast.op, fast.rhs)) return;
+          continue;
+        }
+      }
+    }
+    auto result = EvalPredicate(*predicates_[i], ctx);
     if (!result.ok()) {
       if (stats_.eval_errors == 0) {
         SASE_LOG_WARN << "selection error: " << result.status().ToString();

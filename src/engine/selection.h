@@ -20,8 +20,7 @@ class Selection : public Operator {
     uint64_t eval_errors = 0;
   };
 
-  Selection(std::vector<ExprPtr> predicates, const FunctionRegistry* functions)
-      : predicates_(std::move(predicates)), functions_(functions) {}
+  Selection(std::vector<ExprPtr> predicates, const FunctionRegistry* functions);
 
   const char* name() const override { return "Selection"; }
   void OnMatch(const Match& match) override;
@@ -50,7 +49,24 @@ class Selection : public Operator {
   }
 
  private:
+  /// Compiled form of a `var.attr <cmp> int-literal` conjunct — the dominant
+  /// residual shape once shared scans rehome edge filters here. Evaluating
+  /// it is two loads and a compare instead of a virtual Eval() tree walk
+  /// with Value temporaries. `slot < 0` marks "no fast form; use the tree".
+  /// The fast path only fires when the binding is present and the attribute
+  /// is an int (same outcome the tree produces for that case); anything
+  /// else — unbound slot, NULL or non-int attribute — falls back to the
+  /// tree so errors and NULL-comparison semantics stay byte-identical.
+  struct FastPred {
+    int slot = -1;
+    AttrIndex attr = kInvalidAttr;
+    BinaryOp op = BinaryOp::kEq;
+    int64_t rhs = 0;
+  };
+  static FastPred CompileFast(const Expr& predicate);
+
   std::vector<ExprPtr> predicates_;
+  std::vector<FastPred> fast_;  // parallel to predicates_
   const FunctionRegistry* functions_;
   Stats stats_;
 };

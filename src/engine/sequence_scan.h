@@ -67,6 +67,14 @@ class SequenceScan : public Operator {
 
   const Stats& stats() const { return stats_; }
 
+  /// Current pushdown window in ticks (-1 = disabled). A shared scan
+  /// (multi-query sharing, src/engine/shared_scan.h) widens its window to
+  /// the maximum over member queries; widening is always safe because the
+  /// WindowFilter/Selection tail of each member still enforces the exact
+  /// per-query span.
+  Ticks window() const { return window_; }
+  void set_window(Ticks window) { window_ = window; }
+
   /// Checkpoint state walker (snapshot v2): writes every partition's active
   /// instance stacks — bases, events, back-pointers — plus counters, as
   /// codec lines. LoadState consumes lines until the "--" block divider,
@@ -118,7 +126,7 @@ class SequenceScan : public Operator {
   Partition unpartitioned_;
   std::unordered_map<Value, Partition, ValueHash> partitions_;
 
-  std::vector<EventPtr> scratch_;  // binding buffer reused across matches
+  BindingVec scratch_;  // flat binding buffer reused across matches
   Stats stats_;
   uint64_t events_since_sweep_ = 0;
   static constexpr uint64_t kSweepInterval = 4096;

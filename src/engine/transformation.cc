@@ -251,6 +251,7 @@ void Transformation::OnMatch(const Match& match) {
 
   EvalContext ctx{&match.bindings, functions_};
   const auto& items = query_->parsed.return_items;
+  record.values.reserve(column_names_.size());
   if (items.empty()) {
     for (int slot : query_->positive_slots) {
       const EventPtr& event = match.bindings[static_cast<size_t>(slot)];
@@ -262,7 +263,6 @@ void Transformation::OnMatch(const Match& match) {
       record.values.push_back(Value(event->timestamp()));
     }
   } else {
-    record.values.reserve(items.size());
     for (const auto& item : items) {
       auto value = EvalItem(*item.expr, ctx);
       if (!value.ok()) {

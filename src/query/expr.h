@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/binding_vec.h"
 #include "core/event.h"
 #include "core/value.h"
 #include "util/status.h"
@@ -19,7 +20,7 @@ class FunctionRegistry;
 /// for unbound variables hold nullptr; referencing one is an evaluation
 /// error, which the analyzer prevents for well-formed queries.
 struct EvalContext {
-  const std::vector<EventPtr>* bindings = nullptr;
+  const BindingVec* bindings = nullptr;
   const FunctionRegistry* functions = nullptr;
 };
 

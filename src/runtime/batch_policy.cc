@@ -1,0 +1,58 @@
+#include "runtime/batch_policy.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sase {
+
+BatchPolicy::BatchPolicy(BatchConfig config, size_t fallback)
+    : config_(config) {
+  if (config_.min_batch == 0) config_.min_batch = 1;
+  if (config_.max_batch < config_.min_batch) {
+    config_.max_batch = config_.min_batch;
+  }
+  if (config_.check_interval == 0) config_.check_interval = 1;
+  if (config_.latency_target_us == 0) config_.latency_target_us = 1;
+  if (fallback == 0) fallback = 1;
+  current_ = config_.enabled
+                 ? std::clamp(fallback, config_.min_batch, config_.max_batch)
+                 : fallback;
+}
+
+size_t BatchPolicy::Update(double events_per_sec) {
+  if (!config_.enabled) return current_;
+  ++checks_;
+  size_t ideal = config_.min_batch;
+  if (events_per_sec > 0) {
+    double fill = events_per_sec *
+                  (static_cast<double>(config_.latency_target_us) / 1e6);
+    if (fill > static_cast<double>(config_.max_batch)) {
+      ideal = config_.max_batch;
+    } else if (fill > static_cast<double>(config_.min_batch)) {
+      ideal = static_cast<size_t>(fill);
+    }
+  }
+  // One doubling/halving per tick: converges in O(log) checks while a
+  // single noisy sample moves the size at most 2x.
+  if (ideal > current_) {
+    current_ = std::min(ideal, current_ * 2);
+  } else if (ideal < current_) {
+    current_ = std::max(ideal, current_ / 2);
+  }
+  current_ = std::clamp(current_, config_.min_batch, config_.max_batch);
+  return current_;
+}
+
+std::string BatchPolicy::Describe() const {
+  std::ostringstream out;
+  if (!config_.enabled) {
+    out << "batch fixed=" << current_;
+    return out.str();
+  }
+  out << "batch adaptive=" << current_ << " [" << config_.min_batch << ","
+      << config_.max_batch << "] target=" << config_.latency_target_us
+      << "us checks=" << checks_;
+  return out.str();
+}
+
+}  // namespace sase

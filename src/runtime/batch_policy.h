@@ -1,0 +1,72 @@
+#ifndef SASE_RUNTIME_BATCH_POLICY_H_
+#define SASE_RUNTIME_BATCH_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sase {
+
+/// Knobs of the adaptive cross-thread handoff batching. Evaluated on the
+/// dispatcher thread every `check_interval` dispatched events; the decision
+/// replaces the batch cut-off ShardedRuntime's AppendToWorker uses for
+/// subsequent batches (in-flight batches are unaffected).
+struct BatchConfig {
+  /// Master switch; off = batches always cut at RuntimeConfig::batch_size.
+  bool enabled = false;
+
+  /// Batch-size bounds the policy may move between.
+  size_t min_batch = 16;
+  size_t max_batch = 4096;
+
+  /// Latency bound: the batch must fill (and thus hand off) within this
+  /// span at the observed event rate, so the first event of a batch is
+  /// never held longer than the target. Higher rates therefore earn larger
+  /// batches (amortizing the ring handoff); an idle stream collapses to
+  /// min_batch.
+  uint64_t latency_target_us = 1000;
+
+  /// Dispatched events between policy evaluations.
+  size_t check_interval = 1024;
+};
+
+/// Pure decision core of adaptive batching: rate -> batch size, no clocks
+/// and no runtime dependencies, so the growth/shrink behavior is
+/// unit-testable without threads. The runtime samples the dispatch rate,
+/// calls Update once per check interval, and cuts batches at current().
+///
+/// Sizing rule: the ideal batch is the number of events that arrive within
+/// one latency target (rate x target) — any larger and the batch's first
+/// event would wait past the bound before the handoff. To keep the size
+/// from whipsawing on one noisy sample, each update moves at most one
+/// doubling (or halving) from the current size, clamped to
+/// [min_batch, max_batch]. A non-positive rate (idle, or no wall-clock
+/// signal) decays toward min_batch.
+class BatchPolicy {
+ public:
+  /// `fallback` is the fixed batch size used while the policy is disabled
+  /// (RuntimeConfig::batch_size); it also seeds the adaptive size.
+  BatchPolicy(BatchConfig config, size_t fallback);
+
+  /// Evaluates one dispatch-rate sample (events per second across the
+  /// dispatcher, <= 0 when unavailable) and returns the new batch size.
+  size_t Update(double events_per_sec);
+
+  /// The batch size AppendToWorker should cut at right now.
+  size_t current() const { return current_; }
+
+  const BatchConfig& config() const { return config_; }
+  uint64_t checks() const { return checks_; }
+
+  /// One-line state summary for StatsReport.
+  std::string Describe() const;
+
+ private:
+  BatchConfig config_;
+  size_t current_;
+  uint64_t checks_ = 0;
+};
+
+}  // namespace sase
+
+#endif  // SASE_RUNTIME_BATCH_POLICY_H_

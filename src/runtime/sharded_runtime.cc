@@ -19,15 +19,22 @@ ShardedRuntime::ShardedRuntime(const Catalog* catalog, RuntimeConfig config,
       partitioner_(catalog, config_.partition_key,
                    std::max(1, config_.shard_count)),
       merger_(config_.log_compact_min), policy_(config.elastic),
+      batch_policy_(config.batch,
+                    config.batch_size == 0 ? 1 : config.batch_size),
       engine_init_(std::move(engine_init)) {
   config_.shard_count = std::max(1, config_.shard_count);
   if (config_.batch_size == 0) config_.batch_size = 1;
   stream_queries_.resize(partitioner_.streams().size());
   last_check_time_ = std::chrono::steady_clock::now();
+  batch_check_time_ = last_check_time_;
   obs_stamp_ = config_.metrics != nullptr || config_.tracer != nullptr;
   if (config_.metrics != nullptr) {
     dispatch_merge_latency_ =
         config_.metrics->GetHistogram("sase_runtime_dispatch_merge_latency_ns");
+    if (config_.batch.enabled) {
+      batch_size_hist_ =
+          config_.metrics->GetHistogram("sase_runtime_batch_size");
+    }
   }
 
   // shard workers 0..N-1, broadcast worker N.
@@ -42,6 +49,7 @@ ShardedRuntime::ShardedRuntime(const Catalog* catalog, RuntimeConfig config,
 std::unique_ptr<ShardedRuntime::Worker> ShardedRuntime::MakeWorker(int index) {
   auto worker = std::make_unique<Worker>(index, config_.queue_capacity);
   worker->engine = std::make_unique<QueryEngine>(catalog_, config_.time_config);
+  worker->engine->set_scan_sharing(config_.scan_sharing);
   if (engine_init_) engine_init_(*worker->engine);
   worker->lane = index == config_.shard_count
                      ? std::string("broadcast")
@@ -779,6 +787,14 @@ bool ShardedRuntime::IsSharded(QueryId id) const {
   return it != queries_.end() && it->second.sharded;
 }
 
+uint64_t ShardedRuntime::shared_scan_hits() const {
+  uint64_t hits = 0;
+  for (const auto& worker : workers_) {
+    hits += worker->engine->shared_scan_hits();
+  }
+  return hits;
+}
+
 void ShardedRuntime::AppendToWorker(Worker* worker, const std::string& stream,
                                     const EventPtr& event, uint64_t global,
                                     uint64_t trace_id) {
@@ -794,7 +810,7 @@ void ShardedRuntime::AppendToWorker(Worker* worker, const std::string& stream,
         trace_id, worker->pending.events.size() - 1, global});
   }
   worker->pending_last_global = global;
-  if (worker->pending.events.size() >= config_.batch_size) {
+  if (worker->pending.events.size() >= batch_policy_.current()) {
     FlushBatch(worker, nullptr, /*flush=*/false);
   }
 }
@@ -908,6 +924,28 @@ void ShardedRuntime::Dispatch(StreamId stream, const std::string& name,
     DeliverReady();
   }
   if (config_.elastic.enabled) MaybeAutoResize();
+  if (config_.batch.enabled) MaybeAdaptBatch();
+}
+
+void ShardedRuntime::MaybeAdaptBatch() {
+  const BatchConfig& batch = batch_policy_.config();
+  if (events_dispatched_ - batch_check_global_ < batch.check_interval) {
+    return;
+  }
+  auto now = std::chrono::steady_clock::now();
+  double seconds =
+      std::chrono::duration<double>(now - batch_check_time_).count();
+  double rate = 0;
+  if (seconds > 0) {
+    rate = static_cast<double>(events_dispatched_ - batch_check_global_) /
+           seconds;
+  }
+  batch_check_global_ = events_dispatched_;
+  batch_check_time_ = now;
+  size_t chosen = batch_policy_.Update(rate);
+  if (batch_size_hist_ != nullptr) {
+    batch_size_hist_->Record(static_cast<int64_t>(chosen));
+  }
 }
 
 void ShardedRuntime::RetainForReplay(StreamId stream, const EventPtr& event,
@@ -1221,6 +1259,8 @@ void ShardedRuntime::ScrapeMetrics() {
       ->Set(static_cast<int64_t>(merger_.log_len()));
   metrics->GetGauge("sase_runtime_replay_buffer_len")
       ->Set(static_cast<int64_t>(replay_len_));
+  metrics->GetGauge("sase_runtime_current_batch")
+      ->Set(static_cast<int64_t>(batch_policy_.current()));
 
   std::vector<uint64_t> per_shard(static_cast<size_t>(config_.shard_count), 0);
   for (const Partitioner::StreamState& state : partitioner_.streams()) {

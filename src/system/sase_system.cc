@@ -235,6 +235,7 @@ SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config,
   }
 
   engine_ = std::make_unique<QueryEngine>(&catalog_, config_.time_config);
+  engine_->set_scan_sharing(config_.scan_sharing);
   (void)archiver_->RegisterFunctions(engine_->functions());
 
   // Observability: the registry spans every layer; the trace collector is
@@ -274,6 +275,8 @@ SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config,
     runtime_config.merge_interval = config_.runtime_merge_interval;
     runtime_config.log_compact_min = config_.runtime_log_compact_min;
     runtime_config.elastic = config_.runtime_elastic;
+    runtime_config.batch = config_.runtime_batch;
+    runtime_config.scan_sharing = config_.scan_sharing;
     runtime_config.retain_for_checkpoint = checkpointing;
     runtime_config.metrics = metrics_.get();
     runtime_config.tracer = &tracer_;
@@ -564,10 +567,14 @@ Status SaseSystem::OpenJournal(uint64_t epoch, uint64_t segment) {
   if (!journal.ok()) return journal.status();
   journal_ = std::move(journal).value();
   journal_->set_ack_commit_interval(config_.checkpoint.ack_commit_interval);
+  journal_->set_group_commit(config_.checkpoint.group_commit_interval,
+                             config_.checkpoint.group_commit_max_delay_us);
   if (metrics_ != nullptr) {
     journal_->set_latency_metrics(
         metrics_->GetHistogram("sase_journal_append_latency_ns"),
         metrics_->GetHistogram("sase_journal_fsync_latency_ns"));
+    journal_->set_group_occupancy_metric(
+        metrics_->GetHistogram("sase_journal_group_commit_records"));
   }
   journal_bytes_at_checkpoint_ = journal_->bytes_written();
   last_mark_runtime_ = delivered_runtime_;
@@ -1086,6 +1093,10 @@ void SaseSystem::ScrapeMetrics() {
         ->Set(journal_->bytes_written());
     metrics_->GetCounter("sase_journal_rotations_total")
         ->Set(journal_->rotations());
+    metrics_->GetCounter("sase_journal_group_commits_total")
+        ->Set(journal_->group_commits());
+    metrics_->GetGauge("sase_journal_unsynced_records")
+        ->Set(static_cast<int64_t>(journal_->unsynced_records()));
   }
   if (recovered_) {
     metrics_->GetCounter("sase_recovery_replayed_records_total")

@@ -56,6 +56,15 @@ struct SystemConfig {
   /// bounds and hysteresis: see ElasticConfig in runtime/elastic_policy.h
   /// and docs/operations.md.
   ElasticConfig runtime_elastic;
+  /// Adaptive handoff batching for the runtime's cross-thread rings (grows
+  /// under load bounded by a latency target, shrinks when idle); see
+  /// BatchConfig in runtime/batch_policy.h and docs/operations.md.
+  BatchConfig runtime_batch;
+  /// Compile structurally identical monitoring queries onto one shared NFA
+  /// per engine (multi-query sharing; see engine/shared_scan.h). Applies to
+  /// the runtime's worker engines AND the serial engine. Checkpoints taken
+  /// with sharing on must be recovered with sharing on.
+  bool scan_sharing = false;
   /// Durable checkpoint & crash recovery: with `checkpoint.dir` set, every
   /// published event is write-ahead journaled there, Checkpoint() persists
   /// a quiesce-point snapshot (and the CheckpointPolicy thresholds take

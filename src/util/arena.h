@@ -1,0 +1,114 @@
+#ifndef SASE_UTIL_ARENA_H_
+#define SASE_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace sase {
+
+/// Epoch-reset bump allocator for engine hot-path scratch storage.
+///
+/// Allocate() hands out raw bytes from a chain of blocks; individual frees
+/// are no-ops and Reset() reclaims everything at once, keeping the blocks
+/// for the next epoch — so steady-state allocation is pointer arithmetic,
+/// not malloc. Callers own the epoch discipline: nothing allocated from an
+/// arena may be touched after Reset() (the arena property test hammers this
+/// under ASan/UBSan via the shared-scan match buffers).
+class Arena {
+ public:
+  explicit Arena(std::size_t min_block_bytes = 4096)
+      : min_block_bytes_(min_block_bytes == 0 ? 4096 : min_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* Allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    while (current_ < blocks_.size()) {
+      Block& block = blocks_[current_];
+      std::size_t aligned = (block.used + (align - 1)) & ~(align - 1);
+      if (aligned + bytes <= block.size) {
+        block.used = aligned + bytes;
+        return block.data.get() + aligned;
+      }
+      ++current_;
+    }
+    std::size_t size = min_block_bytes_;
+    if (!blocks_.empty()) size = blocks_.back().size * 2;
+    if (size < bytes + align) size = bytes + align;
+    blocks_.push_back(Block{std::make_unique<char[]>(size), size, 0});
+    reserved_ += size;
+    // Block starts come from operator new[], aligned for any type with
+    // fundamental alignment — which covers every arena client here.
+    Block& block = blocks_.back();
+    block.used = bytes;
+    return block.data.get();
+  }
+
+  /// Epoch reset: every prior allocation is invalidated; the blocks stay
+  /// reserved for reuse.
+  void Reset() {
+    for (Block& block : blocks_) block.used = 0;
+    current_ = 0;
+  }
+
+  /// Total bytes reserved from the heap (block capacity, survives Reset).
+  std::uint64_t bytes_reserved() const { return reserved_; }
+
+  /// Bytes handed out in the current epoch.
+  std::uint64_t bytes_in_use() const {
+    std::uint64_t used = 0;
+    for (const Block& block : blocks_) used += block.used;
+    return used;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  std::size_t min_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;
+  std::uint64_t reserved_ = 0;
+};
+
+/// Minimal std allocator over an Arena, for containers whose lifetime obeys
+/// the arena's epoch discipline. deallocate() is a no-op — memory returns
+/// at Arena::Reset().
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const {
+    return arena_ != other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace sase
+
+#endif  // SASE_UTIL_ARENA_H_

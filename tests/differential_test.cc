@@ -59,27 +59,36 @@ OutputCallback Collector(std::vector<std::string>* lines, size_t query) {
   };
 }
 
-/// Execution 1: the serial reference.
+/// Execution 1: the serial reference. With `sharing` set the engine runs
+/// structurally identical queries on one shared automaton; `shared_hits`
+/// (optional) reports how many deliveries were served from a group's
+/// buffered matches — the sharing sweep asserts the mode actually engaged.
 std::vector<std::string> RunSerial(const Catalog& catalog,
-                                   const GeneratedCase& c) {
+                                   const GeneratedCase& c,
+                                   bool sharing = false,
+                                   uint64_t* shared_hits = nullptr) {
   std::vector<std::string> lines;
   QueryEngine engine(&catalog);
+  engine.set_scan_sharing(sharing);
   for (size_t q = 0; q < c.queries.size(); ++q) {
     auto id = engine.Register(c.queries[q], Collector(&lines, q));
     EXPECT_TRUE(id.ok()) << id.status().ToString() << "\n" << c.Describe();
   }
   for (const EventPtr& event : c.events) engine.OnEvent(event);
   engine.OnFlush();
+  if (shared_hits != nullptr) *shared_hits = engine.shared_scan_hits();
   return lines;
 }
 
 /// Executions 2-3: the sharded runtime.
 std::vector<std::string> RunSharded(const Catalog& catalog,
-                                    const GeneratedCase& c, int shards) {
+                                    const GeneratedCase& c, int shards,
+                                    bool sharing = false) {
   std::vector<std::string> lines;
   RuntimeConfig config;
   config.shard_count = shards;
   config.merge_interval = 64;  // frequent incremental merges
+  config.scan_sharing = sharing;
   ShardedRuntime runtime(&catalog, config);
   for (size_t q = 0; q < c.queries.size(); ++q) {
     auto id = runtime.Register(c.queries[q], Collector(&lines, q));
@@ -95,7 +104,8 @@ std::vector<std::string> RunSharded(const Catalog& catalog,
 /// case seed.
 std::vector<std::string> RunCheckpointKillRecover(const GeneratedCase& c,
                                                   int shards,
-                                                  const std::string& dir) {
+                                                  const std::string& dir,
+                                                  bool sharing = false) {
   size_t n = c.events.size();
   size_t checkpoint_at = n / 4 + c.seed % (n / 4);      // [n/4, n/2)
   size_t crash_at = n / 2 + (c.seed / 7) % (n / 2 - 1); // [n/2, n-1)
@@ -106,6 +116,9 @@ std::vector<std::string> RunCheckpointKillRecover(const GeneratedCase& c,
   config.shard_count = shards;
   config.runtime_merge_interval = 64;
   config.checkpoint.dir = dir;
+  config.scan_sharing = sharing;  // recovery reuses the same config, so a
+  // sharing checkpoint is restored into sharing engines (the documented
+  // requirement — see docs/recovery.md)
   {
     SaseSystem system(StoreLayout::RetailDemo(), config);
     for (size_t q = 0; q < c.queries.size(); ++q) {
@@ -199,6 +212,49 @@ TEST(DifferentialTest, SerialShardedAndRecoveredExecutionsAgree) {
   // The sweep must exercise real matching, not 50 cases of silence.
   EXPECT_GE(interesting, cases / 2)
       << "generator produced mostly output-free cases; widen its windows";
+}
+
+/// Multi-query sharing sweep: cases built from families of structurally
+/// identical queries (tests/query_gen.h NextFamily) run with scan sharing
+/// ON — serial, 2-shard, 8-shard and checkpoint-kill-recover — and every
+/// execution must be byte-identical to the serial sharing-OFF reference
+/// (dedicated plans). The hit counter proves the mode engaged: a sweep
+/// where groups never serve buffered matches would be vacuously green.
+TEST(DifferentialTest, SharedScanExecutionsMatchDedicatedPlans) {
+  Catalog catalog = Catalog::RetailDemo();
+  const uint64_t cases = CaseCount();
+  uint64_t interesting = 0;
+  uint64_t sharing_engaged = 0;  // cases whose serial sharing run had hits
+
+  for (uint64_t seed = kFirstSeed; seed < kFirstSeed + cases; ++seed) {
+    GeneratedCase c = testgen::GenerateSharingCase(catalog, seed,
+                                                   kEventsPerCase);
+    SCOPED_TRACE(c.Describe());
+
+    auto golden = RunSerial(catalog, c, /*sharing=*/false);
+    if (!golden.empty()) ++interesting;
+
+    uint64_t hits = 0;
+    std::string dir = FreshDir("share_" + std::to_string(seed));
+    EXPECT_EQ(golden, RunSerial(catalog, c, /*sharing=*/true, &hits))
+        << "serial sharing divergence";
+    if (hits > 0) ++sharing_engaged;
+    EXPECT_EQ(golden, RunSharded(catalog, c, 2, /*sharing=*/true))
+        << "2-shard sharing divergence";
+    EXPECT_EQ(golden, RunSharded(catalog, c, 8, /*sharing=*/true))
+        << "8-shard sharing divergence";
+    EXPECT_EQ(golden,
+              RunCheckpointKillRecover(c, /*shards=*/2, dir, /*sharing=*/true))
+        << "sharing checkpoint-kill-recover divergence";
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      PreserveFailureArtifacts(c, /*shards=*/2, dir);
+      FAIL() << "sharing divergence; reproduce with " << c.Describe();
+    }
+  }
+  EXPECT_GE(interesting, cases / 2)
+      << "generator produced mostly output-free cases; widen its windows";
+  EXPECT_GE(sharing_engaged, cases * 3 / 4)
+      << "families rarely shared a scan; the sweep is not testing sharing";
 }
 
 /// Per-class observations from one consumer-acked kill-recover execution.

@@ -144,5 +144,120 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1u, 2u, 3u, 4u, 5u)),
     CaseName);
 
+/// Shared-scan lifecycle hammer: one engine runs with scan sharing ON (group
+/// match buffers live in epoch-reset arenas, members attach and detach from
+/// shared automata) while a twin runs the identical call sequence with
+/// sharing OFF (dedicated plans, the reference). The seeded driver
+/// interleaves mid-stream registrations (exercising the join gate),
+/// unregistrations (group membership churn and group teardown), event
+/// bursts, and in-place SerializeState/RestoreState round trips of every
+/// live plan on the sharing engine (the shared checkpoint path: NFA-line
+/// extras, group-scan reload, epoch re-arm). Outputs must stay identical
+/// per query. The suite runs under ASan+UBSan in CI's sanitize job, so a
+/// dangling arena pointer or a stale group reference fails loudly here.
+class SharedArenaLifecycleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SharedArenaLifecycleTest, RegisterUnregisterCheckpointRestoreAgree) {
+  const uint64_t seed = GetParam();
+  Random rng(seed * 104729);
+  Catalog catalog = Catalog::RetailDemo();
+
+  // A family sharing one scan (constants and windows vary) plus an
+  // occasional structurally distinct shape so groups coexist with
+  // dedicated-sized groups of one.
+  auto variant = [](int64_t i) -> std::string {
+    if (i % 5 == 4) {
+      return "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+             "WHERE x.TagId = z.TagId WITHIN " + std::to_string(40 + 10 * (i % 3));
+    }
+    return "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+           "WHERE x.TagId = y.TagId AND x.TagId = z.TagId AND z.AreaId >= " +
+           std::to_string(i % 4) + " WITHIN " + std::to_string(30 + 10 * (i % 5));
+  };
+
+  QueryEngine shared_engine(&catalog);
+  shared_engine.set_scan_sharing(true);
+  QueryEngine dedicated_engine(&catalog);
+
+  std::map<QueryId, std::vector<std::string>> shared_out, dedicated_out;
+  std::vector<QueryId> live;
+  int64_t next_variant = 0;
+
+  auto register_one = [&]() {
+    std::string text = variant(next_variant++);
+    // The callback outlives this scope, so the id cell it keys on must too.
+    auto qid = std::make_shared<QueryId>(0);
+    auto shared_id = shared_engine.Register(
+        text, [&shared_out, qid](const OutputRecord& record) {
+          shared_out[*qid].push_back(record.ToString());
+        });
+    ASSERT_TRUE(shared_id.ok()) << shared_id.status().ToString();
+    *qid = shared_id.value();
+    auto did = std::make_shared<QueryId>(0);
+    auto dedicated_id = dedicated_engine.Register(
+        text, [&dedicated_out, did](const OutputRecord& record) {
+          dedicated_out[*did].push_back(record.ToString());
+        });
+    ASSERT_TRUE(dedicated_id.ok()) << dedicated_id.status().ToString();
+    *did = dedicated_id.value();
+    ASSERT_EQ(*qid, *did) << "twin engines diverged on id assignment";
+    live.push_back(*qid);
+  };
+
+  // Seed a family before the stream starts.
+  for (int i = 0; i < 3; ++i) register_one();
+
+  StreamBuilder stream(&catalog);
+  static const char* kTypes[] = {"SHELF_READING", "COUNTER_READING",
+                                 "EXIT_READING"};
+  Timestamp ts = 0;
+  for (int burst = 0; burst < 40; ++burst) {
+    const int64_t action = rng.Uniform(0, 9);
+    if (action <= 2) {
+      register_one();
+    } else if (action <= 4 && live.size() > 1) {
+      size_t at = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(live.size()) - 1));
+      QueryId victim = live[at];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+      ASSERT_TRUE(shared_engine.Unregister(victim).ok());
+      ASSERT_TRUE(dedicated_engine.Unregister(victim).ok());
+    } else if (action == 5) {
+      // In-place checkpoint round trip of every live plan on the sharing
+      // engine only; the reference runs straight through. Restoring
+      // identical state must be output-invisible.
+      for (QueryId qid : live) {
+        auto payload = shared_engine.SerializeState(qid);
+        ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+        Status restored = shared_engine.RestoreState(qid, payload.value());
+        ASSERT_TRUE(restored.ok())
+            << restored.ToString() << " (query " << qid << " seed " << seed
+            << ")";
+      }
+      Status engine_state = shared_engine.RestoreEngineState(
+          shared_engine.SerializeEngineState());
+      ASSERT_TRUE(engine_state.ok()) << engine_state.ToString();
+    }
+    const int64_t events = rng.Uniform(4, 12);
+    for (int64_t i = 0; i < events; ++i) {
+      if (!rng.Bernoulli(0.2)) ts += rng.Uniform(1, 3);
+      stream.Add(kTypes[rng.Uniform(0, 2)], ts,
+                 "T" + std::to_string(rng.Uniform(0, 5)), rng.Uniform(0, 4));
+      const EventPtr& event = stream.events().back();
+      shared_engine.OnEvent(event);
+      dedicated_engine.OnEvent(event);
+    }
+  }
+  shared_engine.OnFlush();
+  dedicated_engine.OnFlush();
+
+  EXPECT_EQ(shared_out, dedicated_out) << "sharing diverged at seed " << seed;
+  EXPECT_GT(shared_engine.shared_scan_hits(), 0u)
+      << "the hammer never exercised a shared group (seed " << seed << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharedArenaLifecycleTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
 }  // namespace
 }  // namespace sase

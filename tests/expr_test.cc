@@ -14,7 +14,7 @@ Result<Value> EvalConst(const std::string& text,
                         const FunctionRegistry* functions = nullptr) {
   auto expr = Parser::ParseExpression(text);
   EXPECT_TRUE(expr.ok()) << expr.status().ToString();
-  std::vector<EventPtr> no_bindings;
+  BindingVec no_bindings;
   EvalContext ctx{&no_bindings, functions};
   return expr.value()->Eval(ctx);
 }
@@ -102,7 +102,7 @@ TEST(ExprTest, FunctionCalls) {
 
 TEST(ExprTest, EvalPredicateCoercion) {
   auto expr = Parser::ParseExpression("1 < 2").value();
-  std::vector<EventPtr> no_bindings;
+  BindingVec no_bindings;
   EvalContext ctx{&no_bindings, nullptr};
   EXPECT_TRUE(EvalPredicate(*expr, ctx).value());
 
@@ -130,7 +130,7 @@ TEST(ExprTest, FlattenConjuncts) {
 
 TEST(ExprTest, UnboundVariableIsInternalError) {
   auto expr = Parser::ParseExpression("x.TagId = 'T'").value();
-  std::vector<EventPtr> no_bindings;
+  BindingVec no_bindings;
   EvalContext ctx{&no_bindings, nullptr};
   auto result = expr->Eval(ctx);
   EXPECT_FALSE(result.ok());  // unresolved variable reference
@@ -151,7 +151,7 @@ TEST(ExprTest, CollectSlotsAfterResolution) {
 TEST(ExprTest, AggregateEvalOutsideTransformationFails) {
   auto parsed = Parser::ParseExpression("COUNT(*)");
   ASSERT_TRUE(parsed.ok());
-  std::vector<EventPtr> no_bindings;
+  BindingVec no_bindings;
   EvalContext ctx{&no_bindings, nullptr};
   EXPECT_FALSE(parsed.value()->Eval(ctx).ok());
 }

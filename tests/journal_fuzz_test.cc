@@ -8,9 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -222,6 +224,115 @@ TEST_P(JournalFuzzTest, DamagedJournalsAlwaysStopCleanly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JournalFuzzTest,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+/// Group-commit crash window (WAL group commit, set_group_commit): the
+/// writer is killed inside the batch-open -> fsync window — destroyed
+/// without Sync(), deliberately the destructor's behavior — and power loss
+/// is simulated by truncating the live segment to the fsynced frontier
+/// (synced_segment_bytes). The records a post-crash scan reads must be
+/// exactly the writer's durable_records() claim: every record covered by a
+/// completed group fsync survives, and nothing past the last fsynced group
+/// was ever claimed durable.
+class GroupCommitCrashTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GroupCommitCrashTest, DurableClaimMatchesSurvivingPrefixExactly) {
+  Catalog catalog = Catalog::RetailDemo();
+  const uint64_t seed = GetParam();
+  Random rng(seed * 7919);
+  std::string dir = FreshDir("group_crash_seed" + std::to_string(seed));
+
+  const uint64_t interval = static_cast<uint64_t>(rng.Uniform(2, 9));
+  const uint64_t appends = static_cast<uint64_t>(rng.Uniform(1, 40));
+  // Small rotate size on some seeds: rotation seals (syncs) old segments,
+  // so the open group only ever spans the live segment.
+  const uint64_t rotate = rng.Uniform(0, 1) == 0 ? 512 : 64ull << 20;
+
+  uint64_t durable = 0, unsynced = 0, commits = 0, synced_bytes = 0,
+           live_segment = 0;
+  {
+    auto journal =
+        EventJournal::Open(dir, kEpoch, 0, rotate, FsyncPolicy::kAlways);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    EventJournal& writer = *journal.value();
+    writer.set_group_commit(interval, /*max_delay_us=*/0);
+    for (uint64_t i = 0; i < appends; ++i) {
+      EventPtr event =
+          MakeEvent(catalog, "SHELF_READING", static_cast<Timestamp>(i),
+                    static_cast<SequenceNumber>(i),
+                    "TAG" + std::to_string(i));
+      ASSERT_TRUE(writer.AppendEvent("", *event).ok());
+    }
+    durable = writer.durable_records();
+    unsynced = writer.unsynced_records();
+    commits = writer.group_commits();
+    synced_bytes = writer.synced_segment_bytes();
+    live_segment = writer.segment();
+
+    // Accounting invariants at the kill point: every record is either
+    // durable or in the open group, and the open group is smaller than one
+    // interval (else it would have committed).
+    EXPECT_EQ(durable + unsynced, appends);
+    EXPECT_LT(unsynced, interval);
+    EXPECT_GE(durable, commits);  // each completed fsync covered >= 1 record
+    // Killed here: the destructor does NOT close the open group.
+  }
+
+  // The full scan before damage is the baseline: write(2) landed every
+  // record, so all of them are readable while the page cache survives.
+  auto full = ReadJournal(dir, kEpoch);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  ASSERT_FALSE(full.value().truncated) << full.value().truncation_reason;
+  ASSERT_EQ(full.value().records.size(), appends);
+
+  // Power loss: everything in the live segment past the fsynced frontier
+  // vanishes. (Sealed segments were synced at rotation; only the live one
+  // can hold unsynced bytes.)
+  std::string live_path =
+      dir + "/" + SegmentFileName(kEpoch, live_segment);
+  if (synced_bytes == 0) {
+    // No fsync ever covered this segment: not even its header is durable.
+    std::filesystem::remove(live_path);
+  } else {
+    std::filesystem::resize_file(live_path, synced_bytes);
+  }
+
+  auto scan = ReadJournal(dir, kEpoch);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_EQ(scan.value().records.size(), durable)
+      << "post-crash scan disagrees with the durability claim (interval="
+      << interval << " appends=" << appends << " rotate=" << rotate << ")";
+  for (size_t i = 0; i < scan.value().records.size(); ++i) {
+    EXPECT_TRUE(RecordsEqual(scan.value().records[i], full.value().records[i]))
+        << "surviving record " << i << " differs from what was appended";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupCommitCrashTest,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u, 16u, 17u,
+                                           18u, 19u, 20u));
+
+/// The commit-latency bound: with a huge interval and a tiny max delay, the
+/// group must still close — enforced at the next append once the bound has
+/// elapsed — so a quiet-but-not-idle writer cannot hold records hostage.
+TEST(GroupCommitDelayTest, MaxDelayClosesAnUndersizedGroup) {
+  Catalog catalog = Catalog::RetailDemo();
+  std::string dir = FreshDir("group_delay");
+  auto journal =
+      EventJournal::Open(dir, kEpoch, 0, 64ull << 20, FsyncPolicy::kAlways);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  EventJournal& writer = *journal.value();
+  writer.set_group_commit(/*interval=*/1000000, /*max_delay_us=*/1000);
+
+  EventPtr first = MakeEvent(catalog, "SHELF_READING", 1, 1, "TAG1");
+  ASSERT_TRUE(writer.AppendEvent("", *first).ok());
+  EXPECT_EQ(writer.durable_records(), 0u) << "group committed far too early";
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EventPtr second = MakeEvent(catalog, "SHELF_READING", 2, 2, "TAG2");
+  ASSERT_TRUE(writer.AppendEvent("", *second).ok());
+  EXPECT_GE(writer.durable_records(), 1u)
+      << "max_delay_us did not force the group fsync at the next append";
+  EXPECT_GE(writer.group_commits(), 1u);
+}
 
 }  // namespace
 }  // namespace checkpoint

@@ -86,15 +86,33 @@ class QueryGenerator {
   std::string NextQuery() {
     for (int attempt = 0; attempt < 64; ++attempt) {
       std::string text = Candidate();
-      auto parsed = Parser::Parse(text);
-      if (!parsed.ok()) continue;
-      Analyzer analyzer(catalog_, TimeConfig{});
-      if (!analyzer.Analyze(std::move(parsed).value()).ok()) continue;
-      return text;
+      if (Valid(text)) return text;
     }
     // The grammar below always produces at least the trivial shape; if we
     // get here the generator itself regressed.
     return "EVENT SHELF_READING s";
+  }
+
+  /// Generates `count` structurally identical queries: same component
+  /// skeleton (types, negation placement), same equivalence class and same
+  /// window boundedness — different predicate constants, comparison ops and
+  /// WITHIN spans. With scan sharing enabled they all land in one shared
+  /// group (engine/shared_scan.h GroupKey ignores exactly the parts that
+  /// vary), so a family is the unit the sharing differential mode stresses.
+  std::vector<std::string> NextFamily(int count) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::vector<std::string> family = FamilyCandidate(count);
+      bool ok = true;
+      for (const std::string& text : family) {
+        if (!Valid(text)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return family;
+    }
+    return std::vector<std::string>(static_cast<size_t>(count),
+                                    "EVENT SHELF_READING s");
   }
 
  private:
@@ -102,6 +120,13 @@ class QueryGenerator {
     return static_cast<int>(rng_() % static_cast<uint64_t>(bound));
   }
   bool Chance(int percent) { return Roll(100) < percent; }
+
+  bool Valid(const std::string& text) {
+    auto parsed = Parser::Parse(text);
+    if (!parsed.ok()) return false;
+    Analyzer analyzer(catalog_, TimeConfig{});
+    return analyzer.Analyze(std::move(parsed).value()).ok();
+  }
 
   const char* RandomType() {
     static const char* kTypes[] = {"SHELF_READING", "COUNTER_READING",
@@ -207,6 +232,90 @@ class QueryGenerator {
     return out.str();
   }
 
+  /// One family: skeleton decisions (components, negation slot, equivalence
+  /// class, which variables carry a single-variable predicate, RETURN
+  /// shape) are rolled once; per member only comparison ops, constants and
+  /// the WITHIN span vary. Families are always SEQ patterns of >= 2
+  /// positives — a single-event family would share trivially.
+  std::vector<std::string> FamilyCandidate(int count) {
+    static const char* kVars[] = {"a", "b", "c", "d", "e"};
+    static const char* kOps[] = {"=", "!=", "<", ">"};
+
+    int positives = 2 + Roll(3);
+    int components = positives;
+    int negated_slot = -1;
+    if (Chance(50)) {
+      components = positives + 1;
+      negated_slot = Roll(components);
+    }
+    bool head_or_tail_negation =
+        negated_slot == 0 || negated_slot == components - 1;
+    // Boundedness is part of the group key, so the whole family is either
+    // windowed (spans vary) or WITHIN-less.
+    bool with_window = head_or_tail_negation || Chance(85);
+
+    std::vector<const char*> types;
+    for (int i = 0; i < components; ++i) types.push_back(RandomType());
+    bool with_eq = Chance(85);
+    const char* eq_attr = Chance(70) ? "TagId" : "AreaId";
+    std::vector<bool> pred_on(static_cast<size_t>(components), false);
+    for (int i = 0; i < components; ++i) {
+      pred_on[static_cast<size_t>(i)] = Chance(35);
+    }
+    std::string agg_var;
+    for (int i = 0; i < components; ++i) {
+      if (i != negated_slot) {
+        agg_var = kVars[i];
+        break;
+      }
+    }
+    int ret = Roll(100);
+
+    std::vector<std::string> family;
+    for (int member = 0; member < count; ++member) {
+      std::ostringstream out;
+      out << "EVENT SEQ(";
+      for (int i = 0; i < components; ++i) {
+        if (i > 0) out << ", ";
+        bool negate = i == negated_slot;
+        if (negate) out << "!(";
+        out << types[static_cast<size_t>(i)] << " " << kVars[i];
+        if (negate) out << ")";
+      }
+      out << ")";
+
+      std::vector<std::string> conjuncts;
+      if (with_eq) {
+        for (int i = 1; i < components; ++i) {
+          conjuncts.push_back(std::string(kVars[0]) + "." + eq_attr + " = " +
+                              kVars[i] + "." + eq_attr);
+        }
+      }
+      for (int i = 0; i < components; ++i) {
+        if (!pred_on[static_cast<size_t>(i)]) continue;
+        conjuncts.push_back(std::string(kVars[i]) + ".AreaId " +
+                            kOps[Roll(4)] + " " + std::to_string(Roll(4)));
+      }
+      if (!conjuncts.empty()) {
+        out << " WHERE ";
+        for (size_t i = 0; i < conjuncts.size(); ++i) {
+          if (i > 0) out << " AND ";
+          out << conjuncts[i];
+        }
+      }
+      if (with_window) out << " WITHIN " << 20 + Roll(6) * 35;
+      if (ret < 40) {
+        // default projection
+      } else if (ret < 75) {
+        out << " RETURN " << agg_var << ".TagId, " << agg_var << ".AreaId";
+      } else {
+        out << " RETURN COUNT(*) AS agg0, " << agg_var << ".TagId";
+      }
+      family.push_back(out.str());
+    }
+    return family;
+  }
+
   const Catalog* catalog_;
   std::mt19937_64 rng_;
 };
@@ -238,6 +347,35 @@ inline GeneratedCase GenerateCase(const Catalog& catalog, uint64_t seed,
   result.ack_plan.ack_commit_interval = kIntervals[rng() % 3];
   result.ack_plan.ack_stride = kStrides[rng() % 3];
   result.ack_plan.stall_after_percent = kStalls[rng() % 3];
+  return result;
+}
+
+/// The sharing differential case for `seed`: 1-2 families of structurally
+/// identical queries (2-4 members each), plus an occasional unrelated
+/// singleton riding along so the run mixes shared groups with a
+/// single-member group. The stream parameters mirror GenerateCase under a
+/// distinct seed expansion, so the two sweeps cover different streams.
+inline GeneratedCase GenerateSharingCase(const Catalog& catalog, uint64_t seed,
+                                         int64_t event_count) {
+  GeneratedCase result;
+  result.seed = seed;
+  QueryGenerator generator(&catalog, seed);
+  std::mt19937_64 rng(seed ^ 0xda3e39cb94b95bdbull);
+  int families = 1 + static_cast<int>(rng() % 2);
+  for (int f = 0; f < families; ++f) {
+    int size = 2 + static_cast<int>(rng() % 3);
+    for (std::string& text : generator.NextFamily(size)) {
+      result.queries.push_back(std::move(text));
+    }
+  }
+  if (rng() % 2 == 0) result.queries.push_back(generator.NextQuery());
+  SyntheticConfig config;
+  config.seed = seed * 2654435761u + 7;
+  config.event_count = event_count;
+  config.tag_count = 8 + static_cast<int64_t>(rng() % 25);
+  config.area_count = 4;
+  SyntheticStreamGenerator stream(&catalog, config);
+  result.events = stream.Generate();
   return result;
 }
 

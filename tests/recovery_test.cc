@@ -1011,5 +1011,136 @@ TEST(SnapshotCompatTest, PreCursorCheckpointFallsBackToAtLeastOnce) {
   EXPECT_EQ(golden, lines);
 }
 
+/// WAL group commit under FsyncPolicy::kAlways: with records-per-fsync set
+/// well above one, a kill without Flush lands inside the batch-open ->
+/// fsync window — the journal tail sits in the open commit group. A
+/// process crash keeps the write(2)-n tail, so recovery must replay it;
+/// byte-equality against the uninterrupted reference shows the open group
+/// neither loses nor duplicates output across several crash offsets (each
+/// a different open-group fill).
+TEST(RecoveryGoldenTest, GroupCommitCrashWindowReplaysByteIdentical) {
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = Trace(catalog, 600);
+  auto regs = AllUpfront();
+  auto golden = RunGolden(catalog, trace, regs);
+
+  for (size_t crash_at : {260u, 395u, 511u}) {
+    std::string dir = FreshDir("group_commit_" + std::to_string(crash_at));
+    SystemConfig config = CheckpointedConfig(/*shards=*/2, dir);
+    config.checkpoint.journal_fsync = checkpoint::FsyncPolicy::kAlways;
+    config.checkpoint.group_commit_interval = 16;
+    config.checkpoint.group_commit_max_delay_us = 0;  // count-closed only:
+    // the open group at the kill is as full as the offset allows
+    std::vector<std::string> lines;
+    RunUntilCrash(trace, regs, config, /*checkpoint_at=*/128, crash_at,
+                  &lines);
+    RecoverAndFinish(trace, regs, config, crash_at, &lines);
+    EXPECT_EQ(golden, lines) << "group-commit crash at " << crash_at;
+  }
+}
+
+/// The acked-cursor exactly-once path with WAL group commit active: acks
+/// ride the same journal whose fsyncs are now amortized, and CommitAcks
+/// forces the group fsync so no cursor record is ever durable ahead of the
+/// event records before it. A crash inside the window re-delivers
+/// everything past the durable cursor with original stamps; the
+/// stamp-deduped stream equals the uninterrupted reference.
+TEST(ExactlyOnceTest, AckedCursorSurvivesGroupCommitCrashWindow) {
+  Catalog catalog = Catalog::RetailDemo();
+  auto trace = Trace(catalog, 700);
+  auto golden = RunGolden(catalog, trace, AllUpfront());
+
+  struct Consumer {
+    std::vector<std::string> deduped;
+    std::map<std::pair<bool, uint64_t>, std::string> stamps;
+    uint64_t duplicates = 0;
+    uint64_t mismatches = 0;
+    SaseSystem* system = nullptr;  // ack target; null during replay
+  } consumer;
+  auto callback = [&consumer](size_t q) -> OutputCallback {
+    return [&consumer, q](const OutputRecord& record) {
+      EXPECT_NE(record.cursor_position, 0u) << "unstamped delivery";
+      std::string line = QueryName(q) + "|" + record.ToString();
+      auto key = std::make_pair(record.cursor_runtime_hosted,
+                                record.cursor_position);
+      auto [it, fresh] = consumer.stamps.emplace(key, line);
+      if (fresh) {
+        consumer.deduped.push_back(line);
+      } else {
+        ++consumer.duplicates;
+        if (it->second != line) ++consumer.mismatches;
+      }
+      if (consumer.system != nullptr && record.cursor_position % 2 == 0) {
+        Status acked = consumer.system->AckOutput(record);
+        EXPECT_TRUE(acked.ok()) << acked.ToString();
+      }
+    };
+  };
+
+  std::string dir = FreshDir("group_commit_ack");
+  SystemConfig config = CheckpointedConfig(/*shards=*/2, dir);
+  config.checkpoint.journal_fsync = checkpoint::FsyncPolicy::kAlways;
+  config.checkpoint.group_commit_interval = 16;
+  config.checkpoint.group_commit_max_delay_us = 0;
+  config.checkpoint.ack_mode = checkpoint::AckMode::kConsumer;
+  config.checkpoint.ack_commit_interval = 4;
+  {
+    SaseSystem system(StoreLayout::RetailDemo(), config);
+    consumer.system = &system;
+    for (size_t q = 0; q < kQueries.size(); ++q) {
+      ASSERT_TRUE(system
+                      .RegisterMonitoringQuery(QueryName(q), kQueries[q],
+                                               callback(q))
+                      .ok());
+    }
+    for (size_t i = 0; i < 250; ++i) system.event_bus().OnEvent(trace[i]);
+    ASSERT_TRUE(system.Checkpoint().ok());
+    for (size_t i = 250; i < 500; ++i) system.event_bus().OnEvent(trace[i]);
+    consumer.system = nullptr;
+    // Crash without Flush: unacked deliveries, the pending ack batch and
+    // the open commit group all die here.
+  }
+
+  // The durable cursor as recovery will read it: the snapshot's ACKED line
+  // superseded by ack-cursor records journaled after it.
+  auto manifest = checkpoint::ReadManifest(dir);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  auto snap = checkpoint::ReadSnapshot(dir, manifest.value(), nullptr);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  ASSERT_TRUE(snap.value().has_acked);
+  uint64_t durable_runtime = snap.value().acked_runtime;
+  uint64_t durable_serial = snap.value().acked_serial;
+  auto scan = checkpoint::ReadJournal(dir, manifest.value());
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  for (const checkpoint::JournalRecord& record : scan.value().records) {
+    if (record.kind == checkpoint::JournalRecord::Kind::kAckCursor) {
+      durable_runtime = std::max(durable_runtime, record.acked_runtime);
+      durable_serial = std::max(durable_serial, record.acked_serial);
+    }
+  }
+
+  auto recovered = SaseSystem::Recover(
+      dir, StoreLayout::RetailDemo(), config,
+      [&](const std::string& name) -> OutputCallback {
+        return callback(static_cast<size_t>(std::atoi(name.c_str() + 1)));
+      });
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE(recovered.value()->recovered_ack_fallback());
+  EXPECT_EQ(recovered.value()->acked_runtime(), durable_runtime);
+  EXPECT_EQ(recovered.value()->acked_serial(), durable_serial);
+  EXPECT_GT(consumer.duplicates, 0u)
+      << "no re-deliveries: the crash window was empty";
+  EXPECT_EQ(consumer.mismatches, 0u)
+      << "a re-delivered record changed content or stamp";
+
+  consumer.system = recovered.value().get();
+  for (size_t i = 500; i < trace.size(); ++i) {
+    recovered.value()->event_bus().OnEvent(trace[i]);
+  }
+  recovered.value()->Flush();
+  EXPECT_EQ(golden, consumer.deduped) << "deduped output diverged";
+  EXPECT_EQ(consumer.mismatches, 0u);
+}
+
 }  // namespace
 }  // namespace sase
