@@ -123,10 +123,53 @@ void BM_ObsTracing(benchmark::State& state) {
   RunBenchmark(state, Mode::kTracing);
 }
 
+/// Scrape cost with the full per-query surface armed: 8 queries' state
+/// gauges (scan stacks/partitions, negation buffers, accumulators), the
+/// slow-query ring (threshold 1ns so every event qualifies) and the
+/// hot-key mirror. The loop measures ScrapeMetrics + RenderPrometheus —
+/// the quiesce/settle/render path both the console `.metrics` command and
+/// the HTTP /metrics endpoint take per scrape.
+void BM_ObsPerQueryScrape(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::TraceCollector tracer;
+  RuntimeConfig config;
+  config.shard_count = 2;
+  config.metrics = &registry;
+  config.tracer = &tracer;
+  config.slow_query_threshold_ns = 1;
+  ShardedRuntime runtime(&BenchCatalog(), config);
+  uint64_t outputs = 0;
+  for (int64_t i = 0; i < kQueries; ++i) {
+    auto id = runtime.Register(QueryVariant(i),
+                               [&outputs](const OutputRecord&) { ++outputs; });
+    if (!id.ok()) {
+      state.SkipWithError("query registration failed");
+      return;
+    }
+  }
+  const auto& stream = Stream(kEventCount, "obs");
+  for (const auto& event : stream) runtime.OnEvent(event);
+  runtime.OnFlush();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    runtime.ScrapeMetrics();
+    std::string text = registry.RenderPrometheus();
+    bytes = text.size();
+    benchmark::DoNotOptimize(text.data());
+  }
+  // One item per scrape: items/s is scrapes/s, which lets the CI bench
+  // gate compare this variant against the checked-in baseline too.
+  state.SetItemsProcessed(state.iterations());
+  state.counters["prom_bytes"] = static_cast<double>(bytes);
+}
+
 BENCHMARK(BM_ObsControl)->Unit(benchmark::kMillisecond)->UseManualTime();
 BENCHMARK(BM_ObsDisabled)->Unit(benchmark::kMillisecond)->UseManualTime();
 BENCHMARK(BM_ObsEnabled)->Unit(benchmark::kMillisecond)->UseManualTime();
 BENCHMARK(BM_ObsTracing)->Unit(benchmark::kMillisecond)->UseManualTime();
+// Longer sampling window than the default: a scrape is sub-millisecond, so
+// the CI gate needs more iterations for a stable items/s median.
+BENCHMARK(BM_ObsPerQueryScrape)->Unit(benchmark::kMillisecond)->MinTime(2.0);
 
 /// The CI gate: disabled-mode overhead vs the no-registry control. Each
 /// round runs both variants back to back (pairing cancels slow drift),

@@ -12,12 +12,21 @@
 // Exits non-zero if either validation fails, so CI can smoke-run it.
 //
 // Run: ./example_observability_demo [trace.json]
+//        [--http_port=N] [--serve_seconds=S]
+//
+// With --http_port=N (and N != 0) the embedded HTTP endpoint is enabled;
+// with --serve_seconds=S the demo, after the validations pass, keeps the
+// process alive for S seconds so an external scraper (curl, Prometheus,
+// the CI smoke step) can hit /metrics, /healthz and /statusz.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "rfid/workload.h"
@@ -35,7 +44,19 @@ int Fail(const std::string& why) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string trace_path = argc > 1 ? argv[1] : "observability_trace.json";
+  std::string trace_path = "observability_trace.json";
+  int http_port = 0;
+  int serve_seconds = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--http_port=", 0) == 0) {
+      http_port = std::atoi(arg.c_str() + 12);
+    } else if (arg.rfind("--serve_seconds=", 0) == 0) {
+      serve_seconds = std::atoi(arg.c_str() + 16);
+    } else {
+      trace_path = arg;
+    }
+  }
 
   SystemConfig config;
   config.noise = NoiseModel::Perfect();
@@ -47,6 +68,7 @@ int main(int argc, char** argv) {
   // lifecycles (production: 1 in 10'000 or so).
   config.obs.trace_sample_every = 7;
   config.obs.trace_path = trace_path;
+  config.obs.http_port = http_port;
 
   SaseSystem system(StoreLayout::RetailDemo(), config);
 
@@ -156,5 +178,14 @@ int main(int argc, char** argv) {
               "dumped to %s (load in Perfetto)\n",
               system.tracer().span_count(),
               static_cast<unsigned long long>(complete), trace_path.c_str());
+
+  // --- optional: stay alive for external scrapers --------------------------
+  if (serve_seconds > 0 && system.http_port() != 0) {
+    std::printf("serving http://127.0.0.1:%d/{metrics,healthz,statusz} "
+                "for %d s\n",
+                system.http_port(), serve_seconds);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+  }
   return 0;
 }

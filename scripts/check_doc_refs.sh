@@ -30,6 +30,7 @@ for doc in README.md docs/language.md docs/operations.md docs/architecture.md do
   for ref in $refs; do
     case "$ref" in
       build/*) continue ;;                      # build artifacts
+      /*) continue ;;                           # absolute: URL paths like /metrics
       */*) ;;                                   # path with a directory
       *.md|*.cc|*.cpp|*.h|*.txt|*.yml|*.json) ;;  # bare file name
       *) continue ;;                            # not a path reference
@@ -80,6 +81,23 @@ if [[ -f "$metric_doc" ]]; then
     if ! grep -qr "\"${needle}" src/; then
       echo "UNKNOWN METRIC in $metric_doc: \`$metric\` has no registry" \
            "call site in src/"
+      status=1
+    fi
+  done
+  # Pre-quiesce semantics: the gauges docs/observability.md section 1
+  # names as sampled *before* the quiesce must still be the ones the code
+  # samples early (a grep for the literal near the pre-quiesce sampling
+  # sites), so the alerting guidance cannot drift from the scrape order.
+  for gauge in sase_shard_queue_len sase_runtime_merge_watermark_lag \
+               sase_partition_hotkey_queue_lag; do
+    if ! grep -q "\`${gauge}\`" "$metric_doc"; then
+      echo "PRE-QUIESCE GAUGE \`$gauge\` missing from $metric_doc" \
+           "section 1's sampled-before-quiesce list"
+      status=1
+    fi
+    if ! grep -qr "\"${gauge}" src/; then
+      echo "PRE-QUIESCE GAUGE \`$gauge\` documented in $metric_doc but" \
+           "has no call site in src/"
       status=1
     fi
   done

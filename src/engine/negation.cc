@@ -116,6 +116,27 @@ void Negation::OnFlush() {
 
 void Negation::OnWatermark(Timestamp now) {
   if (!pending_.empty()) ReleasePending(now, /*flush=*/false);
+  // Watermarks prune the candidate buffers too: pruning only drops events
+  // past the conservative 2W horizon (they can never violate a future
+  // match), so output is unaffected while the state gauges decay on a
+  // quiescent stream.
+  PruneBuffers(now);
+  events_since_prune_ = 0;
+}
+
+Negation::Footprint Negation::StateFootprint() const {
+  Footprint fp;
+  for (const Buffer& buffer : buffers_) {
+    fp.buffered += buffer.events.size();
+    fp.bytes += buffer.events.capacity() * sizeof(EventPtr);
+    for (const auto& [key, events] : buffer.by_key) {
+      fp.buffered += events.size();
+      fp.bytes += sizeof(key) + events.capacity() * sizeof(EventPtr);
+    }
+  }
+  fp.pending = pending_.size();
+  fp.bytes += pending_.size() * sizeof(std::pair<Timestamp, Match>);
+  return fp;
 }
 
 bool Negation::CheckAll(const Match& match) {

@@ -59,11 +59,23 @@ class Negation : public Operator {
 
   /// Advances stream time without an event: releases deferred matches whose
   /// tail window closed strictly before `now`, exactly as an event with that
-  /// timestamp would. The sharded runtime sends watermarks so shards whose
-  /// partitions go quiet still surface pending matches promptly.
+  /// timestamp would, and prunes candidate buffers past the 2W horizon so a
+  /// quiescent stream's state gauges decay. The sharded runtime sends
+  /// watermarks so shards whose partitions go quiet still surface pending
+  /// matches promptly.
   void OnWatermark(Timestamp now);
 
   const Stats& stats() const { return stats_; }
+
+  /// Live operator-state footprint for the state-size gauges: candidate
+  /// events held across all spec buffers, parked tail-negation deferrals,
+  /// and the approximate heap bytes both occupy.
+  struct Footprint {
+    uint64_t buffered = 0;
+    uint64_t pending = 0;
+    uint64_t bytes = 0;
+  };
+  Footprint StateFootprint() const;
 
   /// Checkpoint state walker (snapshot v2): writes per-spec candidate
   /// buffers (plain and key-partitioned) and the parked tail-negation

@@ -119,7 +119,16 @@ void QueryPlan::OnFlush() {
   }
 }
 
-void QueryPlan::OnWatermark(Timestamp now) { negation_->OnWatermark(now); }
+void QueryPlan::OnWatermark(Timestamp now) {
+  // Scan first (prunes window-expired instances, idempotent when members of
+  // a shared group repeat it), then negation (releases deferrals, prunes
+  // candidate buffers). Both only discard state that cannot affect any
+  // future match, so watermark cadence never changes output.
+  if (SequenceScan* scan = mutable_scan(); scan != nullptr) {
+    scan->OnWatermark(now);
+  }
+  negation_->OnWatermark(now);
+}
 
 uint64_t QueryPlan::eval_error_count() const {
   uint64_t scan_errors =

@@ -79,6 +79,7 @@ Result<QueryId> QueryEngine::RegisterParsed(QueryId id, std::string text,
   reader_cache_valid_ = false;
   if (inserted) {
     Entry& entry = it->second;
+    entry.id = id;
     entry.group = entry.plan->shared_group();
     entry.group_key = std::move(group_key);
     if (metrics_ != nullptr) ResolveEntryMetrics(id, entry);
@@ -131,6 +132,30 @@ void QueryEngine::ScrapeMetrics() const {
     metrics_->GetGauge(QueryMetricName("negation_buffer", id))
         ->Set(static_cast<int64_t>(negation.events_buffered -
                                    negation.events_pruned));
+    // State-size gauges: walked from the live operator state (the same
+    // structures SerializeState snapshots), not maintained counters — so
+    // they cannot drift from what a checkpoint would actually write. In
+    // shared-scan mode the scan footprint is the group's automaton,
+    // mirrored per member (like scan_instances above).
+    const SequenceScan::Footprint scan_fp =
+        plan.sequence_scan().StateFootprint();
+    metrics_->GetGauge(QueryMetricName("scan_state_bytes", id))
+        ->Set(static_cast<int64_t>(scan_fp.bytes));
+    metrics_->GetGauge(QueryMetricName("scan_partitions", id))
+        ->Set(static_cast<int64_t>(scan_fp.partitions));
+    const Negation::Footprint neg_fp = plan.negation().StateFootprint();
+    metrics_->GetGauge(QueryMetricName("negation_pending", id))
+        ->Set(static_cast<int64_t>(neg_fp.pending));
+    metrics_->GetGauge(QueryMetricName("negation_state_bytes", id))
+        ->Set(static_cast<int64_t>(neg_fp.bytes));
+    metrics_->GetGauge(QueryMetricName("transform_accumulators", id))
+        ->Set(static_cast<int64_t>(plan.transformation().accumulator_count()));
+    metrics_->GetGauge(QueryMetricName("shared_group_members", id))
+        ->Set(entry.group == nullptr
+                  ? 0
+                  : static_cast<int64_t>(entry.group->member_count()));
+    metrics_->GetCounter(QueryMetricName("slow_events_total", id))
+        ->Set(entry.slow_events);
   }
   std::string host = "{host=\"" + host_label_ + "\"}";
   metrics_->GetCounter("sase_engine_shared_scan_hits_total" + host)
@@ -139,6 +164,42 @@ void QueryEngine::ScrapeMetrics() const {
       ->Set(static_cast<int64_t>(share_groups_.size()));
   metrics_->GetGauge("sase_engine_shared_scan_arena_bytes" + host)
       ->Set(static_cast<int64_t>(shared_arena_bytes()));
+}
+
+void QueryEngine::ConfigureSlowQueryLog(uint64_t threshold_ns,
+                                        size_t capacity) {
+  slow_threshold_ns_ = capacity == 0 ? 0 : threshold_ns;
+  slow_log_capacity_ = slow_threshold_ns_ == 0 ? 0 : capacity;
+  slow_log_.clear();
+  slow_pos_ = 0;
+}
+
+std::vector<QueryEngine::SlowQuerySample> QueryEngine::SlowSamples() const {
+  // slow_pos_ is the oldest slot once the ring has wrapped.
+  std::vector<SlowQuerySample> samples;
+  samples.reserve(slow_log_.size());
+  if (slow_log_.size() == slow_log_capacity_) {
+    samples.insert(samples.end(), slow_log_.begin() + slow_pos_,
+                   slow_log_.end());
+    samples.insert(samples.end(), slow_log_.begin(),
+                   slow_log_.begin() + slow_pos_);
+  } else {
+    samples = slow_log_;
+  }
+  return samples;
+}
+
+void QueryEngine::NoteSlow(Entry& entry, const Event& event,
+                           uint64_t duration_ns, uint64_t at_ns) {
+  ++entry.slow_events;
+  SlowQuerySample sample{entry.id, event.seq(), event.timestamp(), duration_ns,
+                         at_ns};
+  if (slow_log_.size() < slow_log_capacity_) {
+    slow_log_.push_back(sample);
+  } else {
+    slow_log_[slow_pos_] = sample;
+    slow_pos_ = (slow_pos_ + 1) % slow_log_capacity_;
+  }
 }
 
 Status QueryEngine::Unregister(QueryId id) {
@@ -240,12 +301,7 @@ void QueryEngine::OnEvent(const EventPtr& event) {
     for (Entry* entry : readers) DeliverEvent(*entry, event);
     return;
   }
-  for (Entry* entry : readers) {
-    uint64_t start = obs::MonotonicNs();
-    DeliverEvent(*entry, event);
-    entry->op_latency->Record(
-        static_cast<int64_t>(obs::MonotonicNs() - start));
-  }
+  for (Entry* entry : readers) DeliverTimed(*entry, event);
 }
 
 void QueryEngine::OnStreamEvent(const std::string& stream,
@@ -258,12 +314,7 @@ void QueryEngine::OnStreamEvent(const std::string& stream,
     for (Entry* entry : readers) DeliverEvent(*entry, event);
     return;
   }
-  for (Entry* entry : readers) {
-    uint64_t start = obs::MonotonicNs();
-    DeliverEvent(*entry, event);
-    entry->op_latency->Record(
-        static_cast<int64_t>(obs::MonotonicNs() - start));
-  }
+  for (Entry* entry : readers) DeliverTimed(*entry, event);
 }
 
 void QueryEngine::OnStreamEvents(const std::string& stream,
@@ -285,12 +336,7 @@ void QueryEngine::OnStreamEvents(const std::string& stream,
   }
   for (const EventPtr& event : events) {
     ++scan_epoch_;
-    for (Entry* entry : readers) {
-      uint64_t start = obs::MonotonicNs();
-      DeliverEvent(*entry, event);
-      entry->op_latency->Record(
-          static_cast<int64_t>(obs::MonotonicNs() - start));
-    }
+    for (Entry* entry : readers) DeliverTimed(*entry, event);
   }
 }
 
@@ -308,12 +354,7 @@ void QueryEngine::OnEvents(const std::vector<EventPtr>& events) {
   }
   for (const EventPtr& event : events) {
     ++scan_epoch_;
-    for (Entry* entry : readers) {
-      uint64_t start = obs::MonotonicNs();
-      DeliverEvent(*entry, event);
-      entry->op_latency->Record(
-          static_cast<int64_t>(obs::MonotonicNs() - start));
-    }
+    for (Entry* entry : readers) DeliverTimed(*entry, event);
   }
 }
 

@@ -11,6 +11,7 @@
 #include "engine/planner.h"
 #include "engine/shared_scan.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/parser.h"
 #include "util/time_util.h"
 
@@ -190,6 +191,32 @@ class QueryEngine : public EventSink {
   };
   EngineStats Stats() const;
 
+  /// One slow-query offender: a single per-event operator pass that took at
+  /// least the configured threshold. `at_ns` is the MonotonicNs capture
+  /// time, so logs merged across engines (serial + every shard) sort by
+  /// recency without a shared clock.
+  struct SlowQuerySample {
+    QueryId query = 0;
+    SequenceNumber seq = 0;
+    Timestamp timestamp = 0;
+    uint64_t duration_ns = 0;
+    uint64_t at_ns = 0;
+  };
+
+  /// Arms the slow-query log: instrumented operator passes taking
+  /// >= `threshold_ns` bump `sase_query_slow_events_total` and push a
+  /// sample into a last-`capacity` ring. Requires an attached registry to
+  /// observe anything (timing happens on the instrumented path only);
+  /// threshold 0 disarms. Reconfiguring clears the ring.
+  void ConfigureSlowQueryLog(uint64_t threshold_ns, size_t capacity);
+  uint64_t slow_query_threshold_ns() const { return slow_threshold_ns_; }
+
+  /// Ring contents, oldest first. Cheap (copies at most `capacity` samples).
+  std::vector<SlowQuerySample> SlowSamples() const;
+
+  /// Host label passed to AttachMetrics ("" while detached).
+  const std::string& host_label() const { return host_label_; }
+
   /// Attaches a metrics registry under a host label ("serial", "shard-0",
   /// "broadcast"): the event path starts timing per-query operator wall time
   /// into `sase_query_op_latency_ns{host=...,query=...}` (wait-free
@@ -222,6 +249,8 @@ class QueryEngine : public EventSink {
     /// Operator wall-time histogram; non-null only while a registry is
     /// attached (resolved once per registration/attach, recorded wait-free).
     obs::HistogramMetric* op_latency = nullptr;
+    QueryId id = 0;  // own key in plans_, for the slow-log cold path
+    uint64_t slow_events = 0;  // passes at/over the slow-query threshold
     /// Shared-scan group serving this plan (engine-owned); null when the
     /// plan runs a dedicated scan.
     SharedScanGroup* group = nullptr;
@@ -240,6 +269,24 @@ class QueryEngine : public EventSink {
       entry.plan->OnEvent(event);
     }
   }
+
+  /// Instrumented delivery: times one plan's pass over one event into its
+  /// op-latency histogram, diverting threshold breaches to the slow-query
+  /// log's cold path. Callers have already checked metrics_ != nullptr.
+  void DeliverTimed(Entry& entry, const EventPtr& event) {
+    uint64_t start = obs::MonotonicNs();
+    DeliverEvent(entry, event);
+    uint64_t duration = obs::MonotonicNs() - start;
+    entry.op_latency->Record(static_cast<int64_t>(duration));
+    if (slow_threshold_ns_ != 0 && duration >= slow_threshold_ns_) {
+      NoteSlow(entry, *event, duration, start + duration);
+    }
+  }
+
+  /// Slow-log cold path: bumps the per-query counter and overwrites the
+  /// oldest ring slot.
+  void NoteSlow(Entry& entry, const Event& event, uint64_t duration_ns,
+                uint64_t at_ns);
 
   /// Shared tail of every Register flavor: analyze, plan, install under
   /// `id` (advancing next_id_ past it). No id is consumed on failure.
@@ -281,6 +328,10 @@ class QueryEngine : public EventSink {
   uint64_t events_processed_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;
   std::string host_label_;
+  uint64_t slow_threshold_ns_ = 0;  // 0 = slow-query log disarmed
+  std::vector<SlowQuerySample> slow_log_;  // ring of the last N offenders
+  size_t slow_log_capacity_ = 0;
+  size_t slow_pos_ = 0;  // next ring slot to overwrite
   std::vector<Entry*> reader_cache_;
   std::string reader_cache_stream_;
   bool reader_cache_valid_ = false;

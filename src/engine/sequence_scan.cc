@@ -290,6 +290,35 @@ Status SequenceScan::LoadState(StateReader* r) {
   return Status::ParseError("SequenceScan state truncated (no divider)");
 }
 
+SequenceScan::Footprint SequenceScan::StateFootprint() const {
+  Footprint fp;
+  // Bytes count only stream-driven storage: live instances, the vector
+  // capacity retained for them, and the dynamic per-key partition shells.
+  // The fixed unpartitioned stack frame every scan owns at construction is
+  // operator overhead, not state — excluding it lets the gauge reach zero
+  // once pruning drains a quiescent stream.
+  auto add_items = [&fp](const Partition& partition) {
+    for (const Stack& stack : partition.stacks) {
+      fp.instances += stack.items.size();
+      fp.bytes += stack.items.capacity() * sizeof(Instance);
+    }
+  };
+  add_items(unpartitioned_);
+  fp.partitions = partitions_.size();
+  for (const auto& [key, partition] : partitions_) {
+    fp.bytes += sizeof(key) + partition.stacks.capacity() * sizeof(Stack);
+    add_items(partition);
+  }
+  return fp;
+}
+
+void SequenceScan::OnWatermark(Timestamp now) {
+  if (window_ < 0) return;
+  stats_.instances_pruned += PruneStacks(&unpartitioned_, now - window_);
+  SweepPartitions(now);
+  events_since_sweep_ = 0;
+}
+
 void SequenceScan::SweepPartitions(Timestamp now) {
   if (!nfa_->partitioned() || window_ < 0) return;
   Timestamp lower = now - window_;

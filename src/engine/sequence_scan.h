@@ -67,6 +67,25 @@ class SequenceScan : public Operator {
 
   const Stats& stats() const { return stats_; }
 
+  /// Live operator-state footprint for the state-size gauges: partial-match
+  /// instances currently stacked, value partitions holding them, and the
+  /// approximate heap bytes the stacks reserve (capacity, not size — the
+  /// reserved memory is what an operator actually pays for).
+  struct Footprint {
+    uint64_t instances = 0;
+    uint64_t partitions = 0;
+    uint64_t bytes = 0;
+  };
+  Footprint StateFootprint() const;
+
+  /// Advances stream time without an event: prunes instances the pushdown
+  /// window already excludes (they cannot join any sequence ending at or
+  /// after `now`, so output is unaffected) and sweeps empty partitions.
+  /// Lets a quiescent stream's state gauges decay to ~0 once the window
+  /// passes instead of waiting for the next arrival. No-op without window
+  /// pushdown.
+  void OnWatermark(Timestamp now);
+
   /// Current pushdown window in ticks (-1 = disabled). A shared scan
   /// (multi-query sharing, src/engine/shared_scan.h) widens its window to
   /// the maximum over member queries; widening is always safe because the

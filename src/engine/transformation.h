@@ -42,6 +42,12 @@ class Transformation : public Operator {
 
   const Stats& stats() const { return stats_; }
 
+  /// Running-aggregate accumulators held (one per AggregateExpr node in the
+  /// RETURN clause) — the operator's state-size gauge. Constant per query
+  /// text, but nonzero only for aggregating queries, so the fleet-wide sum
+  /// tells an operator how much fold state recovery must rebuild.
+  size_t accumulator_count() const { return aggregates_.size(); }
+
   /// Checkpoint state walker (snapshot v2): writes the running-aggregate
   /// fold accumulators (COUNT/SUM/AVG/MIN/MAX state, by collection index —
   /// the same query text collects the same AggregateExpr pre-order) plus

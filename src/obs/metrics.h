@@ -31,6 +31,23 @@ struct ObsConfig {
   /// When non-empty, SaseSystem dumps the collected trace here at
   /// destruction (console `.trace dump <path>` dumps on demand either way).
   std::string trace_path;
+  /// Embedded HTTP endpoint (src/obs/http_endpoint.h) serving /metrics,
+  /// /healthz and /statusz on loopback. 0 (default) = no endpoint; -1 = an
+  /// ephemeral kernel-assigned port (tests; read it back via
+  /// SaseSystem::http_port()); > 0 = that fixed port. Requires
+  /// metrics_enabled.
+  int http_port = 0;
+  /// Slow-query log: an instrumented per-event operator pass taking at
+  /// least this long bumps `sase_query_slow_events_total` and lands in a
+  /// per-engine ring of the last `slow_query_log_size` offender samples
+  /// (HTTP /statusz, console `.slowlog`). 0 disables. Only observed with
+  /// metrics_enabled (timing happens on the instrumented path).
+  uint64_t slow_query_threshold_ns = 1000000;
+  size_t slow_query_log_size = 32;
+  /// Space-saving sketch slots per stream for hot-key accounting
+  /// (`sase_partition_hotkey_*`); 0 disables. Memory is O(slots) per
+  /// stream; the count overestimate shrinks as slots grow.
+  size_t hotkey_sketch_size = 16;
 };
 
 /// Monotonic counter. The hot path (`Add`) is wait-free: each recording

@@ -1,5 +1,7 @@
 #include "runtime/partitioner.h"
 
+#include <algorithm>
+
 #include "util/string_util.h"
 
 namespace sase {
@@ -68,7 +70,71 @@ int Partitioner::Route(StreamId stream, const Event& event) {
   state.last_seq = event.seq();
   ++state.events;
   ++state.per_shard[static_cast<size_t>(shard)];
+  if (hotkey_capacity_ > 0) {
+    AttrIndex key = KeyIndex(event.type());
+    if (key >= 0) {
+      if (sketches_.size() <= static_cast<size_t>(stream)) {
+        sketches_.resize(static_cast<size_t>(stream) + 1);
+      }
+      HotKeySketch& sketch = sketches_[stream];
+      ++sketch.keyed_events;
+      sketch.Observe(event.attribute(key), hotkey_capacity_);
+    }
+  }
   return shard;
+}
+
+void Partitioner::HotKeySketch::Observe(const Value& key, size_t capacity) {
+  auto it = index.find(key);
+  if (it != index.end()) {
+    ++slots[it->second].count;
+    return;
+  }
+  if (slots.size() < capacity) {
+    index.emplace(key, slots.size());
+    slots.push_back(Slot{key, 1, 0});
+    return;
+  }
+  // Space-saving eviction: the newcomer takes over the coldest slot and
+  // inherits its count as the overestimate bound.
+  size_t coldest = 0;
+  for (size_t i = 1; i < slots.size(); ++i) {
+    if (slots[i].count < slots[coldest].count) coldest = i;
+  }
+  Slot& slot = slots[coldest];
+  index.erase(slot.key);
+  slot.error = slot.count;
+  slot.count += 1;
+  slot.key = key;
+  index.emplace(key, coldest);
+}
+
+void Partitioner::EnableHotKeyTracking(size_t capacity) {
+  hotkey_capacity_ = capacity;
+  sketches_.clear();
+}
+
+uint64_t Partitioner::keyed_events(StreamId stream) const {
+  size_t index = static_cast<size_t>(stream);
+  return index < sketches_.size() ? sketches_[index].keyed_events : 0;
+}
+
+std::vector<Partitioner::HotKeyStat> Partitioner::HotKeys(
+    StreamId stream) const {
+  std::vector<HotKeyStat> stats;
+  size_t index = static_cast<size_t>(stream);
+  if (index >= sketches_.size()) return stats;
+  const HotKeySketch& sketch = sketches_[index];
+  stats.reserve(sketch.slots.size());
+  for (const HotKeySketch::Slot& slot : sketch.slots) {
+    stats.push_back(
+        HotKeyStat{slot.key, slot.count, slot.error, ShardForKey(slot.key)});
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const HotKeyStat& a, const HotKeyStat& b) {
+              return a.count > b.count;
+            });
+  return stats;
 }
 
 bool Partitioner::Shardable(const AnalyzedQuery& query, const Catalog& catalog,

@@ -76,6 +76,46 @@ class Partitioner {
   /// True when `type` carries the key attribute.
   bool HasKey(EventTypeId type) const { return KeyIndex(type) >= 0; }
 
+  // --- hot-key accounting (space-saving top-K sketch) ---
+  //
+  // Skewed key distributions are the sharded runtime's failure mode: one
+  // hot tag pins a shard while its siblings idle. The sketch (Metwally et
+  // al.'s space-saving algorithm) keeps the K heaviest keys per stream in
+  // O(K) memory with a deterministic overestimate bound, which is exactly
+  // the input a future hot-key mitigation needs — and what the
+  // `sase_partition_hotkey_*` metrics and the StatsReport section expose.
+
+  /// One sketch entry. `count` overestimates the key's true frequency by at
+  /// most `error` (the count inherited from the colder key it evicted), so
+  /// `count - error` is a guaranteed lower bound.
+  struct HotKeyStat {
+    Value key;
+    uint64_t count = 0;
+    uint64_t error = 0;
+    int shard = 0;  // owner under the current layout
+  };
+
+  /// Arms per-stream hot-key accounting with `capacity` sketch slots; 0
+  /// disarms and drops existing sketches. The runtime arms this only when a
+  /// metrics registry is attached, so disabled-observability dispatch stays
+  /// a null branch. Dispatcher thread only.
+  void EnableHotKeyTracking(size_t capacity);
+  bool hotkey_tracking() const { return hotkey_capacity_ > 0; }
+
+  /// Keyed events routed on `stream` — the denominator a hot key's share is
+  /// measured against (key-less events spread round-robin and cannot be
+  /// hot). 0 when tracking is disarmed or the stream is unknown.
+  uint64_t keyed_events(StreamId stream) const;
+
+  /// Sketch contents for `stream`, hottest first, with live shard owners.
+  std::vector<HotKeyStat> HotKeys(StreamId stream) const;
+
+  /// Shard owning `key` under the current layout (the value-hash half of
+  /// ShardFor, for callers attributing per-key queue lag).
+  int ShardForKey(const Value& key) const {
+    return static_cast<int>(key.Hash() % static_cast<size_t>(shard_count_));
+  }
+
   const std::string& key_attr() const { return key_attr_; }
   int shard_count() const { return shard_count_; }
   /// All interned streams (index = StreamId); streams().front() is the
@@ -107,6 +147,21 @@ class Partitioner {
  private:
   AttrIndex KeyIndex(EventTypeId type) const;
 
+  /// Per-stream space-saving sketch: when full, the coldest slot is evicted
+  /// and the newcomer inherits its count as `error`.
+  struct HotKeySketch {
+    struct Slot {
+      Value key;
+      uint64_t count = 0;
+      uint64_t error = 0;
+    };
+    std::vector<Slot> slots;  // unordered; located via `index`
+    std::unordered_map<Value, size_t, ValueHash> index;  // key -> slot
+    uint64_t keyed_events = 0;
+
+    void Observe(const Value& key, size_t capacity);
+  };
+
   const Catalog* catalog_;
   std::string key_attr_;
   int shard_count_;
@@ -115,6 +170,8 @@ class Partitioner {
   mutable std::vector<AttrIndex> key_index_cache_;
   std::vector<StreamState> streams_;
   std::unordered_map<std::string, StreamId> stream_ids_;
+  std::vector<HotKeySketch> sketches_;  // aligned with streams_ when armed
+  size_t hotkey_capacity_ = 0;          // 0 = hot-key accounting disarmed
 };
 
 }  // namespace sase

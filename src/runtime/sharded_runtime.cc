@@ -35,6 +35,9 @@ ShardedRuntime::ShardedRuntime(const Catalog* catalog, RuntimeConfig config,
       batch_size_hist_ =
           config_.metrics->GetHistogram("sase_runtime_batch_size");
     }
+    // Hot-key accounting rides the metrics switch: without a registry the
+    // dispatch path keeps its null-branch-only overhead contract.
+    partitioner_.EnableHotKeyTracking(config_.hotkey_sketch_size);
   }
 
   // shard workers 0..N-1, broadcast worker N.
@@ -61,6 +64,8 @@ std::unique_ptr<ShardedRuntime::Worker> ShardedRuntime::MakeWorker(int index) {
                                       : std::to_string(index)) +
         "\"}");
     worker->engine->AttachMetrics(config_.metrics, worker->lane);
+    worker->engine->ConfigureSlowQueryLog(config_.slow_query_threshold_ns,
+                                          config_.slow_query_log_size);
   }
   return worker;
 }
@@ -322,13 +327,20 @@ Status ShardedRuntime::Resize(int shard_count) {
     retired_engine_stats_ += workers_[static_cast<size_t>(s)]->engine->Stats();
   }
   std::unique_ptr<Worker> broadcast = std::move(workers_.back());
-  workers_.clear();
-  config_.shard_count = shard_count;
-  partitioner_.Resize(shard_count);
-  for (int i = 0; i < shard_count; ++i) workers_.push_back(MakeWorker(i));
-  broadcast->index = shard_count;
-  broadcast->queue.Reopen();
-  workers_.push_back(std::move(broadcast));
+  {
+    // The layout swap is the one moment workers_ is inconsistent; exclude
+    // the cross-thread Healthy() probe for its duration and restart its
+    // stall clocks (fresh workers start with zero progress by design).
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    workers_.clear();
+    health_.clear();
+    config_.shard_count = shard_count;
+    partitioner_.Resize(shard_count);
+    for (int i = 0; i < shard_count; ++i) workers_.push_back(MakeWorker(i));
+    broadcast->index = shard_count;
+    broadcast->queue.Reopen();
+    workers_.push_back(std::move(broadcast));
+  }
 
   events_replayed_ += ReplayIntoShards();
 
@@ -1193,6 +1205,24 @@ std::string ShardedRuntime::StatsReport() {
                                   std::to_string(queries.broadcast))
                .Kv("shards", shards)
                .Str();
+    // Hot keys (space-saving sketch, armed only with metrics attached):
+    // count is an overestimate by at most `err`; share is against the
+    // stream's keyed-event total.
+    std::vector<Partitioner::HotKeyStat> hot =
+        partitioner_.HotKeys(static_cast<StreamId>(s));
+    uint64_t keyed = partitioner_.keyed_events(static_cast<StreamId>(s));
+    if (!hot.empty() && keyed > 0) {
+      if (hot.size() > 5) hot.resize(5);
+      obs::ReportLine line("  hot keys:");
+      for (const Partitioner::HotKeyStat& stat : hot) {
+        line.Text(stat.key.ToString() + "=" + std::to_string(stat.count) +
+                  " (~" + std::to_string(stat.count * 100 / keyed) + "%" +
+                  (stat.error > 0 ? " err<=" + std::to_string(stat.error)
+                                  : std::string()) +
+                  " shard " + std::to_string(stat.shard) + ")");
+      }
+      out << line.Str();
+    }
   }
   for (auto& worker : workers_) {
     QueryEngine::EngineStats stats = worker->engine->Stats();
@@ -1214,15 +1244,20 @@ void ShardedRuntime::ScrapeMetrics() {
   if (metrics == nullptr) return;
 
   // Live gauges first — quiescing would drain the queues and close the
-  // merge watermark gap, so sample occupancy and lag pre-WaitIdle.
+  // merge watermark gap, so sample occupancy and lag pre-WaitIdle. The
+  // occupancy sample is kept for the hot-key queue-lag attribution below.
+  std::vector<int64_t> queue_sample(static_cast<size_t>(config_.shard_count),
+                                    0);
   uint64_t min_progress = std::numeric_limits<uint64_t>::max();
   bool any_hosting = false;
   for (auto& worker : workers_) {
     if (worker->index < config_.shard_count) {
+      int64_t occupancy = static_cast<int64_t>(worker->queue.ApproxSize());
+      queue_sample[static_cast<size_t>(worker->index)] = occupancy;
       metrics
           ->GetGauge("sase_shard_queue_len{shard=\"" +
                      std::to_string(worker->index) + "\"}")
-          ->Set(static_cast<int64_t>(worker->queue.ApproxSize()));
+          ->Set(occupancy);
     }
     if (!WorkerHostsQueries(*worker)) continue;
     min_progress = std::min(
@@ -1281,8 +1316,94 @@ void ShardedRuntime::ScrapeMetrics() {
                      "\"}")
         ->Set(per_shard[i]);
   }
+  // Hot-key accounting. Sketch counts are dispatcher-maintained truth;
+  // queue-lag attribution uses the PRE-quiesce occupancy sample of the
+  // key's owning shard (a drained queue would always read 0). A key evicted
+  // from the sketch keeps its last mirrored series — the sketch bounds live
+  // tracking, not registry cardinality, which stays <= kHotKeyFanout new
+  // series per stream per scrape.
+  if (partitioner_.hotkey_tracking()) {
+    constexpr size_t kHotKeyFanout = 5;
+    for (size_t s = 0; s < partitioner_.streams().size(); ++s) {
+      StreamId stream = static_cast<StreamId>(s);
+      uint64_t keyed = partitioner_.keyed_events(stream);
+      const std::string& name = partitioner_.streams()[s].name;
+      std::string stream_label = name.empty() ? std::string("<default>") : name;
+      metrics
+          ->GetCounter("sase_partition_keyed_events_total{stream=\"" +
+                       stream_label + "\"}")
+          ->Set(keyed);
+      std::vector<Partitioner::HotKeyStat> hot = partitioner_.HotKeys(stream);
+      if (hot.size() > kHotKeyFanout) hot.resize(kHotKeyFanout);
+      for (const Partitioner::HotKeyStat& stat : hot) {
+        std::string labels = "{stream=\"" + stream_label + "\",key=\"" +
+                             stat.key.ToString() + "\"}";
+        metrics->GetCounter("sase_partition_hotkey_events_total" + labels)
+            ->Set(stat.count);
+        metrics->GetGauge("sase_partition_hotkey_share_percent" + labels)
+            ->Set(keyed == 0
+                      ? 0
+                      : static_cast<int64_t>(stat.count * 100 / keyed));
+        metrics->GetGauge("sase_partition_hotkey_shard" + labels)
+            ->Set(stat.shard);
+        metrics->GetGauge("sase_partition_hotkey_queue_lag" + labels)
+            ->Set(queue_sample[static_cast<size_t>(stat.shard)]);
+      }
+    }
+  }
   // Per-query operator counters and occupancy gauges, per hosting engine.
   for (auto& worker : workers_) worker->engine->ScrapeMetrics();
+}
+
+std::vector<ShardedRuntime::SlowSample> ShardedRuntime::SlowSamples() {
+  WaitIdle();
+  std::vector<SlowSample> merged;
+  for (auto& worker : workers_) {
+    for (const QueryEngine::SlowQuerySample& sample :
+         worker->engine->SlowSamples()) {
+      merged.push_back(SlowSample{worker->lane, sample});
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const SlowSample& a, const SlowSample& b) {
+              return a.sample.at_ns > b.sample.at_ns;
+            });
+  return merged;
+}
+
+bool ShardedRuntime::Healthy(uint64_t stall_ns, std::string* why) {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  uint64_t now = obs::MonotonicNs();
+  if (health_.size() != workers_.size()) {
+    health_.assign(workers_.size(), HealthProbe{});
+  }
+  bool healthy = true;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    Worker& worker = *workers_[i];
+    uint64_t batches =
+        worker.batches_processed.load(std::memory_order_acquire);
+    size_t queued = worker.queue.ApproxSize();
+    HealthProbe& probe = health_[i];
+    if (queued == 0 || batches != probe.batches) {
+      // Empty queue or visible progress: not wedged, restart the clock.
+      probe.batches = batches;
+      probe.stuck_since_ns = 0;
+      continue;
+    }
+    if (probe.stuck_since_ns == 0) {
+      probe.stuck_since_ns = now;  // first stuck sighting arms the clock
+      continue;
+    }
+    if (now - probe.stuck_since_ns >= stall_ns) {
+      healthy = false;
+      if (why != nullptr) {
+        *why = worker.lane + " wedged: " + std::to_string(queued) +
+               " queued batch(es), no progress for " +
+               std::to_string((now - probe.stuck_since_ns) / 1000000) + " ms";
+      }
+    }
+  }
+  return healthy;
 }
 
 }  // namespace sase

@@ -80,6 +80,17 @@ struct RuntimeConfig {
   /// runtime counters. nullptr (default): the hot path is the exact
   /// uninstrumented code behind one null check per batch.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Slow-query log arming for every worker engine, active only with
+  /// `metrics` set (the threshold is checked on the instrumented timing
+  /// path): operator passes taking at least this long are counted per query
+  /// and sampled into a last-`slow_query_log_size` ring per engine. 0
+  /// disables. SaseSystem copies these from ObsConfig.
+  uint64_t slow_query_threshold_ns = 1000000;
+  size_t slow_query_log_size = 32;
+  /// Space-saving sketch slots for per-stream hot-key accounting
+  /// (Partitioner::EnableHotKeyTracking), armed only with `metrics` set so
+  /// disabled-observability dispatch stays a null branch. 0 disables.
+  size_t hotkey_sketch_size = 16;
   /// Optional event-lifecycle tracer (not owned). Sampled events accumulate
   /// partition -> ring -> operator -> merge -> emit spans. A standalone
   /// runtime samples at dispatch; embedded under SaseSystem the ingest tap
@@ -369,6 +380,26 @@ class ShardedRuntime : public EventSink {
   /// routing counts).
   std::string StatsReport();
 
+  /// One slow-query offender with the worker lane that recorded it
+  /// ("shard-3", "broadcast").
+  struct SlowSample {
+    std::string host;
+    QueryEngine::SlowQuerySample sample;
+  };
+
+  /// Slow-query ring contents across every worker engine, newest first
+  /// (merged by capture time). Quiesces, so the rings are settled.
+  /// Dispatcher thread only.
+  std::vector<SlowSample> SlowSamples();
+
+  /// Liveness probe for /healthz, callable from ANY thread (unlike every
+  /// other entry point): a worker is wedged when its queue holds batches but
+  /// its progress counter has not advanced for `stall_ns`. The first
+  /// observation of a stuck worker only starts its stall clock, so a probe
+  /// must fire twice before declaring a wedge — poll it. Returns true and
+  /// leaves `why` untouched when healthy; false with a diagnosis otherwise.
+  bool Healthy(uint64_t stall_ns, std::string* why);
+
   /// Mirrors the runtime's counters and gauges into RuntimeConfig::metrics:
   /// dispatch/merge/resize counters, per-stream and per-shard event counts,
   /// queue occupancy and merge watermark lag (sampled live, pre-quiesce),
@@ -544,6 +575,18 @@ class ShardedRuntime : public EventSink {
   EngineInit engine_init_;
 
   std::vector<std::unique_ptr<Worker>> workers_;  // shards + broadcast
+  /// Guards workers_ layout changes (Resize's teardown/rebuild) against the
+  /// cross-thread Healthy() probe — the ONLY reader of workers_ off the
+  /// dispatcher thread. Dispatcher-thread readers stay lock-free.
+  mutable std::mutex health_mutex_;
+  /// Per-worker stall tracking for Healthy(): last observed batch progress
+  /// and when it first looked stuck (0 = advancing). Guarded by
+  /// health_mutex_; reset when the layout changes.
+  struct HealthProbe {
+    uint64_t batches = 0;
+    uint64_t stuck_since_ns = 0;
+  };
+  std::vector<HealthProbe> health_;
   std::map<QueryId, QueryEntry> queries_;
   std::vector<StreamQueries> stream_queries_;  // indexed by StreamId
   QueryId next_id_ = 1;

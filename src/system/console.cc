@@ -32,6 +32,8 @@ constexpr const char* kHelp =
     "  .checkpoint [dir]        write a durable checkpoint\n"
     "  .restore <dir>           recover the session from a checkpoint\n"
     "  .metrics [path]          scrape + render Prometheus metrics\n"
+    "  .statusz                 human-readable system status page\n"
+    "  .slowlog [n]             last n slow-query samples (newest first)\n"
     "  .trace on <N>|off|dump <path>  event-lifecycle trace sampling\n"
     "  .acks [commit]           ack-cursor status; 'commit' forces the\n"
     "                           pending ack batch to the journal\n"
@@ -54,6 +56,8 @@ std::string Console::Execute(const std::string& line) {
   if (EqualsIgnoreCase(command, ".checkpoint")) return CmdCheckpoint(args);
   if (EqualsIgnoreCase(command, ".restore")) return CmdRestore(args);
   if (EqualsIgnoreCase(command, ".metrics")) return CmdMetrics(args);
+  if (EqualsIgnoreCase(command, ".statusz")) return CmdStatusz();
+  if (EqualsIgnoreCase(command, ".slowlog")) return CmdSlowlog(args);
   if (EqualsIgnoreCase(command, ".trace")) return CmdTracing(args);
   if (EqualsIgnoreCase(command, ".acks")) return CmdAcks(args);
   if (EqualsIgnoreCase(command, "help")) return kHelp;
@@ -193,6 +197,43 @@ std::string Console::CmdMetrics(const std::string& args) {
   Status written = metrics->WritePrometheus(args);
   if (!written.ok()) return "error: " + written.ToString();
   return "metrics written to " + args;
+}
+
+std::string Console::CmdStatusz() {
+  // Mirror the scrape first so the counter sections the status page shares
+  // with /metrics (checkpoint, delivery) are fresh; this also refreshes the
+  // HTTP endpoint's cached copy of the page.
+  system_->ScrapeMetrics();
+  return system_->StatusReport();
+}
+
+std::string Console::CmdSlowlog(const std::string& args) {
+  size_t limit = 10;
+  if (!args.empty()) {
+    char* end = nullptr;
+    long n = std::strtol(args.c_str(), &end, 10);
+    if (end == args.c_str() || *end != '\0' || n <= 0) {
+      return "error: usage: .slowlog [n]";
+    }
+    limit = static_cast<size_t>(n);
+  }
+  uint64_t threshold = system_->config().obs.slow_query_threshold_ns;
+  if (system_->metrics() == nullptr || threshold == 0) {
+    return "slow-query log is disarmed (obs.metrics_enabled + "
+           "obs.slow_query_threshold_ns arm it)";
+  }
+  std::vector<ShardedRuntime::SlowSample> slow = system_->SlowSamples();
+  std::ostringstream out;
+  out << "slow-query log: " << slow.size() << " sample(s) >= " << threshold
+      << " ns/event";
+  size_t shown = 0;
+  for (const ShardedRuntime::SlowSample& entry : slow) {
+    if (++shown > limit) break;
+    out << "\n  " << entry.host << " query=#" << entry.sample.query
+        << " seq=" << entry.sample.seq << " ts=" << entry.sample.timestamp
+        << " duration_ns=" << entry.sample.duration_ns;
+  }
+  return out.str();
 }
 
 std::string Console::CmdTracing(const std::string& args) {

@@ -30,6 +30,10 @@ namespace sase {
 ///                                     recovered from a checkpoint directory
 ///   .metrics [path]                   scrape + render Prometheus metrics
 ///                                     (to `path` when given)
+///   .statusz                          human-readable system status (what
+///                                     the HTTP endpoint serves at /statusz)
+///   .slowlog [n]                      last n slow-query samples across all
+///                                     host engines, newest first
 ///   .trace on <N> | off | dump <path> event-lifecycle trace sampling
 ///   .acks [commit]                    ack-cursor status / force the pending
 ///                                     ack batch to the journal
@@ -61,6 +65,8 @@ class Console {
   std::string CmdCheckpoint(const std::string& args);
   std::string CmdRestore(const std::string& args);
   std::string CmdMetrics(const std::string& args);
+  std::string CmdStatusz();
+  std::string CmdSlowlog(const std::string& args);
   std::string CmdTracing(const std::string& args);
   std::string CmdAcks(const std::string& args);
 

@@ -123,6 +123,13 @@ Result<bool> UsableEngineSection(const checkpoint::EngineStateSection& section) 
   return true;
 }
 
+/// /healthz wedge threshold: a worker whose queue holds batches while its
+/// progress counter has not advanced for this long is reported unhealthy.
+/// The first probe of a stuck worker only arms its stall clock (see
+/// ShardedRuntime::Healthy), so an external poller flips to 503 within two
+/// polls plus this span.
+constexpr uint64_t kHealthzStallNs = 2ull * 1000 * 1000 * 1000;
+
 }  // namespace
 
 /// Write-ahead tap: first bus subscriber, so every published event reaches
@@ -200,6 +207,9 @@ SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config)
     : SaseSystem(std::move(layout), std::move(config), nullptr) {}
 
 SaseSystem::~SaseSystem() {
+  // The endpoint's accept thread reads metrics_ and runtime_; stop it
+  // before any member is torn down.
+  if (http_endpoint_ != nullptr) http_endpoint_->Stop();
   if (!config_.obs.trace_path.empty() && tracer_.span_count() > 0) {
     Status dumped = tracer_.DumpJson(config_.obs.trace_path);
     if (!dumped.ok()) {
@@ -245,6 +255,8 @@ SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config,
   if (config_.obs.metrics_enabled) {
     metrics_ = std::make_unique<obs::MetricsRegistry>();
     engine_->AttachMetrics(metrics_.get(), "serial");
+    engine_->ConfigureSlowQueryLog(config_.obs.slow_query_threshold_ns,
+                                   config_.obs.slow_query_log_size);
   }
   tracer_.SetSampling(config_.obs.trace_sample_every);
   tracer_.SetExternalSampler(true);
@@ -280,6 +292,9 @@ SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config,
     runtime_config.retain_for_checkpoint = checkpointing;
     runtime_config.metrics = metrics_.get();
     runtime_config.tracer = &tracer_;
+    runtime_config.slow_query_threshold_ns = config_.obs.slow_query_threshold_ns;
+    runtime_config.slow_query_log_size = config_.obs.slow_query_log_size;
+    runtime_config.hotkey_sketch_size = config_.obs.hotkey_sketch_size;
     runtime_ = std::make_unique<ShardedRuntime>(&catalog_, runtime_config);
     event_bus_.Subscribe(runtime_.get());
   }
@@ -330,6 +345,45 @@ SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config,
     Status opened = OpenJournal(0, 0);
     if (!opened.ok()) {
       SASE_LOG_WARN << "cannot open event journal: " << opened.ToString();
+    }
+  }
+
+  // Embedded scrape endpoint: /metrics renders the registry live (the
+  // mirrored counters show the last ScrapeMetrics), /healthz probes worker
+  // liveness cross-thread, /statusz serves the page cached at the last
+  // scrape. A bind failure degrades to "no endpoint" — the system itself
+  // must come up regardless.
+  if (metrics_ != nullptr && config_.obs.http_port != 0) {
+    http_endpoint_ = std::make_unique<obs::HttpEndpoint>();
+    http_endpoint_->Handle("/metrics", [this] {
+      return obs::HttpEndpoint::Response{
+          200, "text/plain; version=0.0.4; charset=utf-8",
+          metrics_->RenderPrometheus()};
+    });
+    http_endpoint_->Handle("/healthz", [this] {
+      std::string why;
+      if (runtime_ != nullptr && !runtime_->Healthy(kHealthzStallNs, &why)) {
+        return obs::HttpEndpoint::Response{503, "text/plain; charset=utf-8",
+                                           "unhealthy: " + why + "\n"};
+      }
+      return obs::HttpEndpoint::Response{200, "text/plain; charset=utf-8",
+                                         "ok\n"};
+    });
+    http_endpoint_->Handle("/statusz", [this] {
+      std::lock_guard<std::mutex> lock(statusz_mutex_);
+      return obs::HttpEndpoint::Response{
+          200, "text/plain; charset=utf-8",
+          statusz_.empty() ? std::string("no status captured yet: "
+                                         "ScrapeMetrics() (console `.statusz`) "
+                                         "refreshes this page\n")
+                           : statusz_};
+    });
+    Status started = http_endpoint_->Start(
+        config_.obs.http_port < 0 ? 0 : config_.obs.http_port);
+    if (!started.ok()) {
+      SASE_LOG_WARN << "observability http endpoint disabled: "
+                    << started.ToString();
+      http_endpoint_.reset();
     }
   }
 }
@@ -1102,6 +1156,80 @@ void SaseSystem::ScrapeMetrics() {
     metrics_->GetCounter("sase_recovery_replayed_records_total")
         ->Set(recovered_records_);
   }
+  if (http_endpoint_ != nullptr) {
+    // Refresh the /statusz cache while everything is quiesced; the accept
+    // thread serves the copy, never this dispatcher-only path.
+    std::string status = StatusReport();
+    std::lock_guard<std::mutex> lock(statusz_mutex_);
+    statusz_ = std::move(status);
+  }
+}
+
+std::string SaseSystem::StatusReport() {
+  std::ostringstream out;
+  out << "queries: " << registry_.size() << " registered\n";
+  for (const QueryInfo& info : registry_) {
+    out << obs::ReportLine("  #" + std::to_string(info.id))
+               .Kv("host", info.runtime_hosted ? "runtime" : "serial")
+               .Kv("kind", info.archiving ? "archiving" : "monitoring")
+               .Kv("name", info.name)
+               .Str();
+  }
+  if (metrics_ != nullptr) {
+    // One line per (host, query) operator-latency series; the label part of
+    // the metric name already names both.
+    constexpr const char kLatency[] = "sase_query_op_latency_ns";
+    bool any = false;
+    for (const std::string& name : metrics_->HistogramNames()) {
+      if (name.rfind(kLatency, 0) != 0 || name.size() <= sizeof(kLatency)) {
+        continue;
+      }
+      Histogram hist = metrics_->GetHistogram(name)->Aggregate();
+      if (hist.count() == 0) continue;
+      if (!any) {
+        out << "per-query operator latency (ns):\n";
+        any = true;
+      }
+      out << obs::ReportLine("  " + name.substr(sizeof(kLatency) - 1))
+                 .Kv("count", hist.count())
+                 .Kv("p50", static_cast<int64_t>(hist.Quantile(0.5)))
+                 .Kv("p99", static_cast<int64_t>(hist.Quantile(0.99)))
+                 .Kv("max", hist.max())
+                 .Str();
+    }
+  }
+  if (runtime_ != nullptr) {
+    out << runtime_->StatsReport();
+  }
+  out << CheckpointReport();
+  std::vector<ShardedRuntime::SlowSample> slow = SlowSamples();
+  if (!slow.empty()) {
+    out << "slow queries (>= " << config_.obs.slow_query_threshold_ns
+        << " ns/event, newest first):\n";
+    for (const ShardedRuntime::SlowSample& entry : slow) {
+      out << obs::ReportLine("  " + entry.host)
+                 .Kv("query", entry.sample.query)
+                 .Kv("seq", entry.sample.seq)
+                 .Kv("ts", entry.sample.timestamp)
+                 .Kv("duration_ns", entry.sample.duration_ns)
+                 .Str();
+    }
+  }
+  return out.str();
+}
+
+std::vector<ShardedRuntime::SlowSample> SaseSystem::SlowSamples() {
+  std::vector<ShardedRuntime::SlowSample> slow;
+  if (runtime_ != nullptr) slow = runtime_->SlowSamples();
+  for (const QueryEngine::SlowQuerySample& sample : engine_->SlowSamples()) {
+    slow.push_back(ShardedRuntime::SlowSample{"serial", sample});
+  }
+  std::sort(slow.begin(), slow.end(),
+            [](const ShardedRuntime::SlowSample& a,
+               const ShardedRuntime::SlowSample& b) {
+              return a.sample.at_ns > b.sample.at_ns;
+            });
+  return slow;
 }
 
 std::string SaseSystem::CheckpointReport() const {

@@ -2,6 +2,7 @@
 #define SASE_SYSTEM_SASE_SYSTEM_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "db/sql_executor.h"
 #include "db/track_trace.h"
 #include "engine/query_engine.h"
+#include "obs/http_endpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rfid/simulator.h"
@@ -176,8 +178,31 @@ class SaseSystem {
   /// Refreshes every scrape-mirrored metric from its source-of-truth
   /// counter — runtime (quiesces it), serial engine, checkpoint/journal —
   /// so a following RenderPrometheus/WritePrometheus reads a consistent
-  /// snapshot. No-op when metrics are disabled.
+  /// snapshot. No-op when metrics are disabled. Also refreshes the cached
+  /// /statusz page served by the HTTP endpoint.
   void ScrapeMetrics();
+
+  /// Human-readable system status (what HTTP /statusz and the console's
+  /// `.statusz` show): registered-queries table with per-query operator
+  /// latency summaries, runtime fleet view (shard/key skew, hot keys),
+  /// checkpoint + ack cursor state, and the most recent slow-query samples.
+  /// Dispatcher thread only — it quiesces the runtime; the HTTP handler
+  /// serves a copy cached at the last ScrapeMetrics instead.
+  std::string StatusReport();
+
+  /// Merged slow-query samples across every host engine (runtime workers +
+  /// the serial engine), newest first, each tagged with its host lane
+  /// ("serial", "shard-N", "broadcast"). Dispatcher thread only (quiesces
+  /// the runtime). Empty when the slow-query log is disarmed
+  /// (`obs.slow_query_threshold_ns = 0` or metrics disabled).
+  std::vector<ShardedRuntime::SlowSample> SlowSamples();
+
+  /// Port the embedded HTTP endpoint is bound to (the resolved one when
+  /// `obs.http_port = -1` asked for an ephemeral port); 0 when no endpoint
+  /// is running.
+  int http_port() const {
+    return http_endpoint_ != nullptr ? http_endpoint_->port() : 0;
+  }
 
   /// Track-and-trace view over the Event Database.
   db::TrackTrace track_trace() { return db::TrackTrace(&database_); }
@@ -381,6 +406,14 @@ class SaseSystem {
   obs::TraceCollector tracer_;
   std::unique_ptr<ObsHeadTap> obs_head_;
   std::unique_ptr<ObsTailTap> obs_tail_;
+  /// Embedded scrape endpoint (`obs.http_port`); null when disabled. Its
+  /// accept thread serves /metrics live (RenderPrometheus is thread-safe),
+  /// /healthz via the runtime's cross-thread Healthy() probe, and /statusz
+  /// from `statusz_` — a copy cached under `statusz_mutex_` at each
+  /// ScrapeMetrics, because StatusReport() itself is dispatcher-only.
+  std::unique_ptr<obs::HttpEndpoint> http_endpoint_;
+  mutable std::mutex statusz_mutex_;
+  std::string statusz_;
   uint64_t ingest_trace_ = 0;     // sampled id of the in-flight event (0 = not)
   uint64_t ingest_start_ns_ = 0;  // its "ingest" span start
 

@@ -102,6 +102,10 @@ double Histogram::Percentile(double q) const {
   return static_cast<double>(max_);
 }
 
+double Histogram::Quantile(double p) const {
+  return Percentile(std::clamp(p, 0.0, 1.0) * 100.0);
+}
+
 std::string Histogram::ToString() const {
   std::ostringstream out;
   out << "count=" << count_ << " min=" << min() << " p50=" << Percentile(50)

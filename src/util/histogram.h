@@ -53,6 +53,11 @@ class Histogram {
   double Percentile(double q) const;
   double Median() const { return Percentile(50); }
 
+  /// Percentile with the quantile convention (p in [0, 1], clamped):
+  /// Quantile(0.99) == Percentile(99). The /statusz latency summaries use
+  /// this form because alert rules are written in quantiles.
+  double Quantile(double p) const;
+
   /// "count=N min=a p50=b p99=c max=d mean=e".
   std::string ToString() const;
 

@@ -267,5 +267,61 @@ TEST_F(ConsoleTest, TraceCommandsSampleAndDump) {
             std::string::npos);
 }
 
+TEST(ConsoleObsTest, StatuszAndSlowlogCommands) {
+  SystemConfig config;
+  config.noise = NoiseModel::Perfect();
+  // A 1 ns threshold marks every instrumented event pass as an offender, so
+  // the slow-query ring fills deterministically.
+  config.obs.slow_query_threshold_ns = 1;
+  config.obs.slow_query_log_size = 4;
+  SaseSystem system(StoreLayout::RetailDemo(), config);
+  Console console(&system);
+
+  EXPECT_NE(console.Execute(".slowlog bogus").find("usage"), std::string::npos);
+  EXPECT_NE(console.Execute(".slowlog -2").find("usage"), std::string::npos);
+
+  (void)console.Execute(
+      "register shelf-watch EVENT SHELF_READING s RETURN s.TagId");
+  system.AddProduct({MakeEpc(1), "Razor", "", true});
+  ScenarioScripter scripter(&system.simulator());
+  scripter.Shoplift(MakeEpc(1), 0, 3, /*start=*/1);
+  (void)console.Execute("run 15");
+
+  std::string statusz = console.Execute(".statusz");
+  EXPECT_NE(statusz.find("queries: 1 registered"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("name=shelf-watch"), std::string::npos);
+  EXPECT_NE(statusz.find("per-query operator latency"), std::string::npos);
+  EXPECT_NE(statusz.find("p99="), std::string::npos);
+  EXPECT_NE(statusz.find("slow queries"), std::string::npos) << statusz;
+
+  std::string slowlog = console.Execute(".slowlog 2");
+  EXPECT_NE(slowlog.find("slow-query log:"), std::string::npos) << slowlog;
+  EXPECT_NE(slowlog.find("serial query=#"), std::string::npos) << slowlog;
+  EXPECT_NE(slowlog.find("duration_ns="), std::string::npos);
+  // The limit argument caps the listing at 2 samples.
+  size_t lines = 0;
+  for (size_t at = slowlog.find("query=#"); at != std::string::npos;
+       at = slowlog.find("query=#", at + 1)) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+
+  // Both commands appear in help.
+  EXPECT_NE(console.Execute("help").find(".statusz"), std::string::npos);
+  EXPECT_NE(console.Execute("help").find(".slowlog"), std::string::npos);
+}
+
+TEST(ConsoleObsTest, SlowlogReportsDisarmedWithoutMetrics) {
+  SystemConfig config;
+  config.noise = NoiseModel::Perfect();
+  config.obs.metrics_enabled = false;
+  SaseSystem system(StoreLayout::RetailDemo(), config);
+  Console console(&system);
+  EXPECT_NE(console.Execute(".slowlog").find("disarmed"), std::string::npos);
+  // .statusz still renders the query/checkpoint sections without a registry.
+  EXPECT_NE(console.Execute(".statusz").find("queries: 0 registered"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace sase

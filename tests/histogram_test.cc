@@ -157,6 +157,42 @@ TEST(HistogramTest, MergeBucketsFromRawCells) {
   EXPECT_EQ(untouched.count(), 0u);
 }
 
+TEST(HistogramTest, QuantileMatchesPercentile) {
+  Histogram h;
+  Random rng(11);
+  for (int i = 0; i < 5000; ++i) h.Record(rng.Uniform(0, 1 << 16));
+  for (double q : {0.0, 1.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q / 100.0), h.Percentile(q)) << "q=" << q;
+  }
+  // Out-of-range fractions clamp rather than wrap or extrapolate.
+  EXPECT_DOUBLE_EQ(h.Quantile(-0.5), h.Percentile(0));
+  EXPECT_DOUBLE_EQ(h.Quantile(1.5), h.Percentile(100));
+}
+
+TEST(HistogramTest, QuantileOnEmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileAfterMerge) {
+  // Quantiles of a merged histogram reflect the combined distribution:
+  // with half the mass at 10 and half at 1000, the quartiles straddle it.
+  Histogram a, b;
+  for (int i = 0; i < 500; ++i) a.Record(10);
+  for (int i = 0; i < 500; ++i) b.Record(1000);
+  a.Merge(b);
+  EXPECT_LE(a.Quantile(0.25), 16.0);     // low half's bucket
+  EXPECT_GE(a.Quantile(0.99), 512.0);    // high half's bucket
+  EXPECT_GE(a.Quantile(0.99), a.Quantile(0.25));
+  // Merging an empty histogram leaves quantiles untouched.
+  double before = a.Quantile(0.5);
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), before);
+}
+
 TEST(HistogramTest, ToStringMentionsFields) {
   Histogram h;
   h.Record(1);

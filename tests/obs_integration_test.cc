@@ -12,6 +12,7 @@
 
 #include "rfid/workload.h"
 #include "system/sase_system.h"
+#include "test_util.h"
 
 namespace sase {
 namespace {
@@ -157,7 +158,8 @@ void CheckMetricsAgainstTruth(int shards) {
     // (the scrape's own drain traffic moves them); only mirrored counters
     // and settled gauges are idempotent.
     if (name == "sase_runtime_merge_watermark_lag" ||
-        name.rfind("sase_shard_queue_len", 0) == 0) {
+        name.rfind("sase_shard_queue_len", 0) == 0 ||
+        name.rfind("sase_partition_hotkey_queue_lag", 0) == 0) {
       continue;
     }
     ASSERT_NE(second.find(name), second.end()) << name;
@@ -192,6 +194,144 @@ TEST(ObsIntegrationTest, MetricsDisabledMeansNoRegistry) {
   }
   system.Flush();
   system.ScrapeMetrics();  // no-op, must not crash
+}
+
+TEST(ObsIntegrationTest, StateGaugesDecayAfterWindowExpirySerial) {
+  SystemConfig config;
+  config.noise = NoiseModel::Perfect();
+  SaseSystem system(StoreLayout::RetailDemo(), config);
+  auto id = system.RegisterMonitoringQuery(
+      "theft",
+      "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "
+      "WHERE x.TagId = y.TagId AND x.TagId = z.TagId WITHIN 50 "
+      "RETURN x.TagId",
+      nullptr);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  // Open scan state (shelf readings with no exits) and negation candidates
+  // (counter readings) across many partitions.
+  Catalog catalog = Catalog::RetailDemo();
+  testing::StreamBuilder stream(&catalog);
+  for (int i = 0; i < 40; ++i) {
+    stream.Add("SHELF_READING", 10 + i, "tag-" + std::to_string(i), 1);
+    stream.Add("COUNTER_READING", 11 + i, "tag-" + std::to_string(i), 2);
+  }
+  for (const EventPtr& event : stream.events()) {
+    system.event_bus().OnEvent(event);
+  }
+  system.ScrapeMetrics();
+  auto loaded = ParseProm(system.metrics()->RenderPrometheus());
+  EXPECT_GT(SumFamily(loaded, "sase_query_scan_instances"), 0.0);
+  EXPECT_GT(SumFamily(loaded, "sase_query_scan_partitions"), 0.0);
+  EXPECT_GT(SumFamily(loaded, "sase_query_scan_state_bytes"), 0.0);
+  EXPECT_GT(SumFamily(loaded, "sase_query_negation_buffer"), 0.0);
+  double negation_bytes = SumFamily(loaded, "sase_query_negation_state_bytes");
+  EXPECT_GT(negation_bytes, 0.0);
+
+  // Quiescent stream, watermark past every horizon (scan W, negation 2W):
+  // the state-size gauges return to ~0 — the partitioned scan releases
+  // everything, the negation buffers keep only their empty vector shells.
+  Timestamp last = stream.events().back()->timestamp();
+  system.engine().OnWatermark(last + 2 * 50 + 2);
+  system.ScrapeMetrics();
+  auto drained = ParseProm(system.metrics()->RenderPrometheus());
+  EXPECT_EQ(SumFamily(drained, "sase_query_scan_instances"), 0.0);
+  EXPECT_EQ(SumFamily(drained, "sase_query_scan_partitions"), 0.0);
+  EXPECT_EQ(SumFamily(drained, "sase_query_scan_state_bytes"), 0.0);
+  EXPECT_EQ(SumFamily(drained, "sase_query_negation_buffer"), 0.0);
+  EXPECT_EQ(SumFamily(drained, "sase_query_negation_pending"), 0.0);
+  EXPECT_LT(SumFamily(drained, "sase_query_negation_state_bytes"),
+            negation_bytes);
+}
+
+TEST(ObsIntegrationTest, StateGaugesDecayAfterWindowExpirySharded) {
+  SystemConfig config;
+  config.noise = NoiseModel::Perfect();
+  config.shard_count = 4;
+  config.runtime_merge_interval = 16;
+  SaseSystem system(StoreLayout::RetailDemo(), config);
+  auto id = system.RegisterMonitoringQuery("pairs", kQueries[0], nullptr);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  Catalog catalog = Catalog::RetailDemo();
+  testing::StreamBuilder stream(&catalog);
+  for (int i = 0; i < 60; ++i) {
+    stream.Add("SHELF_READING", 10 + i, "tag-" + std::to_string(i), 1);
+  }
+  for (const EventPtr& event : stream.events()) {
+    system.event_bus().OnEvent(event);
+  }
+  system.ScrapeMetrics();
+  auto loaded = ParseProm(system.metrics()->RenderPrometheus());
+  EXPECT_GT(SumFamily(loaded, "sase_query_scan_instances"), 0.0);
+  EXPECT_GT(SumFamily(loaded, "sase_query_scan_state_bytes"), 0.0);
+
+  // One clock-advancing event of a type the query ignores: the quiesce
+  // inside the next scrape broadcasts the new stream clock to every worker,
+  // whose engines prune the expired window state.
+  stream.Add("COUNTER_READING", 10 + 59 + 2 * 50 + 2, "clock", 3);
+  system.event_bus().OnEvent(stream.events().back());
+  system.ScrapeMetrics();
+  auto drained = ParseProm(system.metrics()->RenderPrometheus());
+  EXPECT_EQ(SumFamily(drained, "sase_query_scan_instances"), 0.0);
+  EXPECT_EQ(SumFamily(drained, "sase_query_scan_partitions"), 0.0);
+  EXPECT_EQ(SumFamily(drained, "sase_query_scan_state_bytes"), 0.0);
+}
+
+TEST(ObsIntegrationTest, HotKeyAccountingSurfacesSkew) {
+  SystemConfig config;
+  config.noise = NoiseModel::Perfect();
+  config.shard_count = 4;
+  SaseSystem system(StoreLayout::RetailDemo(), config);
+  auto id = system.RegisterMonitoringQuery("pairs", kQueries[0], nullptr);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  // 90%-hot key: 9 of every 10 events carry tag HOT, the rest rotate over
+  // 50 cold tags (more keys than the 16 sketch slots, so eviction happens).
+  Catalog catalog = Catalog::RetailDemo();
+  testing::StreamBuilder stream(&catalog);
+  constexpr int kEvents = 10000;
+  int cold = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    std::string tag =
+        i % 10 == 9 ? "cold-" + std::to_string(cold++ % 50) : "HOT";
+    stream.Add("SHELF_READING", 1 + i / 100, tag, 1);
+  }
+  for (const EventPtr& event : stream.events()) {
+    system.event_bus().OnEvent(event);
+  }
+  system.Flush();
+  system.ScrapeMetrics();
+  auto samples = ParseProm(system.metrics()->RenderPrometheus());
+
+  EXPECT_EQ(At(samples, "sase_partition_keyed_events_total{stream=\"<default>\"}"),
+            static_cast<double>(kEvents));
+  const std::string hot_labels = "{stream=\"<default>\",key=\"HOT\"}";
+  // Space-saving guarantee: the sketch count is within its error bound of
+  // the true frequency, and a 90% key cannot be evicted — its observed
+  // share lands within +-5 percentage points of the true 90%.
+  double hot_events =
+      At(samples, "sase_partition_hotkey_events_total" + hot_labels);
+  double hot_share = 100.0 * hot_events / kEvents;
+  EXPECT_GE(hot_share, 85.0);
+  EXPECT_LE(hot_share, 95.0);
+  double share_gauge =
+      At(samples, "sase_partition_hotkey_share_percent" + hot_labels);
+  EXPECT_GE(share_gauge, 85.0);
+  EXPECT_LE(share_gauge, 95.0);
+  // Shard attribution: a stable hash in [0, shards), with its pre-quiesce
+  // queue-lag sample present.
+  double hot_shard = At(samples, "sase_partition_hotkey_shard" + hot_labels);
+  EXPECT_GE(hot_shard, 0.0);
+  EXPECT_LT(hot_shard, 4.0);
+  EXPECT_NE(samples.find("sase_partition_hotkey_queue_lag" + hot_labels),
+            samples.end());
+
+  // The human-readable fleet view carries the same accounting.
+  ASSERT_NE(system.runtime(), nullptr);
+  std::string report = system.runtime()->StatsReport();
+  EXPECT_NE(report.find("hot keys:"), std::string::npos) << report;
+  EXPECT_NE(report.find("HOT="), std::string::npos) << report;
 }
 
 TEST(ObsIntegrationTest, MetricsSurviveCheckpointKillRecover) {
