@@ -63,10 +63,32 @@ def main():
         "Matching names must still be present in the fresh run, so a "
         "rename of a gated benchmark cannot pass silently",
     )
+    parser.add_argument(
+        "--expect-speedup",
+        action="append",
+        default=[],
+        metavar="FAST,SLOW,MIN_RATIO",
+        help="assert the fresh run's FAST benchmark sustains at least "
+        "MIN_RATIO times the items/s of its SLOW counterpart (comma "
+        "separators: benchmark names embed colons). Repeatable. Used to "
+        "gate paired benchmarks whose relative speedup is the contract — "
+        "e.g. hot-key mitigation on vs off — independent of absolute "
+        "machine speed",
+    )
     args = parser.parse_args()
     only = re.compile(args.only) if args.only else None
+    expectations = []
+    for spec in args.expect_speedup:
+        parts = spec.split(",")
+        if len(parts) != 3:
+            parser.error(f"expected FAST,SLOW,MIN_RATIO, got {spec!r}")
+        try:
+            expectations.append((parts[0], parts[1], float(parts[2])))
+        except ValueError:
+            parser.error(f"MIN_RATIO must be a number, got {parts[2]!r}")
 
     failures = []
+    all_fresh = {}
     for pair in args.pairs:
         try:
             fresh_path, baseline_path = pair.split(":", 1)
@@ -74,6 +96,7 @@ def main():
             parser.error(f"expected FRESH:BASELINE, got {pair!r}")
         fresh = load_items_per_second(fresh_path)
         baseline = load_items_per_second(baseline_path)
+        all_fresh.update(fresh)
 
         print(f"== {fresh_path} vs {baseline_path} "
               f"(fail below -{args.threshold:.0%})")
@@ -104,9 +127,25 @@ def main():
             print(f"  NEW      {name}: {fresh[name]:,.0f} items/s "
                   f"(no baseline — refresh to start gating it)")
 
+    for fast, slow, min_ratio in expectations:
+        missing = [n for n in (fast, slow) if n not in all_fresh]
+        if missing:
+            failures.append(f"speedup {fast} vs {slow}: fresh run lacks "
+                            f"{', '.join(missing)} — run both benchmarks of "
+                            f"the pair in the gated invocation")
+            print(f"  MISSING  speedup pair: {', '.join(missing)}")
+            continue
+        ratio = all_fresh[fast] / all_fresh[slow]
+        verdict = "ok" if ratio >= min_ratio else "TOO SLOW"
+        if ratio < min_ratio:
+            failures.append(f"speedup {fast} vs {slow}: {ratio:.2f}x, "
+                            f"expected >= {min_ratio:.2f}x")
+        print(f"  {verdict:10s}speedup {fast} vs {slow}: {ratio:.2f}x "
+              f"(expected >= {min_ratio:.2f}x)")
+
     if failures:
-        print(f"\nFAIL: {len(failures)} benchmark(s) regressed past "
-              f"{args.threshold:.0%}:", file=sys.stderr)
+        print(f"\nFAIL: {len(failures)} benchmark check(s) failed "
+              f"(threshold {args.threshold:.0%}):", file=sys.stderr)
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1

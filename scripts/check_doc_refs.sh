@@ -101,6 +101,35 @@ if [[ -f "$metric_doc" ]]; then
       status=1
     fi
   done
+  # Hot-key mitigation: the knobs and the split metrics are pinned BOTH
+  # directions explicitly — the operations guide documents the decision
+  # surface (threshold/cadence/switch) and the observability catalog the
+  # outcome surface (splits/refusals/active), and neither may rot away
+  # from the code while the other survives.
+  for knob in hotkey_mitigation hotkey_split_threshold hotkey_min_events; do
+    if ! grep -q "\`${knob}\`" "$knob_doc"; then
+      echo "MITIGATION KNOB \`$knob\` missing from $knob_doc's knob tables"
+      status=1
+    fi
+    if ! grep -qE "\b${knob}\b" src/system/sase_system.h src/runtime/*.h; then
+      echo "MITIGATION KNOB \`$knob\` documented in $knob_doc but absent" \
+           "from src/system/sase_system.h and src/runtime/*.h"
+      status=1
+    fi
+  done
+  for metric in sase_partition_hotkey_splits_total \
+                sase_partition_hotkey_split_refused_total \
+                sase_partition_hotkey_split_active; do
+    if ! grep -q "\`${metric}\`" "$metric_doc"; then
+      echo "MITIGATION METRIC \`$metric\` missing from $metric_doc's catalog"
+      status=1
+    fi
+    if ! grep -qr "\"${metric}" src/; then
+      echo "MITIGATION METRIC \`$metric\` documented in $metric_doc but" \
+           "has no call site in src/"
+      status=1
+    fi
+  done
   # Code -> documented. Every metric-name literal in src/ (including the
   # assembled "sase_query_" prefix) must appear in the catalog.
   srcnames=$(grep -rhoE '"sase_[a-z_]+' src/ | tr -d '"' | sort -u)

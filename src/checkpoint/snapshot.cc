@@ -20,6 +20,7 @@ namespace {
 constexpr const char* kStateHeaderV1 = "SASE-CHECKPOINT v1";
 constexpr const char* kStateHeaderV2 = "SASE-CHECKPOINT v2";
 constexpr const char* kStateHeaderV3 = "SASE-CHECKPOINT v3";
+constexpr const char* kStateHeaderV4 = "SASE-CHECKPOINT v4";
 constexpr const char* kManifestHeader = "SASE-MANIFEST v1";
 constexpr const char* kEngineHeader = "SASE-ENGINE-STATE v1";
 
@@ -47,7 +48,7 @@ Status WriteState(const std::string& path, const SystemSnapshot& snap) {
   if (!out.is_open()) {
     return Status::InvalidArgument("cannot open for writing: " + path);
   }
-  out << kStateHeaderV3 << "\n";
+  out << kStateHeaderV4 << "\n";
   out << "SHARDS " << snap.shard_count << "\n";
   out << "KEY " << EscapeField(snap.partition_key) << "\n";
   out << "DISPATCHED " << snap.events_dispatched << "\n";
@@ -65,6 +66,11 @@ Status WriteState(const std::string& path, const SystemSnapshot& snap) {
     out << "STREAM " << stream.id << "|" << EscapeField(stream.name) << "|"
         << stream.clock << "|" << stream.last_seq << "|" << stream.events
         << "\n";
+  }
+  for (const SnapshotSplit& split : snap.splits) {
+    out << "SPLIT " << split.stream << "|" << split.mode << "|"
+        << db::EncodeValue(split.key) << "|"
+        << EscapeField(split.secondary_attr) << "\n";
   }
   for (const SnapshotQuery& query : snap.queries) {
     out << "QUERY " << query.id << "|" << (query.archiving ? "A" : "M") << "|"
@@ -264,13 +270,14 @@ Result<SystemSnapshot> ReadSnapshot(const std::string& dir, uint64_t id,
   std::string line;
   if (!std::getline(in, line) ||
       (line != kStateHeaderV1 && line != kStateHeaderV2 &&
-       line != kStateHeaderV3)) {
+       line != kStateHeaderV3 && line != kStateHeaderV4)) {
     return Status::ParseError("bad snapshot header in " + snap_dir);
   }
   SystemSnapshot snap;
   snap.format = line == kStateHeaderV1   ? kSnapshotFormatV1
                 : line == kStateHeaderV2 ? kSnapshotFormatV2
-                                         : kSnapshotFormatV3;
+                : line == kStateHeaderV3 ? kSnapshotFormatV3
+                                         : kSnapshotFormatV4;
   snap.snapshot_id = id;
   bool saw_end = false;
   while (std::getline(in, line)) {
@@ -349,6 +356,22 @@ Result<SystemSnapshot> ReadSnapshot(const std::string& dir, uint64_t id,
       stream.last_seq = seq.value();
       stream.events = events.value();
       snap.streams.push_back(std::move(stream));
+    } else if (tag == "SPLIT") {
+      if (fields.size() != 4) return Status::ParseError("bad SPLIT line");
+      SnapshotSplit split;
+      auto sid = field_u64(0);
+      auto mode = field_i64(1);
+      auto key = db::DecodeValue(fields[2]);
+      auto attr = UnescapeField(fields[3]);
+      if (!sid.ok()) return sid.status();
+      if (!mode.ok()) return mode.status();
+      if (!key.ok()) return key.status();
+      if (!attr.ok()) return attr.status();
+      split.stream = static_cast<StreamId>(sid.value());
+      split.mode = static_cast<int>(mode.value());
+      split.key = std::move(key).value();
+      split.secondary_attr = std::move(attr).value();
+      snap.splits.push_back(std::move(split));
     } else if (tag == "QUERY") {
       if (fields.size() != 9) return Status::ParseError("bad QUERY line");
       SnapshotQuery query;

@@ -46,19 +46,35 @@ struct SnapshotWindowEvent {
   EventPtr event;
 };
 
+/// One hot-key split-table entry (v4): key `key` of stream `stream` is
+/// rerouted away from its key-hash shard — `mode` mirrors
+/// Partitioner::SplitMode (0 = spread round-robin, 1 = sub-hash by
+/// `(key, secondary_attr)`). A secondary split's sub-partition state lives
+/// on the shard the sub-hash picks, so recovery must restore the table
+/// before any routing or replay.
+struct SnapshotSplit {
+  StreamId stream = kDefaultStream;
+  int mode = 0;
+  Value key;
+  std::string secondary_attr;  // empty for spread
+};
+
 /// Current snapshot format. v1 rebuilt engine state by muted replay of the
 /// in-flight window (and therefore refused aggregates, WITHIN-less stateful
 /// queries and stateful serial-engine queries); v2 adds direct
 /// operator-state serialization in per-query framed sections (engine.sase),
 /// covering the whole language surface; v3 adds the consumer-acked output
-/// cursor (ACKED line) the exactly-once recovery gate resumes from. The v3
-/// reader still reads v1 and v2 snapshots; recovery falls back to window
-/// replay for v1 and to the delivered-output marks (at-least-once) for
-/// pre-cursor snapshots under AckMode::kConsumer.
+/// cursor (ACKED line) the exactly-once recovery gate resumes from; v4 adds
+/// the hot-key split table (SPLIT lines) so a recovered runtime re-routes
+/// split keys identically. The v4 reader still reads v1–v3 snapshots;
+/// recovery falls back to window replay for v1, to the delivered-output
+/// marks (at-least-once) for pre-cursor snapshots under AckMode::kConsumer,
+/// and to an empty split table for pre-v4 snapshots.
 constexpr int kSnapshotFormatV1 = 1;
 constexpr int kSnapshotFormatV2 = 2;
 constexpr int kSnapshotFormatV3 = 3;
-constexpr int kSnapshotFormat = kSnapshotFormatV3;
+constexpr int kSnapshotFormatV4 = 4;
+constexpr int kSnapshotFormat = kSnapshotFormatV4;
 
 /// One framed engine-state section (snapshot v2): the serialized operator
 /// state of one query's plan on one hosting engine, or an engine-level
@@ -112,6 +128,8 @@ struct SystemSnapshot {
   std::vector<SnapshotStream> streams;
   std::vector<SnapshotQuery> queries;
   std::vector<SnapshotWindowEvent> window;
+  /// v4: active hot-key splits in (stream, key) order (empty pre-v4).
+  std::vector<SnapshotSplit> splits;
   /// v2: framed engine-state sections (empty when format == v1).
   std::vector<EngineStateSection> engine_state;
 };

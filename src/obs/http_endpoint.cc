@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 
 namespace sase {
@@ -21,13 +22,18 @@ const char* StatusText(int status) {
   }
 }
 
-/// Writes all of `data` to `fd`, tolerating short writes. Errors abandon
-/// the response — the peer gets a truncated reply, which a scraper treats
-/// as a failed scrape; there is nothing better to do on a dead socket.
+/// Writes all of `data` to `fd`, tolerating short writes and retrying
+/// interrupted ones. MSG_NOSIGNAL: a peer that disconnects mid-response
+/// (curl timeout, aborted scrape) must surface as EPIPE here, not as a
+/// process-killing SIGPIPE on the serve thread. Hard errors abandon the
+/// response — the peer gets a truncated reply, which a scraper treats as a
+/// failed scrape; there is nothing better to do on a dead socket.
 void WriteAll(int fd, const std::string& data) {
   size_t off = 0;
   while (off < data.size()) {
-    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return;
     off += static_cast<size_t>(n);
   }

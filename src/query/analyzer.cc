@@ -248,6 +248,10 @@ std::string AnalyzedQuery::Explain() const {
     }
     out << "]";
   }
+  if (!covering_attrs.empty()) {
+    out << "\ncovering attrs:";
+    for (const std::string& attr : covering_attrs) out << " " << attr;
+  }
   out << "\npredicates:";
   if (classification.empty()) out << " (none)";
   for (const auto& [text, cls] : classification) {
@@ -483,6 +487,35 @@ Result<AnalyzedQuery> Analyzer::Analyze(ParsedQuery query) const {
       partition_root = root;
       break;
     }
+  }
+
+  // Covering attributes: an equivalence class spanning every component —
+  // positive AND negated — names an attribute whose value is constant across
+  // any match (and any suppressing non-occurrence), so partitioning the
+  // stream by it cannot change this query's results. The shard key's class
+  // qualifies when it also covers the negations; any further class is a
+  // secondary sub-partition candidate for hot-key mitigation.
+  for (const auto& [root, members] : classes) {
+    bool covers_every_component = true;
+    for (int slot : out.positive_slots) {
+      if (members.count(slot) == 0) {
+        covers_every_component = false;
+        break;
+      }
+    }
+    for (const NegationSpec& spec : out.negations) {
+      if (members.count(spec.slot) == 0) {
+        covers_every_component = false;
+        break;
+      }
+    }
+    if (!covers_every_component) continue;
+    int first_slot = out.positive_slots[0];
+    AttrIndex attr = members.at(first_slot);
+    if (attr < 0) continue;  // the virtual timestamp is not a partition key
+    const EventSchema& schema =
+        catalog_->schema(out.vars[static_cast<size_t>(first_slot)].type_id);
+    out.covering_attrs.push_back(schema.attribute_name(attr));
   }
 
   if (partition_root >= 0) {

@@ -34,6 +34,102 @@ int Partitioner::ShardFor(const Event& event) const {
                           static_cast<size_t>(shard_count_));
 }
 
+AttrIndex Partitioner::SecondaryIndex(const std::string& attr,
+                                      EventTypeId type) const {
+  std::vector<AttrIndex>& cache = secondary_index_cache_[attr];
+  size_t index = static_cast<size_t>(type);
+  while (cache.size() <= index) {
+    EventTypeId id = static_cast<EventTypeId>(cache.size());
+    AttrIndex found = catalog_->schema(id).FindAttribute(attr);
+    // The virtual timestamp attribute is not a partition key.
+    cache.push_back(found == kTimestampAttr ? kInvalidAttr : found);
+  }
+  return cache[index];
+}
+
+int Partitioner::ShardFor(StreamId stream, const Event& event) {
+  AttrIndex key = KeyIndex(event.type());
+  if (key < 0) {
+    return static_cast<int>(event.seq() % static_cast<uint64_t>(shard_count_));
+  }
+  const Value& key_value = event.attribute(key);
+  if (static_cast<size_t>(stream) < splits_.size() &&
+      !splits_[stream].empty()) {
+    auto it = splits_[stream].find(key_value);
+    if (it != splits_[stream].end()) {
+      SplitRoute& route = it->second;
+      if (route.mode == SplitMode::kSpread) {
+        return static_cast<int>(route.rr++ %
+                                static_cast<uint64_t>(shard_count_));
+      }
+      AttrIndex secondary = SecondaryIndex(route.secondary_attr, event.type());
+      if (secondary >= 0) {
+        // Sub-partition by (key, secondary value): each (key, secondary)
+        // pair pins to one shard — a pure function of the pair, so a
+        // recovered process re-routes identically — and a covering query's
+        // sub-partition state never straddles shards. Integer secondaries
+        // offset by their raw value rather than a hash: they are typically
+        // dense enumerations (area ids), and mod-spacing spreads
+        // consecutive values across ALL shards where hashing a handful of
+        // values into a handful of shards routinely collides half of them
+        // onto one — squandering the split.
+        const Value& sec = event.attribute(secondary);
+        size_t offset = sec.type() == ValueType::kInt
+                            ? static_cast<size_t>(sec.AsInt())
+                            : sec.Hash();
+        size_t base = key_value.Hash() * 0x9e3779b97f4a7c15ull;
+        return static_cast<int>((base + offset) %
+                                static_cast<size_t>(shard_count_));
+      }
+      // Type lacks the secondary attribute: keep the primary pin (see the
+      // header — only queries indifferent to routing observe such events).
+    }
+  }
+  return static_cast<int>(key_value.Hash() %
+                          static_cast<size_t>(shard_count_));
+}
+
+void Partitioner::Split(StreamId stream, const Value& key, SplitMode mode,
+                        const std::string& secondary_attr) {
+  if (splits_.size() <= static_cast<size_t>(stream)) {
+    splits_.resize(static_cast<size_t>(stream) + 1);
+  }
+  SplitRoute route;
+  route.mode = mode;
+  route.secondary_attr = secondary_attr;
+  auto [it, inserted] = splits_[stream].insert_or_assign(key, std::move(route));
+  (void)it;
+  if (inserted) ++split_count_;
+}
+
+bool Partitioner::Unsplit(StreamId stream, const Value& key) {
+  if (static_cast<size_t>(stream) >= splits_.size()) return false;
+  if (splits_[stream].erase(key) == 0) return false;
+  --split_count_;
+  return true;
+}
+
+bool Partitioner::IsSplit(StreamId stream, const Value& key) const {
+  return static_cast<size_t>(stream) < splits_.size() &&
+         splits_[stream].count(key) > 0;
+}
+
+std::vector<Partitioner::SplitInfo> Partitioner::Splits() const {
+  std::vector<SplitInfo> out;
+  out.reserve(split_count_);
+  for (size_t s = 0; s < splits_.size(); ++s) {
+    for (const auto& [key, route] : splits_[s]) {
+      out.push_back(SplitInfo{static_cast<StreamId>(s), key, route.mode,
+                              route.secondary_attr});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SplitInfo& a, const SplitInfo& b) {
+    if (a.stream != b.stream) return a.stream < b.stream;
+    return a.key.ToString() < b.key.ToString();
+  });
+  return out;
+}
+
 StreamId Partitioner::InternStream(const std::string& stream) {
   auto it = stream_ids_.find(stream);
   if (it != stream_ids_.end()) return it->second;
@@ -64,7 +160,7 @@ StreamId Partitioner::RestoreStream(const std::string& stream, Timestamp clock,
 }
 
 int Partitioner::Route(StreamId stream, const Event& event) {
-  int shard = ShardFor(event);
+  int shard = ShardFor(stream, event);
   StreamState& state = streams_[stream];
   state.clock = event.timestamp();
   state.last_seq = event.seq();
@@ -96,11 +192,32 @@ void Partitioner::HotKeySketch::Observe(const Value& key, size_t capacity) {
     return;
   }
   // Space-saving eviction: the newcomer takes over the coldest slot and
-  // inherits its count as the overestimate bound.
-  size_t coldest = 0;
-  for (size_t i = 1; i < slots.size(); ++i) {
-    if (slots[i].count < slots[coldest].count) coldest = i;
+  // inherits its count as the overestimate bound. Counts only grow, so the
+  // minimum is non-decreasing: pop the first queued candidate still at
+  // min_count (matching the naive scan's lowest-index tie-break) and only
+  // rescan all slots when the queue drains — amortized O(1) per cold key.
+  size_t coldest = slots.size();
+  while (cold_head < cold_queue.size()) {
+    size_t candidate = cold_queue[cold_head];
+    if (slots[candidate].count == min_count) {
+      coldest = candidate;
+      break;
+    }
+    ++cold_head;  // grew past min_count since the rescan; skip for good
   }
+  if (coldest == slots.size()) {
+    min_count = slots[0].count;
+    for (size_t i = 1; i < slots.size(); ++i) {
+      if (slots[i].count < min_count) min_count = slots[i].count;
+    }
+    cold_queue.clear();
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].count == min_count) cold_queue.push_back(i);
+    }
+    cold_head = 0;
+    coldest = cold_queue[0];
+  }
+  ++cold_head;  // the slot is about to leave min_count
   Slot& slot = slots[coldest];
   index.erase(slot.key);
   slot.error = slot.count;
@@ -111,7 +228,19 @@ void Partitioner::HotKeySketch::Observe(const Value& key, size_t capacity) {
 
 void Partitioner::EnableHotKeyTracking(size_t capacity) {
   hotkey_capacity_ = capacity;
-  sketches_.clear();
+  if (capacity == 0) {
+    sketches_.clear();
+    return;
+  }
+  // Re-arm resets slot contents only: `keyed_events` is the cumulative share
+  // denominator and must survive a capacity change.
+  for (HotKeySketch& sketch : sketches_) {
+    sketch.slots.clear();
+    sketch.index.clear();
+    sketch.cold_queue.clear();
+    sketch.cold_head = 0;
+    sketch.min_count = 0;
+  }
 }
 
 uint64_t Partitioner::keyed_events(StreamId stream) const {

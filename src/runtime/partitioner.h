@@ -49,8 +49,19 @@ class Partitioner {
 
   Partitioner(const Catalog* catalog, std::string key_attr, int shard_count);
 
-  /// Shard owning `event`'s partition, in [0, shard_count).
+  /// Shard owning `event`'s partition, in [0, shard_count), ignoring any
+  /// hot-key splits (the pre-mitigation pure key-hash routing).
   int ShardFor(const Event& event) const;
+
+  /// Split-aware routing for `stream`: like ShardFor, but a key in the
+  /// stream's split table reroutes per its SplitRoute — round-robin for
+  /// kSpread (advances the route's cursor, hence non-const), sub-hash by
+  /// (key, secondary attribute) for kSecondary. An event whose type lacks
+  /// the secondary attribute keeps the primary key-hash pin: such types are
+  /// referenced by no stateful query of the split (every component of those
+  /// queries carries the covering attribute), so any routing is sound for
+  /// the queries that do observe them.
+  int ShardFor(StreamId stream, const Event& event);
 
   /// Interns a (lowercased) stream name; the empty string is always stream
   /// 0, the default input. Dispatcher thread only.
@@ -75,6 +86,42 @@ class Partitioner {
 
   /// True when `type` carries the key attribute.
   bool HasKey(EventTypeId type) const { return KeyIndex(type) >= 0; }
+
+  // --- hot-key split table (mitigation routing state) ---
+  //
+  // A split reroutes ONE (stream, key value) pair away from its key-hash
+  // shard. The runtime decides soundness (see ShardedRuntime's mitigation
+  // policy); the partitioner just routes. Splits survive Resize — spread
+  // keys round-robin over the new shard count, secondary keys re-hash onto
+  // it — and are checkpointed by the runtime so recovery re-routes
+  // identically. The spread round-robin cursor is deliberately NOT
+  // checkpointed: spread applies only where any routing is sound.
+
+  /// How a split key's events are rerouted.
+  enum class SplitMode {
+    kSpread,     // round-robin across shards (replicable queries only)
+    kSecondary,  // sub-hash by (key, secondary attribute value)
+  };
+
+  /// One split-table entry, as exported for checkpoints and reports.
+  struct SplitInfo {
+    StreamId stream = kDefaultStream;
+    Value key;
+    SplitMode mode = SplitMode::kSpread;
+    std::string secondary_attr;  // empty for kSpread
+  };
+
+  /// Installs (or overwrites) a split for `key` on `stream`. Dispatcher
+  /// thread only (like Route).
+  void Split(StreamId stream, const Value& key, SplitMode mode,
+             const std::string& secondary_attr = std::string());
+  /// Removes `key`'s split on `stream`; false when none existed.
+  bool Unsplit(StreamId stream, const Value& key);
+  bool IsSplit(StreamId stream, const Value& key) const;
+  /// All active splits, ordered (stream, key rendering) for deterministic
+  /// checkpoint bytes.
+  std::vector<SplitInfo> Splits() const;
+  size_t split_count() const { return split_count_; }
 
   // --- hot-key accounting (space-saving top-K sketch) ---
   //
@@ -157,10 +204,34 @@ class Partitioner {
     };
     std::vector<Slot> slots;  // unordered; located via `index`
     std::unordered_map<Value, size_t, ValueHash> index;  // key -> slot
+    /// Cumulative across EnableHotKeyTracking re-arms: the share
+    /// denominator must not reset when only the sketch capacity changes.
     uint64_t keyed_events = 0;
+
+    // Amortized-O(1) coldest-slot tracking: slot counts only grow, so the
+    // minimum count is non-decreasing. `cold_queue[cold_head..]` holds, in
+    // ascending slot order, the slots whose count equalled `min_count` at
+    // the last rescan; eviction pops the first entry still at min_count
+    // (reproducing the naive scan's lowest-index tie-break), and a drained
+    // queue triggers one O(capacity) rescan — amortized O(1) per cold key
+    // instead of O(capacity) on the dispatch hot path.
+    std::vector<size_t> cold_queue;
+    size_t cold_head = 0;
+    uint64_t min_count = 0;
 
     void Observe(const Value& key, size_t capacity);
   };
+
+  /// Routing override for one hot key (see SplitMode).
+  struct SplitRoute {
+    SplitMode mode = SplitMode::kSpread;
+    std::string secondary_attr;
+    uint64_t rr = 0;  // kSpread round-robin cursor (not checkpointed)
+  };
+
+  /// Index of `attr` in `type`'s schema, memoized per attribute name (the
+  /// secondary-attribute analogue of KeyIndex).
+  AttrIndex SecondaryIndex(const std::string& attr, EventTypeId type) const;
 
   const Catalog* catalog_;
   std::string key_attr_;
@@ -172,6 +243,13 @@ class Partitioner {
   std::unordered_map<std::string, StreamId> stream_ids_;
   std::vector<HotKeySketch> sketches_;  // aligned with streams_ when armed
   size_t hotkey_capacity_ = 0;          // 0 = hot-key accounting disarmed
+  /// Per-stream split tables (indexed by StreamId; may trail streams_).
+  std::vector<std::unordered_map<Value, SplitRoute, ValueHash>> splits_;
+  size_t split_count_ = 0;
+  /// Secondary-attribute index caches, one per attribute name (grown lazily
+  /// from the dispatcher thread, like key_index_cache_).
+  mutable std::unordered_map<std::string, std::vector<AttrIndex>>
+      secondary_index_cache_;
 };
 
 }  // namespace sase

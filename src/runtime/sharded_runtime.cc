@@ -35,8 +35,11 @@ ShardedRuntime::ShardedRuntime(const Catalog* catalog, RuntimeConfig config,
       batch_size_hist_ =
           config_.metrics->GetHistogram("sase_runtime_batch_size");
     }
-    // Hot-key accounting rides the metrics switch: without a registry the
-    // dispatch path keeps its null-branch-only overhead contract.
+  }
+  // Hot-key accounting rides the metrics switch — without a registry the
+  // dispatch path keeps its null-branch-only overhead contract — unless
+  // mitigation is on, which consumes the sketch regardless of metrics.
+  if (config_.metrics != nullptr || config_.hotkey_mitigation) {
     partitioner_.EnableHotKeyTracking(config_.hotkey_sketch_size);
   }
 
@@ -182,6 +185,14 @@ Result<ShardedRuntime::QueryEntry> ShardedRuntime::AnalyzeEntry(
   entry.window_ticks = analyzed.value().window_ticks;
   entry.stateful = analyzed.value().positive_slots.size() > 1 ||
                    !analyzed.value().negations.empty();
+  // Secondary-partition candidates: covering attributes beyond the shard
+  // key (the key's own equivalence class is the primary routing, not a
+  // sub-partition candidate).
+  for (const std::string& attr : analyzed.value().covering_attrs) {
+    if (!EqualsIgnoreCase(attr, config_.partition_key)) {
+      entry.covering_attrs.push_back(attr);
+    }
+  }
   return entry;
 }
 
@@ -216,6 +227,7 @@ Status ShardedRuntime::InstallQuery(QueryId id, QueryEntry entry) {
   }
   queries_.emplace(id, std::move(entry));
   next_id_ = std::max(next_id_, id + 1);
+  hotkey_refused_.clear();  // the query set changed; refusals may not hold
   return Status::Ok();
 }
 
@@ -228,6 +240,10 @@ Result<QueryId> ShardedRuntime::Register(const std::string& text,
   // Quiesce so engine mutation cannot race in-flight batches; the push of
   // the next batch publishes the new plan to the worker.
   WaitIdle();
+
+  // Active hot-key splits were sound for the query set that existed when
+  // they were installed; a new stateful query can invalidate them.
+  SASE_RETURN_IF_ERROR(ResolveSplitConflicts(entry.value()));
 
   QueryId id = next_id_;
   SASE_RETURN_IF_ERROR(InstallQuery(id, std::move(entry).value()));
@@ -284,6 +300,7 @@ void ShardedRuntime::DropQuery(std::map<QueryId, QueryEntry>::iterator it) {
   queries_.erase(it);
   RecomputeStreamWindows();
   PruneReplayAll();  // retention windows may have shrunk or vanished
+  hotkey_refused_.clear();  // the query set changed; refusals may not hold
 }
 
 void ShardedRuntime::RecomputeStreamWindows() {
@@ -299,17 +316,31 @@ void ShardedRuntime::RecomputeStreamWindows() {
 Status ShardedRuntime::Resize(int shard_count) {
   shard_count = std::max(1, shard_count);
   if (shard_count == config_.shard_count) return Status::Ok();
+  int old_count = config_.shard_count;
+  SASE_RETURN_IF_ERROR(RebuildShards(
+      shard_count, [this, shard_count] { partitioner_.Resize(shard_count); }));
+  ++resizes_;
+  if (shard_count > old_count) {
+    ++grows_;
+  } else {
+    ++shrinks_;
+  }
+  return Status::Ok();
+}
+
+Status ShardedRuntime::RebuildShards(int shard_count,
+                                     const std::function<void()>& mutate) {
   if (unbounded_sharded_ > 0) {
     return Status::FailedPrecondition(
-        "cannot resize: a sharded stateful query has no WITHIN window, so "
-        "the in-flight replay window is unbounded");
+        "cannot rebuild shard engines: a sharded stateful query has no "
+        "WITHIN window, so the in-flight replay window is unbounded");
   }
   resizing_ = true;
 
   // Quiesce: drain every batch, broadcast clocks, deliver everything
   // merge-safe. After this the merger buffers no undelivered records (every
   // emitted record's trigger is at or below the dispatch point), so the
-  // only state to carry across the resize lives in the engines.
+  // only state to carry across the rebuild lives in the engines.
   WaitIdle();
 
   // Park every worker thread; the engines are now exclusively ours.
@@ -335,7 +366,7 @@ Status ShardedRuntime::Resize(int shard_count) {
     workers_.clear();
     health_.clear();
     config_.shard_count = shard_count;
-    partitioner_.Resize(shard_count);
+    mutate();
     for (int i = 0; i < shard_count; ++i) workers_.push_back(MakeWorker(i));
     broadcast->index = shard_count;
     broadcast->queue.Reopen();
@@ -346,12 +377,6 @@ Status ShardedRuntime::Resize(int shard_count) {
 
   for (auto& worker : workers_) {
     worker->thread = std::thread(&ShardedRuntime::WorkerLoop, this, worker.get());
-  }
-  ++resizes_;
-  if (shard_count > old_count) {
-    ++grows_;
-  } else {
-    ++shrinks_;
   }
   resizing_ = false;
   return Status::Ok();
@@ -407,7 +432,8 @@ uint64_t ShardedRuntime::ReplayIntoShards() {
     const ReplayEntry& entry = replay_[best][pos[best]++];
     register_up_to(entry.global);
     QueryEngine& engine =
-        *workers_[static_cast<size_t>(partitioner_.ShardFor(*entry.event))]
+        *workers_[static_cast<size_t>(partitioner_.ShardFor(
+             static_cast<StreamId>(best), *entry.event))]
              ->engine;
     const std::string& name = partitioner_.streams()[best].name;
     if (name.empty()) {
@@ -531,6 +557,11 @@ Result<ShardedRuntime::CheckpointState> ShardedRuntime::ExportCheckpoint() {
                                                           entry.event});
     }
   }
+  for (const Partitioner::SplitInfo& split : partitioner_.Splits()) {
+    state.splits.push_back(CheckpointState::Split{
+        split.stream, static_cast<int>(split.mode), split.key,
+        split.secondary_attr});
+  }
 
   // Direct operator-state serialization: one payload per query per hosting
   // engine (a sharded query has a plan instance in every shard engine),
@@ -589,6 +620,24 @@ Status ShardedRuntime::RestoreCheckpoint(const CheckpointState& state,
   }
   if (stream_queries_.size() < partitioner_.streams().size()) {
     stream_queries_.resize(partitioner_.streams().size());
+  }
+
+  // Hot-key splits before any replay or routing: a secondary-split key's
+  // sub-partition state lives on the shard the (key, secondary) sub-hash
+  // picks, so the recovered process must route identically from the start.
+  for (const CheckpointState::Split& split : state.splits) {
+    if (split.stream >= partitioner_.streams().size()) {
+      return Status::InvalidArgument(
+          "hot-key split references unknown stream");
+    }
+    if (split.mode != static_cast<int>(Partitioner::SplitMode::kSpread) &&
+        split.mode != static_cast<int>(Partitioner::SplitMode::kSecondary)) {
+      return Status::InvalidArgument("unknown hot-key split mode " +
+                                     std::to_string(split.mode));
+    }
+    partitioner_.Split(split.stream, split.key,
+                       static_cast<Partitioner::SplitMode>(split.mode),
+                       split.secondary_attr);
   }
 
   // Checkpointed queries in id (= registration) order; ids are handed out
@@ -726,7 +775,8 @@ Status ShardedRuntime::RestoreCheckpoint(const CheckpointState& state,
     const std::string& name = partitioner_.streams()[entry.stream].name;
     if (hosts.sharded > 0) {
       QueryEngine& engine =
-          *workers_[static_cast<size_t>(partitioner_.ShardFor(*entry.event))]
+          *workers_[static_cast<size_t>(partitioner_.ShardFor(entry.stream,
+                                                              *entry.event))]
                ->engine;
       if (name.empty()) {
         engine.OnEvent(entry.event);
@@ -786,6 +836,7 @@ Status ShardedRuntime::FinishRestore(const CheckpointState& state) {
   routed_stream_ = state.routed_stream;
   multi_routed_ = state.multi_routed;
   last_check_global_ = events_dispatched_;
+  hotkey_check_global_ = events_dispatched_;
 
   for (auto& worker : workers_) worker->queue.Reopen();
   for (auto& worker : workers_) {
@@ -935,8 +986,159 @@ void ShardedRuntime::Dispatch(StreamId stream, const std::string& name,
     BroadcastClocks();
     DeliverReady();
   }
+  if (config_.hotkey_mitigation) MaybeMitigateHotKeys();
   if (config_.elastic.enabled) MaybeAutoResize();
   if (config_.batch.enabled) MaybeAdaptBatch();
+}
+
+void ShardedRuntime::MaybeMitigateHotKeys() {
+  // Event-count cadence, not wall clock: the split decision (and therefore
+  // the routing history) is a deterministic function of the event sequence,
+  // which is what keeps mitigated runs byte-reproducible.
+  if (config_.hotkey_min_events == 0 ||
+      events_dispatched_ - hotkey_check_global_ < config_.hotkey_min_events) {
+    return;
+  }
+  hotkey_check_global_ = events_dispatched_;
+  for (size_t s = 0; s < partitioner_.streams().size(); ++s) {
+    StreamId stream = static_cast<StreamId>(s);
+    uint64_t keyed = partitioner_.keyed_events(stream);
+    if (keyed < config_.hotkey_min_events) continue;
+    for (const Partitioner::HotKeyStat& stat : partitioner_.HotKeys(stream)) {
+      // Trigger on the guaranteed lower bound (count - error): sketch
+      // overestimation alone can never split a key. Not monotone along the
+      // count-sorted order, so scan the whole sketch.
+      uint64_t guaranteed = stat.count > stat.error ? stat.count - stat.error : 0;
+      if (guaranteed * 100 <
+          static_cast<uint64_t>(config_.hotkey_split_threshold) * keyed) {
+        continue;
+      }
+      if (partitioner_.IsSplit(stream, stat.key)) continue;
+      (void)SplitHotKey(stream, stat.key);
+    }
+  }
+}
+
+bool ShardedRuntime::SplitHotKey(StreamId stream, const Value& key) {
+  const StreamQueries& hosts = QueriesFor(stream);
+  if (hosts.sharded == 0) return false;  // nothing routes by key; moot
+  if (hosts.sharded_stateful == 0) {
+    // Every sharded query reading the stream is stateless single-event:
+    // any disjoint routing reproduces the serial result set (the merger
+    // restores emission order), so spread the key round-robin. No engine
+    // holds cross-event state for this stream — no rebuild.
+    partitioner_.Split(stream, key, Partitioner::SplitMode::kSpread);
+    ++hotkey_spread_splits_;
+    SASE_LOG_INFO << "hot key " << key.ToString()
+                  << " spread round-robin across " << config_.shard_count
+                  << " shards";
+    return true;
+  }
+  std::string secondary = CommonSecondaryAttr(stream);
+  if (!secondary.empty()) {
+    // Sub-partition by (key, secondary): every sharded stateful query on
+    // the stream covers `secondary` on all components, so a match only ever
+    // combines events agreeing on it — sub-hash routing keeps each
+    // sub-partition whole on one shard. The key's existing state must move
+    // with the routing: rebuild the shard engines by replay.
+    Status status = RebuildShards(config_.shard_count, [&] {
+      partitioner_.Split(stream, key, Partitioner::SplitMode::kSecondary,
+                         secondary);
+    });
+    if (status.ok()) {
+      ++hotkey_secondary_splits_;
+      SASE_LOG_INFO << "hot key " << key.ToString()
+                    << " sub-partitioned by secondary attribute '" << secondary
+                    << "'";
+      return true;
+    }
+    SASE_LOG_WARN << "hot key " << key.ToString()
+                  << " secondary split failed: " << status.ToString();
+  }
+  // No covering secondary attribute (or the rebuild refused): correctness
+  // first — the key stays pinned, and the refusal surfaces in StatsReport
+  // and sase_partition_hotkey_split_refused_total. Booked once per key
+  // until the query set changes.
+  if (hotkey_refused_.insert({stream, key.ToString()}).second) {
+    ++hotkey_split_refusals_;
+    SASE_LOG_WARN << "hot key " << key.ToString()
+                  << " cannot be split: a sharded stateful query has no "
+                     "second covering attribute; the key stays pinned";
+  }
+  return false;
+}
+
+std::string ShardedRuntime::CommonSecondaryAttr(StreamId stream) const {
+  std::vector<std::string> candidates;
+  bool first = true;
+  for (const auto& [id, entry] : queries_) {
+    if (!entry.sharded || !entry.stateful || entry.stream != stream) continue;
+    if (first) {
+      candidates = entry.covering_attrs;
+      first = false;
+      continue;
+    }
+    std::vector<std::string> kept;
+    for (const std::string& attr : candidates) {
+      for (const std::string& other : entry.covering_attrs) {
+        if (EqualsIgnoreCase(attr, other)) {
+          kept.push_back(attr);
+          break;
+        }
+      }
+    }
+    candidates.swap(kept);
+    if (candidates.empty()) break;
+  }
+  return candidates.empty() ? std::string() : candidates.front();
+}
+
+Status ShardedRuntime::ResolveSplitConflicts(const QueryEntry& entry) {
+  // Only a sharded stateful newcomer can invalidate a split: broadcast
+  // queries read the whole stream regardless of routing, and stateless
+  // sharded queries are sound under any routing.
+  if (!entry.sharded || !entry.stateful) return Status::Ok();
+  if (partitioner_.split_count() == 0) return Status::Ok();
+  std::vector<Value> drop_spread;
+  std::vector<Value> drop_secondary;
+  for (const Partitioner::SplitInfo& split : partitioner_.Splits()) {
+    if (split.stream != entry.stream) continue;
+    if (split.mode == Partitioner::SplitMode::kSpread) {
+      drop_spread.push_back(split.key);
+      continue;
+    }
+    bool covered = false;
+    for (const std::string& attr : entry.covering_attrs) {
+      if (EqualsIgnoreCase(attr, split.secondary_attr)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) drop_secondary.push_back(split.key);
+  }
+  // Spread splits existed only while the stream hosted no sharded stateful
+  // query, so the shard engines hold no cross-event state for it — re-pin
+  // the keys without a rebuild. (Mitigation re-splits later if still hot.)
+  for (const Value& key : drop_spread) {
+    (void)partitioner_.Unsplit(entry.stream, key);
+    SASE_LOG_INFO << "hot-key spread of " << key.ToString()
+                  << " dropped: a stateful query now reads the stream";
+  }
+  // Secondary splits whose attribute the newcomer does not cover: the
+  // existing sub-partitioned state must collapse back onto the key's
+  // primary shard — re-pin and rebuild by replay.
+  if (!drop_secondary.empty()) {
+    SASE_RETURN_IF_ERROR(RebuildShards(config_.shard_count, [&] {
+      for (const Value& key : drop_secondary) {
+        (void)partitioner_.Unsplit(entry.stream, key);
+      }
+    }));
+    for (const Value& key : drop_secondary) {
+      SASE_LOG_INFO << "hot-key secondary split of " << key.ToString()
+                    << " dropped: the new query does not cover its attribute";
+    }
+  }
+  return Status::Ok();
 }
 
 void ShardedRuntime::MaybeAdaptBatch() {
@@ -1187,6 +1389,14 @@ std::string ShardedRuntime::StatsReport() {
              .Kv("replay_window", replay_len_)
              .Str();
   out << policy_.Describe() << "\n";
+  if (config_.hotkey_mitigation) {
+    out << obs::ReportLine("hot-key splits:")
+               .Kv("active", partitioner_.split_count())
+               .Kv("spread", hotkey_spread_splits_)
+               .Kv("secondary", hotkey_secondary_splits_)
+               .Kv("refused", hotkey_split_refusals_)
+               .Str();
+  }
   for (size_t s = 0; s < partitioner_.streams().size(); ++s) {
     const Partitioner::StreamState& state = partitioner_.streams()[s];
     StreamQueries queries = s < stream_queries_.size() ? stream_queries_[s]
@@ -1215,11 +1425,18 @@ std::string ShardedRuntime::StatsReport() {
       if (hot.size() > 5) hot.resize(5);
       obs::ReportLine line("  hot keys:");
       for (const Partitioner::HotKeyStat& stat : hot) {
+        std::string marker;
+        if (partitioner_.IsSplit(static_cast<StreamId>(s), stat.key)) {
+          marker = " split";
+        } else if (hotkey_refused_.count(
+                       {static_cast<StreamId>(s), stat.key.ToString()}) > 0) {
+          marker = " split-refused";
+        }
         line.Text(stat.key.ToString() + "=" + std::to_string(stat.count) +
                   " (~" + std::to_string(stat.count * 100 / keyed) + "%" +
                   (stat.error > 0 ? " err<=" + std::to_string(stat.error)
                                   : std::string()) +
-                  " shard " + std::to_string(stat.shard) + ")");
+                  " shard " + std::to_string(stat.shard) + marker + ")");
       }
       out << line.Str();
     }
@@ -1350,6 +1567,19 @@ void ShardedRuntime::ScrapeMetrics() {
             ->Set(queue_sample[static_cast<size_t>(stat.shard)]);
       }
     }
+  }
+  // Hot-key mitigation outcomes (only meaningful with mitigation on; the
+  // series stay absent otherwise, like every other gated family).
+  if (config_.hotkey_mitigation) {
+    metrics->GetCounter("sase_partition_hotkey_splits_total{mode=\"spread\"}")
+        ->Set(hotkey_spread_splits_);
+    metrics
+        ->GetCounter("sase_partition_hotkey_splits_total{mode=\"secondary\"}")
+        ->Set(hotkey_secondary_splits_);
+    metrics->GetCounter("sase_partition_hotkey_split_refused_total")
+        ->Set(hotkey_split_refusals_);
+    metrics->GetGauge("sase_partition_hotkey_split_active")
+        ->Set(static_cast<int64_t>(partitioner_.split_count()));
   }
   // Per-query operator counters and occupancy gauges, per hosting engine.
   for (auto& worker : workers_) worker->engine->ScrapeMetrics();

@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -91,6 +92,24 @@ struct RuntimeConfig {
   /// (Partitioner::EnableHotKeyTracking), armed only with `metrics` set so
   /// disabled-observability dispatch stays a null branch. 0 disables.
   size_t hotkey_sketch_size = 16;
+  /// Hot-key mitigation: act on the sketch instead of just reporting it.
+  /// When a key's sketch share of a stream's keyed events reaches
+  /// `hotkey_split_threshold` percent (measured by the guaranteed lower
+  /// bound count - error, so sketch overestimation cannot trigger a split)
+  /// after at least `hotkey_min_events` keyed events, the runtime splits the
+  /// key at a quiesce point: round-robin spread when the stream hosts no
+  /// sharded stateful query, secondary sub-partitioning when every sharded
+  /// stateful query on the stream shares a second covering attribute, and a
+  /// surfaced refusal otherwise (see StatsReport "hot-key splits:" and the
+  /// sase_partition_hotkey_split_* series). Mitigation arms the sketch even
+  /// without a metrics registry. Off by default: splitting rebuilds shard
+  /// engines by replay, a deliberate operator opt-in.
+  bool hotkey_mitigation = false;
+  /// Sketch-share percentage (of a stream's keyed events) at which a key is
+  /// split. Also re-checked every `hotkey_min_events` dispatched events, so
+  /// the trigger is deterministic in the event sequence.
+  int hotkey_split_threshold = 50;
+  uint64_t hotkey_min_events = 4096;
   /// Optional event-lifecycle tracer (not owned). Sampled events accumulate
   /// partition -> ring -> operator -> merge -> emit spans. A standalone
   /// runtime samples at dispatch; embedded under SaseSystem the ingest tap
@@ -234,6 +253,16 @@ class ShardedRuntime : public EventSink {
       uint64_t global = 0;
       EventPtr event;
     };
+    /// One hot-key split-table entry (mode: Partitioner::SplitMode as int).
+    /// Splits must survive recovery: a secondary-split key's sub-partition
+    /// state lives on the shard its (key, secondary) sub-hash picks, so the
+    /// recovered process must route it identically.
+    struct Split {
+      StreamId stream = kDefaultStream;
+      int mode = 0;
+      Value key;
+      std::string secondary_attr;
+    };
     int shard_count = 1;
     std::string partition_key;
     uint64_t events_dispatched = 0;
@@ -252,6 +281,7 @@ class ShardedRuntime : public EventSink {
     /// muted window replay.
     bool has_engine_state = false;
     std::vector<PlanState> plan_states;
+    std::vector<Split> splits;  // (stream, key) order
   };
 
   /// Captures the runtime's checkpoint state at a quiesce point (WaitIdle:
@@ -342,6 +372,12 @@ class ShardedRuntime : public EventSink {
   uint64_t events_replayed() const { return events_replayed_; }
   /// Events currently retained for resize replay (the in-flight window).
   size_t replay_buffer_len() const { return replay_len_; }
+  // Hot-key mitigation health (live — no quiesce; dispatcher-thread state
+  // read for reports and bench counters).
+  size_t hotkey_active_splits() const { return partitioner_.split_count(); }
+  uint64_t hotkey_spread_splits() const { return hotkey_spread_splits_; }
+  uint64_t hotkey_secondary_splits() const { return hotkey_secondary_splits_; }
+  uint64_t hotkey_split_refusals() const { return hotkey_split_refusals_; }
   const ElasticPolicy& elastic_policy() const { return policy_; }
   /// Batch size the dispatcher is cutting handoffs at right now (fixed
   /// batch_size unless RuntimeConfig::batch.enabled).
@@ -462,6 +498,10 @@ class ShardedRuntime : public EventSink {
     /// these bound the replay window a resize needs.
     Ticks window_ticks = -1;
     bool stateful = false;
+    /// Attribute names (beyond the shard key) whose equivalence class covers
+    /// every component — hot-key secondary-partition candidates (see
+    /// AnalyzedQuery::covering_attrs). Empty for stateless queries.
+    std::vector<std::string> covering_attrs;
   };
 
   /// Registered-query counts per input stream; events of a stream nobody
@@ -555,6 +595,35 @@ class ShardedRuntime : public EventSink {
   /// output and re-silences already-released deferrals. Returns the number
   /// of events replayed.
   uint64_t ReplayIntoShards();
+  /// Shared quiesce-point shard-rebuild machinery behind Resize and
+  /// secondary-split activation: quiesce, stop the workers, carry the
+  /// broadcast engine over, run `mutate` (the partitioner layout change)
+  /// under health_mutex_, build fresh shard engines, replay the in-flight
+  /// window, resume. Refuses (kFailedPrecondition) while a sharded stateful
+  /// query has no WITHIN bound — no finite replay window exists.
+  Status RebuildShards(int shard_count, const std::function<void()>& mutate);
+  /// Mitigation policy tick (config_.hotkey_mitigation): every
+  /// hotkey_min_events dispatched events, scan each stream's sketch for
+  /// unsplit keys whose guaranteed share crosses the threshold and split
+  /// them (SplitHotKey). Runs on the dispatcher between batches.
+  void MaybeMitigateHotKeys();
+  /// Splits one hot key: spread when `stream` hosts no sharded stateful
+  /// query; secondary sub-partitioning by CommonSecondaryAttr when one
+  /// exists (rebuilds the shard engines by replay); otherwise books a
+  /// refusal. Returns true when a split was installed.
+  bool SplitHotKey(StreamId stream, const Value& key);
+  /// Covering attribute (beyond the shard key) shared by EVERY sharded
+  /// stateful query reading `stream`; empty when none qualifies. First
+  /// common candidate in the lowest-QueryId query's covering order, so the
+  /// choice is deterministic.
+  std::string CommonSecondaryAttr(StreamId stream) const;
+  /// Re-examines active splits on `entry.stream` against a newly registered
+  /// query (Register, before InstallQuery): spread splits are dropped when
+  /// the newcomer is sharded stateful (they were sound only while none
+  /// existed), and secondary splits whose attribute the newcomer's covering
+  /// set lacks are unsplit with a shard rebuild. Keeps correctness ahead of
+  /// mitigation.
+  Status ResolveSplitConflicts(const QueryEntry& entry);
   /// Elastic policy tick: samples queue occupancy + event rate every
   /// check_interval dispatched events and resizes on a grow/shrink verdict.
   void MaybeAutoResize();
@@ -615,6 +684,15 @@ class ShardedRuntime : public EventSink {
   uint64_t events_replayed_ = 0;
   uint64_t last_check_global_ = 0;
   std::chrono::steady_clock::time_point last_check_time_{};
+  // Hot-key mitigation bookkeeping (dispatcher thread only).
+  uint64_t hotkey_check_global_ = 0;  // dispatch index of the last check
+  uint64_t hotkey_spread_splits_ = 0;
+  uint64_t hotkey_secondary_splits_ = 0;
+  uint64_t hotkey_split_refusals_ = 0;
+  /// (stream, key rendering) pairs already refused, so a pinned hot key
+  /// books one refusal instead of one per check. Cleared when the query set
+  /// changes — a refusal may become splittable (or vice versa).
+  std::set<std::pair<StreamId, std::string>> hotkey_refused_;
   // Adaptive-batch sampling window (independent of the elastic window).
   uint64_t batch_check_global_ = 0;
   std::chrono::steady_clock::time_point batch_check_time_{};

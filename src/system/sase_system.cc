@@ -295,6 +295,9 @@ SaseSystem::SaseSystem(StoreLayout layout, SystemConfig config,
     runtime_config.slow_query_threshold_ns = config_.obs.slow_query_threshold_ns;
     runtime_config.slow_query_log_size = config_.obs.slow_query_log_size;
     runtime_config.hotkey_sketch_size = config_.obs.hotkey_sketch_size;
+    runtime_config.hotkey_mitigation = config_.hotkey_mitigation;
+    runtime_config.hotkey_split_threshold = config_.hotkey_split_threshold;
+    runtime_config.hotkey_min_events = config_.hotkey_min_events;
     runtime_ = std::make_unique<ShardedRuntime>(&catalog_, runtime_config);
     event_bus_.Subscribe(runtime_.get());
   }
@@ -695,6 +698,10 @@ Status SaseSystem::Checkpoint(const std::string& dir_arg) {
         snap.window.push_back(checkpoint::SnapshotWindowEvent{
             window.stream, window.global, window.event});
       }
+      for (const auto& split : state.splits) {
+        snap.splits.push_back(checkpoint::SnapshotSplit{
+            split.stream, split.mode, split.key, split.secondary_attr});
+      }
     } else {
       snap.shard_count = std::max(1, config_.shard_count);
       snap.partition_key = config_.partition_key;
@@ -952,6 +959,10 @@ Status SaseSystem::FinishRecovery(const RecoverySpec& spec,
     for (const checkpoint::SnapshotWindowEvent& window : snap->window) {
       state.window.push_back(ShardedRuntime::CheckpointState::WindowEvent{
           window.stream, window.global, window.event});
+    }
+    for (const checkpoint::SnapshotSplit& split : snap->splits) {
+      state.splits.push_back(ShardedRuntime::CheckpointState::Split{
+          split.stream, split.mode, split.key, split.secondary_attr});
     }
     state.has_engine_state = snap->format >= checkpoint::kSnapshotFormatV2;
     for (checkpoint::EngineStateSection& section : snap->engine_state) {

@@ -58,6 +58,17 @@ struct SystemConfig {
   /// bounds and hysteresis: see ElasticConfig in runtime/elastic_policy.h
   /// and docs/operations.md.
   ElasticConfig runtime_elastic;
+  /// Hot-key mitigation: when a key's share of a stream's keyed events
+  /// reaches `hotkey_split_threshold` percent (after `hotkey_min_events`
+  /// keyed events), the runtime splits the key — round-robin spread for
+  /// replicable query sets, secondary sub-partitioning when every sharded
+  /// stateful query shares a second covering attribute, and a surfaced
+  /// refusal otherwise. Output stays byte-identical to serial either way.
+  /// Requires shard_count >= 2 (a runtime); see RuntimeConfig and
+  /// docs/operations.md.
+  bool hotkey_mitigation = false;
+  int hotkey_split_threshold = 50;
+  uint64_t hotkey_min_events = 4096;
   /// Adaptive handoff batching for the runtime's cross-thread rings (grows
   /// under load bounded by a latency target, shrinks when idle); see
   /// BatchConfig in runtime/batch_policy.h and docs/operations.md.

@@ -350,7 +350,7 @@ TEST(SnapshotTest, EngineStateSectionsRoundTrip) {
   ASSERT_TRUE(WriteSnapshot(dir, snap, database).ok());
   auto read = ReadSnapshot(dir, 1, nullptr);
   ASSERT_TRUE(read.ok()) << read.status().ToString();
-  EXPECT_EQ(read.value().format, kSnapshotFormatV3);
+  EXPECT_EQ(read.value().format, kSnapshotFormatV4);
   ASSERT_EQ(read.value().engine_state.size(), 3u);
   EXPECT_EQ(read.value().engine_state[0].kind, "plan");
   EXPECT_EQ(read.value().engine_state[0].host, "shard-0");
@@ -454,7 +454,7 @@ TEST(SnapshotTest, AckedCursorRoundTripsAndPreCursorSnapshotsStillRead) {
 
   auto read = ReadSnapshot(dir, 2, nullptr);
   ASSERT_TRUE(read.ok()) << read.status().ToString();
-  EXPECT_EQ(read.value().format, kSnapshotFormatV3);
+  EXPECT_EQ(read.value().format, kSnapshotFormatV4);
   EXPECT_TRUE(read.value().has_acked);
   EXPECT_EQ(read.value().acked_runtime, 9u);
   EXPECT_EQ(read.value().acked_serial, 5u);
@@ -468,7 +468,7 @@ TEST(SnapshotTest, AckedCursorRoundTripsAndPreCursorSnapshotsStillRead) {
   buffer << in.rdbuf();
   in.close();
   std::string text = buffer.str();
-  size_t header = text.find("SASE-CHECKPOINT v3");
+  size_t header = text.find("SASE-CHECKPOINT v4");
   ASSERT_NE(header, std::string::npos);
   text.replace(header, 18, "SASE-CHECKPOINT v2");
   size_t acked_line = text.find("ACKED ");

@@ -115,6 +115,55 @@ TEST(HttpEndpointTest, ServesHandlersAnd404AndMethodCheck) {
   endpoint.Stop();  // idempotent
 }
 
+TEST(HttpEndpointTest, ClientDisconnectMidResponseDoesNotKillServer) {
+  obs::HttpEndpoint endpoint;
+  // Large enough that the response cannot fit in the kernel's socket
+  // buffers: the serve thread is still send()ing when the peer vanishes.
+  std::string big(8 * 1024 * 1024, 'x');
+  endpoint.Handle("/big", [&big] {
+    return obs::HttpEndpoint::Response{200, "text/plain; charset=utf-8", big};
+  });
+  ASSERT_TRUE(endpoint.Start(0).ok());
+
+  // Request the large body and abort the connection without reading it:
+  // the server's next write lands on a dead socket. With a raw write(2)
+  // that raised SIGPIPE on the serve thread and killed the process; with
+  // send(MSG_NOSIGNAL) it surfaces as EPIPE/ECONNRESET and the response is
+  // abandoned.
+  for (int round = 0; round < 3; ++round) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    int tiny = 4096;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(endpoint.port()));
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    std::string request = "GET /big HTTP/1.1\r\nHost: l\r\n\r\n";
+    ASSERT_EQ(::write(fd, request.data(), request.size()),
+              static_cast<ssize_t>(request.size()));
+    // Read a sliver so the response is in flight, then close with a
+    // zero-linger RST instead of a graceful FIN — the abort makes the
+    // server's in-progress send() error out rather than buffer away.
+    char buf[1024];
+    (void)!::read(fd, buf, sizeof(buf));
+    struct linger abort_on_close = {1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &abort_on_close,
+                 sizeof(abort_on_close));
+    ::close(fd);
+  }
+
+  // The endpoint survived all three aborted scrapes: a patient client still
+  // gets the full body.
+  HttpResponse after = Get(endpoint.port(), "/big");
+  EXPECT_EQ(after.status, 200);
+  EXPECT_EQ(after.body.size(), big.size());
+  endpoint.Stop();
+}
+
 TEST(HttpEndpointTest, DoubleStartIsRefused) {
   obs::HttpEndpoint endpoint;
   ASSERT_TRUE(endpoint.Start(0).ok());

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "rfid/workload.h"
+#include "runtime/partitioner.h"
 #include "system/sase_system.h"
 #include "test_util.h"
 
@@ -332,6 +333,125 @@ TEST(ObsIntegrationTest, HotKeyAccountingSurfacesSkew) {
   std::string report = system.runtime()->StatsReport();
   EXPECT_NE(report.find("hot keys:"), std::string::npos) << report;
   EXPECT_NE(report.find("HOT="), std::string::npos) << report;
+}
+
+TEST(ObsIntegrationTest, HotKeyTrackingReArmPreservesShareDenominator) {
+  // Re-arming the sketch (capacity change) must clear slot contents but keep
+  // the cumulative keyed-events denominator: zeroing it made the next
+  // share_percent scrape divide fresh counts by a near-zero denominator and
+  // report garbage shares (> 100%).
+  Catalog catalog = Catalog::RetailDemo();
+  Partitioner partitioner(&catalog, "TagId", 4);
+  partitioner.EnableHotKeyTracking(16);
+  testing::StreamBuilder stream(&catalog);
+  for (int i = 0; i < 1000; ++i) {
+    stream.Add("SHELF_READING", 1 + i, i % 2 == 0 ? "HOT" : "T" + std::to_string(i), 1);
+  }
+  for (const EventPtr& event : stream.events()) {
+    partitioner.Route(kDefaultStream, *event);
+  }
+  ASSERT_EQ(partitioner.keyed_events(kDefaultStream), 1000u);
+  ASSERT_FALSE(partitioner.HotKeys(kDefaultStream).empty());
+
+  partitioner.EnableHotKeyTracking(32);  // re-arm with a new capacity
+  EXPECT_EQ(partitioner.keyed_events(kDefaultStream), 1000u)
+      << "re-arm must not reset the share denominator";
+  EXPECT_TRUE(partitioner.HotKeys(kDefaultStream).empty())
+      << "re-arm must clear slot contents";
+
+  // Counts observed after the re-arm are measured against the cumulative
+  // denominator, so a share can never exceed its true value.
+  testing::StreamBuilder more(&catalog);
+  for (int i = 0; i < 100; ++i) more.Add("SHELF_READING", 2000 + i, "HOT", 1);
+  for (const EventPtr& event : more.events()) {
+    partitioner.Route(kDefaultStream, *event);
+  }
+  EXPECT_EQ(partitioner.keyed_events(kDefaultStream), 1100u);
+  auto stats = partitioner.HotKeys(kDefaultStream);
+  ASSERT_FALSE(stats.empty());
+  EXPECT_LE(100.0 * static_cast<double>(stats.front().count) /
+                static_cast<double>(partitioner.keyed_events(kDefaultStream)),
+            100.0);
+}
+
+TEST(ObsIntegrationTest, HotKeyMitigationSpreadsStatelessOnlyStream) {
+  SystemConfig config;
+  config.noise = NoiseModel::Perfect();
+  config.shard_count = 4;
+  config.hotkey_mitigation = true;
+  config.hotkey_min_events = 500;
+  config.hotkey_split_threshold = 50;
+  SaseSystem system(StoreLayout::RetailDemo(), config);
+  // Stateless projection only: the stream has no sharded stateful query, so
+  // a hot key is spread round-robin.
+  auto id = system.RegisterMonitoringQuery("proj", kQueries[1], nullptr);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  Catalog catalog = Catalog::RetailDemo();
+  testing::StreamBuilder stream(&catalog);
+  for (int i = 0; i < 2000; ++i) {
+    stream.Add("SHELF_READING", 1 + i / 100,
+               i % 10 == 9 ? "cold-" + std::to_string(i) : "HOT", 2);
+  }
+  for (const EventPtr& event : stream.events()) {
+    system.event_bus().OnEvent(event);
+  }
+  system.Flush();
+  system.ScrapeMetrics();
+  auto samples = ParseProm(system.metrics()->RenderPrometheus());
+  EXPECT_EQ(At(samples, "sase_partition_hotkey_splits_total{mode=\"spread\"}"),
+            1.0);
+  EXPECT_EQ(At(samples,
+               "sase_partition_hotkey_splits_total{mode=\"secondary\"}"),
+            0.0);
+  EXPECT_EQ(At(samples, "sase_partition_hotkey_split_refused_total"), 0.0);
+  EXPECT_EQ(At(samples, "sase_partition_hotkey_split_active"), 1.0);
+
+  ASSERT_NE(system.runtime(), nullptr);
+  std::string report = system.runtime()->StatsReport();
+  EXPECT_NE(report.find("hot-key splits:"), std::string::npos) << report;
+  EXPECT_NE(report.find(" split)"), std::string::npos) << report;
+}
+
+TEST(ObsIntegrationTest, HotKeyMitigationRefusesWithoutCoveringAttribute) {
+  SystemConfig config;
+  config.noise = NoiseModel::Perfect();
+  config.shard_count = 4;
+  config.hotkey_mitigation = true;
+  config.hotkey_min_events = 500;
+  config.hotkey_split_threshold = 50;
+  SaseSystem system(StoreLayout::RetailDemo(), config);
+  // Key-partitioned stateful pattern whose only equivalence class is the
+  // TagId partition key: no second covering attribute, so splitting the hot
+  // key would break value-partition locality — the runtime must refuse and
+  // surface the refusal.
+  auto id = system.RegisterMonitoringQuery("pairs", kQueries[0], nullptr);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  Catalog catalog = Catalog::RetailDemo();
+  testing::StreamBuilder stream(&catalog);
+  for (int i = 0; i < 2000; ++i) {
+    stream.Add("SHELF_READING", 1 + i / 100,
+               i % 10 == 9 ? "cold-" + std::to_string(i) : "HOT", 1);
+  }
+  for (const EventPtr& event : stream.events()) {
+    system.event_bus().OnEvent(event);
+  }
+  system.Flush();
+  system.ScrapeMetrics();
+  auto samples = ParseProm(system.metrics()->RenderPrometheus());
+  EXPECT_EQ(At(samples, "sase_partition_hotkey_splits_total{mode=\"spread\"}"),
+            0.0);
+  EXPECT_EQ(At(samples,
+               "sase_partition_hotkey_splits_total{mode=\"secondary\"}"),
+            0.0);
+  EXPECT_GE(At(samples, "sase_partition_hotkey_split_refused_total"), 1.0);
+  EXPECT_EQ(At(samples, "sase_partition_hotkey_split_active"), 0.0);
+
+  ASSERT_NE(system.runtime(), nullptr);
+  std::string report = system.runtime()->StatsReport();
+  EXPECT_NE(report.find("hot-key splits:"), std::string::npos) << report;
+  EXPECT_NE(report.find("split-refused"), std::string::npos) << report;
 }
 
 TEST(ObsIntegrationTest, MetricsSurviveCheckpointKillRecover) {

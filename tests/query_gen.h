@@ -379,6 +379,78 @@ inline GeneratedCase GenerateSharingCase(const Catalog& catalog, uint64_t seed,
   return result;
 }
 
+/// The skewed-stream case for `seed`: a hot key owning `hot_percent`% of
+/// the keyed events plus a rotating cold tail wider than the hot-key
+/// sketch, and a query set drawn from the three mitigation families by
+/// seed:
+///
+///   0: stateless single-event queries only — a hot key may legally be
+///      spread round-robin (replicable-query routing);
+///   1: stateful patterns whose equivalence classes cover TagId AND AreaId
+///      on every component (negations included) — a hot key may legally be
+///      sub-partitioned by (TagId, AreaId);
+///   2: stateful patterns covering only TagId — splitting must be refused
+///      and the key stays pinned.
+///
+/// All three families must stay byte-identical to the serial reference
+/// with mitigation on or off; they differ only in which routing the
+/// mitigation may legally choose.
+inline GeneratedCase GenerateSkewedCase(const Catalog& catalog, uint64_t seed,
+                                        int64_t event_count,
+                                        int hot_percent) {
+  GeneratedCase result;
+  result.seed = seed;
+  std::mt19937_64 rng(seed ^ 0xc2b2ae3d27d4eb4full);
+  int family = static_cast<int>(seed % 3);
+  int window = 20 + static_cast<int>(rng() % 4) * 30;
+  switch (family) {
+    case 0:
+      result.queries.push_back("EVENT SHELF_READING a WHERE a.AreaId >= " +
+                               std::to_string(rng() % 3) +
+                               " RETURN a.TagId, a.AreaId");
+      result.queries.push_back("EVENT EXIT_READING a WHERE a.AreaId != " +
+                               std::to_string(rng() % 4) +
+                               " RETURN a.TagId");
+      break;
+    case 1:
+      result.queries.push_back(
+          "EVENT SEQ(SHELF_READING a, EXIT_READING b) "
+          "WHERE a.TagId = b.TagId AND a.AreaId = b.AreaId WITHIN " +
+          std::to_string(window));
+      result.queries.push_back(
+          "EVENT SEQ(SHELF_READING a, !(COUNTER_READING b), EXIT_READING c) "
+          "WHERE a.TagId = b.TagId AND a.TagId = c.TagId "
+          "AND a.AreaId = b.AreaId AND a.AreaId = c.AreaId WITHIN " +
+          std::to_string(window + 15) + " RETURN a.TagId, a.AreaId");
+      break;
+    default:
+      result.queries.push_back(
+          "EVENT SEQ(SHELF_READING a, EXIT_READING b) "
+          "WHERE a.TagId = b.TagId WITHIN " + std::to_string(window) +
+          " RETURN a.TagId");
+      break;
+  }
+  // The clock advances irregularly so windows open and close; every retail
+  // type carries TagId, so every event is keyed.
+  static const char* kTypes[] = {"SHELF_READING", "COUNTER_READING",
+                                 "EXIT_READING"};
+  Timestamp ts = 1;
+  int cold = 0;
+  for (int64_t i = 0; i < event_count; ++i) {
+    std::string tag = static_cast<int>(rng() % 100) < hot_percent
+                          ? "HOT"
+                          : "cold-" + std::to_string(cold++ % 40);
+    EventBuilder builder(catalog, kTypes[rng() % 3]);
+    builder.Set("TagId", tag)
+        .Set("AreaId", static_cast<int64_t>(rng() % 4))
+        .Set("ProductName", "P");
+    auto event = builder.Build(ts, static_cast<SequenceNumber>(i));
+    if (event.ok()) result.events.push_back(std::move(event).value());
+    ts += static_cast<Timestamp>(rng() % 3);
+  }
+  return result;
+}
+
 }  // namespace testgen
 }  // namespace sase
 

@@ -977,7 +977,7 @@ TEST(SnapshotCompatTest, PreCursorCheckpointFallsBackToAtLeastOnce) {
     buffer << in.rdbuf();
     state = buffer.str();
   }
-  size_t header = state.find("SASE-CHECKPOINT v3");
+  size_t header = state.find("SASE-CHECKPOINT v4");
   ASSERT_NE(header, std::string::npos);
   state.replace(header, 18, "SASE-CHECKPOINT v2");
   size_t acked = state.find("ACKED ");

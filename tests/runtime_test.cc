@@ -6,8 +6,11 @@
 #include <chrono>
 #include <iterator>
 #include <map>
+#include <random>
+#include <set>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "core/catalog.h"
@@ -169,6 +172,160 @@ TEST_F(PartitionerTest, RoutingIsDeterministicAndKeyStable) {
     if (!inserted) EXPECT_EQ(it->second, shard) << "tag " << key;
   }
   EXPECT_GT(shard_of_tag.size(), 1u);
+}
+
+// --- Hot-key sketch and split routing ---------------------------------------
+
+/// Reference space-saving sketch with the original O(capacity) eviction: a
+/// full scan for the lowest-indexed minimum-count slot. The production
+/// sketch's amortized-O(1) cold-queue must evict the exact same slots, so
+/// the two must hold identical (key, count, error) contents after any
+/// observation sequence.
+struct NaiveSpaceSaving {
+  struct Slot {
+    std::string key;
+    uint64_t count = 0;
+    uint64_t error = 0;
+  };
+  std::vector<Slot> slots;
+
+  void Observe(const std::string& key, size_t capacity) {
+    for (Slot& slot : slots) {
+      if (slot.key == key) {
+        ++slot.count;
+        return;
+      }
+    }
+    if (slots.size() < capacity) {
+      slots.push_back(Slot{key, 1, 0});
+      return;
+    }
+    size_t coldest = 0;
+    for (size_t i = 1; i < slots.size(); ++i) {
+      if (slots[i].count < slots[coldest].count) coldest = i;
+    }
+    Slot& slot = slots[coldest];
+    slot.error = slot.count;
+    slot.count += 1;
+    slot.key = key;
+  }
+};
+
+TEST_F(PartitionerTest, HotKeySketchMatchesNaiveEviction) {
+  constexpr size_t kCapacity = 8;
+  Partitioner partitioner(&catalog_, "TagId", 4);
+  partitioner.EnableHotKeyTracking(kCapacity);
+  auto shelf_type = catalog_.FindType("SHELF_READING");
+  ASSERT_TRUE(shelf_type.ok());
+  AttrIndex tag_index =
+      catalog_.schema(shelf_type.value()).FindAttribute("TagId");
+  ASSERT_GE(tag_index, 0);
+  NaiveSpaceSaving naive;
+  // Skewed mixture: a few hot tags plus a long cold tail, far more distinct
+  // keys than slots, so eviction (and its tie-breaking) runs constantly.
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<int> pct(0, 99);
+  std::uniform_int_distribution<int> hot(0, 3);
+  std::uniform_int_distribution<int> cold(0, 199);
+  for (int i = 0; i < 6000; ++i) {
+    std::string tag = pct(rng) < 60 ? "HOT" + std::to_string(hot(rng))
+                                    : "COLD" + std::to_string(cold(rng));
+    EventBuilder b(catalog_, "SHELF_READING");
+    auto event = b.Set("TagId", tag).Set("AreaId", 1).Build(i, i);
+    ASSERT_TRUE(event.ok());
+    partitioner.Route(kDefaultStream, *event.value());
+    naive.Observe(event.value()->attribute(tag_index).ToString(), kCapacity);
+    if (i % 251 == 0 || i == 5999) {
+      auto stats = partitioner.HotKeys(kDefaultStream);
+      ASSERT_EQ(stats.size(), naive.slots.size());
+      std::vector<std::tuple<std::string, uint64_t, uint64_t>> got, want;
+      for (const auto& s : stats) {
+        got.emplace_back(s.key.ToString(), s.count, s.error);
+      }
+      for (const auto& s : naive.slots) {
+        want.emplace_back(s.key, s.count, s.error);
+      }
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      ASSERT_EQ(got, want) << "after " << (i + 1) << " observations";
+    }
+  }
+  EXPECT_EQ(partitioner.keyed_events(kDefaultStream), 6000u);
+}
+
+TEST_F(PartitionerTest, SpreadSplitRoundRobinsAndUnsplitRestoresPin) {
+  Partitioner partitioner(&catalog_, "TagId", 4);
+  auto make = [&](const std::string& tag, int64_t seq) {
+    EventBuilder b(catalog_, "SHELF_READING");
+    auto event = b.Set("TagId", tag).Set("AreaId", 1).Build(seq, seq);
+    EXPECT_TRUE(event.ok());
+    return std::move(event).value();
+  };
+  EventPtr probe = make("HOT", 0);
+  int pinned = partitioner.ShardFor(*probe);
+  AttrIndex tag_index =
+      catalog_.schema(probe->type()).FindAttribute("TagId");
+  Value key = probe->attribute(tag_index);
+  partitioner.Split(kDefaultStream, key, Partitioner::SplitMode::kSpread);
+  EXPECT_TRUE(partitioner.IsSplit(kDefaultStream, key));
+  EXPECT_EQ(partitioner.split_count(), 1u);
+  // The split key cycles shards round-robin...
+  for (int64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(partitioner.ShardFor(kDefaultStream, *make("HOT", i)),
+              static_cast<int>(i % 4));
+  }
+  // ...while other keys and the same key on other streams keep their pins.
+  EXPECT_EQ(partitioner.ShardFor(kDefaultStream, *make("OTHER", 50)),
+            partitioner.ShardFor(*make("OTHER", 51)));
+  StreamId sensors = partitioner.InternStream("sensors");
+  EXPECT_EQ(partitioner.ShardFor(sensors, *make("HOT", 99)), pinned);
+  EXPECT_TRUE(partitioner.Unsplit(kDefaultStream, key));
+  EXPECT_FALSE(partitioner.Unsplit(kDefaultStream, key));
+  EXPECT_EQ(partitioner.split_count(), 0u);
+  EXPECT_EQ(partitioner.ShardFor(kDefaultStream, *make("HOT", 100)), pinned);
+}
+
+TEST_F(PartitionerTest, SecondarySplitPinsKeySecondaryPairs) {
+  Partitioner partitioner(&catalog_, "TagId", 4);
+  auto make_load = [&](const std::string& container, int64_t seq) {
+    EventBuilder b(catalog_, "LOAD_READING");
+    auto event = b.Set("TagId", "HOT")
+                     .Set("AreaId", 1)
+                     .Set("ContainerId", container)
+                     .Build(seq, seq);
+    EXPECT_TRUE(event.ok());
+    return std::move(event).value();
+  };
+  EventPtr probe = make_load("C0", 0);
+  int pinned = partitioner.ShardFor(*probe);
+  Value key = probe->attribute(
+      catalog_.schema(probe->type()).FindAttribute("TagId"));
+  partitioner.Split(kDefaultStream, key, Partitioner::SplitMode::kSecondary,
+                    "ContainerId");
+  // Each (key, secondary) pair pins to one stable shard, and the sub-hash
+  // spreads the key over more than one shard.
+  std::map<std::string, int> shard_of_container;
+  for (int round = 0; round < 3; ++round) {
+    for (int c = 0; c < 8; ++c) {
+      std::string container = "C" + std::to_string(c);
+      int shard = partitioner.ShardFor(
+          kDefaultStream, *make_load(container, round * 8 + c));
+      ASSERT_GE(shard, 0);
+      ASSERT_LT(shard, 4);
+      auto [it, inserted] = shard_of_container.emplace(container, shard);
+      if (!inserted) EXPECT_EQ(it->second, shard) << "container " << container;
+    }
+  }
+  std::set<int> shards;
+  for (const auto& [container, shard] : shard_of_container) {
+    shards.insert(shard);
+  }
+  EXPECT_GT(shards.size(), 1u);
+  // A type lacking the secondary attribute keeps the primary key-hash pin.
+  EventBuilder b(catalog_, "SHELF_READING");
+  auto shelf = b.Set("TagId", "HOT").Set("AreaId", 1).Build(100, 100);
+  ASSERT_TRUE(shelf.ok());
+  EXPECT_EQ(partitioner.ShardFor(kDefaultStream, *shelf.value()), pinned);
 }
 
 // --- Golden determinism -----------------------------------------------------
