@@ -513,9 +513,28 @@ Result<AnalyzedQuery> Analyzer::Analyze(ParsedQuery query) const {
     int first_slot = out.positive_slots[0];
     AttrIndex attr = members.at(first_slot);
     if (attr < 0) continue;  // the virtual timestamp is not a partition key
-    const EventSchema& schema =
-        catalog_->schema(out.vars[static_cast<size_t>(first_slot)].type_id);
-    out.covering_attrs.push_back(schema.attribute_name(attr));
+    const std::string& name =
+        catalog_->schema(out.vars[static_cast<size_t>(first_slot)].type_id)
+            .attribute_name(attr);
+    // The routing layer resolves a covering attribute by NAME per event
+    // type (Partitioner::SecondaryIndex), whereas the class holds per-slot
+    // indices — IsVarEquality admits differently-named members (a.x = b.y)
+    // and a component's schema may bind the same spelling to an unrelated
+    // attribute. Publish the name only when every member slot's schema
+    // resolves it back to that slot's own class member; otherwise routing
+    // by it would scatter events that must co-locate for a match (or a
+    // negation suppression) across shards.
+    bool name_resolves_class = true;
+    for (const auto& [slot, member_attr] : members) {
+      const EventSchema& schema =
+          catalog_->schema(out.vars[static_cast<size_t>(slot)].type_id);
+      if (member_attr < 0 || schema.FindAttribute(name) != member_attr) {
+        name_resolves_class = false;
+        break;
+      }
+    }
+    if (!name_resolves_class) continue;
+    out.covering_attrs.push_back(name);
   }
 
   if (partition_root >= 0) {

@@ -87,12 +87,16 @@ struct AnalyzedQuery {
 
   /// Attribute names (schema spelling of the first positive component) of
   /// every equivalence class that covers ALL components — positive and
-  /// negated. Each names an attribute the stream could be partitioned by
-  /// without changing this query's results: a match only ever combines (and
-  /// is only ever suppressed by) events agreeing on it. The runtime's
-  /// hot-key mitigation uses the entries beyond the shard key as secondary
-  /// sub-partition candidates. Ordered by equivalence-class discovery, so
-  /// the order is deterministic for a given query text.
+  /// negated — AND whose name resolves, on every member slot's schema, back
+  /// to that slot's own class member. Each names an attribute the stream
+  /// could be partitioned by without changing this query's results: a match
+  /// only ever combines (and is only ever suppressed by) events agreeing on
+  /// it, and because routing looks the name up per event type, the
+  /// round-trip requirement guarantees every component routes by its class
+  /// member (a class equating differently-named attributes is excluded).
+  /// The runtime's hot-key mitigation uses the entries beyond the shard key
+  /// as secondary sub-partition candidates. Ordered by equivalence-class
+  /// discovery, so the order is deterministic for a given query text.
   std::vector<std::string> covering_attrs;
 
   bool has_aggregates = false;

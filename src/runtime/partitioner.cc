@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/string_util.h"
+#include "util/value_codec.h"
 
 namespace sase {
 
@@ -123,9 +124,13 @@ std::vector<Partitioner::SplitInfo> Partitioner::Splits() const {
                               route.secondary_attr});
     }
   }
+  // Order by the type-tagged encoding (the SPLIT line payload itself):
+  // ToString aliases across types (int 7 vs string "7"), which would leave
+  // ties to unordered_map iteration order and let checkpoint bytes differ
+  // between a run and its recovered twin.
   std::sort(out.begin(), out.end(), [](const SplitInfo& a, const SplitInfo& b) {
     if (a.stream != b.stream) return a.stream < b.stream;
-    return a.key.ToString() < b.key.ToString();
+    return EncodeValue(a.key) < EncodeValue(b.key);
   });
   return out;
 }

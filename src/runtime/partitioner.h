@@ -118,8 +118,9 @@ class Partitioner {
   /// Removes `key`'s split on `stream`; false when none existed.
   bool Unsplit(StreamId stream, const Value& key);
   bool IsSplit(StreamId stream, const Value& key) const;
-  /// All active splits, ordered (stream, key rendering) for deterministic
-  /// checkpoint bytes.
+  /// All active splits, ordered (stream, type-tagged key encoding) for
+  /// deterministic checkpoint bytes; the encoding cannot alias across value
+  /// types, so the order is a total one.
   std::vector<SplitInfo> Splits() const;
   size_t split_count() const { return split_count_; }
 

@@ -10,6 +10,7 @@
 #include "query/parser.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/value_codec.h"
 
 namespace sase {
 
@@ -41,6 +42,18 @@ ShardedRuntime::ShardedRuntime(const Catalog* catalog, RuntimeConfig config,
   // mitigation is on, which consumes the sketch regardless of metrics.
   if (config_.metrics != nullptr || config_.hotkey_mitigation) {
     partitioner_.EnableHotKeyTracking(config_.hotkey_sketch_size);
+  }
+  // Either zeroed knob leaves mitigation armed but inert (an empty sketch
+  // never reports a hot key; a zero cadence never runs the policy tick) —
+  // an operator who opted in should hear about it rather than see silence.
+  if (config_.hotkey_mitigation && config_.hotkey_sketch_size == 0) {
+    SASE_LOG_WARN << "hotkey_mitigation is on but hotkey_sketch_size is 0: "
+                     "no hot key can be detected, so no key will ever split";
+  }
+  if (config_.hotkey_mitigation && config_.hotkey_min_events == 0) {
+    SASE_LOG_WARN << "hotkey_mitigation is on but hotkey_min_events is 0: "
+                     "the mitigation check never runs, so no key will ever "
+                     "split";
   }
 
   // shard workers 0..N-1, broadcast worker N.
@@ -1059,7 +1072,7 @@ bool ShardedRuntime::SplitHotKey(StreamId stream, const Value& key) {
   // first — the key stays pinned, and the refusal surfaces in StatsReport
   // and sase_partition_hotkey_split_refused_total. Booked once per key
   // until the query set changes.
-  if (hotkey_refused_.insert({stream, key.ToString()}).second) {
+  if (hotkey_refused_.insert({stream, EncodeValue(key)}).second) {
     ++hotkey_split_refusals_;
     SASE_LOG_WARN << "hot key " << key.ToString()
                   << " cannot be split: a sharded stateful query has no "
@@ -1428,8 +1441,8 @@ std::string ShardedRuntime::StatsReport() {
         std::string marker;
         if (partitioner_.IsSplit(static_cast<StreamId>(s), stat.key)) {
           marker = " split";
-        } else if (hotkey_refused_.count(
-                       {static_cast<StreamId>(s), stat.key.ToString()}) > 0) {
+        } else if (hotkey_refused_.count({static_cast<StreamId>(s),
+                                          EncodeValue(stat.key)}) > 0) {
           marker = " split-refused";
         }
         line.Text(stat.key.ToString() + "=" + std::to_string(stat.count) +

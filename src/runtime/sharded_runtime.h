@@ -689,9 +689,11 @@ class ShardedRuntime : public EventSink {
   uint64_t hotkey_spread_splits_ = 0;
   uint64_t hotkey_secondary_splits_ = 0;
   uint64_t hotkey_split_refusals_ = 0;
-  /// (stream, key rendering) pairs already refused, so a pinned hot key
-  /// books one refusal instead of one per check. Cleared when the query set
-  /// changes — a refusal may become splittable (or vice versa).
+  /// (stream, type-tagged EncodeValue(key)) pairs already refused, so a
+  /// pinned hot key books one refusal instead of one per check. The encoded
+  /// rendering keeps differently-typed keys distinct where ToString aliases
+  /// (int 7 vs string "7"). Cleared when the query set changes — a refusal
+  /// may become splittable (or vice versa).
   std::set<std::pair<StreamId, std::string>> hotkey_refused_;
   // Adaptive-batch sampling window (independent of the elastic window).
   uint64_t batch_check_global_ = 0;

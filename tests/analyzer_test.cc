@@ -103,6 +103,45 @@ TEST_F(AnalyzerTest, TimestampEqualityNotAPartitionKey) {
   EXPECT_FALSE(q.partitioned());
 }
 
+TEST_F(AnalyzerTest, CoveringAttrsRecordAllComponentClasses) {
+  AnalyzedQuery q = MustAnalyze(
+      "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+      "WHERE x.TagId = z.TagId AND x.AreaId = z.AreaId WITHIN 10");
+  EXPECT_EQ(q.covering_attrs, (std::vector<std::string>{"TagId", "AreaId"}));
+}
+
+TEST_F(AnalyzerTest, CoveringAttrsRejectDifferentlyNamedMembers) {
+  // {x.ContainerId, y.TagId} covers both components, but routing resolves
+  // a covering attribute by name per event type: SHELF_READING has no
+  // ContainerId, so y events could not follow the class. The class must
+  // not be published as a covering attribute.
+  AnalyzedQuery q = MustAnalyze(
+      "EVENT SEQ(LOAD_READING x, SHELF_READING y) "
+      "WHERE x.ContainerId = y.TagId WITHIN 10");
+  EXPECT_TRUE(q.covering_attrs.empty());
+}
+
+TEST_F(AnalyzerTest, CoveringAttrsRejectSameNamedUnrelatedAttribute) {
+  // {x.ProductName, y.TagId}: SHELF_READING *does* have a ProductName, but
+  // it is not the class member for y — name-based routing would key y
+  // events off an unrelated attribute, separating events that must
+  // co-locate for a match.
+  AnalyzedQuery q = MustAnalyze(
+      "EVENT SEQ(LOAD_READING x, SHELF_READING y) "
+      "WHERE x.ProductName = y.TagId WITHIN 10");
+  EXPECT_TRUE(q.covering_attrs.empty());
+}
+
+TEST_F(AnalyzerTest, CoveringAttrsRequireNegationComponentsToResolve) {
+  // The positives agree on TagId, but the negated component joins the
+  // class through a differently-named attribute — suppression would need
+  // the negation's events on the same shard, so the class is excluded.
+  AnalyzedQuery q = MustAnalyze(
+      "EVENT SEQ(SHELF_READING x, !(LOAD_READING y), EXIT_READING z) "
+      "WHERE x.TagId = y.ContainerId AND x.TagId = z.TagId WITHIN 10");
+  EXPECT_TRUE(q.covering_attrs.empty());
+}
+
 TEST_F(AnalyzerTest, NegationFiltersAndCrossPredicates) {
   AnalyzedQuery q = MustAnalyze(
       "EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z) "

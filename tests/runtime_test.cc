@@ -21,6 +21,7 @@
 #include "runtime/event_batch.h"
 #include "runtime/output_merger.h"
 #include "runtime/partitioner.h"
+#include "util/value_codec.h"
 
 namespace sase {
 namespace {
@@ -283,6 +284,32 @@ TEST_F(PartitionerTest, SpreadSplitRoundRobinsAndUnsplitRestoresPin) {
   EXPECT_FALSE(partitioner.Unsplit(kDefaultStream, key));
   EXPECT_EQ(partitioner.split_count(), 0u);
   EXPECT_EQ(partitioner.ShardFor(kDefaultStream, *make("HOT", 100)), pinned);
+}
+
+TEST_F(PartitionerTest, SplitsOrderIsTotalAcrossValueTypes) {
+  // int 7 and string "7" render identically via ToString; the checkpoint
+  // order must still be a total one (type-tagged encoding), identical for
+  // any insertion order — a run and its recovered twin write the same
+  // SPLIT lines in the same sequence.
+  std::vector<Value> keys = {Value(7), Value("7"), Value(true),
+                             Value("TRUE")};
+  auto splits_for = [&](const std::vector<size_t>& order) {
+    Partitioner partitioner(&catalog_, "TagId", 4);
+    for (size_t i : order) {
+      partitioner.Split(kDefaultStream, keys[i],
+                        Partitioner::SplitMode::kSpread);
+    }
+    std::vector<std::string> rendered;
+    for (const Partitioner::SplitInfo& info : partitioner.Splits()) {
+      rendered.push_back(EncodeValue(info.key));
+    }
+    return rendered;
+  };
+  std::vector<std::string> forward = splits_for({0, 1, 2, 3});
+  ASSERT_EQ(forward.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(forward.begin(), forward.end()));
+  EXPECT_EQ(forward, splits_for({3, 2, 1, 0}));
+  EXPECT_EQ(forward, splits_for({2, 0, 3, 1}));
 }
 
 TEST_F(PartitionerTest, SecondarySplitPinsKeySecondaryPairs) {
